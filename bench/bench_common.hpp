@@ -1,0 +1,69 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every benchmark *asserts the expected verification outcome* - a bench that
+// silently measured wrong answers would be meaningless - and reports the
+// slice size and assertion count as counters alongside the timing.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "encode/invariant.hpp"
+#include "verify/verifier.hpp"
+
+namespace vmn::bench {
+
+/// Verifies `inv` once inside the timing loop and checks the outcome.
+inline void verify_expecting(benchmark::State& state,
+                             const verify::Verifier& verifier,
+                             const encode::Invariant& inv,
+                             verify::Outcome expected) {
+  std::size_t slice_size = 0;
+  std::size_t assertions = 0;
+  for (auto _ : state) {
+    verify::VerifyResult r = verifier.verify(inv);
+    if (r.outcome != expected) {
+      state.SkipWithError(("unexpected outcome: " +
+                           verify::to_string(r.outcome) + " (expected " +
+                           verify::to_string(expected) + ")")
+                              .c_str());
+      return;
+    }
+    slice_size = r.slice_size;
+    assertions = r.assertion_count;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["slice_nodes"] =
+      benchmark::Counter(static_cast<double>(slice_size));
+  state.counters["assertions"] =
+      benchmark::Counter(static_cast<double>(assertions));
+}
+
+/// Verifies a whole invariant list (the "verify the entire network" mode of
+/// Figs 3 and 5) and checks every outcome.
+inline void verify_all_expecting(benchmark::State& state,
+                                 const verify::Verifier& verifier,
+                                 const std::vector<encode::Invariant>& invs,
+                                 const std::vector<verify::Outcome>& expected,
+                                 bool use_symmetry) {
+  std::size_t solver_calls = 0;
+  for (auto _ : state) {
+    verify::BatchResult batch = verifier.verify_all(invs, use_symmetry);
+    for (std::size_t i = 0; i < invs.size(); ++i) {
+      if (batch.results[i].outcome != expected[i]) {
+        state.SkipWithError("unexpected outcome in batch");
+        return;
+      }
+    }
+    solver_calls = batch.solver_calls;
+    benchmark::DoNotOptimize(batch);
+  }
+  state.counters["invariants"] =
+      benchmark::Counter(static_cast<double>(invs.size()));
+  state.counters["solver_calls"] =
+      benchmark::Counter(static_cast<double>(solver_calls));
+}
+
+}  // namespace vmn::bench

@@ -1,0 +1,53 @@
+// Figure 4: time to verify ONE data-isolation invariant as a function of
+// policy complexity, for both the violated and the holds case (section 5.2:
+// storage services with content caches).
+//
+// Content caches are origin-agnostic, so the slice must contain one
+// representative host per policy class - unlike Figs 2/3/7/8/9, the slice
+// (and hence verification time) grows with policy complexity. This is the
+// paper's motivating example for why minimizing slice size matters.
+#include "bench_common.hpp"
+#include "core/rng.hpp"
+#include "scenarios/datacenter.hpp"
+
+namespace {
+
+using namespace vmn;
+using bench::verify_expecting;
+using scenarios::Datacenter;
+using scenarios::DatacenterParams;
+using scenarios::DcMisconfig;
+using verify::Outcome;
+using verify::Verifier;
+
+Datacenter make(int classes) {
+  DatacenterParams p;
+  p.policy_groups = classes;
+  p.clients_per_group = 2;
+  p.with_storage = true;
+  return make_datacenter(p);
+}
+
+void BM_Fig4_Holds(benchmark::State& state) {
+  Datacenter dc = make(static_cast<int>(state.range(0)));
+  Verifier v(dc.model);
+  verify_expecting(state, v, dc.data_isolation_invariants()[0],
+                   Outcome::holds);
+}
+BENCHMARK(BM_Fig4_Holds)->Arg(3)->Arg(5)->Arg(8)->Arg(12)
+    ->ArgNames({"classes"})->Unit(benchmark::kMillisecond)->Iterations(2);
+
+void BM_Fig4_Violated(benchmark::State& state) {
+  Datacenter dc = make(static_cast<int>(state.range(0)));
+  Rng rng(21);
+  inject_misconfig(dc, DcMisconfig::cache_acl, rng, 1);
+  const int g = dc.broken_pairs[0].first;
+  Verifier v(dc.model);
+  verify_expecting(state, v,
+                   dc.data_isolation_invariants()[static_cast<std::size_t>(g)],
+                   Outcome::violated);
+}
+BENCHMARK(BM_Fig4_Violated)->Arg(3)->Arg(5)->Arg(8)->Arg(12)
+    ->ArgNames({"classes"})->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace

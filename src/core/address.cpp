@@ -1,0 +1,16 @@
+#include "core/address.hpp"
+
+namespace vmn {
+
+std::string Address::to_string() const {
+  return std::to_string((bits_ >> 24) & 0xff) + "." +
+         std::to_string((bits_ >> 16) & 0xff) + "." +
+         std::to_string((bits_ >> 8) & 0xff) + "." +
+         std::to_string(bits_ & 0xff);
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace vmn

@@ -1,0 +1,83 @@
+// IPv4-style addresses and prefixes.
+//
+// Addresses identify hosts in invariants and middlebox configuration;
+// prefixes drive longest-prefix-match forwarding in the static datapath
+// substrate (src/dataplane).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vmn {
+
+/// A 32-bit network address (rendered dotted-quad for humans).
+class Address {
+ public:
+  constexpr Address() = default;
+  constexpr explicit Address(std::uint32_t bits) : bits_(bits) {}
+
+  /// Builds an address from four octets, e.g. Address::of(10, 0, 0, 1).
+  static constexpr Address of(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                              std::uint8_t d) {
+    return Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                   (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(Address, Address) = default;
+  friend constexpr auto operator<=>(Address, Address) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// A CIDR prefix: the leading `length` bits of `base` are significant.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  constexpr Prefix(Address base, int length) : base_(base), length_(length) {}
+
+  /// The all-matching default route (0.0.0.0/0).
+  static constexpr Prefix any() { return Prefix(Address(0), 0); }
+  /// A /32 covering exactly one address.
+  static constexpr Prefix host(Address a) { return Prefix(a, 32); }
+
+  [[nodiscard]] constexpr Address base() const { return base_; }
+  [[nodiscard]] constexpr int length() const { return length_; }
+
+  [[nodiscard]] constexpr bool contains(Address a) const {
+    if (length_ == 0) return true;
+    const std::uint32_t mask = length_ >= 32
+                                   ? ~std::uint32_t{0}
+                                   : ~((std::uint32_t{1} << (32 - length_)) - 1);
+    return (a.bits() & mask) == (base_.bits() & mask);
+  }
+
+  /// True if every address in `other` is also in *this.
+  [[nodiscard]] constexpr bool covers(const Prefix& other) const {
+    return length_ <= other.length_ && contains(other.base_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const Prefix&, const Prefix&) = default;
+
+ private:
+  Address base_;
+  int length_ = 0;
+};
+
+}  // namespace vmn
+
+namespace std {
+template <>
+struct hash<vmn::Address> {
+  size_t operator()(vmn::Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.bits());
+  }
+};
+}  // namespace std

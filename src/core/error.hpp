@@ -1,0 +1,35 @@
+// Exception hierarchy for the VMN library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vmn {
+
+/// Base class of all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a static forwarding loop is detected while computing a
+/// transfer function (paper, section 2.3 footnote 5: loops raise an
+/// exception so the operator is aware, and the packet is treated as dropped).
+class ForwardingLoopError : public Error {
+ public:
+  explicit ForwardingLoopError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on malformed models/topologies (dangling links, duplicate names...).
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when the solver backend fails in an unrecoverable way.
+class SolverError : public Error {
+ public:
+  explicit SolverError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace vmn

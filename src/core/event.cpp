@@ -1,0 +1,19 @@
+#include "core/event.hpp"
+
+namespace vmn {
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::send:
+      return "snd";
+    case EventKind::receive:
+      return "rcv";
+    case EventKind::fail:
+      return "fail";
+    case EventKind::recover:
+      return "recover";
+  }
+  return "?";
+}
+
+}  // namespace vmn

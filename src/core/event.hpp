@@ -1,0 +1,33 @@
+// Concrete network events (paper, section 3.2): snd(s, d, p), rcv(d, s, p)
+// and fail(n), each stamped with the discrete timestep at which it occurs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/ids.hpp"
+#include "core/packet.hpp"
+
+namespace vmn {
+
+enum class EventKind : std::uint8_t {
+  send,     ///< node `from` sends packet to node `to`
+  receive,  ///< node `to` receives packet from node `from`
+  fail,     ///< node `from` is down at this timestep
+  recover,  ///< node `from` comes back up
+};
+
+[[nodiscard]] std::string to_string(EventKind kind);
+
+/// One entry of a schedule or counterexample trace.
+struct Event {
+  EventKind kind = EventKind::send;
+  std::int64_t time = 0;
+  NodeId from;           ///< sender (send/receive) or failing node (fail)
+  NodeId to;             ///< receiver; unused for fail/recover
+  Packet packet;         ///< unused for fail/recover
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+}  // namespace vmn

@@ -1,0 +1,55 @@
+// Strongly typed identifiers used across the library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace vmn {
+
+/// CRTP-free strong integer id. Distinct Tag types are not interconvertible.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type invalid_value = ~underlying_type{0};
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != invalid_value; }
+
+  friend constexpr bool operator==(Id a, Id b) = default;
+  friend constexpr auto operator<=>(Id a, Id b) = default;
+
+ private:
+  underlying_type value_ = invalid_value;
+};
+
+struct NodeTag {};
+struct LinkTag {};
+struct ScenarioTag {};
+struct PolicyClassTag {};
+struct TenantTag {};
+
+/// Identifies a node (host, switch or middlebox) within a Network.
+using NodeId = Id<NodeTag>;
+/// Identifies a link between two nodes.
+using LinkId = Id<LinkTag>;
+/// Identifies a failure scenario (scenario 0 is always "no failures").
+using ScenarioId = Id<ScenarioTag>;
+/// Identifies a policy equivalence class (paper, section 4.1).
+using PolicyClassId = Id<PolicyClassTag>;
+/// Identifies a tenant in multi-tenant scenarios.
+using TenantId = Id<TenantTag>;
+
+}  // namespace vmn
+
+namespace std {
+template <typename Tag>
+struct hash<vmn::Id<Tag>> {
+  size_t operator()(vmn::Id<Tag> id) const noexcept {
+    return std::hash<typename vmn::Id<Tag>::underlying_type>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,29 @@
+#include "core/packet.hpp"
+
+namespace vmn {
+
+FlowKey Packet::flow() const {
+  // Canonicalize so that flow(p) == flow(reverse(p)).
+  if (std::tie(src, src_port) <= std::tie(dst, dst_port)) {
+    return FlowKey{src, dst, src_port, dst_port};
+  }
+  return FlowKey{dst, src, dst_port, src_port};
+}
+
+Packet Packet::reversed() const {
+  Packet r = *this;
+  std::swap(r.src, r.dst);
+  std::swap(r.src_port, r.dst_port);
+  return r;
+}
+
+std::string Packet::to_string() const {
+  std::string s = src.to_string() + ":" + std::to_string(src_port) + " -> " +
+                  dst.to_string() + ":" + std::to_string(dst_port);
+  if (origin) s += " origin=" + origin->to_string();
+  if (malicious) s += " [malicious]";
+  if (app_class != 0) s += " app=" + std::to_string(app_class);
+  return s;
+}
+
+}  // namespace vmn

@@ -1,0 +1,72 @@
+// Concrete packets, used by the simulator (src/sim) and by counterexample
+// traces extracted from solver models. The symbolic counterpart is the
+// uninterpreted Packet sort in the encoder (src/encode).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/address.hpp"
+
+namespace vmn {
+
+/// Canonical, direction-agnostic flow identifier: the paper's flow(p)
+/// function. Two packets belong to the same flow iff their 5-tuples are
+/// equal or exactly reversed.
+struct FlowKey {
+  Address a;
+  Address b;
+  std::uint16_t a_port = 0;
+  std::uint16_t b_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+/// A concrete packet. `origin` implements the paper's origin(p) abstraction
+/// for data-isolation invariants (e.g. derived from x-http-forwarded-for);
+/// `malicious` and `app_class` stand in for classification-oracle outputs.
+struct Packet {
+  Packet() = default;
+  Packet(Address src_addr, Address dst_addr, std::uint16_t sport = 0,
+         std::uint16_t dport = 0)
+      : src(src_addr), dst(dst_addr), src_port(sport), dst_port(dport) {}
+
+  Address src;
+  Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  /// Where the carried data originated (data-isolation invariants).
+  std::optional<Address> origin;
+  /// Classification-oracle verdict used by IDPS/scrubber models.
+  bool malicious = false;
+  /// Application class tag assigned by the classification oracle
+  /// (application firewalls); 0 means unclassified.
+  std::uint16_t app_class = 0;
+
+  /// Direction-agnostic flow identifier (paper's flow(p)).
+  [[nodiscard]] FlowKey flow() const;
+  /// The packet with src/dst (and ports) swapped.
+  [[nodiscard]] Packet reversed() const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+}  // namespace vmn
+
+namespace std {
+template <>
+struct hash<vmn::FlowKey> {
+  size_t operator()(const vmn::FlowKey& f) const noexcept {
+    size_t h = std::hash<vmn::Address>{}(f.a);
+    h = h * 1000003u ^ std::hash<vmn::Address>{}(f.b);
+    h = h * 1000003u ^ f.a_port;
+    h = h * 1000003u ^ f.b_port;
+    return h;
+  }
+};
+}  // namespace std

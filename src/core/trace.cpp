@@ -1,0 +1,42 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+
+namespace vmn {
+
+Trace::Trace(std::vector<Event> events) : events_(std::move(events)) {
+  sort_by_time();
+}
+
+void Trace::add(Event e) { events_.push_back(std::move(e)); }
+
+void Trace::sort_by_time() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.time < b.time; });
+}
+
+std::string Trace::to_string(
+    const std::function<std::string(NodeId)>& node_name) const {
+  std::string out;
+  for (const Event& e : events_) {
+    out += "t=" + std::to_string(e.time) + " " + vmn::to_string(e.kind) + " ";
+    switch (e.kind) {
+      case EventKind::send:
+        out += node_name(e.from) + " -> " + node_name(e.to) + " : " +
+               e.packet.to_string();
+        break;
+      case EventKind::receive:
+        out += node_name(e.to) + " <- " + node_name(e.from) + " : " +
+               e.packet.to_string();
+        break;
+      case EventKind::fail:
+      case EventKind::recover:
+        out += node_name(e.from);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace vmn

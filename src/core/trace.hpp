@@ -1,0 +1,36 @@
+// Counterexample traces: a time-ordered list of events that violates an
+// invariant, extracted from a satisfying solver model or produced by the
+// simulator.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+
+namespace vmn {
+
+/// A schedule of events witnessing an invariant violation.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Event> events);
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  void add(Event e);
+  /// Stable-sorts events by timestep.
+  void sort_by_time();
+
+  /// Renders the trace; `node_name` maps ids to human-readable names.
+  [[nodiscard]] std::string to_string(
+      const std::function<std::string(NodeId)>& node_name) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace vmn

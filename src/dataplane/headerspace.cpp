@@ -1,0 +1,156 @@
+#include "dataplane/headerspace.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace vmn::dataplane {
+
+Wildcard Wildcard::from_prefix(const Prefix& p) {
+  if (p.length() <= 0) return Wildcard();
+  const std::uint32_t mask =
+      p.length() >= 32 ? ~std::uint32_t{0}
+                       : ~((std::uint32_t{1} << (32 - p.length())) - 1);
+  return Wildcard(mask, p.base().bits());
+}
+
+std::optional<Wildcard> Wildcard::intersect(const Wildcard& o) const {
+  const std::uint32_t common = mask_ & o.mask_;
+  if ((bits_ & common) != (o.bits_ & common)) return std::nullopt;
+  return Wildcard(mask_ | o.mask_, bits_ | o.bits_);
+}
+
+bool Wildcard::subset_of(const Wildcard& o) const {
+  // Every bit fixed in o must be fixed to the same value here.
+  if ((mask_ & o.mask_) != o.mask_) return false;
+  return (bits_ & o.mask_) == o.bits_;
+}
+
+std::vector<Wildcard> Wildcard::complement() const {
+  // Disjoint decomposition: the i-th term matches headers that agree with us
+  // on all fixed bits below i and differ at fixed bit i.
+  std::vector<Wildcard> out;
+  std::uint32_t seen = 0;
+  for (int i = 0; i < 32; ++i) {
+    const std::uint32_t bit = std::uint32_t{1} << i;
+    if (mask_ & bit) {
+      out.emplace_back(seen | bit, (bits_ & seen) | (~bits_ & bit));
+      seen |= bit;
+    }
+  }
+  return out;
+}
+
+std::uint64_t Wildcard::size() const {
+  const int free_bits = 32 - std::popcount(mask_);
+  return std::uint64_t{1} << free_bits;
+}
+
+std::string Wildcard::to_string() const {
+  std::string s;
+  s.reserve(32);
+  for (int i = 31; i >= 0; --i) {
+    const std::uint32_t bit = std::uint32_t{1} << i;
+    if (!(mask_ & bit)) {
+      s += '*';
+    } else {
+      s += (bits_ & bit) ? '1' : '0';
+    }
+  }
+  return s;
+}
+
+bool HeaderSpace::is_empty() const { return terms_.empty(); }
+
+bool HeaderSpace::contains(Address a) const {
+  return std::any_of(terms_.begin(), terms_.end(),
+                     [&](const Wildcard& w) { return w.matches(a); });
+}
+
+HeaderSpace HeaderSpace::union_with(const HeaderSpace& o) const {
+  std::vector<Wildcard> terms = terms_;
+  terms.insert(terms.end(), o.terms_.begin(), o.terms_.end());
+  HeaderSpace out(std::move(terms));
+  out.compact();
+  return out;
+}
+
+HeaderSpace HeaderSpace::intersect(const HeaderSpace& o) const {
+  std::vector<Wildcard> terms;
+  for (const Wildcard& a : terms_) {
+    for (const Wildcard& b : o.terms_) {
+      if (auto w = a.intersect(b)) terms.push_back(*w);
+    }
+  }
+  HeaderSpace out(std::move(terms));
+  out.compact();
+  return out;
+}
+
+HeaderSpace HeaderSpace::complement() const {
+  HeaderSpace acc = HeaderSpace::all();
+  for (const Wildcard& w : terms_) {
+    acc = acc.intersect(HeaderSpace(w.complement()));
+    if (acc.is_empty()) break;
+  }
+  return acc;
+}
+
+HeaderSpace HeaderSpace::difference(const HeaderSpace& o) const {
+  return intersect(o.complement());
+}
+
+bool HeaderSpace::subset_of(const HeaderSpace& o) const {
+  return difference(o).is_empty();
+}
+
+namespace {
+
+// Exact cardinality of a union via recursive disjoint decomposition:
+// |t0 u rest| = |t0| + |rest \ t0|, where each r \ t0 splits into
+// r n c_i over the disjoint complement terms c_i of t0.
+std::uint64_t disjoint_size(std::vector<Wildcard> terms) {
+  if (terms.empty()) return 0;
+  const Wildcard head = terms.front();
+  std::vector<Wildcard> rest;
+  const std::vector<Wildcard> head_complement = head.complement();
+  for (std::size_t i = 1; i < terms.size(); ++i) {
+    for (const Wildcard& c : head_complement) {
+      if (auto piece = terms[i].intersect(c)) rest.push_back(*piece);
+    }
+  }
+  return head.size() + disjoint_size(std::move(rest));
+}
+
+}  // namespace
+
+std::uint64_t HeaderSpace::size() const { return disjoint_size(terms_); }
+
+std::optional<Address> HeaderSpace::sample() const {
+  if (terms_.empty()) return std::nullopt;
+  return terms_.front().min_member();
+}
+
+void HeaderSpace::compact() {
+  std::vector<Wildcard> kept;
+  for (const Wildcard& w : terms_) {
+    const bool subsumed = std::any_of(
+        kept.begin(), kept.end(),
+        [&](const Wildcard& k) { return w.subset_of(k); });
+    if (subsumed) continue;
+    std::erase_if(kept, [&](const Wildcard& k) { return k.subset_of(w); });
+    kept.push_back(w);
+  }
+  terms_ = std::move(kept);
+}
+
+std::string HeaderSpace::to_string() const {
+  if (terms_.empty()) return "(empty)";
+  std::string s;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (i) s += " + ";
+    s += terms_[i].to_string();
+  }
+  return s;
+}
+
+}  // namespace vmn::dataplane

@@ -1,0 +1,99 @@
+// Header-space algebra (mini-HSA).
+//
+// The paper computes network transfer functions with HSA/VeriFlow
+// (section 3.5); this module is our from-scratch implementation of the
+// required machinery. A Wildcard is a ternary bit pattern over a fixed-width
+// header; a HeaderSpace is a union of wildcards, closed under intersection,
+// union, complement and difference (Kazemian et al., NSDI'12).
+//
+// The static analyses in this repository only need forwarding-relevant bits,
+// so headers are 32 bits wide (the destination address).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/address.hpp"
+
+namespace vmn::dataplane {
+
+/// A ternary pattern over 32 header bits: bit i must equal bits[i] when
+/// mask[i] is 1, and is free ("*") when mask[i] is 0.
+class Wildcard {
+ public:
+  constexpr Wildcard() = default;  // matches everything
+  constexpr Wildcard(std::uint32_t mask, std::uint32_t bits)
+      : mask_(mask), bits_(bits & mask) {}
+
+  /// Pattern matching exactly the addresses in a CIDR prefix.
+  static Wildcard from_prefix(const Prefix& p);
+  /// Pattern matching exactly one address.
+  static Wildcard exact(Address a) { return Wildcard(~std::uint32_t{0}, a.bits()); }
+  /// The all-* pattern.
+  static constexpr Wildcard any() { return Wildcard(); }
+
+  [[nodiscard]] std::uint32_t mask() const { return mask_; }
+  [[nodiscard]] std::uint32_t bits() const { return bits_; }
+
+  [[nodiscard]] bool matches(Address a) const {
+    return (a.bits() & mask_) == bits_;
+  }
+
+  /// Intersection; nullopt when the patterns conflict on a fixed bit.
+  [[nodiscard]] std::optional<Wildcard> intersect(const Wildcard& o) const;
+  /// True if every header matching *this also matches `o`.
+  [[nodiscard]] bool subset_of(const Wildcard& o) const;
+  /// Complement as a union of at most 32 wildcards (one per fixed bit).
+  [[nodiscard]] std::vector<Wildcard> complement() const;
+  /// Number of concrete headers matched (2^free-bits).
+  [[nodiscard]] std::uint64_t size() const;
+  /// The numerically smallest matching address.
+  [[nodiscard]] Address min_member() const { return Address(bits_); }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const Wildcard&, const Wildcard&) = default;
+
+ private:
+  std::uint32_t mask_ = 0;  // 0 bits are wildcards
+  std::uint32_t bits_ = 0;
+};
+
+/// A union of wildcards. Empty vector = empty space.
+class HeaderSpace {
+ public:
+  HeaderSpace() = default;
+  explicit HeaderSpace(Wildcard w) : terms_{w} {}
+  explicit HeaderSpace(std::vector<Wildcard> terms) : terms_(std::move(terms)) {}
+
+  static HeaderSpace empty() { return HeaderSpace(); }
+  static HeaderSpace all() { return HeaderSpace(Wildcard::any()); }
+  static HeaderSpace from_prefix(const Prefix& p) {
+    return HeaderSpace(Wildcard::from_prefix(p));
+  }
+
+  [[nodiscard]] bool is_empty() const;
+  [[nodiscard]] bool contains(Address a) const;
+  [[nodiscard]] HeaderSpace union_with(const HeaderSpace& o) const;
+  [[nodiscard]] HeaderSpace intersect(const HeaderSpace& o) const;
+  [[nodiscard]] HeaderSpace complement() const;
+  [[nodiscard]] HeaderSpace difference(const HeaderSpace& o) const;
+  [[nodiscard]] bool subset_of(const HeaderSpace& o) const;
+  /// Exact count of concrete headers in the space.
+  [[nodiscard]] std::uint64_t size() const;
+  /// Some concrete member address, if non-empty.
+  [[nodiscard]] std::optional<Address> sample() const;
+
+  [[nodiscard]] const std::vector<Wildcard>& terms() const { return terms_; }
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  /// Drops terms subsumed by other terms.
+  void compact();
+
+  std::vector<Wildcard> terms_;
+};
+
+}  // namespace vmn::dataplane

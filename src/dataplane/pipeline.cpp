@@ -1,0 +1,33 @@
+#include "dataplane/pipeline.hpp"
+
+namespace vmn::dataplane {
+
+PipelineResult check_pipeline(const TransferFunction& tf,
+                              const PipelineInvariant& invariant) {
+  const net::Network& net = tf.network();
+  PipelineResult result;
+  EdgeChain chain = edge_chain(tf, invariant.src_edge, invariant.dst);
+  result.chain = chain.middleboxes;
+  result.delivered = chain.reached;
+  if (!chain.reached) {
+    // The packet never arrives; the pipeline requirement is vacuously met.
+    result.satisfied = true;
+    return result;
+  }
+  std::size_t next_step = 0;
+  for (NodeId m : chain.middleboxes) {
+    if (next_step >= invariant.steps.size()) break;
+    if (net.name(m).starts_with(invariant.steps[next_step].type_prefix)) {
+      ++next_step;
+    }
+  }
+  if (next_step < invariant.steps.size()) {
+    result.first_missing_step = next_step;
+    result.satisfied = false;
+  } else {
+    result.satisfied = true;
+  }
+  return result;
+}
+
+}  // namespace vmn::dataplane

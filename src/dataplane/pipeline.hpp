@@ -1,0 +1,46 @@
+// Pipeline invariants (paper, sections 1 and 2.3).
+//
+// A pipeline invariant constrains which middleboxes (by type) a packet must
+// traverse on its way from a source to a destination: "all incoming packets
+// ... must pass through the sequence of middleboxes mb1, mb2, ... before
+// being delivered". The paper checks these on the *static* datapath using
+// existing tools; this module implements that check over our transfer
+// functions. Steps name middlebox types by node-name prefix (e.g. "fw"
+// matches fw-1, fw-backup); a step may also name one concrete instance.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataplane/transfer.hpp"
+
+namespace vmn::dataplane {
+
+struct PipelineStep {
+  /// Matches any middlebox whose name starts with this prefix.
+  std::string type_prefix;
+};
+
+struct PipelineInvariant {
+  NodeId src_edge;
+  Address dst;
+  /// Steps that must appear in the traversal chain, in this order
+  /// (not necessarily consecutively).
+  std::vector<PipelineStep> steps;
+};
+
+struct PipelineResult {
+  bool satisfied = false;
+  /// True when the packet actually reaches the destination; vacuous
+  /// satisfaction (packet dropped) is reported as satisfied+!delivered.
+  bool delivered = false;
+  std::vector<NodeId> chain;  ///< middleboxes traversed, in order
+  std::optional<std::size_t> first_missing_step;
+};
+
+/// Checks one pipeline invariant under the transfer function's scenario.
+[[nodiscard]] PipelineResult check_pipeline(const TransferFunction& tf,
+                                            const PipelineInvariant& invariant);
+
+}  // namespace vmn::dataplane

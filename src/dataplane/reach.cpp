@@ -1,0 +1,143 @@
+#include "dataplane/reach.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/error.hpp"
+
+namespace vmn::dataplane {
+
+std::vector<Address> destination_classes(const net::Network& network,
+                                         ScenarioId scenario) {
+  // Collect interval boundaries from every prefix in every effective table,
+  // plus every host address (hosts are distinguishable destinations even
+  // without a matching rule).
+  std::set<std::uint64_t> starts;  // 64-bit to hold 2^32 as an end marker
+  starts.insert(0);
+  auto add_prefix = [&](const Prefix& p) {
+    const std::uint64_t lo = Wildcard::from_prefix(p).bits();
+    const std::uint64_t size = Wildcard::from_prefix(p).size();
+    starts.insert(lo);
+    starts.insert(lo + size);
+  };
+  for (const auto& node : network.nodes()) {
+    if (node.kind == net::NodeKind::switch_node) {
+      for (const net::Rule& r :
+           network.effective_table(node.id, scenario).rules()) {
+        add_prefix(r.dst);
+      }
+    } else if (node.kind == net::NodeKind::host) {
+      add_prefix(Prefix::host(node.address));
+    }
+  }
+  std::vector<Address> reps;
+  for (std::uint64_t s : starts) {
+    if (s < (std::uint64_t{1} << 32)) {
+      reps.emplace_back(static_cast<std::uint32_t>(s));
+    }
+  }
+  return reps;
+}
+
+std::map<NodeId, HeaderSpace> hsa_reach(const net::Network& network,
+                                        ScenarioId scenario, NodeId from_edge) {
+  std::map<NodeId, HeaderSpace> delivered;
+  if (!network.is_edge(from_edge)) {
+    throw ModelError("hsa_reach requires an edge node");
+  }
+  // Failed edge nodes may still source packets (fail-open middleboxes keep
+  // forwarding); consistent with TransferFunction::walk.
+
+  struct Item {
+    NodeId prev;
+    NodeId at;
+    HeaderSpace space;
+    std::size_t depth;
+  };
+  std::vector<Item> work;
+  for (NodeId n : network.neighbors(from_edge)) {
+    if (network.is_failed(n, scenario)) continue;
+    if (network.kind(n) == net::NodeKind::switch_node) {
+      work.push_back(Item{from_edge, n, HeaderSpace::all(), 0});
+      break;  // edge nodes enter the fabric through their first alive switch
+    }
+    if (network.kind(n) == net::NodeKind::host) {
+      auto& hs = delivered[n];
+      hs = hs.union_with(
+          HeaderSpace::from_prefix(Prefix::host(network.node(n).address)));
+    }
+  }
+
+  const std::size_t max_depth = network.node_count() + 1;
+  while (!work.empty()) {
+    Item item = std::move(work.back());
+    work.pop_back();
+    if (item.depth > max_depth) {
+      throw ForwardingLoopError("header-space propagation exceeded diameter at " +
+                                network.name(item.at));
+    }
+    const net::ForwardingTable& table =
+        network.effective_table(item.at, scenario);
+    // Rules that can apply to packets arriving from item.prev, ranked the
+    // same way ForwardingTable::match ranks them.
+    std::vector<const net::Rule*> rules;
+    for (const net::Rule& r : table.rules()) {
+      if (r.in_from && *r.in_from != item.prev) continue;
+      rules.push_back(&r);
+    }
+    std::stable_sort(rules.begin(), rules.end(),
+                     [](const net::Rule* a, const net::Rule* b) {
+                       const auto rank = [](const net::Rule& x) {
+                         return std::tuple(x.dst.length(),
+                                           x.in_from.has_value() ? 1 : 0,
+                                           x.priority);
+                       };
+                       return rank(*a) > rank(*b);
+                     });
+    HeaderSpace remaining = item.space;
+    for (const net::Rule* r : rules) {
+      if (remaining.is_empty()) break;
+      const HeaderSpace rule_space = HeaderSpace::from_prefix(r->dst);
+      HeaderSpace taken = remaining.intersect(rule_space);
+      if (taken.is_empty()) continue;
+      remaining = remaining.difference(rule_space);
+      if (network.is_failed(r->next_hop, scenario) &&
+          !network.is_edge(r->next_hop)) {
+        continue;  // failed switch: dropped (failed edges still receive)
+      }
+      if (network.is_edge(r->next_hop)) {
+        auto& hs = delivered[r->next_hop];
+        hs = hs.union_with(taken);
+      } else {
+        work.push_back(Item{item.at, r->next_hop, std::move(taken),
+                            item.depth + 1});
+      }
+    }
+    // `remaining` is blackholed at this switch.
+  }
+  return delivered;
+}
+
+AuditReport audit(const net::Network& network, ScenarioId scenario,
+                  const std::vector<Address>& addresses) {
+  AuditReport report;
+  TransferFunction tf(network, scenario);
+  for (const auto& node : network.nodes()) {
+    if (node.kind == net::NodeKind::switch_node) continue;
+    if (network.is_failed(node.id, scenario)) continue;
+    for (Address a : addresses) {
+      if (node.kind == net::NodeKind::host && node.address == a) continue;
+      try {
+        auto path = tf.path(node.id, a);
+        if (path.size() < 2) {
+          report.blackholes.push_back(BlackholeFinding{node.id, a});
+        }
+      } catch (const ForwardingLoopError& e) {
+        report.loops.push_back(LoopFinding{node.id, a, e.what()});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace vmn::dataplane

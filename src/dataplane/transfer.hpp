@@ -1,0 +1,64 @@
+// Network transfer functions (paper, section 3.5).
+//
+// A transfer function maps a located packet - (edge node, destination
+// address) - to the next edge node the static datapath delivers it to, for a
+// given failure scenario. It is computed by walking the switch graph under
+// the scenario's effective forwarding tables, skipping failed nodes. A
+// revisited (switch, previous-hop) pair means the forwarding state loops:
+// we raise ForwardingLoopError, mirroring the paper ("VMN throws an
+// exception when a static forwarding loop is encountered").
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/address.hpp"
+#include "core/ids.hpp"
+#include "net/topology.hpp"
+
+namespace vmn::dataplane {
+
+/// The transfer function of `network` under one failure scenario.
+/// Results are memoized; the object holds a reference to the network and
+/// must not outlive it.
+class TransferFunction {
+ public:
+  TransferFunction(const net::Network& network, ScenarioId scenario);
+
+  /// Edge node that a packet injected at `from_edge` with destination
+  /// address `dst` is delivered to; nullopt if dropped (no route, failed
+  /// next hop, or failed target).
+  [[nodiscard]] std::optional<NodeId> next_edge(NodeId from_edge,
+                                                Address dst) const;
+
+  /// Full node path (switches included) of the same walk; empty when the
+  /// packet is dropped before reaching another edge node.
+  [[nodiscard]] std::vector<NodeId> path(NodeId from_edge, Address dst) const;
+
+  [[nodiscard]] ScenarioId scenario() const { return scenario_; }
+  [[nodiscard]] const net::Network& network() const { return *network_; }
+
+ private:
+  [[nodiscard]] std::vector<NodeId> walk(NodeId from_edge, Address dst) const;
+
+  const net::Network* network_;
+  ScenarioId scenario_;
+  mutable std::unordered_map<std::uint64_t, std::optional<NodeId>> cache_;
+};
+
+/// The chain of *edge* nodes a packet visits from `src_host` toward `dst`,
+/// treating middleboxes as transparent (each re-emits the packet unchanged
+/// toward the same destination). The chain ends at the edge node owning
+/// `dst`, or earlier if the packet is dropped ('reached' tells which).
+/// Used for pipeline-invariant checking and slice closure.
+struct EdgeChain {
+  std::vector<NodeId> middleboxes;  ///< in traversal order
+  std::optional<NodeId> final_edge;
+  bool reached = false;  ///< true iff final_edge owns dst
+};
+
+[[nodiscard]] EdgeChain edge_chain(const TransferFunction& tf, NodeId src_edge,
+                                   Address dst);
+
+}  // namespace vmn::dataplane

@@ -1,0 +1,70 @@
+#include "encode/invariant.hpp"
+
+#include <functional>
+
+namespace vmn::encode {
+
+std::string to_string(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::node_isolation:
+      return "node-isolation";
+    case InvariantKind::flow_isolation:
+      return "flow-isolation";
+    case InvariantKind::data_isolation:
+      return "data-isolation";
+    case InvariantKind::no_malicious_delivery:
+      return "no-malicious-delivery";
+    case InvariantKind::traversal:
+      return "traversal";
+    case InvariantKind::reachable:
+      return "reachable";
+  }
+  return "?";
+}
+
+Invariant Invariant::node_isolation(NodeId d, NodeId s) {
+  return Invariant{InvariantKind::node_isolation, d, s, {}};
+}
+
+Invariant Invariant::flow_isolation(NodeId d, NodeId s) {
+  return Invariant{InvariantKind::flow_isolation, d, s, {}};
+}
+
+Invariant Invariant::data_isolation(NodeId d, NodeId origin_server) {
+  return Invariant{InvariantKind::data_isolation, d, origin_server, {}};
+}
+
+Invariant Invariant::no_malicious_delivery(NodeId d) {
+  return Invariant{InvariantKind::no_malicious_delivery, d, NodeId{}, {}};
+}
+
+Invariant Invariant::traversal(NodeId d, std::string type_prefix) {
+  return Invariant{InvariantKind::traversal, d, NodeId{},
+                   std::move(type_prefix)};
+}
+
+Invariant Invariant::traversal_from(NodeId d, NodeId s,
+                                    std::string type_prefix) {
+  return Invariant{InvariantKind::traversal, d, s, std::move(type_prefix)};
+}
+
+Invariant Invariant::reachable(NodeId d, NodeId s) {
+  return Invariant{InvariantKind::reachable, d, s, {}};
+}
+
+std::vector<NodeId> Invariant::referenced_hosts() const {
+  std::vector<NodeId> out;
+  if (target.valid()) out.push_back(target);
+  if (other.valid()) out.push_back(other);
+  return out;
+}
+
+std::string Invariant::describe(
+    const std::function<std::string(NodeId)>& node_name) const {
+  std::string s = to_string(kind) + "(" + node_name(target);
+  if (other.valid()) s += ", " + node_name(other);
+  if (!type_prefix.empty()) s += ", via=" + type_prefix;
+  return s + ")";
+}
+
+}  // namespace vmn::encode

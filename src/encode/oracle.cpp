@@ -1,0 +1,45 @@
+#include "encode/oracle.hpp"
+
+namespace vmn::encode {
+
+namespace l = vmn::logic;
+
+void add_exclusive_classes(Encoding& encoding,
+                           const std::vector<std::string>& class_names) {
+  l::TermFactory& f = encoding.factory();
+  const l::Vocab& v = encoding.vocab();
+  std::vector<l::FuncDeclPtr> decls;
+  decls.reserve(class_names.size());
+  for (const std::string& name : class_names) {
+    decls.push_back(
+        f.func(name + "?", {v.packet_sort()}, l::Sort::boolean()));
+  }
+  // Note: this relies on Encoding::axioms() being mutable through the
+  // encoding object; constraints are ordinary axioms.
+  for (std::size_t i = 0; i < decls.size(); ++i) {
+    for (std::size_t j = i + 1; j < decls.size(); ++j) {
+      l::TermPtr p = f.fresh_var("p", v.packet_sort());
+      l::TermPtr axiom = f.forall(
+          {p}, f.not_(f.and_(f.app(decls[i], {p}), f.app(decls[j], {p}))));
+      encoding.add_constraint(axiom, "oracle.exclusive." + class_names[i] +
+                                         "-" + class_names[j]);
+    }
+  }
+}
+
+void add_flow_consistent_malice(Encoding& encoding) {
+  l::TermFactory& f = encoding.factory();
+  const l::Vocab& v = encoding.vocab();
+  l::TermPtr p = f.fresh_var("p", v.packet_sort());
+  l::TermPtr q = f.fresh_var("q", v.packet_sort());
+  l::TermPtr same_tuple =
+      f.and_({f.eq(v.src_of(p), v.src_of(q)), f.eq(v.dst_of(p), v.dst_of(q)),
+              f.eq(v.src_port_of(p), v.src_port_of(q)),
+              f.eq(v.dst_port_of(p), v.dst_port_of(q))});
+  encoding.add_constraint(
+      f.forall({p, q}, f.implies(same_tuple, f.iff(v.malicious_of(p),
+                                                   v.malicious_of(q)))),
+      "oracle.flow-consistent-malice");
+}
+
+}  // namespace vmn::encode

@@ -1,0 +1,29 @@
+// Classification-oracle constraints (paper, sections 2.2 and 3.6).
+//
+// Abstract packet classes are uninterpreted functions the solver may choose
+// freely. Models can be sharpened by constraining the oracle - e.g. marking
+// boolean application classes as mutually exclusive, which removes the
+// false positives discussed in section 3.6 ("this can be solved by
+// augmenting VMN's models with logical constraints encoding these
+// assumptions").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "encode/encoder.hpp"
+
+namespace vmn::encode {
+
+/// Adds pairwise mutual-exclusion axioms for the named boolean packet-class
+/// oracles (functions Packet -> Bool named "<name>?"): no packet belongs to
+/// two of them at once.
+void add_exclusive_classes(Encoding& encoding,
+                           const std::vector<std::string>& class_names);
+
+/// Constrains the malicious? oracle to be consistent per flow: packets with
+/// identical 5-tuples receive the same verdict. (An input-constraint example:
+/// classification depends on the flow, not the individual packet.)
+void add_flow_consistent_malice(Encoding& encoding);
+
+}  // namespace vmn::encode

@@ -1,0 +1,86 @@
+// Text format for network specifications.
+//
+// Lets operators describe a topology, middlebox configurations, forwarding
+// state, failure scenarios and invariants in a plain file and verify it with
+// the CLI (tools/vmn_cli.cpp) - no C++ required. Grammar (line-oriented,
+// '#' starts a comment):
+//
+//   host <name> <address>
+//   switch <name>
+//   link <name> <name>
+//
+//   firewall <name> default <allow|deny>        # ordered entries until 'end'
+//     <allow|deny> <prefix> -> <prefix>
+//   end
+//   nat <name> <external-address> <internal-prefix>
+//   load-balancer <name> <vip> <backend>...
+//   cache <name>                                # entries until 'end'
+//     <allow|deny> <client-prefix> <origin-address>
+//   end
+//   idps <name> [monitor]
+//   scrubber <name>
+//   gateway <name> [fail-open]
+//   app-firewall <name> <blocked-class>...
+//   wan-optimizer <name>
+//
+//   route <switch> [from <node>] <prefix> <next-hop> [priority <n>]
+//   scenario <name> [fail <node>...]            # route overrides until 'end'
+//     route <switch> [from <node>] <prefix> <next-hop> [priority <n>]
+//   end
+//
+//   policy <host> <class-id>
+//   invariant <kind> <args...> [expect <holds|violated>]
+//     kinds: node-isolation <d> <s> | flow-isolation <d> <s>
+//          | data-isolation <d> <s> | no-malicious <d>
+//          | traversal <d> <type-prefix> | traversal-from <d> <s> <prefix>
+//          | reachable <d> <s>
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "encode/invariant.hpp"
+#include "encode/model.hpp"
+#include "verify/verifier.hpp"
+
+namespace vmn::io {
+
+/// A parsed specification: the model plus the declared invariants.
+struct Spec {
+  encode::NetworkModel model;
+  std::vector<encode::Invariant> invariants;
+  /// Expected outcome per invariant, when the file declares one.
+  std::vector<std::optional<verify::Outcome>> expectations;
+};
+
+/// Raised with a line number and message on malformed input.
+class ParseError : public Error {
+ public:
+  ParseError(int line, const std::string& message)
+      : Error("line " + std::to_string(line) + ": " + message), line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses a specification from a stream.
+[[nodiscard]] Spec parse_spec(std::istream& in);
+/// Parses a specification from a string (convenience for tests).
+[[nodiscard]] Spec parse_spec_string(const std::string& text);
+/// Loads a specification from a file; throws Error if unreadable.
+[[nodiscard]] Spec load_spec(const std::string& path);
+
+/// Serializes a model (and optional invariants) back into the text format.
+/// parse(write(spec)) reproduces the network structure and configurations.
+void write_spec(std::ostream& out, const Spec& spec);
+[[nodiscard]] std::string write_spec_string(const Spec& spec);
+
+/// Parses "a.b.c.d" into an address; throws ParseError on bad syntax.
+[[nodiscard]] Address parse_address(const std::string& text, int line = 0);
+/// Parses "a.b.c.d/len" (or a bare address as /32).
+[[nodiscard]] Prefix parse_prefix(const std::string& text, int line = 0);
+
+}  // namespace vmn::io

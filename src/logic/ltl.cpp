@@ -1,0 +1,150 @@
+#include "logic/ltl.hpp"
+
+#include "core/error.hpp"
+
+namespace vmn::logic::ltl {
+
+namespace {
+
+FormulaPtr make(FormulaKind kind, std::vector<TermPtr> args, TermPtr predicate,
+                std::vector<FormulaPtr> children, std::vector<TermPtr> binders) {
+  auto f = std::make_shared<Formula>();
+  f->kind = kind;
+  f->args = std::move(args);
+  f->predicate = std::move(predicate);
+  f->children = std::move(children);
+  f->binders = std::move(binders);
+  return f;
+}
+
+}  // namespace
+
+FormulaPtr snd(TermPtr from, TermPtr to, TermPtr p) {
+  return make(FormulaKind::atom_snd, {std::move(from), std::move(to), std::move(p)},
+              nullptr, {}, {});
+}
+
+FormulaPtr rcv(TermPtr from, TermPtr to, TermPtr p) {
+  return make(FormulaKind::atom_rcv, {std::move(from), std::move(to), std::move(p)},
+              nullptr, {}, {});
+}
+
+FormulaPtr fail(TermPtr node) {
+  return make(FormulaKind::atom_fail, {std::move(node)}, nullptr, {}, {});
+}
+
+FormulaPtr pred(TermPtr boolean_term) {
+  if (!boolean_term->is_bool()) {
+    throw ModelError("ltl::pred requires a Bool term");
+  }
+  return make(FormulaKind::pred, {}, std::move(boolean_term), {}, {});
+}
+
+FormulaPtr not_f(FormulaPtr f) {
+  return make(FormulaKind::not_f, {}, nullptr, {std::move(f)}, {});
+}
+
+FormulaPtr and_f(std::vector<FormulaPtr> fs) {
+  return make(FormulaKind::and_f, {}, nullptr, std::move(fs), {});
+}
+
+FormulaPtr and_f(FormulaPtr a, FormulaPtr b) {
+  return and_f(std::vector<FormulaPtr>{std::move(a), std::move(b)});
+}
+
+FormulaPtr or_f(std::vector<FormulaPtr> fs) {
+  return make(FormulaKind::or_f, {}, nullptr, std::move(fs), {});
+}
+
+FormulaPtr or_f(FormulaPtr a, FormulaPtr b) {
+  return or_f(std::vector<FormulaPtr>{std::move(a), std::move(b)});
+}
+
+FormulaPtr implies_f(FormulaPtr a, FormulaPtr b) {
+  return make(FormulaKind::implies_f, {}, nullptr,
+              {std::move(a), std::move(b)}, {});
+}
+
+FormulaPtr once(FormulaPtr f) {
+  return make(FormulaKind::once, {}, nullptr, {std::move(f)}, {});
+}
+
+FormulaPtr once_since_up(FormulaPtr f, TermPtr node) {
+  return make(FormulaKind::once_since_up, {std::move(node)}, nullptr,
+              {std::move(f)}, {});
+}
+
+FormulaPtr exists(std::vector<TermPtr> vars, FormulaPtr f) {
+  return make(FormulaKind::exists_f, {}, nullptr, {std::move(f)},
+              std::move(vars));
+}
+
+FormulaPtr forall(std::vector<TermPtr> vars, FormulaPtr f) {
+  return make(FormulaKind::forall_f, {}, nullptr, {std::move(f)},
+              std::move(vars));
+}
+
+TermPtr lower_at(const Vocab& vocab, const FormulaPtr& f, const TermPtr& now) {
+  TermFactory& tf = vocab.factory();
+  switch (f->kind) {
+    case FormulaKind::atom_snd:
+      return tf.app(vocab.snd(), {f->args[0], f->args[1], f->args[2], now});
+    case FormulaKind::atom_rcv:
+      return tf.app(vocab.rcv(), {f->args[0], f->args[1], f->args[2], now});
+    case FormulaKind::atom_fail:
+      return tf.app(vocab.fail(), {f->args[0], now});
+    case FormulaKind::pred:
+      return f->predicate;
+    case FormulaKind::not_f:
+      return tf.not_(lower_at(vocab, f->children[0], now));
+    case FormulaKind::and_f: {
+      std::vector<TermPtr> parts;
+      parts.reserve(f->children.size());
+      for (const auto& c : f->children) parts.push_back(lower_at(vocab, c, now));
+      return tf.and_(std::move(parts));
+    }
+    case FormulaKind::or_f: {
+      std::vector<TermPtr> parts;
+      parts.reserve(f->children.size());
+      for (const auto& c : f->children) parts.push_back(lower_at(vocab, c, now));
+      return tf.or_(std::move(parts));
+    }
+    case FormulaKind::implies_f:
+      return tf.implies(lower_at(vocab, f->children[0], now),
+                        lower_at(vocab, f->children[1], now));
+    case FormulaKind::once: {
+      TermPtr t1 = tf.fresh_var("t", Sort::integer());
+      TermPtr body = tf.and_({tf.le(tf.int_val(0), t1), tf.lt(t1, now),
+                              lower_at(vocab, f->children[0], t1)});
+      return tf.exists({t1}, body);
+    }
+    case FormulaKind::once_since_up: {
+      // exists t1 < now: f@t1  and  not exists u in (t1, now]: fail(node, u)
+      TermPtr t1 = tf.fresh_var("t", Sort::integer());
+      TermPtr u = tf.fresh_var("u", Sort::integer());
+      TermPtr failed_between =
+          tf.exists({u}, tf.and_({tf.lt(t1, u), tf.le(u, now),
+                                  vocab.fail_at(f->args[0], u)}));
+      TermPtr body =
+          tf.and_({tf.le(tf.int_val(0), t1), tf.lt(t1, now),
+                   lower_at(vocab, f->children[0], t1), tf.not_(failed_between)});
+      return tf.exists({t1}, body);
+    }
+    case FormulaKind::exists_f:
+      return tf.exists(f->binders, lower_at(vocab, f->children[0], now));
+    case FormulaKind::forall_f:
+      return tf.forall(f->binders, lower_at(vocab, f->children[0], now));
+  }
+  throw ModelError("ltl: unknown formula kind");
+}
+
+TermPtr always(const Vocab& vocab, std::vector<TermPtr> vars,
+               const FormulaPtr& f) {
+  TermFactory& tf = vocab.factory();
+  TermPtr t = tf.fresh_var("t", Sort::integer());
+  TermPtr body = tf.implies(tf.le(tf.int_val(0), t), lower_at(vocab, f, t));
+  vars.push_back(t);
+  return tf.forall(std::move(vars), body);
+}
+
+}  // namespace vmn::logic::ltl

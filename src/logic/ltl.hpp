@@ -1,0 +1,83 @@
+// Past-time linear temporal logic of network events (paper, section 3.2).
+//
+// Middlebox models and invariants are written in this restricted LTL; the
+// encoder lowers every formula to first-order logic by explicitly
+// quantifying over integer time, exactly as the paper describes ("VMN
+// automatically converts LTL formulas into first-order logic by explicitly
+// quantifying over time").
+//
+// Supported connectives: event atoms snd/rcv/fail, time-independent
+// predicates, boolean connectives, the past operator `once` (the paper's
+// lozenge), a fused `once_since_up` operator ("once in the past, with no
+// failure of a given node since then" - used for mutable state that resets
+// when a middlebox fails), and first-order quantifiers over packets/nodes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "logic/builder.hpp"
+#include "logic/term.hpp"
+
+namespace vmn::logic::ltl {
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+enum class FormulaKind : std::uint8_t {
+  atom_snd,       ///< snd(from, to, p) holds now
+  atom_rcv,       ///< rcv(from, to, p) holds now
+  atom_fail,      ///< fail(n) - node n is down now
+  pred,           ///< a time-independent boolean term (header constraints)
+  not_f,
+  and_f,
+  or_f,
+  implies_f,
+  once,           ///< held at some strictly earlier time
+  once_since_up,  ///< held earlier, and args[0] has not failed since then
+  exists_f,       ///< first-order exists over non-time variables
+  forall_f,       ///< first-order forall over non-time variables
+};
+
+/// Immutable formula node; build with the free functions below.
+class Formula {
+ public:
+  FormulaKind kind;
+  std::vector<TermPtr> args;          ///< atom arguments / guarded node
+  TermPtr predicate;                  ///< for FormulaKind::pred
+  std::vector<FormulaPtr> children;
+  std::vector<TermPtr> binders;       ///< for exists_f / forall_f
+};
+
+// -- constructors -----------------------------------------------------------
+[[nodiscard]] FormulaPtr snd(TermPtr from, TermPtr to, TermPtr p);
+[[nodiscard]] FormulaPtr rcv(TermPtr from, TermPtr to, TermPtr p);
+[[nodiscard]] FormulaPtr fail(TermPtr node);
+[[nodiscard]] FormulaPtr pred(TermPtr boolean_term);
+[[nodiscard]] FormulaPtr not_f(FormulaPtr f);
+[[nodiscard]] FormulaPtr and_f(std::vector<FormulaPtr> fs);
+[[nodiscard]] FormulaPtr and_f(FormulaPtr a, FormulaPtr b);
+[[nodiscard]] FormulaPtr or_f(std::vector<FormulaPtr> fs);
+[[nodiscard]] FormulaPtr or_f(FormulaPtr a, FormulaPtr b);
+[[nodiscard]] FormulaPtr implies_f(FormulaPtr a, FormulaPtr b);
+/// The paper's lozenge: f held at some strictly earlier timestep.
+[[nodiscard]] FormulaPtr once(FormulaPtr f);
+/// f held at some strictly earlier timestep t', and `node` was up at every
+/// timestep in (t', now]; models state lost on middlebox failure
+/// ("...received by f since it last failed", paper section 3.4).
+[[nodiscard]] FormulaPtr once_since_up(FormulaPtr f, TermPtr node);
+[[nodiscard]] FormulaPtr exists(std::vector<TermPtr> vars, FormulaPtr f);
+[[nodiscard]] FormulaPtr forall(std::vector<TermPtr> vars, FormulaPtr f);
+
+// -- lowering ---------------------------------------------------------------
+
+/// Lowers `f` evaluated at time `now` into a first-order term.
+[[nodiscard]] TermPtr lower_at(const Vocab& vocab, const FormulaPtr& f,
+                               const TermPtr& now);
+
+/// Lowers a top-level safety axiom: for all `vars` and all times t >= 0,
+/// f holds at t (the paper's box operator applied to an implication).
+[[nodiscard]] TermPtr always(const Vocab& vocab, std::vector<TermPtr> vars,
+                             const FormulaPtr& f);
+
+}  // namespace vmn::logic::ltl

@@ -1,0 +1,87 @@
+#include "logic/printer.hpp"
+
+namespace vmn::logic {
+
+namespace {
+
+const char* op_name(TermKind k) {
+  switch (k) {
+    case TermKind::not_op: return "not";
+    case TermKind::and_op: return "and";
+    case TermKind::or_op: return "or";
+    case TermKind::implies_op: return "=>";
+    case TermKind::iff_op: return "=";
+    case TermKind::ite_op: return "ite";
+    case TermKind::eq_op: return "=";
+    case TermKind::distinct_op: return "distinct";
+    case TermKind::lt_op: return "<";
+    case TermKind::le_op: return "<=";
+    case TermKind::add_op: return "+";
+    case TermKind::sub_op: return "-";
+    default: return "?";
+  }
+}
+
+void print(const TermPtr& t, std::string& out) {
+  switch (t->kind()) {
+    case TermKind::bool_const:
+      out += t->bool_value() ? "true" : "false";
+      return;
+    case TermKind::int_const:
+      out += std::to_string(t->int_value());
+      return;
+    case TermKind::enum_const:
+      out += t->sort()->elements()[t->enum_index()];
+      return;
+    case TermKind::variable:
+      out += t->var_name();
+      return;
+    case TermKind::app: {
+      if (t->children().empty()) {
+        out += t->decl()->name();
+        return;
+      }
+      out += "(" + t->decl()->name();
+      for (const auto& c : t->children()) {
+        out += " ";
+        print(c, out);
+      }
+      out += ")";
+      return;
+    }
+    case TermKind::forall_op:
+    case TermKind::exists_op: {
+      out += t->kind() == TermKind::forall_op ? "(forall (" : "(exists (";
+      bool first = true;
+      for (const auto& v : t->binders()) {
+        if (!first) out += " ";
+        first = false;
+        out += "(" + v->var_name() + " " + v->sort()->name() + ")";
+      }
+      out += ") ";
+      print(t->children()[0], out);
+      out += ")";
+      return;
+    }
+    default: {
+      out += "(";
+      out += op_name(t->kind());
+      for (const auto& c : t->children()) {
+        out += " ";
+        print(c, out);
+      }
+      out += ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_sexpr(const TermPtr& term) {
+  std::string out;
+  print(term, out);
+  return out;
+}
+
+}  // namespace vmn::logic

@@ -1,0 +1,14 @@
+// SMT-LIB-flavoured s-expression printing of terms (debugging, golden tests).
+#pragma once
+
+#include <string>
+
+#include "logic/term.hpp"
+
+namespace vmn::logic {
+
+/// Renders a term as an s-expression, e.g.
+///   (forall ((p Packet) (t Int)) (=> (rcv A B p t) (exists ...)))
+[[nodiscard]] std::string to_sexpr(const TermPtr& term);
+
+}  // namespace vmn::logic

@@ -1,0 +1,29 @@
+#include "logic/sort.hpp"
+
+namespace vmn::logic {
+
+const SortPtr& Sort::boolean() {
+  static const SortPtr s{new Sort(Kind::boolean, "Bool", {})};
+  return s;
+}
+
+const SortPtr& Sort::integer() {
+  static const SortPtr s{new Sort(Kind::integer, "Int", {})};
+  return s;
+}
+
+SortPtr Sort::uninterpreted(std::string name) {
+  return SortPtr{new Sort(Kind::uninterpreted, std::move(name), {})};
+}
+
+SortPtr Sort::finite(std::string name, std::vector<std::string> elements) {
+  return SortPtr{new Sort(Kind::finite, std::move(name), std::move(elements))};
+}
+
+bool same_sort(const SortPtr& a, const SortPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  return a->kind() == b->kind() && a->name() == b->name();
+}
+
+}  // namespace vmn::logic

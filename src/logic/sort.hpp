@@ -1,0 +1,58 @@
+// Sorts (types) for the solver-independent logic IR.
+//
+// The VMN encoding uses four families of sorts (paper, section 3):
+//   - Bool / Int        : builtin
+//   - uninterpreted     : the Packet sort (packets are opaque; header fields
+//                         are uninterpreted functions over this sort)
+//   - finite enumerations: the Node sort (all nodes of the sliced network
+//                         plus the pseudo-node Omega) and failure scenarios
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vmn::logic {
+
+class Sort;
+using SortPtr = std::shared_ptr<const Sort>;
+
+/// An immutable sort descriptor. Builtin sorts are process-wide singletons;
+/// named sorts are interned per TermFactory.
+class Sort {
+ public:
+  enum class Kind { boolean, integer, uninterpreted, finite };
+
+  /// The builtin Bool sort.
+  static const SortPtr& boolean();
+  /// The builtin Int sort.
+  static const SortPtr& integer();
+  /// Creates an uninterpreted sort (e.g. "Packet").
+  static SortPtr uninterpreted(std::string name);
+  /// Creates a finite enumeration sort with named elements.
+  static SortPtr finite(std::string name, std::vector<std::string> elements);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Element names; only meaningful for finite sorts.
+  [[nodiscard]] const std::vector<std::string>& elements() const {
+    return elements_;
+  }
+  [[nodiscard]] std::size_t size() const { return elements_.size(); }
+
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::boolean; }
+  [[nodiscard]] bool is_int() const { return kind_ == Kind::integer; }
+
+ private:
+  Sort(Kind kind, std::string name, std::vector<std::string> elements)
+      : kind_(kind), name_(std::move(name)), elements_(std::move(elements)) {}
+
+  Kind kind_;
+  std::string name_;
+  std::vector<std::string> elements_;
+};
+
+/// Sorts are compared by identity for builtins and by (kind, name) otherwise.
+[[nodiscard]] bool same_sort(const SortPtr& a, const SortPtr& b);
+
+}  // namespace vmn::logic

@@ -1,0 +1,367 @@
+#include "logic/term.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace vmn::logic {
+
+namespace {
+
+void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace
+
+std::size_t TermFactory::KeyHash::operator()(const Key& k) const {
+  std::size_t h = static_cast<std::size_t>(k.kind);
+  hash_combine(h, std::hash<const void*>{}(k.sort));
+  hash_combine(h, std::hash<const void*>{}(k.decl));
+  hash_combine(h, std::hash<std::int64_t>{}(k.payload));
+  hash_combine(h, std::hash<std::string>{}(k.text));
+  for (auto id : k.child_ids) hash_combine(h, id);
+  for (auto id : k.binder_ids) hash_combine(h, id);
+  return h;
+}
+
+void TermFactory::require(bool cond, const std::string& message) {
+  if (!cond) throw ModelError("logic: " + message);
+}
+
+TermPtr TermFactory::intern(Term&& t) {
+  Key key;
+  key.kind = t.kind_;
+  key.sort = t.sort_.get();
+  key.decl = t.decl_.get();
+  key.payload = t.payload_;
+  key.text = t.text_;
+  key.child_ids.reserve(t.children_.size());
+  for (const auto& c : t.children_) key.child_ids.push_back(c->id());
+  for (const auto& b : t.binders_) key.binder_ids.push_back(b->id());
+
+  auto it = interned_.find(key);
+  if (it != interned_.end()) return it->second;
+
+  t.id_ = next_id_++;
+  auto ptr = std::make_shared<Term>(std::move(t));
+  interned_.emplace(std::move(key), ptr);
+  return ptr;
+}
+
+SortPtr TermFactory::uninterpreted_sort(const std::string& name) {
+  auto it = sorts_.find(name);
+  if (it != sorts_.end()) {
+    require(it->second->kind() == Sort::Kind::uninterpreted,
+            "sort re-declared with different kind: " + name);
+    return it->second;
+  }
+  auto s = Sort::uninterpreted(name);
+  sorts_.emplace(name, s);
+  return s;
+}
+
+SortPtr TermFactory::finite_sort(const std::string& name,
+                                 std::vector<std::string> elements) {
+  auto it = sorts_.find(name);
+  if (it != sorts_.end()) {
+    require(it->second->kind() == Sort::Kind::finite &&
+                it->second->elements() == elements,
+            "finite sort re-declared with different elements: " + name);
+    return it->second;
+  }
+  auto s = Sort::finite(name, std::move(elements));
+  sorts_.emplace(name, s);
+  return s;
+}
+
+FuncDeclPtr TermFactory::func(const std::string& name,
+                              std::vector<SortPtr> domain, SortPtr range) {
+  auto it = funcs_.find(name);
+  if (it != funcs_.end()) {
+    const FuncDecl& f = *it->second;
+    bool same = same_sort(f.range(), range) && f.arity() == domain.size();
+    for (std::size_t i = 0; same && i < domain.size(); ++i) {
+      same = same_sort(f.domain()[i], domain[i]);
+    }
+    require(same, "function re-declared with different signature: " + name);
+    return it->second;
+  }
+  auto f = std::make_shared<FuncDecl>(name, std::move(domain), std::move(range));
+  funcs_.emplace(name, f);
+  return f;
+}
+
+TermPtr TermFactory::bool_val(bool v) {
+  Term t;
+  t.kind_ = TermKind::bool_const;
+  t.sort_ = Sort::boolean();
+  t.payload_ = v ? 1 : 0;
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::int_val(std::int64_t v) {
+  Term t;
+  t.kind_ = TermKind::int_const;
+  t.sort_ = Sort::integer();
+  t.payload_ = v;
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::enum_val(const SortPtr& sort, std::size_t index) {
+  require(sort && sort->kind() == Sort::Kind::finite,
+          "enum_val requires a finite sort");
+  require(index < sort->size(), "enum index out of range for " + sort->name());
+  Term t;
+  t.kind_ = TermKind::enum_const;
+  t.sort_ = sort;
+  t.payload_ = static_cast<std::int64_t>(index);
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::enum_val(const SortPtr& sort, const std::string& element) {
+  require(sort && sort->kind() == Sort::Kind::finite,
+          "enum_val requires a finite sort");
+  const auto& elems = sort->elements();
+  auto it = std::find(elems.begin(), elems.end(), element);
+  require(it != elems.end(),
+          "no element '" + element + "' in sort " + sort->name());
+  return enum_val(sort, static_cast<std::size_t>(it - elems.begin()));
+}
+
+TermPtr TermFactory::var(const std::string& name, const SortPtr& sort) {
+  require(static_cast<bool>(sort), "variable requires a sort");
+  Term t;
+  t.kind_ = TermKind::variable;
+  t.sort_ = sort;
+  t.text_ = name;
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::fresh_var(const std::string& stem, const SortPtr& sort) {
+  return var(stem + "!" + std::to_string(fresh_counter_++), sort);
+}
+
+TermPtr TermFactory::app(const FuncDeclPtr& f, std::vector<TermPtr> args) {
+  require(static_cast<bool>(f), "app requires a declaration");
+  require(f->arity() == args.size(),
+          "arity mismatch applying " + f->name());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    require(same_sort(args[i]->sort(), f->domain()[i]),
+            "sort mismatch in argument " + std::to_string(i) + " of " +
+                f->name());
+  }
+  Term t;
+  t.kind_ = TermKind::app;
+  t.sort_ = f->range();
+  t.decl_ = f;
+  t.children_ = std::move(args);
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::not_(const TermPtr& a) {
+  require(a->is_bool(), "not requires Bool");
+  if (a->kind() == TermKind::bool_const) return bool_val(!a->bool_value());
+  if (a->kind() == TermKind::not_op) return a->children()[0];
+  Term t;
+  t.kind_ = TermKind::not_op;
+  t.sort_ = Sort::boolean();
+  t.children_ = {a};
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::and_(std::vector<TermPtr> args) {
+  std::vector<TermPtr> flat;
+  for (auto& a : args) {
+    require(a->is_bool(), "and requires Bool operands");
+    if (a->kind() == TermKind::bool_const) {
+      if (!a->bool_value()) return bool_val(false);
+      continue;
+    }
+    if (a->kind() == TermKind::and_op) {
+      flat.insert(flat.end(), a->children().begin(), a->children().end());
+    } else {
+      flat.push_back(a);
+    }
+  }
+  if (flat.empty()) return bool_val(true);
+  if (flat.size() == 1) return flat[0];
+  Term t;
+  t.kind_ = TermKind::and_op;
+  t.sort_ = Sort::boolean();
+  t.children_ = std::move(flat);
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::and_(const TermPtr& a, const TermPtr& b) {
+  return and_(std::vector<TermPtr>{a, b});
+}
+
+TermPtr TermFactory::or_(std::vector<TermPtr> args) {
+  std::vector<TermPtr> flat;
+  for (auto& a : args) {
+    require(a->is_bool(), "or requires Bool operands");
+    if (a->kind() == TermKind::bool_const) {
+      if (a->bool_value()) return bool_val(true);
+      continue;
+    }
+    if (a->kind() == TermKind::or_op) {
+      flat.insert(flat.end(), a->children().begin(), a->children().end());
+    } else {
+      flat.push_back(a);
+    }
+  }
+  if (flat.empty()) return bool_val(false);
+  if (flat.size() == 1) return flat[0];
+  Term t;
+  t.kind_ = TermKind::or_op;
+  t.sort_ = Sort::boolean();
+  t.children_ = std::move(flat);
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::or_(const TermPtr& a, const TermPtr& b) {
+  return or_(std::vector<TermPtr>{a, b});
+}
+
+TermPtr TermFactory::implies(const TermPtr& a, const TermPtr& b) {
+  require(a->is_bool() && b->is_bool(), "implies requires Bool");
+  if (a->kind() == TermKind::bool_const) {
+    return a->bool_value() ? b : bool_val(true);
+  }
+  if (b->kind() == TermKind::bool_const && b->bool_value()) {
+    return bool_val(true);
+  }
+  Term t;
+  t.kind_ = TermKind::implies_op;
+  t.sort_ = Sort::boolean();
+  t.children_ = {a, b};
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::iff(const TermPtr& a, const TermPtr& b) {
+  require(a->is_bool() && b->is_bool(), "iff requires Bool");
+  Term t;
+  t.kind_ = TermKind::iff_op;
+  t.sort_ = Sort::boolean();
+  t.children_ = {a, b};
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::ite(const TermPtr& c, const TermPtr& th, const TermPtr& el) {
+  require(c->is_bool(), "ite condition must be Bool");
+  require(same_sort(th->sort(), el->sort()), "ite branch sorts differ");
+  if (c->kind() == TermKind::bool_const) return c->bool_value() ? th : el;
+  Term t;
+  t.kind_ = TermKind::ite_op;
+  t.sort_ = th->sort();
+  t.children_ = {c, th, el};
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::eq(const TermPtr& a, const TermPtr& b) {
+  require(same_sort(a->sort(), b->sort()), "eq requires matching sorts");
+  if (a == b) return bool_val(true);
+  // Distinct constants of the same kind are never equal.
+  if (a->kind() == b->kind() &&
+      (a->kind() == TermKind::int_const || a->kind() == TermKind::enum_const ||
+       a->kind() == TermKind::bool_const)) {
+    return bool_val(a->int_value() == b->int_value());
+  }
+  Term t;
+  t.kind_ = TermKind::eq_op;
+  t.sort_ = Sort::boolean();
+  t.children_ = {a, b};
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::neq(const TermPtr& a, const TermPtr& b) {
+  return not_(eq(a, b));
+}
+
+TermPtr TermFactory::distinct(std::vector<TermPtr> args) {
+  require(args.size() >= 2, "distinct requires at least two terms");
+  for (const auto& a : args) {
+    require(same_sort(a->sort(), args[0]->sort()),
+            "distinct requires matching sorts");
+  }
+  Term t;
+  t.kind_ = TermKind::distinct_op;
+  t.sort_ = Sort::boolean();
+  t.children_ = std::move(args);
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::lt(const TermPtr& a, const TermPtr& b) {
+  require(a->sort()->is_int() && b->sort()->is_int(), "lt requires Int");
+  if (a->kind() == TermKind::int_const && b->kind() == TermKind::int_const) {
+    return bool_val(a->int_value() < b->int_value());
+  }
+  Term t;
+  t.kind_ = TermKind::lt_op;
+  t.sort_ = Sort::boolean();
+  t.children_ = {a, b};
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::le(const TermPtr& a, const TermPtr& b) {
+  require(a->sort()->is_int() && b->sort()->is_int(), "le requires Int");
+  if (a->kind() == TermKind::int_const && b->kind() == TermKind::int_const) {
+    return bool_val(a->int_value() <= b->int_value());
+  }
+  Term t;
+  t.kind_ = TermKind::le_op;
+  t.sort_ = Sort::boolean();
+  t.children_ = {a, b};
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::add(const TermPtr& a, const TermPtr& b) {
+  require(a->sort()->is_int() && b->sort()->is_int(), "add requires Int");
+  Term t;
+  t.kind_ = TermKind::add_op;
+  t.sort_ = Sort::integer();
+  t.children_ = {a, b};
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::sub(const TermPtr& a, const TermPtr& b) {
+  require(a->sort()->is_int() && b->sort()->is_int(), "sub requires Int");
+  Term t;
+  t.kind_ = TermKind::sub_op;
+  t.sort_ = Sort::integer();
+  t.children_ = {a, b};
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::forall(std::vector<TermPtr> vars, const TermPtr& body) {
+  require(body->is_bool(), "forall body must be Bool");
+  for (const auto& v : vars) {
+    require(v->kind() == TermKind::variable, "forall binder must be a variable");
+  }
+  if (vars.empty()) return body;
+  if (body->kind() == TermKind::bool_const) return body;
+  Term t;
+  t.kind_ = TermKind::forall_op;
+  t.sort_ = Sort::boolean();
+  t.binders_ = std::move(vars);
+  t.children_ = {body};
+  return intern(std::move(t));
+}
+
+TermPtr TermFactory::exists(std::vector<TermPtr> vars, const TermPtr& body) {
+  require(body->is_bool(), "exists body must be Bool");
+  for (const auto& v : vars) {
+    require(v->kind() == TermKind::variable, "exists binder must be a variable");
+  }
+  if (vars.empty()) return body;
+  if (body->kind() == TermKind::bool_const) return body;
+  Term t;
+  t.kind_ = TermKind::exists_op;
+  t.sort_ = Sort::boolean();
+  t.binders_ = std::move(vars);
+  t.children_ = {body};
+  return intern(std::move(t));
+}
+
+}  // namespace vmn::logic

@@ -1,0 +1,48 @@
+#include "mbox/app_firewall.hpp"
+
+#include <algorithm>
+
+namespace vmn::mbox {
+
+namespace l = vmn::logic;
+namespace ltl = vmn::logic::ltl;
+
+void AppFirewall::emit_axioms(AxiomContext& ctx) const {
+  const l::Vocab& v = ctx.vocab();
+  l::TermFactory& f = ctx.factory();
+
+  emit_send_axiom(ctx, [&](const l::TermPtr& p) -> ltl::FormulaPtr {
+    std::vector<l::TermPtr> not_blocked;
+    if (exclusive_) {
+      // Exclusive encoding: app-class(p) is a single integer; a packet
+      // cannot be two applications at once.
+      for (std::uint16_t c : blocked_) {
+        not_blocked.push_back(
+            f.neq(v.app_class_of(p), f.int_val(static_cast<std::int64_t>(c))));
+      }
+    } else {
+      // Section 3.6 encoding: one unconstrained boolean oracle per class.
+      // Without mutual-exclusion constraints the solver may classify one
+      // packet as several applications simultaneously (a modeled source of
+      // false positives).
+      for (std::uint16_t c : blocked_) {
+        l::FuncDeclPtr is_class =
+            f.func("class-" + std::to_string(c) + "?", {v.packet_sort()},
+                   l::Sort::boolean());
+        not_blocked.push_back(f.not_(f.app(is_class, {p})));
+      }
+    }
+    return ltl::and_f(received_before(ctx, p),
+                      ltl::pred(f.and_(std::move(not_blocked))));
+  });
+}
+
+std::vector<Packet> AppFirewall::sim_process(const Packet& p) {
+  if (std::find(blocked_.begin(), blocked_.end(), p.app_class) !=
+      blocked_.end()) {
+    return {};
+  }
+  return {p};
+}
+
+}  // namespace vmn::mbox

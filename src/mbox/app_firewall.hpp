@@ -1,0 +1,50 @@
+// Application-level firewall (paper, sections 2.2 and 3.4).
+//
+// The firewall blocks configured application classes (e.g. "drop all Skype
+// traffic"). Application membership is decided by the classification oracle
+// through the app-class(p) abstraction - "an operator may wish to drop all
+// Skype traffic, but does not know (or care) about the precise mechanisms an
+// application-level firewall uses to identify such traffic".
+//
+// Encoding application classes as a single integer-valued function bakes in
+// the output constraint that a packet belongs to at most one application
+// class. Constructing the instance with `exclusive_classes = false` instead
+// uses one boolean oracle function per class with no mutual-exclusion
+// constraint, which reproduces the false-positive example of section 3.6
+// (a packet may then be classified as both Skype and Jabber).
+#pragma once
+
+#include "mbox/middlebox.hpp"
+
+namespace vmn::mbox {
+
+class AppFirewall final : public Middlebox {
+ public:
+  AppFirewall(std::string name, std::vector<std::uint16_t> blocked_classes,
+              bool exclusive_classes = true)
+      : Middlebox(std::move(name)),
+        blocked_(std::move(blocked_classes)),
+        exclusive_(exclusive_classes) {}
+
+  [[nodiscard]] std::string type() const override { return "app-firewall"; }
+  [[nodiscard]] StateScope state_scope() const override {
+    // Correct classification requires seeing the whole flow (an input
+    // constraint in the paper's terms); state is still per-flow.
+    return StateScope::flow_parallel;
+  }
+
+  void emit_axioms(AxiomContext& ctx) const override;
+
+  [[nodiscard]] const std::vector<std::uint16_t>& blocked_classes() const {
+    return blocked_;
+  }
+
+  void sim_reset() override {}
+  [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override;
+
+ private:
+  std::vector<std::uint16_t> blocked_;
+  bool exclusive_;
+};
+
+}  // namespace vmn::mbox

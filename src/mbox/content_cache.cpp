@@ -1,0 +1,108 @@
+#include "mbox/content_cache.hpp"
+
+#include "core/error.hpp"
+
+namespace vmn::mbox {
+
+namespace l = vmn::logic;
+namespace ltl = vmn::logic::ltl;
+
+bool ContentCache::allows(Address client, Address origin) const {
+  for (const CacheAclEntry& e : acl_) {
+    if (e.client.contains(client) && e.origin == origin) return !e.deny;
+  }
+  return true;  // caches default-allow; isolation comes from deny entries
+}
+
+void ContentCache::remove_entry(std::size_t index) {
+  if (index >= acl_.size()) throw ModelError("cache: no such ACL entry");
+  acl_.erase(acl_.begin() + static_cast<long>(index));
+}
+
+std::string ContentCache::policy_fingerprint(Address a) const {
+  // Content-based, mirroring LearningFirewall::policy_fingerprint.
+  std::string fp;
+  for (const CacheAclEntry& e : acl_) {
+    const char action = e.deny ? '-' : '+';
+    if (e.client.contains(a)) {
+      fp += "c" + std::string(1, action) +
+            std::to_string(e.client.length()) + ">" + e.origin.to_string() +
+            ";";
+    }
+    if (e.origin == a) {
+      fp += "o" + std::string(1, action) + "<" + e.client.to_string() + ";";
+    }
+  }
+  return fp;
+}
+
+void ContentCache::emit_axioms(AxiomContext& ctx) const {
+  const l::Vocab& v = ctx.vocab();
+  l::TermFactory& f = ctx.factory();
+
+  emit_send_axiom(ctx, [&](const l::TermPtr& q) -> ltl::FormulaPtr {
+    // Case 1 - pass-through (miss path, both directions).
+    ltl::FormulaPtr passthrough = received_before(ctx, q);
+
+    // Case 2 - cache hit: serve content with origin o to a past requester.
+    //   - some packet carrying origin(q) was received since last up
+    //     (origin-agnostic shared state),
+    //   - the destination previously sent a request through this cache,
+    //   - the ACL admits (dst(q), origin(q)),
+    //   - the response is well-formed: src(q) = origin(q).
+    l::TermPtr c = ctx.fresh_packet("content");
+    l::TermPtr cn = ctx.fresh_node("contentn");
+    ltl::FormulaPtr cached = ltl::once_since_up(
+        ltl::exists({cn, c},
+                    ltl::and_f(ltl::rcv(cn, ctx.self(), c),
+                               ltl::pred(f.eq(v.origin_of(c), v.origin_of(q))))),
+        ctx.self());
+
+    l::TermPtr req = ctx.fresh_packet("request");
+    l::TermPtr reqn = ctx.fresh_node("requestn");
+    ltl::FormulaPtr requested = ltl::once(ltl::exists(
+        {reqn, req},
+        ltl::and_f(ltl::rcv(reqn, ctx.self(), req),
+                   ltl::pred(f.eq(v.src_of(req), v.dst_of(q))))));
+
+    std::vector<l::TermPtr> acl_cases;
+    for (Address client : ctx.relevant_addresses()) {
+      for (Address origin : ctx.relevant_addresses()) {
+        if (allows(client, origin)) {
+          acl_cases.push_back(f.and_(f.eq(v.dst_of(q), ctx.addr(client)),
+                                     f.eq(v.origin_of(q), ctx.addr(origin))));
+        }
+      }
+    }
+    l::TermPtr acl_ok = f.or_(std::move(acl_cases));
+    l::TermPtr well_formed = f.eq(v.src_of(q), v.origin_of(q));
+
+    ltl::FormulaPtr hit = ltl::and_f(
+        {cached, requested, ltl::pred(f.and_(acl_ok, well_formed))});
+
+    return ltl::or_f(passthrough, hit);
+  });
+}
+
+std::vector<Packet> ContentCache::sim_process(const Packet& p) {
+  std::vector<Packet> out;
+  // Cache content seen in transit.
+  if (p.origin) cached_.insert(*p.origin);
+  requesters_.insert(p.src);
+  // Serve from cache when possible and admitted.
+  if (!p.origin && cached_.contains(p.dst) && allows(p.src, p.dst)) {
+    Packet resp;
+    resp.src = p.dst;
+    resp.dst = p.src;
+    resp.src_port = p.dst_port;
+    resp.dst_port = p.src_port;
+    resp.origin = p.dst;
+    out.push_back(resp);
+    return out;
+  }
+  // Miss (or non-request traffic): pass through.
+  out.push_back(p);
+  return out;
+}
+
+}  // namespace vmn::mbox

@@ -1,0 +1,69 @@
+// Content cache (paper, sections 4.1 and 5.2).
+//
+// The cache is the canonical *origin-agnostic* middlebox: "the behavior of
+// content-caches often does not depend on the connection that led to content
+// being cached". Data provenance is tracked with the origin(p) abstraction
+// (e.g. derived from x-http-forwarded-for, section 3.3): content fetched for
+// one client is subsequently served to *any* client the ACL admits - so a
+// missing ACL entry lets host A read data that only host B was ever allowed
+// to fetch. This is exactly the data-isolation violation of section 5.2.
+//
+// Model:
+//   - pass-through: previously received packets may be forwarded unchanged
+//     (requests travel to the origin server; responses travel back and are
+//     cached on the way);
+//   - cache hit: a response carrying origin o may be synthesized for any
+//     past requester, provided some packet with origin o was received since
+//     the cache was last up (shared across flows - origin-agnostic) and the
+//     ACL admits (client, o).
+#pragma once
+
+#include <set>
+
+#include "mbox/middlebox.hpp"
+
+namespace vmn::mbox {
+
+/// One ordered cache ACL entry ("a common feature supported by most open
+/// source and commercial caches", section 5.2): whether clients in `client`
+/// may receive cached content whose origin is `origin`. First match decides;
+/// caches default-allow, so isolation is enforced by deny entries - which is
+/// why *deleting* ACL entries (section 5.2's misconfiguration) opens private
+/// data to other policy groups.
+struct CacheAclEntry {
+  Prefix client;
+  Address origin;
+  bool deny = true;
+};
+
+class ContentCache final : public Middlebox {
+ public:
+  ContentCache(std::string name, std::vector<CacheAclEntry> acl)
+      : Middlebox(std::move(name)), acl_(std::move(acl)) {}
+
+  [[nodiscard]] std::string type() const override { return "cache"; }
+  [[nodiscard]] StateScope state_scope() const override {
+    return StateScope::origin_agnostic;
+  }
+
+  void emit_axioms(AxiomContext& ctx) const override;
+
+  [[nodiscard]] bool allows(Address client, Address origin) const;
+  [[nodiscard]] const std::vector<CacheAclEntry>& acl() const { return acl_; }
+  void remove_entry(std::size_t index);
+
+  [[nodiscard]] std::string policy_fingerprint(Address a) const override;
+
+  void sim_reset() override {
+    cached_.clear();
+    requesters_.clear();
+  }
+  [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override;
+
+ private:
+  std::vector<CacheAclEntry> acl_;
+  std::set<Address> cached_;      ///< origins with cached content
+  std::set<Address> requesters_;  ///< clients seen requesting
+};
+
+}  // namespace vmn::mbox

@@ -1,0 +1,111 @@
+#include "mbox/firewall.hpp"
+
+#include "core/error.hpp"
+
+namespace vmn::mbox {
+
+namespace l = vmn::logic;
+namespace ltl = vmn::logic::ltl;
+
+bool LearningFirewall::allows(Address src, Address dst) const {
+  for (const AclEntry& e : acl_) {
+    if (e.src.contains(src) && e.dst.contains(dst)) {
+      return e.action == AclAction::allow;
+    }
+  }
+  return default_action_ == AclAction::allow;
+}
+
+void LearningFirewall::remove_entry(std::size_t index) {
+  if (index >= acl_.size()) throw ModelError("firewall: no such ACL entry");
+  acl_.erase(acl_.begin() + static_cast<long>(index));
+}
+
+std::string LearningFirewall::policy_fingerprint(Address a) const {
+  // Content-based (not entry-index-based): two hosts whose matching entries
+  // have the same shape - role, action, the peer side's prefix, and the
+  // length of the prefix that matched them - are treated identically by
+  // this configuration. This is what merges, say, all public subnets of an
+  // enterprise into one policy class while separating datacenter groups
+  // whose deny entries name different peers.
+  std::string fp;
+  for (const AclEntry& e : acl_) {
+    const char action = e.action == AclAction::allow ? '+' : '-';
+    if (e.src.contains(a)) {
+      fp += "s" + std::string(1, action) + std::to_string(e.src.length()) +
+            ">" + e.dst.to_string() + ";";
+    }
+    if (e.dst.contains(a)) {
+      fp += "d" + std::string(1, action) + std::to_string(e.dst.length()) +
+            "<" + e.src.to_string() + ";";
+    }
+  }
+  fp += default_action_ == AclAction::allow ? "*+" : "*-";
+  return fp;
+}
+
+l::TermPtr LearningFirewall::acl_term(AxiomContext& ctx, const l::TermPtr& src,
+                                      const l::TermPtr& dst) const {
+  l::TermFactory& f = ctx.factory();
+  std::vector<l::TermPtr> cases;
+  // Project the (prefix-based) configuration onto the relevant address set:
+  // inside a slice only slice addresses can appear as packet endpoints.
+  for (Address a : ctx.relevant_addresses()) {
+    for (Address b : ctx.relevant_addresses()) {
+      if (allows(a, b)) {
+        cases.push_back(
+            f.and_(f.eq(src, ctx.addr(a)), f.eq(dst, ctx.addr(b))));
+      }
+    }
+  }
+  return f.or_(std::move(cases));
+}
+
+void LearningFirewall::emit_axioms(AxiomContext& ctx) const {
+  const l::Vocab& v = ctx.vocab();
+  emit_send_axiom(ctx, [&](const l::TermPtr& p) -> ltl::FormulaPtr {
+    // forward(p) requires: p was received, and (acl admits p's endpoints, or
+    // p's flow was established by an admitted packet seen since the last
+    // failure). `established` membership is expressed over past rcv events:
+    // some packet p2 of the same (direction-agnostic) flow was received and
+    // admitted by the ACL.
+    l::TermFactory& f = ctx.factory();
+    ltl::FormulaPtr received = received_before(ctx, p);
+    l::TermPtr acl_now = acl_term(ctx, v.src_of(p), v.dst_of(p));
+
+    l::TermPtr p2 = ctx.fresh_packet("estab");
+    l::TermPtr n2 = ctx.fresh_node("estab_src");
+    // Same flow: equal 5-tuple, or exactly reversed.
+    l::TermPtr same_dir = f.and_(
+        {f.eq(v.src_of(p2), v.src_of(p)), f.eq(v.dst_of(p2), v.dst_of(p)),
+         f.eq(v.src_port_of(p2), v.src_port_of(p)),
+         f.eq(v.dst_port_of(p2), v.dst_port_of(p))});
+    l::TermPtr rev_dir = f.and_(
+        {f.eq(v.src_of(p2), v.dst_of(p)), f.eq(v.dst_of(p2), v.src_of(p)),
+         f.eq(v.src_port_of(p2), v.dst_port_of(p)),
+         f.eq(v.dst_port_of(p2), v.src_port_of(p))});
+    l::TermPtr admitted2 = acl_term(ctx, v.src_of(p2), v.dst_of(p2));
+    ltl::FormulaPtr establishing_rcv = ltl::exists(
+        {n2, p2},
+        ltl::and_f(ltl::rcv(n2, ctx.self(), p2),
+                   ltl::pred(f.and_(f.or_(same_dir, rev_dir), admitted2))));
+    // State is lost when the firewall fails: the establishing packet must
+    // have been seen since the instance was last up continuously.
+    ltl::FormulaPtr established =
+        ltl::once_since_up(establishing_rcv, ctx.self());
+
+    return ltl::and_f(received,
+                      ltl::or_f(ltl::pred(acl_now), established));
+  });
+}
+
+std::vector<Packet> LearningFirewall::sim_process(const Packet& p) {
+  if (established_.contains(p.flow())) return {p};
+  if (allows(p.src, p.dst)) {
+    established_.insert(p.flow());
+    return {p};
+  }
+  return {};
+}
+
+}  // namespace vmn::mbox

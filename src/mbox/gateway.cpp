@@ -1,0 +1,13 @@
+#include "mbox/gateway.hpp"
+
+namespace vmn::mbox {
+
+namespace ltl = vmn::logic::ltl;
+
+void Gateway::emit_axioms(AxiomContext& ctx) const {
+  emit_send_axiom(ctx, [&](const logic::TermPtr& p) -> ltl::FormulaPtr {
+    return received_before(ctx, p);
+  });
+}
+
+}  // namespace vmn::mbox

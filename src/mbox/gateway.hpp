@@ -1,0 +1,36 @@
+// Gateway (paper, figure 6): a stateless pass-through forwarder sitting
+// between an enterprise network and its upstream. It adds no policy of its
+// own - isolation is the firewall's job - but it participates in pipelines
+// and can fail (taking the site offline when fail-closed).
+#pragma once
+
+#include "mbox/middlebox.hpp"
+
+namespace vmn::mbox {
+
+class Gateway final : public Middlebox {
+ public:
+  explicit Gateway(std::string name,
+                   FailureMode failure_mode = FailureMode::fail_closed)
+      : Middlebox(std::move(name)), failure_mode_(failure_mode) {}
+
+  [[nodiscard]] std::string type() const override { return "gateway"; }
+  [[nodiscard]] StateScope state_scope() const override {
+    return StateScope::stateless;
+  }
+  [[nodiscard]] FailureMode failure_mode() const override {
+    return failure_mode_;
+  }
+
+  void emit_axioms(AxiomContext& ctx) const override;
+
+  void sim_reset() override {}
+  [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override {
+    return {p};
+  }
+
+ private:
+  FailureMode failure_mode_;
+};
+
+}  // namespace vmn::mbox

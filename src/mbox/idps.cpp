@@ -1,0 +1,24 @@
+#include "mbox/idps.hpp"
+
+namespace vmn::mbox {
+
+namespace l = vmn::logic;
+namespace ltl = vmn::logic::ltl;
+
+void Idps::emit_axioms(AxiomContext& ctx) const {
+  const l::Vocab& v = ctx.vocab();
+  emit_send_axiom(ctx, [&](const l::TermPtr& p) -> ltl::FormulaPtr {
+    ltl::FormulaPtr received = received_before(ctx, p);
+    if (!drop_malicious_) return received;
+    return ltl::and_f(
+        received,
+        ltl::pred(ctx.factory().not_(v.malicious_of(p))));
+  });
+}
+
+std::vector<Packet> Idps::sim_process(const Packet& p) {
+  if (drop_malicious_ && p.malicious) return {};
+  return {p};
+}
+
+}  // namespace vmn::mbox

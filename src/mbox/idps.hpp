@@ -1,0 +1,37 @@
+// Intrusion detection and prevention system (paper, sections 5.1 and 5.3.3).
+//
+// The IDPS relies on the classification oracle's malicious? abstraction
+// (section 2.2): it forwards previously received packets that are not
+// classified as malicious and drops the rest. Whether a packet is malicious
+// is entirely the oracle's choice - VMN searches over all classifications.
+// Per the paper's footnote 11, the IDS used in the evaluation is
+// flow-parallel with respect to a slice.
+#pragma once
+
+#include "mbox/middlebox.hpp"
+
+namespace vmn::mbox {
+
+class Idps final : public Middlebox {
+ public:
+  explicit Idps(std::string name, bool drop_malicious = true)
+      : Middlebox(std::move(name)), drop_malicious_(drop_malicious) {}
+
+  [[nodiscard]] std::string type() const override { return "idps"; }
+  [[nodiscard]] StateScope state_scope() const override {
+    return StateScope::flow_parallel;
+  }
+
+  void emit_axioms(AxiomContext& ctx) const override;
+
+  void sim_reset() override {}
+  [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override;
+
+  [[nodiscard]] bool drops_malicious() const { return drop_malicious_; }
+
+ private:
+  /// When false the instance is a pure monitor (off-path IDS behavior).
+  bool drop_malicious_;
+};
+
+}  // namespace vmn::mbox

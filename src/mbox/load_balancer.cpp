@@ -1,0 +1,94 @@
+#include "mbox/load_balancer.hpp"
+
+namespace vmn::mbox {
+
+namespace l = vmn::logic;
+namespace ltl = vmn::logic::ltl;
+
+void LoadBalancer::emit_axioms(AxiomContext& ctx) const {
+  const l::Vocab& v = ctx.vocab();
+  l::TermFactory& f = ctx.factory();
+
+  // Backend choice oracle: sticky per client endpoint.
+  l::FuncDeclPtr choose =
+      f.func(name() + ".choose", {v.addr_sort(), l::Sort::integer()},
+             v.addr_sort());
+
+  // The oracle only picks configured backends.
+  {
+    l::TermPtr a = f.fresh_var("a", v.addr_sort());
+    l::TermPtr pt = f.fresh_var("pt", l::Sort::integer());
+    std::vector<l::TermPtr> options;
+    for (Address b : backends_) {
+      options.push_back(f.eq(f.app(choose, {a, pt}), ctx.addr(b)));
+    }
+    ctx.add_axiom(f.forall({a, pt}, f.or_(std::move(options))),
+                  name() + ".choose-range");
+  }
+
+  emit_send_axiom(ctx, [&](const l::TermPtr& q) -> ltl::FormulaPtr {
+    // Case 1 - request: a previously received packet p addressed to the VIP
+    // is steered to the chosen backend, all other fields preserved.
+    l::TermPtr p = ctx.fresh_packet("req");
+    l::TermPtr n = ctx.fresh_node("reqn");
+    l::TermPtr request_shape = f.and_(
+        {f.eq(v.dst_of(p), ctx.addr(vip_)),
+         f.eq(v.src_of(q), v.src_of(p)),
+         f.eq(v.src_port_of(q), v.src_port_of(p)),
+         f.eq(v.dst_port_of(q), v.dst_port_of(p)),
+         f.eq(v.dst_of(q), f.app(choose, {v.src_of(p), v.src_port_of(p)}))});
+    ltl::FormulaPtr request = ltl::exists(
+        {n, p},
+        ltl::and_f(ltl::once_since_up(ltl::rcv(n, ctx.self(), p), ctx.self()),
+                   ltl::pred(request_shape)));
+
+    // Case 2 - response: a packet from a backend is rewritten so clients see
+    // the VIP as its source.
+    l::TermPtr r = ctx.fresh_packet("resp");
+    l::TermPtr rn = ctx.fresh_node("respn");
+    std::vector<l::TermPtr> from_backend;
+    for (Address b : backends_) {
+      from_backend.push_back(f.eq(v.src_of(r), ctx.addr(b)));
+    }
+    l::TermPtr response_shape =
+        f.and_({f.or_(std::move(from_backend)),
+                f.eq(v.src_of(q), ctx.addr(vip_)),
+                f.eq(v.dst_of(q), v.dst_of(r)),
+                f.eq(v.src_port_of(q), v.src_port_of(r)),
+                f.eq(v.dst_port_of(q), v.dst_port_of(r))});
+    ltl::FormulaPtr response = ltl::exists(
+        {rn, r},
+        ltl::and_f(ltl::once_since_up(ltl::rcv(rn, ctx.self(), r), ctx.self()),
+                   ltl::pred(response_shape)));
+
+    return ltl::or_f(request, response);
+  });
+}
+
+std::vector<Packet> LoadBalancer::sim_process(const Packet& p) {
+  if (p.dst == vip_) {
+    if (backends_.empty()) return {};
+    auto key = std::pair{p.src, p.src_port};
+    auto it = assignment_.find(key);
+    if (it == assignment_.end()) {
+      // Deterministic stickiness: hash the client endpoint.
+      const std::size_t idx =
+          (std::hash<std::uint32_t>{}(p.src.bits()) ^ p.src_port) %
+          backends_.size();
+      it = assignment_.emplace(key, backends_[idx]).first;
+    }
+    Packet q = p;
+    q.dst = it->second;
+    return {q};
+  }
+  for (Address b : backends_) {
+    if (p.src == b) {
+      Packet q = p;
+      q.src = vip_;
+      return {q};
+    }
+  }
+  return {};
+}
+
+}  // namespace vmn::mbox

@@ -1,0 +1,64 @@
+// Load balancer: packets addressed to the virtual IP are forwarded to one of
+// the configured backends (sticky per source endpoint, chosen by an oracle);
+// backend responses are rewritten back to the virtual IP. Flow-parallel.
+#pragma once
+
+#include <map>
+
+#include "mbox/middlebox.hpp"
+
+namespace vmn::mbox {
+
+class LoadBalancer final : public Middlebox {
+ public:
+  LoadBalancer(std::string name, Address vip, std::vector<Address> backends)
+      : Middlebox(std::move(name)), vip_(vip), backends_(std::move(backends)) {}
+
+  [[nodiscard]] std::string type() const override { return "load-balancer"; }
+  [[nodiscard]] StateScope state_scope() const override {
+    return StateScope::flow_parallel;
+  }
+
+  void emit_axioms(AxiomContext& ctx) const override;
+
+  [[nodiscard]] Address vip() const { return vip_; }
+  [[nodiscard]] const std::vector<Address>& backends() const {
+    return backends_;
+  }
+
+  /// Packets to the VIP may continue toward any backend (slice closure).
+  [[nodiscard]] std::vector<Address> forward_dsts(Address dst) const override {
+    if (dst == vip_) return backends_;
+    return {dst};
+  }
+  /// Backends are reachable through the VIP.
+  [[nodiscard]] std::vector<Address> inverse_addresses(
+      Address target) const override {
+    for (Address b : backends_) {
+      if (b == target) return {vip_};
+    }
+    return {};
+  }
+  [[nodiscard]] std::vector<Address> implicit_addresses() const override {
+    std::vector<Address> out = backends_;
+    out.push_back(vip_);
+    return out;
+  }
+
+  [[nodiscard]] std::string policy_fingerprint(Address a) const override {
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      if (backends_[i] == a) return "b" + std::to_string(i) + ";";
+    }
+    return a == vip_ ? "vip;" : std::string{};
+  }
+
+  void sim_reset() override { assignment_.clear(); }
+  [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override;
+
+ private:
+  Address vip_;
+  std::vector<Address> backends_;
+  std::map<std::pair<Address, std::uint16_t>, Address> assignment_;
+};
+
+}  // namespace vmn::mbox

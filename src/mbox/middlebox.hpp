@@ -1,0 +1,183 @@
+// Middlebox models (paper, section 3.4).
+//
+// Each middlebox type provides two semantics that must agree:
+//   - symbolic: emit_axioms() contributes first-order axioms describing when
+//     the instance may send a packet (always conditioned on packets it
+//     received in the past - mutable datapath state is encoded as conditions
+//     over past rcv events, exactly like the axioms derived from Listing 1);
+//   - concrete: sim_process() executes the same forwarding model on real
+//     packets (used by the discrete-event simulator to cross-validate the
+//     encoding in property tests).
+//
+// Instances are annotated with their state scope (flow-parallel /
+// origin-agnostic, section 4.1) which drives slice computation, and their
+// failure mode (fail-closed / fail-open, section 3.4).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/address.hpp"
+#include "core/ids.hpp"
+#include "core/packet.hpp"
+#include "logic/builder.hpp"
+#include "logic/ltl.hpp"
+
+namespace vmn::mbox {
+
+/// How middlebox state is partitioned (paper, section 4.1).
+enum class StateScope : std::uint8_t {
+  stateless,       ///< no mutable state (treated as flow-parallel for slicing)
+  flow_parallel,   ///< state partitioned by flow, touched only by that flow
+  origin_agnostic, ///< state shared across flows, insensitive to originator
+  global_state,    ///< arbitrary shared state (defeats constant-size slices)
+};
+
+[[nodiscard]] std::string to_string(StateScope scope);
+
+/// Behavior while the instance is down (paper, section 3.4).
+enum class FailureMode : std::uint8_t {
+  fail_closed,  ///< packets are dropped during failure
+  fail_open,    ///< packets are forwarded unmodified during failure
+};
+
+/// Everything a model needs to write its axioms. Built by the encoder for
+/// each verification run; `relevant` is the slice's address set, onto which
+/// instances project their configuration so that slice formulas stay
+/// slice-sized.
+class AxiomContext {
+ public:
+  AxiomContext(logic::Vocab& vocab, logic::TermPtr self, logic::TermPtr omega,
+               std::vector<Address> relevant,
+               std::function<void(logic::TermPtr, std::string)> sink)
+      : vocab_(&vocab),
+        self_(std::move(self)),
+        omega_(std::move(omega)),
+        relevant_(std::move(relevant)),
+        sink_(std::move(sink)) {}
+
+  [[nodiscard]] logic::Vocab& vocab() const { return *vocab_; }
+  [[nodiscard]] logic::TermFactory& factory() const {
+    return vocab_->factory();
+  }
+  /// Node constant of the middlebox being encoded.
+  [[nodiscard]] const logic::TermPtr& self() const { return self_; }
+  /// Node constant of the network pseudo-node.
+  [[nodiscard]] const logic::TermPtr& omega() const { return omega_; }
+
+  [[nodiscard]] logic::TermPtr addr(Address a) const {
+    return factory().int_val(static_cast<std::int64_t>(a.bits()));
+  }
+  [[nodiscard]] const std::vector<Address>& relevant_addresses() const {
+    return relevant_;
+  }
+  [[nodiscard]] bool is_relevant(Address a) const;
+
+  void add_axiom(const logic::TermPtr& axiom, const std::string& label) const {
+    sink_(axiom, label);
+  }
+
+  // Fresh variables for quantified axioms.
+  [[nodiscard]] logic::TermPtr fresh_packet(const std::string& stem) const {
+    return factory().fresh_var(stem, vocab_->packet_sort());
+  }
+  [[nodiscard]] logic::TermPtr fresh_node(const std::string& stem) const {
+    return factory().fresh_var(stem, vocab_->node_sort());
+  }
+
+ private:
+  logic::Vocab* vocab_;
+  logic::TermPtr self_;
+  logic::TermPtr omega_;
+  std::vector<Address> relevant_;
+  std::function<void(logic::TermPtr, std::string)> sink_;
+};
+
+/// Abstract middlebox instance. Concrete models live in this directory;
+/// new types subclass and implement both semantics.
+class Middlebox {
+ public:
+  explicit Middlebox(std::string name) : name_(std::move(name)) {}
+  virtual ~Middlebox() = default;
+  Middlebox(const Middlebox&) = delete;
+  Middlebox& operator=(const Middlebox&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  /// Binds the instance to its topology attachment point.
+  void attach(NodeId node) { node_ = node; }
+
+  [[nodiscard]] virtual std::string type() const = 0;
+  [[nodiscard]] virtual StateScope state_scope() const = 0;
+  [[nodiscard]] virtual FailureMode failure_mode() const {
+    return FailureMode::fail_closed;
+  }
+
+  /// Contributes this instance's axioms (symbolic semantics).
+  virtual void emit_axioms(AxiomContext& ctx) const = 0;
+
+  // -- slice support -------------------------------------------------------
+  /// Destinations this instance may forward a packet addressed to `dst`
+  /// toward (identity for pass-through boxes; backends for load balancers).
+  [[nodiscard]] virtual std::vector<Address> forward_dsts(Address dst) const {
+    return {dst};
+  }
+  /// Alias addresses through which `target` may be reached via this
+  /// instance (the inverse of forward_dsts): the VIP for a load-balancer
+  /// backend, the external address for a NAT-internal host. Slice closure
+  /// explores flows toward these aliases as well.
+  [[nodiscard]] virtual std::vector<Address> inverse_addresses(
+      Address target) const {
+    (void)target;
+    return {};
+  }
+  /// Addresses that must be considered relevant whenever this instance is
+  /// in a slice (e.g. a NAT's external address).
+  [[nodiscard]] virtual std::vector<Address> implicit_addresses() const {
+    return {};
+  }
+
+  // -- policy equivalence support (paper, section 4.1) -----------------------
+  /// Canonical description of how this instance's configuration treats
+  /// address `a`. Hosts with identical fingerprints across all middleboxes
+  /// (and identical forwarding chains) are policy-equivalent; removal of a
+  /// configuration entry changes the affected hosts' fingerprints, which is
+  /// how "removal of rules breaks symmetry" (section 5.1) materializes.
+  [[nodiscard]] virtual std::string policy_fingerprint(Address a) const {
+    (void)a;
+    return {};
+  }
+
+  // -- concrete semantics (simulator) ---------------------------------------
+  /// Clears all mutable state (also invoked when the instance fails).
+  virtual void sim_reset() = 0;
+  /// Processes a received packet; returns the packets to emit.
+  [[nodiscard]] virtual std::vector<Packet> sim_process(const Packet& p) = 0;
+
+ protected:
+  /// Emits the standard send axiom shared by every model:
+  ///
+  ///   forall n, p at all times:  snd(self, n, p) =>
+  ///       n = Omega  and  (up-and-allowed  or  fail-open-passthrough)
+  ///
+  /// where up-and-allowed = not fail(self) and condition(p), and the
+  /// fail-open disjunct (emitted only for fail-open instances) forwards
+  /// previously received packets unmodified while down.
+  void emit_send_axiom(
+      AxiomContext& ctx,
+      const std::function<logic::ltl::FormulaPtr(const logic::TermPtr& p)>&
+          condition) const;
+
+  /// Formula: this instance received exactly packet `p` earlier
+  /// (from any node).
+  [[nodiscard]] logic::ltl::FormulaPtr received_before(
+      AxiomContext& ctx, const logic::TermPtr& p) const;
+
+ private:
+  std::string name_;
+  NodeId node_;
+};
+
+}  // namespace vmn::mbox

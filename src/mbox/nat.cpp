@@ -1,0 +1,97 @@
+#include "mbox/nat.hpp"
+
+namespace vmn::mbox {
+
+namespace l = vmn::logic;
+namespace ltl = vmn::logic::ltl;
+
+void Nat::emit_axioms(AxiomContext& ctx) const {
+  const l::Vocab& v = ctx.vocab();
+  l::TermFactory& f = ctx.factory();
+
+  // Oracle for port remapping (Listing 2's abstract remapped_port): a
+  // per-instance uninterpreted function of the original (src, src-port).
+  l::FuncDeclPtr remap =
+      f.func(name() + ".remap", {v.addr_sort(), l::Sort::integer()},
+             l::Sort::integer());
+
+  auto is_internal = [&](const l::TermPtr& a) {
+    std::vector<l::TermPtr> cases;
+    for (Address r : ctx.relevant_addresses()) {
+      if (internal_.contains(r)) cases.push_back(f.eq(a, ctx.addr(r)));
+    }
+    return f.or_(std::move(cases));
+  };
+
+  emit_send_axiom(ctx, [&](const l::TermPtr& q) -> ltl::FormulaPtr {
+    // Case 1 - outbound: q is the translation of a previously received
+    // internal packet p: src rewritten to the external address, source port
+    // remapped, everything else preserved.
+    l::TermPtr p = ctx.fresh_packet("orig");
+    l::TermPtr n = ctx.fresh_node("onode");
+    l::TermPtr outbound_shape = f.and_(
+        {is_internal(v.src_of(p)), f.eq(v.src_of(q), ctx.addr(external_)),
+         f.eq(v.dst_of(q), v.dst_of(p)),
+         f.eq(v.dst_port_of(q), v.dst_port_of(p)),
+         f.eq(v.src_port_of(q),
+              f.app(remap, {v.src_of(p), v.src_port_of(p)}))});
+    ltl::FormulaPtr outbound = ltl::exists(
+        {n, p}, ltl::and_f(ltl::once_since_up(ltl::rcv(n, ctx.self(), p),
+                                              ctx.self()),
+                           ltl::pred(outbound_shape)));
+
+    // Case 2 - inbound: a packet r addressed to the external address was
+    // received, and some earlier outbound original o created the mapping
+    // that r's destination port matches; q is r rewritten back to o's
+    // internal endpoint.
+    l::TermPtr r = ctx.fresh_packet("in");
+    l::TermPtr rn = ctx.fresh_node("innode");
+    l::TermPtr o = ctx.fresh_packet("mapped");
+    l::TermPtr on = ctx.fresh_node("mapnode");
+    l::TermPtr inbound_shape = f.and_(
+        {f.eq(v.dst_of(r), ctx.addr(external_)), is_internal(v.src_of(o)),
+         f.eq(v.dst_port_of(r),
+              f.app(remap, {v.src_of(o), v.src_port_of(o)})),
+         // q = r with destination rewritten to the mapping's endpoint.
+         f.eq(v.src_of(q), v.src_of(r)),
+         f.eq(v.src_port_of(q), v.src_port_of(r)),
+         f.eq(v.dst_of(q), v.src_of(o)),
+         f.eq(v.dst_port_of(q), v.src_port_of(o))});
+    ltl::FormulaPtr inbound = ltl::exists(
+        {rn, r, on, o},
+        ltl::and_f(
+            {ltl::once_since_up(ltl::rcv(rn, ctx.self(), r), ctx.self()),
+             ltl::once_since_up(ltl::rcv(on, ctx.self(), o), ctx.self()),
+             ltl::pred(inbound_shape)}));
+
+    return ltl::or_f(outbound, inbound);
+  });
+}
+
+std::vector<Packet> Nat::sim_process(const Packet& p) {
+  if (internal_.contains(p.src)) {
+    // Outbound: allocate (or reuse) a mapping.
+    auto key = std::pair{p.src, p.src_port};
+    auto it = active_.find(key);
+    if (it == active_.end()) {
+      const std::uint16_t mapped = next_port_++;
+      it = active_.emplace(key, mapped).first;
+      reverse_.emplace(mapped, key);
+    }
+    Packet q = p;
+    q.src = external_;
+    q.src_port = it->second;
+    return {q};
+  }
+  if (p.dst == external_) {
+    auto it = reverse_.find(p.dst_port);
+    if (it == reverse_.end()) return {};  // no mapping: drop
+    Packet q = p;
+    q.dst = it->second.first;
+    q.dst_port = it->second.second;
+    return {q};
+  }
+  return {};  // neither direction concerns this NAT
+}
+
+}  // namespace vmn::mbox

@@ -1,0 +1,67 @@
+// Network address translator - the paper's Listing 2.
+//
+// Outbound packets from the internal prefix get their source rewritten to
+// the NAT's external address and a remapped source port; inbound packets
+// addressed to the external address are rewritten back to the internal host
+// that created the mapping. Port remapping is an oracle (an uninterpreted
+// per-instance function), matching Listing 2's `abstract remapped_port`.
+// The NAT is flow-parallel and drops packets while failed (Listing 2 models
+// failure explicitly with `when fail(this) => forward(Seq.empty)`).
+#pragma once
+
+#include <map>
+
+#include "mbox/middlebox.hpp"
+
+namespace vmn::mbox {
+
+class Nat final : public Middlebox {
+ public:
+  Nat(std::string name, Address external, Prefix internal)
+      : Middlebox(std::move(name)), external_(external), internal_(internal) {}
+
+  [[nodiscard]] std::string type() const override { return "nat"; }
+  [[nodiscard]] StateScope state_scope() const override {
+    return StateScope::flow_parallel;
+  }
+
+  void emit_axioms(AxiomContext& ctx) const override;
+
+  [[nodiscard]] Address external_address() const { return external_; }
+  [[nodiscard]] const Prefix& internal_prefix() const { return internal_; }
+
+  /// The NAT's external address is meaningful to any slice containing it.
+  [[nodiscard]] std::vector<Address> implicit_addresses() const override {
+    return {external_};
+  }
+
+  [[nodiscard]] std::string policy_fingerprint(Address a) const override {
+    return internal_.contains(a) ? "int;" : std::string{};
+  }
+
+  /// Internal hosts are reachable from outside via the external address.
+  [[nodiscard]] std::vector<Address> inverse_addresses(
+      Address target) const override {
+    if (internal_.contains(target)) return {external_};
+    return {};
+  }
+
+  void sim_reset() override {
+    active_.clear();
+    reverse_.clear();
+    next_port_ = first_remapped_port;
+  }
+  [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override;
+
+  static constexpr std::uint16_t first_remapped_port = 50000;
+
+ private:
+  Address external_;
+  Prefix internal_;
+  // Concrete state (simulator): Listing 2's `active` and `reverse` maps.
+  std::map<std::pair<Address, std::uint16_t>, std::uint16_t> active_;
+  std::map<std::uint16_t, std::pair<Address, std::uint16_t>> reverse_;
+  std::uint16_t next_port_ = first_remapped_port;
+};
+
+}  // namespace vmn::mbox

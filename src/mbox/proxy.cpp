@@ -1,0 +1,81 @@
+#include "mbox/proxy.hpp"
+
+namespace vmn::mbox {
+
+namespace l = vmn::logic;
+namespace ltl = vmn::logic::ltl;
+
+void Proxy::emit_axioms(AxiomContext& ctx) const {
+  const l::Vocab& v = ctx.vocab();
+  l::TermFactory& f = ctx.factory();
+
+  emit_send_axiom(ctx, [&](const l::TermPtr& q) -> ltl::FormulaPtr {
+    // Case 1 - outbound re-origination: a previously received client packet
+    // p continues toward its destination with the proxy as source;
+    // destination, ports and data provenance are preserved.
+    l::TermPtr p = ctx.fresh_packet("client");
+    l::TermPtr n = ctx.fresh_node("clientn");
+    l::TermPtr outbound_shape = f.and_(
+        {f.neq(v.dst_of(p), ctx.addr(address_)),
+         f.eq(v.src_of(q), ctx.addr(address_)),
+         f.eq(v.dst_of(q), v.dst_of(p)),
+         f.eq(v.src_port_of(q), v.src_port_of(p)),
+         f.eq(v.dst_port_of(q), v.dst_port_of(p)),
+         f.eq(v.origin_of(q), v.origin_of(p))});
+    ltl::FormulaPtr outbound = ltl::exists(
+        {n, p},
+        ltl::and_f(ltl::once_since_up(ltl::rcv(n, ctx.self(), p), ctx.self()),
+                   ltl::pred(outbound_shape)));
+
+    // Case 2 - response forwarding: a packet r addressed to the proxy and
+    // coming from a server the proxy previously contacted (some forwarded
+    // request o had dst(o) = src(r)) is forwarded to some past requester,
+    // provenance preserved. Shared, origin-agnostic state: *any* past
+    // requester qualifies, but arbitrary hosts cannot masquerade as
+    // responders.
+    l::TermPtr r = ctx.fresh_packet("resp");
+    l::TermPtr rn = ctx.fresh_node("respn");
+    l::TermPtr req = ctx.fresh_packet("req");
+    l::TermPtr reqn = ctx.fresh_node("reqn");
+    l::TermPtr contacted = ctx.fresh_packet("contacted");
+    l::TermPtr contactedn = ctx.fresh_node("contactedn");
+    l::TermPtr inbound_shape = f.and_(
+        {f.eq(v.dst_of(r), ctx.addr(address_)),
+         f.eq(v.src_of(q), v.src_of(r)),
+         f.eq(v.origin_of(q), v.origin_of(r)),
+         f.eq(v.dst_of(q), v.src_of(req)),
+         f.eq(v.src_port_of(q), v.src_port_of(r)),
+         f.eq(v.dst_port_of(q), v.dst_port_of(r))});
+    l::TermPtr contacted_shape =
+        f.and_(f.eq(v.dst_of(contacted), v.src_of(r)),
+               f.neq(v.dst_of(contacted), ctx.addr(address_)));
+    ltl::FormulaPtr inbound = ltl::exists(
+        {rn, r, reqn, req, contactedn, contacted},
+        ltl::and_f(
+            {ltl::once_since_up(ltl::rcv(rn, ctx.self(), r), ctx.self()),
+             ltl::once_since_up(ltl::rcv(reqn, ctx.self(), req), ctx.self()),
+             ltl::once_since_up(
+                 ltl::rcv(contactedn, ctx.self(), contacted), ctx.self()),
+             ltl::pred(f.and_(inbound_shape, contacted_shape))}));
+
+    return ltl::or_f(outbound, inbound);
+  });
+}
+
+std::vector<Packet> Proxy::sim_process(const Packet& p) {
+  if (p.dst == address_) {
+    // Response: only from servers we contacted; forward to a past requester
+    // (deterministically, the first).
+    if (!contacted_.contains(p.src) || requesters_.empty()) return {};
+    Packet q = p;
+    q.dst = *requesters_.begin();
+    return {q};
+  }
+  requesters_.insert(p.src);
+  contacted_.insert(p.dst);
+  Packet q = p;
+  q.src = address_;
+  return {q};
+}
+
+}  // namespace vmn::mbox

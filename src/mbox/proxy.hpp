@@ -1,0 +1,53 @@
+// Anonymizing forward proxy (paper, sections 4.1 and 4.2: "most proxies are
+// origin-agnostic").
+//
+// Clients send their traffic through the proxy, which re-originates it from
+// its own address; responses come back to the proxy and are forwarded to a
+// past requester. Data provenance (the origin abstraction) is preserved in
+// both directions - which is exactly why data-isolation invariants remain
+// meaningful across proxies: "d should not access data either by directly
+// contacting s or indirectly through network elements" (section 3.3).
+//
+// The reverse direction is deliberately loose - a response may be forwarded
+// to *any* past requester, not just the flow's initiator - making the model
+// origin-agnostic (shared state across flows) and conservative: if an
+// invariant holds despite this proxy, it holds for any stricter
+// implementation.
+#pragma once
+
+#include <set>
+
+#include "mbox/middlebox.hpp"
+
+namespace vmn::mbox {
+
+class Proxy final : public Middlebox {
+ public:
+  Proxy(std::string name, Address proxy_address)
+      : Middlebox(std::move(name)), address_(proxy_address) {}
+
+  [[nodiscard]] std::string type() const override { return "proxy"; }
+  [[nodiscard]] StateScope state_scope() const override {
+    return StateScope::origin_agnostic;
+  }
+
+  void emit_axioms(AxiomContext& ctx) const override;
+
+  [[nodiscard]] Address proxy_address() const { return address_; }
+  [[nodiscard]] std::vector<Address> implicit_addresses() const override {
+    return {address_};
+  }
+
+  void sim_reset() override {
+    requesters_.clear();
+    contacted_.clear();
+  }
+  [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override;
+
+ private:
+  Address address_;
+  std::set<Address> requesters_;  ///< clients seen (origin-agnostic state)
+  std::set<Address> contacted_;   ///< servers the proxy has contacted
+};
+
+}  // namespace vmn::mbox

@@ -1,0 +1,16 @@
+#include "mbox/scrubber.hpp"
+
+namespace vmn::mbox {
+
+namespace l = vmn::logic;
+namespace ltl = vmn::logic::ltl;
+
+void Scrubber::emit_axioms(AxiomContext& ctx) const {
+  const l::Vocab& v = ctx.vocab();
+  emit_send_axiom(ctx, [&](const l::TermPtr& p) -> ltl::FormulaPtr {
+    return ltl::and_f(received_before(ctx, p),
+                      ltl::pred(ctx.factory().not_(v.malicious_of(p))));
+  });
+}
+
+}  // namespace vmn::mbox

@@ -1,0 +1,30 @@
+// Scrubbing box (paper, section 5.3.3): performs heavyweight analysis on
+// traffic rerouted to it by the ISP's IDS boxes, "discards any part of the
+// traffic that it identifies as attack traffic, and forwards the rest to
+// the intended destination". Attack identification is again the
+// classification oracle's malicious? abstraction.
+#pragma once
+
+#include "mbox/middlebox.hpp"
+
+namespace vmn::mbox {
+
+class Scrubber final : public Middlebox {
+ public:
+  explicit Scrubber(std::string name) : Middlebox(std::move(name)) {}
+
+  [[nodiscard]] std::string type() const override { return "scrubber"; }
+  [[nodiscard]] StateScope state_scope() const override {
+    return StateScope::flow_parallel;
+  }
+
+  void emit_axioms(AxiomContext& ctx) const override;
+
+  void sim_reset() override {}
+  [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override {
+    if (p.malicious) return {};
+    return {p};
+  }
+};
+
+}  // namespace vmn::mbox

@@ -1,0 +1,24 @@
+#include "mbox/wan_optimizer.hpp"
+
+namespace vmn::mbox {
+
+namespace l = vmn::logic;
+namespace ltl = vmn::logic::ltl;
+
+void WanOptimizer::emit_axioms(AxiomContext& ctx) const {
+  const l::Vocab& v = ctx.vocab();
+  l::TermFactory& f = ctx.factory();
+  emit_send_axiom(ctx, [&](const l::TermPtr& q) -> ltl::FormulaPtr {
+    // q is some received packet with addressing preserved and ports havoced:
+    // only src/dst are related to the original; ports are left free.
+    l::TermPtr p = ctx.fresh_packet("pre");
+    l::TermPtr n = ctx.fresh_node("pren");
+    l::TermPtr shape = f.and_({f.eq(v.src_of(q), v.src_of(p)),
+                               f.eq(v.dst_of(q), v.dst_of(p))});
+    return ltl::exists(
+        {n, p},
+        ltl::and_f(ltl::once(ltl::rcv(n, ctx.self(), p)), ltl::pred(shape)));
+  });
+}
+
+}  // namespace vmn::mbox

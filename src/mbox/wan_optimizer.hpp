@@ -1,0 +1,38 @@
+// WAN optimizer (paper, sections 1 and 3.6).
+//
+// Compression / encryption are "complex packet modifications" whose
+// semantics VMN deliberately does not model: "modeled as replacing the
+// appropriate packet header field (or payload) with a random value, this
+// provides sufficient fidelity for checking reachability invariants". Our
+// optimizer preserves the addressing fields and havocs the ports (stand-ins
+// for the transformed payload/transport state): the emitted packet's ports
+// are completely unconstrained, so the solver may pick any value - the
+// random-rewrite abstraction.
+#pragma once
+
+#include "mbox/middlebox.hpp"
+
+namespace vmn::mbox {
+
+class WanOptimizer final : public Middlebox {
+ public:
+  explicit WanOptimizer(std::string name) : Middlebox(std::move(name)) {}
+
+  [[nodiscard]] std::string type() const override { return "wan-optimizer"; }
+  [[nodiscard]] StateScope state_scope() const override {
+    return StateScope::flow_parallel;
+  }
+
+  void emit_axioms(AxiomContext& ctx) const override;
+
+  void sim_reset() override {}
+  [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override {
+    Packet q = p;
+    // Concrete stand-in for the havoced transform.
+    q.src_port = static_cast<std::uint16_t>(q.src_port * 7919u + 13u);
+    q.dst_port = static_cast<std::uint16_t>(q.dst_port * 104729u + 7u);
+    return {q};
+  }
+};
+
+}  // namespace vmn::mbox

@@ -1,0 +1,31 @@
+// Failure scenarios (paper, sections 2.1 and 3.5).
+//
+// VMN accepts, per failure condition, a (possibly different) forwarding
+// configuration: "rather than model the details of the routing algorithm, we
+// assume we are given a function mapping failure conditions to these new
+// transfer functions". Scenario 0 is always the failure-free network.
+// Failures are persistent for the duration of a run; a middlebox that is
+// down behaves per its failure mode (fail-closed / fail-open) and loses its
+// mutable state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace vmn::net {
+
+struct FailureScenario {
+  std::string name;
+  std::vector<NodeId> failed_nodes;
+
+  [[nodiscard]] bool is_failed(NodeId n) const {
+    for (NodeId f : failed_nodes) {
+      if (f == n) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace vmn::net

@@ -1,0 +1,37 @@
+#include "net/fwd_table.hpp"
+
+namespace vmn::net {
+
+void ForwardingTable::add(Rule rule) { rules_.push_back(rule); }
+
+void ForwardingTable::add(Prefix dst, NodeId next_hop, int priority) {
+  rules_.push_back(Rule{dst, next_hop, std::nullopt, priority});
+}
+
+void ForwardingTable::add_from(NodeId in_from, Prefix dst, NodeId next_hop,
+                               int priority) {
+  rules_.push_back(Rule{dst, next_hop, in_from, priority});
+}
+
+std::optional<NodeId> ForwardingTable::match(std::optional<NodeId> came_from,
+                                             Address dst) const {
+  const Rule* best = nullptr;
+  for (const Rule& r : rules_) {
+    if (!r.dst.contains(dst)) continue;
+    if (r.in_from && (!came_from || *r.in_from != *came_from)) continue;
+    if (best == nullptr) {
+      best = &r;
+      continue;
+    }
+    // Longest prefix first, then in-port specificity, then priority.
+    const auto rank = [](const Rule& x) {
+      return std::tuple(x.dst.length(), x.in_from.has_value() ? 1 : 0,
+                        x.priority);
+    };
+    if (rank(r) > rank(*best)) best = &r;
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->next_hop;
+}
+
+}  // namespace vmn::net

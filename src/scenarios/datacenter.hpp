@@ -1,0 +1,84 @@
+// Datacenter with middlebox service chains (paper, section 5.1/5.2, Fig 1).
+//
+// Per policy group: one rack (ToR switch + client hosts) and, when storage
+// services are modeled, a server rack holding a private and a public data
+// server. An aggregation layer hosts the middlebox stack: redundant
+// stateful firewalls (fw-0 primary / fw-1 backup), redundant IDPSes
+// (idps-0 / idps-1), a load balancer fronting the public servers, and -
+// in data-isolation mode - a content cache on the storage path.
+//
+// Service chains (via in-port forwarding rules at the aggregation switch):
+//   client -> client :           ToR -> FW -> IDPS -> ToR
+//   client -> server (request):  ToR -> cache -> FW -> IDPS -> server rack
+//   server -> client (response): rack -> cache -> IDPS -> ToR   (cached!)
+//
+// Failure scenarios reroute through the backups (fw-0-down, idps-0-down).
+// Misconfiguration injectors reproduce the three §5.1 error classes plus
+// the §5.2 cache ACL deletions.
+#pragma once
+
+#include "core/rng.hpp"
+#include "encode/invariant.hpp"
+#include "encode/model.hpp"
+#include "mbox/content_cache.hpp"
+#include "mbox/firewall.hpp"
+
+namespace vmn::scenarios {
+
+struct DatacenterParams {
+  int policy_groups = 4;
+  int clients_per_group = 2;
+  /// Adds per-group private/public servers, the cache and the LB (§5.2).
+  bool with_storage = false;
+  /// Adds backup middleboxes and the failure scenarios using them.
+  bool redundancy = true;
+};
+
+enum class DcMisconfig : std::uint8_t {
+  none,
+  rules,       ///< §5.1: deny rules deleted from both firewalls
+  redundancy,  ///< §5.1: deny rules deleted from the backup firewall only
+  traversal,   ///< §5.1: failover routing bypasses the backup IDPS
+  cache_acl,   ///< §5.2: deny entries deleted from the cache
+};
+
+struct Datacenter {
+  encode::NetworkModel model;
+  std::vector<std::vector<NodeId>> group_clients;
+  std::vector<NodeId> private_servers;  ///< per group (with_storage)
+  std::vector<NodeId> public_servers;   ///< per group (with_storage)
+
+  mbox::LearningFirewall* fw_primary = nullptr;
+  mbox::LearningFirewall* fw_backup = nullptr;
+  mbox::ContentCache* cache = nullptr;
+  ScenarioId fw_down;    ///< scenario: primary firewall failed
+  ScenarioId idps_down;  ///< scenario: primary IDPS failed
+
+  /// Groups whose isolation was broken by the last injection.
+  std::vector<std::pair<int, int>> broken_pairs;  ///< (src group, dst group)
+
+  /// One isolation invariant per policy group g: a client of group g+1
+  /// never receives packets from group g (§5.1's "hosts can only
+  /// communicate with other hosts in the same group", one invariant per
+  /// equivalence class).
+  [[nodiscard]] std::vector<encode::Invariant> isolation_invariants() const;
+  /// One traversal invariant per group: all packets delivered to a client
+  /// of g traversed an IDPS.
+  [[nodiscard]] std::vector<encode::Invariant> traversal_invariants() const;
+  /// One data-isolation invariant per group (with_storage): a client of
+  /// g+1 never obtains data originating at group g's private server.
+  [[nodiscard]] std::vector<encode::Invariant> data_isolation_invariants()
+      const;
+
+  /// Whether the (src group -> dst group) direction was broken.
+  [[nodiscard]] bool pair_broken(int src_group, int dst_group) const;
+};
+
+[[nodiscard]] Datacenter make_datacenter(const DatacenterParams& params);
+
+/// Applies a misconfiguration class; `strength` is how many rules to delete.
+/// Records the affected group pairs in `dc.broken_pairs`.
+void inject_misconfig(Datacenter& dc, DcMisconfig kind, Rng& rng,
+                      int strength = 1);
+
+}  // namespace vmn::scenarios

@@ -1,0 +1,129 @@
+#include "scenarios/enterprise.hpp"
+
+#include "mbox/firewall.hpp"
+#include "mbox/gateway.hpp"
+
+namespace vmn::scenarios {
+
+using encode::Invariant;
+using mbox::AclAction;
+using mbox::AclEntry;
+
+SubnetKind subnet_kind_of(int index) {
+  switch (index % 3) {
+    case 0:
+      return SubnetKind::public_net;
+    case 1:
+      return SubnetKind::private_net;
+    default:
+      return SubnetKind::quarantined;
+  }
+}
+
+Enterprise make_enterprise(const EnterpriseParams& params) {
+  Enterprise out;
+  net::Network& net = out.model.network();
+
+  const Prefix internal(Address::of(10, 0, 0, 0), 8);
+  const Prefix external(Address::of(172, 16, 0, 0), 12);
+  out.internet = net.add_host("internet", Address::of(172, 16, 0, 1));
+
+  // Firewall configuration is assembled per subnet below.
+  std::vector<AclEntry> acl;
+
+  NodeId sw_out = net.add_switch("sw-out");
+  NodeId sw_in = net.add_switch("sw-in");
+  net.add_link(out.internet, sw_out);
+  net.add_link(sw_out, sw_in);
+
+  auto& fw = out.model.add_middlebox(std::make_unique<mbox::LearningFirewall>(
+      "fw", std::vector<AclEntry>{}, AclAction::deny));
+  auto& gw =
+      out.model.add_middlebox(std::make_unique<mbox::Gateway>("gw"));
+  net.add_link(fw.node(), sw_out);
+  net.add_link(gw.node(), sw_in);
+
+  for (int s = 0; s < params.subnets; ++s) {
+    const SubnetKind kind = subnet_kind_of(s);
+    out.subnet_kind.push_back(kind);
+    const Prefix subnet(
+        Address::of(10, static_cast<std::uint8_t>(s >> 8),
+                    static_cast<std::uint8_t>(s & 0xff), 0),
+        24);
+    NodeId sw = net.add_switch("sw-net" + std::to_string(s));
+    net.add_link(sw, sw_in);
+
+    std::vector<NodeId> hosts;
+    for (int h = 0; h < params.hosts_per_subnet; ++h) {
+      const Address addr(subnet.base().bits() + static_cast<std::uint32_t>(h) +
+                         1);
+      NodeId host = net.add_host(
+          "h" + std::to_string(s) + "-" + std::to_string(h), addr);
+      net.add_link(host, sw);
+      net.table(sw).add(Prefix::host(addr), host);
+      out.model.set_policy_class(host,
+                                 PolicyClassId{static_cast<std::uint32_t>(
+                                     static_cast<int>(kind))});
+      hosts.push_back(host);
+    }
+    net.table(sw).add(Prefix::any(), sw_in);
+    out.subnet_hosts.push_back(std::move(hosts));
+
+    // Firewall policy per class (allow entries; default deny).
+    switch (kind) {
+      case SubnetKind::public_net:
+        acl.push_back(AclEntry{external, subnet, AclAction::allow});
+        acl.push_back(AclEntry{subnet, external, AclAction::allow});
+        break;
+      case SubnetKind::private_net:
+        acl.push_back(AclEntry{subnet, external, AclAction::allow});
+        break;
+      case SubnetKind::quarantined:
+        break;  // no entries: fully isolated by the default deny
+    }
+
+    // Inner switch: gateway hands subnet-bound traffic to the subnet switch.
+    net.table(sw_in).add_from(gw.node(), subnet, sw);
+  }
+
+  fw.replace_acl(std::move(acl));
+
+  // Outer switch: internet traffic enters through the firewall; firewall
+  // output continues inward (internal destinations) or outward (external).
+  net.table(sw_out).add_from(out.internet, internal, fw.node());
+  net.table(sw_out).add_from(fw.node(), internal, sw_in);
+  net.table(sw_out).add_from(fw.node(), external, out.internet);
+  net.table(sw_out).add_from(sw_in, external, fw.node());
+
+  // Inner switch: every flow crosses the gateway (Fig 6 pipeline): inbound
+  // post-firewall traffic, outbound traffic and inter-subnet traffic all go
+  // to the gateway first; gateway-emitted packets continue to the subnet
+  // switches (in-port rules above) or toward the firewall.
+  net.table(sw_in).add(internal, gw.node());
+  net.table(sw_in).add(external, gw.node());
+  net.table(sw_in).add_from(gw.node(), external, sw_out);
+
+  // Invariants: one per subnet, expressing its class's policy; the
+  // configuration is correct so all are expected to hold.
+  for (int s = 0; s < params.subnets; ++s) {
+    NodeId h = out.subnet_hosts[static_cast<std::size_t>(s)].front();
+    switch (out.subnet_kind[static_cast<std::size_t>(s)]) {
+      case SubnetKind::public_net:
+        // Reachable from outside (positive invariant: sat = holds).
+        out.invariants.push_back(Invariant::reachable(h, out.internet));
+        out.expected_holds.push_back(true);
+        break;
+      case SubnetKind::private_net:
+        out.invariants.push_back(Invariant::flow_isolation(h, out.internet));
+        out.expected_holds.push_back(true);
+        break;
+      case SubnetKind::quarantined:
+        out.invariants.push_back(Invariant::node_isolation(h, out.internet));
+        out.expected_holds.push_back(true);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace vmn::scenarios

@@ -1,0 +1,44 @@
+// Enterprise network with a stateful firewall (paper, section 5.3.1, Fig 6).
+//
+//   Internet --- FW --- GW --- { subnet_1, subnet_2, ..., subnet_k }
+//
+// Subnets cycle through three policy classes:
+//   - public:      hosts may initiate and accept connections externally;
+//   - private:     hosts may initiate but never accept (flow isolation);
+//   - quarantined: hosts may not communicate externally at all.
+//
+// The firewall enforces the classes with subnet-granularity ACL entries;
+// the generated configuration is correct, so every invariant holds (the
+// paper evaluates verification time for this all-holds case in Fig 7).
+#pragma once
+
+#include "encode/invariant.hpp"
+#include "encode/model.hpp"
+
+namespace vmn::scenarios {
+
+enum class SubnetKind : std::uint8_t { public_net, private_net, quarantined };
+
+struct EnterpriseParams {
+  int subnets = 3;
+  int hosts_per_subnet = 2;
+};
+
+struct Enterprise {
+  encode::NetworkModel model;
+  NodeId internet;                          ///< the external peer host
+  std::vector<std::vector<NodeId>> subnet_hosts;
+  std::vector<SubnetKind> subnet_kind;
+
+  /// One invariant per subnet expressing its class's policy, plus the
+  /// expected outcome (true = holds / reachable).
+  std::vector<encode::Invariant> invariants;
+  std::vector<bool> expected_holds;
+};
+
+[[nodiscard]] Enterprise make_enterprise(const EnterpriseParams& params);
+
+/// Kind of subnet `i` (cycles public, private, quarantined).
+[[nodiscard]] SubnetKind subnet_kind_of(int index);
+
+}  // namespace vmn::scenarios

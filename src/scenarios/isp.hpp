@@ -1,0 +1,54 @@
+// ISP with intrusion detection and a scrubbing box (paper, section 5.3.3,
+// Fig 9a; modeled after the SWITCHlan backbone).
+//
+// Backbone switches bb_0 .. bb_{P-1} form a line. Each peering point i hosts
+// the Fig 9(a) pipeline: peer_i -> IDS_i -> FW_i -> backbone. Subnets cycle
+// through public/private/quarantined policies (section 5.3.1) enforced by
+// every peering firewall; a single scrubbing box (SB) is shared by all
+// peering points ("this setup is preferred to installing a separate
+// scrubbing box at each peering point because of the high cost").
+//
+// When an IDS detects an attack on a destination prefix it reroutes that
+// prefix's traffic to the scrubber. The reroute is modeled as an extra
+// routing scenario (no failed nodes): in the *correct* configuration the
+// scrubbed traffic re-enters the network through peering point 0's stateful
+// firewall; the §5.3.3 *misconfiguration* sends it straight to the subnet,
+// bypassing every firewall - violating the subnet's isolation.
+#pragma once
+
+#include "encode/invariant.hpp"
+#include "encode/model.hpp"
+#include "scenarios/enterprise.hpp"  // SubnetKind
+
+namespace vmn::scenarios {
+
+struct IspParams {
+  int peering_points = 5;
+  int subnets = 6;
+  int hosts_per_subnet = 1;
+  /// Install the attack-reroute scenario (needs >= 2 peering points).
+  bool with_scrub_reroute = true;
+  /// Misconfigure the reroute to bypass the firewalls (section 5.3.3).
+  bool scrub_bypasses_firewalls = false;
+};
+
+struct Isp {
+  encode::NetworkModel model;
+  std::vector<NodeId> peers;                     ///< per peering point
+  std::vector<std::vector<NodeId>> subnet_hosts;
+  std::vector<SubnetKind> subnet_kind;
+  /// The routing scenario in which subnet 1's prefix is under attack and
+  /// rerouted through the scrubber (invalid when not installed).
+  ScenarioId attack_scenario;
+
+  /// Per-subnet policy invariants against peer 0 (all hold when correctly
+  /// configured).
+  [[nodiscard]] std::vector<encode::Invariant> invariants() const;
+  /// The invariant the scrub-reroute misconfiguration breaks: subnet 1
+  /// (private) stays flow-isolated from peer 1.
+  [[nodiscard]] encode::Invariant attacked_subnet_isolation() const;
+};
+
+[[nodiscard]] Isp make_isp(const IspParams& params);
+
+}  // namespace vmn::scenarios

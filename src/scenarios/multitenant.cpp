@@ -1,0 +1,133 @@
+#include "scenarios/multitenant.hpp"
+
+#include "mbox/firewall.hpp"
+
+namespace vmn::scenarios {
+
+using encode::Invariant;
+using mbox::AclAction;
+using mbox::AclEntry;
+
+namespace {
+
+Prefix tenant_prefix(int t) {
+  return Prefix(Address::of(10, static_cast<std::uint8_t>(t >> 8),
+                            static_cast<std::uint8_t>(t & 0xff), 0),
+                24);
+}
+
+Address vm_address(int t, int index) {
+  return Address(tenant_prefix(t).base().bits() +
+                 static_cast<std::uint32_t>(index) + 1);
+}
+
+}  // namespace
+
+MultiTenant make_multitenant(const MultiTenantParams& params) {
+  MultiTenant out;
+  net::Network& net = out.model.network();
+
+  NodeId spine = net.add_switch("spine");
+
+  struct Server {
+    NodeId sw;
+    mbox::LearningFirewall* vsfw;
+    std::vector<AclEntry> acl;
+    std::vector<std::pair<NodeId, Address>> vms;
+  };
+  std::vector<Server> servers(static_cast<std::size_t>(params.servers));
+  for (int s = 0; s < params.servers; ++s) {
+    Server& srv = servers[static_cast<std::size_t>(s)];
+    srv.sw = net.add_switch("ssw" + std::to_string(s));
+    net.add_link(srv.sw, spine);
+    srv.vsfw = &out.model.add_middlebox(std::make_unique<mbox::LearningFirewall>(
+        "vsfw" + std::to_string(s), std::vector<AclEntry>{}, AclAction::deny));
+    net.add_link(srv.vsfw->node(), srv.sw);
+  }
+
+  // Place VMs round-robin and accumulate per-server security-group rules.
+  const int vms_per_tenant =
+      params.public_vms_per_tenant + params.private_vms_per_tenant;
+  for (int t = 0; t < params.tenants; ++t) {
+    out.public_vms.emplace_back();
+    out.private_vms.emplace_back();
+    for (int k = 0; k < vms_per_tenant; ++k) {
+      const bool is_public = k < params.public_vms_per_tenant;
+      const Address addr = vm_address(t, k);
+      Server& srv = servers[static_cast<std::size_t>((t + k) % params.servers)];
+      NodeId vm = net.add_host(
+          "vm-t" + std::to_string(t) + "-" + std::to_string(k), addr);
+      net.add_link(vm, srv.sw);
+      srv.vms.emplace_back(vm, addr);
+      out.model.set_policy_class(
+          vm, PolicyClassId{static_cast<std::uint32_t>(2 * t +
+                                                       (is_public ? 0 : 1))});
+      (is_public ? out.public_vms : out.private_vms).back().push_back(vm);
+
+      // Ingress rules for the VM's security group. Private VMs get an
+      // explicit deny after their tenant allow so that a co-located VM's
+      // *egress* allow (appended at the end, below) can never admit foreign
+      // ingress traffic - one vswitch polices both directions, and the
+      // first-match order implements "egress(A) AND ingress(B)".
+      if (is_public) {
+        srv.acl.push_back(
+            AclEntry{Prefix::any(), Prefix::host(addr), AclAction::allow});
+      } else {
+        srv.acl.push_back(AclEntry{tenant_prefix(t), Prefix::host(addr),
+                                   AclAction::allow});
+        srv.acl.push_back(
+            AclEntry{Prefix::any(), Prefix::host(addr), AclAction::deny});
+      }
+    }
+  }
+  // Egress rules, appended after every ingress rule: VMs may send anywhere.
+  for (Server& srv : servers) {
+    for (auto [vm, addr] : srv.vms) {
+      srv.acl.push_back(
+          AclEntry{Prefix::host(addr), Prefix::any(), AclAction::allow});
+    }
+  }
+
+  // Install the accumulated rules and the per-server forwarding tables:
+  // all VM traffic (both directions) crosses the server's vswitch firewall.
+  for (Server& srv : servers) {
+    srv.vsfw->replace_acl(srv.acl);
+
+    for (auto [vm, addr] : srv.vms) {
+      net.table(srv.sw).add_from(srv.vsfw->node(), Prefix::host(addr), vm);
+      net.table(srv.sw).add_from(spine, Prefix::host(addr),
+                                 srv.vsfw->node());
+    }
+    net.table(srv.sw).add(Prefix::any(), srv.vsfw->node());
+    net.table(srv.sw).add_from(srv.vsfw->node(), Prefix::any(), spine, -1);
+  }
+  // Spine: route on tenant /24s toward the owning server's switch - but a
+  // VM's /32 must go to *its* server, so install host routes.
+  for (const Server& srv : servers) {
+    for (auto [vm, addr] : srv.vms) {
+      net.table(spine).add(Prefix::host(addr), srv.sw);
+    }
+  }
+
+  return out;
+}
+
+Invariant MultiTenant::priv_priv() const {
+  return Invariant::flow_isolation(private_vms[1].front(),
+                                   private_vms[0].front());
+}
+
+Invariant MultiTenant::pub_priv() const {
+  return Invariant::flow_isolation(private_vms[1].front(),
+                                   public_vms[0].front());
+}
+
+Invariant MultiTenant::priv_pub() const {
+  return Invariant::reachable(public_vms[1].front(), private_vms[0].front());
+}
+
+std::vector<Invariant> MultiTenant::invariants() const {
+  return {priv_priv(), pub_priv(), priv_pub()};
+}
+
+}  // namespace vmn::scenarios

@@ -1,0 +1,58 @@
+#include "slice/policy.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/error.hpp"
+
+namespace vmn::slice {
+
+std::size_t PolicyClasses::class_of(NodeId host) const {
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (std::find(classes[i].begin(), classes[i].end(), host) !=
+        classes[i].end()) {
+      return i;
+    }
+  }
+  throw ModelError("host not covered by policy classes");
+}
+
+NodeId PolicyClasses::representative_of(NodeId host) const {
+  return classes[class_of(host)].front();
+}
+
+std::vector<NodeId> PolicyClasses::representatives() const {
+  std::vector<NodeId> out;
+  out.reserve(classes.size());
+  for (const auto& c : classes) out.push_back(c.front());
+  return out;
+}
+
+PolicyClasses infer_policy_classes(const encode::NetworkModel& model) {
+  std::map<std::string, std::vector<NodeId>> groups;
+  for (NodeId h : model.network().hosts()) {
+    const Address a = model.network().node(h).address;
+    std::string fp;
+    for (const auto& box : model.middleboxes()) {
+      fp += box->name() + "{" + box->policy_fingerprint(a) + "}";
+    }
+    groups[fp].push_back(h);
+  }
+  PolicyClasses out;
+  out.classes.reserve(groups.size());
+  for (auto& [fp, hosts] : groups) out.classes.push_back(std::move(hosts));
+  return out;
+}
+
+PolicyClasses declared_policy_classes(const encode::NetworkModel& model) {
+  std::map<PolicyClassId, std::vector<NodeId>> groups;
+  for (NodeId h : model.network().hosts()) {
+    groups[model.policy_class(h)].push_back(h);
+  }
+  PolicyClasses out;
+  out.classes.reserve(groups.size());
+  for (auto& [cls, hosts] : groups) out.classes.push_back(std::move(hosts));
+  return out;
+}
+
+}  // namespace vmn::slice

@@ -1,0 +1,43 @@
+// Policy equivalence classes (paper, section 4.1).
+//
+// "Two hosts are in the same equivalence class if all packets sent and
+// received by them traverse the same set of middlebox types, and are treated
+// according to the same policy."
+//
+// Scenario generators assign intended classes explicitly
+// (NetworkModel::set_policy_class); this module *infers* classes from the
+// actual configuration by fingerprinting each host against every middlebox's
+// configuration. The two coincide exactly when the network is correctly
+// configured - a deleted firewall rule moves the affected hosts into their
+// own inferred class, breaking symmetry (section 5.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "encode/model.hpp"
+
+namespace vmn::slice {
+
+struct PolicyClasses {
+  /// classes[i] lists the hosts of inferred class i.
+  std::vector<std::vector<NodeId>> classes;
+
+  [[nodiscard]] std::size_t count() const { return classes.size(); }
+  /// Index of the class containing `host`; throws if absent.
+  [[nodiscard]] std::size_t class_of(NodeId host) const;
+  /// The designated representative (first member) of `host`'s class.
+  [[nodiscard]] NodeId representative_of(NodeId host) const;
+  /// One representative per class.
+  [[nodiscard]] std::vector<NodeId> representatives() const;
+};
+
+/// Groups hosts by configuration fingerprint (inferred classes).
+[[nodiscard]] PolicyClasses infer_policy_classes(
+    const encode::NetworkModel& model);
+
+/// Groups hosts by their assigned class id (declared classes).
+[[nodiscard]] PolicyClasses declared_policy_classes(
+    const encode::NetworkModel& model);
+
+}  // namespace vmn::slice

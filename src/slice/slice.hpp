@@ -1,0 +1,47 @@
+// Slice computation (paper, section 4.1).
+//
+// A slice is a subnetwork closed under forwarding and state; an invariant
+// referencing only nodes in the slice holds in the network iff it holds in
+// the slice. For networks of flow-parallel middleboxes, closure under
+// forwarding suffices; when origin-agnostic middleboxes (caches, proxies)
+// appear in the slice, one representative host per policy equivalence class
+// must be added to make the slice closed under state.
+//
+// Closure under forwarding is computed as a fixpoint: starting from the
+// hosts an invariant references, follow the transfer function (under every
+// failure scenario within the failure budget) between every ordered pair of
+// slice addresses, adding every middlebox on the way - including targets of
+// middlebox rewrites (load-balancer backends, NAT externals), which
+// contribute new addresses.
+#pragma once
+
+#include <vector>
+
+#include "encode/invariant.hpp"
+#include "encode/model.hpp"
+#include "slice/policy.hpp"
+
+namespace vmn::slice {
+
+struct SliceOptions {
+  /// Failure scenarios with at most this many failed nodes participate in
+  /// closure (must match the verification failure budget).
+  int max_failures = 0;
+};
+
+struct Slice {
+  /// Edge nodes (hosts + middleboxes) forming the slice, sorted.
+  std::vector<NodeId> members;
+  /// True when representative hosts were added for origin-agnostic state.
+  bool has_origin_agnostic = false;
+
+  [[nodiscard]] std::size_t size() const { return members.size(); }
+};
+
+/// Computes a slice sufficient to verify `invariant`.
+[[nodiscard]] Slice compute_slice(const encode::NetworkModel& model,
+                                  const encode::Invariant& invariant,
+                                  const PolicyClasses& classes,
+                                  SliceOptions options = {});
+
+}  // namespace vmn::slice

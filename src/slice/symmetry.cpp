@@ -1,0 +1,33 @@
+#include "slice/symmetry.hpp"
+
+#include <map>
+#include <tuple>
+
+namespace vmn::slice {
+
+SymmetryGroups group_invariants(
+    const std::vector<encode::Invariant>& invariants,
+    const PolicyClasses& classes) {
+  using Key = std::tuple<int, std::size_t, std::size_t, std::string>;
+  std::map<Key, std::size_t> index_of;
+  SymmetryGroups out;
+  for (std::size_t i = 0; i < invariants.size(); ++i) {
+    const encode::Invariant& inv = invariants[i];
+    const std::size_t target_class =
+        inv.target.valid() ? classes.class_of(inv.target) : ~std::size_t{0};
+    const std::size_t other_class =
+        inv.other.valid() ? classes.class_of(inv.other) : ~std::size_t{0};
+    Key key{static_cast<int>(inv.kind), target_class, other_class,
+            inv.type_prefix};
+    auto it = index_of.find(key);
+    if (it == index_of.end()) {
+      index_of.emplace(key, out.groups.size());
+      out.groups.push_back(SymmetryGroup{{i}});
+    } else {
+      out.groups[it->second].invariants.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace vmn::slice

@@ -1,0 +1,34 @@
+// Network symmetry (paper, section 4.2).
+//
+// "We say two invariants are symmetric when one can be transformed to
+// another by replacing nodes with other nodes in the same policy class. If
+// an invariant I holds in a symmetric network, then so do all invariants
+// symmetric to I." VMN groups the invariant list by symmetry signature and
+// verifies one representative per group.
+#pragma once
+
+#include <vector>
+
+#include "encode/invariant.hpp"
+#include "slice/policy.hpp"
+
+namespace vmn::slice {
+
+struct SymmetryGroup {
+  /// Indices into the original invariant list; front() is the verified
+  /// representative, the rest inherit its outcome.
+  std::vector<std::size_t> invariants;
+};
+
+struct SymmetryGroups {
+  std::vector<SymmetryGroup> groups;
+  [[nodiscard]] std::size_t group_count() const { return groups.size(); }
+};
+
+/// Groups invariants whose (kind, policy class of target, policy class of
+/// other, traversal type) coincide.
+[[nodiscard]] SymmetryGroups group_invariants(
+    const std::vector<encode::Invariant>& invariants,
+    const PolicyClasses& classes);
+
+}  // namespace vmn::slice

@@ -1,0 +1,5 @@
+#include "smt/model.hpp"
+
+// SmtModel is a plain aggregate; this translation unit exists so the module
+// has a stable archive member and room for future helpers.
+namespace vmn::smt {}

@@ -1,0 +1,46 @@
+// Backend-independent view of a satisfying model: the concrete events and
+// packets witnessing an invariant violation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+
+namespace vmn::smt {
+
+/// A packet as valued by the solver. Field values are raw integers; the
+/// verifier maps them back to addresses/hosts.
+struct ModelPacket {
+  std::string label;  ///< solver-internal packet name (e.g. "Packet!val!0")
+  std::int64_t src = 0;
+  std::int64_t dst = 0;
+  std::int64_t src_port = 0;
+  std::int64_t dst_port = 0;
+  std::optional<std::int64_t> origin;
+  bool malicious = false;
+  std::int64_t app_class = 0;
+};
+
+/// One event atom valued true in the model. Node fields are indices into
+/// the Node enumeration sort; packet is an index into SmtModel::packets.
+struct ModelEvent {
+  EventKind kind = EventKind::send;
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::size_t packet = 0;  ///< unused for fail events
+  std::int64_t time = 0;
+};
+
+/// The extracted model. `complete` is false when the backend could not
+/// enumerate all events (e.g. a function interpreted as `true` by default);
+/// the events present are still valid.
+struct SmtModel {
+  std::vector<ModelPacket> packets;
+  std::vector<ModelEvent> events;
+  bool complete = true;
+};
+
+}  // namespace vmn::smt

@@ -1,0 +1,17 @@
+#include "smt/solver.hpp"
+
+namespace vmn::smt {
+
+std::string to_string(CheckStatus status) {
+  switch (status) {
+    case CheckStatus::sat:
+      return "sat";
+    case CheckStatus::unsat:
+      return "unsat";
+    case CheckStatus::unknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace vmn::smt

@@ -1,0 +1,59 @@
+// Solver-backend interface.
+//
+// VMN asserts the network axioms plus the negated invariant and asks for
+// satisfiability (paper, section 3.1): a satisfying assignment is a schedule
+// and oracle behavior violating the invariant; unsat proves the invariant
+// holds for all schedules and oracle behaviors.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "logic/builder.hpp"
+#include "logic/term.hpp"
+#include "smt/model.hpp"
+
+namespace vmn::smt {
+
+enum class CheckStatus : std::uint8_t {
+  sat,      ///< counterexample found (invariant violated)
+  unsat,    ///< no counterexample exists (invariant holds)
+  unknown,  ///< solver gave up (timeout / incomplete heuristics)
+};
+
+[[nodiscard]] std::string to_string(CheckStatus status);
+
+struct SolverOptions {
+  /// Per-check wall-clock budget handed to the backend.
+  std::uint32_t timeout_ms = 120000;
+  /// Random seed forwarded to the backend (SMT search is randomized;
+  /// the paper reports distributions over 100 runs).
+  std::uint32_t seed = 0;
+};
+
+/// Abstract solver session. Axioms accumulate; check() may be called
+/// repeatedly (e.g. after push/pop by future backends).
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Asserts a closed boolean term.
+  virtual void add(const logic::TermPtr& axiom) = 0;
+  /// Runs the satisfiability check.
+  virtual CheckStatus check() = 0;
+  /// Extracts the event/packet model after a sat result.
+  [[nodiscard]] virtual SmtModel model() const = 0;
+  /// Time spent inside the last check().
+  [[nodiscard]] virtual std::chrono::milliseconds last_check_time() const = 0;
+  /// Number of asserted axioms (diagnostics).
+  [[nodiscard]] virtual std::size_t assertion_count() const = 0;
+};
+
+/// Creates the Z3-backed solver (the only production backend; the paper
+/// builds directly on Z3).
+[[nodiscard]] std::unique_ptr<Solver> make_z3_solver(const logic::Vocab& vocab,
+                                                     SolverOptions options = {});
+
+}  // namespace vmn::smt

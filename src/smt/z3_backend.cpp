@@ -1,0 +1,364 @@
+// Z3 backend: translates the logic IR into z3::expr and extracts event
+// traces from satisfying models.
+#include <z3++.h>
+
+#include <chrono>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "core/error.hpp"
+#include "smt/model.hpp"
+#include "smt/solver.hpp"
+
+namespace vmn::smt {
+
+namespace {
+
+using logic::FuncDecl;
+using logic::FuncDeclPtr;
+using logic::Sort;
+using logic::SortPtr;
+using logic::Term;
+using logic::TermKind;
+using logic::TermPtr;
+
+class Z3Solver final : public Solver {
+ public:
+  Z3Solver(const logic::Vocab& vocab, SolverOptions options)
+      : vocab_(&vocab), options_(options), solver_(ctx_) {
+    z3::params p(ctx_);
+    p.set("timeout", options_.timeout_ms);
+    if (options_.seed != 0) {
+      p.set("random_seed", options_.seed);
+    }
+    solver_.set(p);
+  }
+
+  void add(const TermPtr& axiom) override {
+    if (!axiom->is_bool()) {
+      throw SolverError("assertions must be boolean terms");
+    }
+    solver_.add(translate(axiom));
+    ++assertions_;
+  }
+
+  CheckStatus check() override {
+    const auto start = std::chrono::steady_clock::now();
+    z3::check_result r = solver_.check();
+    last_time_ = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    switch (r) {
+      case z3::sat:
+        have_model_ = true;
+        return CheckStatus::sat;
+      case z3::unsat:
+        have_model_ = false;
+        return CheckStatus::unsat;
+      default:
+        have_model_ = false;
+        return CheckStatus::unknown;
+    }
+  }
+
+  [[nodiscard]] SmtModel model() const override {
+    if (!have_model_) {
+      throw SolverError("model() requires a prior sat result");
+    }
+    z3::model m = solver_.get_model();
+    SmtModel out;
+    // Quantified models interpret snd/rcv as formula bodies rather than
+    // entry lists, so enumerate ground atoms: all node pairs, the Packet
+    // universe, and candidate times harvested from the model itself.
+    const std::vector<z3::expr> packets = packet_universe(m);
+    const std::vector<std::int64_t> times = candidate_times(m);
+    const std::size_t node_count = vocab_->node_sort()->size();
+
+    auto snd_it = funcs_.find(vocab_->snd().get());
+    auto rcv_it = funcs_.find(vocab_->rcv().get());
+    for (std::size_t from = 0; from < node_count; ++from) {
+      for (std::size_t to = 0; to < node_count; ++to) {
+        for (std::size_t pi = 0; pi < packets.size(); ++pi) {
+          for (std::int64_t t : times) {
+            auto probe = [&](EventKind kind,
+                             const z3::func_decl& decl) {
+              z3::expr atom =
+                  decl(node_expr(from), node_expr(to), packets[pi],
+                       ctx_.int_val(static_cast<std::int64_t>(t)));
+              if (m.eval(atom, true).is_true()) {
+                out.events.push_back(ModelEvent{kind, from, to, pi, t});
+              }
+            };
+            if (snd_it != funcs_.end()) probe(EventKind::send, snd_it->second);
+            if (rcv_it != funcs_.end()) {
+              probe(EventKind::receive, rcv_it->second);
+            }
+          }
+        }
+      }
+    }
+    auto fail_it = funcs_.find(vocab_->fail().get());
+    if (fail_it != funcs_.end()) {
+      for (std::size_t n = 0; n < node_count; ++n) {
+        for (std::int64_t t : times) {
+          z3::expr atom = fail_it->second(
+              node_expr(n), ctx_.int_val(static_cast<std::int64_t>(t)));
+          if (m.eval(atom, true).is_true()) {
+            out.events.push_back(ModelEvent{EventKind::fail, n, n, 0, t});
+            break;  // one fail event per node is enough for the trace
+          }
+        }
+      }
+    }
+    for (const z3::expr& p : packets) {
+      ModelPacket mp;
+      mp.label = p.to_string();
+      out.packets.push_back(std::move(mp));
+    }
+    fill_packet_fields(m, packets, out);
+    return out;
+  }
+
+  [[nodiscard]] std::chrono::milliseconds last_check_time() const override {
+    return last_time_;
+  }
+
+  [[nodiscard]] std::size_t assertion_count() const override {
+    return assertions_;
+  }
+
+ private:
+  // -- sort / declaration translation --------------------------------------
+  z3::sort z3_sort(const SortPtr& s) {
+    switch (s->kind()) {
+      case Sort::Kind::boolean:
+        return ctx_.bool_sort();
+      case Sort::Kind::integer:
+        return ctx_.int_sort();
+      case Sort::Kind::uninterpreted: {
+        auto it = usorts_.find(s->name());
+        if (it != usorts_.end()) return it->second;
+        z3::sort zs = ctx_.uninterpreted_sort(s->name().c_str());
+        usorts_.emplace(s->name(), zs);
+        return zs;
+      }
+      case Sort::Kind::finite: {
+        auto it = esorts_.find(s->name());
+        if (it != esorts_.end()) return it->second.sort;
+        std::vector<const char*> names;
+        names.reserve(s->size());
+        for (const auto& e : s->elements()) names.push_back(e.c_str());
+        EnumSort es{ctx_, z3::func_decl_vector(ctx_),
+                    z3::func_decl_vector(ctx_)};
+        es.sort = ctx_.enumeration_sort(s->name().c_str(),
+                                        static_cast<unsigned>(names.size()),
+                                        names.data(), es.consts, es.testers);
+        auto [pos, _] = esorts_.emplace(s->name(), std::move(es));
+        return pos->second.sort;
+      }
+    }
+    throw SolverError("unknown sort kind");
+  }
+
+  z3::func_decl z3_func(const FuncDeclPtr& f) {
+    auto it = funcs_.find(f.get());
+    if (it != funcs_.end()) return it->second;
+    z3::sort_vector domain(ctx_);
+    for (const auto& d : f->domain()) domain.push_back(z3_sort(d));
+    z3::func_decl zf = ctx_.function(f->name().c_str(), domain,
+                                     z3_sort(f->range()));
+    funcs_.emplace(f.get(), zf);
+    return zf;
+  }
+
+  z3::expr enum_const(const SortPtr& s, std::size_t index) {
+    z3_sort(s);  // ensure interned
+    return esorts_.at(s->name()).consts[static_cast<unsigned>(index)]();
+  }
+
+  // -- term translation -----------------------------------------------------
+  z3::expr translate(const TermPtr& t) {
+    auto it = cache_.find(t->id());
+    if (it != cache_.end()) return it->second;
+    z3::expr e = translate_uncached(t);
+    cache_.emplace(t->id(), e);
+    return e;
+  }
+
+  z3::expr translate_uncached(const TermPtr& t) {
+    switch (t->kind()) {
+      case TermKind::bool_const:
+        return ctx_.bool_val(t->bool_value());
+      case TermKind::int_const:
+        return ctx_.int_val(static_cast<std::int64_t>(t->int_value()));
+      case TermKind::enum_const:
+        return enum_const(t->sort(), t->enum_index());
+      case TermKind::variable:
+        return ctx_.constant(t->var_name().c_str(), z3_sort(t->sort()));
+      case TermKind::app: {
+        z3::expr_vector args(ctx_);
+        for (const auto& c : t->children()) args.push_back(translate(c));
+        return z3_func(t->decl())(args);
+      }
+      case TermKind::not_op:
+        return !translate(t->children()[0]);
+      case TermKind::and_op: {
+        z3::expr_vector args(ctx_);
+        for (const auto& c : t->children()) args.push_back(translate(c));
+        return z3::mk_and(args);
+      }
+      case TermKind::or_op: {
+        z3::expr_vector args(ctx_);
+        for (const auto& c : t->children()) args.push_back(translate(c));
+        return z3::mk_or(args);
+      }
+      case TermKind::implies_op:
+        return z3::implies(translate(t->children()[0]),
+                           translate(t->children()[1]));
+      case TermKind::iff_op:
+        return translate(t->children()[0]) == translate(t->children()[1]);
+      case TermKind::ite_op:
+        return z3::ite(translate(t->children()[0]), translate(t->children()[1]),
+                       translate(t->children()[2]));
+      case TermKind::eq_op:
+        return translate(t->children()[0]) == translate(t->children()[1]);
+      case TermKind::distinct_op: {
+        z3::expr_vector args(ctx_);
+        for (const auto& c : t->children()) args.push_back(translate(c));
+        return z3::distinct(args);
+      }
+      case TermKind::lt_op:
+        return translate(t->children()[0]) < translate(t->children()[1]);
+      case TermKind::le_op:
+        return translate(t->children()[0]) <= translate(t->children()[1]);
+      case TermKind::add_op:
+        return translate(t->children()[0]) + translate(t->children()[1]);
+      case TermKind::sub_op:
+        return translate(t->children()[0]) - translate(t->children()[1]);
+      case TermKind::forall_op:
+      case TermKind::exists_op: {
+        z3::expr_vector vars(ctx_);
+        for (const auto& v : t->binders()) vars.push_back(translate(v));
+        z3::expr body = translate(t->children()[0]);
+        return t->kind() == TermKind::forall_op ? z3::forall(vars, body)
+                                                : z3::exists(vars, body);
+      }
+    }
+    throw SolverError("unknown term kind");
+  }
+
+  // -- model extraction ------------------------------------------------------
+  z3::expr node_expr(std::size_t index) const {
+    return esorts_.at(vocab_->node_sort()->name())
+        .consts[static_cast<unsigned>(index)]();
+  }
+
+  /// Elements of the (finite-in-the-model) Packet universe. Uses the C API:
+  /// the z3::model wrapper in this Z3 version does not expose universes.
+  std::vector<z3::expr> packet_universe(const z3::model& m) const {
+    std::vector<z3::expr> out;
+    auto it = usorts_.find(vocab_->packet_sort()->name());
+    if (it == usorts_.end()) return out;
+    const unsigned n = Z3_model_get_num_sorts(ctx_, m);
+    for (unsigned i = 0; i < n; ++i) {
+      z3::sort s(ctx_, Z3_model_get_sort(ctx_, m, i));
+      if (z3::eq(s, it->second)) {
+        z3::expr_vector univ(ctx_, Z3_model_get_sort_universe(ctx_, m, s));
+        for (unsigned j = 0; j < univ.size(); ++j) out.push_back(univ[j]);
+        return out;
+      }
+    }
+    return out;
+  }
+
+  /// Integer numerals mentioned anywhere in the model's function bodies and
+  /// constant values - the only times at which events can be true.
+  std::vector<std::int64_t> candidate_times(const z3::model& m) const {
+    std::set<std::int64_t> times;
+    times.insert(0);
+    std::set<unsigned> seen;
+    std::function<void(const z3::expr&)> walk = [&](const z3::expr& e) {
+      if (!seen.insert(e.id()).second) return;
+      if (e.is_numeral() && e.is_int()) {
+        std::int64_t v = 0;
+        if (e.is_numeral_i64(v) && v >= 0 && v < (1 << 20)) times.insert(v);
+      }
+      if (e.is_app()) {
+        for (unsigned i = 0; i < e.num_args(); ++i) walk(e.arg(i));
+      }
+    };
+    for (unsigned i = 0; i < m.num_consts(); ++i) {
+      walk(m.get_const_interp(m.get_const_decl(i)));
+    }
+    for (unsigned i = 0; i < m.num_funcs(); ++i) {
+      z3::func_interp fi = m.get_func_interp(m.get_func_decl(i));
+      walk(fi.else_value());
+      for (unsigned j = 0; j < fi.num_entries(); ++j) {
+        z3::func_entry entry = fi.entry(j);
+        walk(entry.value());
+        for (unsigned k = 0; k < entry.num_args(); ++k) walk(entry.arg(k));
+      }
+    }
+    return {times.begin(), times.end()};
+  }
+
+  void fill_packet_fields(const z3::model& m,
+                          const std::vector<z3::expr>& packets,
+                          SmtModel& out) const {
+    auto eval_int = [&](const FuncDeclPtr& f, const z3::expr& p) {
+      auto it = funcs_.find(f.get());
+      if (it == funcs_.end()) return std::int64_t{0};
+      z3::expr v = m.eval(it->second(p), /*model_completion=*/true);
+      std::int64_t value = 0;
+      if (v.is_numeral()) (void)v.is_numeral_i64(value);
+      return value;
+    };
+    auto eval_bool = [&](const FuncDeclPtr& f, const z3::expr& p) {
+      auto it = funcs_.find(f.get());
+      if (it == funcs_.end()) return false;
+      return m.eval(it->second(p), true).is_true();
+    };
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      const z3::expr& p = packets[i];
+      ModelPacket& mp = out.packets[i];
+      mp.src = eval_int(vocab_->src(), p);
+      mp.dst = eval_int(vocab_->dst(), p);
+      mp.src_port = eval_int(vocab_->src_port(), p);
+      mp.dst_port = eval_int(vocab_->dst_port(), p);
+      mp.origin = eval_int(vocab_->origin(), p);
+      mp.malicious = eval_bool(vocab_->malicious(), p);
+      mp.app_class = eval_int(vocab_->app_class(), p);
+    }
+  }
+
+  struct EnumSort {
+    z3::context& ctx;
+    z3::func_decl_vector consts;
+    z3::func_decl_vector testers;
+    z3::sort sort{ctx};
+  };
+
+  const logic::Vocab* vocab_;
+  SolverOptions options_;
+  /// The Z3 context is internally synchronized state shared by every
+  /// expression; model extraction (a const operation) still builds probe
+  /// terms through it.
+  mutable z3::context ctx_;
+  z3::solver solver_;
+  std::unordered_map<std::string, z3::sort> usorts_;
+  std::unordered_map<std::string, EnumSort> esorts_;
+  std::unordered_map<const FuncDecl*, z3::func_decl> funcs_;
+  std::unordered_map<std::uint64_t, z3::expr> cache_;
+  std::chrono::milliseconds last_time_{0};
+  std::size_t assertions_ = 0;
+  bool have_model_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> make_z3_solver(const logic::Vocab& vocab,
+                                       SolverOptions options) {
+  return std::make_unique<Z3Solver>(vocab, options);
+}
+
+}  // namespace vmn::smt

@@ -1,0 +1,157 @@
+#include "verify/verifier.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+namespace vmn::verify {
+
+std::string to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::holds:
+      return "holds";
+    case Outcome::violated:
+      return "violated";
+    case Outcome::unknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+Verifier::Verifier(const encode::NetworkModel& model, VerifyOptions options)
+    : model_(&model), options_(options) {
+  classes_ = options_.infer_policy_classes
+                 ? slice::infer_policy_classes(model)
+                 : slice::declared_policy_classes(model);
+}
+
+VerifyResult Verifier::verify(const encode::Invariant& invariant) const {
+  const auto start = std::chrono::steady_clock::now();
+  VerifyResult result;
+
+  std::vector<NodeId> members;
+  if (options_.use_slices) {
+    slice::Slice s = slice::compute_slice(
+        *model_, invariant, classes_,
+        slice::SliceOptions{options_.max_failures});
+    members = std::move(s.members);
+  } else {
+    members = encode::all_edge_nodes(*model_);
+  }
+
+  encode::Encoding encoding(*model_, std::move(members),
+                            encode::EncodeOptions{options_.max_failures});
+  encoding.add_invariant(invariant);
+
+  auto solver = smt::make_z3_solver(encoding.vocab(), options_.solver);
+  for (const encode::Axiom& axiom : encoding.axioms()) {
+    solver->add(axiom.term);
+  }
+
+  const smt::CheckStatus status = solver->check();
+  result.raw_status = status;
+  result.solve_time = solver->last_check_time();
+  result.slice_size = encoding.members().size();
+  result.assertion_count = solver->assertion_count();
+
+  // sat = counterexample exists = violated, except for positive
+  // reachability invariants where sat is the desired witness.
+  switch (status) {
+    case smt::CheckStatus::sat:
+      result.outcome =
+          invariant.sat_means_holds() ? Outcome::holds : Outcome::violated;
+      result.counterexample = build_trace(encoding, solver->model());
+      break;
+    case smt::CheckStatus::unsat:
+      result.outcome =
+          invariant.sat_means_holds() ? Outcome::violated : Outcome::holds;
+      break;
+    case smt::CheckStatus::unknown:
+      result.outcome = Outcome::unknown;
+      break;
+  }
+  result.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  return result;
+}
+
+BatchResult Verifier::verify_all(
+    const std::vector<encode::Invariant>& invariants, bool use_symmetry) const {
+  const auto start = std::chrono::steady_clock::now();
+  BatchResult batch;
+  batch.results.resize(invariants.size());
+
+  if (!use_symmetry) {
+    for (std::size_t i = 0; i < invariants.size(); ++i) {
+      batch.results[i] = verify(invariants[i]);
+      ++batch.solver_calls;
+    }
+  } else {
+    slice::SymmetryGroups groups = slice::group_invariants(invariants, classes_);
+    for (const slice::SymmetryGroup& g : groups.groups) {
+      VerifyResult rep = verify(invariants[g.invariants.front()]);
+      ++batch.solver_calls;
+      for (std::size_t k = 1; k < g.invariants.size(); ++k) {
+        VerifyResult inherited;
+        inherited.outcome = rep.outcome;
+        inherited.raw_status = rep.raw_status;
+        inherited.solve_time = rep.solve_time;
+        inherited.total_time = rep.total_time;
+        inherited.slice_size = rep.slice_size;
+        inherited.assertion_count = rep.assertion_count;
+        // No counterexample: the witness names the representative's nodes.
+        inherited.by_symmetry = true;
+        batch.results[g.invariants[k]] = std::move(inherited);
+      }
+      batch.results[g.invariants.front()] = std::move(rep);
+    }
+  }
+  batch.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  return batch;
+}
+
+Trace Verifier::build_trace(const encode::Encoding& encoding,
+                            const smt::SmtModel& model) const {
+  Trace trace;
+  auto to_packet = [&](const smt::ModelPacket& mp) {
+    Packet p;
+    p.src = Address(static_cast<std::uint32_t>(mp.src));
+    p.dst = Address(static_cast<std::uint32_t>(mp.dst));
+    p.src_port = static_cast<std::uint16_t>(mp.src_port & 0xffff);
+    p.dst_port = static_cast<std::uint16_t>(mp.dst_port & 0xffff);
+    if (mp.origin) p.origin = Address(static_cast<std::uint32_t>(*mp.origin));
+    p.malicious = mp.malicious;
+    p.app_class = static_cast<std::uint16_t>(mp.app_class & 0xffff);
+    return p;
+  };
+  auto to_node = [&](std::size_t index) {
+    auto node = encoding.topology_node(index);
+    return node ? *node : NodeId{};  // invalid id stands for Omega
+  };
+  // The model may hold an atom true at several timesteps; keep the earliest
+  // occurrence of each distinct event for a readable schedule.
+  std::set<std::tuple<int, std::size_t, std::size_t, std::size_t>> seen;
+  std::vector<smt::ModelEvent> events = model.events;
+  std::sort(events.begin(), events.end(),
+            [](const smt::ModelEvent& a, const smt::ModelEvent& b) {
+              return a.time < b.time;
+            });
+  for (const smt::ModelEvent& ev : events) {
+    if (!seen.insert({static_cast<int>(ev.kind), ev.from, ev.to, ev.packet})
+             .second) {
+      continue;
+    }
+    Event e;
+    e.kind = ev.kind;
+    e.time = ev.time;
+    e.from = to_node(ev.from);
+    e.to = to_node(ev.to);
+    if (ev.kind != EventKind::fail) e.packet = to_packet(model.packets[ev.packet]);
+    trace.add(e);
+  }
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace vmn::verify

@@ -1,0 +1,90 @@
+// The VMN verifier (paper, section 3.1).
+//
+// Orchestrates a verification run: compute the slice (unless disabled),
+// encode network + middleboxes + oracles + negated invariant, hand the
+// axioms to Z3, interpret the result, and - on violation - extract a
+// counterexample trace from the model. Batch verification optionally
+// exploits policy symmetry to verify one invariant per symmetry group.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "encode/encoder.hpp"
+#include "encode/invariant.hpp"
+#include "encode/model.hpp"
+#include "slice/policy.hpp"
+#include "slice/slice.hpp"
+#include "slice/symmetry.hpp"
+#include "smt/solver.hpp"
+
+namespace vmn::verify {
+
+enum class Outcome : std::uint8_t {
+  holds,     ///< invariant proven for all schedules and oracle behaviors
+  violated,  ///< counterexample schedule found
+  unknown,   ///< solver timeout / incompleteness
+};
+
+[[nodiscard]] std::string to_string(Outcome outcome);
+
+struct VerifyOptions {
+  /// Verify on a computed slice instead of the whole network.
+  bool use_slices = true;
+  /// Failure budget: how many nodes may fail simultaneously.
+  int max_failures = 0;
+  /// Use inferred policy classes (configuration fingerprints) rather than
+  /// the declared ones for slices and symmetry.
+  bool infer_policy_classes = true;
+  smt::SolverOptions solver;
+};
+
+struct VerifyResult {
+  Outcome outcome = Outcome::unknown;
+  smt::CheckStatus raw_status = smt::CheckStatus::unknown;
+  std::chrono::milliseconds solve_time{0};
+  std::chrono::milliseconds total_time{0};
+  std::size_t slice_size = 0;       ///< encoded edge nodes
+  std::size_t assertion_count = 0;  ///< axioms handed to the solver
+  std::optional<Trace> counterexample;
+  /// Set when the result was inherited from a symmetric representative.
+  bool by_symmetry = false;
+};
+
+struct BatchResult {
+  std::vector<VerifyResult> results;  ///< aligned with the invariant list
+  std::size_t solver_calls = 0;
+  std::chrono::milliseconds total_time{0};
+};
+
+class Verifier {
+ public:
+  Verifier(const encode::NetworkModel& model, VerifyOptions options = {});
+
+  /// Verifies a single invariant.
+  [[nodiscard]] VerifyResult verify(const encode::Invariant& invariant) const;
+
+  /// Verifies a list of invariants; with `use_symmetry`, only one invariant
+  /// per symmetry group is checked and the rest inherit the outcome.
+  [[nodiscard]] BatchResult verify_all(
+      const std::vector<encode::Invariant>& invariants,
+      bool use_symmetry = true) const;
+
+  [[nodiscard]] const slice::PolicyClasses& policy_classes() const {
+    return classes_;
+  }
+  [[nodiscard]] const VerifyOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] Trace build_trace(const encode::Encoding& encoding,
+                                  const smt::SmtModel& model) const;
+
+  const encode::NetworkModel* model_;
+  VerifyOptions options_;
+  slice::PolicyClasses classes_;
+};
+
+}  // namespace vmn::verify

@@ -1,0 +1,173 @@
+// Unit tests for src/core: ids, addresses, prefixes, packets, flows,
+// events, traces and the rng.
+#include <gtest/gtest.h>
+
+#include "core/address.hpp"
+#include "core/error.hpp"
+#include "core/ids.hpp"
+#include "core/packet.hpp"
+#include "core/rng.hpp"
+#include "core/trace.hpp"
+
+namespace vmn {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  NodeId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(NodeId{1}, NodeId{2});
+  EXPECT_EQ(NodeId{7}, NodeId{7});
+  EXPECT_NE(NodeId{7}, NodeId{8});
+}
+
+TEST(Ids, DistinctTagTypesAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, ScenarioId>);
+  static_assert(!std::is_same_v<PolicyClassId, TenantId>);
+}
+
+TEST(Ids, Hashable) {
+  std::hash<NodeId> h;
+  EXPECT_EQ(h(NodeId{3}), h(NodeId{3}));
+}
+
+TEST(Address, OctetConstruction) {
+  Address a = Address::of(10, 1, 2, 3);
+  EXPECT_EQ(a.bits(), 0x0a010203u);
+  EXPECT_EQ(a.to_string(), "10.1.2.3");
+}
+
+TEST(Address, Comparison) {
+  EXPECT_LT(Address::of(10, 0, 0, 1), Address::of(10, 0, 0, 2));
+  EXPECT_EQ(Address(7), Address(7));
+}
+
+TEST(Prefix, HostPrefixContainsExactlyItself) {
+  Prefix p = Prefix::host(Address::of(10, 0, 0, 5));
+  EXPECT_TRUE(p.contains(Address::of(10, 0, 0, 5)));
+  EXPECT_FALSE(p.contains(Address::of(10, 0, 0, 6)));
+}
+
+TEST(Prefix, AnyContainsEverything) {
+  EXPECT_TRUE(Prefix::any().contains(Address(0)));
+  EXPECT_TRUE(Prefix::any().contains(Address(~0u)));
+}
+
+TEST(Prefix, Slash24Containment) {
+  Prefix p(Address::of(10, 1, 2, 0), 24);
+  EXPECT_TRUE(p.contains(Address::of(10, 1, 2, 255)));
+  EXPECT_FALSE(p.contains(Address::of(10, 1, 3, 0)));
+}
+
+TEST(Prefix, CoversIsReflexiveAndOrdered) {
+  Prefix wide(Address::of(10, 0, 0, 0), 8);
+  Prefix narrow(Address::of(10, 1, 0, 0), 16);
+  EXPECT_TRUE(wide.covers(narrow));
+  EXPECT_FALSE(narrow.covers(wide));
+  EXPECT_TRUE(wide.covers(wide));
+}
+
+TEST(Prefix, ToString) {
+  EXPECT_EQ(Prefix(Address::of(10, 0, 0, 0), 8).to_string(), "10.0.0.0/8");
+}
+
+TEST(Prefix, ZeroLengthIgnoresBase) {
+  Prefix p(Address::of(172, 16, 0, 0), 0);
+  EXPECT_TRUE(p.contains(Address::of(10, 0, 0, 1)));
+}
+
+TEST(Packet, FlowIsDirectionAgnostic) {
+  Packet p{Address::of(10, 0, 0, 1), Address::of(10, 0, 0, 2), 1000, 80};
+  EXPECT_EQ(p.flow(), p.reversed().flow());
+}
+
+TEST(Packet, ReversedSwapsEndpoints) {
+  Packet p{Address::of(10, 0, 0, 1), Address::of(10, 0, 0, 2), 1000, 80};
+  Packet r = p.reversed();
+  EXPECT_EQ(r.src, p.dst);
+  EXPECT_EQ(r.dst, p.src);
+  EXPECT_EQ(r.src_port, p.dst_port);
+  EXPECT_EQ(r.dst_port, p.src_port);
+}
+
+TEST(Packet, DistinctFlowsDiffer) {
+  Packet p{Address::of(10, 0, 0, 1), Address::of(10, 0, 0, 2), 1000, 80};
+  Packet q = p;
+  q.src_port = 1001;
+  EXPECT_NE(p.flow(), q.flow());
+}
+
+TEST(Packet, ToStringMentionsAnnotations) {
+  Packet p{Address::of(10, 0, 0, 1), Address::of(10, 0, 0, 2), 1, 2};
+  p.malicious = true;
+  p.origin = Address::of(10, 0, 0, 9);
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("malicious"), std::string::npos);
+  EXPECT_NE(s.find("origin=10.0.0.9"), std::string::npos);
+}
+
+TEST(Event, KindNames) {
+  EXPECT_EQ(to_string(EventKind::send), "snd");
+  EXPECT_EQ(to_string(EventKind::receive), "rcv");
+  EXPECT_EQ(to_string(EventKind::fail), "fail");
+}
+
+TEST(Trace, SortsByTime) {
+  Trace t;
+  t.add(Event{EventKind::send, 5, NodeId{0}, NodeId{1}, {}});
+  t.add(Event{EventKind::send, 2, NodeId{1}, NodeId{0}, {}});
+  t.sort_by_time();
+  EXPECT_EQ(t.events()[0].time, 2);
+  EXPECT_EQ(t.events()[1].time, 5);
+}
+
+TEST(Trace, RendersNodeNames) {
+  Trace t;
+  t.add(Event{EventKind::fail, 1, NodeId{3}, NodeId{3}, {}});
+  std::string s = t.to_string([](NodeId n) {
+    return "node" + std::to_string(n.value());
+  });
+  EXPECT_NE(s.find("fail node3"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    auto v = rng.uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, SampleReturnsDistinctIndices) {
+  Rng rng(11);
+  auto s = rng.sample(10, 4);
+  ASSERT_EQ(s.size(), 4u);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(std::unique(s.begin(), s.end()), s.end());
+  for (auto v : s) EXPECT_LT(v, 10u);
+}
+
+TEST(Errors, HierarchyIsCatchable) {
+  EXPECT_THROW(throw ForwardingLoopError("x"), Error);
+  EXPECT_THROW(throw ModelError("x"), Error);
+  EXPECT_THROW(throw SolverError("x"), Error);
+}
+
+}  // namespace
+}  // namespace vmn

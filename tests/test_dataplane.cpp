@@ -1,0 +1,195 @@
+// Tests for the static-datapath substrate: transfer functions, loop
+// detection, equivalence classes, HSA reachability, pipeline checking.
+#include <gtest/gtest.h>
+
+#include "dataplane/pipeline.hpp"
+#include "dataplane/reach.hpp"
+#include "dataplane/transfer.hpp"
+
+namespace vmn::dataplane {
+namespace {
+
+/// A small fixture network:  a --- s1 --- s2 --- b, with a middlebox m on s1.
+class DataplaneTest : public ::testing::Test {
+ protected:
+  DataplaneTest() {
+    a = net.add_host("a", Address::of(10, 0, 0, 1));
+    b = net.add_host("b", Address::of(10, 0, 1, 1));
+    m = net.add_middlebox("fw-m");
+    s1 = net.add_switch("s1");
+    s2 = net.add_switch("s2");
+    net.add_link(a, s1);
+    net.add_link(m, s1);
+    net.add_link(s1, s2);
+    net.add_link(b, s2);
+  }
+
+  void route_plain() {
+    net.table(s1).add(Prefix::host(Address::of(10, 0, 0, 1)), a);
+    net.table(s1).add(Prefix(Address::of(10, 0, 1, 0), 24), s2);
+    net.table(s2).add(Prefix::host(Address::of(10, 0, 1, 1)), b);
+    net.table(s2).add(Prefix(Address::of(10, 0, 0, 0), 24), s1);
+  }
+
+  void route_through_middlebox() {
+    // a-side traffic to b goes through m first.
+    net.table(s1).add_from(a, Prefix(Address::of(10, 0, 1, 0), 24), m);
+    net.table(s1).add_from(m, Prefix(Address::of(10, 0, 1, 0), 24), s2);
+    net.table(s1).add(Prefix::host(Address::of(10, 0, 0, 1)), a);
+    net.table(s2).add(Prefix::host(Address::of(10, 0, 1, 1)), b);
+    net.table(s2).add(Prefix(Address::of(10, 0, 0, 0), 24), s1);
+  }
+
+  net::Network net;
+  NodeId a, b, m, s1, s2;
+};
+
+TEST_F(DataplaneTest, DeliversAcrossSwitches) {
+  route_plain();
+  TransferFunction tf(net, net::Network::base_scenario);
+  EXPECT_EQ(tf.next_edge(a, Address::of(10, 0, 1, 1)), b);
+  EXPECT_EQ(tf.next_edge(b, Address::of(10, 0, 0, 1)), a);
+}
+
+TEST_F(DataplaneTest, BlackholeIsDrop) {
+  route_plain();
+  TransferFunction tf(net, net::Network::base_scenario);
+  EXPECT_EQ(tf.next_edge(a, Address::of(172, 16, 0, 1)), std::nullopt);
+}
+
+TEST_F(DataplaneTest, PathListsSwitches) {
+  route_plain();
+  TransferFunction tf(net, net::Network::base_scenario);
+  auto p = tf.path(a, Address::of(10, 0, 1, 1));
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0], a);
+  EXPECT_EQ(p[1], s1);
+  EXPECT_EQ(p[2], s2);
+  EXPECT_EQ(p[3], b);
+}
+
+TEST_F(DataplaneTest, ServiceChainingViaInPortRules) {
+  route_through_middlebox();
+  TransferFunction tf(net, net::Network::base_scenario);
+  EXPECT_EQ(tf.next_edge(a, Address::of(10, 0, 1, 1)), m);
+  EXPECT_EQ(tf.next_edge(m, Address::of(10, 0, 1, 1)), b);
+}
+
+TEST_F(DataplaneTest, EdgeChainCollectsMiddleboxes) {
+  route_through_middlebox();
+  TransferFunction tf(net, net::Network::base_scenario);
+  EdgeChain chain = edge_chain(tf, a, Address::of(10, 0, 1, 1));
+  EXPECT_TRUE(chain.reached);
+  ASSERT_EQ(chain.middleboxes.size(), 1u);
+  EXPECT_EQ(chain.middleboxes[0], m);
+  EXPECT_EQ(chain.final_edge, b);
+}
+
+TEST_F(DataplaneTest, ForwardingLoopRaises) {
+  // s1 and s2 bounce the packet: s1 -> s2 -> s1 -> ...
+  net.table(s1).add(Prefix(Address::of(10, 9, 0, 0), 16), s2);
+  net.table(s2).add(Prefix(Address::of(10, 9, 0, 0), 16), s1);
+  TransferFunction tf(net, net::Network::base_scenario);
+  EXPECT_THROW((void)tf.next_edge(a, Address::of(10, 9, 0, 1)),
+               ForwardingLoopError);
+}
+
+TEST_F(DataplaneTest, FailedEdgeStillReceivesFailedSwitchDrops) {
+  route_through_middlebox();
+  ScenarioId down = net.add_failure_scenario("m-down", {m});
+  TransferFunction tf(net, down);
+  // A failed *edge* next hop still receives - its failure mode decides
+  // whether anything is forwarded (fail-open boxes keep acting as wires).
+  EXPECT_EQ(tf.next_edge(a, Address::of(10, 0, 1, 1)), m);
+}
+
+TEST_F(DataplaneTest, ScenarioReroutingIsHonored) {
+  route_through_middlebox();
+  ScenarioId down = net.add_failure_scenario("m-down", {m});
+  // Backup routing skips the middlebox.
+  net.table(s1, down).add_from(a, Prefix(Address::of(10, 0, 1, 0), 24), s2,
+                               /*priority=*/9);
+  TransferFunction tf(net, down);
+  EXPECT_EQ(tf.next_edge(a, Address::of(10, 0, 1, 1)), b);
+}
+
+TEST_F(DataplaneTest, DestinationClassesSeparateHostsAndRules) {
+  route_plain();
+  auto classes = destination_classes(net, net::Network::base_scenario);
+  // Representatives must distinguish a's /32, b's /32 and the rule prefixes.
+  auto contains = [&](Address x) {
+    return std::find(classes.begin(), classes.end(), x) != classes.end();
+  };
+  EXPECT_TRUE(contains(Address::of(10, 0, 0, 1)));
+  EXPECT_TRUE(contains(Address::of(10, 0, 1, 1)));
+  // Classes are genuine equivalence classes: every rule treats all members
+  // of [rep, next-rep) identically by construction.
+  EXPECT_GE(classes.size(), 4u);
+}
+
+TEST_F(DataplaneTest, HsaReachMatchesTransferFunction) {
+  route_plain();
+  auto delivered = hsa_reach(net, net::Network::base_scenario, a);
+  ASSERT_TRUE(delivered.contains(b));
+  EXPECT_TRUE(delivered[b].contains(Address::of(10, 0, 1, 1)));
+  // Everything delivered to b must route to b under the scalar walk too.
+  TransferFunction tf(net, net::Network::base_scenario);
+  auto sample = delivered[b].sample();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(tf.next_edge(a, *sample), b);
+}
+
+TEST_F(DataplaneTest, HsaReachHonorsInPortChains) {
+  route_through_middlebox();
+  auto delivered = hsa_reach(net, net::Network::base_scenario, a);
+  // From a, traffic to b's subnet is delivered to the middlebox first.
+  ASSERT_TRUE(delivered.contains(m));
+  EXPECT_TRUE(delivered[m].contains(Address::of(10, 0, 1, 1)));
+  EXPECT_FALSE(delivered.contains(b));
+}
+
+TEST_F(DataplaneTest, AuditFindsLoopsAndBlackholes) {
+  route_plain();
+  net.table(s1).add(Prefix(Address::of(10, 9, 0, 0), 16), s2);
+  net.table(s2).add(Prefix(Address::of(10, 9, 0, 0), 16), s1);
+  AuditReport report = audit(net, net::Network::base_scenario,
+                             {Address::of(10, 9, 0, 1),     // loops
+                              Address::of(172, 16, 0, 1),   // blackholes
+                              Address::of(10, 0, 1, 1)});   // fine from a
+  EXPECT_FALSE(report.clean());
+  EXPECT_FALSE(report.loops.empty());
+  EXPECT_FALSE(report.blackholes.empty());
+}
+
+TEST_F(DataplaneTest, PipelineInvariantChecks) {
+  route_through_middlebox();
+  TransferFunction tf(net, net::Network::base_scenario);
+  PipelineInvariant must_pass_fw{a, Address::of(10, 0, 1, 1), {{"fw"}}};
+  PipelineResult r = check_pipeline(tf, must_pass_fw);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_TRUE(r.delivered);
+
+  PipelineInvariant must_pass_ids{a, Address::of(10, 0, 1, 1), {{"ids"}}};
+  r = check_pipeline(tf, must_pass_ids);
+  EXPECT_FALSE(r.satisfied);
+  ASSERT_TRUE(r.first_missing_step.has_value());
+  EXPECT_EQ(*r.first_missing_step, 0u);
+}
+
+TEST_F(DataplaneTest, PipelineVacuouslySatisfiedWhenDropped) {
+  route_plain();
+  TransferFunction tf(net, net::Network::base_scenario);
+  PipelineInvariant inv{a, Address::of(172, 16, 0, 1), {{"fw"}}};
+  PipelineResult r = check_pipeline(tf, inv);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_FALSE(r.delivered);
+}
+
+TEST_F(DataplaneTest, TransferFunctionRequiresEdgeNode) {
+  route_plain();
+  TransferFunction tf(net, net::Network::base_scenario);
+  EXPECT_THROW((void)tf.next_edge(s1, Address(1)), ModelError);
+}
+
+}  // namespace
+}  // namespace vmn::dataplane

@@ -1,0 +1,170 @@
+// Tests for the encoder: membership/sorting, relevant addresses, axiom
+// inventory, invariant encodings and input validation.
+#include <gtest/gtest.h>
+
+#include "encode/encoder.hpp"
+#include "encode/oracle.hpp"
+#include "logic/printer.hpp"
+#include "mbox/firewall.hpp"
+#include "mbox/nat.hpp"
+#include "util.hpp"
+
+namespace vmn::encode {
+namespace {
+
+using test::OneBoxNet;
+
+std::unique_ptr<mbox::LearningFirewall> open_firewall() {
+  return std::make_unique<mbox::LearningFirewall>(
+      "fw", std::vector<mbox::AclEntry>{}, mbox::AclAction::allow);
+}
+
+TEST(Encoder, MembersDefaultToAllEdgeNodes) {
+  OneBoxNet n = OneBoxNet::make(open_firewall());
+  Encoding enc(n.model, {}, {});
+  EXPECT_EQ(enc.members().size(), 3u);  // a, b, fw
+  EXPECT_EQ(enc.omega_index(), 3u);
+  EXPECT_EQ(enc.vocab().node_sort()->size(), 4u);
+}
+
+TEST(Encoder, MembersAreSortedAndDeduped) {
+  OneBoxNet n = OneBoxNet::make(open_firewall());
+  Encoding enc(n.model, {n.b, n.a, n.b, n.mbox}, {});
+  EXPECT_EQ(enc.members().size(), 3u);
+  EXPECT_TRUE(std::is_sorted(enc.members().begin(), enc.members().end()));
+}
+
+TEST(Encoder, SwitchMembersRejected) {
+  OneBoxNet n = OneBoxNet::make(open_firewall());
+  EXPECT_THROW(Encoding(n.model, {n.a, n.sw1}, {}), ModelError);
+}
+
+TEST(Encoder, SortIndexRoundTrips) {
+  OneBoxNet n = OneBoxNet::make(open_firewall());
+  Encoding enc(n.model, {}, {});
+  for (NodeId m : enc.members()) {
+    auto idx = enc.sort_index(m);
+    EXPECT_EQ(enc.topology_node(idx), m);
+  }
+  EXPECT_EQ(enc.topology_node(enc.omega_index()), std::nullopt);
+}
+
+TEST(Encoder, RelevantAddressesAreHostsPlusImplicit) {
+  OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::Nat>(
+      "nat", Address::of(1, 2, 3, 4), Prefix(Address::of(10, 0, 0, 0), 8)));
+  Encoding enc(n.model, {}, {});
+  const auto& rel = enc.relevant_addresses();
+  EXPECT_EQ(rel.size(), 3u);  // a, b, NAT external
+  EXPECT_NE(std::find(rel.begin(), rel.end(), Address::of(1, 2, 3, 4)),
+            rel.end());
+}
+
+TEST(Encoder, AxiomInventoryCoversAllParts) {
+  OneBoxNet n = OneBoxNet::make(open_firewall());
+  Encoding enc(n.model, {}, {});
+  std::set<std::string> labels;
+  for (const Axiom& ax : enc.axioms()) labels.insert(ax.label);
+  EXPECT_TRUE(labels.contains("channel.causality"));
+  EXPECT_TRUE(labels.contains("channel.time-nonnegative"));
+  EXPECT_TRUE(labels.contains("a.host"));
+  EXPECT_TRUE(labels.contains("b.host"));
+  EXPECT_TRUE(labels.contains("failures.none"));
+  EXPECT_TRUE(labels.contains("omega.transfer"));
+  EXPECT_TRUE(labels.contains("fw.send"));
+}
+
+TEST(Encoder, OmegaAxiomEncodesTransferFunction) {
+  OneBoxNet n = OneBoxNet::make(open_firewall());
+  Encoding enc(n.model, {}, {});
+  std::string omega;
+  for (const Axiom& ax : enc.axioms()) {
+    if (ax.label == "omega.transfer") omega = logic::to_sexpr(ax.term);
+  }
+  ASSERT_FALSE(omega.empty());
+  // a's traffic to b is handed to the firewall, and the firewall's
+  // forwarded copy is delivered to b.
+  EXPECT_NE(omega.find("fw"), std::string::npos);
+  EXPECT_NE(omega.find(std::to_string(OneBoxNet::addr_b().bits())),
+            std::string::npos);
+}
+
+TEST(Encoder, InvariantCanOnlyBeAddedOnce) {
+  OneBoxNet n = OneBoxNet::make(open_firewall());
+  Encoding enc(n.model, {}, {});
+  enc.add_invariant(Invariant::node_isolation(n.b, n.a));
+  EXPECT_THROW(enc.add_invariant(Invariant::node_isolation(n.b, n.a)),
+               ModelError);
+}
+
+TEST(Encoder, EachInvariantKindEncodes) {
+  for (auto make : {
+           +[](const OneBoxNet& n) { return Invariant::node_isolation(n.b, n.a); },
+           +[](const OneBoxNet& n) { return Invariant::flow_isolation(n.b, n.a); },
+           +[](const OneBoxNet& n) { return Invariant::data_isolation(n.b, n.a); },
+           +[](const OneBoxNet& n) { return Invariant::no_malicious_delivery(n.b); },
+           +[](const OneBoxNet& n) { return Invariant::traversal(n.b, "fw"); },
+           +[](const OneBoxNet& n) {
+             return Invariant::traversal_from(n.b, n.a, "fw");
+           },
+           +[](const OneBoxNet& n) { return Invariant::reachable(n.b, n.a); },
+       }) {
+    OneBoxNet n = OneBoxNet::make(open_firewall());
+    Encoding enc(n.model, {}, {});
+    const std::size_t before = enc.axioms().size();
+    enc.add_invariant(make(n));
+    EXPECT_GT(enc.axioms().size(), before);
+  }
+}
+
+TEST(Encoder, FailureBudgetSelectsScenarios) {
+  OneBoxNet n = OneBoxNet::make(open_firewall());
+  n.model.network().add_failure_scenario("fw-down", {n.mbox});
+
+  Encoding no_failures(n.model, {}, EncodeOptions{0});
+  bool has_none = false;
+  for (const Axiom& ax : no_failures.axioms()) {
+    if (ax.label == "failures.none") has_none = true;
+  }
+  EXPECT_TRUE(has_none);
+
+  Encoding with_failures(n.model, {}, EncodeOptions{1});
+  bool has_scenario = false;
+  for (const Axiom& ax : with_failures.axioms()) {
+    if (ax.label == "fw.fail-scenario") has_scenario = true;
+  }
+  EXPECT_TRUE(has_scenario);
+}
+
+TEST(Encoder, InvariantDescriptions) {
+  OneBoxNet n = OneBoxNet::make(open_firewall());
+  auto name = [&](NodeId id) { return n.model.network().name(id); };
+  EXPECT_EQ(Invariant::node_isolation(n.b, n.a).describe(name),
+            "node-isolation(b, a)");
+  EXPECT_EQ(Invariant::traversal(n.b, "fw").describe(name),
+            "traversal(b, via=fw)");
+}
+
+TEST(Encoder, ReferencedHosts) {
+  OneBoxNet n = OneBoxNet::make(open_firewall());
+  EXPECT_EQ(Invariant::node_isolation(n.b, n.a).referenced_hosts().size(), 2u);
+  EXPECT_EQ(Invariant::no_malicious_delivery(n.b).referenced_hosts().size(),
+            1u);
+}
+
+TEST(Encoder, OracleConstraintsAppend) {
+  OneBoxNet n = OneBoxNet::make(open_firewall());
+  Encoding enc(n.model, {}, {});
+  const std::size_t before = enc.axioms().size();
+  add_exclusive_classes(enc, {"skype", "jabber"});
+  add_flow_consistent_malice(enc);
+  EXPECT_EQ(enc.axioms().size(), before + 2);
+}
+
+TEST(Encoder, SatMeansHoldsOnlyForReachability) {
+  OneBoxNet n = OneBoxNet::make(open_firewall());
+  EXPECT_TRUE(Invariant::reachable(n.b, n.a).sat_means_holds());
+  EXPECT_FALSE(Invariant::node_isolation(n.b, n.a).sat_means_holds());
+}
+
+}  // namespace
+}  // namespace vmn::encode

@@ -1,0 +1,174 @@
+// Unit + property tests for the header-space algebra (mini-HSA).
+//
+// The property suite checks the set-algebra laws against a brute-force
+// oracle over a small concrete address window.
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "dataplane/headerspace.hpp"
+
+namespace vmn::dataplane {
+namespace {
+
+TEST(Wildcard, FromPrefixMatchesPrefixMembers) {
+  Wildcard w = Wildcard::from_prefix(Prefix(Address::of(10, 0, 0, 0), 8));
+  EXPECT_TRUE(w.matches(Address::of(10, 255, 1, 2)));
+  EXPECT_FALSE(w.matches(Address::of(11, 0, 0, 0)));
+}
+
+TEST(Wildcard, AnyMatchesEverything) {
+  EXPECT_TRUE(Wildcard::any().matches(Address(0)));
+  EXPECT_TRUE(Wildcard::any().matches(Address(~0u)));
+  EXPECT_EQ(Wildcard::any().size(), std::uint64_t{1} << 32);
+}
+
+TEST(Wildcard, ExactMatchesOne) {
+  Wildcard w = Wildcard::exact(Address(42));
+  EXPECT_TRUE(w.matches(Address(42)));
+  EXPECT_FALSE(w.matches(Address(43)));
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(Wildcard, IntersectionConflictIsEmpty) {
+  Wildcard a = Wildcard::exact(Address(1));
+  Wildcard b = Wildcard::exact(Address(2));
+  EXPECT_FALSE(a.intersect(b).has_value());
+  EXPECT_EQ(a.intersect(a), a);
+}
+
+TEST(Wildcard, SubsetOf) {
+  Wildcard w16 = Wildcard::from_prefix(Prefix(Address::of(10, 1, 0, 0), 16));
+  Wildcard w8 = Wildcard::from_prefix(Prefix(Address::of(10, 0, 0, 0), 8));
+  EXPECT_TRUE(w16.subset_of(w8));
+  EXPECT_FALSE(w8.subset_of(w16));
+  EXPECT_TRUE(w8.subset_of(Wildcard::any()));
+}
+
+TEST(Wildcard, ComplementIsDisjointAndComplete) {
+  Wildcard w = Wildcard::from_prefix(Prefix(Address::of(10, 1, 0, 0), 16));
+  auto comp = w.complement();
+  std::uint64_t total = w.size();
+  for (std::size_t i = 0; i < comp.size(); ++i) {
+    total += comp[i].size();
+    EXPECT_FALSE(comp[i].matches(Address::of(10, 1, 2, 3)));
+    for (std::size_t j = i + 1; j < comp.size(); ++j) {
+      EXPECT_FALSE(comp[i].intersect(comp[j]).has_value());
+    }
+  }
+  EXPECT_EQ(total, std::uint64_t{1} << 32);
+}
+
+TEST(HeaderSpace, EmptyAndAll) {
+  EXPECT_TRUE(HeaderSpace::empty().is_empty());
+  EXPECT_FALSE(HeaderSpace::all().is_empty());
+  EXPECT_EQ(HeaderSpace::all().complement().size(), 0u);
+  EXPECT_EQ(HeaderSpace::empty().complement().size(), std::uint64_t{1} << 32);
+}
+
+TEST(HeaderSpace, UnionDedupsSubsumedTerms) {
+  HeaderSpace a = HeaderSpace::from_prefix(Prefix(Address::of(10, 0, 0, 0), 8));
+  HeaderSpace b =
+      HeaderSpace::from_prefix(Prefix(Address::of(10, 1, 0, 0), 16));
+  HeaderSpace u = a.union_with(b);
+  EXPECT_EQ(u.terms().size(), 1u);  // b is inside a
+  EXPECT_EQ(u.size(), a.size());
+}
+
+TEST(HeaderSpace, DifferenceRemovesExactly) {
+  HeaderSpace a = HeaderSpace::from_prefix(Prefix(Address::of(10, 0, 0, 0), 30));
+  HeaderSpace b = HeaderSpace(Wildcard::exact(Address::of(10, 0, 0, 1)));
+  HeaderSpace d = a.difference(b);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_FALSE(d.contains(Address::of(10, 0, 0, 1)));
+  EXPECT_TRUE(d.contains(Address::of(10, 0, 0, 2)));
+}
+
+TEST(HeaderSpace, SubsetReflexiveAndEmpty) {
+  HeaderSpace a = HeaderSpace::from_prefix(Prefix(Address::of(10, 0, 0, 0), 8));
+  EXPECT_TRUE(a.subset_of(a));
+  EXPECT_TRUE(HeaderSpace::empty().subset_of(a));
+  EXPECT_FALSE(HeaderSpace::all().subset_of(a));
+}
+
+TEST(HeaderSpace, SampleIsMember) {
+  HeaderSpace a =
+      HeaderSpace::from_prefix(Prefix(Address::of(192, 168, 4, 0), 24));
+  auto s = a.sample();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(a.contains(*s));
+  EXPECT_EQ(HeaderSpace::empty().sample(), std::nullopt);
+}
+
+// -- property tests against a brute-force oracle ---------------------------
+//
+// We restrict generated spaces to patterns fixing the upper 24 bits to a
+// constant region and acting arbitrarily on the low byte, so membership can
+// be enumerated exhaustively over 256 addresses.
+
+class HsProperty : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr std::uint32_t region = 0x0a000000;  // 10.0.0.0/24
+
+  static Wildcard random_low_byte_pattern(Rng& rng) {
+    const auto mask_low = static_cast<std::uint32_t>(rng.uniform(0, 255));
+    const auto bits_low =
+        static_cast<std::uint32_t>(rng.uniform(0, 255)) & mask_low;
+    return Wildcard(0xffffff00u | mask_low, region | bits_low);
+  }
+
+  static HeaderSpace random_space(Rng& rng, int max_terms) {
+    std::vector<Wildcard> terms;
+    const int n = static_cast<int>(rng.uniform(0, max_terms));
+    terms.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) terms.push_back(random_low_byte_pattern(rng));
+    return HeaderSpace(terms);
+  }
+
+  static std::vector<bool> membership(const HeaderSpace& h) {
+    std::vector<bool> out(256);
+    for (int i = 0; i < 256; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          h.contains(Address(region | static_cast<std::uint32_t>(i)));
+    }
+    return out;
+  }
+};
+
+TEST_P(HsProperty, SetAlgebraAgreesWithBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  HeaderSpace a = random_space(rng, 4);
+  HeaderSpace b = random_space(rng, 4);
+  auto ma = membership(a);
+  auto mb = membership(b);
+
+  auto mu = membership(a.union_with(b));
+  auto mi = membership(a.intersect(b));
+  auto md = membership(a.difference(b));
+  for (int i = 0; i < 256; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    EXPECT_EQ(mu[s], ma[s] || mb[s]) << "union differs at " << i;
+    EXPECT_EQ(mi[s], ma[s] && mb[s]) << "intersect differs at " << i;
+    EXPECT_EQ(md[s], ma[s] && !mb[s]) << "difference differs at " << i;
+  }
+
+  // subset_of agrees with pointwise implication within the region; outside
+  // the region both spaces are empty by construction.
+  bool brute_subset = true;
+  for (int i = 0; i < 256; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    if (ma[s] && !mb[s]) brute_subset = false;
+  }
+  EXPECT_EQ(a.subset_of(b), brute_subset);
+
+  // Exact size within the region.
+  std::uint64_t brute_count = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (ma[static_cast<std::size_t>(i)]) ++brute_count;
+  }
+  EXPECT_EQ(a.size(), brute_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HsProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace vmn::dataplane

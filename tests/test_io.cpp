@@ -1,0 +1,210 @@
+// Tests for the spec text format: parsing, error reporting, round-tripping
+// and end-to-end verification of a parsed network.
+#include <gtest/gtest.h>
+
+#include "io/spec.hpp"
+#include "mbox/firewall.hpp"
+#include "mbox/load_balancer.hpp"
+#include "mbox/nat.hpp"
+#include "verify/verifier.hpp"
+
+namespace vmn::io {
+namespace {
+
+const char* kTiny = R"(
+# two hosts behind a firewall
+host a 10.0.0.1
+host b 10.0.1.1
+switch s1
+switch s2
+firewall fw default deny
+  allow 10.0.0.1/32 -> 10.0.1.1/32
+end
+link a s1
+link fw s1
+link s1 s2
+link b s2
+route s1 10.0.0.1/32 a
+route s1 from a 10.0.1.1/32 fw
+route s1 from fw 10.0.1.1/32 s2
+route s1 from s2 10.0.0.1/32 fw
+route s1 from fw 10.0.0.1/32 a
+route s2 10.0.1.1/32 b
+route s2 10.0.0.1/32 s1
+invariant flow-isolation a b expect holds
+invariant reachable b a expect holds
+)";
+
+TEST(SpecParse, TinyNetworkStructure) {
+  Spec spec = parse_spec_string(kTiny);
+  const net::Network& net = spec.model.network();
+  EXPECT_EQ(net.hosts().size(), 2u);
+  EXPECT_EQ(net.middleboxes().size(), 1u);
+  EXPECT_EQ(spec.invariants.size(), 2u);
+  ASSERT_TRUE(spec.expectations[0].has_value());
+  EXPECT_EQ(*spec.expectations[0], verify::Outcome::holds);
+  auto* fw = dynamic_cast<mbox::LearningFirewall*>(
+      spec.model.middlebox_at(net.node_by_name("fw")));
+  ASSERT_NE(fw, nullptr);
+  EXPECT_EQ(fw->acl().size(), 1u);
+  EXPECT_EQ(fw->default_action(), mbox::AclAction::deny);
+}
+
+TEST(SpecParse, ParsedNetworkVerifies) {
+  Spec spec = parse_spec_string(kTiny);
+  verify::Verifier v(spec.model);
+  for (std::size_t i = 0; i < spec.invariants.size(); ++i) {
+    EXPECT_EQ(v.verify(spec.invariants[i]).outcome, *spec.expectations[i]);
+  }
+}
+
+TEST(SpecParse, AddressesAndPrefixes) {
+  EXPECT_EQ(parse_address("10.1.2.3"), Address::of(10, 1, 2, 3));
+  EXPECT_EQ(parse_prefix("10.0.0.0/8").length(), 8);
+  EXPECT_EQ(parse_prefix("10.1.2.3").length(), 32);  // bare address = /32
+  EXPECT_THROW((void)parse_address("10.1.2"), ParseError);
+  EXPECT_THROW((void)parse_address("300.1.2.3"), ParseError);
+  EXPECT_THROW((void)parse_prefix("10.0.0.0/40"), ParseError);
+  EXPECT_THROW((void)parse_prefix("10.0.0.0/x"), ParseError);
+}
+
+TEST(SpecParse, AllMiddleboxKinds) {
+  Spec spec = parse_spec_string(R"(
+host h 10.0.0.1
+nat n1 1.2.3.4 10.0.0.0/8
+load-balancer lb1 10.255.0.1 10.0.0.1 10.0.0.2
+cache c1
+  deny 10.1.0.0/16 10.0.9.1
+end
+idps i1
+idps i2 monitor
+scrubber sb1
+gateway g1
+gateway g2 fail-open
+app-firewall af1 7 9
+wan-optimizer w1
+)");
+  EXPECT_EQ(spec.model.middleboxes().size(), 10u);
+  const net::Network& net = spec.model.network();
+  auto* nat =
+      dynamic_cast<mbox::Nat*>(spec.model.middlebox_at(net.node_by_name("n1")));
+  ASSERT_NE(nat, nullptr);
+  EXPECT_EQ(nat->external_address(), Address::of(1, 2, 3, 4));
+  auto* lb = dynamic_cast<mbox::LoadBalancer*>(
+      spec.model.middlebox_at(net.node_by_name("lb1")));
+  ASSERT_NE(lb, nullptr);
+  EXPECT_EQ(lb->backends().size(), 2u);
+  EXPECT_EQ(spec.model.middlebox_at(net.node_by_name("g2"))->failure_mode(),
+            mbox::FailureMode::fail_open);
+}
+
+TEST(SpecParse, ScenarioBlocks) {
+  Spec spec = parse_spec_string(R"(
+host a 10.0.0.1
+host b 10.0.0.2
+switch s
+gateway g
+link a s
+link b s
+link g s
+route s 10.0.0.2/32 g
+route s from g 10.0.0.2/32 b
+scenario g-down fail g
+  route s 10.0.0.2/32 b priority 9
+end
+)");
+  const net::Network& net = spec.model.network();
+  ASSERT_EQ(net.scenarios().size(), 2u);
+  EXPECT_EQ(net.scenarios()[1].name, "g-down");
+  EXPECT_TRUE(net.is_failed(net.node_by_name("g"), ScenarioId{1}));
+  // The override routes around the gateway.
+  EXPECT_EQ(net.effective_table(net.node_by_name("s"), ScenarioId{1})
+                .match(std::nullopt, Address::of(10, 0, 0, 2)),
+            net.node_by_name("b"));
+}
+
+TEST(SpecParse, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_spec_string("host a 10.0.0.1\nbogus directive\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(SpecParse, ErrorCases) {
+  EXPECT_THROW((void)parse_spec_string("host a\n"), ParseError);
+  EXPECT_THROW((void)parse_spec_string("link a b\n"), ParseError);  // unknown
+  EXPECT_THROW((void)parse_spec_string("firewall f default deny\n"),
+               ParseError);  // unterminated block
+  EXPECT_THROW((void)parse_spec_string("invariant bogus a b\n"), ParseError);
+  EXPECT_THROW(
+      (void)parse_spec_string("host a 10.0.0.1\ninvariant reachable a nosuch\n"),
+      ParseError);
+  EXPECT_THROW((void)parse_spec_string(
+                   "switch s\nroute s 10.0.0.0/8 s priority x\n"),
+               ParseError);
+}
+
+TEST(SpecParse, InvariantsMayReferenceLaterHosts) {
+  // Invariants are resolved after the whole file is read.
+  Spec spec = parse_spec_string(R"(
+invariant reachable b a
+host a 10.0.0.1
+host b 10.0.0.2
+)");
+  EXPECT_EQ(spec.invariants.size(), 1u);
+}
+
+TEST(SpecRoundTrip, StructurePreserved) {
+  Spec spec = parse_spec_string(kTiny);
+  const std::string text = write_spec_string(spec);
+  Spec again = parse_spec_string(text);
+  const net::Network& n1 = spec.model.network();
+  const net::Network& n2 = again.model.network();
+  EXPECT_EQ(n1.node_count(), n2.node_count());
+  EXPECT_EQ(n1.links().size(), n2.links().size());
+  EXPECT_EQ(spec.invariants.size(), again.invariants.size());
+  for (std::size_t i = 0; i < spec.invariants.size(); ++i) {
+    EXPECT_EQ(spec.invariants[i].kind, again.invariants[i].kind);
+  }
+  // And the reparsed network verifies identically.
+  verify::Verifier v(again.model);
+  for (std::size_t i = 0; i < again.invariants.size(); ++i) {
+    EXPECT_EQ(v.verify(again.invariants[i]).outcome, *again.expectations[i]);
+  }
+}
+
+TEST(SpecRoundTrip, MiddleboxConfigsPreserved) {
+  Spec spec = parse_spec_string(R"(
+host h 10.0.0.1
+nat n1 1.2.3.4 10.0.0.0/8
+cache c1
+  deny 10.1.0.0/16 10.0.9.1
+end
+)");
+  Spec again = parse_spec_string(write_spec_string(spec));
+  auto* nat = dynamic_cast<mbox::Nat*>(
+      again.model.middlebox_at(again.model.network().node_by_name("n1")));
+  ASSERT_NE(nat, nullptr);
+  EXPECT_EQ(nat->internal_prefix(), Prefix(Address::of(10, 0, 0, 0), 8));
+}
+
+TEST(SpecLoad, ExampleSpecParsesAndVerifies) {
+  // The shipped example file must stay green.
+  Spec spec = load_spec(std::string(VMN_SOURCE_DIR) +
+                        "/examples/specs/enterprise.vmn");
+  EXPECT_EQ(spec.invariants.size(), 4u);
+  verify::Verifier v(spec.model);
+  for (std::size_t i = 0; i < spec.invariants.size(); ++i) {
+    EXPECT_EQ(v.verify(spec.invariants[i]).outcome, *spec.expectations[i])
+        << "invariant " << i;
+  }
+}
+
+TEST(SpecLoad, MissingFileThrows) {
+  EXPECT_THROW((void)load_spec("/nonexistent/path.vmn"), Error);
+}
+
+}  // namespace
+}  // namespace vmn::io

@@ -1,0 +1,251 @@
+// Unit tests for src/logic: term construction, hash consing, type checking,
+// simplification, printing and LTL lowering.
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "logic/builder.hpp"
+#include "logic/ltl.hpp"
+#include "logic/printer.hpp"
+
+namespace vmn::logic {
+namespace {
+
+class TermTest : public ::testing::Test {
+ protected:
+  TermFactory f;
+};
+
+TEST_F(TermTest, HashConsingSharesStructure) {
+  TermPtr a = f.int_val(5);
+  TermPtr b = f.int_val(5);
+  EXPECT_EQ(a, b);  // pointer equality = structural equality
+  EXPECT_NE(a, f.int_val(6));
+}
+
+TEST_F(TermTest, ComplexTermsAreShared) {
+  TermPtr x = f.var("x", Sort::integer());
+  TermPtr t1 = f.add(x, f.int_val(1));
+  TermPtr t2 = f.add(x, f.int_val(1));
+  EXPECT_EQ(t1, t2);
+}
+
+TEST_F(TermTest, AndFlattensAndSimplifies) {
+  TermPtr p = f.var("p", Sort::boolean());
+  TermPtr q = f.var("q", Sort::boolean());
+  EXPECT_EQ(f.and_({p, f.bool_val(true), q}),
+            f.and_(p, q));
+  EXPECT_EQ(f.and_({p, f.bool_val(false)}), f.bool_val(false));
+  EXPECT_EQ(f.and_(std::vector<TermPtr>{}), f.bool_val(true));
+  // Nested conjunctions flatten.
+  EXPECT_EQ(f.and_(f.and_(p, q), p)->children().size(), 3u);
+}
+
+TEST_F(TermTest, OrFlattensAndSimplifies) {
+  TermPtr p = f.var("p", Sort::boolean());
+  EXPECT_EQ(f.or_({p, f.bool_val(true)}), f.bool_val(true));
+  EXPECT_EQ(f.or_({f.bool_val(false)}), f.bool_val(false));
+  EXPECT_EQ(f.or_(std::vector<TermPtr>{}), f.bool_val(false));
+  EXPECT_EQ(f.or_({f.bool_val(false), p}), p);
+}
+
+TEST_F(TermTest, NotSimplifies) {
+  TermPtr p = f.var("p", Sort::boolean());
+  EXPECT_EQ(f.not_(f.not_(p)), p);
+  EXPECT_EQ(f.not_(f.bool_val(true)), f.bool_val(false));
+}
+
+TEST_F(TermTest, ImpliesSimplifies) {
+  TermPtr p = f.var("p", Sort::boolean());
+  EXPECT_EQ(f.implies(f.bool_val(true), p), p);
+  EXPECT_EQ(f.implies(f.bool_val(false), p), f.bool_val(true));
+  EXPECT_EQ(f.implies(p, f.bool_val(true)), f.bool_val(true));
+}
+
+TEST_F(TermTest, EqOnIdenticalTermsIsTrue) {
+  TermPtr x = f.var("x", Sort::integer());
+  EXPECT_EQ(f.eq(x, x), f.bool_val(true));
+  EXPECT_EQ(f.eq(f.int_val(3), f.int_val(4)), f.bool_val(false));
+  EXPECT_EQ(f.eq(f.int_val(3), f.int_val(3)), f.bool_val(true));
+}
+
+TEST_F(TermTest, ConstantFoldsComparisons) {
+  EXPECT_EQ(f.lt(f.int_val(1), f.int_val(2)), f.bool_val(true));
+  EXPECT_EQ(f.le(f.int_val(3), f.int_val(2)), f.bool_val(false));
+}
+
+TEST_F(TermTest, SortChecking) {
+  TermPtr x = f.var("x", Sort::integer());
+  TermPtr p = f.var("p", Sort::boolean());
+  EXPECT_THROW((void)f.and_(x, x), ModelError);
+  EXPECT_THROW((void)f.lt(p, p), ModelError);
+  EXPECT_THROW((void)f.eq(x, p), ModelError);
+  EXPECT_THROW((void)f.not_(x), ModelError);
+}
+
+TEST_F(TermTest, FiniteSortElements) {
+  SortPtr s = f.finite_sort("Color", {"red", "green"});
+  TermPtr red = f.enum_val(s, "red");
+  EXPECT_EQ(red, f.enum_val(s, 0));
+  EXPECT_THROW((void)f.enum_val(s, "blue"), ModelError);
+  EXPECT_THROW((void)f.enum_val(s, 2), ModelError);
+  // Distinct enum constants compare unequal at construction.
+  EXPECT_EQ(f.eq(red, f.enum_val(s, 1)), f.bool_val(false));
+}
+
+TEST_F(TermTest, SortRedeclarationChecked) {
+  (void)f.finite_sort("S", {"a"});
+  EXPECT_THROW((void)f.finite_sort("S", {"a", "b"}), ModelError);
+  EXPECT_THROW((void)f.uninterpreted_sort("S"), ModelError);
+}
+
+TEST_F(TermTest, FunctionDeclarationAndApplication) {
+  SortPtr pkt = f.uninterpreted_sort("Packet");
+  FuncDeclPtr src = f.func("src", {pkt}, Sort::integer());
+  TermPtr p = f.var("p", pkt);
+  TermPtr a = f.app(src, {p});
+  EXPECT_TRUE(a->sort()->is_int());
+  EXPECT_THROW((void)f.app(src, {}), ModelError);  // arity
+  TermPtr x = f.var("x", Sort::integer());
+  EXPECT_THROW((void)f.app(src, {x}), ModelError);  // sort mismatch
+}
+
+TEST_F(TermTest, FunctionRedeclarationChecked) {
+  (void)f.func("g", {Sort::integer()}, Sort::boolean());
+  EXPECT_NO_THROW((void)f.func("g", {Sort::integer()}, Sort::boolean()));
+  EXPECT_THROW((void)f.func("g", {Sort::boolean()}, Sort::boolean()),
+               ModelError);
+}
+
+TEST_F(TermTest, QuantifierConstruction) {
+  TermPtr x = f.var("x", Sort::integer());
+  TermPtr body = f.le(f.int_val(0), x);
+  TermPtr q = f.forall({x}, body);
+  EXPECT_EQ(q->kind(), TermKind::forall_op);
+  EXPECT_EQ(q->binders().size(), 1u);
+  // Quantifying over nothing is the body itself.
+  EXPECT_EQ(f.forall({}, body), body);
+  // A non-variable binder is rejected.
+  EXPECT_THROW((void)f.exists({f.int_val(1)}, body), ModelError);
+}
+
+TEST_F(TermTest, FreshVarsAreFresh) {
+  TermPtr a = f.fresh_var("t", Sort::integer());
+  TermPtr b = f.fresh_var("t", Sort::integer());
+  EXPECT_NE(a, b);
+  EXPECT_NE(a->var_name(), b->var_name());
+}
+
+TEST_F(TermTest, IteTypeAndSimplification) {
+  TermPtr x = f.var("x", Sort::integer());
+  TermPtr y = f.var("y", Sort::integer());
+  EXPECT_EQ(f.ite(f.bool_val(true), x, y), x);
+  EXPECT_EQ(f.ite(f.bool_val(false), x, y), y);
+  TermPtr p = f.var("p", Sort::boolean());
+  EXPECT_THROW((void)f.ite(x, x, y), ModelError);
+  EXPECT_THROW((void)f.ite(p, x, p), ModelError);
+}
+
+TEST_F(TermTest, PrinterGoldenForms) {
+  TermPtr x = f.var("x", Sort::integer());
+  EXPECT_EQ(to_sexpr(f.add(x, f.int_val(2))), "(+ x 2)");
+  EXPECT_EQ(to_sexpr(f.forall({x}, f.le(f.int_val(0), x))),
+            "(forall ((x Int)) (<= 0 x))");
+  SortPtr s = f.finite_sort("N", {"a", "b"});
+  EXPECT_EQ(to_sexpr(f.enum_val(s, 1)), "b");
+}
+
+class LtlTest : public ::testing::Test {
+ protected:
+  LtlTest() : vocab(f, {"A", "B", "OMEGA"}) {}
+  TermFactory f;
+  Vocab vocab;
+};
+
+TEST_F(LtlTest, VocabSetsUpSorts) {
+  EXPECT_EQ(vocab.node_sort()->size(), 3u);
+  EXPECT_EQ(vocab.node_const("A"), vocab.node_const(0));
+  EXPECT_THROW((void)vocab.node_const("Z"), ModelError);
+}
+
+TEST_F(LtlTest, AtomLoweringAppliesTime) {
+  TermPtr p = f.var("p", vocab.packet_sort());
+  TermPtr now = f.int_val(7);
+  auto fm = ltl::snd(vocab.node_const("A"), vocab.node_const("B"), p);
+  EXPECT_EQ(to_sexpr(ltl::lower_at(vocab, fm, now)), "(snd A B p 7)");
+}
+
+TEST_F(LtlTest, OnceIntroducesEarlierExistential) {
+  TermPtr p = f.var("p", vocab.packet_sort());
+  TermPtr now = f.var("t", Sort::integer());
+  auto fm = ltl::once(ltl::rcv(vocab.node_const("A"), vocab.node_const("B"), p));
+  std::string s = to_sexpr(ltl::lower_at(vocab, fm, now));
+  EXPECT_NE(s.find("exists"), std::string::npos);
+  EXPECT_NE(s.find("(< t!"), std::string::npos);  // strictly earlier
+  EXPECT_NE(s.find("rcv A B p"), std::string::npos);
+}
+
+TEST_F(LtlTest, OnceSinceUpForbidsInterveningFailure) {
+  TermPtr p = f.var("p", vocab.packet_sort());
+  TermPtr now = f.var("t", Sort::integer());
+  auto fm = ltl::once_since_up(
+      ltl::rcv(vocab.node_const("A"), vocab.node_const("B"), p),
+      vocab.node_const("B"));
+  std::string s = to_sexpr(ltl::lower_at(vocab, fm, now));
+  EXPECT_NE(s.find("fail B"), std::string::npos);
+  EXPECT_NE(s.find("(not (exists"), std::string::npos);
+}
+
+TEST_F(LtlTest, AlwaysQuantifiesTimeAndVars) {
+  TermPtr p = f.var("p", vocab.packet_sort());
+  auto fm = ltl::implies_f(
+      ltl::snd(vocab.node_const("A"), vocab.node_const("B"), p),
+      ltl::pred(f.eq(vocab.src_of(p), f.int_val(1))));
+  TermPtr t = ltl::always(vocab, {p}, fm);
+  EXPECT_EQ(t->kind(), TermKind::forall_op);
+  EXPECT_EQ(t->binders().size(), 2u);  // p and the time variable
+}
+
+TEST_F(LtlTest, AlwaysWithTrivialBodySimplifiesAway) {
+  // A vacuous axiom folds to the constant true rather than a quantifier.
+  TermPtr p = f.var("p", vocab.packet_sort());
+  auto fm = ltl::implies_f(
+      ltl::snd(vocab.node_const("A"), vocab.node_const("B"), p),
+      ltl::pred(f.bool_val(true)));
+  EXPECT_EQ(ltl::always(vocab, {p}, fm), f.bool_val(true));
+}
+
+TEST_F(LtlTest, PredRequiresBool) {
+  TermPtr x = f.var("x", Sort::integer());
+  EXPECT_THROW((void)ltl::pred(x), ModelError);
+}
+
+TEST_F(LtlTest, BooleanConnectivesLower) {
+  TermPtr p = f.var("p", vocab.packet_sort());
+  TermPtr now = f.int_val(3);
+  auto a = ltl::snd(vocab.node_const("A"), vocab.node_const("B"), p);
+  auto b = ltl::fail(vocab.node_const("B"));
+  std::string s =
+      to_sexpr(ltl::lower_at(vocab, ltl::and_f(ltl::not_f(b), a), now));
+  EXPECT_NE(s.find("(not (fail B 3))"), std::string::npos);
+  EXPECT_NE(s.find("(snd A B p 3)"), std::string::npos);
+}
+
+TEST_F(LtlTest, ExistsBindsPacketVars) {
+  TermPtr p = f.fresh_var("q", vocab.packet_sort());
+  TermPtr now = f.int_val(1);
+  auto fm = ltl::exists(
+      {p}, ltl::rcv(vocab.node_const("A"), vocab.node_const("B"), p));
+  TermPtr t = ltl::lower_at(vocab, fm, now);
+  EXPECT_EQ(t->kind(), TermKind::exists_op);
+}
+
+TEST_F(LtlTest, VocabShorthandsTypeCheck) {
+  TermPtr p = f.var("p", vocab.packet_sort());
+  EXPECT_TRUE(vocab.src_of(p)->sort()->is_int());
+  EXPECT_TRUE(vocab.malicious_of(p)->is_bool());
+  EXPECT_TRUE(vocab.origin_of(p)->sort()->is_int());
+  EXPECT_TRUE(vocab.app_class_of(p)->sort()->is_int());
+}
+
+}  // namespace
+}  // namespace vmn::logic

@@ -1,0 +1,119 @@
+// Simulator tests: concrete execution of packets through transfer functions
+// and middlebox sim_process implementations, including failure semantics.
+#include <gtest/gtest.h>
+
+#include "mbox/firewall.hpp"
+#include "mbox/gateway.hpp"
+#include "mbox/idps.hpp"
+#include "sim/simulator.hpp"
+#include "util.hpp"
+
+namespace vmn::sim {
+namespace {
+
+using mbox::AclAction;
+using mbox::AclEntry;
+using test::OneBoxNet;
+
+constexpr Address kA = OneBoxNet::addr_a();
+constexpr Address kB = OneBoxNet::addr_b();
+
+Packet packet(Address src, Address dst, std::uint16_t sp = 1000,
+              std::uint16_t dp = 80) {
+  return Packet{src, dst, sp, dp};
+}
+
+TEST(Simulator, DeliversThroughChain) {
+  OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::Gateway>("gw"));
+  Simulator sim(n.model);
+  sim.inject(n.a, packet(kA, kB));
+  ASSERT_EQ(sim.delivered(n.b).size(), 1u);
+  EXPECT_EQ(sim.delivered(n.b)[0].src, kA);
+  // Trace records sends and receives with increasing times.
+  ASSERT_GE(sim.trace().size(), 4u);
+  for (std::size_t i = 1; i < sim.trace().events().size(); ++i) {
+    EXPECT_LE(sim.trace().events()[i - 1].time, sim.trace().events()[i].time);
+  }
+}
+
+TEST(Simulator, FirewallBlocksAndHolePunches) {
+  OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::LearningFirewall>(
+      "fw",
+      std::vector<AclEntry>{
+          {Prefix::host(kA), Prefix::host(kB), AclAction::allow}},
+      AclAction::deny));
+  Simulator sim(n.model);
+  sim.inject(n.b, packet(kB, kA, 80, 1000));
+  EXPECT_TRUE(sim.delivered(n.a).empty());  // unsolicited: blocked
+  sim.inject(n.a, packet(kA, kB, 1000, 80));
+  EXPECT_EQ(sim.delivered(n.b).size(), 1u);
+  sim.inject(n.b, packet(kB, kA, 80, 1000));
+  EXPECT_EQ(sim.delivered(n.a).size(), 1u);  // established: passes
+}
+
+TEST(Simulator, IdpsDropsMalicious) {
+  OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::Idps>("idps"));
+  Simulator sim(n.model);
+  Packet bad = packet(kA, kB);
+  bad.malicious = true;
+  sim.inject(n.a, bad);
+  EXPECT_TRUE(sim.delivered(n.b).empty());
+  sim.inject(n.a, packet(kA, kB));
+  EXPECT_EQ(sim.delivered(n.b).size(), 1u);
+}
+
+TEST(Simulator, FailClosedDropsFailOpenForwards) {
+  for (auto mode :
+       {mbox::FailureMode::fail_closed, mbox::FailureMode::fail_open}) {
+    OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::Gateway>("gw", mode));
+    ScenarioId down = n.model.network().add_failure_scenario("down", {n.mbox});
+    Simulator sim(n.model, down);
+    sim.inject(n.a, packet(kA, kB));
+    if (mode == mbox::FailureMode::fail_closed) {
+      EXPECT_TRUE(sim.delivered(n.b).empty());
+    } else {
+      EXPECT_EQ(sim.delivered(n.b).size(), 1u);
+    }
+  }
+}
+
+TEST(Simulator, ReceivedPredicate) {
+  OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::Gateway>("gw"));
+  Simulator sim(n.model);
+  sim.inject(n.a, packet(kA, kB));
+  EXPECT_TRUE(sim.received(n.b, [](const Packet& p) { return p.src == kA; }));
+  EXPECT_FALSE(sim.received(n.b, [](const Packet& p) { return p.malicious; }));
+  EXPECT_FALSE(sim.received(n.a, [](const Packet&) { return true; }));
+}
+
+TEST(Simulator, InjectionRequiresHost) {
+  OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::Gateway>("gw"));
+  Simulator sim(n.model);
+  EXPECT_THROW(sim.inject(n.mbox, packet(kA, kB)), ModelError);
+}
+
+TEST(Simulator, ResetsMiddleboxStateOnConstruction) {
+  OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::LearningFirewall>(
+      "fw",
+      std::vector<AclEntry>{
+          {Prefix::host(kA), Prefix::host(kB), AclAction::allow}},
+      AclAction::deny));
+  {
+    Simulator sim(n.model);
+    sim.inject(n.a, packet(kA, kB, 1000, 80));  // establish
+  }
+  Simulator fresh(n.model);
+  fresh.inject(n.b, packet(kB, kA, 80, 1000));
+  EXPECT_TRUE(fresh.delivered(n.a).empty());  // state was reset
+}
+
+TEST(Simulator, DropsAtBlackhole) {
+  OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::Gateway>("gw"));
+  Simulator sim(n.model);
+  sim.inject(n.a, packet(kA, Address::of(192, 168, 0, 1)));
+  // No route: only the send event is recorded, nothing delivered anywhere.
+  EXPECT_TRUE(sim.delivered(n.b).empty());
+}
+
+}  // namespace
+}  // namespace vmn::sim

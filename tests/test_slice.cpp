@@ -1,0 +1,182 @@
+// Slicing tests (paper, section 4.1): closure under forwarding, state
+// closure for origin-agnostic middleboxes, and the slice theorem itself -
+// verification on the slice agrees with verification on the full network.
+#include <gtest/gtest.h>
+
+#include "mbox/content_cache.hpp"
+#include "mbox/firewall.hpp"
+#include "mbox/load_balancer.hpp"
+#include "mbox/nat.hpp"
+#include "scenarios/datacenter.hpp"
+#include "scenarios/enterprise.hpp"
+#include "slice/slice.hpp"
+#include "verify/verifier.hpp"
+
+namespace vmn::slice {
+namespace {
+
+using encode::Invariant;
+using scenarios::Datacenter;
+using scenarios::DatacenterParams;
+using scenarios::Enterprise;
+using scenarios::EnterpriseParams;
+
+Enterprise small_enterprise(int subnets) {
+  EnterpriseParams p;
+  p.subnets = subnets;
+  p.hosts_per_subnet = 2;
+  return scenarios::make_enterprise(p);
+}
+
+TEST(Slice, ContainsReferencedHostsAndPathMiddleboxes) {
+  Enterprise ent = small_enterprise(6);
+  PolicyClasses classes = infer_policy_classes(ent.model);
+  Invariant inv =
+      Invariant::node_isolation(ent.subnet_hosts[2][0], ent.internet);
+  Slice s = compute_slice(ent.model, inv, classes);
+  const net::Network& net = ent.model.network();
+  auto member_names = [&] {
+    std::set<std::string> names;
+    for (NodeId m : s.members) names.insert(net.name(m));
+    return names;
+  }();
+  EXPECT_TRUE(member_names.contains("internet"));
+  EXPECT_TRUE(member_names.contains("h2-0"));
+  EXPECT_TRUE(member_names.contains("fw"));
+  EXPECT_TRUE(member_names.contains("gw"));
+  EXPECT_FALSE(s.has_origin_agnostic);
+}
+
+TEST(Slice, SizeIndependentOfNetworkSize) {
+  // The headline property: the slice for a fixed invariant does not grow
+  // with the number of subnets (flow-parallel middleboxes only).
+  std::size_t size3 = 0, size12 = 0, size24 = 0;
+  for (int subnets : {3, 12, 24}) {
+    Enterprise ent = small_enterprise(subnets);
+    PolicyClasses classes = infer_policy_classes(ent.model);
+    Invariant inv =
+        Invariant::flow_isolation(ent.subnet_hosts[1][0], ent.internet);
+    Slice s = compute_slice(ent.model, inv, classes);
+    (subnets == 3 ? size3 : subnets == 12 ? size12 : size24) = s.size();
+  }
+  EXPECT_EQ(size3, size12);
+  EXPECT_EQ(size12, size24);
+}
+
+TEST(Slice, LoadBalancerPullsInBackends) {
+  encode::NetworkModel model;
+  net::Network& net = model.network();
+  const Address vip = Address::of(10, 255, 0, 1);
+  const Address b1 = Address::of(10, 0, 1, 1);
+  const Address b2 = Address::of(10, 0, 1, 2);
+  NodeId client = net.add_host("client", Address::of(10, 0, 0, 1));
+  NodeId back1 = net.add_host("back1", b1);
+  NodeId back2 = net.add_host("back2", b2);
+  auto& lb = model.add_middlebox(
+      std::make_unique<mbox::LoadBalancer>("lb", vip, std::vector{b1, b2}));
+  NodeId sw = net.add_switch("sw");
+  for (NodeId x : {client, back1, back2, lb.node()}) net.add_link(x, sw);
+  net.table(sw).add(Prefix::host(vip), lb.node());
+  net.table(sw).add_from(lb.node(), Prefix::host(b1), back1);
+  net.table(sw).add_from(lb.node(), Prefix::host(b2), back2);
+  net.table(sw).add(Prefix::host(Address::of(10, 0, 0, 1)), client);
+
+  // The invariant references the VIP only through the client; closure must
+  // discover the LB and both backends (rewrite targets).
+  PolicyClasses classes = infer_policy_classes(model);
+  Invariant inv = Invariant::reachable(back1, client);
+  Slice s = compute_slice(model, inv, classes);
+  std::set<NodeId> members(s.members.begin(), s.members.end());
+  EXPECT_TRUE(members.contains(lb.node()));
+  EXPECT_TRUE(members.contains(back2));  // other rewrite target
+}
+
+TEST(Slice, NatExternalAddressIncluded) {
+  encode::NetworkModel model;
+  net::Network& net = model.network();
+  const Address ext = Address::of(1, 2, 3, 4);
+  NodeId in = net.add_host("in", Address::of(10, 0, 0, 1));
+  NodeId out = net.add_host("out", Address::of(8, 8, 8, 8));
+  auto& nat = model.add_middlebox(std::make_unique<mbox::Nat>(
+      "nat", ext, Prefix(Address::of(10, 0, 0, 0), 8)));
+  NodeId sw = net.add_switch("sw");
+  for (NodeId x : {in, out, nat.node()}) net.add_link(x, sw);
+  net.table(sw).add_from(in, Prefix::any(), nat.node());
+  net.table(sw).add(Prefix::host(ext), nat.node());
+  net.table(sw).add_from(nat.node(), Prefix::host(Address::of(8, 8, 8, 8)), out);
+  net.table(sw).add_from(nat.node(), Prefix::host(Address::of(10, 0, 0, 1)), in);
+
+  PolicyClasses classes = infer_policy_classes(model);
+  Slice s = compute_slice(model, Invariant::node_isolation(in, out), classes);
+  std::set<NodeId> members(s.members.begin(), s.members.end());
+  EXPECT_TRUE(members.contains(nat.node()));
+}
+
+TEST(Slice, FailureScenariosWidenTheSlice) {
+  Datacenter dc = scenarios::make_datacenter(
+      DatacenterParams{.policy_groups = 3, .clients_per_group = 2});
+  PolicyClasses classes = infer_policy_classes(dc.model);
+  Invariant inv = dc.isolation_invariants()[0];
+  Slice without = compute_slice(dc.model, inv, classes, SliceOptions{0});
+  Slice with = compute_slice(dc.model, inv, classes, SliceOptions{1});
+  // The failure scenarios route through the backups: more middleboxes.
+  EXPECT_GT(with.size(), without.size());
+}
+
+TEST(Slice, OriginAgnosticAddsRepresentatives) {
+  Datacenter dc = scenarios::make_datacenter(DatacenterParams{
+      .policy_groups = 3, .clients_per_group = 2, .with_storage = true});
+  PolicyClasses classes = infer_policy_classes(dc.model);
+  Invariant inv = dc.data_isolation_invariants()[0];
+  Slice s = compute_slice(dc.model, inv, classes);
+  EXPECT_TRUE(s.has_origin_agnostic);
+  // At least one representative host per policy class is present.
+  std::set<NodeId> members(s.members.begin(), s.members.end());
+  std::size_t covered = 0;
+  for (const auto& cls : classes.classes) {
+    for (NodeId h : cls) {
+      if (members.contains(h)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(covered, classes.count());
+}
+
+// The slice theorem, empirically: for every invariant of a scenario, the
+// outcome on the slice equals the outcome on the whole network.
+class SliceAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(SliceAgreement, SliceAndFullNetworkAgree) {
+  Enterprise ent = small_enterprise(3 + (GetParam() % 3) * 3);
+  // Optionally break the configuration to also compare violated outcomes.
+  if (GetParam() % 2 == 1) {
+    auto* fw = dynamic_cast<mbox::LearningFirewall*>(
+        ent.model.middlebox_at(ent.model.network().node_by_name("fw")));
+    std::vector<mbox::AclEntry> acl = fw->acl();
+    acl.insert(acl.begin(),
+               mbox::AclEntry{Prefix(Address::of(172, 16, 0, 0), 12),
+                              Prefix(Address::of(10, 0, 0, 0), 8),
+                              mbox::AclAction::allow});
+    fw->replace_acl(acl);
+  }
+  verify::VerifyOptions sliced;
+  sliced.use_slices = true;
+  verify::VerifyOptions full;
+  full.use_slices = false;
+  verify::Verifier vs(ent.model, sliced);
+  verify::Verifier vf(ent.model, full);
+  for (const Invariant& inv : ent.invariants) {
+    verify::VerifyResult rs = vs.verify(inv);
+    verify::VerifyResult rf = vf.verify(inv);
+    EXPECT_EQ(rs.outcome, rf.outcome)
+        << inv.describe([&](NodeId n) { return ent.model.network().name(n); });
+    EXPECT_LE(rs.slice_size, rf.slice_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SliceAgreement, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace vmn::slice

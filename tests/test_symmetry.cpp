@@ -1,0 +1,135 @@
+// Symmetry tests (paper, section 4.2): policy-class inference, invariant
+// grouping, and agreement between symmetric and exhaustive verification.
+#include <gtest/gtest.h>
+
+#include "mbox/firewall.hpp"
+#include "scenarios/enterprise.hpp"
+#include "slice/policy.hpp"
+#include "slice/symmetry.hpp"
+#include "verify/verifier.hpp"
+
+namespace vmn::slice {
+namespace {
+
+using encode::Invariant;
+using scenarios::Enterprise;
+using scenarios::EnterpriseParams;
+
+Enterprise enterprise(int subnets) {
+  EnterpriseParams p;
+  p.subnets = subnets;
+  p.hosts_per_subnet = 2;
+  return scenarios::make_enterprise(p);
+}
+
+TEST(PolicyClasses, InferenceMatchesIntent) {
+  Enterprise ent = enterprise(9);  // three subnets of each kind
+  PolicyClasses inferred = infer_policy_classes(ent.model);
+  // public / private / quarantined / the internet host itself.
+  EXPECT_EQ(inferred.count(), 4u);
+  // Hosts of equal subnet kind share a class.
+  EXPECT_EQ(inferred.class_of(ent.subnet_hosts[0][0]),
+            inferred.class_of(ent.subnet_hosts[3][0]));
+  EXPECT_NE(inferred.class_of(ent.subnet_hosts[0][0]),
+            inferred.class_of(ent.subnet_hosts[1][0]));
+}
+
+TEST(PolicyClasses, DeclaredClassesFollowAssignment) {
+  Enterprise ent = enterprise(6);
+  PolicyClasses declared = declared_policy_classes(ent.model);
+  // Three declared kinds plus the unassigned internet host (class 0 is the
+  // public kind, which the internet host shares by default assignment).
+  EXPECT_GE(declared.count(), 3u);
+}
+
+TEST(PolicyClasses, RuleRemovalBreaksSymmetry) {
+  // Deleting one subnet's firewall entry must move its hosts out of their
+  // class (paper section 5.1: "removal of rules breaks symmetry"). Here
+  // subnet 0 loses its inbound allow and becomes policy-equivalent to the
+  // *private* subnets instead of the other public ones.
+  Enterprise ent = enterprise(9);
+  PolicyClasses before = infer_policy_classes(ent.model);
+  ASSERT_EQ(before.class_of(ent.subnet_hosts[0][0]),
+            before.class_of(ent.subnet_hosts[3][0]));
+  auto* fw = dynamic_cast<mbox::LearningFirewall*>(
+      ent.model.middlebox_at(ent.model.network().node_by_name("fw")));
+  fw->remove_entry(0);  // subnet 0's inbound-allow entry
+  PolicyClasses after = infer_policy_classes(ent.model);
+  EXPECT_NE(after.class_of(ent.subnet_hosts[0][0]),
+            after.class_of(ent.subnet_hosts[3][0]));
+  EXPECT_EQ(after.class_of(ent.subnet_hosts[0][0]),
+            after.class_of(ent.subnet_hosts[1][0]));  // now like a private
+}
+
+TEST(PolicyClasses, RepresentativesOnePerClass) {
+  Enterprise ent = enterprise(6);
+  PolicyClasses classes = infer_policy_classes(ent.model);
+  auto reps = classes.representatives();
+  EXPECT_EQ(reps.size(), classes.count());
+  for (NodeId r : reps) {
+    EXPECT_EQ(classes.representative_of(r), r);
+  }
+}
+
+TEST(Symmetry, GroupsCollapseEquivalentInvariants) {
+  Enterprise ent = enterprise(12);  // four subnets of each kind
+  PolicyClasses classes = infer_policy_classes(ent.model);
+  SymmetryGroups groups = group_invariants(ent.invariants, classes);
+  // Twelve invariants but only three distinct symmetry groups
+  // (public-reachability, private-flow-isolation, quarantined-isolation).
+  EXPECT_EQ(ent.invariants.size(), 12u);
+  EXPECT_EQ(groups.group_count(), 3u);
+}
+
+TEST(Symmetry, GroupsRespectKind) {
+  Enterprise ent = enterprise(3);
+  PolicyClasses classes = infer_policy_classes(ent.model);
+  std::vector<Invariant> invs = {
+      Invariant::node_isolation(ent.subnet_hosts[2][0], ent.internet),
+      Invariant::flow_isolation(ent.subnet_hosts[2][0], ent.internet),
+  };
+  SymmetryGroups groups = group_invariants(invs, classes);
+  EXPECT_EQ(groups.group_count(), 2u);  // different kinds never merge
+}
+
+TEST(Symmetry, SameClassHostsShareGroup) {
+  Enterprise ent = enterprise(6);
+  PolicyClasses classes = infer_policy_classes(ent.model);
+  std::vector<Invariant> invs = {
+      Invariant::node_isolation(ent.subnet_hosts[2][0], ent.internet),
+      Invariant::node_isolation(ent.subnet_hosts[5][0], ent.internet),
+      Invariant::node_isolation(ent.subnet_hosts[2][1], ent.internet),
+  };
+  SymmetryGroups groups = group_invariants(invs, classes);
+  EXPECT_EQ(groups.group_count(), 1u);
+  EXPECT_EQ(groups.groups[0].invariants.size(), 3u);
+}
+
+TEST(Symmetry, BatchVerificationAgreesWithExhaustive) {
+  Enterprise ent = enterprise(9);
+  verify::Verifier v(ent.model);
+  verify::BatchResult symmetric = v.verify_all(ent.invariants, true);
+  verify::BatchResult exhaustive = v.verify_all(ent.invariants, false);
+  ASSERT_EQ(symmetric.results.size(), exhaustive.results.size());
+  for (std::size_t i = 0; i < symmetric.results.size(); ++i) {
+    EXPECT_EQ(symmetric.results[i].outcome, exhaustive.results[i].outcome)
+        << "invariant " << i;
+  }
+  // Symmetry must reduce solver calls: 3 groups instead of 9 invariants.
+  EXPECT_EQ(symmetric.solver_calls, 3u);
+  EXPECT_EQ(exhaustive.solver_calls, 9u);
+}
+
+TEST(Symmetry, InheritedResultsAreMarked) {
+  Enterprise ent = enterprise(6);
+  verify::Verifier v(ent.model);
+  verify::BatchResult batch = v.verify_all(ent.invariants, true);
+  std::size_t inherited = 0;
+  for (const auto& r : batch.results) {
+    if (r.by_symmetry) ++inherited;
+  }
+  EXPECT_EQ(inherited, batch.results.size() - batch.solver_calls);
+}
+
+}  // namespace
+}  // namespace vmn::slice

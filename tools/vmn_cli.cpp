@@ -1,0 +1,160 @@
+// vmn - command-line front end.
+//
+//   vmn verify <spec-file> [--no-slices] [--no-symmetry] [--max-failures k]
+//                          [--trace] [--timeout ms]
+//       Verifies every invariant declared in the file. Exits non-zero if
+//       any invariant with an `expect` clause disagrees, or any outcome is
+//       unknown.
+//
+//   vmn audit <spec-file>
+//       Static datapath audit: forwarding loops and blackholes across all
+//       destination equivalence classes and failure scenarios.
+//
+//   vmn classes <spec-file>
+//       Prints the inferred policy equivalence classes.
+//
+//   vmn dump <spec-file>
+//       Parses and re-serializes the specification (round-trip check).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "dataplane/reach.hpp"
+#include "io/spec.hpp"
+#include "slice/policy.hpp"
+#include "vmn.hpp"
+
+namespace {
+
+using namespace vmn;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vmn <verify|audit|classes|dump> <spec-file> [options]\n"
+               "  verify options: --no-slices --no-symmetry --max-failures k\n"
+               "                  --trace --timeout ms\n");
+  return 2;
+}
+
+std::string omega_name(const net::Network& net, NodeId n) {
+  return n.valid() ? net.name(n) : std::string("OMEGA");
+}
+
+int cmd_verify(io::Spec& spec, int argc, char** argv) {
+  verify::VerifyOptions opts;
+  bool want_trace = false;
+  bool use_symmetry = true;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-slices") == 0) {
+      opts.use_slices = false;
+    } else if (std::strcmp(argv[i], "--no-symmetry") == 0) {
+      use_symmetry = false;
+    } else if (std::strcmp(argv[i], "--max-failures") == 0 && i + 1 < argc) {
+      opts.max_failures = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      opts.solver.timeout_ms = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      want_trace = true;
+    } else {
+      return usage();
+    }
+  }
+  if (spec.invariants.empty()) {
+    std::fprintf(stderr, "spec declares no invariants\n");
+    return 2;
+  }
+  const net::Network& net = spec.model.network();
+  verify::Verifier verifier(spec.model, opts);
+  verify::BatchResult batch = verifier.verify_all(spec.invariants, use_symmetry);
+
+  int status = 0;
+  for (std::size_t i = 0; i < spec.invariants.size(); ++i) {
+    const verify::VerifyResult& r = batch.results[i];
+    const char* marker = "";
+    if (r.outcome == verify::Outcome::unknown) {
+      marker = "  <-- UNKNOWN";
+      status = 1;
+    } else if (spec.expectations[i] && r.outcome != *spec.expectations[i]) {
+      marker = "  <-- UNEXPECTED";
+      status = 1;
+    }
+    std::printf("%-48s %-9s %s(%lld ms, slice %zu)%s\n",
+                spec.invariants[i]
+                    .describe([&](NodeId n) { return net.name(n); })
+                    .c_str(),
+                verify::to_string(r.outcome).c_str(),
+                r.by_symmetry ? "[sym] " : "",
+                static_cast<long long>(r.solve_time.count()), r.slice_size,
+                marker);
+    if (want_trace && r.counterexample) {
+      std::printf("%s", r.counterexample
+                            ->to_string([&](NodeId n) {
+                              return omega_name(net, n);
+                            })
+                            .c_str());
+    }
+  }
+  std::printf("%zu invariants, %zu solver calls, %lld ms\n",
+              spec.invariants.size(), batch.solver_calls,
+              static_cast<long long>(batch.total_time.count()));
+  return status;
+}
+
+int cmd_audit(const io::Spec& spec) {
+  const net::Network& net = spec.model.network();
+  int findings = 0;
+  for (std::size_t si = 0; si < net.scenarios().size(); ++si) {
+    const ScenarioId sid(static_cast<ScenarioId::underlying_type>(si));
+    auto classes = dataplane::destination_classes(net, sid);
+    dataplane::AuditReport report = dataplane::audit(net, sid, classes);
+    for (const auto& loop : report.loops) {
+      std::printf("LOOP      scenario=%s from=%s dst=%s\n",
+                  net.scenarios()[si].name.c_str(),
+                  net.name(loop.from_edge).c_str(),
+                  loop.dst.to_string().c_str());
+      ++findings;
+    }
+    for (const auto& bh : report.blackholes) {
+      std::printf("BLACKHOLE scenario=%s from=%s dst=%s\n",
+                  net.scenarios()[si].name.c_str(),
+                  net.name(bh.from_edge).c_str(), bh.dst.to_string().c_str());
+      ++findings;
+    }
+  }
+  std::printf("%d finding(s)\n", findings);
+  return findings == 0 ? 0 : 1;
+}
+
+int cmd_classes(const io::Spec& spec) {
+  slice::PolicyClasses classes = slice::infer_policy_classes(spec.model);
+  const net::Network& net = spec.model.network();
+  for (std::size_t i = 0; i < classes.classes.size(); ++i) {
+    std::printf("class %zu:", i);
+    for (NodeId h : classes.classes[i]) {
+      std::printf(" %s", net.name(h).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  try {
+    io::Spec spec = io::load_spec(argv[2]);
+    const std::string cmd = argv[1];
+    if (cmd == "verify") return cmd_verify(spec, argc - 3, argv + 3);
+    if (cmd == "audit") return cmd_audit(spec);
+    if (cmd == "classes") return cmd_classes(spec);
+    if (cmd == "dump") {
+      std::printf("%s", io::write_spec_string(spec).c_str());
+      return 0;
+    }
+    return usage();
+  } catch (const vmn::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

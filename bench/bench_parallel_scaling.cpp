@@ -1,0 +1,97 @@
+// Parallel scaling of the policy-scaling experiment (Fig 3 workload): the
+// datacenter isolation batch is verified by the ParallelVerifier at
+// 1/2/4/8 workers. Per-slice checks share no state, so on k cores the
+// batch should approach k-fold speedup; the `speedup_vs_1` counter reports
+// the measured ratio against the 1-worker wall time of the same batch
+// (expect >= 1.5x at 4 workers on >= 4 physical cores; on fewer cores the
+// ratio degrades toward 1 - check `hw_threads`).
+//
+// Symmetry is disabled inside the measurement so every invariant becomes an
+// independent job (the honest worker-scaling shape); a separate family
+// keeps symmetry on to show how dedup shrinks the queue first.
+#include "bench_common.hpp"
+
+#include <map>
+#include <thread>
+
+#include "core/rng.hpp"
+#include "scenarios/datacenter.hpp"
+#include "verify/parallel.hpp"
+
+namespace {
+
+using namespace vmn;
+using scenarios::Datacenter;
+using scenarios::DatacenterParams;
+using scenarios::DcMisconfig;
+using verify::Outcome;
+using verify::ParallelOptions;
+using verify::ParallelVerifier;
+
+constexpr int kClasses = 8;
+
+Datacenter make() {
+  DatacenterParams p;
+  p.policy_groups = kClasses;
+  p.clients_per_group = 2;
+  return make_datacenter(p);
+}
+
+// 1-worker wall time per (symmetry) config, measured on first use so the
+// speedup counter can be derived without a separate manual run.
+std::map<bool, double> baseline_ms;
+
+double run_batch(const Datacenter& dc, std::size_t workers,
+                 bool use_symmetry, benchmark::State& state) {
+  ParallelOptions opts;
+  opts.jobs = workers;
+  opts.use_symmetry = use_symmetry;
+  opts.verify.solver.seed = 1;
+  ParallelVerifier v(dc.model, opts);
+  const scenarios::Batch batch = dc.batch();
+  verify::ParallelBatchResult r = v.verify_all(batch.invariants);
+  for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+    const Outcome expected =
+        batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
+    if (r.results[i].outcome != expected) {
+      state.SkipWithError("unexpected outcome in parallel batch");
+      return 0.0;
+    }
+  }
+  state.counters["jobs_executed"] =
+      benchmark::Counter(static_cast<double>(r.jobs_executed));
+  state.counters["dedup_hit_rate"] = benchmark::Counter(r.dedup_hit_rate);
+  return static_cast<double>(r.total_time.count());
+}
+
+void scaling_bench(benchmark::State& state, bool use_symmetry) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  Datacenter dc = make();
+  double wall_ms = 0;
+  for (auto _ : state) {
+    wall_ms = run_batch(dc, workers, use_symmetry, state);
+    benchmark::DoNotOptimize(wall_ms);
+  }
+  if (workers == 1) baseline_ms[use_symmetry] = wall_ms;
+  const double base = baseline_ms[use_symmetry];
+  state.counters["speedup_vs_1"] =
+      benchmark::Counter(base > 0 && wall_ms > 0 ? base / wall_ms : 0.0);
+  state.counters["hw_threads"] = benchmark::Counter(
+      static_cast<double>(std::thread::hardware_concurrency()));
+}
+
+void BM_ParallelScaling_Independent(benchmark::State& state) {
+  scaling_bench(state, /*use_symmetry=*/false);
+}
+BENCHMARK(BM_ParallelScaling_Independent)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgNames({"workers"})->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_ParallelScaling_WithDedup(benchmark::State& state) {
+  scaling_bench(state, /*use_symmetry=*/true);
+}
+BENCHMARK(BM_ParallelScaling_WithDedup)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgNames({"workers"})->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace

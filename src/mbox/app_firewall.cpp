@@ -7,6 +7,16 @@ namespace vmn::mbox {
 namespace l = vmn::logic;
 namespace ltl = vmn::logic::ltl;
 
+std::string AppFirewall::policy_fingerprint(Address) const {
+  // Sorted so semantically equal configurations built in different entry
+  // orders fingerprint identically.
+  std::vector<std::uint16_t> classes(blocked_);
+  std::sort(classes.begin(), classes.end());
+  std::string fp = exclusive_ ? "x:" : "o:";
+  for (std::uint16_t c : classes) fp += std::to_string(c) + ",";
+  return fp;
+}
+
 void AppFirewall::emit_axioms(AxiomContext& ctx) const {
   const l::Vocab& v = ctx.vocab();
   l::TermFactory& f = ctx.factory();

@@ -35,6 +35,10 @@ class AppFirewall final : public Middlebox {
 
   void emit_axioms(AxiomContext& ctx) const override;
 
+  /// Address-independent: the blocked-class set and the exclusivity mode
+  /// both change the emitted axioms, so both enter the fingerprint.
+  [[nodiscard]] std::string policy_fingerprint(Address) const override;
+
   [[nodiscard]] const std::vector<std::uint16_t>& blocked_classes() const {
     return blocked_;
   }

@@ -24,6 +24,12 @@ class Idps final : public Middlebox {
 
   void emit_axioms(AxiomContext& ctx) const override;
 
+  /// Address-independent, but axiom-relevant: a dropping IDPS and a pure
+  /// monitor encode different problems and must never fingerprint equal.
+  [[nodiscard]] std::string policy_fingerprint(Address) const override {
+    return drop_malicious_ ? "drop-malicious" : "monitor";
+  }
+
   void sim_reset() override {}
   [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override;
 

@@ -145,6 +145,15 @@ class Middlebox {
   /// (and identical forwarding chains) are policy-equivalent; removal of a
   /// configuration entry changes the affected hosts' fingerprints, which is
   /// how "removal of rules breaks symmetry" (section 5.1) materializes.
+  ///
+  /// Contract: every configuration knob that emit_axioms compiles into the
+  /// solver problem MUST be projected through this fingerprint -
+  /// address-independent settings (e.g. an IDPS's drop-vs-monitor mode)
+  /// included, returned identically for every `a`. The canonical slice key
+  /// (slice::canonical_slice_key) dedups verification jobs by this
+  /// projection; an unprojected knob lets two differently-configured
+  /// same-type instances share a job and one invariant silently inherit the
+  /// other's verdict. The default is for boxes with no configuration at all.
   [[nodiscard]] virtual std::string policy_fingerprint(Address a) const {
     (void)a;
     return {};

@@ -294,6 +294,22 @@ bool Datacenter::pair_broken(int src_group, int dst_group) const {
   return false;
 }
 
+Batch Datacenter::batch() const {
+  Batch out;
+  out.name = "datacenter";
+  out.invariants = isolation_invariants();
+  const int groups = static_cast<int>(out.invariants.size());
+  for (int g = 0; g < groups; ++g) {
+    const int next = (g + 1) % groups;
+    bool broken = false;
+    for (auto [s, d] : broken_isolation_pairs) {
+      if (s == g && d == next) broken = true;
+    }
+    out.expected_holds.push_back(!broken);
+  }
+  return out;
+}
+
 void inject_misconfig(Datacenter& dc, DcMisconfig kind, Rng& rng,
                       int strength) {
   const int groups = static_cast<int>(dc.group_clients.size());
@@ -322,6 +338,7 @@ void inject_misconfig(Datacenter& dc, DcMisconfig kind, Rng& rng,
         delete_deny(dc.fw_primary, g, d);
         if (dc.fw_backup != nullptr) delete_deny(dc.fw_backup, g, d);
         dc.broken_pairs.emplace_back(g, d);
+        dc.broken_isolation_pairs.emplace_back(g, d);
         break;
       case DcMisconfig::redundancy:
         if (dc.fw_backup != nullptr) {

@@ -22,6 +22,7 @@
 #include "encode/model.hpp"
 #include "mbox/content_cache.hpp"
 #include "mbox/firewall.hpp"
+#include "scenarios/batch.hpp"
 
 namespace vmn::scenarios {
 
@@ -54,8 +55,14 @@ struct Datacenter {
   ScenarioId fw_down;    ///< scenario: primary firewall failed
   ScenarioId idps_down;  ///< scenario: primary IDPS failed
 
-  /// Groups whose isolation was broken by the last injection.
+  /// Groups affected by the last injection, whatever the kind (rules,
+  /// redundancy, traversal or cache_acl breakage).
   std::vector<std::pair<int, int>> broken_pairs;  ///< (src group, dst group)
+  /// The subset of broken_pairs whose node-isolation invariant is violated
+  /// with a zero failure budget: only DcMisconfig::rules lands here
+  /// (redundancy needs max_failures >= 1 to manifest; traversal and
+  /// cache_acl break other invariant families).
+  std::vector<std::pair<int, int>> broken_isolation_pairs;
 
   /// One isolation invariant per policy group g: a client of group g+1
   /// never receives packets from group g (§5.1's "hosts can only
@@ -72,6 +79,10 @@ struct Datacenter {
 
   /// Whether the (src group -> dst group) direction was broken.
   [[nodiscard]] bool pair_broken(int src_group, int dst_group) const;
+
+  /// The uniform batch view (scenarios/batch.hpp): the §5.1 isolation
+  /// invariants, with expectations tracking any injected rule breakage.
+  [[nodiscard]] Batch batch() const;
 };
 
 [[nodiscard]] Datacenter make_datacenter(const DatacenterParams& params);

@@ -9,6 +9,10 @@ using encode::Invariant;
 using mbox::AclAction;
 using mbox::AclEntry;
 
+Batch Enterprise::batch() const {
+  return Batch{"enterprise", invariants, expected_holds};
+}
+
 SubnetKind subnet_kind_of(int index) {
   switch (index % 3) {
     case 0:

@@ -14,6 +14,7 @@
 
 #include "encode/invariant.hpp"
 #include "encode/model.hpp"
+#include "scenarios/batch.hpp"
 
 namespace vmn::scenarios {
 
@@ -34,6 +35,9 @@ struct Enterprise {
   /// expected outcome (true = holds / reachable).
   std::vector<encode::Invariant> invariants;
   std::vector<bool> expected_holds;
+
+  /// The uniform batch view (scenarios/batch.hpp).
+  [[nodiscard]] Batch batch() const;
 };
 
 [[nodiscard]] Enterprise make_enterprise(const EnterpriseParams& params);

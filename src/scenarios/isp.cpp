@@ -153,6 +153,8 @@ Isp make_isp(const IspParams& params) {
   // Attack-reroute scenario: the IDS at peering `a` detects an attack on
   // subnet 1's prefix and diverts it to the scrubber before the firewall.
   if (params.with_scrub_reroute && P >= 2) {
+    out.has_attack_scenario = true;
+    out.scrub_misconfigured = params.scrub_bypasses_firewalls;
     const Prefix attacked = subnet_prefix(1);
     out.attack_scenario = net.add_failure_scenario("scrub-reroute", {});
 
@@ -213,6 +215,18 @@ std::vector<Invariant> Isp::invariants() const {
 Invariant Isp::attacked_subnet_isolation() const {
   const NodeId peer = peers.size() > 1 ? peers[1] : peers[0];
   return Invariant::flow_isolation(subnet_hosts[1].front(), peer);
+}
+
+Batch Isp::batch() const {
+  Batch out;
+  out.name = "isp";
+  out.invariants = invariants();
+  out.expected_holds.assign(out.invariants.size(), true);
+  if (has_attack_scenario) {
+    out.invariants.push_back(attacked_subnet_isolation());
+    out.expected_holds.push_back(!scrub_misconfigured);
+  }
+  return out;
 }
 
 }  // namespace vmn::scenarios

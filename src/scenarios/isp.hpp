@@ -18,6 +18,7 @@
 
 #include "encode/invariant.hpp"
 #include "encode/model.hpp"
+#include "scenarios/batch.hpp"
 #include "scenarios/enterprise.hpp"  // SubnetKind
 
 namespace vmn::scenarios {
@@ -47,6 +48,17 @@ struct Isp {
   /// The invariant the scrub-reroute misconfiguration breaks: subnet 1
   /// (private) stays flow-isolated from peer 1.
   [[nodiscard]] encode::Invariant attacked_subnet_isolation() const;
+
+  /// Whether the attack-reroute scenario was installed, and whether it was
+  /// installed with the firewall-bypassing misconfiguration (recorded by
+  /// make_isp for batch expectations).
+  bool has_attack_scenario = false;
+  bool scrub_misconfigured = false;
+
+  /// The uniform batch view (scenarios/batch.hpp): the per-subnet policy
+  /// invariants plus, when the reroute is installed, the attacked subnet's
+  /// isolation (violated exactly when the reroute bypasses the firewalls).
+  [[nodiscard]] Batch batch() const;
 };
 
 [[nodiscard]] Isp make_isp(const IspParams& params);

@@ -130,4 +130,12 @@ std::vector<Invariant> MultiTenant::invariants() const {
   return {priv_priv(), pub_priv(), priv_pub()};
 }
 
+Batch MultiTenant::batch() const {
+  Batch out;
+  out.name = "multitenant";
+  out.invariants = invariants();
+  out.expected_holds.assign(out.invariants.size(), true);
+  return out;
+}
+
 }  // namespace vmn::scenarios

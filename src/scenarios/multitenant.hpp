@@ -17,6 +17,7 @@
 
 #include "encode/invariant.hpp"
 #include "encode/model.hpp"
+#include "scenarios/batch.hpp"
 
 namespace vmn::scenarios {
 
@@ -41,6 +42,9 @@ struct MultiTenant {
   [[nodiscard]] encode::Invariant priv_pub() const;
   /// All three, with expected outcomes (all hold for the correct config).
   [[nodiscard]] std::vector<encode::Invariant> invariants() const;
+
+  /// The uniform batch view (scenarios/batch.hpp).
+  [[nodiscard]] Batch batch() const;
 };
 
 [[nodiscard]] MultiTenant make_multitenant(const MultiTenantParams& params);

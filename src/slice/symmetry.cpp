@@ -1,24 +1,34 @@
 #include "slice/symmetry.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <functional>
 #include <map>
-#include <tuple>
+#include <optional>
+#include <utility>
+
+#include "dataplane/transfer.hpp"
+#include "mbox/middlebox.hpp"
+#include "net/topology.hpp"
 
 namespace vmn::slice {
+
+std::string class_signature(const encode::Invariant& invariant,
+                            const PolicyClasses& classes) {
+  auto cls = [&](NodeId n) {
+    return n.valid() ? std::to_string(classes.class_of(n)) : std::string("-");
+  };
+  return encode::to_string(invariant.kind) + "/" + invariant.type_prefix +
+         "/" + cls(invariant.target) + "/" + cls(invariant.other);
+}
 
 SymmetryGroups group_invariants(
     const std::vector<encode::Invariant>& invariants,
     const PolicyClasses& classes) {
-  using Key = std::tuple<int, std::size_t, std::size_t, std::string>;
-  std::map<Key, std::size_t> index_of;
+  std::map<std::string, std::size_t> index_of;
   SymmetryGroups out;
   for (std::size_t i = 0; i < invariants.size(); ++i) {
-    const encode::Invariant& inv = invariants[i];
-    const std::size_t target_class =
-        inv.target.valid() ? classes.class_of(inv.target) : ~std::size_t{0};
-    const std::size_t other_class =
-        inv.other.valid() ? classes.class_of(inv.other) : ~std::size_t{0};
-    Key key{static_cast<int>(inv.kind), target_class, other_class,
-            inv.type_prefix};
+    const std::string key = class_signature(invariants[i], classes);
     auto it = index_of.find(key);
     if (it == index_of.end()) {
       index_of.emplace(key, out.groups.size());
@@ -28,6 +38,228 @@ SymmetryGroups group_invariants(
     }
   }
   return out;
+}
+
+std::string canonical_slice_key(const encode::NetworkModel& model,
+                                const std::vector<NodeId>& slice_members,
+                                const encode::Invariant& invariant,
+                                const PolicyClasses& classes,
+                                int max_failures) {
+  const net::Network& net = model.network();
+
+  // Mirror encode::Encoding's member normalization: the key must
+  // fingerprint exactly the problem verify_members() will encode.
+  std::vector<NodeId> members(slice_members);
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  auto member_index = [&](NodeId id) -> std::optional<std::size_t> {
+    auto it = std::lower_bound(members.begin(), members.end(), id);
+    if (it == members.end() || *it != id) return std::nullopt;
+    return static_cast<std::size_t>(it - members.begin());
+  };
+
+  // Initial member colors: invariant role, then policy class for hosts and
+  // type/scope/failure-mode for middleboxes (plus, for traversal
+  // invariants, whether the encoder's name-prefix match selects the box).
+  // Node names and raw address bits never enter the key.
+  std::vector<std::string> mcolor(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const NodeId id = members[i];
+    std::string c;
+    if (id == invariant.target) {
+      c = "T";
+    } else if (id == invariant.other) {
+      c = "O";
+    }
+    if (net.kind(id) == net::NodeKind::host) {
+      c += "h" + std::to_string(classes.class_of(id));
+    } else if (const mbox::Middlebox* box = model.middlebox_at(id)) {
+      c += "m:" + box->type() + ":" +
+           std::to_string(static_cast<int>(box->state_scope())) + ":" +
+           std::to_string(static_cast<int>(box->failure_mode()));
+      if (invariant.kind == encode::InvariantKind::traversal &&
+          net.name(id).starts_with(invariant.type_prefix)) {
+        c += ":P";  // the traversal axiom matches boxes by name prefix
+      }
+    }
+    mcolor[i] = std::move(c);
+  }
+
+  // Round signatures are compressed to a 64-bit digest before reuse:
+  // uncompressed, color length multiplies by relation degree every round,
+  // and std::hash is stateless, so the same signature string digests
+  // identically in every slice - cross-slice comparability is preserved
+  // exactly, up to the (negligible, in-process) chance of a 64-bit
+  // collision. A persistent cross-run key cache would need a pinned hash
+  // function first.
+  const auto digest = [](const std::string& sig) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016zx", std::hash<std::string>{}(sig));
+    return std::string(buf);
+  };
+
+  // Relevant addresses with their owning members (the same derivation as
+  // Encoding::compute_relevant_addresses); each address is a refinement
+  // vertex colored by its owners, never by its bits.
+  std::map<Address, std::vector<std::pair<std::string, std::size_t>>>
+      owners_by_addr;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const net::Node& n = net.node(members[i]);
+    if (n.kind == net::NodeKind::host) {
+      owners_by_addr[n.address].push_back({"p", i});
+    } else if (const mbox::Middlebox* box = model.middlebox_at(members[i])) {
+      for (Address a : box->implicit_addresses()) {
+        owners_by_addr[a].push_back({"i", i});
+      }
+    }
+  }
+  std::vector<Address> relevant;
+  std::vector<std::vector<std::pair<std::string, std::size_t>>> owners;
+  relevant.reserve(owners_by_addr.size());
+  owners.reserve(owners_by_addr.size());
+  for (auto& [a, os] : owners_by_addr) {
+    relevant.push_back(a);
+    owners.push_back(std::move(os));
+  }
+
+  // Configuration enters the key through each member middlebox's per-address
+  // policy projection (the same projection infer_policy_classes fingerprints
+  // hosts with): the box x relevant-address incidence is colored by
+  // policy_fingerprint, so same-type boxes whose configurations treat a
+  // slice address differently (e.g. default-deny vs default-allow firewalls,
+  // or a dropping IDPS vs a pure monitor) never merge - without this the
+  // encoding (which compiles the full config) would diverge from the key and
+  // symmetric-looking checks could unsoundly inherit outcomes. Soundness
+  // rests on the Middlebox::policy_fingerprint contract: every axiom-relevant
+  // knob, address-independent ones included, must be projected (see the
+  // Idps/AppFirewall overrides). Fingerprints may mention raw peer prefixes, so
+  // corresponding-but-renamed configs split conservatively (sound, costs a
+  // solver call); fingerprints of isomorphically-treated addresses are equal
+  // strings, which is what keeps e.g. an enterprise's public subnets merged.
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const mbox::Middlebox* box = model.middlebox_at(members[i]);
+    if (box == nullptr) continue;
+    for (std::size_t j = 0; j < relevant.size(); ++j) {
+      owners[j].push_back({"f" + digest(box->policy_fingerprint(relevant[j])), i});
+    }
+  }
+
+  // The routing the encoding actually sees: for every in-budget failure
+  // scenario, the transfer relation over members x relevant addresses
+  // (exactly what emit_omega_and_failures compiles into omega.transfer;
+  // deliveries outside the slice are drops there too) plus the members the
+  // scenario fails. Physical wiring enters the encoding only through this
+  // relation, so it is all the key needs - and unlike wiring it captures
+  // per-source rules and scenario-specific reroutes.
+  struct Route {
+    std::size_t from, addr, to;
+  };
+  std::vector<std::vector<Route>> routes;
+  std::vector<std::vector<std::size_t>> failed;
+  for (const net::FailureScenario& sc : net.scenarios()) {
+    if (static_cast<int>(sc.failed_nodes.size()) > max_failures) continue;
+    const ScenarioId sid(static_cast<ScenarioId::underlying_type>(
+        &sc - net.scenarios().data()));
+    dataplane::TransferFunction tf(net, sid);
+    std::vector<Route> rs;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = 0; j < relevant.size(); ++j) {
+        std::optional<NodeId> to = tf.next_edge(members[i], relevant[j]);
+        if (!to) continue;
+        std::optional<std::size_t> k = member_index(*to);
+        if (!k) continue;
+        rs.push_back(Route{i, j, *k});
+      }
+    }
+    routes.push_back(std::move(rs));
+    std::vector<std::size_t> f;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (sc.is_failed(members[i])) f.push_back(i);
+    }
+    failed.push_back(std::move(f));
+  }
+
+  const auto scenario_tags = [&](const std::vector<std::string>& mc,
+                                 const std::vector<std::string>& ac) {
+    std::vector<std::string> tags(routes.size());
+    for (std::size_t s = 0; s < routes.size(); ++s) {
+      std::vector<std::string> lines;
+      for (const Route& r : routes[s]) {
+        lines.push_back(mc[r.from] + ">" + ac[r.addr] + ">" + mc[r.to]);
+      }
+      for (std::size_t i : failed[s]) lines.push_back("x" + mc[i]);
+      std::sort(lines.begin(), lines.end());
+      std::string sig = "S";
+      for (const std::string& l : lines) sig += l + ",";
+      tags[s] = digest(sig);
+    }
+    return tags;
+  };
+
+  // Seed address colors from their owners, then co-refine members and
+  // addresses over the scenario-tagged routing relation (1-WL on the
+  // tripartite member/address/scenario structure, three rounds).
+  std::vector<std::string> acolor(relevant.size());
+  for (std::size_t j = 0; j < relevant.size(); ++j) {
+    std::vector<std::string> os;
+    for (const auto& [tag, i] : owners[j]) os.push_back(tag + mcolor[i]);
+    std::sort(os.begin(), os.end());
+    std::string c = "A(";
+    for (const std::string& o : os) c += o + ",";
+    acolor[j] = c + ")";
+  }
+  for (int round = 0; round < 3; ++round) {
+    const std::vector<std::string> stag = scenario_tags(mcolor, acolor);
+    std::vector<std::vector<std::string>> mparts(members.size());
+    std::vector<std::vector<std::string>> aparts(relevant.size());
+    for (std::size_t s = 0; s < routes.size(); ++s) {
+      for (const Route& r : routes[s]) {
+        mparts[r.from].push_back("f" + stag[s] + acolor[r.addr] + mcolor[r.to]);
+        mparts[r.to].push_back("t" + stag[s] + mcolor[r.from] + acolor[r.addr]);
+        aparts[r.addr].push_back("e" + stag[s] + mcolor[r.from] + mcolor[r.to]);
+      }
+      for (std::size_t i : failed[s]) mparts[i].push_back("x" + stag[s]);
+    }
+    for (std::size_t j = 0; j < relevant.size(); ++j) {
+      for (const auto& [tag, i] : owners[j]) {
+        mparts[i].push_back("o" + tag + acolor[j]);
+        aparts[j].push_back("o" + tag + mcolor[i]);
+      }
+    }
+    std::vector<std::string> next_m(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      std::sort(mparts[i].begin(), mparts[i].end());
+      std::string sig = "(" + mcolor[i] + "|";
+      for (const std::string& p : mparts[i]) sig += p + ",";
+      next_m[i] = digest(sig + ")");
+    }
+    std::vector<std::string> next_a(relevant.size());
+    for (std::size_t j = 0; j < relevant.size(); ++j) {
+      std::sort(aparts[j].begin(), aparts[j].end());
+      std::string sig = "[" + acolor[j] + "|";
+      for (const std::string& p : aparts[j]) sig += p + ",";
+      next_a[j] = digest(sig + "]");
+    }
+    mcolor = std::move(next_m);
+    acolor = std::move(next_a);
+  }
+
+  // The key: invariant signature plus the sorted multisets of final member
+  // colors, address colors and scenario fingerprints.
+  std::vector<std::string> mpal = mcolor;
+  std::vector<std::string> apal = acolor;
+  std::vector<std::string> spal = scenario_tags(mcolor, acolor);
+  std::sort(mpal.begin(), mpal.end());
+  std::sort(apal.begin(), apal.end());
+  std::sort(spal.begin(), spal.end());
+  std::string key = encode::to_string(invariant.kind) + "/" +
+                    invariant.type_prefix + "#";
+  for (const std::string& c : mpal) key += c + ";";
+  key += "@";
+  for (const std::string& c : apal) key += c + ";";
+  key += "!";
+  for (const std::string& c : spal) key += c + ";";
+  return key;
 }
 
 }  // namespace vmn::slice

@@ -7,9 +7,11 @@
 // verifies one representative per group.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "encode/invariant.hpp"
+#include "encode/model.hpp"
 #include "slice/policy.hpp"
 
 namespace vmn::slice {
@@ -30,5 +32,42 @@ struct SymmetryGroups {
 [[nodiscard]] SymmetryGroups group_invariants(
     const std::vector<encode::Invariant>& invariants,
     const PolicyClasses& classes);
+
+/// The coarse symmetry signature (kind / type prefix / policy class of
+/// target and other) that group_invariants merges by - the paper's section
+/// 4.2 criterion. Exposed so diagnostics (e.g. the parallel planner's
+/// conservative-split counter) compare against exactly the grouping
+/// criterion, not a reimplementation of it.
+[[nodiscard]] std::string class_signature(const encode::Invariant& invariant,
+                                          const PolicyClasses& classes);
+
+/// Canonical fingerprint of the verification problem (invariant, slice).
+///
+/// The key erases node identity: hosts are labelled by their policy class
+/// and invariant role (target / other), middleboxes by type, state scope,
+/// failure mode and the per-address projection of their configuration
+/// (policy_fingerprint over the slice's relevant addresses - same-type
+/// boxes never merge when their configurations differ under that
+/// projection, which is sound exactly as long as every box honors the
+/// Middlebox::policy_fingerprint contract of projecting every
+/// axiom-relevant knob, address-independent ones included), switches
+/// anonymously - then the labelling is sharpened by
+/// three rounds of neighborhood refinement (1-WL) over the subgraph induced
+/// on the slice members plus the switching fabric. Isomorphic
+/// (invariant, slice) pairs - one transformable into the other by a
+/// policy-class-preserving relabeling of nodes - always get equal keys, but
+/// the converse is heuristic: 1-WL color multisets can coincide on
+/// non-isomorphic graphs. Key merges are a strict subset of the coarse
+/// class_signature merges (the key embeds kind, type prefix and the role
+/// and class of every host), so merging by key never exceeds the paper's
+/// section 4.2 symmetry classes while splitting the structurally-unequal
+/// cases class signatures would unsoundly merge; both the sequential batch
+/// path and the parallel planner group by this key. Any use of the key
+/// ACROSS models (e.g. a persistent key -> outcome cache) must validate
+/// collisions first.
+[[nodiscard]] std::string canonical_slice_key(
+    const encode::NetworkModel& model, const std::vector<NodeId>& members,
+    const encode::Invariant& invariant, const PolicyClasses& classes,
+    int max_failures = 0);
 
 }  // namespace vmn::slice

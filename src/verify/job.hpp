@@ -1,0 +1,63 @@
+// Verification jobs: the unit of work handed to the SolverPool.
+//
+// A batch of invariants is planned into a deduplicated job queue keyed by
+// canonical slice fingerprints (slice::canonical_slice_key): two invariants
+// share a job exactly when their kind, policy classes AND refined slice
+// structure agree - a strictly stronger condition than the coarse
+// class-signature grouping (slice::class_signature). The sequential
+// Verifier::verify_all and the ParallelVerifier both execute plans built by
+// the one shared planner (verify::plan_jobs), which is why the two engines
+// agree representative-for-representative. Every job carries the indices of
+// all invariants that inherit its outcome.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace vmn::verify {
+
+/// One unit of parallel work: verify a representative invariant on its slice.
+struct Job {
+  /// Position in the job queue (stable across runs for a fixed batch).
+  std::size_t id = 0;
+  /// Index of the representative invariant in the batch list.
+  std::size_t invariant_index = 0;
+  /// Slice members the representative is encoded over (whole network when
+  /// slicing is disabled).
+  std::vector<NodeId> members;
+  /// Canonical fingerprint of (invariant, slice) used for job dedup
+  /// (empty when planned without symmetry).
+  std::string canonical_key;
+  /// Batch indices (excluding the representative) inheriting the outcome.
+  std::vector<std::size_t> inheritors;
+  /// Planning cost (slice computation + canonical key) for the
+  /// representative; both engines fold it into the representative's
+  /// total_time so per-invariant figures stay comparable.
+  std::chrono::milliseconds plan_time{0};
+};
+
+/// The deduplicated queue plus planning statistics.
+struct JobPlan {
+  std::vector<Job> jobs;
+  std::size_t invariant_count = 0;
+  /// Invariants folded into a representative job by canonical-key equality.
+  std::size_t symmetry_hits = 0;
+  /// Invariants the coarse class-signature grouping (the paper's section
+  /// 4.2 criterion) would have merged but the canonical key kept separate
+  /// because their slice structure differs - each one costs an extra
+  /// solver call and buys soundness.
+  std::size_t conservative_splits = 0;
+
+  /// Fraction of the batch answered without a dedicated solver job.
+  [[nodiscard]] double dedup_hit_rate() const {
+    if (invariant_count == 0) return 0.0;
+    return static_cast<double>(invariant_count - jobs.size()) /
+           static_cast<double>(invariant_count);
+  }
+};
+
+}  // namespace vmn::verify

@@ -1,0 +1,118 @@
+#include "verify/parallel.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace vmn::verify {
+
+void TimingHistogram::record(std::chrono::milliseconds ms) {
+  std::size_t bucket = 0;
+  for (auto v = ms.count(); v > 0; v >>= 1) ++bucket;
+  if (buckets.size() <= bucket) buckets.resize(bucket + 1);
+  ++buckets[bucket];
+}
+
+std::size_t TimingHistogram::samples() const {
+  std::size_t n = 0;
+  for (std::size_t b : buckets) n += b;
+  return n;
+}
+
+std::string TimingHistogram::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (!out.empty()) out += " ";
+    if (i == 0) {
+      out += "<1ms";
+    } else {
+      out += std::to_string(1LL << (i - 1)) + "-" + std::to_string(1LL << i) +
+             "ms";
+    }
+    out += ":" + std::to_string(buckets[i]);
+  }
+  return out.empty() ? "(no samples)" : out;
+}
+
+BatchResult ParallelBatchResult::to_batch() const& {
+  BatchResult out;
+  out.results = results;
+  out.solver_calls = solver_calls;
+  out.total_time = total_time;
+  return out;
+}
+
+BatchResult ParallelBatchResult::to_batch() && {
+  BatchResult out;
+  out.results = std::move(results);
+  out.solver_calls = solver_calls;
+  out.total_time = total_time;
+  return out;
+}
+
+ParallelVerifier::ParallelVerifier(const encode::NetworkModel& model,
+                                   ParallelOptions options)
+    : model_(&model), options_(options) {
+  classes_ = options_.verify.infer_policy_classes
+                 ? slice::infer_policy_classes(model)
+                 : slice::declared_policy_classes(model);
+}
+
+JobPlan ParallelVerifier::plan(
+    const std::vector<encode::Invariant>& invariants) const {
+  // The one shared planner (verify::plan_jobs): the sequential engine
+  // executes exactly this plan in job order, which is what makes the two
+  // engines pick identical representatives and agree outcome-for-outcome.
+  return plan_jobs(*model_, invariants, classes_, options_.use_symmetry,
+                   options_.verify);
+}
+
+ParallelBatchResult ParallelVerifier::verify_all(
+    const std::vector<encode::Invariant>& invariants) const {
+  const auto start = std::chrono::steady_clock::now();
+  ParallelBatchResult out;
+  out.invariant_count = invariants.size();
+  out.results.resize(invariants.size());
+
+  JobPlan plan = this->plan(invariants);
+  out.jobs_executed = plan.jobs.size();
+  out.symmetry_hits = plan.symmetry_hits;
+  out.conservative_splits = plan.conservative_splits;
+  out.dedup_hit_rate = plan.dedup_hit_rate();
+
+  // Fan out: one solver call per job, results written into per-job slots so
+  // aggregation is independent of worker scheduling.
+  std::vector<VerifyResult> job_results(plan.jobs.size());
+  std::size_t workers = options_.jobs != 0
+                            ? options_.jobs
+                            : std::thread::hardware_concurrency();
+  workers = std::max<std::size_t>(1, std::min(workers, plan.jobs.size()));
+  SolverPool pool(workers, options_.verify.solver);
+  pool.run(plan.jobs.size(), [&](std::size_t index, SolverSession& session) {
+    Job& job = plan.jobs[index];
+    job_results[index] = verify_members(
+        *model_, invariants[job.invariant_index], std::move(job.members),
+        options_.verify.max_failures, session);
+  });
+  out.workers = pool.stats();
+
+  // Aggregate: representatives keep their full result (including any
+  // counterexample); inheritors copy the outcome with by_symmetry set, like
+  // the sequential batch path.
+  for (std::size_t j = 0; j < plan.jobs.size(); ++j) {
+    const Job& job = plan.jobs[j];
+    VerifyResult& rep = job_results[j];
+    rep.total_time += job.plan_time;
+    out.solve_histogram.record(rep.solve_time);
+    ++out.solver_calls;
+    for (std::size_t k : job.inheritors) {
+      out.results[k] = inherit_result(rep);
+    }
+    out.results[job.invariant_index] = std::move(rep);
+  }
+  out.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  return out;
+}
+
+}  // namespace vmn::verify

@@ -1,0 +1,108 @@
+// Parallel slice verification (the paper's scalability argument, made
+// concrete): invariants decompose into per-slice checks that share no state,
+// so a batch fans out over a SolverPool after symmetry deduplication.
+//
+//   invariants --slice_members-------> one slice per invariant
+//              --canonical_slice_key-> deduplicated (isomorphic) jobs
+//              --SolverPool----------> per-worker solver sessions
+//              --aggregate-----------> ParallelBatchResult
+//
+// Determinism: for a fixed SolverOptions::seed every job is solved in a
+// fresh, self-contained encoding + Z3 context, so its outcome does not
+// depend on which worker picks it up or in what order - `--jobs 4` runs
+// reproduce `--jobs 1` runs result-for-result.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "encode/invariant.hpp"
+#include "encode/model.hpp"
+#include "slice/policy.hpp"
+#include "verify/job.hpp"
+#include "verify/solver_pool.hpp"
+#include "verify/verifier.hpp"
+
+namespace vmn::verify {
+
+struct ParallelOptions {
+  /// Worker count; 0 picks std::thread::hardware_concurrency().
+  std::size_t jobs = 0;
+  /// Fold invariants with identical canonical slice keys into one job
+  /// (section 4.2's symmetry argument, sharpened by slice structure: keys
+  /// merge strictly less than the sequential engine's class-signature
+  /// grouping, so every merge here is sound whenever one there is; the
+  /// checks the key refuses to merge are counted as conservative splits).
+  bool use_symmetry = true;
+  /// Options shared with the sequential verifier (slices, failure budget,
+  /// policy-class inference, solver seed/timeout).
+  VerifyOptions verify;
+};
+
+/// Log2-bucketed per-job solve times: bucket i counts jobs whose solve time
+/// fell in [2^(i-1), 2^i) ms (bucket 0 is < 1 ms).
+struct TimingHistogram {
+  std::vector<std::size_t> buckets;
+
+  void record(std::chrono::milliseconds ms);
+  [[nodiscard]] std::size_t samples() const;
+  /// e.g. "<1ms:3 1-2ms:1 8-16ms:7"
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// BatchResult plus the parallel-engine diagnostics.
+struct ParallelBatchResult {
+  /// Aligned with the invariant list, like BatchResult::results.
+  std::vector<VerifyResult> results;
+  std::size_t solver_calls = 0;
+  std::chrono::milliseconds total_time{0};
+
+  std::size_t invariant_count = 0;
+  std::size_t jobs_executed = 0;
+  /// Invariants answered by canonical-key job merging.
+  std::size_t symmetry_hits = 0;
+  /// Class-symmetric checks verified separately anyway (see JobPlan).
+  std::size_t conservative_splits = 0;
+  /// (invariants - solver jobs) / invariants.
+  double dedup_hit_rate = 0.0;
+  TimingHistogram solve_histogram;
+  std::vector<WorkerStats> workers;
+
+  /// The sequential-compatible view (results, calls, wall time). The
+  /// rvalue overload moves the result vector out instead of deep-copying
+  /// every counterexample trace.
+  [[nodiscard]] BatchResult to_batch() const&;
+  [[nodiscard]] BatchResult to_batch() &&;
+};
+
+/// Verifies invariant batches on a worker pool. Construction is cheap; the
+/// pool spins up per verify_all call and every worker owns an independent
+/// solver session (see solver_pool.hpp for the thread-safety contract).
+class ParallelVerifier {
+ public:
+  explicit ParallelVerifier(const encode::NetworkModel& model,
+                            ParallelOptions options = {});
+
+  /// Plans the deduplicated job queue without solving (exposed for tests
+  /// and diagnostics; verify_all executes exactly this plan).
+  [[nodiscard]] JobPlan plan(
+      const std::vector<encode::Invariant>& invariants) const;
+
+  /// Verifies the batch: plan, fan out, aggregate.
+  [[nodiscard]] ParallelBatchResult verify_all(
+      const std::vector<encode::Invariant>& invariants) const;
+
+  [[nodiscard]] const slice::PolicyClasses& policy_classes() const {
+    return classes_;
+  }
+  [[nodiscard]] const ParallelOptions& options() const { return options_; }
+
+ private:
+  const encode::NetworkModel* model_;
+  ParallelOptions options_;
+  slice::PolicyClasses classes_;
+};
+
+}  // namespace vmn::verify

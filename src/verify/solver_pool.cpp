@@ -1,0 +1,66 @@
+#include "verify/solver_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace vmn::verify {
+
+SolverPool::SolverPool(std::size_t workers, smt::SolverOptions options) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  sessions_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    sessions_.push_back(std::make_unique<SolverSession>(options));
+  }
+  stats_.resize(workers);
+}
+
+void SolverPool::run(
+    std::size_t count,
+    const std::function<void(std::size_t, SolverSession&)>& fn) {
+  if (count == 0) return;
+
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker_loop = [&](std::size_t worker) {
+    SolverSession& session = *sessions_[worker];
+    WorkerStats& stats = stats_[worker];
+    for (;;) {
+      const std::size_t job = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (job >= count) return;
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        fn(job, session);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      stats.busy += std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+      ++stats.jobs;
+    }
+  };
+
+  const std::size_t active = std::min(sessions_.size(), count);
+  if (active == 1) {
+    // Single worker: run inline, in order, on the calling thread.
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(active);
+    for (std::size_t w = 0; w < active; ++w) {
+      threads.emplace_back(worker_loop, w);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace vmn::verify

@@ -1,0 +1,82 @@
+// A pool of solver-owning workers.
+//
+// Z3 contexts are not thread-safe, so parallel verification gives every
+// worker its own SolverSession: the session owns the backend solver plus the
+// per-session options, and is only ever touched from the worker thread that
+// owns it. Because every Encoding carries its own logic::Vocab (sorts and
+// declarations are interned per encoding, never shared), a session is
+// re-bound to the vocabulary of each job it executes; the Z3 context, solver
+// and translation caches are recreated at bind time and stay thread-local.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "logic/builder.hpp"
+#include "smt/solver.hpp"
+
+namespace vmn::verify {
+
+/// A single worker's solver state. Never shared between threads.
+class SolverSession {
+ public:
+  explicit SolverSession(smt::SolverOptions options) : options_(options) {}
+
+  /// (Re)creates the backend solver for `vocab` and returns it. The solver
+  /// is owned by this session but borrows `vocab`: it must only be used
+  /// while `vocab` (in practice, the caller's Encoding) is alive. It is
+  /// destroyed by the next bind.
+  smt::Solver& bind(const logic::Vocab& vocab) {
+    solver_ = smt::make_z3_solver(vocab, options_);
+    ++binds_;
+    return *solver_;
+  }
+
+  [[nodiscard]] const smt::SolverOptions& options() const { return options_; }
+  /// Number of encodings this session has solved (diagnostics).
+  [[nodiscard]] std::size_t binds() const { return binds_; }
+
+ private:
+  smt::SolverOptions options_;
+  std::unique_ptr<smt::Solver> solver_;
+  std::size_t binds_ = 0;
+};
+
+/// Per-worker execution counters, reported in batch results.
+struct WorkerStats {
+  std::size_t jobs = 0;
+  std::chrono::milliseconds busy{0};
+};
+
+/// Fixed-size worker pool. Jobs are pulled from a shared atomic cursor, so
+/// scheduling is work-stealing-free but naturally load balanced; results
+/// must be written to per-job slots by the callback, which makes aggregation
+/// independent of the (nondeterministic) job-to-worker assignment.
+class SolverPool {
+ public:
+  /// `workers` == 0 picks std::thread::hardware_concurrency().
+  explicit SolverPool(std::size_t workers, smt::SolverOptions options);
+
+  [[nodiscard]] std::size_t size() const { return sessions_.size(); }
+  [[nodiscard]] const std::vector<WorkerStats>& stats() const {
+    return stats_;
+  }
+
+  /// Executes `fn(job_index, session)` for every index in [0, count).
+  /// Each invocation runs on exactly one worker thread with that worker's
+  /// session; blocks until all jobs finish. The first exception thrown by a
+  /// job is rethrown here after the pool drains. With a single worker the
+  /// jobs run in index order on the calling thread (no thread is spawned),
+  /// which is what makes `--jobs 1` bit-identical to sequential runs.
+  void run(std::size_t count,
+           const std::function<void(std::size_t, SolverSession&)>& fn);
+
+ private:
+  std::vector<std::unique_ptr<SolverSession>> sessions_;
+  std::vector<WorkerStats> stats_;
+};
+
+}  // namespace vmn::verify

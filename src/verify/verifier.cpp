@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 #include <tuple>
+#include <unordered_map>
 
 namespace vmn::verify {
 
@@ -25,34 +26,39 @@ Verifier::Verifier(const encode::NetworkModel& model, VerifyOptions options)
                  : slice::declared_policy_classes(model);
 }
 
-VerifyResult Verifier::verify(const encode::Invariant& invariant) const {
+VerifyResult inherit_result(const VerifyResult& representative) {
+  VerifyResult inherited;
+  inherited.outcome = representative.outcome;
+  inherited.raw_status = representative.raw_status;
+  inherited.solve_time = representative.solve_time;
+  inherited.total_time = representative.total_time;
+  inherited.slice_size = representative.slice_size;
+  inherited.assertion_count = representative.assertion_count;
+  inherited.by_symmetry = true;
+  return inherited;
+}
+
+VerifyResult verify_members(const encode::NetworkModel& model,
+                            const encode::Invariant& invariant,
+                            std::vector<NodeId> members, int max_failures,
+                            SolverSession& session) {
   const auto start = std::chrono::steady_clock::now();
   VerifyResult result;
 
-  std::vector<NodeId> members;
-  if (options_.use_slices) {
-    slice::Slice s = slice::compute_slice(
-        *model_, invariant, classes_,
-        slice::SliceOptions{options_.max_failures});
-    members = std::move(s.members);
-  } else {
-    members = encode::all_edge_nodes(*model_);
-  }
-
-  encode::Encoding encoding(*model_, std::move(members),
-                            encode::EncodeOptions{options_.max_failures});
+  encode::Encoding encoding(model, std::move(members),
+                            encode::EncodeOptions{max_failures});
   encoding.add_invariant(invariant);
 
-  auto solver = smt::make_z3_solver(encoding.vocab(), options_.solver);
+  smt::Solver& solver = session.bind(encoding.vocab());
   for (const encode::Axiom& axiom : encoding.axioms()) {
-    solver->add(axiom.term);
+    solver.add(axiom.term);
   }
 
-  const smt::CheckStatus status = solver->check();
+  const smt::CheckStatus status = solver.check();
   result.raw_status = status;
-  result.solve_time = solver->last_check_time();
+  result.solve_time = solver.last_check_time();
   result.slice_size = encoding.members().size();
-  result.assertion_count = solver->assertion_count();
+  result.assertion_count = solver.assertion_count();
 
   // sat = counterexample exists = violated, except for positive
   // reachability invariants where sat is the desired witness.
@@ -60,7 +66,7 @@ VerifyResult Verifier::verify(const encode::Invariant& invariant) const {
     case smt::CheckStatus::sat:
       result.outcome =
           invariant.sat_means_holds() ? Outcome::holds : Outcome::violated;
-      result.counterexample = build_trace(encoding, solver->model());
+      result.counterexample = extract_trace(encoding, solver.model());
       break;
     case smt::CheckStatus::unsat:
       result.outcome =
@@ -75,44 +81,108 @@ VerifyResult Verifier::verify(const encode::Invariant& invariant) const {
   return result;
 }
 
+std::vector<NodeId> slice_members(const encode::NetworkModel& model,
+                                  const encode::Invariant& invariant,
+                                  const slice::PolicyClasses& classes,
+                                  bool use_slices, int max_failures) {
+  if (use_slices) {
+    slice::Slice s = slice::compute_slice(model, invariant, classes,
+                                          slice::SliceOptions{max_failures});
+    return std::move(s.members);
+  }
+  return encode::all_edge_nodes(model);
+}
+
+VerifyResult Verifier::verify(const encode::Invariant& invariant) const {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<NodeId> members = slice_members(
+      *model_, invariant, classes_, options_.use_slices, options_.max_failures);
+  SolverSession session(options_.solver);
+  VerifyResult result = verify_members(*model_, invariant, std::move(members),
+                                       options_.max_failures, session);
+  result.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  return result;
+}
+
+JobPlan plan_jobs(const encode::NetworkModel& model,
+                  const std::vector<encode::Invariant>& invariants,
+                  const slice::PolicyClasses& classes, bool use_symmetry,
+                  const VerifyOptions& options) {
+  JobPlan plan;
+  plan.invariant_count = invariants.size();
+  // The key is strictly finer than the coarse class-signature grouping
+  // (slice::class_signature, the paper's section 4.2 criterion): invariants
+  // whose policy classes match but whose slice structure differs (e.g. an
+  // attack-scenario reroute touching only one peering point) get their own
+  // solver call instead of unsoundly inheriting.
+  std::unordered_map<std::string, std::size_t> job_by_key;
+  std::set<std::string> coarse_seen;
+  for (std::size_t i = 0; i < invariants.size(); ++i) {
+    const auto inv_start = std::chrono::steady_clock::now();
+    const encode::Invariant& inv = invariants[i];
+    std::vector<NodeId> members = slice_members(
+        model, inv, classes, options.use_slices, options.max_failures);
+
+    std::string key;
+    if (use_symmetry) {
+      key = slice::canonical_slice_key(model, members, inv, classes,
+                                       options.max_failures);
+      auto it = job_by_key.find(key);
+      if (it != job_by_key.end()) {
+        plan.jobs[it->second].inheritors.push_back(i);
+        ++plan.symmetry_hits;
+        continue;
+      }
+      if (!coarse_seen.insert(slice::class_signature(inv, classes)).second) {
+        ++plan.conservative_splits;
+      }
+      job_by_key.emplace(key, plan.jobs.size());
+    }
+    Job job;
+    job.id = plan.jobs.size();
+    job.invariant_index = i;
+    job.members = std::move(members);
+    job.canonical_key = std::move(key);
+    job.plan_time = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - inv_start);
+    plan.jobs.push_back(std::move(job));
+  }
+  return plan;
+}
+
 BatchResult Verifier::verify_all(
     const std::vector<encode::Invariant>& invariants, bool use_symmetry) const {
   const auto start = std::chrono::steady_clock::now();
   BatchResult batch;
   batch.results.resize(invariants.size());
 
-  if (!use_symmetry) {
-    for (std::size_t i = 0; i < invariants.size(); ++i) {
-      batch.results[i] = verify(invariants[i]);
-      ++batch.solver_calls;
+  // Execute the shared plan in job order: one fresh solver session per
+  // representative, inheritors copy its outcome with by_symmetry set.
+  JobPlan plan =
+      plan_jobs(*model_, invariants, classes_, use_symmetry, options_);
+  for (Job& job : plan.jobs) {
+    const auto job_start = std::chrono::steady_clock::now();
+    SolverSession session(options_.solver);
+    VerifyResult rep =
+        verify_members(*model_, invariants[job.invariant_index],
+                       std::move(job.members), options_.max_failures, session);
+    rep.total_time =
+        job.plan_time + std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - job_start);
+    ++batch.solver_calls;
+    for (std::size_t k : job.inheritors) {
+      batch.results[k] = inherit_result(rep);
     }
-  } else {
-    slice::SymmetryGroups groups = slice::group_invariants(invariants, classes_);
-    for (const slice::SymmetryGroup& g : groups.groups) {
-      VerifyResult rep = verify(invariants[g.invariants.front()]);
-      ++batch.solver_calls;
-      for (std::size_t k = 1; k < g.invariants.size(); ++k) {
-        VerifyResult inherited;
-        inherited.outcome = rep.outcome;
-        inherited.raw_status = rep.raw_status;
-        inherited.solve_time = rep.solve_time;
-        inherited.total_time = rep.total_time;
-        inherited.slice_size = rep.slice_size;
-        inherited.assertion_count = rep.assertion_count;
-        // No counterexample: the witness names the representative's nodes.
-        inherited.by_symmetry = true;
-        batch.results[g.invariants[k]] = std::move(inherited);
-      }
-      batch.results[g.invariants.front()] = std::move(rep);
-    }
+    batch.results[job.invariant_index] = std::move(rep);
   }
   batch.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start);
   return batch;
 }
 
-Trace Verifier::build_trace(const encode::Encoding& encoding,
-                            const smt::SmtModel& model) const {
+Trace extract_trace(const encode::Encoding& encoding,
+                    const smt::SmtModel& model) {
   Trace trace;
   auto to_packet = [&](const smt::ModelPacket& mp) {
     Packet p;

@@ -20,6 +20,8 @@
 #include "slice/slice.hpp"
 #include "slice/symmetry.hpp"
 #include "smt/solver.hpp"
+#include "verify/job.hpp"
+#include "verify/solver_pool.hpp"
 
 namespace vmn::verify {
 
@@ -60,6 +62,50 @@ struct BatchResult {
   std::chrono::milliseconds total_time{0};
 };
 
+/// Reads a counterexample schedule out of a satisfying model.
+[[nodiscard]] Trace extract_trace(const encode::Encoding& encoding,
+                                  const smt::SmtModel& model);
+
+/// The result a symmetric invariant inherits from its verified
+/// representative: same outcome and statistics, by_symmetry set, and no
+/// counterexample (the witness names the representative's nodes). Shared by
+/// the sequential and parallel batch paths so they cannot drift.
+[[nodiscard]] VerifyResult inherit_result(const VerifyResult& representative);
+
+/// The edge nodes `invariant` is encoded over: the computed slice, or the
+/// whole network when slicing is off. Shared by the sequential Verifier and
+/// the ParallelVerifier planner so the two engines encode identical
+/// problems.
+[[nodiscard]] std::vector<NodeId> slice_members(
+    const encode::NetworkModel& model, const encode::Invariant& invariant,
+    const slice::PolicyClasses& classes, bool use_slices, int max_failures);
+
+/// The shared batch planner: one slice per invariant, deduplicated into jobs
+/// by canonical_slice_key when `use_symmetry` is set (an invariant joins an
+/// existing job exactly when its kind, policy classes and refined slice
+/// structure fingerprint-match; merges the coarse class-signature criterion
+/// would have made but the key refuses are counted as conservative splits -
+/// each costs a solver call and buys soundness). The sequential
+/// Verifier::verify_all executes this plan in job order and the
+/// ParallelVerifier fans it out over a pool; sharing the planner is what
+/// makes the two engines agree representative-for-representative.
+[[nodiscard]] JobPlan plan_jobs(const encode::NetworkModel& model,
+                                const std::vector<encode::Invariant>& invariants,
+                                const slice::PolicyClasses& classes,
+                                bool use_symmetry, const VerifyOptions& options);
+
+/// The shared single-check core: encodes `invariant` over `members`, solves
+/// on `session`'s (re-bound) backend and interprets the result. Both the
+/// sequential Verifier and the ParallelVerifier workers funnel through this
+/// function, which is what guarantees their outcomes agree check-for-check.
+/// `total_time` covers encoding and solving only; callers that also compute
+/// the slice fold that time in themselves.
+[[nodiscard]] VerifyResult verify_members(const encode::NetworkModel& model,
+                                          const encode::Invariant& invariant,
+                                          std::vector<NodeId> members,
+                                          int max_failures,
+                                          SolverSession& session);
+
 class Verifier {
  public:
   Verifier(const encode::NetworkModel& model, VerifyOptions options = {});
@@ -79,9 +125,6 @@ class Verifier {
   [[nodiscard]] const VerifyOptions& options() const { return options_; }
 
  private:
-  [[nodiscard]] Trace build_trace(const encode::Encoding& encoding,
-                                  const smt::SmtModel& model) const;
-
   const encode::NetworkModel* model_;
   VerifyOptions options_;
   slice::PolicyClasses classes_;

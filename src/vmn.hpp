@@ -50,6 +50,7 @@
 #include "net/failure.hpp"
 #include "net/fwd_table.hpp"
 #include "net/topology.hpp"
+#include "scenarios/batch.hpp"
 #include "scenarios/datacenter.hpp"
 #include "scenarios/enterprise.hpp"
 #include "scenarios/isp.hpp"
@@ -59,4 +60,7 @@
 #include "slice/slice.hpp"
 #include "slice/symmetry.hpp"
 #include "smt/solver.hpp"
+#include "verify/job.hpp"
+#include "verify/parallel.hpp"
+#include "verify/solver_pool.hpp"
 #include "verify/verifier.hpp"

@@ -1,0 +1,253 @@
+// ParallelVerifier tests: agreement with the sequential engine, determinism
+// under a fixed solver seed regardless of worker count, counterexample
+// validity under concurrency, job planning, and the SolverPool contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "mbox/firewall.hpp"
+#include "scenarios/datacenter.hpp"
+#include "scenarios/enterprise.hpp"
+#include "scenarios/isp.hpp"
+#include "scenarios/multitenant.hpp"
+#include "util.hpp"
+#include "verify/parallel.hpp"
+#include "verify/verifier.hpp"
+
+namespace vmn::verify {
+namespace {
+
+using encode::Invariant;
+using mbox::AclAction;
+using mbox::AclEntry;
+using scenarios::Batch;
+using test::OneBoxNet;
+
+ParallelOptions with_jobs(std::size_t jobs) {
+  ParallelOptions opts;
+  opts.jobs = jobs;
+  opts.verify.solver.seed = 7;
+  return opts;
+}
+
+void expect_agreement(const encode::NetworkModel& model, const Batch& batch) {
+  VerifyOptions seq_opts;
+  seq_opts.solver.seed = 7;
+  Verifier sequential(model, seq_opts);
+  BatchResult expected = sequential.verify_all(batch.invariants,
+                                               /*use_symmetry=*/true);
+  ParallelVerifier parallel(model, with_jobs(1));
+  ParallelBatchResult got = parallel.verify_all(batch.invariants);
+  ASSERT_EQ(got.results.size(), expected.results.size());
+  for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+    EXPECT_EQ(got.results[i].outcome, expected.results[i].outcome)
+        << batch.name << " invariant " << i;
+    if (i < batch.expected_holds.size()) {
+      const Outcome scenario_expected =
+          batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
+      EXPECT_EQ(got.results[i].outcome, scenario_expected)
+          << batch.name << " invariant " << i;
+    }
+  }
+}
+
+TEST(Parallel, OneWorkerMatchesSequentialOnOneBoxNet) {
+  OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::LearningFirewall>(
+      "fw",
+      std::vector<AclEntry>{AclEntry{Prefix::host(OneBoxNet::addr_a()),
+                                     Prefix::host(OneBoxNet::addr_b()),
+                                     AclAction::allow}},
+      AclAction::deny));
+  Batch batch;
+  batch.name = "oneboxnet";
+  batch.invariants = {Invariant::node_isolation(n.a, n.b),
+                      Invariant::flow_isolation(n.a, n.b),
+                      Invariant::reachable(n.b, n.a)};
+  expect_agreement(n.model, batch);
+}
+
+TEST(Parallel, OneWorkerMatchesSequentialOnEnterprise) {
+  scenarios::EnterpriseParams p;
+  p.subnets = 4;
+  p.hosts_per_subnet = 1;
+  scenarios::Enterprise e = scenarios::make_enterprise(p);
+  expect_agreement(e.model, e.batch());
+}
+
+TEST(Parallel, OneWorkerMatchesSequentialOnDatacenter) {
+  scenarios::DatacenterParams p;
+  p.policy_groups = 3;
+  p.clients_per_group = 1;
+  scenarios::Datacenter dc = scenarios::make_datacenter(p);
+  expect_agreement(dc.model, dc.batch());
+}
+
+TEST(Parallel, OneWorkerMatchesSequentialOnMisconfiguredDatacenter) {
+  scenarios::DatacenterParams p;
+  p.policy_groups = 3;
+  p.clients_per_group = 1;
+  scenarios::Datacenter dc = scenarios::make_datacenter(p);
+  Rng rng(7);
+  inject_misconfig(dc, scenarios::DcMisconfig::rules, rng, 1);
+  expect_agreement(dc.model, dc.batch());
+}
+
+TEST(Parallel, OneWorkerMatchesSequentialOnIsp) {
+  scenarios::IspParams p;
+  p.peering_points = 2;
+  p.subnets = 3;
+  scenarios::Isp isp = scenarios::make_isp(p);
+  expect_agreement(isp.model, isp.batch());
+}
+
+TEST(Parallel, OneWorkerMatchesSequentialOnMisconfiguredIsp) {
+  // Regression: peer hosts share a policy class, so the coarse class
+  // signature of the attacked subnet's isolation invariant matches the
+  // clean peering point's - but the attack-scenario reroute makes their
+  // slices differ, and the violated invariant must NOT inherit "holds"
+  // from the clean representative. Both engines group by the canonical
+  // slice key, which keeps the two checks separate.
+  scenarios::IspParams p;
+  p.peering_points = 2;
+  p.subnets = 3;
+  p.scrub_bypasses_firewalls = true;
+  scenarios::Isp isp = scenarios::make_isp(p);
+  expect_agreement(isp.model, isp.batch());
+}
+
+TEST(Parallel, OneWorkerMatchesSequentialOnMultiTenant) {
+  scenarios::MultiTenantParams p;
+  p.tenants = 2;
+  p.servers = 2;
+  p.public_vms_per_tenant = 1;
+  p.private_vms_per_tenant = 1;
+  scenarios::MultiTenant mt = scenarios::make_multitenant(p);
+  expect_agreement(mt.model, mt.batch());
+}
+
+TEST(Parallel, DeterministicAcrossFourWorkerRuns) {
+  scenarios::EnterpriseParams p;
+  p.subnets = 5;
+  p.hosts_per_subnet = 1;
+  scenarios::Enterprise e = scenarios::make_enterprise(p);
+
+  ParallelVerifier v(e.model, with_jobs(4));
+  ParallelBatchResult first = v.verify_all(e.invariants);
+  ParallelBatchResult second = v.verify_all(e.invariants);
+  ASSERT_EQ(first.results.size(), second.results.size());
+  for (std::size_t i = 0; i < first.results.size(); ++i) {
+    EXPECT_EQ(first.results[i].outcome, second.results[i].outcome) << i;
+    EXPECT_EQ(first.results[i].raw_status, second.results[i].raw_status) << i;
+    EXPECT_EQ(first.results[i].slice_size, second.results[i].slice_size) << i;
+    EXPECT_EQ(first.results[i].assertion_count,
+              second.results[i].assertion_count)
+        << i;
+    EXPECT_EQ(first.results[i].by_symmetry, second.results[i].by_symmetry)
+        << i;
+  }
+  EXPECT_EQ(first.jobs_executed, second.jobs_executed);
+  EXPECT_EQ(first.symmetry_hits, second.symmetry_hits);
+}
+
+TEST(Parallel, ViolatedSlicesYieldCounterexamplesConcurrently) {
+  // Break the enterprise firewall wide open: the private and quarantined
+  // subnets' isolation invariants all become violated, and each violated
+  // job must still extract a coherent counterexample while other jobs run
+  // on sibling workers.
+  scenarios::EnterpriseParams p;
+  p.subnets = 6;
+  p.hosts_per_subnet = 1;
+  scenarios::Enterprise e = scenarios::make_enterprise(p);
+  auto* fw = dynamic_cast<mbox::LearningFirewall*>(
+      e.model.middlebox_at(e.model.network().node_by_name("fw")));
+  ASSERT_NE(fw, nullptr);
+  std::vector<AclEntry> acl = fw->acl();
+  acl.insert(acl.begin(),
+             AclEntry{Prefix(Address::of(172, 16, 0, 0), 12),
+                      Prefix(Address::of(10, 0, 0, 0), 8), AclAction::allow});
+  fw->replace_acl(acl);
+
+  ParallelVerifier v(e.model, with_jobs(4));
+  ParallelBatchResult r = v.verify_all(e.invariants);
+  std::size_t violated = 0;
+  for (std::size_t i = 0; i < e.invariants.size(); ++i) {
+    const VerifyResult& res = r.results[i];
+    if (res.outcome != Outcome::violated || res.by_symmetry) continue;
+    ++violated;
+    ASSERT_TRUE(res.counterexample.has_value()) << "invariant " << i;
+    // The trace must deliver a packet to the invariant's target host.
+    bool target_received = false;
+    for (const Event& ev : res.counterexample->events()) {
+      if (ev.kind == EventKind::receive && ev.to == e.invariants[i].target) {
+        target_received = true;
+      }
+    }
+    EXPECT_TRUE(target_received) << "invariant " << i;
+  }
+  EXPECT_GT(violated, 0u);
+}
+
+TEST(Parallel, PlanPartitionsTheBatch) {
+  scenarios::EnterpriseParams p;
+  p.subnets = 6;
+  p.hosts_per_subnet = 2;
+  scenarios::Enterprise e = scenarios::make_enterprise(p);
+  ParallelVerifier v(e.model, with_jobs(2));
+  JobPlan plan = v.plan(e.invariants);
+
+  // Every invariant is answered exactly once: either as a representative or
+  // as an inheritor.
+  std::set<std::size_t> covered;
+  for (const Job& job : plan.jobs) {
+    EXPECT_TRUE(covered.insert(job.invariant_index).second);
+    for (std::size_t k : job.inheritors) {
+      EXPECT_TRUE(covered.insert(k).second);
+    }
+    EXPECT_FALSE(job.members.empty());
+    EXPECT_FALSE(job.canonical_key.empty());
+  }
+  EXPECT_EQ(covered.size(), e.invariants.size());
+  // Six subnets cycle through three policy kinds -> two subnets per kind
+  // collapse into one job each.
+  EXPECT_EQ(plan.jobs.size(), 3u);
+  EXPECT_EQ(plan.symmetry_hits, 3u);
+  EXPECT_DOUBLE_EQ(plan.dedup_hit_rate(), 0.5);
+
+  // Without symmetry, one job per invariant.
+  ParallelOptions no_sym = with_jobs(2);
+  no_sym.use_symmetry = false;
+  JobPlan flat = ParallelVerifier(e.model, no_sym).plan(e.invariants);
+  EXPECT_EQ(flat.jobs.size(), e.invariants.size());
+  EXPECT_EQ(flat.symmetry_hits, 0u);
+}
+
+TEST(SolverPoolTest, RunsEveryJobExactlyOnceAcrossWorkers) {
+  SolverPool pool(3, smt::SolverOptions{});
+  EXPECT_EQ(pool.size(), 3u);
+  constexpr std::size_t kJobs = 17;
+  std::vector<std::atomic<int>> hits(kJobs);
+  pool.run(kJobs, [&](std::size_t job, SolverSession& session) {
+    (void)session;
+    hits[job].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+  }
+  std::size_t total = 0;
+  for (const WorkerStats& w : pool.stats()) total += w.jobs;
+  EXPECT_EQ(total, kJobs);
+}
+
+TEST(SolverPoolTest, PropagatesJobExceptions) {
+  SolverPool pool(2, smt::SolverOptions{});
+  EXPECT_THROW(
+      pool.run(5,
+               [&](std::size_t job, SolverSession&) {
+                 if (job == 3) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vmn::verify

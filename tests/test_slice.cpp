@@ -3,13 +3,17 @@
 // verification on the slice agrees with verification on the full network.
 #include <gtest/gtest.h>
 
+#include "core/rng.hpp"
 #include "mbox/content_cache.hpp"
 #include "mbox/firewall.hpp"
+#include "mbox/idps.hpp"
 #include "mbox/load_balancer.hpp"
 #include "mbox/nat.hpp"
 #include "scenarios/datacenter.hpp"
 #include "scenarios/enterprise.hpp"
 #include "slice/slice.hpp"
+#include "slice/symmetry.hpp"
+#include "util.hpp"
 #include "verify/verifier.hpp"
 
 namespace vmn::slice {
@@ -177,6 +181,330 @@ TEST_P(SliceAgreement, SliceAndFullNetworkAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SliceAgreement, ::testing::Range(0, 6));
+
+// -- property test: slicing soundness on random topologies -------------------
+//
+// A randomly generated small network (random host count, random firewall
+// configuration, random invariants) must produce the same verdict sliced as
+// whole-network - the slice theorem should not depend on any structure the
+// scenario generators happen to produce.
+
+struct RandomNet {
+  encode::NetworkModel model;
+  std::vector<NodeId> hosts;
+};
+
+RandomNet make_random_net(Rng& rng) {
+  RandomNet out;
+  net::Network& net = out.model.network();
+  const int host_count = static_cast<int>(rng.uniform(2, 4));
+  std::vector<Address> addrs;
+  for (int h = 0; h < host_count; ++h) {
+    const Address addr = Address::of(10, 0, static_cast<std::uint8_t>(h), 1);
+    addrs.push_back(addr);
+    out.hosts.push_back(net.add_host("r" + std::to_string(h), addr));
+  }
+
+  // Random firewall config: each ordered host pair gets an allow entry with
+  // probability 1/2, on top of a random default action.
+  std::vector<mbox::AclEntry> acl;
+  for (int i = 0; i < host_count; ++i) {
+    for (int j = 0; j < host_count; ++j) {
+      if (i != j && rng.chance(0.5)) {
+        acl.push_back(mbox::AclEntry{Prefix::host(addrs[i]),
+                                     Prefix::host(addrs[j]),
+                                     mbox::AclAction::allow});
+      }
+    }
+  }
+  const auto default_action =
+      rng.chance(0.25) ? mbox::AclAction::allow : mbox::AclAction::deny;
+  auto& fw = out.model.add_middlebox(
+      std::make_unique<mbox::LearningFirewall>("rfw", acl, default_action));
+
+  // OneBoxNet-shaped fabric: hosts split across two switches, all
+  // cross-host traffic chained through the firewall at sw1.
+  NodeId sw1 = net.add_switch("rs1");
+  NodeId sw2 = net.add_switch("rs2");
+  net.add_link(sw1, sw2);
+  net.add_link(fw.node(), sw1);
+  for (int h = 0; h < host_count; ++h) {
+    NodeId sw = (h % 2 == 0) ? sw1 : sw2;
+    net.add_link(out.hosts[h], sw);
+    net.table(sw).add(Prefix::host(addrs[h]), out.hosts[h]);
+  }
+  for (int h = 0; h < host_count; ++h) {
+    const Prefix dst = Prefix::host(addrs[h]);
+    NodeId home = (h % 2 == 0) ? sw1 : sw2;
+    for (int o = 0; o < host_count; ++o) {
+      if (o == h) continue;
+      NodeId from = out.hosts[o];
+      if ((o % 2 == 0) == (h % 2 == 0)) {
+        // Same switch: still chain through the firewall.
+        net.table(home).add_from(from, dst, fw.node());
+      } else if (o % 2 == 0) {
+        net.table(sw1).add_from(from, dst, fw.node());
+      } else {
+        net.table(sw2).add_from(from, dst, sw1);
+        net.table(sw1).add_from(sw2, dst, fw.node());
+      }
+    }
+    // Firewall output heads to the destination's home switch, then host.
+    if (h % 2 == 0) {
+      net.table(sw1).add_from(fw.node(), dst, out.hosts[h]);
+    } else {
+      net.table(sw1).add_from(fw.node(), dst, sw2);
+      net.table(sw2).add_from(sw1, dst, out.hosts[h]);
+    }
+  }
+  return out;
+}
+
+Invariant random_invariant(Rng& rng, const std::vector<NodeId>& hosts) {
+  const auto d = static_cast<std::size_t>(
+      rng.uniform(0, static_cast<std::int64_t>(hosts.size()) - 1));
+  auto s = static_cast<std::size_t>(
+      rng.uniform(0, static_cast<std::int64_t>(hosts.size()) - 1));
+  if (s == d) s = (s + 1) % hosts.size();
+  switch (rng.uniform(0, 2)) {
+    case 0:
+      return Invariant::node_isolation(hosts[d], hosts[s]);
+    case 1:
+      return Invariant::flow_isolation(hosts[d], hosts[s]);
+    default:
+      return Invariant::reachable(hosts[d], hosts[s]);
+  }
+}
+
+class RandomSliceSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSliceSoundness, SlicedVerdictMatchesWholeNetwork) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  RandomNet n = make_random_net(rng);
+  verify::VerifyOptions sliced;
+  sliced.use_slices = true;
+  verify::VerifyOptions full;
+  full.use_slices = false;
+  verify::Verifier vs(n.model, sliced);
+  verify::Verifier vf(n.model, full);
+  for (int k = 0; k < 2; ++k) {
+    Invariant inv = random_invariant(rng, n.hosts);
+    verify::VerifyResult rs = vs.verify(inv);
+    verify::VerifyResult rf = vf.verify(inv);
+    EXPECT_EQ(rs.outcome, rf.outcome)
+        << "seed " << GetParam() << " "
+        << inv.describe(
+               [&](NodeId node) { return n.model.network().name(node); });
+    EXPECT_LE(rs.slice_size, rf.slice_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSliceSoundness, ::testing::Range(0, 8));
+
+// -- canonical slice keys ----------------------------------------------------
+
+TEST(CanonicalKey, CollidesForIsomorphicSlicesWithinAModel) {
+  Enterprise ent = small_enterprise(7);  // public subnets at 0, 3, 6
+  PolicyClasses classes = infer_policy_classes(ent.model);
+  auto key_for = [&](const Invariant& inv) {
+    Slice s = compute_slice(ent.model, inv, classes);
+    return canonical_slice_key(ent.model, s.members, inv, classes);
+  };
+  const Invariant pub0 =
+      Invariant::reachable(ent.subnet_hosts[0][0], ent.internet);
+  const Invariant pub3 =
+      Invariant::reachable(ent.subnet_hosts[3][0], ent.internet);
+  const Invariant pub0_other_host =
+      Invariant::reachable(ent.subnet_hosts[0][1], ent.internet);
+  // Same policy kind, different subnet / different host: isomorphic.
+  EXPECT_EQ(key_for(pub0), key_for(pub3));
+  EXPECT_EQ(key_for(pub0), key_for(pub0_other_host));
+  // Different invariant kind on the same slice shape: not isomorphic.
+  const Invariant iso0 =
+      Invariant::node_isolation(ent.subnet_hosts[0][0], ent.internet);
+  EXPECT_NE(key_for(pub0), key_for(iso0));
+  // Same kind against a host of a different policy class: not isomorphic.
+  const Invariant iso_quar =
+      Invariant::node_isolation(ent.subnet_hosts[2][0], ent.internet);
+  EXPECT_NE(key_for(iso0), key_for(iso_quar));
+}
+
+TEST(CanonicalKey, CollidesAcrossIsomorphicModelsAndNotOtherwise) {
+  using test::OneBoxNet;
+  // Two structurally identical one-box networks; node names differ only in
+  // the middlebox (names are erased from keys).
+  OneBoxNet n1 = OneBoxNet::make(std::make_unique<mbox::LearningFirewall>(
+      "fw-alpha", std::vector<mbox::AclEntry>{}, mbox::AclAction::deny));
+  OneBoxNet n2 = OneBoxNet::make(std::make_unique<mbox::LearningFirewall>(
+      "fw-beta", std::vector<mbox::AclEntry>{}, mbox::AclAction::deny));
+  auto key_of = [](const encode::NetworkModel& model, const Invariant& inv) {
+    PolicyClasses classes = infer_policy_classes(model);
+    Slice s = compute_slice(model, inv, classes);
+    return canonical_slice_key(model, s.members, inv, classes);
+  };
+  const std::string k1 =
+      key_of(n1.model, Invariant::node_isolation(n1.b, n1.a));
+  const std::string k2 =
+      key_of(n2.model, Invariant::node_isolation(n2.b, n2.a));
+  EXPECT_EQ(k1, k2);
+
+  // A different middlebox type breaks the isomorphism.
+  OneBoxNet n3 = OneBoxNet::make(std::make_unique<mbox::Nat>(
+      "nat", Address::of(1, 2, 3, 4), Prefix(Address::of(10, 0, 0, 0), 8)));
+  const std::string k3 =
+      key_of(n3.model, Invariant::node_isolation(n3.b, n3.a));
+  EXPECT_NE(k1, k3);
+}
+
+TEST(CanonicalKey, SplitsSameTypeBoxesWithDifferentConfigs) {
+  using test::OneBoxNet;
+  // Same middlebox type, different configuration: default-deny vs
+  // default-allow firewalls encode different problems, so the keys must
+  // split even though type, state scope and failure mode all agree.
+  OneBoxNet deny = OneBoxNet::make(std::make_unique<mbox::LearningFirewall>(
+      "fw", std::vector<mbox::AclEntry>{}, mbox::AclAction::deny));
+  OneBoxNet allow = OneBoxNet::make(std::make_unique<mbox::LearningFirewall>(
+      "fw", std::vector<mbox::AclEntry>{}, mbox::AclAction::allow));
+  auto key_of = [](const encode::NetworkModel& model, const Invariant& inv) {
+    PolicyClasses classes = infer_policy_classes(model);
+    Slice s = compute_slice(model, inv, classes);
+    return canonical_slice_key(model, s.members, inv, classes);
+  };
+  EXPECT_NE(key_of(deny.model, Invariant::node_isolation(deny.b, deny.a)),
+            key_of(allow.model, Invariant::node_isolation(allow.b, allow.a)));
+}
+
+// Two disjoint OneBoxNet-shaped segments in one network, each chaining its
+// host pair through its own firewall.
+struct TwoSegments {
+  encode::NetworkModel model;
+  NodeId a1, b1, a2, b2;
+};
+
+TwoSegments two_firewall_segments(mbox::AclAction first,
+                                  mbox::AclAction second) {
+  TwoSegments n;
+  net::Network& net = n.model.network();
+  n.a1 = net.add_host("a1", Address::of(10, 0, 0, 1));
+  n.b1 = net.add_host("b1", Address::of(10, 0, 1, 1));
+  n.a2 = net.add_host("a2", Address::of(10, 0, 2, 1));
+  n.b2 = net.add_host("b2", Address::of(10, 0, 3, 1));
+  NodeId fw1 = n.model
+                   .add_middlebox(std::make_unique<mbox::LearningFirewall>(
+                       "fw1", std::vector<mbox::AclEntry>{}, first))
+                   .node();
+  NodeId fw2 = n.model
+                   .add_middlebox(std::make_unique<mbox::LearningFirewall>(
+                       "fw2", std::vector<mbox::AclEntry>{}, second))
+                   .node();
+  int sw = 0;
+  auto wire = [&](NodeId a, NodeId b, NodeId fw) {
+    NodeId s1 = net.add_switch("sw" + std::to_string(sw++));
+    NodeId s2 = net.add_switch("sw" + std::to_string(sw++));
+    net.add_link(a, s1);
+    net.add_link(fw, s1);
+    net.add_link(s1, s2);
+    net.add_link(b, s2);
+    const Prefix pa = Prefix::host(net.node(a).address);
+    const Prefix pb = Prefix::host(net.node(b).address);
+    net.table(s1).add(pa, a);
+    net.table(s1).add_from(a, pb, fw);
+    net.table(s1).add_from(fw, pb, s2);
+    net.table(s1).add_from(s2, pa, fw);
+    net.table(s1).add_from(fw, pa, a);
+    net.table(s2).add(pb, b);
+    net.table(s2).add(pa, s1);
+  };
+  wire(n.a1, n.b1, fw1);
+  wire(n.a2, n.b2, fw2);
+  return n;
+}
+
+TEST(CanonicalKey, SplitsAddressIndependentConfigs) {
+  using test::OneBoxNet;
+  // Idps config (drop vs monitor) never touches an address, so it can only
+  // enter the key through the policy_fingerprint contract; a key that
+  // missed it would merge a dropping IDPS with a pure monitor.
+  OneBoxNet drop = OneBoxNet::make(
+      std::make_unique<mbox::Idps>("idps", /*drop_malicious=*/true));
+  OneBoxNet monitor = OneBoxNet::make(
+      std::make_unique<mbox::Idps>("idps", /*drop_malicious=*/false));
+  auto key_of = [](const encode::NetworkModel& model, const Invariant& inv) {
+    PolicyClasses classes = infer_policy_classes(model);
+    Slice s = compute_slice(model, inv, classes);
+    return canonical_slice_key(model, s.members, inv, classes);
+  };
+  EXPECT_NE(
+      key_of(drop.model, Invariant::no_malicious_delivery(drop.b)),
+      key_of(monitor.model, Invariant::no_malicious_delivery(monitor.b)));
+}
+
+TEST(CanonicalKey, BatchNeverInheritsAcrossDifferentIdpsModes) {
+  // One shared sender `a`, two isomorphic segments: b1 behind a dropping
+  // IDPS, b2 behind a pure monitor. The two no-malicious-delivery slices
+  // differ only in that address-independent mode; merging them would let
+  // the monitor segment inherit "holds" from the dropping one.
+  encode::NetworkModel model;
+  net::Network& net = model.network();
+  NodeId a = net.add_host("a", Address::of(10, 0, 0, 1));
+  NodeId b1 = net.add_host("b1", Address::of(10, 0, 1, 1));
+  NodeId b2 = net.add_host("b2", Address::of(10, 0, 2, 1));
+  NodeId i1 = model
+                  .add_middlebox(std::make_unique<mbox::Idps>(
+                      "idps1", /*drop_malicious=*/true))
+                  .node();
+  NodeId i2 = model
+                  .add_middlebox(std::make_unique<mbox::Idps>(
+                      "idps2", /*drop_malicious=*/false))
+                  .node();
+  NodeId s0 = net.add_switch("s0");
+  NodeId s1 = net.add_switch("s1");
+  NodeId s2 = net.add_switch("s2");
+  net.add_link(a, s0);
+  net.add_link(s0, s1);
+  net.add_link(s0, s2);
+  net.add_link(i1, s1);
+  net.add_link(b1, s1);
+  net.add_link(i2, s2);
+  net.add_link(b2, s2);
+  const Prefix pa = Prefix::host(net.node(a).address);
+  const Prefix pb1 = Prefix::host(net.node(b1).address);
+  const Prefix pb2 = Prefix::host(net.node(b2).address);
+  net.table(s0).add(pa, a);
+  net.table(s0).add(pb1, s1);
+  net.table(s0).add(pb2, s2);
+  net.table(s1).add_from(s0, pb1, i1);
+  net.table(s1).add_from(i1, pb1, b1);
+  net.table(s1).add(pa, s0);
+  net.table(s2).add_from(s0, pb2, i2);
+  net.table(s2).add_from(i2, pb2, b2);
+  net.table(s2).add(pa, s0);
+
+  verify::Verifier v(model);
+  const std::vector<Invariant> batch = {Invariant::no_malicious_delivery(b1),
+                                        Invariant::no_malicious_delivery(b2)};
+  verify::BatchResult r = v.verify_all(batch, /*use_symmetry=*/true);
+  EXPECT_EQ(r.results[0].outcome, verify::Outcome::holds);
+  EXPECT_EQ(r.results[1].outcome, verify::Outcome::violated);
+  EXPECT_FALSE(r.results[1].by_symmetry);
+}
+
+TEST(CanonicalKey, BatchNeverInheritsAcrossDifferentConfigs) {
+  // Regression: with empty ACLs every host fingerprints identically against
+  // both firewalls, so all four land in one inferred policy class and the
+  // two slices are isomorphic up to the firewalls' default actions. A key
+  // that ignores configuration would merge the two checks and the allow
+  // segment would unsoundly inherit "holds" from the deny segment.
+  TwoSegments n =
+      two_firewall_segments(mbox::AclAction::deny, mbox::AclAction::allow);
+  verify::Verifier v(n.model);
+  const std::vector<Invariant> batch = {Invariant::node_isolation(n.b1, n.a1),
+                                        Invariant::node_isolation(n.b2, n.a2)};
+  verify::BatchResult r = v.verify_all(batch, /*use_symmetry=*/true);
+  EXPECT_EQ(r.results[0].outcome, verify::Outcome::holds);
+  EXPECT_EQ(r.results[1].outcome, verify::Outcome::violated);
+  EXPECT_FALSE(r.results[1].by_symmetry);
+}
 
 }  // namespace
 }  // namespace vmn::slice

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The tier-1 gate, as one command: configure, build, run every test suite,
+# then smoke-test the parallel batch mode on the shipped enterprise spec.
+#
+#   tools/ci.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+echo "--- smoke: parallel batch verify (enterprise spec, 2 workers) ---"
+"$build/vmn" verify "$repo/examples/specs/enterprise.vmn" --batch --jobs 2
+echo "ci: OK"

@@ -1,10 +1,14 @@
 // vmn - command-line front end.
 //
 //   vmn verify <spec-file> [--no-slices] [--no-symmetry] [--max-failures k]
-//                          [--trace] [--timeout ms]
+//                          [--trace] [--timeout ms] [--batch] [--jobs N]
 //       Verifies every invariant declared in the file. Exits non-zero if
 //       any invariant with an `expect` clause disagrees, or any outcome is
-//       unknown.
+//       unknown. With --batch, the invariants are planned into a
+//       deduplicated job queue and fanned out over a solver pool of
+//       --jobs N workers (default: hardware concurrency); the summary
+//       reports the dedup hit rate, per-worker load and a solve-time
+//       histogram.
 //
 //   vmn audit <spec-file>
 //       Static datapath audit: forwarding loops and blackholes across all
@@ -16,8 +20,10 @@
 //   vmn dump <spec-file>
 //       Parses and re-serializes the specification (round-trip check).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "dataplane/reach.hpp"
 #include "io/spec.hpp"
@@ -32,7 +38,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: vmn <verify|audit|classes|dump> <spec-file> [options]\n"
                "  verify options: --no-slices --no-symmetry --max-failures k\n"
-               "                  --trace --timeout ms\n");
+               "                  --trace --timeout ms --batch --jobs N\n");
   return 2;
 }
 
@@ -44,6 +50,8 @@ int cmd_verify(io::Spec& spec, int argc, char** argv) {
   verify::VerifyOptions opts;
   bool want_trace = false;
   bool use_symmetry = true;
+  bool batch_mode = false;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-slices") == 0) {
       opts.use_slices = false;
@@ -55,6 +63,18 @@ int cmd_verify(io::Spec& spec, int argc, char** argv) {
       opts.solver.timeout_ms = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       want_trace = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch_mode = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "--jobs wants a non-negative integer, got %s\n",
+                     argv[i]);
+        return usage();
+      }
+      jobs = static_cast<std::size_t>(n);
+      batch_mode = true;
     } else {
       return usage();
     }
@@ -64,8 +84,32 @@ int cmd_verify(io::Spec& spec, int argc, char** argv) {
     return 2;
   }
   const net::Network& net = spec.model.network();
-  verify::Verifier verifier(spec.model, opts);
-  verify::BatchResult batch = verifier.verify_all(spec.invariants, use_symmetry);
+  verify::BatchResult batch;
+  if (batch_mode) {
+    verify::ParallelOptions popts;
+    popts.jobs = jobs;
+    popts.use_symmetry = use_symmetry;
+    popts.verify = opts;
+    verify::ParallelVerifier verifier(spec.model, popts);
+    verify::ParallelBatchResult pbatch = verifier.verify_all(spec.invariants);
+    std::printf(
+        "batch: %zu invariants -> %zu jobs (%zu merged by symmetry, %zu "
+        "conservative splits, hit rate %.0f%%), %zu workers\n",
+        pbatch.invariant_count, pbatch.jobs_executed, pbatch.symmetry_hits,
+        pbatch.conservative_splits, pbatch.dedup_hit_rate * 100.0,
+        pbatch.workers.size());
+    for (std::size_t w = 0; w < pbatch.workers.size(); ++w) {
+      std::printf("  worker %zu: %zu jobs, %lld ms busy\n", w,
+                  pbatch.workers[w].jobs,
+                  static_cast<long long>(pbatch.workers[w].busy.count()));
+    }
+    std::printf("  solve times: %s\n",
+                pbatch.solve_histogram.to_string().c_str());
+    batch = std::move(pbatch).to_batch();
+  } else {
+    verify::Verifier verifier(spec.model, opts);
+    batch = verifier.verify_all(spec.invariants, use_symmetry);
+  }
 
   int status = 0;
   for (std::size_t i = 0; i < spec.invariants.size(); ++i) {

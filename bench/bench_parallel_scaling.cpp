@@ -9,8 +9,19 @@
 // Symmetry is disabled inside the measurement so every invariant becomes an
 // independent job (the honest worker-scaling shape); a separate family
 // keeps symmetry on to show how dedup shrinks the queue first.
+//
+// The BM_BatchFastPath family measures the batch fast path itself: the same
+// batch cold (fresh context per job, no cache), warm (live contexts reused
+// across same-shape jobs) and cached (warm + pre-populated persistent
+// result cache, i.e. the repeated-batch case). `speedup_vs_cold` is the
+// headline number; every run also lands in BENCH_parallel.json with
+// cold/warm wall times, cache hit counts and plan time.
 #include "bench_common.hpp"
 
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
 #include <map>
 #include <thread>
 
@@ -74,10 +85,14 @@ void scaling_bench(benchmark::State& state, bool use_symmetry) {
   }
   if (workers == 1) baseline_ms[use_symmetry] = wall_ms;
   const double base = baseline_ms[use_symmetry];
-  state.counters["speedup_vs_1"] =
-      benchmark::Counter(base > 0 && wall_ms > 0 ? base / wall_ms : 0.0);
+  const double speedup = base > 0 && wall_ms > 0 ? base / wall_ms : 0.0;
+  state.counters["speedup_vs_1"] = benchmark::Counter(speedup);
   state.counters["hw_threads"] = benchmark::Counter(
       static_cast<double>(std::thread::hardware_concurrency()));
+  bench::BenchJson::instance().record(
+      std::string("scaling/") + (use_symmetry ? "dedup" : "independent") +
+          "/workers=" + std::to_string(workers),
+      {{"wall_ms", wall_ms}, {"speedup_vs_1", speedup}});
 }
 
 void BM_ParallelScaling_Independent(benchmark::State& state) {
@@ -94,4 +109,112 @@ BENCHMARK(BM_ParallelScaling_WithDedup)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->ArgNames({"workers"})->Unit(benchmark::kMillisecond)->Iterations(1);
 
+// --- batch fast path: cold vs warm vs warm+cached --------------------------
+
+enum FastPathMode { kCold = 0, kWarm = 1, kCached = 2 };
+
+const char* mode_name(int mode) {
+  switch (mode) {
+    case kCold: return "cold";
+    case kWarm: return "warm";
+    default: return "cached";
+  }
+}
+
+double cold_wall_ms = 0;  // measured by the kCold run (registered first)
+
+void BM_BatchFastPath(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  Datacenter dc = make();
+  // The audit workload that exercises every fast-path layer: each group
+  // pair is checked under TWO properties. The two invariants of a pair
+  // slice to the same member set (one warm base encoding, two scoped
+  // solves) while their canonical keys differ (two cache lines).
+  scenarios::Batch batch;
+  batch.name = "datacenter-audit";
+  for (const encode::Invariant& iso : dc.isolation_invariants()) {
+    batch.invariants.push_back(iso);
+    batch.invariants.push_back(
+        encode::Invariant::flow_isolation(iso.target, iso.other));
+    // Clean datacenter: nothing is delivered across groups, so both the
+    // node- and the stricter flow-isolation form hold.
+    batch.expected_holds.push_back(true);
+    batch.expected_holds.push_back(true);
+  }
+
+  ParallelOptions opts;
+  opts.jobs = 2;
+  opts.use_symmetry = true;
+  opts.verify.solver.seed = 1;
+  opts.verify.warm_solving = mode != kCold;
+  // Scope-guarded so the temp dir disappears on every exit path, the
+  // SkipWithError early returns included.
+  struct TempDirGuard {
+    std::string path;
+    ~TempDirGuard() {
+      if (path.empty()) return;
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
+  } cache_dir;
+  if (mode == kCached) {
+    char cache_template[] = "/tmp/vmn-bench-cache-XXXXXX";
+    if (mkdtemp(cache_template) == nullptr) {
+      state.SkipWithError("mkdtemp failed");
+      return;
+    }
+    cache_dir.path = cache_template;
+    opts.verify.cache_dir = cache_template;
+    // Populate outside the timing loop: the measured run is the *repeated*
+    // batch, the incremental re-verification case.
+    ParallelVerifier warmup(dc.model, opts);
+    benchmark::DoNotOptimize(warmup.verify_all(batch.invariants));
+  }
+
+  ParallelVerifier v(dc.model, opts);
+  double wall_ms = 0, plan_ms = 0, cache_hits = 0, warm_reuses = 0,
+         solver_calls = 0;
+  for (auto _ : state) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    verify::ParallelBatchResult r = v.verify_all(batch.invariants);
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
+    for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+      const Outcome expected =
+          batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
+      if (r.results[i].outcome != expected) {
+        state.SkipWithError("unexpected outcome in fast-path batch");
+        return;
+      }
+    }
+    plan_ms = static_cast<double>(r.plan_time.count());
+    cache_hits = static_cast<double>(r.cache_hits);
+    warm_reuses = static_cast<double>(r.warm_reuses);
+    solver_calls = static_cast<double>(r.solver_calls);
+    benchmark::DoNotOptimize(r);
+  }
+  if (mode == kCold) cold_wall_ms = wall_ms;
+  const double speedup =
+      cold_wall_ms > 0 && wall_ms > 0 ? cold_wall_ms / wall_ms : 0.0;
+  state.counters["plan_ms"] = benchmark::Counter(plan_ms);
+  state.counters["cache_hits"] = benchmark::Counter(cache_hits);
+  state.counters["warm_reuses"] = benchmark::Counter(warm_reuses);
+  state.counters["solver_calls"] = benchmark::Counter(solver_calls);
+  state.counters["speedup_vs_cold"] = benchmark::Counter(speedup);
+  bench::BenchJson::instance().record(
+      std::string("fastpath/") + mode_name(mode),
+      {{"wall_ms", wall_ms},
+       {"plan_ms", plan_ms},
+       {"cache_hits", cache_hits},
+       {"warm_reuses", warm_reuses},
+       {"solver_calls", solver_calls},
+       {"speedup_vs_cold", speedup}});
+}
+BENCHMARK(BM_BatchFastPath)
+    ->Arg(kCold)->Arg(kWarm)->Arg(kCached)
+    ->ArgNames({"mode"})->Unit(benchmark::kMillisecond)->Iterations(1);
+
 }  // namespace
+
+VMN_BENCH_JSON_MAIN("bench_parallel_scaling", "BENCH_parallel.json")

@@ -90,6 +90,17 @@ std::vector<NodeId> TransferFunction::path(NodeId from_edge, Address dst) const 
   return walk(from_edge, dst);
 }
 
+const TransferFunction& TransferCache::at(ScenarioId scenario) {
+  auto it = entries_.find(scenario.value());
+  if (it != entries_.end()) {
+    ++reuses_;
+    return *it->second;
+  }
+  auto [pos, _] = entries_.emplace(
+      scenario.value(), std::make_unique<TransferFunction>(*network_, scenario));
+  return *pos->second;
+}
+
 EdgeChain edge_chain(const TransferFunction& tf, NodeId src_edge, Address dst) {
   const net::Network& net = tf.network();
   EdgeChain chain;

@@ -9,6 +9,7 @@
 // exception when a static forwarding loop is encountered").
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +46,34 @@ class TransferFunction {
   const net::Network* network_;
   ScenarioId scenario_;
   mutable std::unordered_map<std::uint64_t, std::optional<NodeId>> cache_;
+};
+
+/// Memoizes one TransferFunction per failure scenario of a fixed network.
+///
+/// Constructing a TransferFunction is cheap, but its per-(edge, destination)
+/// walk results accumulate in an internal memo - so rebuilding one per use
+/// site (as slice computation and canonical keys each did per invariant)
+/// repeats identical fabric walks. A cache instance is single-threaded, like
+/// the TransferFunctions it hands out; share it only within one planning
+/// pass, never across worker threads.
+class TransferCache {
+ public:
+  explicit TransferCache(const net::Network& network) : network_(&network) {}
+
+  /// The memoized transfer function for `scenario` (built on first use).
+  [[nodiscard]] const TransferFunction& at(ScenarioId scenario);
+
+  [[nodiscard]] const net::Network& network() const { return *network_; }
+  /// Distinct scenarios built / requests answered from the memo.
+  [[nodiscard]] std::size_t builds() const { return entries_.size(); }
+  [[nodiscard]] std::size_t reuses() const { return reuses_; }
+
+ private:
+  const net::Network* network_;
+  std::unordered_map<ScenarioId::underlying_type,
+                     std::unique_ptr<TransferFunction>>
+      entries_;
+  std::size_t reuses_ = 0;
 };
 
 /// The chain of *edge* nodes a packet visits from `src_host` toward `dst`,

@@ -255,6 +255,16 @@ void Encoding::add_invariant(const Invariant& invariant) {
     throw ModelError("Encoding::add_invariant called twice");
   }
   invariant_added_ = true;
+  for (Axiom& axiom : invariant_axioms(invariant)) {
+    axioms_.push_back(std::move(axiom));
+  }
+}
+
+std::vector<Axiom> Encoding::invariant_axioms(const Invariant& invariant) {
+  std::vector<Axiom> out;
+  const auto add = [&out](const l::TermPtr& term, const std::string& label) {
+    out.push_back(Axiom{term, label});
+  };
 
   l::TermFactory& f = *factory_;
   const l::Vocab& v = *vocab_;
@@ -277,7 +287,7 @@ void Encoding::add_invariant(const Invariant& invariant) {
     case InvariantKind::reachable: {
       add(f.and_(received, f.eq(v.src_of(vp), host_addr(invariant.other))),
           "invariant." + to_string(invariant.kind));
-      return;
+      return out;
     }
     case InvariantKind::flow_isolation: {
       // d received from s a packet of a flow d never initiated: no earlier
@@ -294,16 +304,16 @@ void Encoding::add_invariant(const Invariant& invariant) {
       add(f.and_({received, f.eq(v.src_of(vp), host_addr(invariant.other)),
                   f.not_(initiated)}),
           "invariant.flow-isolation");
-      return;
+      return out;
     }
     case InvariantKind::data_isolation: {
       add(f.and_(received, f.eq(v.origin_of(vp), host_addr(invariant.other))),
           "invariant.data-isolation");
-      return;
+      return out;
     }
     case InvariantKind::no_malicious_delivery: {
       add(f.and_(received, v.malicious_of(vp)), "invariant.no-malicious");
-      return;
+      return out;
     }
     case InvariantKind::traversal: {
       // d received a packet that never passed through any middlebox of the
@@ -325,7 +335,7 @@ void Encoding::add_invariant(const Invariant& invariant) {
       }
       add(f.and_(received, f.not_(f.or_(std::move(visited)))),
           "invariant.traversal");
-      return;
+      return out;
     }
   }
   throw ModelError("unknown invariant kind");

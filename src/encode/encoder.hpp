@@ -52,6 +52,17 @@ class Encoding {
   /// Adds the negated invariant; call exactly once per Encoding.
   void add_invariant(const Invariant& invariant);
 
+  /// Builds the negated-invariant axioms in this encoding's vocabulary
+  /// WITHOUT storing them. The warm verification path encodes the base
+  /// axioms once per slice shape and then, per invariant, pushes a solver
+  /// scope, asserts these axioms, checks and pops - so the same Encoding
+  /// (and the Z3 context bound to it) serves every invariant sharing the
+  /// slice. May be called any number of times; terms are interned in the
+  /// shared factory. Different invariants reuse the same witness-constant
+  /// names, which is safe exactly because their assertions never coexist
+  /// (each lives in its own solver scope).
+  [[nodiscard]] std::vector<Axiom> invariant_axioms(const Invariant& invariant);
+
   /// Adds an extra constraint (e.g. oracle assumptions, see encode/oracle.hpp).
   void add_constraint(const logic::TermPtr& term, const std::string& label) {
     add(term, label);

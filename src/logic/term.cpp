@@ -1,6 +1,7 @@
 #include "logic/term.hpp"
 
 #include <algorithm>
+#include <string_view>
 
 #include "core/error.hpp"
 
@@ -13,17 +14,6 @@ void hash_combine(std::size_t& seed, std::size_t v) {
 }
 
 }  // namespace
-
-std::size_t TermFactory::KeyHash::operator()(const Key& k) const {
-  std::size_t h = static_cast<std::size_t>(k.kind);
-  hash_combine(h, std::hash<const void*>{}(k.sort));
-  hash_combine(h, std::hash<const void*>{}(k.decl));
-  hash_combine(h, std::hash<std::int64_t>{}(k.payload));
-  hash_combine(h, std::hash<std::string>{}(k.text));
-  for (auto id : k.child_ids) hash_combine(h, id);
-  for (auto id : k.binder_ids) hash_combine(h, id);
-  return h;
-}
 
 void TermFactory::require(bool cond, const std::string& message) {
   if (!cond) throw ModelError("logic: " + message);
@@ -39,6 +29,17 @@ TermPtr TermFactory::intern(Term&& t) {
   key.child_ids.reserve(t.children_.size());
   for (const auto& c : t.children_) key.child_ids.push_back(c->id());
   for (const auto& b : t.binders_) key.binder_ids.push_back(b->id());
+  // Hash once, here; KeyHash just reads it back (std::string_view avoids
+  // the temporary std::hash<std::string> specialization taking a copy on
+  // some implementations, and makes the no-allocation intent explicit).
+  std::size_t h = static_cast<std::size_t>(key.kind);
+  hash_combine(h, std::hash<const void*>{}(key.sort));
+  hash_combine(h, std::hash<const void*>{}(key.decl));
+  hash_combine(h, std::hash<std::int64_t>{}(key.payload));
+  hash_combine(h, std::hash<std::string_view>{}(std::string_view(key.text)));
+  for (auto id : key.child_ids) hash_combine(h, id);
+  for (auto id : key.binder_ids) hash_combine(h, id);
+  key.hash = h;
 
   auto it = interned_.find(key);
   if (it != interned_.end()) return it->second;

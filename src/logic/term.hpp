@@ -169,10 +169,20 @@ class TermFactory {
     std::string text;
     std::vector<std::uint64_t> child_ids;
     std::vector<std::uint64_t> binder_ids;
-    bool operator==(const Key&) const = default;
+    /// Precomputed by intern() (a pure function of the fields above, so it
+    /// is excluded from equality): the map would otherwise re-walk `text`
+    /// and the id vectors on every find AND every emplace - measurable on
+    /// the hot encode path, where every axiom is built through intern().
+    std::size_t hash = 0;
+
+    bool operator==(const Key& other) const {
+      return kind == other.kind && sort == other.sort && decl == other.decl &&
+             payload == other.payload && text == other.text &&
+             child_ids == other.child_ids && binder_ids == other.binder_ids;
+    }
   };
   struct KeyHash {
-    std::size_t operator()(const Key& k) const;
+    std::size_t operator()(const Key& k) const { return k.hash; }
   };
 
   std::unordered_map<Key, TermPtr, KeyHash> interned_;

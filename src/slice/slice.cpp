@@ -41,6 +41,9 @@ void trace_flow(const NetworkModel& model,
 Slice compute_slice(const NetworkModel& model, const Invariant& invariant,
                     const PolicyClasses& classes, SliceOptions options) {
   const net::Network& net = model.network();
+  dataplane::TransferCache local_transfers(net);
+  dataplane::TransferCache& transfers =
+      options.transfers != nullptr ? *options.transfers : local_transfers;
 
   // Seed hosts: the invariant's references; invariants quantifying over all
   // senders (traversal, no-malicious-delivery) additionally get one
@@ -87,7 +90,7 @@ Slice compute_slice(const NetworkModel& model, const Invariant& invariant,
     // Closure under forwarding across all ordered pairs, all scenarios.
     std::set<Address> discovered = addresses;
     for (ScenarioId s : scenarios) {
-      dataplane::TransferFunction tf(net, s);
+      const dataplane::TransferFunction& tf = transfers.at(s);
       std::set<std::uint64_t> visited;
       for (NodeId from : hosts) {
         for (Address to : addresses) {

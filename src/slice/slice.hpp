@@ -21,12 +21,22 @@
 #include "encode/model.hpp"
 #include "slice/policy.hpp"
 
+namespace vmn::dataplane {
+class TransferCache;
+}
+
 namespace vmn::slice {
 
 struct SliceOptions {
   /// Failure scenarios with at most this many failed nodes participate in
   /// closure (must match the verification failure budget).
   int max_failures = 0;
+  /// Optional shared per-scenario transfer-function memo (see
+  /// dataplane::TransferCache). Planning a batch passes one cache across
+  /// every invariant's slice and canonical key so identical fabric walks
+  /// are done once; when null, the computation builds a private cache.
+  /// Borrowed, single-threaded, must outlive the call.
+  dataplane::TransferCache* transfers = nullptr;
 };
 
 struct Slice {

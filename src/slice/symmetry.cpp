@@ -1,8 +1,11 @@
 #include "slice/symmetry.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
+
+#include "core/hash.hpp"
 #include <map>
 #include <optional>
 #include <utility>
@@ -44,8 +47,12 @@ std::string canonical_slice_key(const encode::NetworkModel& model,
                                 const std::vector<NodeId>& slice_members,
                                 const encode::Invariant& invariant,
                                 const PolicyClasses& classes,
-                                int max_failures) {
+                                int max_failures,
+                                dataplane::TransferCache* transfers) {
   const net::Network& net = model.network();
+  dataplane::TransferCache local_transfers(net);
+  dataplane::TransferCache& tcache =
+      transfers != nullptr ? *transfers : local_transfers;
 
   // Mirror encode::Encoding's member normalization: the key must
   // fingerprint exactly the problem verify_members() will encode.
@@ -87,14 +94,17 @@ std::string canonical_slice_key(const encode::NetworkModel& model,
 
   // Round signatures are compressed to a 64-bit digest before reuse:
   // uncompressed, color length multiplies by relation degree every round,
-  // and std::hash is stateless, so the same signature string digests
-  // identically in every slice - cross-slice comparability is preserved
-  // exactly, up to the (negligible, in-process) chance of a 64-bit
-  // collision. A persistent cross-run key cache would need a pinned hash
-  // function first.
+  // and the digest is a pure function of the signature string, so the same
+  // signature digests identically in every slice - cross-slice comparability
+  // is preserved exactly, up to the (negligible) chance of a 64-bit
+  // collision. The digest is pinned FNV-1a 64 (core/hash.hpp), NOT
+  // std::hash: std::hash may differ between implementations, builds and
+  // even runs (hash hardening), and the persistent result cache
+  // (verify::ResultCache) compares these keys across processes.
   const auto digest = [](const std::string& sig) {
     char buf[17];
-    std::snprintf(buf, sizeof buf, "%016zx", std::hash<std::string>{}(sig));
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(sig)));
     return std::string(buf);
   };
 
@@ -160,7 +170,7 @@ std::string canonical_slice_key(const encode::NetworkModel& model,
     if (static_cast<int>(sc.failed_nodes.size()) > max_failures) continue;
     const ScenarioId sid(static_cast<ScenarioId::underlying_type>(
         &sc - net.scenarios().data()));
-    dataplane::TransferFunction tf(net, sid);
+    const dataplane::TransferFunction& tf = tcache.at(sid);
     std::vector<Route> rs;
     for (std::size_t i = 0; i < members.size(); ++i) {
       for (std::size_t j = 0; j < relevant.size(); ++j) {

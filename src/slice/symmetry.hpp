@@ -14,6 +14,10 @@
 #include "encode/model.hpp"
 #include "slice/policy.hpp"
 
+namespace vmn::dataplane {
+class TransferCache;
+}
+
 namespace vmn::slice {
 
 struct SymmetryGroup {
@@ -62,12 +66,23 @@ struct SymmetryGroups {
 /// and class of every host), so merging by key never exceeds the paper's
 /// section 4.2 symmetry classes while splitting the structurally-unequal
 /// cases class signatures would unsoundly merge; both the sequential batch
-/// path and the parallel planner group by this key. Any use of the key
-/// ACROSS models (e.g. a persistent key -> outcome cache) must validate
-/// collisions first.
+/// path and the parallel planner group by this key.
+///
+/// Keys are stable across processes and runs: round signatures are
+/// compressed with a pinned FNV-1a 64 digest (never std::hash, whose value
+/// is implementation- and run-dependent), which is what lets
+/// verify::ResultCache persist key -> outcome across batches. Cross-run
+/// reuse inherits exactly the in-batch merging risk (the 1-WL converse is
+/// heuristic); it adds no new one, because the key fingerprints the whole
+/// verification problem - topology relation, failure scenarios, policy
+/// fingerprints and the invariant - so any spec edit that changes the
+/// encoded problem changes the key.
+///
+/// `transfers`, when non-null, memoizes per-scenario transfer functions
+/// across calls (shared with compute_slice by the batch planner).
 [[nodiscard]] std::string canonical_slice_key(
     const encode::NetworkModel& model, const std::vector<NodeId>& members,
     const encode::Invariant& invariant, const PolicyClasses& classes,
-    int max_failures = 0);
+    int max_failures = 0, dataplane::TransferCache* transfers = nullptr);
 
 }  // namespace vmn::slice

@@ -34,20 +34,29 @@ struct SolverOptions {
 };
 
 /// Abstract solver session. Axioms accumulate; check() may be called
-/// repeatedly (e.g. after push/pop by future backends).
+/// repeatedly. push()/pop() bracket retractable assertions, which is what
+/// the warm verification path builds on: the base network axioms stay
+/// asserted at level 0 while each invariant's negation is pushed, checked
+/// and popped, so one live context (and its learned state) serves a whole
+/// run of jobs sharing a slice shape.
 class Solver {
  public:
   virtual ~Solver() = default;
 
   /// Asserts a closed boolean term.
   virtual void add(const logic::TermPtr& axiom) = 0;
+  /// Opens a backtracking scope: assertions added after push() are
+  /// retracted by the matching pop().
+  virtual void push() = 0;
+  /// Closes the innermost scope; assertion_count() reverts with it.
+  virtual void pop() = 0;
   /// Runs the satisfiability check.
   virtual CheckStatus check() = 0;
   /// Extracts the event/packet model after a sat result.
   [[nodiscard]] virtual SmtModel model() const = 0;
   /// Time spent inside the last check().
   [[nodiscard]] virtual std::chrono::milliseconds last_check_time() const = 0;
-  /// Number of asserted axioms (diagnostics).
+  /// Number of currently asserted axioms (diagnostics).
   [[nodiscard]] virtual std::size_t assertion_count() const = 0;
 };
 

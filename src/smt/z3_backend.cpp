@@ -6,6 +6,7 @@
 #include <functional>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "core/error.hpp"
 #include "smt/model.hpp"
@@ -43,6 +44,21 @@ class Z3Solver final : public Solver {
     ++assertions_;
   }
 
+  void push() override {
+    solver_.push();
+    assertion_stack_.push_back(assertions_);
+  }
+
+  void pop() override {
+    if (assertion_stack_.empty()) {
+      throw SolverError("pop without a matching push");
+    }
+    solver_.pop();
+    assertions_ = assertion_stack_.back();
+    assertion_stack_.pop_back();
+    have_model_ = false;  // the model belonged to the popped scope
+  }
+
   CheckStatus check() override {
     const auto start = std::chrono::steady_clock::now();
     z3::check_result r = solver_.check();
@@ -67,55 +83,27 @@ class Z3Solver final : public Solver {
     }
     z3::model m = solver_.get_model();
     SmtModel out;
-    // Quantified models interpret snd/rcv as formula bodies rather than
-    // entry lists, so enumerate ground atoms: all node pairs, the Packet
-    // universe, and candidate times harvested from the model itself.
     const std::vector<z3::expr> packets = packet_universe(m);
-    const std::vector<std::int64_t> times = candidate_times(m);
-    const std::size_t node_count = vocab_->node_sort()->size();
-
-    auto snd_it = funcs_.find(vocab_->snd().get());
-    auto rcv_it = funcs_.find(vocab_->rcv().get());
-    for (std::size_t from = 0; from < node_count; ++from) {
-      for (std::size_t to = 0; to < node_count; ++to) {
-        for (std::size_t pi = 0; pi < packets.size(); ++pi) {
-          for (std::int64_t t : times) {
-            auto probe = [&](EventKind kind,
-                             const z3::func_decl& decl) {
-              z3::expr atom =
-                  decl(node_expr(from), node_expr(to), packets[pi],
-                       ctx_.int_val(static_cast<std::int64_t>(t)));
-              if (m.eval(atom, true).is_true()) {
-                out.events.push_back(ModelEvent{kind, from, to, pi, t});
-              }
-            };
-            if (snd_it != funcs_.end()) probe(EventKind::send, snd_it->second);
-            if (rcv_it != funcs_.end()) {
-              probe(EventKind::receive, rcv_it->second);
-            }
-          }
-        }
-      }
-    }
-    auto fail_it = funcs_.find(vocab_->fail().get());
-    if (fail_it != funcs_.end()) {
-      for (std::size_t n = 0; n < node_count; ++n) {
-        for (std::int64_t t : times) {
-          z3::expr atom = fail_it->second(
-              node_expr(n), ctx_.int_val(static_cast<std::int64_t>(t)));
-          if (m.eval(atom, true).is_true()) {
-            out.events.push_back(ModelEvent{EventKind::fail, n, n, 0, t});
-            break;  // one fail event per node is enough for the trace
-          }
-        }
-      }
-    }
     for (const z3::expr& p : packets) {
       ModelPacket mp;
       mp.label = p.to_string();
       out.packets.push_back(std::move(mp));
     }
     fill_packet_fields(m, packets, out);
+
+    // Fast path: one pass over the model's function interpretations,
+    // collecting exactly the entries valued true. This avoids the dense
+    // |Node|^2 x |Packet| x |times| m.eval probe grid whenever Z3 reports
+    // snd/rcv/fail as finite entry lists over a `false` default - the
+    // common shape for the finite-model instances VMN produces. When any
+    // interpretation is formula-shaped (quantified models may substitute a
+    // body instead of enumerating entries, or default to non-false), the
+    // events gathered so far are discarded and the dense probe runs, so
+    // the fast path can only ever be a pure win, never a behavior change.
+    if (!collect_events_from_interps(m, packets, out)) {
+      out.events.clear();
+      probe_events_dense(m, packets, out);
+    }
     return out;
   }
 
@@ -253,6 +241,127 @@ class Z3Solver final : public Solver {
         .consts[static_cast<unsigned>(index)]();
   }
 
+  /// Harvests true snd/rcv/fail atoms directly from the model's function
+  /// interpretations (entry lists). Returns false - leaving a possibly
+  /// partial out.events for the caller to discard - when any relevant
+  /// interpretation is not a plain entries-over-false table, or any entry
+  /// argument fails to decode to a node constant / universe packet /
+  /// integer time; the dense probe is the correctness fallback.
+  bool collect_events_from_interps(const z3::model& m,
+                                   const std::vector<z3::expr>& packets,
+                                   SmtModel& out) const {
+    // Decode tables: Z3 hash-conses ASTs, so an entry argument that denotes
+    // node i is pointer-identical (same ast id) to our constructor app.
+    std::unordered_map<unsigned, std::size_t> node_of;
+    const std::size_t node_count = vocab_->node_sort()->size();
+    for (std::size_t i = 0; i < node_count; ++i) {
+      node_of.emplace(node_expr(i).id(), i);
+    }
+    std::unordered_map<unsigned, std::size_t> packet_of;
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      packet_of.emplace(packets[i].id(), i);
+    }
+
+    const auto decode = [](const std::unordered_map<unsigned, std::size_t>& map,
+                           const z3::expr& e, std::size_t& index) {
+      auto it = map.find(e.id());
+      if (it == map.end()) return false;
+      index = it->second;
+      return true;
+    };
+
+    // kind: send/receive for the 4-ary event relations, fail for the 2-ary
+    // failure relation (from == to == the failed node there).
+    const auto harvest = [&](const FuncDeclPtr& f, EventKind kind) -> bool {
+      auto it = funcs_.find(f.get());
+      if (it == funcs_.end()) return true;  // never translated: no atoms
+      try {
+        if (!m.has_interp(it->second)) return true;  // completion -> false
+        z3::func_interp fi = m.get_func_interp(it->second);
+        z3::expr els = fi.else_value();
+        if (!els.is_false()) return false;  // non-false default: probe
+        for (unsigned j = 0; j < fi.num_entries(); ++j) {
+          z3::func_entry entry = fi.entry(j);
+          z3::expr value = entry.value();
+          if (value.is_false()) continue;
+          if (!value.is_true()) return false;  // symbolic value: probe
+          ModelEvent ev;
+          ev.kind = kind;
+          std::int64_t t = 0;
+          if (kind == EventKind::fail) {
+            if (entry.num_args() != 2) return false;
+            if (!decode(node_of, entry.arg(0), ev.from)) return false;
+            if (!entry.arg(1).is_numeral_i64(t)) return false;
+            ev.to = ev.from;
+          } else {
+            if (entry.num_args() != 4) return false;
+            if (!decode(node_of, entry.arg(0), ev.from)) return false;
+            if (!decode(node_of, entry.arg(1), ev.to)) return false;
+            if (!decode(packet_of, entry.arg(2), ev.packet)) return false;
+            if (!entry.arg(3).is_numeral_i64(t)) return false;
+          }
+          ev.time = t;
+          out.events.push_back(ev);
+        }
+        return true;
+      } catch (const z3::exception&) {
+        return false;  // partial interp (null else etc.): probe instead
+      }
+    };
+
+    return harvest(vocab_->snd(), EventKind::send) &&
+           harvest(vocab_->rcv(), EventKind::receive) &&
+           harvest(vocab_->fail(), EventKind::fail);
+  }
+
+  /// The exhaustive fallback: enumerate ground atoms - all node pairs, the
+  /// Packet universe, and candidate times harvested from the model itself -
+  /// and m.eval each (quantified models may interpret snd/rcv as formula
+  /// bodies rather than entry lists, which only evaluation can read).
+  void probe_events_dense(const z3::model& m,
+                          const std::vector<z3::expr>& packets,
+                          SmtModel& out) const {
+    const std::vector<std::int64_t> times = candidate_times(m);
+    const std::size_t node_count = vocab_->node_sort()->size();
+
+    auto snd_it = funcs_.find(vocab_->snd().get());
+    auto rcv_it = funcs_.find(vocab_->rcv().get());
+    for (std::size_t from = 0; from < node_count; ++from) {
+      for (std::size_t to = 0; to < node_count; ++to) {
+        for (std::size_t pi = 0; pi < packets.size(); ++pi) {
+          for (std::int64_t t : times) {
+            auto probe = [&](EventKind kind,
+                             const z3::func_decl& decl) {
+              z3::expr atom =
+                  decl(node_expr(from), node_expr(to), packets[pi],
+                       ctx_.int_val(static_cast<std::int64_t>(t)));
+              if (m.eval(atom, true).is_true()) {
+                out.events.push_back(ModelEvent{kind, from, to, pi, t});
+              }
+            };
+            if (snd_it != funcs_.end()) probe(EventKind::send, snd_it->second);
+            if (rcv_it != funcs_.end()) {
+              probe(EventKind::receive, rcv_it->second);
+            }
+          }
+        }
+      }
+    }
+    auto fail_it = funcs_.find(vocab_->fail().get());
+    if (fail_it != funcs_.end()) {
+      for (std::size_t n = 0; n < node_count; ++n) {
+        for (std::int64_t t : times) {
+          z3::expr atom = fail_it->second(
+              node_expr(n), ctx_.int_val(static_cast<std::int64_t>(t)));
+          if (m.eval(atom, true).is_true()) {
+            out.events.push_back(ModelEvent{EventKind::fail, n, n, 0, t});
+            break;  // one fail event per node is enough for the trace
+          }
+        }
+      }
+    }
+  }
+
   /// Elements of the (finite-in-the-model) Packet universe. Uses the C API:
   /// the z3::model wrapper in this Z3 version does not expose universes.
   std::vector<z3::expr> packet_universe(const z3::model& m) const {
@@ -351,6 +460,8 @@ class Z3Solver final : public Solver {
   std::unordered_map<std::uint64_t, z3::expr> cache_;
   std::chrono::milliseconds last_time_{0};
   std::size_t assertions_ = 0;
+  /// assertion_count() snapshots for the open push() scopes.
+  std::vector<std::size_t> assertion_stack_;
   bool have_model_ = false;
 };
 

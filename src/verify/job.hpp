@@ -17,8 +17,23 @@
 #include <vector>
 
 #include "core/ids.hpp"
+#include "dataplane/transfer.hpp"
 
 namespace vmn::verify {
+
+/// Shared state for one plan_jobs pass. The planner is the serial Amdahl
+/// term in front of the parallel fan-out, and its dominant cost used to be
+/// rebuilding an identical dataplane::TransferFunction per (invariant,
+/// scenario) twice per invariant - once inside compute_slice, once inside
+/// canonical_slice_key. A PlanContext owns one memoized transfer function
+/// per failure scenario and every slice computation and canonical key of
+/// the plan draws from it, so each scenario's fabric walks happen once per
+/// batch instead of twice per invariant. Single-threaded, like the cache it
+/// wraps; one context never outlives its model.
+struct PlanContext {
+  explicit PlanContext(const net::Network& network) : transfers(network) {}
+  dataplane::TransferCache transfers;
+};
 
 /// One unit of parallel work: verify a representative invariant on its slice.
 struct Job {
@@ -40,7 +55,10 @@ struct Job {
   std::chrono::milliseconds plan_time{0};
 };
 
-/// The deduplicated queue plus planning statistics.
+/// The deduplicated queue plus planning statistics. Jobs are ordered so
+/// that jobs sharing a slice shape (identical member sets) are adjacent:
+/// both engines execute the queue in order, which turns shape-adjacency
+/// directly into warm solver-context reuse.
 struct JobPlan {
   std::vector<Job> jobs;
   std::size_t invariant_count = 0;
@@ -51,6 +69,13 @@ struct JobPlan {
   /// because their slice structure differs - each one costs an extra
   /// solver call and buys soundness.
   std::size_t conservative_splits = 0;
+  /// Wall time of the whole (serial) planning pass.
+  std::chrono::milliseconds plan_time{0};
+  /// PlanContext memo effectiveness: transfer functions built vs handed
+  /// back from the per-scenario memo. The seed behavior was builds ==
+  /// 2 x invariants x scenarios and reuses == 0.
+  std::size_t transfer_builds = 0;
+  std::size_t transfer_reuses = 0;
 
   /// Fraction of the batch answered without a dedicated solver job.
   [[nodiscard]] double dedup_hit_rate() const {

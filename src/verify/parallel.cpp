@@ -1,7 +1,10 @@
 #include "verify/parallel.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <set>
 #include <thread>
+#include <utility>
 
 namespace vmn::verify {
 
@@ -39,6 +42,11 @@ BatchResult ParallelBatchResult::to_batch() const& {
   out.results = results;
   out.solver_calls = solver_calls;
   out.total_time = total_time;
+  out.plan_time = plan_time;
+  out.cache_hits = cache_hits;
+  out.cache_misses = cache_misses;
+  out.warm_binds = warm_binds;
+  out.warm_reuses = warm_reuses;
   return out;
 }
 
@@ -47,6 +55,11 @@ BatchResult ParallelBatchResult::to_batch() && {
   out.results = std::move(results);
   out.solver_calls = solver_calls;
   out.total_time = total_time;
+  out.plan_time = plan_time;
+  out.cache_hits = cache_hits;
+  out.cache_misses = cache_misses;
+  out.warm_binds = warm_binds;
+  out.warm_reuses = warm_reuses;
   return out;
 }
 
@@ -79,32 +92,117 @@ ParallelBatchResult ParallelVerifier::verify_all(
   out.symmetry_hits = plan.symmetry_hits;
   out.conservative_splits = plan.conservative_splits;
   out.dedup_hit_rate = plan.dedup_hit_rate();
+  out.plan_time = plan.plan_time;
 
-  // Fan out: one solver call per job, results written into per-job slots so
-  // aggregation is independent of worker scheduling.
+  // Persistent-cache pass: answer whatever a previous batch already solved
+  // before any task is scheduled; only the misses reach the pool.
+  ResultCache cache(options_.verify.cache_dir);
   std::vector<VerifyResult> job_results(plan.jobs.size());
-  std::size_t workers = options_.jobs != 0
-                            ? options_.jobs
-                            : std::thread::hardware_concurrency();
-  workers = std::max<std::size_t>(1, std::min(workers, plan.jobs.size()));
-  SolverPool pool(workers, options_.verify.solver);
-  pool.run(plan.jobs.size(), [&](std::size_t index, SolverSession& session) {
-    Job& job = plan.jobs[index];
-    job_results[index] = verify_members(
-        *model_, invariants[job.invariant_index], std::move(job.members),
-        options_.verify.max_failures, session);
+  std::vector<std::size_t> to_solve;
+  to_solve.reserve(plan.jobs.size());
+  for (std::size_t j = 0; j < plan.jobs.size(); ++j) {
+    const Job& job = plan.jobs[j];
+    if (std::optional<ResultCache::Entry> hit = cache.lookup(job.canonical_key)) {
+      job_results[j] =
+          result_from_cache(*hit, invariants[job.invariant_index]);
+      ++out.cache_hits;
+    } else {
+      to_solve.push_back(j);
+    }
+  }
+
+  // Group runs of same-shape jobs (the planner made them adjacent, and
+  // removing cache hits preserves adjacency) into single pool tasks: the
+  // jobs of a group execute on one worker's warm session, back to back.
+  std::size_t requested = options_.jobs != 0
+                              ? options_.jobs
+                              : std::thread::hardware_concurrency();
+  if (requested == 0) requested = 1;
+  std::vector<std::pair<std::size_t, std::size_t>> groups;  // [begin, end)
+  for (std::size_t k = 0; k < to_solve.size();) {
+    std::size_t end = k + 1;
+    while (end < to_solve.size() &&
+           plan.jobs[to_solve[end]].members == plan.jobs[to_solve[k]].members) {
+      ++end;
+    }
+    groups.emplace_back(k, end);
+    k = end;
+  }
+  // Warm reuse only needs adjacency *within* a task, so when there are
+  // fewer shape-runs than requested workers, split the largest runs until
+  // the fan-out is restored - otherwise a batch whose jobs all share one
+  // shape (e.g. --no-slices audits) would serialize onto a single worker.
+  // Deterministic for a fixed (plan, jobs) pair: the first largest run
+  // splits at its midpoint each round.
+  const std::size_t target = std::min(requested, to_solve.size());
+  while (groups.size() < target) {
+    std::size_t best = groups.size();
+    std::size_t best_len = 1;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const std::size_t len = groups[g].second - groups[g].first;
+      if (len > best_len) {
+        best = g;
+        best_len = len;
+      }
+    }
+    if (best == groups.size()) break;  // nothing left to split
+    const auto [begin, end] = groups[best];
+    const std::size_t mid = begin + (end - begin) / 2;
+    groups[best] = {begin, mid};
+    groups.insert(groups.begin() + static_cast<std::ptrdiff_t>(best) + 1,
+                  {mid, end});
+  }
+
+  // Fan out: results are written into per-job slots, so aggregation is
+  // independent of worker scheduling.
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::min(requested, std::max<std::size_t>(groups.size(), 1)));
+  SolverPool pool(workers, options_.verify.solver,
+                  options_.verify.warm_solving);
+  pool.run(groups.size(), [&](std::size_t gi, SolverSession& session) {
+    // Warm reuse is scoped to this task: a session that just solved a
+    // same-shape task must not leak its context (and learned state) into
+    // this one, or results would depend on the task-to-worker race.
+    session.reset_warm();
+    for (std::size_t k = groups[gi].first; k < groups[gi].second; ++k) {
+      Job& job = plan.jobs[to_solve[k]];
+      job_results[to_solve[k]] = verify_members(
+          *model_, invariants[job.invariant_index], std::move(job.members),
+          options_.verify.max_failures, session);
+    }
   });
   out.workers = pool.stats();
+  for (std::size_t w = 0; w < pool.size(); ++w) {
+    out.warm_binds += pool.session(w).binds();
+    out.warm_reuses += pool.session(w).warm_reuses();
+  }
+  if (cache.enabled()) {
+    for (std::size_t j : to_solve) {
+      // Keyless jobs (--no-symmetry planning) can never hit or be stored;
+      // counting them as misses would misreport a cache that is simply
+      // not in play for them.
+      if (plan.jobs[j].canonical_key.empty()) continue;
+      ++out.cache_misses;
+      const VerifyResult& rep = job_results[j];
+      cache.store(plan.jobs[j].canonical_key,
+                  ResultCache::Entry{rep.raw_status, rep.slice_size,
+                                     rep.assertion_count});
+    }
+    cache.flush();
+  }
 
   // Aggregate: representatives keep their full result (including any
   // counterexample); inheritors copy the outcome with by_symmetry set, like
-  // the sequential batch path.
+  // the sequential batch path. Cache hits count no solver call.
+  std::set<std::size_t> solved(to_solve.begin(), to_solve.end());
   for (std::size_t j = 0; j < plan.jobs.size(); ++j) {
     const Job& job = plan.jobs[j];
     VerifyResult& rep = job_results[j];
     rep.total_time += job.plan_time;
-    out.solve_histogram.record(rep.solve_time);
-    ++out.solver_calls;
+    if (solved.count(j) != 0) {
+      out.solve_histogram.record(rep.solve_time);
+      ++out.solver_calls;
+    }
     for (std::size_t k : job.inheritors) {
       out.results[k] = inherit_result(rep);
     }

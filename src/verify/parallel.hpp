@@ -7,10 +7,19 @@
 //              --SolverPool----------> per-worker solver sessions
 //              --aggregate-----------> ParallelBatchResult
 //
-// Determinism: for a fixed SolverOptions::seed every job is solved in a
-// fresh, self-contained encoding + Z3 context, so its outcome does not
-// depend on which worker picks it up or in what order - `--jobs 4` runs
-// reproduce `--jobs 1` runs result-for-result.
+// Fast path: the planner orders the queue so jobs sharing a slice shape are
+// adjacent; those runs are handed to the pool as single tasks, so one
+// worker's warm session solves them on a shared base encoding + live Z3
+// context (invariant negation pushed/popped per job). Runs are split when
+// there are fewer of them than workers, so warm reuse never costs fan-out.
+// A persistent result cache (VerifyOptions::cache_dir) answers re-verified
+// slices before any task is scheduled at all.
+//
+// Determinism: task composition is a pure function of (plan, worker count),
+// never of scheduling, so repeated runs at the same --jobs N reproduce each
+// other exactly, and any two worker counts agree verdict-for-verdict (which
+// counterexample witnesses a violation may differ across N: a warm context
+// carries learned state from earlier jobs of its task into the search).
 #pragma once
 
 #include <chrono>
@@ -60,6 +69,8 @@ struct ParallelBatchResult {
   std::chrono::milliseconds total_time{0};
 
   std::size_t invariant_count = 0;
+  /// Planned solver jobs (the deduplicated queue; cache hits answer some of
+  /// these without scheduling them).
   std::size_t jobs_executed = 0;
   /// Invariants answered by canonical-key job merging.
   std::size_t symmetry_hits = 0;
@@ -67,6 +78,16 @@ struct ParallelBatchResult {
   std::size_t conservative_splits = 0;
   /// (invariants - solver jobs) / invariants.
   double dedup_hit_rate = 0.0;
+  /// Serial planning wall time (the pre-fan-out Amdahl term).
+  std::chrono::milliseconds plan_time{0};
+  /// Persistent-cache traffic (hits + misses == planned jobs when the
+  /// cache is enabled; both 0 when disabled).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  /// Warm-solving effectiveness across all workers: cold context builds vs
+  /// jobs answered on a reused live context.
+  std::size_t warm_binds = 0;
+  std::size_t warm_reuses = 0;
   TimingHistogram solve_histogram;
   std::vector<WorkerStats> workers;
 

@@ -1,0 +1,124 @@
+#include "verify/result_cache.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/hash.hpp"
+
+namespace vmn::verify {
+
+namespace {
+
+constexpr const char* kFileName = "vmn-results.cache";
+constexpr const char* kHeader = "# vmn-result-cache v1";
+
+const char* status_name(smt::CheckStatus status) {
+  switch (status) {
+    case smt::CheckStatus::sat:
+      return "sat";
+    case smt::CheckStatus::unsat:
+      return "unsat";
+    case smt::CheckStatus::unknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+std::optional<smt::CheckStatus> parse_status(const std::string& name) {
+  if (name == "sat") return smt::CheckStatus::sat;
+  if (name == "unsat") return smt::CheckStatus::unsat;
+  return std::nullopt;  // unknown is never persisted; reject it on read too
+}
+
+}  // namespace
+
+ResultCache::Fingerprint ResultCache::fingerprint(const std::string& key) {
+  // Two FNV-1a streams with distinct seeds (the standard basis and the
+  // same basis folded with an arbitrary odd constant) act as one 128-bit
+  // fingerprint.
+  Fingerprint fp;
+  fp.hi = fnv1a64(key);
+  fp.lo = fnv1a64(key, kFnv1a64Basis ^ 0x5bf03635aca1eae5ull);
+  return fp;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (enabled()) load();
+}
+
+std::string ResultCache::file_path() const {
+  return dir_.empty() ? std::string()
+                      : (std::filesystem::path(dir_) / kFileName).string();
+}
+
+void ResultCache::load() {
+  std::ifstream in(file_path());
+  if (!in) return;  // no cache yet: every lookup misses
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string hi_hex, lo_hex, status;
+    Entry entry;
+    if (!(fields >> hi_hex >> lo_hex >> status >> entry.slice_size >>
+          entry.assertion_count)) {
+      continue;  // malformed (e.g. torn tail line): skip
+    }
+    std::optional<smt::CheckStatus> parsed = parse_status(status);
+    if (!parsed) continue;
+    entry.status = *parsed;
+    Fingerprint fp;
+    char* end = nullptr;
+    fp.hi = std::strtoull(hi_hex.c_str(), &end, 16);
+    if (end == hi_hex.c_str() || *end != '\0') continue;
+    fp.lo = std::strtoull(lo_hex.c_str(), &end, 16);
+    if (end == lo_hex.c_str() || *end != '\0') continue;
+    entries_[fp] = entry;  // later lines win (append-only file)
+  }
+}
+
+std::optional<ResultCache::Entry> ResultCache::lookup(
+    const std::string& canonical_key) const {
+  if (!enabled() || canonical_key.empty()) return std::nullopt;
+  auto it = entries_.find(fingerprint(canonical_key));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultCache::store(const std::string& canonical_key, const Entry& entry) {
+  if (!enabled() || canonical_key.empty()) return;
+  if (entry.status == smt::CheckStatus::unknown) return;
+  const Fingerprint fp = fingerprint(canonical_key);
+  auto [it, inserted] = entries_.emplace(fp, entry);
+  if (!inserted) return;  // already known (and durable or pending)
+  dirty_.emplace_back(fp, entry);
+}
+
+void ResultCache::flush() {
+  if (!enabled() || dirty_.empty()) return;
+  // Non-throwing filesystem calls throughout: an unwritable or bogus cache
+  // dir must degrade to an in-memory cache, never abort a verification run
+  // whose results are already computed.
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return;
+  const std::string path = file_path();
+  const bool fresh = !std::filesystem::exists(path, ec);
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;  // unwritable cache dir: stay an in-memory cache
+  if (fresh) out << kHeader << "\n";
+  char line[128];
+  for (const auto& [fp, entry] : dirty_) {
+    std::snprintf(line, sizeof line, "%016" PRIx64 " %016" PRIx64 " %s %zu %zu",
+                  fp.hi, fp.lo, status_name(entry.status), entry.slice_size,
+                  entry.assertion_count);
+    out << line << "\n";
+  }
+  dirty_.clear();
+}
+
+}  // namespace vmn::verify

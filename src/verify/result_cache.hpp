@@ -1,0 +1,94 @@
+// Persistent cross-batch verification-result cache.
+//
+// Keys are slice::canonical_slice_key fingerprints: they erase node identity
+// but embed the invariant, the routing relation under every in-budget
+// failure scenario, and every middlebox's policy projection - i.e. the whole
+// verification problem. That makes the cache self-invalidating: any spec
+// edit that changes the encoded problem changes the key, so stale entries
+// are simply never looked up again (they stay in the file as dead weight,
+// which an occasional `rm` of the cache dir reclaims). Re-verification after
+// an edit therefore re-solves exactly the changed slices and answers the
+// rest from disk.
+//
+// Soundness inherits the planner's: a cache hit reuses an outcome across
+// canonically-equal problems, exactly like an in-batch symmetry merge; the
+// 1-WL key's converse is heuristic (see canonical_slice_key), so cross-run
+// reuse takes the same - and only the same - collision risk the in-batch
+// dedup already takes. This depends on the key being stable across
+// processes (pinned FNV-1a digests, never std::hash).
+//
+// Unknown outcomes are never stored: a timeout is a fact about the solver
+// budget, not about the problem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/solver.hpp"
+
+namespace vmn::verify {
+
+class ResultCache {
+ public:
+  /// What a hit restores. No counterexample: traces name concrete nodes of
+  /// the run that produced them, which a canonical key deliberately erases -
+  /// callers needing a fresh trace re-solve (e.g. by disabling the cache).
+  struct Entry {
+    smt::CheckStatus status = smt::CheckStatus::unknown;
+    std::size_t slice_size = 0;
+    std::size_t assertion_count = 0;
+  };
+
+  /// Opens the cache rooted at `dir` and loads `dir`/vmn-results.cache if
+  /// present (malformed lines are skipped, so a truncated or corrupted file
+  /// degrades to misses, never to errors). An empty `dir` constructs a
+  /// disabled cache: lookups miss, stores are dropped, flush is a no-op.
+  explicit ResultCache(std::string dir);
+
+  [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+
+  [[nodiscard]] std::optional<Entry> lookup(
+      const std::string& canonical_key) const;
+
+  /// Records a solved job (immediately visible to lookup; durable after
+  /// flush). Unknown statuses are dropped.
+  void store(const std::string& canonical_key, const Entry& entry);
+
+  /// Appends the entries stored since load to disk, creating the directory
+  /// on first use. Append-only: concurrent batches may interleave whole
+  /// lines but never corrupt each other's records.
+  void flush();
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::string file_path() const;
+
+ private:
+  /// 128-bit fingerprint of a canonical key (two independent FNV-1a 64
+  /// streams), stored instead of the multi-hundred-byte key itself. A
+  /// colliding pair of distinct keys needs ~2^64 entries - negligible next
+  /// to the 64-bit digests already inside the key.
+  struct Fingerprint {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    bool operator==(const Fingerprint&) const = default;
+  };
+  struct FingerprintHash {
+    std::size_t operator()(const Fingerprint& fp) const {
+      return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  static Fingerprint fingerprint(const std::string& key);
+
+  void load();
+
+  std::string dir_;
+  std::unordered_map<Fingerprint, Entry, FingerprintHash> entries_;
+  /// Stored-but-not-yet-flushed records, in store order.
+  std::vector<std::pair<Fingerprint, Entry>> dirty_;
+};
+
+}  // namespace vmn::verify

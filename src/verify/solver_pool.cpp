@@ -8,14 +8,48 @@
 
 namespace vmn::verify {
 
-SolverPool::SolverPool(std::size_t workers, smt::SolverOptions options) {
+void SolverSession::reset_warm() {
+  encoding_.reset();
+  solver_.reset();
+  warm_model_ = nullptr;
+  warm_members_.clear();
+  warm_failures_ = -1;
+}
+
+SolverSession::WarmBound SolverSession::warm_bind(
+    const encode::NetworkModel& model, std::vector<NodeId> members,
+    int max_failures) {
+  // Normalize exactly like Encoding's constructor so the shape comparison
+  // sees what the encoding would.
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  if (warm_ && encoding_ != nullptr && warm_model_ == &model &&
+      warm_failures_ == max_failures && warm_members_ == members) {
+    ++warm_reuses_;
+    return WarmBound{*encoding_, *solver_, true};
+  }
+  encoding_ = std::make_unique<encode::Encoding>(
+      model, std::move(members), encode::EncodeOptions{max_failures});
+  warm_model_ = &model;
+  warm_failures_ = max_failures;
+  warm_members_ = encoding_->members();
+  solver_ = smt::make_z3_solver(encoding_->vocab(), options_);
+  for (const encode::Axiom& axiom : encoding_->axioms()) {
+    solver_->add(axiom.term);
+  }
+  ++binds_;
+  return WarmBound{*encoding_, *solver_, false};
+}
+
+SolverPool::SolverPool(std::size_t workers, smt::SolverOptions options,
+                       bool warm) {
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
     if (workers == 0) workers = 1;
   }
   sessions_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    sessions_.push_back(std::make_unique<SolverSession>(options));
+    sessions_.push_back(std::make_unique<SolverSession>(options, warm));
   }
   stats_.resize(workers);
 }

@@ -5,8 +5,16 @@
 // per-session options, and is only ever touched from the worker thread that
 // owns it. Because every Encoding carries its own logic::Vocab (sorts and
 // declarations are interned per encoding, never shared), a session is
-// re-bound to the vocabulary of each job it executes; the Z3 context, solver
-// and translation caches are recreated at bind time and stay thread-local.
+// (re)bound to the vocabulary of each problem it executes.
+//
+// Warm binding: rebuilding the encoding and a cold Z3 context per job is
+// the dominant fixed cost of small checks, and consecutive jobs often share
+// a slice shape (the planner sorts the queue to make them adjacent). A
+// session therefore keeps its last base encoding AND the live solver bound
+// to it; warm_bind() hands both back untouched when the next job's (model,
+// members, failure budget) triple matches, and the caller brackets the
+// per-invariant negation in push()/pop() so the base axioms - and Z3's
+// learned state - survive from job to job.
 #pragma once
 
 #include <chrono>
@@ -15,6 +23,8 @@
 #include <memory>
 #include <vector>
 
+#include "core/ids.hpp"
+#include "encode/encoder.hpp"
 #include "logic/builder.hpp"
 #include "smt/solver.hpp"
 
@@ -23,29 +33,62 @@ namespace vmn::verify {
 /// A single worker's solver state. Never shared between threads.
 class SolverSession {
  public:
-  explicit SolverSession(smt::SolverOptions options) : options_(options) {}
+  /// `warm` == false disables context reuse: every warm_bind() builds a
+  /// fresh encoding and solver (the cold baseline the warm path is tested
+  /// and benchmarked against).
+  explicit SolverSession(smt::SolverOptions options, bool warm = true)
+      : options_(options), warm_(warm) {}
 
-  /// (Re)creates the backend solver for `vocab` and returns it. The solver
-  /// is owned by this session but borrows `vocab`: it must only be used
-  /// while `vocab` (in practice, the caller's Encoding) is alive. It is
-  /// destroyed by the next bind.
-  smt::Solver& bind(const logic::Vocab& vocab) {
-    solver_ = smt::make_z3_solver(vocab, options_);
-    ++binds_;
-    return *solver_;
-  }
+  /// What warm_bind hands out: the session-owned base encoding (base axioms
+  /// already asserted on `solver` at scope level 0) and whether it was
+  /// reused from the previous job.
+  struct WarmBound {
+    encode::Encoding& encoding;
+    smt::Solver& solver;
+    bool reused = false;
+  };
+
+  /// Returns a solver pre-loaded with the base axioms of (model, members,
+  /// failure budget): reuses the live context when the triple matches the
+  /// previous warm_bind (and warm reuse is enabled), otherwise encodes and
+  /// asserts from scratch. Callers must leave the solver at scope level 0
+  /// (every push popped) before the next warm_bind.
+  WarmBound warm_bind(const encode::NetworkModel& model,
+                      std::vector<NodeId> members, int max_failures);
+
+  /// Drops the warm encoding + solver (counters survive). The parallel
+  /// engine calls this at every task boundary so warm reuse is confined to
+  /// within one task: which tasks land on which worker is a scheduling
+  /// race, and cross-task reuse would make solver state - and with it
+  /// witness traces - depend on that race instead of only on the plan.
+  void reset_warm();
 
   [[nodiscard]] const smt::SolverOptions& options() const { return options_; }
-  /// Number of encodings this session has solved (diagnostics).
+  /// Number of solver contexts built (cold binds + warm misses).
   [[nodiscard]] std::size_t binds() const { return binds_; }
+  /// Number of warm_bind calls answered by the live context.
+  [[nodiscard]] std::size_t warm_reuses() const { return warm_reuses_; }
 
  private:
   smt::SolverOptions options_;
+  bool warm_ = true;
   std::unique_ptr<smt::Solver> solver_;
   std::size_t binds_ = 0;
+  std::size_t warm_reuses_ = 0;
+
+  /// Warm state: the base encoding the solver is bound to plus the shape
+  /// key (model identity, normalized members, failure budget) that must
+  /// match for reuse.
+  std::unique_ptr<encode::Encoding> encoding_;
+  const encode::NetworkModel* warm_model_ = nullptr;
+  std::vector<NodeId> warm_members_;
+  int warm_failures_ = -1;
 };
 
-/// Per-worker execution counters, reported in batch results.
+/// Per-worker execution counters, reported in batch results. A "task" is
+/// one unit handed to SolverPool::run - the parallel engine passes groups
+/// of same-shape jobs as single tasks so warm reuse happens within one
+/// session.
 struct WorkerStats {
   std::size_t jobs = 0;
   std::chrono::milliseconds busy{0};
@@ -57,20 +100,27 @@ struct WorkerStats {
 /// independent of the (nondeterministic) job-to-worker assignment.
 class SolverPool {
  public:
-  /// `workers` == 0 picks std::thread::hardware_concurrency().
-  explicit SolverPool(std::size_t workers, smt::SolverOptions options);
+  /// `workers` == 0 picks std::thread::hardware_concurrency(). `warm`
+  /// configures every session's context reuse (see SolverSession).
+  explicit SolverPool(std::size_t workers, smt::SolverOptions options,
+                      bool warm = true);
 
   [[nodiscard]] std::size_t size() const { return sessions_.size(); }
   [[nodiscard]] const std::vector<WorkerStats>& stats() const {
     return stats_;
   }
+  /// Worker `i`'s session (for aggregating bind/warm-reuse counters).
+  [[nodiscard]] const SolverSession& session(std::size_t i) const {
+    return *sessions_[i];
+  }
 
-  /// Executes `fn(job_index, session)` for every index in [0, count).
+  /// Executes `fn(task_index, session)` for every index in [0, count).
   /// Each invocation runs on exactly one worker thread with that worker's
-  /// session; blocks until all jobs finish. The first exception thrown by a
-  /// job is rethrown here after the pool drains. With a single worker the
-  /// jobs run in index order on the calling thread (no thread is spawned),
-  /// which is what makes `--jobs 1` bit-identical to sequential runs.
+  /// session; blocks until all tasks finish. The first exception thrown by
+  /// a task is rethrown here after the pool drains. With a single worker
+  /// the tasks run in index order on the calling thread (no thread is
+  /// spawned), which is what makes `--jobs 1` bit-identical to sequential
+  /// runs.
   void run(std::size_t count,
            const std::function<void(std::size_t, SolverSession&)>& fn);
 

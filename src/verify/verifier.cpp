@@ -35,7 +35,31 @@ VerifyResult inherit_result(const VerifyResult& representative) {
   inherited.slice_size = representative.slice_size;
   inherited.assertion_count = representative.assertion_count;
   inherited.by_symmetry = true;
+  inherited.from_cache = representative.from_cache;
   return inherited;
+}
+
+VerifyResult result_from_cache(const ResultCache::Entry& entry,
+                               const encode::Invariant& invariant) {
+  VerifyResult result;
+  result.raw_status = entry.status;
+  switch (entry.status) {
+    case smt::CheckStatus::sat:
+      result.outcome =
+          invariant.sat_means_holds() ? Outcome::holds : Outcome::violated;
+      break;
+    case smt::CheckStatus::unsat:
+      result.outcome =
+          invariant.sat_means_holds() ? Outcome::violated : Outcome::holds;
+      break;
+    case smt::CheckStatus::unknown:
+      result.outcome = Outcome::unknown;  // never stored; defensive
+      break;
+  }
+  result.slice_size = entry.slice_size;
+  result.assertion_count = entry.assertion_count;
+  result.from_cache = true;
+  return result;
 }
 
 VerifyResult verify_members(const encode::NetworkModel& model,
@@ -45,19 +69,22 @@ VerifyResult verify_members(const encode::NetworkModel& model,
   const auto start = std::chrono::steady_clock::now();
   VerifyResult result;
 
-  encode::Encoding encoding(model, std::move(members),
-                            encode::EncodeOptions{max_failures});
-  encoding.add_invariant(invariant);
-
-  smt::Solver& solver = session.bind(encoding.vocab());
-  for (const encode::Axiom& axiom : encoding.axioms()) {
+  // Warm bind: base axioms live at solver scope level 0 (asserted only when
+  // the session was not already bound to this exact shape); the negated
+  // invariant is scoped, checked and retracted, leaving the base - and the
+  // solver's learned state - warm for the next invariant on this slice.
+  SolverSession::WarmBound warm =
+      session.warm_bind(model, std::move(members), max_failures);
+  smt::Solver& solver = warm.solver;
+  solver.push();
+  for (const encode::Axiom& axiom : warm.encoding.invariant_axioms(invariant)) {
     solver.add(axiom.term);
   }
 
   const smt::CheckStatus status = solver.check();
   result.raw_status = status;
   result.solve_time = solver.last_check_time();
-  result.slice_size = encoding.members().size();
+  result.slice_size = warm.encoding.members().size();
   result.assertion_count = solver.assertion_count();
 
   // sat = counterexample exists = violated, except for positive
@@ -66,7 +93,7 @@ VerifyResult verify_members(const encode::NetworkModel& model,
     case smt::CheckStatus::sat:
       result.outcome =
           invariant.sat_means_holds() ? Outcome::holds : Outcome::violated;
-      result.counterexample = extract_trace(encoding, solver.model());
+      result.counterexample = extract_trace(warm.encoding, solver.model());
       break;
     case smt::CheckStatus::unsat:
       result.outcome =
@@ -76,6 +103,7 @@ VerifyResult verify_members(const encode::NetworkModel& model,
       result.outcome = Outcome::unknown;
       break;
   }
+  solver.pop();
   result.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start);
   return result;
@@ -84,10 +112,13 @@ VerifyResult verify_members(const encode::NetworkModel& model,
 std::vector<NodeId> slice_members(const encode::NetworkModel& model,
                                   const encode::Invariant& invariant,
                                   const slice::PolicyClasses& classes,
-                                  bool use_slices, int max_failures) {
+                                  bool use_slices, int max_failures,
+                                  dataplane::TransferCache* transfers) {
   if (use_slices) {
-    slice::Slice s = slice::compute_slice(model, invariant, classes,
-                                          slice::SliceOptions{max_failures});
+    slice::SliceOptions options;
+    options.max_failures = max_failures;
+    options.transfers = transfers;
+    slice::Slice s = slice::compute_slice(model, invariant, classes, options);
     return std::move(s.members);
   }
   return encode::all_edge_nodes(model);
@@ -109,8 +140,13 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
                   const std::vector<encode::Invariant>& invariants,
                   const slice::PolicyClasses& classes, bool use_symmetry,
                   const VerifyOptions& options) {
+  const auto plan_start = std::chrono::steady_clock::now();
   JobPlan plan;
   plan.invariant_count = invariants.size();
+  // One PlanContext per pass: every compute_slice and canonical_slice_key
+  // below shares the same per-scenario transfer functions (and their
+  // accumulated walk memos) instead of rebuilding them per invariant.
+  PlanContext ctx(model.network());
   // The key is strictly finer than the coarse class-signature grouping
   // (slice::class_signature, the paper's section 4.2 criterion): invariants
   // whose policy classes match but whose slice structure differs (e.g. an
@@ -121,13 +157,14 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
   for (std::size_t i = 0; i < invariants.size(); ++i) {
     const auto inv_start = std::chrono::steady_clock::now();
     const encode::Invariant& inv = invariants[i];
-    std::vector<NodeId> members = slice_members(
-        model, inv, classes, options.use_slices, options.max_failures);
+    std::vector<NodeId> members =
+        slice_members(model, inv, classes, options.use_slices,
+                      options.max_failures, &ctx.transfers);
 
     std::string key;
     if (use_symmetry) {
       key = slice::canonical_slice_key(model, members, inv, classes,
-                                       options.max_failures);
+                                       options.max_failures, &ctx.transfers);
       auto it = job_by_key.find(key);
       if (it != job_by_key.end()) {
         plan.jobs[it->second].inheritors.push_back(i);
@@ -140,7 +177,6 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
       job_by_key.emplace(key, plan.jobs.size());
     }
     Job job;
-    job.id = plan.jobs.size();
     job.invariant_index = i;
     job.members = std::move(members);
     job.canonical_key = std::move(key);
@@ -148,6 +184,20 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
         std::chrono::steady_clock::now() - inv_start);
     plan.jobs.push_back(std::move(job));
   }
+  // Shape-adjacency ordering: jobs over identical member sets become
+  // neighbors (stable, so equal-shape jobs keep their first-appearance
+  // order), which is what lets a warm solver session serve a whole run of
+  // jobs without rebinding. Ids are assigned after the reorder so they
+  // stay positional.
+  std::stable_sort(plan.jobs.begin(), plan.jobs.end(),
+                   [](const Job& a, const Job& b) {
+                     return a.members < b.members;
+                   });
+  for (std::size_t j = 0; j < plan.jobs.size(); ++j) plan.jobs[j].id = j;
+  plan.transfer_builds = ctx.transfers.builds();
+  plan.transfer_reuses = ctx.transfers.reuses();
+  plan.plan_time = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - plan_start);
   return plan;
 }
 
@@ -157,25 +207,46 @@ BatchResult Verifier::verify_all(
   BatchResult batch;
   batch.results.resize(invariants.size());
 
-  // Execute the shared plan in job order: one fresh solver session per
-  // representative, inheritors copy its outcome with by_symmetry set.
+  // Execute the shared plan in job order on ONE warm solver session: the
+  // planner put same-shape jobs next to each other, so the session's base
+  // encoding and Z3 context carry over between neighbors; the persistent
+  // cache answers re-verified slices without any solver at all.
   JobPlan plan =
       plan_jobs(*model_, invariants, classes_, use_symmetry, options_);
+  batch.plan_time = plan.plan_time;
+  ResultCache cache(options_.cache_dir);
+  SolverSession session(options_.solver, options_.warm_solving);
   for (Job& job : plan.jobs) {
     const auto job_start = std::chrono::steady_clock::now();
-    SolverSession session(options_.solver);
-    VerifyResult rep =
-        verify_members(*model_, invariants[job.invariant_index],
-                       std::move(job.members), options_.max_failures, session);
+    VerifyResult rep;
+    if (std::optional<ResultCache::Entry> hit = cache.lookup(job.canonical_key)) {
+      rep = result_from_cache(*hit, invariants[job.invariant_index]);
+      ++batch.cache_hits;
+    } else {
+      rep = verify_members(*model_, invariants[job.invariant_index],
+                           std::move(job.members), options_.max_failures,
+                           session);
+      ++batch.solver_calls;
+      // Keyless jobs (no-symmetry planning) are outside the cache's reach;
+      // they are not misses.
+      if (cache.enabled() && !job.canonical_key.empty()) {
+        ++batch.cache_misses;
+        cache.store(job.canonical_key,
+                    ResultCache::Entry{rep.raw_status, rep.slice_size,
+                                       rep.assertion_count});
+      }
+    }
     rep.total_time =
         job.plan_time + std::chrono::duration_cast<std::chrono::milliseconds>(
                             std::chrono::steady_clock::now() - job_start);
-    ++batch.solver_calls;
     for (std::size_t k : job.inheritors) {
       batch.results[k] = inherit_result(rep);
     }
     batch.results[job.invariant_index] = std::move(rep);
   }
+  cache.flush();
+  batch.warm_binds = session.binds();
+  batch.warm_reuses = session.warm_reuses();
   batch.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start);
   return batch;

@@ -21,6 +21,7 @@
 #include "slice/symmetry.hpp"
 #include "smt/solver.hpp"
 #include "verify/job.hpp"
+#include "verify/result_cache.hpp"
 #include "verify/solver_pool.hpp"
 
 namespace vmn::verify {
@@ -41,6 +42,15 @@ struct VerifyOptions {
   /// Use inferred policy classes (configuration fingerprints) rather than
   /// the declared ones for slices and symmetry.
   bool infer_policy_classes = true;
+  /// Keep each solver session's base encoding and Z3 context alive across
+  /// consecutive jobs sharing a slice shape (base axioms asserted once,
+  /// per-invariant negation pushed/popped). Verdict-identical to cold
+  /// solving; off is the benchmark/debug baseline.
+  bool warm_solving = true;
+  /// Directory of the persistent cross-batch result cache (see
+  /// verify/result_cache.hpp); empty disables caching. Cache hits restore
+  /// outcome and statistics but never a counterexample trace.
+  std::string cache_dir;
   smt::SolverOptions solver;
 };
 
@@ -54,12 +64,28 @@ struct VerifyResult {
   std::optional<Trace> counterexample;
   /// Set when the result was inherited from a symmetric representative.
   bool by_symmetry = false;
+  /// Set when the outcome was restored from the persistent result cache
+  /// (directly, or inherited from a cached representative); such results
+  /// carry no counterexample.
+  bool from_cache = false;
 };
 
 struct BatchResult {
   std::vector<VerifyResult> results;  ///< aligned with the invariant list
+  /// Actual solver invocations: planned jobs minus cache hits.
   std::size_t solver_calls = 0;
   std::chrono::milliseconds total_time{0};
+  /// Serial planning wall time (slices + canonical keys + dedup), the
+  /// Amdahl term ahead of the fan-out.
+  std::chrono::milliseconds plan_time{0};
+  /// Jobs answered by the persistent result cache / solved while it was
+  /// enabled (hits + misses == jobs when caching is on, 0 + 0 when off).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  /// Warm-solving effectiveness: base encodings built cold vs jobs
+  /// answered on a reused live context.
+  std::size_t warm_binds = 0;
+  std::size_t warm_reuses = 0;
 };
 
 /// Reads a counterexample schedule out of a satisfying model.
@@ -72,34 +98,49 @@ struct BatchResult {
 /// the sequential and parallel batch paths so they cannot drift.
 [[nodiscard]] VerifyResult inherit_result(const VerifyResult& representative);
 
+/// The result a persistent-cache hit restores: the cached raw status mapped
+/// back through the invariant's sat_means_holds() polarity, cached slice /
+/// assertion statistics, from_cache set, no counterexample. Shared by both
+/// engines so cached and solved runs disagree in nothing but the trace.
+[[nodiscard]] VerifyResult result_from_cache(const ResultCache::Entry& entry,
+                                             const encode::Invariant& invariant);
+
 /// The edge nodes `invariant` is encoded over: the computed slice, or the
 /// whole network when slicing is off. Shared by the sequential Verifier and
 /// the ParallelVerifier planner so the two engines encode identical
-/// problems.
+/// problems. `transfers`, when non-null, is the plan-wide per-scenario
+/// transfer memo (see PlanContext).
 [[nodiscard]] std::vector<NodeId> slice_members(
     const encode::NetworkModel& model, const encode::Invariant& invariant,
-    const slice::PolicyClasses& classes, bool use_slices, int max_failures);
+    const slice::PolicyClasses& classes, bool use_slices, int max_failures,
+    dataplane::TransferCache* transfers = nullptr);
 
 /// The shared batch planner: one slice per invariant, deduplicated into jobs
 /// by canonical_slice_key when `use_symmetry` is set (an invariant joins an
 /// existing job exactly when its kind, policy classes and refined slice
 /// structure fingerprint-match; merges the coarse class-signature criterion
 /// would have made but the key refuses are counted as conservative splits -
-/// each costs a solver call and buys soundness). The sequential
+/// each costs a solver call and buys soundness). One PlanContext memoizes
+/// per-scenario transfer functions across every slice and canonical key of
+/// the pass, and the finished queue is stably reordered so jobs sharing a
+/// slice shape are adjacent (fueling warm solver reuse). The sequential
 /// Verifier::verify_all executes this plan in job order and the
-/// ParallelVerifier fans it out over a pool; sharing the planner is what
-/// makes the two engines agree representative-for-representative.
+/// ParallelVerifier fans shape-groups of it out over a pool; sharing the
+/// planner is what makes the two engines agree
+/// representative-for-representative.
 [[nodiscard]] JobPlan plan_jobs(const encode::NetworkModel& model,
                                 const std::vector<encode::Invariant>& invariants,
                                 const slice::PolicyClasses& classes,
                                 bool use_symmetry, const VerifyOptions& options);
 
-/// The shared single-check core: encodes `invariant` over `members`, solves
-/// on `session`'s (re-bound) backend and interprets the result. Both the
-/// sequential Verifier and the ParallelVerifier workers funnel through this
-/// function, which is what guarantees their outcomes agree check-for-check.
-/// `total_time` covers encoding and solving only; callers that also compute
-/// the slice fold that time in themselves.
+/// The shared single-check core: warm-binds `session` to the base problem
+/// (model, members, failure budget) - reusing the live encoding + solver
+/// when the previous call had the same shape - then push()es the negated
+/// invariant, checks, extracts any counterexample and pop()s back to the
+/// base. Both the sequential Verifier and the ParallelVerifier workers
+/// funnel through this function, which is what guarantees their outcomes
+/// agree check-for-check. `total_time` covers encoding and solving only;
+/// callers that also compute the slice fold that time in themselves.
 [[nodiscard]] VerifyResult verify_members(const encode::NetworkModel& model,
                                           const encode::Invariant& invariant,
                                           std::vector<NodeId> members,

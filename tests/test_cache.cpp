@@ -1,0 +1,282 @@
+// Persistent result-cache tests: unit coverage for ResultCache itself, and
+// end-to-end coverage of the batch fast path - identical reruns answer
+// every job from disk with verdicts equal to the cold run, spec edits that
+// change the canonical key miss and re-solve, and a disabled cache changes
+// nothing about the outcomes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/rng.hpp"
+#include "mbox/firewall.hpp"
+#include "scenarios/datacenter.hpp"
+#include "scenarios/enterprise.hpp"
+#include "verify/parallel.hpp"
+#include "verify/result_cache.hpp"
+#include "verify/verifier.hpp"
+
+namespace vmn::verify {
+namespace {
+
+using mbox::AclAction;
+using mbox::AclEntry;
+
+/// mkdtemp-backed cache directory, removed on scope exit.
+struct TempCacheDir {
+  std::string path;
+  TempCacheDir() {
+    char tmpl[] = "/tmp/vmn-test-cache-XXXXXX";
+    if (mkdtemp(tmpl) == nullptr) {
+      ADD_FAILURE() << "mkdtemp failed";
+    } else {
+      path = tmpl;
+    }
+  }
+  ~TempCacheDir() {
+    if (!path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
+  }
+};
+
+ParallelOptions cached_options(const std::string& cache_dir,
+                               std::size_t jobs = 2) {
+  ParallelOptions opts;
+  opts.jobs = jobs;
+  opts.verify.solver.seed = 7;
+  opts.verify.cache_dir = cache_dir;
+  return opts;
+}
+
+scenarios::Datacenter make_datacenter_small() {
+  scenarios::DatacenterParams p;
+  p.policy_groups = 3;
+  p.clients_per_group = 1;
+  return make_datacenter(p);
+}
+
+scenarios::Enterprise make_enterprise_small() {
+  scenarios::EnterpriseParams p;
+  p.subnets = 4;
+  p.hosts_per_subnet = 1;
+  return make_enterprise(p);
+}
+
+TEST(ResultCacheUnit, StoreLookupAndPersistAcrossInstances) {
+  TempCacheDir dir;
+  const std::string key_a = "node-isolation/#a;b;@x;!s;";
+  const std::string key_b = "reachable/#c;@y;!s;";
+  {
+    ResultCache cache(dir.path);
+    EXPECT_TRUE(cache.enabled());
+    EXPECT_FALSE(cache.lookup(key_a).has_value());
+    cache.store(key_a, ResultCache::Entry{smt::CheckStatus::unsat, 4, 11});
+    cache.store(key_b, ResultCache::Entry{smt::CheckStatus::sat, 6, 17});
+    // Unknown results and empty keys are dropped.
+    cache.store("transient", ResultCache::Entry{smt::CheckStatus::unknown, 1, 1});
+    cache.store("", ResultCache::Entry{smt::CheckStatus::sat, 1, 1});
+    // Visible before flush.
+    ASSERT_TRUE(cache.lookup(key_a).has_value());
+    EXPECT_EQ(cache.lookup(key_a)->status, smt::CheckStatus::unsat);
+    cache.flush();
+  }
+  {
+    ResultCache cache(dir.path);
+    EXPECT_EQ(cache.size(), 2u);
+    ASSERT_TRUE(cache.lookup(key_b).has_value());
+    EXPECT_EQ(cache.lookup(key_b)->status, smt::CheckStatus::sat);
+    EXPECT_EQ(cache.lookup(key_b)->slice_size, 6u);
+    EXPECT_EQ(cache.lookup(key_b)->assertion_count, 17u);
+    EXPECT_FALSE(cache.lookup("transient").has_value());
+  }
+}
+
+TEST(ResultCacheUnit, DisabledAndCorruptedInputsDegradeToMisses) {
+  ResultCache disabled("");
+  EXPECT_FALSE(disabled.enabled());
+  disabled.store("k", ResultCache::Entry{smt::CheckStatus::sat, 1, 1});
+  EXPECT_FALSE(disabled.lookup("k").has_value());
+  disabled.flush();  // must be a no-op, not a crash
+
+  // An unwritable directory degrades to an in-memory cache: flush must
+  // swallow the filesystem error (a verification run whose results are
+  // already computed must never abort over cache persistence).
+  ResultCache unwritable("/proc/nonexistent/vmn-cache");
+  unwritable.store("k", ResultCache::Entry{smt::CheckStatus::sat, 1, 1});
+  EXPECT_TRUE(unwritable.lookup("k").has_value());
+  unwritable.flush();
+
+  TempCacheDir dir;
+  {
+    ResultCache cache(dir.path);
+    cache.store("good", ResultCache::Entry{smt::CheckStatus::unsat, 2, 3});
+    cache.flush();
+  }
+  {
+    // Corrupt the tail (torn write) and append garbage; the good line must
+    // survive, the rest be skipped.
+    std::ofstream out(ResultCache(dir.path).file_path(), std::ios::app);
+    out << "deadbeef\n" << "zz zz sat x y\n" << "0 0 unknown 1 1\n";
+  }
+  ResultCache cache(dir.path);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.lookup("good").has_value());
+}
+
+TEST(ResultCacheBatch, IdenticalRerunHitsEverythingWithEqualVerdicts) {
+  scenarios::Datacenter dc = make_datacenter_small();
+  const scenarios::Batch batch = dc.batch();
+  TempCacheDir dir;
+
+  ParallelVerifier verifier(dc.model, cached_options(dir.path));
+  ParallelBatchResult cold = verifier.verify_all(batch.invariants);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, cold.jobs_executed);
+  EXPECT_EQ(cold.solver_calls, cold.jobs_executed);
+
+  ParallelBatchResult hot = verifier.verify_all(batch.invariants);
+  EXPECT_EQ(hot.cache_hits, hot.jobs_executed);
+  EXPECT_EQ(hot.cache_misses, 0u);
+  EXPECT_EQ(hot.solver_calls, 0u);
+  ASSERT_EQ(hot.results.size(), cold.results.size());
+  for (std::size_t i = 0; i < cold.results.size(); ++i) {
+    EXPECT_EQ(hot.results[i].outcome, cold.results[i].outcome) << i;
+    EXPECT_EQ(hot.results[i].raw_status, cold.results[i].raw_status) << i;
+    EXPECT_EQ(hot.results[i].slice_size, cold.results[i].slice_size) << i;
+    EXPECT_EQ(hot.results[i].assertion_count, cold.results[i].assertion_count)
+        << i;
+    EXPECT_EQ(hot.results[i].by_symmetry, cold.results[i].by_symmetry) << i;
+    EXPECT_TRUE(hot.results[i].from_cache) << i;
+  }
+}
+
+TEST(ResultCacheBatch, SequentialEngineSharesTheSameCache) {
+  // A cache populated by the parallel engine answers the sequential engine
+  // (and vice versa): both consult the same canonical keys.
+  scenarios::Enterprise e = make_enterprise_small();
+  TempCacheDir dir;
+
+  ParallelVerifier parallel(e.model, cached_options(dir.path));
+  ParallelBatchResult cold = parallel.verify_all(e.invariants);
+  EXPECT_EQ(cold.cache_hits, 0u);
+
+  VerifyOptions seq_opts;
+  seq_opts.solver.seed = 7;
+  seq_opts.cache_dir = dir.path;
+  Verifier sequential(e.model, seq_opts);
+  BatchResult hot = sequential.verify_all(e.invariants, /*use_symmetry=*/true);
+  EXPECT_GT(hot.cache_hits, 0u);
+  EXPECT_EQ(hot.cache_misses, 0u);
+  EXPECT_EQ(hot.solver_calls, 0u);
+  for (std::size_t i = 0; i < e.invariants.size(); ++i) {
+    EXPECT_EQ(hot.results[i].outcome, cold.results[i].outcome) << i;
+  }
+}
+
+TEST(ResultCacheBatch, ConfigEditChangesKeyAndForcesFreshSolve) {
+  scenarios::Enterprise e = make_enterprise_small();
+  TempCacheDir dir;
+  {
+    ParallelVerifier verifier(e.model, cached_options(dir.path));
+    ParallelBatchResult cold = verifier.verify_all(e.invariants);
+    EXPECT_EQ(cold.cache_hits, 0u);
+  }
+
+  // Open the enterprise firewall wide: the policy fingerprint of the
+  // private/quarantined subnets' ACL changes, so their canonical keys -
+  // and with them the cache lines - no longer apply.
+  auto* fw = dynamic_cast<mbox::LearningFirewall*>(
+      e.model.middlebox_at(e.model.network().node_by_name("fw")));
+  ASSERT_NE(fw, nullptr);
+  std::vector<AclEntry> acl = fw->acl();
+  acl.insert(acl.begin(),
+             AclEntry{Prefix(Address::of(172, 16, 0, 0), 12),
+                      Prefix(Address::of(10, 0, 0, 0), 8), AclAction::allow});
+  fw->replace_acl(acl);
+
+  ParallelVerifier edited(e.model, cached_options(dir.path));
+  ParallelBatchResult after = edited.verify_all(e.invariants);
+  // The edited problems miss and re-solve...
+  EXPECT_GT(after.cache_misses, 0u);
+  EXPECT_GT(after.solver_calls, 0u);
+  // ...and the verdicts match an uncached run on the edited model exactly
+  // (no stale inheritance from the pre-edit cache).
+  ParallelOptions uncached;
+  uncached.jobs = 2;
+  uncached.verify.solver.seed = 7;
+  ParallelBatchResult reference =
+      ParallelVerifier(e.model, uncached).verify_all(e.invariants);
+  for (std::size_t i = 0; i < e.invariants.size(); ++i) {
+    EXPECT_EQ(after.results[i].outcome, reference.results[i].outcome) << i;
+  }
+  // The open firewall must actually flip something, or this test proves
+  // nothing about invalidation.
+  bool any_violated = false;
+  for (const VerifyResult& r : after.results) {
+    any_violated |= r.outcome == Outcome::violated;
+  }
+  EXPECT_TRUE(any_violated);
+}
+
+TEST(ResultCacheBatch, DisabledCacheLeavesOutcomesIdentical) {
+  scenarios::Datacenter dc = make_datacenter_small();
+  const scenarios::Batch batch = dc.batch();
+  TempCacheDir dir;
+
+  ParallelOptions plain;
+  plain.jobs = 2;
+  plain.verify.solver.seed = 7;
+  ParallelBatchResult uncached =
+      ParallelVerifier(dc.model, plain).verify_all(batch.invariants);
+  EXPECT_EQ(uncached.cache_hits, 0u);
+  EXPECT_EQ(uncached.cache_misses, 0u);
+
+  ParallelBatchResult cached =
+      ParallelVerifier(dc.model, cached_options(dir.path))
+          .verify_all(batch.invariants);
+  ASSERT_EQ(cached.results.size(), uncached.results.size());
+  for (std::size_t i = 0; i < uncached.results.size(); ++i) {
+    EXPECT_EQ(cached.results[i].outcome, uncached.results[i].outcome) << i;
+    EXPECT_EQ(cached.results[i].raw_status, uncached.results[i].raw_status)
+        << i;
+    EXPECT_EQ(cached.results[i].slice_size, uncached.results[i].slice_size)
+        << i;
+    EXPECT_EQ(cached.results[i].assertion_count,
+              uncached.results[i].assertion_count)
+        << i;
+    EXPECT_EQ(cached.results[i].by_symmetry, uncached.results[i].by_symmetry)
+        << i;
+    EXPECT_FALSE(uncached.results[i].from_cache) << i;
+  }
+}
+
+TEST(ResultCacheBatch, UnknownOutcomesAreNeverPersisted) {
+  // A 1 ms budget on whole-network datacenter checks cannot complete; the
+  // resulting unknowns must not be stored (a later run with a real budget
+  // has to re-solve them).
+  scenarios::Datacenter dc = make_datacenter_small();
+  const scenarios::Batch batch = dc.batch();
+  TempCacheDir dir;
+
+  ParallelOptions opts = cached_options(dir.path);
+  opts.verify.use_slices = false;  // whole network: decisively too big
+  opts.verify.solver.timeout_ms = 1;
+  ParallelBatchResult r =
+      ParallelVerifier(dc.model, opts).verify_all(batch.invariants);
+  bool all_unknown = true;
+  for (const VerifyResult& res : r.results) {
+    all_unknown &= res.outcome == Outcome::unknown;
+  }
+  if (!all_unknown) {
+    GTEST_SKIP() << "solver finished within 1 ms; nothing to assert";
+  }
+  ResultCache reloaded(dir.path);
+  EXPECT_EQ(reloaded.size(), 0u);
+}
+
+}  // namespace
+}  // namespace vmn::verify

@@ -222,6 +222,226 @@ TEST(Parallel, PlanPartitionsTheBatch) {
   EXPECT_EQ(flat.symmetry_hits, 0u);
 }
 
+// --- warm solving ----------------------------------------------------------
+
+// Warm runs (base axioms asserted once per slice shape, invariant negation
+// pushed/popped on a live context) must be verdict-identical to cold runs
+// (fresh encoding + context per job) on every scenario generator, across
+// mixed holds/violated batches.
+void expect_warm_matches_cold(const encode::NetworkModel& model,
+                              const Batch& batch) {
+  ParallelOptions warm = with_jobs(2);
+  ASSERT_TRUE(warm.verify.warm_solving);  // the default
+  ParallelOptions cold = with_jobs(2);
+  cold.verify.warm_solving = false;
+
+  ParallelBatchResult warm_r =
+      ParallelVerifier(model, warm).verify_all(batch.invariants);
+  ParallelBatchResult cold_r =
+      ParallelVerifier(model, cold).verify_all(batch.invariants);
+  ASSERT_EQ(warm_r.results.size(), cold_r.results.size());
+  for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+    EXPECT_EQ(warm_r.results[i].outcome, cold_r.results[i].outcome)
+        << batch.name << " invariant " << i;
+    EXPECT_EQ(warm_r.results[i].raw_status, cold_r.results[i].raw_status)
+        << batch.name << " invariant " << i;
+    EXPECT_EQ(warm_r.results[i].assertion_count,
+              cold_r.results[i].assertion_count)
+        << batch.name << " invariant " << i;
+    if (i < batch.expected_holds.size()) {
+      const Outcome expected =
+          batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
+      EXPECT_EQ(warm_r.results[i].outcome, expected)
+          << batch.name << " invariant " << i;
+    }
+  }
+  // Cold runs never reuse a context.
+  EXPECT_EQ(cold_r.warm_reuses, 0u);
+}
+
+TEST(WarmSolving, MatchesColdOnEnterprise) {
+  scenarios::EnterpriseParams p;
+  p.subnets = 4;
+  p.hosts_per_subnet = 1;
+  scenarios::Enterprise e = scenarios::make_enterprise(p);
+  expect_warm_matches_cold(e.model, e.batch());
+}
+
+TEST(WarmSolving, MatchesColdOnMisconfiguredEnterprise) {
+  // Mixed sat/unsat batch: the opened firewall flips the private and
+  // quarantined subnets to violated while the public ones keep holding.
+  scenarios::EnterpriseParams p;
+  p.subnets = 6;
+  p.hosts_per_subnet = 1;
+  scenarios::Enterprise e = scenarios::make_enterprise(p);
+  auto* fw = dynamic_cast<mbox::LearningFirewall*>(
+      e.model.middlebox_at(e.model.network().node_by_name("fw")));
+  ASSERT_NE(fw, nullptr);
+  std::vector<AclEntry> acl = fw->acl();
+  acl.insert(acl.begin(),
+             AclEntry{Prefix(Address::of(172, 16, 0, 0), 12),
+                      Prefix(Address::of(10, 0, 0, 0), 8), AclAction::allow});
+  fw->replace_acl(acl);
+  Batch batch;
+  batch.name = "enterprise-open-fw";
+  batch.invariants = e.invariants;  // expectations recomputed by the solver
+  expect_warm_matches_cold(e.model, batch);
+}
+
+TEST(WarmSolving, MatchesColdOnDatacenter) {
+  scenarios::DatacenterParams p;
+  p.policy_groups = 3;
+  p.clients_per_group = 1;
+  scenarios::Datacenter dc = scenarios::make_datacenter(p);
+  expect_warm_matches_cold(dc.model, dc.batch());
+}
+
+TEST(WarmSolving, MatchesColdOnMisconfiguredDatacenter) {
+  scenarios::DatacenterParams p;
+  p.policy_groups = 3;
+  p.clients_per_group = 1;
+  scenarios::Datacenter dc = scenarios::make_datacenter(p);
+  Rng rng(7);
+  inject_misconfig(dc, scenarios::DcMisconfig::rules, rng, 1);
+  expect_warm_matches_cold(dc.model, dc.batch());
+}
+
+TEST(WarmSolving, MatchesColdOnIsp) {
+  scenarios::IspParams p;
+  p.peering_points = 2;
+  p.subnets = 3;
+  scenarios::Isp isp = scenarios::make_isp(p);
+  expect_warm_matches_cold(isp.model, isp.batch());
+}
+
+TEST(WarmSolving, MatchesColdOnMisconfiguredIsp) {
+  scenarios::IspParams p;
+  p.peering_points = 2;
+  p.subnets = 3;
+  p.scrub_bypasses_firewalls = true;
+  scenarios::Isp isp = scenarios::make_isp(p);
+  expect_warm_matches_cold(isp.model, isp.batch());
+}
+
+TEST(WarmSolving, MatchesColdOnMultiTenant) {
+  scenarios::MultiTenantParams p;
+  p.tenants = 2;
+  p.servers = 2;
+  p.public_vms_per_tenant = 1;
+  p.private_vms_per_tenant = 1;
+  scenarios::MultiTenant mt = scenarios::make_multitenant(p);
+  expect_warm_matches_cold(mt.model, mt.batch());
+}
+
+TEST(WarmSolving, MatchesColdWhenOutcomesGoUnknown) {
+  // Whole-network checks under a 1 ms budget: both paths should report
+  // unknown (skip if this machine somehow solves them in time). All jobs
+  // share the full-network shape, so this also exercises warm reuse across
+  // a run of unknowns.
+  scenarios::DatacenterParams p;
+  p.policy_groups = 3;
+  p.clients_per_group = 1;
+  scenarios::Datacenter dc = scenarios::make_datacenter(p);
+  const Batch batch = dc.batch();
+
+  ParallelOptions warm = with_jobs(1);
+  warm.verify.use_slices = false;
+  warm.verify.solver.timeout_ms = 1;
+  ParallelOptions cold = warm;
+  cold.verify.warm_solving = false;
+
+  ParallelBatchResult warm_r =
+      ParallelVerifier(dc.model, warm).verify_all(batch.invariants);
+  ParallelBatchResult cold_r =
+      ParallelVerifier(dc.model, cold).verify_all(batch.invariants);
+  for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+    if (warm_r.results[i].outcome != Outcome::unknown ||
+        cold_r.results[i].outcome != Outcome::unknown) {
+      GTEST_SKIP() << "solver finished within 1 ms; agreement on decisive "
+                      "outcomes is covered by the other WarmSolving tests";
+    }
+  }
+  EXPECT_GT(warm_r.warm_reuses, 0u);  // one full-network shape, many jobs
+  EXPECT_EQ(cold_r.warm_reuses, 0u);
+}
+
+TEST(WarmSolving, SequentialBatchReusesOneSessionAcrossSameShapeJobs) {
+  // Three invariants over the same three-node slice: the sequential engine
+  // must build the base encoding once and answer the remaining jobs on the
+  // reused context (seed behavior: a fresh session per representative).
+  OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::LearningFirewall>(
+      "fw",
+      std::vector<AclEntry>{AclEntry{Prefix::host(OneBoxNet::addr_a()),
+                                     Prefix::host(OneBoxNet::addr_b()),
+                                     AclAction::allow}},
+      AclAction::deny));
+  std::vector<Invariant> invariants = {Invariant::node_isolation(n.a, n.b),
+                                       Invariant::flow_isolation(n.a, n.b),
+                                       Invariant::reachable(n.b, n.a)};
+  VerifyOptions opts;
+  opts.solver.seed = 7;
+  Verifier v(n.model, opts);
+  BatchResult batch = v.verify_all(invariants, /*use_symmetry=*/true);
+  EXPECT_EQ(batch.warm_binds, 1u);
+  EXPECT_EQ(batch.warm_reuses, 2u);
+
+  // A 1-worker parallel run hands the whole shape-run to one warm session;
+  // with more workers than shape-runs the run is split to restore fan-out
+  // (warm reuse traded for concurrency), so every job gets its own context.
+  ParallelBatchResult pr =
+      ParallelVerifier(n.model, with_jobs(1)).verify_all(invariants);
+  EXPECT_EQ(pr.warm_binds, 1u);
+  EXPECT_EQ(pr.warm_reuses, 2u);
+  ParallelBatchResult split =
+      ParallelVerifier(n.model, with_jobs(4)).verify_all(invariants);
+  EXPECT_EQ(split.warm_binds, 3u);
+  EXPECT_EQ(split.warm_reuses, 0u);
+  for (std::size_t i = 0; i < invariants.size(); ++i) {
+    EXPECT_EQ(pr.results[i].outcome, batch.results[i].outcome) << i;
+    EXPECT_EQ(split.results[i].outcome, batch.results[i].outcome) << i;
+  }
+}
+
+TEST(Planner, SharesTransferFunctionsAcrossTheWholePlan) {
+  scenarios::EnterpriseParams p;
+  p.subnets = 6;
+  p.hosts_per_subnet = 2;
+  scenarios::Enterprise e = scenarios::make_enterprise(p);
+  ParallelVerifier v(e.model, with_jobs(2));
+  JobPlan plan = v.plan(e.invariants);
+  // One TransferFunction per in-budget scenario for the whole pass; every
+  // further request - across compute_slice, canonical keys and all six
+  // invariants - comes from the memo. Seed behavior rebuilt one per
+  // (invariant, scenario) use site.
+  EXPECT_GT(plan.transfer_reuses, 0u);
+  EXPECT_LE(plan.transfer_builds,
+            e.model.network().scenarios().size());
+  EXPECT_GT(plan.transfer_reuses, plan.transfer_builds);
+}
+
+TEST(Planner, OrdersSameShapeJobsAdjacently) {
+  scenarios::DatacenterParams p;
+  p.policy_groups = 4;
+  p.clients_per_group = 2;
+  scenarios::Datacenter dc = scenarios::make_datacenter(p);
+  ParallelOptions no_sym = with_jobs(2);
+  no_sym.use_symmetry = false;  // keep every invariant: more shape repeats
+  JobPlan plan = ParallelVerifier(dc.model, no_sym).plan(dc.batch().invariants);
+  // Equal member sets must form contiguous runs (what the engines turn
+  // into warm reuse), and ids must stay positional after the reorder.
+  std::set<std::vector<NodeId>> seen_shapes;
+  const std::vector<NodeId>* prev = nullptr;
+  for (std::size_t j = 0; j < plan.jobs.size(); ++j) {
+    EXPECT_EQ(plan.jobs[j].id, j);
+    const std::vector<NodeId>& members = plan.jobs[j].members;
+    if (prev == nullptr || *prev != members) {
+      EXPECT_TRUE(seen_shapes.insert(members).second)
+          << "shape of job " << j << " reappeared after a different shape";
+    }
+    prev = &members;
+  }
+}
+
 TEST(SolverPoolTest, RunsEveryJobExactlyOnceAcrossWorkers) {
   SolverPool pool(3, smt::SolverOptions{});
   EXPECT_EQ(pool.size(), 3u);

@@ -14,4 +14,17 @@ ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 
 echo "--- smoke: parallel batch verify (enterprise spec, 2 workers) ---"
 "$build/vmn" verify "$repo/examples/specs/enterprise.vmn" --batch --jobs 2
+
+echo "--- smoke: cached batch re-verification (2 workers, persistent cache) ---"
+cache_dir="$(mktemp -d)"
+trap 'rm -rf "$cache_dir"' EXIT
+"$build/vmn" verify "$repo/examples/specs/enterprise.vmn" --batch --jobs 2 \
+    --cache-dir "$cache_dir"
+second="$("$build/vmn" verify "$repo/examples/specs/enterprise.vmn" --batch \
+    --jobs 2 --cache-dir "$cache_dir")"
+echo "$second"
+if ! echo "$second" | grep -Eq "cache: [1-9][0-9]* hits"; then
+  echo "ci: cached rerun reported no cache hits" >&2
+  exit 1
+fi
 echo "ci: OK"

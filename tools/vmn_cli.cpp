@@ -2,13 +2,19 @@
 //
 //   vmn verify <spec-file> [--no-slices] [--no-symmetry] [--max-failures k]
 //                          [--trace] [--timeout ms] [--batch] [--jobs N]
+//                          [--cache-dir dir] [--no-warm]
 //       Verifies every invariant declared in the file. Exits non-zero if
 //       any invariant with an `expect` clause disagrees, or any outcome is
 //       unknown. With --batch, the invariants are planned into a
 //       deduplicated job queue and fanned out over a solver pool of
 //       --jobs N workers (default: hardware concurrency); the summary
-//       reports the dedup hit rate, per-worker load and a solve-time
-//       histogram.
+//       reports the dedup hit rate, plan time, cache and warm-solving
+//       traffic, per-worker load and a solve-time histogram.
+//       --cache-dir enables the persistent result cache: re-running after
+//       a spec edit re-solves only the slices whose canonical key changed
+//       (cached verdicts carry no counterexample trace). --no-warm
+//       disables solver-context reuse across same-shape jobs (debug /
+//       benchmarking baseline).
 //
 //   vmn audit <spec-file>
 //       Static datapath audit: forwarding loops and blackholes across all
@@ -38,7 +44,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: vmn <verify|audit|classes|dump> <spec-file> [options]\n"
                "  verify options: --no-slices --no-symmetry --max-failures k\n"
-               "                  --trace --timeout ms --batch --jobs N\n");
+               "                  --trace --timeout ms --batch --jobs N\n"
+               "                  --cache-dir dir --no-warm\n");
   return 2;
 }
 
@@ -63,6 +70,10 @@ int cmd_verify(io::Spec& spec, int argc, char** argv) {
       opts.solver.timeout_ms = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       want_trace = true;
+    } else if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
+      opts.cache_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-warm") == 0) {
+      opts.warm_solving = false;
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       batch_mode = true;
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -83,6 +94,12 @@ int cmd_verify(io::Spec& spec, int argc, char** argv) {
     std::fprintf(stderr, "spec declares no invariants\n");
     return 2;
   }
+  if (!opts.cache_dir.empty() && !use_symmetry) {
+    std::fprintf(stderr,
+                 "warning: --cache-dir has no effect with --no-symmetry "
+                 "(cache keys are canonical slice fingerprints, which only "
+                 "symmetry planning computes)\n");
+  }
   const net::Network& net = spec.model.network();
   verify::BatchResult batch;
   if (batch_mode) {
@@ -98,8 +115,16 @@ int cmd_verify(io::Spec& spec, int argc, char** argv) {
         pbatch.invariant_count, pbatch.jobs_executed, pbatch.symmetry_hits,
         pbatch.conservative_splits, pbatch.dedup_hit_rate * 100.0,
         pbatch.workers.size());
+    std::printf("  plan: %lld ms\n",
+                static_cast<long long>(pbatch.plan_time.count()));
+    if (!opts.cache_dir.empty()) {
+      std::printf("  cache: %zu hits, %zu misses (%s)\n", pbatch.cache_hits,
+                  pbatch.cache_misses, opts.cache_dir.c_str());
+    }
+    std::printf("  warm solver: %zu context builds, %zu reuses\n",
+                pbatch.warm_binds, pbatch.warm_reuses);
     for (std::size_t w = 0; w < pbatch.workers.size(); ++w) {
-      std::printf("  worker %zu: %zu jobs, %lld ms busy\n", w,
+      std::printf("  worker %zu: %zu tasks, %lld ms busy\n", w,
                   pbatch.workers[w].jobs,
                   static_cast<long long>(pbatch.workers[w].busy.count()));
     }
@@ -136,6 +161,11 @@ int cmd_verify(io::Spec& spec, int argc, char** argv) {
                               return omega_name(net, n);
                             })
                             .c_str());
+    } else if (want_trace && r.outcome == verify::Outcome::violated &&
+               r.from_cache) {
+      std::printf(
+          "  (no trace: verdict answered by the result cache; rerun without "
+          "--cache-dir, or clear it, to extract a counterexample)\n");
     }
   }
   std::printf("%zu invariants, %zu solver calls, %lld ms\n",

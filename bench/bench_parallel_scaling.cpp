@@ -215,6 +215,59 @@ BENCHMARK(BM_BatchFastPath)
     ->Arg(kCold)->Arg(kWarm)->Arg(kCached)
     ->ArgNames({"mode"})->Unit(benchmark::kMillisecond)->Iterations(1);
 
+// --- backend comparison: threads vs forked worker processes -----------------
+//
+// The process backend pays fork + projected-spec re-parse + frame traffic
+// per batch; `overhead_vs_thread` prices that isolation (and crash
+// tolerance) against the in-process pool on the same workload. Expect a
+// modest constant factor - the solver dominates per-job cost - which is
+// the number the ROADMAP's multi-host dispatch builds on.
+
+void BM_BatchBackend(benchmark::State& state) {
+  const bool use_process = state.range(0) != 0;
+  Datacenter dc = make();
+  const scenarios::Batch batch = dc.batch();
+  ParallelOptions opts;
+  opts.jobs = 2;
+  opts.verify.solver.seed = 1;
+  opts.backend =
+      use_process ? verify::Backend::process : verify::Backend::thread;
+  ParallelVerifier v(dc.model, opts);
+  double wall_ms = 0;
+  for (auto _ : state) {
+    verify::ParallelBatchResult r = v.verify_all(batch.invariants);
+    for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+      const Outcome expected =
+          batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
+      if (r.results[i].outcome != expected) {
+        state.SkipWithError("unexpected outcome in backend batch");
+        return;
+      }
+    }
+    if (r.workers_crashed != 0 || r.jobs_abandoned != 0) {
+      state.SkipWithError("process backend lost workers on a healthy run");
+      return;
+    }
+    wall_ms = static_cast<double>(r.total_time.count());
+    benchmark::DoNotOptimize(r);
+  }
+  static double thread_wall_ms = 0;  // Arg(0) is registered (and runs) first
+  if (!use_process) thread_wall_ms = wall_ms;
+  // 0 marks "baseline not measured" (e.g. --benchmark_filter ran only the
+  // process arm); recording a fake 1.0 would hide real overhead in the
+  // CI-uploaded perf trajectory.
+  const double overhead = !use_process          ? 1.0
+                          : thread_wall_ms > 0 ? wall_ms / thread_wall_ms
+                                               : 0.0;
+  state.counters["overhead_vs_thread"] = benchmark::Counter(overhead);
+  bench::BenchJson::instance().record(
+      std::string("backend/") + (use_process ? "process" : "thread"),
+      {{"wall_ms", wall_ms}, {"overhead_vs_thread", overhead}});
+}
+BENCHMARK(BM_BatchBackend)
+    ->Arg(0)->Arg(1)
+    ->ArgNames({"process"})->Unit(benchmark::kMillisecond)->Iterations(1);
+
 }  // namespace
 
 VMN_BENCH_JSON_MAIN("bench_parallel_scaling", "BENCH_parallel.json")

@@ -1,0 +1,30 @@
+// Small POSIX fd helpers shared by the subsystems that speak raw file
+// descriptors (the process-backend dispatcher, the result cache's locked
+// appends). One definition so retry semantics cannot drift between sites.
+#pragma once
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <string_view>
+
+namespace vmn {
+
+/// Writes all of `data`, retrying on EINTR and short writes. Returns false
+/// on any real error (EPIPE, ENOSPC, ...); the caller decides whether that
+/// means a dead peer or a degraded cache.
+inline bool write_all_fd(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t w = ::write(fd, data.data() + sent, data.size() - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace vmn

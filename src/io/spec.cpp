@@ -1,7 +1,9 @@
 #include "io/spec.hpp"
 
 #include <fstream>
+#include <functional>
 #include <sstream>
+#include <unordered_set>
 
 #include "mbox/app_firewall.hpp"
 #include "mbox/content_cache.hpp"
@@ -374,16 +376,79 @@ void write_middlebox(std::ostream& out, const mbox::Middlebox& box) {
   }
 }
 
+/// Writes `table`'s rules, skipping any rule `keep_rule` rejects (the
+/// projection path drops rules referencing dropped nodes; the full writer
+/// passes an always-true predicate).
 void write_routes(std::ostream& out, const encode::NetworkModel& model,
                   NodeId sw, const net::ForwardingTable& table,
-                  const std::string& indent) {
+                  const std::string& indent,
+                  const std::function<bool(const net::Rule&)>& keep_rule) {
   const net::Network& net = model.network();
   for (const net::Rule& r : table.rules()) {
+    if (!keep_rule(r)) continue;
     out << indent << "route " << net.name(sw);
     if (r.in_from) out << " from " << net.name(*r.in_from);
     out << " " << r.dst.to_string() << " " << net.name(r.next_hop);
     if (r.priority != 0) out << " priority " << r.priority;
     out << "\n";
+  }
+}
+
+/// The shared body of write_spec and write_projected_spec: emits every node
+/// `kept` admits (plus the middleboxes attached to kept nodes), the links
+/// and route rules whose endpoints are all kept, the scenario blocks, and
+/// the non-default policy lines of kept hosts.
+void write_network(std::ostream& out, const encode::NetworkModel& model,
+                   const std::function<bool(NodeId)>& kept) {
+  const net::Network& net = model.network();
+  auto keep_rule = [&](const net::Rule& r) {
+    return kept(r.next_hop) && (!r.in_from || kept(*r.in_from));
+  };
+  for (const net::Node& n : net.nodes()) {
+    if (!kept(n.id)) continue;
+    if (n.kind == net::NodeKind::host) {
+      out << "host " << n.name << " " << n.address.to_string() << "\n";
+    } else if (n.kind == net::NodeKind::switch_node) {
+      out << "switch " << n.name << "\n";
+    }
+  }
+  for (const auto& box : model.middleboxes()) {
+    if (kept(box->node())) write_middlebox(out, *box);
+  }
+  for (const net::Link& l : net.links()) {
+    if (kept(l.a) && kept(l.b)) {
+      out << "link " << net.name(l.a) << " " << net.name(l.b) << "\n";
+    }
+  }
+  for (const net::Node& n : net.nodes()) {
+    if (n.kind != net::NodeKind::switch_node || !kept(n.id)) continue;
+    write_routes(out, model, n.id,
+                 net.effective_table(n.id, net::Network::base_scenario), "",
+                 keep_rule);
+  }
+  for (std::size_t si = 1; si < net.scenarios().size(); ++si) {
+    const ScenarioId sid(static_cast<ScenarioId::underlying_type>(si));
+    const net::FailureScenario& sc = net.scenarios()[si];
+    out << "scenario " << sc.name;
+    if (!sc.failed_nodes.empty()) {
+      out << " fail";
+      for (NodeId n : sc.failed_nodes) out << " " << net.name(n);
+    }
+    out << "\n";
+    // Scenario tables are written in full (they started as copies).
+    for (const net::Node& n : net.nodes()) {
+      if (n.kind != net::NodeKind::switch_node || !kept(n.id)) continue;
+      write_routes(out, model, n.id, net.effective_table(n.id, sid), "  ",
+                   keep_rule);
+    }
+    out << "end\n";
+  }
+  for (NodeId h : net.hosts()) {
+    if (!kept(h)) continue;
+    const PolicyClassId cls = model.policy_class(h);
+    if (cls != PolicyClassId{0}) {
+      out << "policy " << net.name(h) << " " << cls.value() << "\n";
+    }
   }
 }
 
@@ -426,47 +491,7 @@ Spec load_spec(const std::string& path) {
 
 void write_spec(std::ostream& out, const Spec& spec) {
   const net::Network& net = spec.model.network();
-  for (const net::Node& n : net.nodes()) {
-    if (n.kind == net::NodeKind::host) {
-      out << "host " << n.name << " " << n.address.to_string() << "\n";
-    } else if (n.kind == net::NodeKind::switch_node) {
-      out << "switch " << n.name << "\n";
-    }
-  }
-  for (const auto& box : spec.model.middleboxes()) {
-    write_middlebox(out, *box);
-  }
-  for (const net::Link& l : net.links()) {
-    out << "link " << net.name(l.a) << " " << net.name(l.b) << "\n";
-  }
-  for (const net::Node& n : net.nodes()) {
-    if (n.kind != net::NodeKind::switch_node) continue;
-    write_routes(out, spec.model, n.id,
-                 net.effective_table(n.id, net::Network::base_scenario), "");
-  }
-  for (std::size_t si = 1; si < net.scenarios().size(); ++si) {
-    const ScenarioId sid(static_cast<ScenarioId::underlying_type>(si));
-    const net::FailureScenario& sc = net.scenarios()[si];
-    out << "scenario " << sc.name;
-    if (!sc.failed_nodes.empty()) {
-      out << " fail";
-      for (NodeId n : sc.failed_nodes) out << " " << net.name(n);
-    }
-    out << "\n";
-    // Scenario tables are written in full (they started as copies).
-    for (const net::Node& n : net.nodes()) {
-      if (n.kind != net::NodeKind::switch_node) continue;
-      write_routes(out, spec.model, n.id, net.effective_table(n.id, sid),
-                   "  ");
-    }
-    out << "end\n";
-  }
-  for (NodeId h : net.hosts()) {
-    const PolicyClassId cls = spec.model.policy_class(h);
-    if (cls != PolicyClassId{0}) {
-      out << "policy " << net.name(h) << " " << cls.value() << "\n";
-    }
-  }
+  write_network(out, spec.model, [](NodeId) { return true; });
   auto node_name = [&](NodeId n) { return net.name(n); };
   for (std::size_t i = 0; i < spec.invariants.size(); ++i) {
     const encode::Invariant& inv = spec.invariants[i];
@@ -513,6 +538,30 @@ void write_spec(std::ostream& out, const Spec& spec) {
 std::string write_spec_string(const Spec& spec) {
   std::ostringstream out;
   write_spec(out, spec);
+  return out.str();
+}
+
+void write_projected_spec(std::ostream& out, const encode::NetworkModel& model,
+                          const std::vector<NodeId>& members) {
+  const net::Network& net = model.network();
+  std::unordered_set<NodeId> keep(members.begin(), members.end());
+  // Scenario-failed nodes stay, members or not: the encoder admits a
+  // scenario by its failed-node *count* (the failure budget), so dropping a
+  // failed node would silently change which scenarios the worker encodes.
+  for (const net::FailureScenario& sc : net.scenarios()) {
+    for (NodeId n : sc.failed_nodes) keep.insert(n);
+  }
+  for (const net::Node& n : net.nodes()) {
+    if (n.kind == net::NodeKind::switch_node) keep.insert(n.id);
+  }
+  write_network(out, model,
+                [&](NodeId id) { return keep.count(id) != 0; });
+}
+
+std::string write_projected_spec_string(const encode::NetworkModel& model,
+                                        const std::vector<NodeId>& members) {
+  std::ostringstream out;
+  write_projected_spec(out, model, members);
   return out.str();
 }
 

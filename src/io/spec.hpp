@@ -78,6 +78,26 @@ class ParseError : public Error {
 void write_spec(std::ostream& out, const Spec& spec);
 [[nodiscard]] std::string write_spec_string(const Spec& spec);
 
+/// Serializes the projection of `model` onto a slice: the member edge nodes
+/// (hosts and middleboxes in `members`), every node named by a failure
+/// scenario (so the scenario set - and with it the failure budget filter -
+/// is preserved verbatim), the whole switching fabric, the links among kept
+/// nodes, and every route whose next hop (and `from` qualifier, if any)
+/// survives the projection. Invariants are not written; the wire job frame
+/// carries its own (verify/wire.hpp).
+///
+/// Soundness rests on slices being closed under forwarding: a transfer walk
+/// between slice addresses never needs a dropped edge node (closure would
+/// have added it), and dropping a route rule that is not the best match for
+/// any relevant address never changes a best match. Executing a job on the
+/// projection therefore encodes the identical problem - which
+/// tests/test_wire.cpp asserts verdict-for-verdict (and assertion count for
+/// assertion count) across every scenario generator.
+void write_projected_spec(std::ostream& out, const encode::NetworkModel& model,
+                          const std::vector<NodeId>& members);
+[[nodiscard]] std::string write_projected_spec_string(
+    const encode::NetworkModel& model, const std::vector<NodeId>& members);
+
 /// Parses "a.b.c.d" into an address; throws ParseError on bad syntax.
 [[nodiscard]] Address parse_address(const std::string& text, int line = 0);
 /// Parses "a.b.c.d/len" (or a bare address as /32).

@@ -6,7 +6,19 @@
 #include <thread>
 #include <utility>
 
+#include "io/spec.hpp"
+
 namespace vmn::verify {
+
+std::string to_string(Backend backend) {
+  switch (backend) {
+    case Backend::thread:
+      return "thread";
+    case Backend::process:
+      return "process";
+  }
+  return "?";
+}
 
 void TimingHistogram::record(std::chrono::milliseconds ms) {
   std::size_t bucket = 0;
@@ -154,27 +166,85 @@ ParallelBatchResult ParallelVerifier::verify_all(
   }
 
   // Fan out: results are written into per-job slots, so aggregation is
-  // independent of worker scheduling.
-  const std::size_t workers = std::max<std::size_t>(
-      1, std::min(requested, std::max<std::size_t>(groups.size(), 1)));
-  SolverPool pool(workers, options_.verify.solver,
-                  options_.verify.warm_solving);
-  pool.run(groups.size(), [&](std::size_t gi, SolverSession& session) {
-    // Warm reuse is scoped to this task: a session that just solved a
-    // same-shape task must not leak its context (and learned state) into
-    // this one, or results would depend on the task-to-worker race.
-    session.reset_warm();
-    for (std::size_t k = groups[gi].first; k < groups[gi].second; ++k) {
-      Job& job = plan.jobs[to_solve[k]];
-      job_results[to_solve[k]] = verify_members(
-          *model_, invariants[job.invariant_index], std::move(job.members),
-          options_.verify.max_failures, session);
+  // independent of worker scheduling. `solved` collects the jobs a solver
+  // actually answered (the process backend may abandon some to unknown).
+  std::set<std::size_t> solved;
+  if (options_.backend == Backend::process) {
+    // Process backend: project each shape group's slice to a spec, frame
+    // the jobs by name, and stream them to forked workers; crashed or hung
+    // workers get their unfinished jobs requeued onto the survivors.
+    std::vector<wire::WireJob> wire_jobs;
+    wire_jobs.reserve(to_solve.size());
+    for (std::size_t k = 0; k < to_solve.size(); ++k) {
+      const Job& job = plan.jobs[to_solve[k]];
+      wire_jobs.push_back(wire::make_wire_job(*model_, job,
+                                              invariants[job.invariant_index],
+                                              options_.verify.max_failures));
     }
-  });
-  out.workers = pool.stats();
-  for (std::size_t w = 0; w < pool.size(); ++w) {
-    out.warm_binds += pool.session(w).binds();
-    out.warm_reuses += pool.session(w).warm_reuses();
+    std::vector<ProcessGroup> process_groups;
+    process_groups.reserve(groups.size());
+    for (const auto& [begin, end] : groups) {
+      ProcessGroup group;
+      group.spec_text = io::write_projected_spec_string(
+          *model_, plan.jobs[to_solve[begin]].members);
+      for (std::size_t k = begin; k < end; ++k) group.jobs.push_back(k);
+      process_groups.push_back(std::move(group));
+    }
+    ProcessPoolOptions popts = options_.process;
+    popts.workers = requested;
+    ProcessPool pool(options_.verify.solver, options_.verify.warm_solving,
+                     popts);
+    ProcessDispatch dispatch =
+        pool.run(wire_jobs, std::move(process_groups));
+    out.workers = dispatch.workers;
+    out.workers_spawned = dispatch.workers_spawned;
+    out.workers_crashed = dispatch.workers_crashed;
+    out.jobs_requeued = dispatch.jobs_requeued;
+    out.jobs_abandoned = dispatch.jobs_abandoned;
+    for (std::size_t k = 0; k < to_solve.size(); ++k) {
+      if (dispatch.results[k].has_value()) {
+        const wire::WireResult& r = *dispatch.results[k];
+        try {
+          job_results[to_solve[k]] =
+              wire::to_verify_result(model_->network(), r);
+        } catch (const wire::WireError&) {
+          // A digest-valid result naming nodes this model lacks (byzantine
+          // or version-skewed worker binary): abandon the one job to an
+          // unknown verdict instead of aborting a batch full of good ones.
+          job_results[to_solve[k]] = VerifyResult{};
+          ++out.jobs_abandoned;
+          continue;
+        }
+        out.warm_binds += r.warm_binds;
+        out.warm_reuses += r.warm_reuses;
+        solved.insert(to_solve[k]);
+      }
+      // Abandoned jobs keep the default-constructed unknown VerifyResult;
+      // they are counted above, never dropped.
+    }
+  } else {
+    const std::size_t workers = std::max<std::size_t>(
+        1, std::min(requested, std::max<std::size_t>(groups.size(), 1)));
+    SolverPool pool(workers, options_.verify.solver,
+                    options_.verify.warm_solving);
+    pool.run(groups.size(), [&](std::size_t gi, SolverSession& session) {
+      // Warm reuse is scoped to this task: a session that just solved a
+      // same-shape task must not leak its context (and learned state) into
+      // this one, or results would depend on the task-to-worker race.
+      session.reset_warm();
+      for (std::size_t k = groups[gi].first; k < groups[gi].second; ++k) {
+        Job& job = plan.jobs[to_solve[k]];
+        job_results[to_solve[k]] = verify_members(
+            *model_, invariants[job.invariant_index], std::move(job.members),
+            options_.verify.max_failures, session);
+      }
+    });
+    out.workers = pool.stats();
+    for (std::size_t w = 0; w < pool.size(); ++w) {
+      out.warm_binds += pool.session(w).binds();
+      out.warm_reuses += pool.session(w).warm_reuses();
+    }
+    solved.insert(to_solve.begin(), to_solve.end());
   }
   if (cache.enabled()) {
     for (std::size_t j : to_solve) {
@@ -193,8 +263,8 @@ ParallelBatchResult ParallelVerifier::verify_all(
 
   // Aggregate: representatives keep their full result (including any
   // counterexample); inheritors copy the outcome with by_symmetry set, like
-  // the sequential batch path. Cache hits count no solver call.
-  std::set<std::size_t> solved(to_solve.begin(), to_solve.end());
+  // the sequential batch path. Cache hits and abandoned jobs count no
+  // solver call.
   for (std::size_t j = 0; j < plan.jobs.size(); ++j) {
     const Job& job = plan.jobs[j];
     VerifyResult& rep = job_results[j];

@@ -31,14 +31,30 @@
 #include "encode/model.hpp"
 #include "slice/policy.hpp"
 #include "verify/job.hpp"
+#include "verify/process_pool.hpp"
 #include "verify/solver_pool.hpp"
 #include "verify/verifier.hpp"
 
 namespace vmn::verify {
 
+/// Where the fan-out runs. `thread` shares one address space (cheap spawn,
+/// shared planner memos); `process` forks isolated workers speaking the
+/// wire protocol (verify/wire.hpp) - crash-tolerant, sanitizer-friendly,
+/// and the stepping stone to multi-host dispatch. Both execute the same
+/// plan, group jobs by slice shape the same way, and agree
+/// verdict-for-verdict (enforced per scenario generator in test_parallel).
+enum class Backend : std::uint8_t { thread, process };
+
+[[nodiscard]] std::string to_string(Backend backend);
+
 struct ParallelOptions {
   /// Worker count; 0 picks std::thread::hardware_concurrency().
   std::size_t jobs = 0;
+  /// Thread or process fan-out (see Backend).
+  Backend backend = Backend::thread;
+  /// Process-backend knobs (retry budget, hang timeout, worker argv);
+  /// ignored by the thread backend. `workers` is taken from `jobs`.
+  ProcessPoolOptions process;
   /// Fold invariants with identical canonical slice keys into one job
   /// (section 4.2's symmetry argument, sharpened by slice structure: keys
   /// merge strictly less than the sequential engine's class-signature
@@ -88,6 +104,14 @@ struct ParallelBatchResult {
   /// jobs answered on a reused live context.
   std::size_t warm_binds = 0;
   std::size_t warm_reuses = 0;
+  /// Process-backend crash accounting (all 0 under the thread backend):
+  /// worker processes spawned/lost, jobs re-dispatched after a crash or
+  /// hang, and jobs abandoned to an unknown verdict after the bounded
+  /// retries ran out (never silently dropped).
+  std::size_t workers_spawned = 0;
+  std::size_t workers_crashed = 0;
+  std::size_t jobs_requeued = 0;
+  std::size_t jobs_abandoned = 0;
   TimingHistogram solve_histogram;
   std::vector<WorkerStats> workers;
 

@@ -1,0 +1,418 @@
+#include "verify/process_pool.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "core/fd_io.hpp"
+
+namespace vmn::verify {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A spawned worker process and the two pipe ends the parent keeps.
+struct WorkerProc {
+  pid_t pid = -1;
+  int to_child = -1;
+  int from_child = -1;
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+/// Exact read with an absolute deadline. Any outcome but `ok` means the
+/// worker is unusable: a clean EOF, a torn frame and a read error all take
+/// the same dead-worker path, and `timeout` additionally gets the child
+/// killed first.
+enum class ReadStatus { ok, closed, timeout };
+
+ReadStatus read_exact(int fd, char* buf, std::size_t n,
+                      Clock::time_point deadline) {
+  std::size_t got = 0;
+  while (got < n) {
+    const auto now = Clock::now();
+    if (now >= deadline) return ReadStatus::timeout;
+    struct pollfd pfd {
+      fd, POLLIN, 0
+    };
+    // Clamp before narrowing: a large hang timeout must not wrap poll's
+    // int argument negative (infinite wait - a hung worker would never be
+    // declared hung) or truncate tiny (spurious kills of healthy workers).
+    const long long remaining_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count() +
+        1;
+    const int wait_ms = static_cast<int>(std::min<long long>(
+        remaining_ms, std::numeric_limits<int>::max()));
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready == 0) return ReadStatus::timeout;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::closed;
+    }
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) return ReadStatus::closed;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::closed;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return ReadStatus::ok;
+}
+
+/// Reads one frame of the expected type from a worker. Returns nullopt on
+/// any failure (dead or corrupt worker); `timed_out` distinguishes a hang.
+std::optional<std::string> read_worker_frame(int fd,
+                                             wire::FrameType expected,
+                                             Clock::time_point deadline,
+                                             bool& timed_out) {
+  timed_out = false;
+  char header_bytes[wire::kFrameHeaderSize];
+  ReadStatus st =
+      read_exact(fd, header_bytes, wire::kFrameHeaderSize, deadline);
+  if (st != ReadStatus::ok) {
+    timed_out = st == ReadStatus::timeout;
+    return std::nullopt;
+  }
+  try {
+    const wire::FrameHeader header = wire::decode_frame_header(header_bytes);
+    if (header.type != expected) return std::nullopt;
+    std::string payload(header.payload_size, '\0');
+    if (header.payload_size != 0) {
+      st = read_exact(fd, payload.data(), payload.size(), deadline);
+      if (st != ReadStatus::ok) {
+        timed_out = st == ReadStatus::timeout;
+        return std::nullopt;
+      }
+    }
+    wire::check_payload(header, payload);
+    return payload;
+  } catch (const wire::WireError&) {
+    return std::nullopt;
+  }
+}
+
+/// Pipes + fork once for both spawn modes; `child` runs in the forked
+/// process with its job-input / result-output fds and must not return
+/// (it _exits). Fork-mode children must drop every parent/sibling pipe end
+/// first - a sibling holding our stdin write-end open would mask the
+/// parent's EOF - which is what `inherited_fds` tracks.
+template <typename Child>
+std::optional<WorkerProc> spawn(std::vector<int>& inherited_fds,
+                                const Child& child) {
+  int to_child[2];
+  int from_child[2];
+  if (::pipe(to_child) != 0) return std::nullopt;
+  if (::pipe(from_child) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return std::nullopt;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+      ::close(fd);
+    }
+    return std::nullopt;
+  }
+  if (pid == 0) {
+    for (int fd : inherited_fds) ::close(fd);
+    child(to_child[0], to_child[1], from_child[0], from_child[1]);
+    ::_exit(4);  // unreachable; child() _exits itself
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  inherited_fds.push_back(to_child[1]);
+  inherited_fds.push_back(from_child[0]);
+  return WorkerProc{pid, to_child[1], from_child[0]};
+}
+
+std::optional<WorkerProc> spawn_fork(std::vector<int>& inherited_fds) {
+  return spawn(inherited_fds, [](int in, int parent_in, int parent_out,
+                                 int out) {
+    ::close(parent_in);
+    ::close(parent_out);
+    std::FILE* jobs = ::fdopen(in, "rb");
+    std::FILE* results = ::fdopen(out, "wb");
+    ::_exit(jobs != nullptr && results != nullptr
+                ? wire::worker_main(jobs, results)
+                : 4);
+  });
+}
+
+std::optional<WorkerProc> spawn_exec(const std::vector<std::string>& command,
+                                     std::vector<int>& inherited_fds) {
+  return spawn(inherited_fds, [&command](int in, int parent_in,
+                                         int parent_out, int out) {
+    ::dup2(in, STDIN_FILENO);
+    ::dup2(out, STDOUT_FILENO);
+    for (int fd : {in, parent_in, parent_out, out}) ::close(fd);
+    std::vector<char*> argv;
+    argv.reserve(command.size() + 1);
+    for (const std::string& arg : command) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    ::_exit(127);
+  });
+}
+
+void reap(WorkerProc& proc, bool kill_first) {
+  if (proc.pid < 0) return;
+  if (kill_first) ::kill(proc.pid, SIGKILL);
+  close_fd(proc.to_child);
+  close_fd(proc.from_child);
+  int status = 0;
+  while (::waitpid(proc.pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  proc.pid = -1;
+}
+
+/// Everything the per-worker dispatcher threads share, under one mutex.
+struct DispatchState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<ProcessGroup> queue;
+  std::vector<std::optional<wire::WireResult>> results;
+  std::vector<int> attempts;
+  std::size_t outstanding = 0;  ///< jobs neither answered nor abandoned
+  std::size_t alive_workers = 0;
+  std::size_t workers_crashed = 0;
+  std::size_t jobs_requeued = 0;
+  std::size_t jobs_abandoned = 0;
+};
+
+/// Locked helper: abandon one undone job (bounded-retry exhaustion or no
+/// surviving workers). Never overwrites an existing result.
+void abandon_locked(DispatchState& state, std::size_t job_index) {
+  if (state.results[job_index].has_value()) return;
+  ++state.jobs_abandoned;
+  --state.outstanding;
+}
+
+/// Locked helper for a dead or erroring worker's leftovers: requeue what
+/// still has attempt budget, abandon the rest. `spec_text` recreates the
+/// group context on whichever worker picks the requeue up.
+void requeue_or_abandon_locked(DispatchState& state,
+                               const std::string& spec_text,
+                               const std::vector<std::size_t>& undone,
+                               int max_attempts) {
+  ProcessGroup retry;
+  retry.spec_text = spec_text;
+  for (std::size_t job_index : undone) {
+    if (state.results[job_index].has_value()) continue;
+    if (state.attempts[job_index] >= max_attempts) {
+      abandon_locked(state, job_index);
+    } else {
+      retry.jobs.push_back(job_index);
+    }
+  }
+  if (!retry.jobs.empty()) {
+    state.jobs_requeued += retry.jobs.size();
+    state.queue.push_back(std::move(retry));
+  }
+}
+
+}  // namespace
+
+ProcessPool::ProcessPool(smt::SolverOptions solver, bool warm_solving,
+                         ProcessPoolOptions options)
+    : solver_(solver), warm_(warm_solving), options_(std::move(options)) {}
+
+ProcessDispatch ProcessPool::run(const std::vector<wire::WireJob>& jobs,
+                                 std::vector<ProcessGroup> groups) const {
+  ProcessDispatch out;
+  out.results.resize(jobs.size());
+  if (jobs.empty() || groups.empty()) return out;
+
+  std::size_t requested = options_.workers != 0
+                              ? options_.workers
+                              : std::thread::hardware_concurrency();
+  if (requested == 0) requested = 1;
+  const std::size_t worker_count =
+      std::max<std::size_t>(1, std::min(requested, groups.size()));
+
+  const std::chrono::milliseconds hang_timeout =
+      options_.hang_timeout.count() > 0
+          ? options_.hang_timeout
+          : std::chrono::milliseconds(2ull * solver_.timeout_ms + 30000);
+  const int max_attempts = std::max(1, options_.max_attempts);
+
+  // A worker dying mid-write must surface as EPIPE on the dispatcher
+  // thread, not as a process-wide SIGPIPE.
+  struct sigaction ignore_pipe {};
+  ignore_pipe.sa_handler = SIG_IGN;
+  struct sigaction old_pipe {};
+  ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+
+  // Spawn every worker before starting any dispatcher thread: fork() from a
+  // single-threaded parent, and a complete fd list so fork-mode children
+  // can drop every sibling pipe end.
+  std::vector<int> inherited_fds;
+  std::vector<WorkerProc> procs;
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    std::optional<WorkerProc> proc =
+        options_.worker_command.empty()
+            ? spawn_fork(inherited_fds)
+            : spawn_exec(options_.worker_command, inherited_fds);
+    if (proc) procs.push_back(*proc);
+  }
+  out.workers_spawned = procs.size();
+  out.workers.resize(procs.size());
+
+  DispatchState state;
+  state.results.resize(jobs.size());
+  state.attempts.resize(jobs.size(), 0);
+  for (ProcessGroup& group : groups) {
+    state.outstanding += group.jobs.size();
+    state.queue.push_back(std::move(group));
+  }
+  state.alive_workers = procs.size();
+
+  if (procs.empty()) {
+    // Nothing to dispatch on: every job is abandoned, loudly.
+    out.jobs_abandoned = state.outstanding;
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+    return out;
+  }
+
+  auto drive = [&](std::size_t worker_index) {
+    WorkerProc& proc = procs[worker_index];
+    WorkerStats& stats = out.workers[worker_index];
+    while (true) {
+      ProcessGroup group;
+      {
+        std::unique_lock<std::mutex> lk(state.mu);
+        state.cv.wait(lk, [&] {
+          return !state.queue.empty() || state.outstanding == 0;
+        });
+        if (state.outstanding == 0) break;
+        group = std::move(state.queue.front());
+        state.queue.pop_front();
+      }
+
+      bool worker_dead = false;
+      bool hung = false;
+      std::vector<std::size_t> undone = group.jobs;
+
+      wire::WireModel model;
+      model.worker_index = static_cast<std::uint32_t>(worker_index);
+      model.warm_solving = warm_;
+      model.solver = solver_;
+      model.spec_text = group.spec_text;
+      if (!write_all_fd(proc.to_child,
+                     wire::encode_frame(wire::FrameType::model,
+                                        wire::encode_model(model)))) {
+        worker_dead = true;
+      }
+
+      while (!worker_dead && !undone.empty()) {
+        const std::size_t job_index = undone.front();
+        {
+          std::lock_guard<std::mutex> lk(state.mu);
+          if (state.results[job_index].has_value()) {
+            undone.erase(undone.begin());
+            continue;
+          }
+          ++state.attempts[job_index];
+        }
+        const auto job_start = Clock::now();
+        if (!write_all_fd(proc.to_child,
+                       wire::encode_frame(wire::FrameType::job,
+                                          wire::encode_job(jobs[job_index])))) {
+          worker_dead = true;
+          break;
+        }
+        std::optional<std::string> payload = read_worker_frame(
+            proc.from_child, wire::FrameType::result,
+            job_start + hang_timeout, hung);
+        if (!payload) {
+          worker_dead = true;
+          break;
+        }
+        wire::WireResult result;
+        try {
+          result = wire::decode_result(*payload);
+        } catch (const wire::WireError&) {
+          worker_dead = true;
+          break;
+        }
+        if (result.id != jobs[job_index].id) {
+          worker_dead = true;  // stream out of sync; do not guess
+          break;
+        }
+        stats.busy += std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - job_start);
+        undone.erase(undone.begin());
+        if (!result.error.empty()) {
+          // The worker is healthy but could not execute this job; retry it
+          // elsewhere within the attempt budget (some other job of the
+          // group may still succeed here).
+          std::lock_guard<std::mutex> lk(state.mu);
+          requeue_or_abandon_locked(state, group.spec_text, {job_index},
+                                    max_attempts);
+          state.cv.notify_all();
+          continue;
+        }
+        ++stats.jobs;
+        std::lock_guard<std::mutex> lk(state.mu);
+        state.results[job_index] = std::move(result);
+        --state.outstanding;
+        if (state.outstanding == 0) state.cv.notify_all();
+      }
+
+      if (worker_dead) {
+        reap(proc, /*kill_first=*/hung);
+        std::lock_guard<std::mutex> lk(state.mu);
+        ++state.workers_crashed;
+        --state.alive_workers;
+        requeue_or_abandon_locked(state, group.spec_text, undone,
+                                  max_attempts);
+        if (state.alive_workers == 0) {
+          // Last worker down: whatever is still queued can never run.
+          while (!state.queue.empty()) {
+            for (std::size_t job_index : state.queue.front().jobs) {
+              abandon_locked(state, job_index);
+            }
+            state.queue.pop_front();
+          }
+        }
+        state.cv.notify_all();
+        return;
+      }
+    }
+    reap(proc, /*kill_first=*/false);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(procs.size());
+  for (std::size_t w = 0; w < procs.size(); ++w) {
+    threads.emplace_back(drive, w);
+  }
+  for (std::thread& t : threads) t.join();
+  ::sigaction(SIGPIPE, &old_pipe, nullptr);
+
+  out.results = std::move(state.results);
+  out.workers_crashed = state.workers_crashed;
+  out.jobs_requeued = state.jobs_requeued;
+  out.jobs_abandoned = state.jobs_abandoned;
+  return out;
+}
+
+}  // namespace vmn::verify

@@ -1,0 +1,92 @@
+// A pool of worker *processes* for batch verification.
+//
+// Where SolverPool fans jobs out over threads in one address space,
+// ProcessPool forks one worker process per slot and streams wire-framed
+// jobs to them over pipes (see verify/wire.hpp for the protocol). The unit
+// of dispatch is a shape group - a run of jobs sharing one slice member
+// set - so each group's jobs execute back-to-back on one worker's warm
+// solver session, exactly like the thread backend's task grouping.
+//
+// Crash tolerance is the point of the exercise: a worker that exits, is
+// killed, or stops answering within the hang timeout is reaped, and every
+// job it had not answered is requeued onto the surviving workers. Requeues
+// are bounded (max_attempts dispatches per job); a job that exhausts its
+// budget - or outlives every worker - is *abandoned*: it surfaces as an
+// unknown verdict with the abandonment counted, never as a silently missing
+// result. Workers are never respawned mid-batch: a deterministic crasher
+// would just burn its retry budget again, and the no-survivors path must
+// stay reachable for the bounded-retry guarantee to mean anything.
+//
+// Spawning: with an empty worker_command the child runs wire::worker_main
+// directly after fork() (no exec - used by in-process callers like tests
+// and benchmarks); a non-empty command fork+execs it (the CLI passes
+// {/proc/self/exe, "worker"}, so dispatcher and workers are always the
+// same build of the same binary).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smt/solver.hpp"
+#include "verify/solver_pool.hpp"
+#include "verify/wire.hpp"
+
+namespace vmn::verify {
+
+struct ProcessPoolOptions {
+  /// Worker processes; 0 picks std::thread::hardware_concurrency().
+  std::size_t workers = 0;
+  /// Dispatch budget per job (initial dispatch + requeues). Exhausted jobs
+  /// are abandoned to an unknown verdict.
+  int max_attempts = 3;
+  /// How long the dispatcher waits for one job's result before declaring
+  /// the worker hung and killing it. 0 derives a budget from the solver
+  /// timeout (2x + 30s) so a wedged worker can never stall the batch.
+  std::chrono::milliseconds hang_timeout{0};
+  /// argv of the worker to fork+exec; empty runs wire::worker_main in a
+  /// forked child of this process.
+  std::vector<std::string> worker_command;
+};
+
+/// One unit of dispatch: the projected model its jobs execute in, plus the
+/// indices (into the job vector handed to run) of a same-shape job run.
+struct ProcessGroup {
+  std::string spec_text;
+  std::vector<std::size_t> jobs;
+};
+
+struct ProcessDispatch {
+  /// Aligned with the job vector; nullopt marks an abandoned job.
+  std::vector<std::optional<wire::WireResult>> results;
+  std::vector<WorkerStats> workers;
+  std::size_t workers_spawned = 0;
+  std::size_t workers_crashed = 0;
+  /// Jobs re-dispatched after a worker crash/hang or a worker-side error.
+  std::size_t jobs_requeued = 0;
+  /// Jobs that exhausted max_attempts or outlived every worker.
+  std::size_t jobs_abandoned = 0;
+};
+
+class ProcessPool {
+ public:
+  ProcessPool(smt::SolverOptions solver, bool warm_solving,
+              ProcessPoolOptions options);
+
+  /// Dispatches every group, blocking until each job is answered or
+  /// abandoned. Thread-safe against nothing: call from one thread, before
+  /// spawning unrelated threads (fork() is involved).
+  [[nodiscard]] ProcessDispatch run(const std::vector<wire::WireJob>& jobs,
+                                    std::vector<ProcessGroup> groups) const;
+
+  [[nodiscard]] const ProcessPoolOptions& options() const { return options_; }
+
+ private:
+  smt::SolverOptions solver_;
+  bool warm_ = true;
+  ProcessPoolOptions options_;
+};
+
+}  // namespace vmn::verify

@@ -1,5 +1,10 @@
 #include "verify/result_cache.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/fd_io.hpp"
 #include "core/hash.hpp"
 
 namespace vmn::verify {
@@ -34,6 +40,37 @@ std::optional<smt::CheckStatus> parse_status(const std::string& name) {
   return std::nullopt;  // unknown is never persisted; reject it on read too
 }
 
+/// Opens `path` and takes the advisory exclusive flock, re-opening if a
+/// concurrent compaction renamed a new file into place between our open
+/// and the lock grant (the fd would point at the dead inode and appended
+/// records would vanish with it). Returns -1 when the file cannot be
+/// opened or locked; callers degrade to in-memory behavior.
+int open_locked(const char* path, int flags) {
+  for (int tries = 0; tries < 5; ++tries) {
+    const int fd = ::open(path, flags, 0644);
+    if (fd < 0) return -1;
+    if (::flock(fd, LOCK_EX) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    struct stat opened {};
+    struct stat current {};
+    if (::fstat(fd, &opened) == 0 && ::stat(path, &current) == 0 &&
+        opened.st_ino == current.st_ino &&
+        opened.st_dev == current.st_dev) {
+      return fd;
+    }
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+  }
+  return -1;
+}
+
+void unlock_close(int fd) {
+  ::flock(fd, LOCK_UN);
+  ::close(fd);
+}
+
 }  // namespace
 
 ResultCache::Fingerprint ResultCache::fingerprint(const std::string& key) {
@@ -46,6 +83,15 @@ ResultCache::Fingerprint ResultCache::fingerprint(const std::string& key) {
   return fp;
 }
 
+std::string ResultCache::format_line(const Fingerprint& fp,
+                                     const Entry& entry) {
+  char line[128];
+  std::snprintf(line, sizeof line, "%016" PRIx64 " %016" PRIx64 " %s %zu %zu\n",
+                fp.hi, fp.lo, status_name(entry.status), entry.slice_size,
+                entry.assertion_count);
+  return line;
+}
+
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
   if (enabled()) load();
 }
@@ -55,9 +101,10 @@ std::string ResultCache::file_path() const {
                       : (std::filesystem::path(dir_) / kFileName).string();
 }
 
-void ResultCache::load() {
-  std::ifstream in(file_path());
-  if (!in) return;  // no cache yet: every lookup misses
+std::size_t ResultCache::parse_file(const std::string& path) {
+  std::size_t records = 0;
+  std::ifstream in(path);
+  if (!in) return records;  // no cache yet: every lookup misses
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
@@ -77,8 +124,48 @@ void ResultCache::load() {
     if (end == hi_hex.c_str() || *end != '\0') continue;
     fp.lo = std::strtoull(lo_hex.c_str(), &end, 16);
     if (end == lo_hex.c_str() || *end != '\0') continue;
+    ++records;
     entries_[fp] = entry;  // later lines win (append-only file)
   }
+  return records;
+}
+
+void ResultCache::load() {
+  const std::size_t records = parse_file(file_path());
+  // Compaction: append-only files accumulate dead records - lines
+  // superseded by a later line for the same fingerprint (concurrent
+  // batches racing the same keys, torn dedup across processes). When the
+  // dead weight outgrows the live entries, rewrite the file in place.
+  // (Records whose key is simply never looked up again - stale after a
+  // spec edit - are indistinguishable from live ones here and still need
+  // an occasional `rm`.)
+  const std::size_t dead = records - entries_.size();
+  if (dead > 0 && 2 * dead > records) compact();
+}
+
+void ResultCache::compact() {
+  const std::string path = file_path();
+  const int fd = open_locked(path.c_str(), O_RDWR);
+  if (fd < 0) return;
+  // Re-read under the lock: flushes from other processes may have appended
+  // since the unlocked load pass, and their records must survive.
+  entries_.clear();
+  parse_file(path);
+  const std::string tmp = path + ".compact." + std::to_string(::getpid());
+  std::string content = std::string(kHeader) + "\n";
+  for (const auto& [fp, entry] : entries_) content += format_line(fp, entry);
+  std::error_code ec;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out || !(out << content)) {
+      std::filesystem::remove(tmp, ec);
+      unlock_close(fd);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+  unlock_close(fd);
 }
 
 std::optional<ResultCache::Entry> ResultCache::lookup(
@@ -106,19 +193,22 @@ void ResultCache::flush() {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec) return;
+  // Advisory exclusive lock for the whole append: concurrent batches (and
+  // worker-sharing dispatchers) interleave whole record blocks, and a
+  // compaction can never rename the file out from under a half-written
+  // append.
   const std::string path = file_path();
-  const bool fresh = !std::filesystem::exists(path, ec);
-  std::ofstream out(path, std::ios::app);
-  if (!out) return;  // unwritable cache dir: stay an in-memory cache
-  if (fresh) out << kHeader << "\n";
-  char line[128];
-  for (const auto& [fp, entry] : dirty_) {
-    std::snprintf(line, sizeof line, "%016" PRIx64 " %016" PRIx64 " %s %zu %zu",
-                  fp.hi, fp.lo, status_name(entry.status), entry.slice_size,
-                  entry.assertion_count);
-    out << line << "\n";
+  const int fd = open_locked(path.c_str(), O_WRONLY | O_APPEND | O_CREAT);
+  if (fd < 0) return;  // unwritable cache dir: stay an in-memory cache
+  struct stat st {};
+  std::string block;
+  if (::fstat(fd, &st) == 0 && st.st_size == 0) {
+    block = std::string(kHeader) + "\n";
   }
-  dirty_.clear();
+  for (const auto& [fp, entry] : dirty_) block += format_line(fp, entry);
+  const bool ok = write_all_fd(fd, block);
+  unlock_close(fd);
+  if (ok) dirty_.clear();
 }
 
 }  // namespace vmn::verify

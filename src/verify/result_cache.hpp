@@ -10,6 +10,14 @@
 // an edit therefore re-solves exactly the changed slices and answers the
 // rest from disk.
 //
+// Concurrency and growth: flushes append under an advisory exclusive
+// flock(2), so concurrent batches - including the process backend's
+// dispatcher flushing results its workers computed - interleave whole
+// record blocks, never torn lines. Duplicate records (the same fingerprint
+// written by racing processes) are harmless on read (later lines win) but
+// accumulate; load() compacts the file in place once such dead records
+// outnumber the live entries, under the same lock.
+//
 // Soundness inherits the planner's: a cache hit reuses an outcome across
 // canonically-equal problems, exactly like an in-batch symmetry merge; the
 // 1-WL key's converse is heuristic (see canonical_slice_key), so cross-run
@@ -59,8 +67,9 @@ class ResultCache {
   void store(const std::string& canonical_key, const Entry& entry);
 
   /// Appends the entries stored since load to disk, creating the directory
-  /// on first use. Append-only: concurrent batches may interleave whole
-  /// lines but never corrupt each other's records.
+  /// on first use. Append-only under an advisory exclusive flock:
+  /// concurrent batches interleave whole record blocks and never corrupt
+  /// (or compact away) each other's records mid-write.
   void flush();
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
@@ -82,8 +91,17 @@ class ResultCache {
     }
   };
   static Fingerprint fingerprint(const std::string& key);
+  static std::string format_line(const Fingerprint& fp, const Entry& entry);
 
   void load();
+  /// Parses `path` into entries_ (later lines win), returning the number
+  /// of well-formed records seen - duplicates included, which is what the
+  /// compaction trigger compares against.
+  std::size_t parse_file(const std::string& path);
+  /// Rewrites the file to one line per live entry (flock-serialized
+  /// against flushes and other compactions; re-reads under the lock so
+  /// concurrently appended records survive).
+  void compact();
 
   std::string dir_;
   std::unordered_map<Fingerprint, Entry, FingerprintHash> entries_;

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/rng.hpp"
 #include "mbox/firewall.hpp"
@@ -125,6 +126,62 @@ TEST(ResultCacheUnit, DisabledAndCorruptedInputsDegradeToMisses) {
   ResultCache cache(dir.path);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_TRUE(cache.lookup("good").has_value());
+}
+
+TEST(ResultCacheUnit, CompactsWhenDeadRecordsDominate) {
+  TempCacheDir dir;
+  const std::string key_a = "node-isolation/#dup;";
+  const std::string key_b = "reachable/#live;";
+  {
+    ResultCache cache(dir.path);
+    cache.store(key_a, ResultCache::Entry{smt::CheckStatus::unsat, 4, 11});
+    cache.store(key_b, ResultCache::Entry{smt::CheckStatus::sat, 6, 17});
+    cache.flush();
+  }
+  const std::string path = ResultCache(dir.path).file_path();
+  auto read_lines = [&] {
+    std::vector<std::string> lines;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  };
+  std::vector<std::string> lines = read_lines();
+  ASSERT_EQ(lines.size(), 3u);  // header + 2 records
+  ASSERT_EQ(lines[0][0], '#');
+
+  // Simulate racing processes appending the same record over and over:
+  // every copy is well-formed, later lines win, all but one are dead.
+  {
+    std::ofstream out(path, std::ios::app);
+    for (int i = 0; i < 8; ++i) out << lines[1] << "\n";
+  }
+  ASSERT_EQ(read_lines().size(), 11u);
+
+  // 10 records, 2 live: the dead majority triggers compaction on load.
+  ResultCache compacted(dir.path);
+  EXPECT_EQ(compacted.size(), 2u);
+  ASSERT_TRUE(compacted.lookup(key_a).has_value());
+  EXPECT_EQ(compacted.lookup(key_a)->status, smt::CheckStatus::unsat);
+  ASSERT_TRUE(compacted.lookup(key_b).has_value());
+  EXPECT_EQ(compacted.lookup(key_b)->slice_size, 6u);
+  EXPECT_EQ(read_lines().size(), 3u);  // header + one line per live entry
+
+  // The compacted file is a normal cache: appends still land and persist.
+  compacted.store("fresh", ResultCache::Entry{smt::CheckStatus::unsat, 2, 5});
+  compacted.flush();
+  EXPECT_EQ(read_lines().size(), 4u);
+  EXPECT_EQ(ResultCache(dir.path).size(), 3u);
+
+  // A dead *minority* must not trigger a rewrite (1 dead of 5 records).
+  {
+    std::ofstream out(path, std::ios::app);
+    out << lines[2] << "\n";
+  }
+  ASSERT_EQ(read_lines().size(), 5u);
+  ResultCache untouched(dir.path);
+  EXPECT_EQ(untouched.size(), 3u);
+  EXPECT_EQ(read_lines().size(), 5u);
 }
 
 TEST(ResultCacheBatch, IdenticalRerunHitsEverythingWithEqualVerdicts) {

@@ -1,8 +1,12 @@
 // ParallelVerifier tests: agreement with the sequential engine, determinism
 // under a fixed solver seed regardless of worker count, counterexample
-// validity under concurrency, job planning, and the SolverPool contract.
+// validity under concurrency, job planning, the SolverPool contract, and
+// the process backend - verdict agreement with the thread backend on every
+// scenario generator, crash-requeue on a killed worker, and the bounded
+// no-survivors path ending in unknown verdicts rather than silent drops.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <atomic>
 #include <set>
 
@@ -439,6 +443,191 @@ TEST(Planner, OrdersSameShapeJobsAdjacently) {
           << "shape of job " << j << " reappeared after a different shape";
     }
     prev = &members;
+  }
+}
+
+// --- process backend --------------------------------------------------------
+
+ParallelOptions process_opts(std::size_t jobs) {
+  ParallelOptions opts = with_jobs(jobs);
+  opts.backend = Backend::process;
+  return opts;
+}
+
+/// Scoped VMN_WORKER_FAULT (the worker fault-injection hook, wire.hpp);
+/// unset even when an assertion fails mid-test.
+struct FaultGuard {
+  explicit FaultGuard(const char* fault) {
+    setenv("VMN_WORKER_FAULT", fault, 1);
+  }
+  ~FaultGuard() { unsetenv("VMN_WORKER_FAULT"); }
+};
+
+void expect_process_matches_thread(const encode::NetworkModel& model,
+                                   const Batch& batch) {
+  ParallelBatchResult thread_r =
+      ParallelVerifier(model, with_jobs(2)).verify_all(batch.invariants);
+  ParallelBatchResult process_r =
+      ParallelVerifier(model, process_opts(2)).verify_all(batch.invariants);
+  EXPECT_GT(process_r.workers_spawned, 0u);
+  EXPECT_EQ(process_r.workers_crashed, 0u);
+  EXPECT_EQ(process_r.jobs_abandoned, 0u);
+  EXPECT_EQ(process_r.jobs_executed, thread_r.jobs_executed);
+  ASSERT_EQ(process_r.results.size(), thread_r.results.size());
+  for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+    EXPECT_EQ(process_r.results[i].outcome, thread_r.results[i].outcome)
+        << batch.name << " invariant " << i;
+    EXPECT_EQ(process_r.results[i].raw_status, thread_r.results[i].raw_status)
+        << batch.name << " invariant " << i;
+    EXPECT_EQ(process_r.results[i].slice_size, thread_r.results[i].slice_size)
+        << batch.name << " invariant " << i;
+    EXPECT_EQ(process_r.results[i].assertion_count,
+              thread_r.results[i].assertion_count)
+        << batch.name << " invariant " << i;
+    EXPECT_EQ(process_r.results[i].by_symmetry,
+              thread_r.results[i].by_symmetry)
+        << batch.name << " invariant " << i;
+    if (i < batch.expected_holds.size()) {
+      const Outcome expected =
+          batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
+      EXPECT_EQ(process_r.results[i].outcome, expected)
+          << batch.name << " invariant " << i;
+    }
+  }
+}
+
+TEST(ProcessBackend, AgreesWithThreadOnEnterprise) {
+  scenarios::EnterpriseParams p;
+  p.subnets = 4;
+  p.hosts_per_subnet = 1;
+  scenarios::Enterprise e = scenarios::make_enterprise(p);
+  expect_process_matches_thread(e.model, e.batch());
+}
+
+TEST(ProcessBackend, AgreesWithThreadOnDatacenter) {
+  scenarios::DatacenterParams p;
+  p.policy_groups = 3;
+  p.clients_per_group = 1;
+  scenarios::Datacenter dc = scenarios::make_datacenter(p);
+  expect_process_matches_thread(dc.model, dc.batch());
+}
+
+TEST(ProcessBackend, AgreesWithThreadOnMisconfiguredDatacenter) {
+  scenarios::DatacenterParams p;
+  p.policy_groups = 3;
+  p.clients_per_group = 1;
+  scenarios::Datacenter dc = scenarios::make_datacenter(p);
+  Rng rng(7);
+  inject_misconfig(dc, scenarios::DcMisconfig::rules, rng, 1);
+  expect_process_matches_thread(dc.model, dc.batch());
+}
+
+TEST(ProcessBackend, AgreesWithThreadOnIsp) {
+  scenarios::IspParams p;
+  p.peering_points = 2;
+  p.subnets = 3;
+  scenarios::Isp isp = scenarios::make_isp(p);
+  expect_process_matches_thread(isp.model, isp.batch());
+}
+
+TEST(ProcessBackend, AgreesWithThreadOnMisconfiguredIsp) {
+  scenarios::IspParams p;
+  p.peering_points = 2;
+  p.subnets = 3;
+  p.scrub_bypasses_firewalls = true;
+  scenarios::Isp isp = scenarios::make_isp(p);
+  expect_process_matches_thread(isp.model, isp.batch());
+}
+
+TEST(ProcessBackend, AgreesWithThreadOnMultiTenant) {
+  scenarios::MultiTenantParams p;
+  p.tenants = 2;
+  p.servers = 2;
+  p.public_vms_per_tenant = 1;
+  p.private_vms_per_tenant = 1;
+  scenarios::MultiTenant mt = scenarios::make_multitenant(p);
+  expect_process_matches_thread(mt.model, mt.batch());
+}
+
+TEST(ProcessBackend, ViolatedVerdictsShipTracesAcrossTheProcessBoundary) {
+  // Same open-firewall workload as the thread-backend counterexample test:
+  // violated representatives must come back with a coherent trace mapped
+  // onto the dispatcher's node ids.
+  scenarios::EnterpriseParams p;
+  p.subnets = 6;
+  p.hosts_per_subnet = 1;
+  scenarios::Enterprise e = scenarios::make_enterprise(p);
+  auto* fw = dynamic_cast<mbox::LearningFirewall*>(
+      e.model.middlebox_at(e.model.network().node_by_name("fw")));
+  ASSERT_NE(fw, nullptr);
+  std::vector<AclEntry> acl = fw->acl();
+  acl.insert(acl.begin(),
+             AclEntry{Prefix(Address::of(172, 16, 0, 0), 12),
+                      Prefix(Address::of(10, 0, 0, 0), 8), AclAction::allow});
+  fw->replace_acl(acl);
+
+  ParallelBatchResult r =
+      ParallelVerifier(e.model, process_opts(2)).verify_all(e.invariants);
+  std::size_t violated = 0;
+  for (std::size_t i = 0; i < e.invariants.size(); ++i) {
+    const VerifyResult& res = r.results[i];
+    if (res.outcome != Outcome::violated || res.by_symmetry) continue;
+    ++violated;
+    ASSERT_TRUE(res.counterexample.has_value()) << "invariant " << i;
+    bool target_received = false;
+    for (const Event& ev : res.counterexample->events()) {
+      if (ev.kind == EventKind::receive && ev.to == e.invariants[i].target) {
+        target_received = true;
+      }
+    }
+    EXPECT_TRUE(target_received) << "invariant " << i;
+  }
+  EXPECT_GT(violated, 0u);
+}
+
+TEST(ProcessBackend, SurvivesAKilledWorkerMidBatch) {
+  // Worker 0 SIGKILLs itself on its first job: the dispatcher must observe
+  // the crash, requeue the in-flight job onto worker 1, and deliver every
+  // verdict - matching the thread backend exactly.
+  scenarios::EnterpriseParams p;
+  p.subnets = 6;
+  p.hosts_per_subnet = 1;
+  scenarios::Enterprise e = scenarios::make_enterprise(p);
+  ParallelBatchResult reference =
+      ParallelVerifier(e.model, with_jobs(2)).verify_all(e.invariants);
+
+  FaultGuard fault("kill:0");
+  ParallelBatchResult r =
+      ParallelVerifier(e.model, process_opts(2)).verify_all(e.invariants);
+  EXPECT_EQ(r.workers_spawned, 2u);
+  EXPECT_EQ(r.workers_crashed, 1u);
+  EXPECT_GE(r.jobs_requeued, 1u);
+  EXPECT_EQ(r.jobs_abandoned, 0u);
+  ASSERT_EQ(r.results.size(), reference.results.size());
+  for (std::size_t i = 0; i < e.invariants.size(); ++i) {
+    EXPECT_EQ(r.results[i].outcome, reference.results[i].outcome) << i;
+    EXPECT_NE(r.results[i].outcome, Outcome::unknown) << i;
+  }
+}
+
+TEST(ProcessBackend, BoundedRetriesEndInUnknownWhenEveryWorkerDies) {
+  // Every worker dies on its first job: no survivors, so after the retry
+  // budget the remaining jobs must surface as unknown verdicts with the
+  // abandonment counted - never as silently missing results.
+  scenarios::EnterpriseParams p;
+  p.subnets = 4;
+  p.hosts_per_subnet = 1;
+  scenarios::Enterprise e = scenarios::make_enterprise(p);
+
+  FaultGuard fault("kill-all");
+  ParallelBatchResult r =
+      ParallelVerifier(e.model, process_opts(2)).verify_all(e.invariants);
+  EXPECT_EQ(r.workers_crashed, r.workers_spawned);
+  EXPECT_EQ(r.jobs_abandoned, r.jobs_executed);
+  EXPECT_EQ(r.solver_calls, 0u);
+  ASSERT_EQ(r.results.size(), e.invariants.size());
+  for (std::size_t i = 0; i < e.invariants.size(); ++i) {
+    EXPECT_EQ(r.results[i].outcome, Outcome::unknown) << i;
   }
 }
 

@@ -1,30 +1,86 @@
 #!/usr/bin/env bash
 # The tier-1 gate, as one command: configure, build, run every test suite,
-# then smoke-test the parallel batch mode on the shipped enterprise spec.
+# then smoke-test the batch modes on the shipped enterprise spec - the
+# cached rerun, the process backend (verdicts must match the thread
+# backend), and a worker killed mid-batch (the batch must still complete
+# with every invariant answered).
 #
 #   tools/ci.sh [build-dir]
+#
+# Environment knobs (used by .github/workflows/ci.yml):
+#   CMAKE_BUILD_TYPE   Debug/Release/... (default RelWithDebInfo)
+#   VMN_SANITIZE       ON builds ASan+UBSan (tests run with leak detection
+#                      off: system Z3 keeps global contexts alive)
+#   CC / CXX           compiler selection, honored by CMake as usual
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
+spec="$repo/examples/specs/enterprise.vmn"
 
-cmake -B "$build" -S "$repo"
+cmake_args=(-DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}"
+            -DVMN_SANITIZE="${VMN_SANITIZE:-OFF}")
+if command -v ccache > /dev/null; then
+  cmake_args+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+if [ "${VMN_SANITIZE:-OFF}" = "ON" ]; then
+  # Z3's global contexts never unwind; leak reports would drown the signal
+  # the sanitizers are here for (the fork+pipe worker path above all).
+  export ASAN_OPTIONS="detect_leaks=0${ASAN_OPTIONS:+:$ASAN_OPTIONS}"
+fi
+
+cmake -B "$build" -S "$repo" "${cmake_args[@]}"
 cmake --build "$build" -j "$(nproc)"
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 
+# Per-invariant verdict lines, reduced to "<invariant> <outcome>" so runs
+# are comparable. Descriptions contain spaces ("kind(a, b)"), so scan for
+# the outcome token instead of assuming a column.
+verdicts() {
+  awk '{ for (i = 2; i <= NF; i++)
+           if ($i == "holds" || $i == "violated" || $i == "unknown") {
+             print $1, $i; break
+           } }'
+}
+
 echo "--- smoke: parallel batch verify (enterprise spec, 2 workers) ---"
-"$build/vmn" verify "$repo/examples/specs/enterprise.vmn" --batch --jobs 2
+thread_out="$("$build/vmn" verify "$spec" --batch --jobs 2)"
+echo "$thread_out"
+thread_verdicts="$(echo "$thread_out" | verdicts)"
 
 echo "--- smoke: cached batch re-verification (2 workers, persistent cache) ---"
 cache_dir="$(mktemp -d)"
 trap 'rm -rf "$cache_dir"' EXIT
-"$build/vmn" verify "$repo/examples/specs/enterprise.vmn" --batch --jobs 2 \
-    --cache-dir "$cache_dir"
-second="$("$build/vmn" verify "$repo/examples/specs/enterprise.vmn" --batch \
-    --jobs 2 --cache-dir "$cache_dir")"
+"$build/vmn" verify "$spec" --batch --jobs 2 --cache-dir "$cache_dir"
+second="$("$build/vmn" verify "$spec" --batch --jobs 2 --cache-dir "$cache_dir")"
 echo "$second"
 if ! echo "$second" | grep -Eq "cache: [1-9][0-9]* hits"; then
   echo "ci: cached rerun reported no cache hits" >&2
+  exit 1
+fi
+
+echo "--- smoke: process backend agrees with the thread backend ---"
+process_out="$("$build/vmn" verify "$spec" --batch --jobs 2 --backend=process)"
+echo "$process_out"
+if ! diff <(echo "$thread_verdicts") <(echo "$process_out" | verdicts); then
+  echo "ci: process backend disagrees with thread backend" >&2
+  exit 1
+fi
+
+echo "--- smoke: worker killed mid-batch (requeue, no lost invariants) ---"
+kill_out="$(VMN_WORKER_FAULT=kill:0 "$build/vmn" verify "$spec" --batch \
+    --jobs 2 --backend=process)"
+echo "$kill_out"
+if ! echo "$kill_out" | grep -q "1 crashed"; then
+  echo "ci: killed worker was not observed as crashed" >&2
+  exit 1
+fi
+if echo "$kill_out" | verdicts | grep -q unknown; then
+  echo "ci: killed worker lost invariants (unknown verdicts)" >&2
+  exit 1
+fi
+if ! diff <(echo "$thread_verdicts") <(echo "$kill_out" | verdicts); then
+  echo "ci: verdicts drifted after the worker kill" >&2
   exit 1
 fi
 echo "ci: OK"

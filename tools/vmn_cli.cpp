@@ -3,6 +3,7 @@
 //   vmn verify <spec-file> [--no-slices] [--no-symmetry] [--max-failures k]
 //                          [--trace] [--timeout ms] [--batch] [--jobs N]
 //                          [--cache-dir dir] [--no-warm]
+//                          [--backend=thread|process] [--worker-timeout ms]
 //       Verifies every invariant declared in the file. Exits non-zero if
 //       any invariant with an `expect` clause disagrees, or any outcome is
 //       unknown. With --batch, the invariants are planned into a
@@ -14,7 +15,18 @@
 //       a spec edit re-solves only the slices whose canonical key changed
 //       (cached verdicts carry no counterexample trace). --no-warm
 //       disables solver-context reuse across same-shape jobs (debug /
-//       benchmarking baseline).
+//       benchmarking baseline). --backend=process fans out over forked
+//       `vmn worker` processes instead of threads: crashed or hung workers
+//       (--worker-timeout) get their jobs requeued onto the survivors,
+//       bounded-retried, then reported unknown - never silently dropped.
+//
+//   vmn worker
+//       Internal: one verification worker of the process backend. Reads
+//       wire-framed model/job frames on stdin, writes result frames to
+//       stdout (src/verify/wire.hpp documents the protocol). Spawned by
+//       `vmn verify --backend=process`; speaks pipes, not spec files, so
+//       it also serves as the single-host template for a future multi-host
+//       dispatcher.
 //
 //   vmn audit <spec-file>
 //       Static datapath audit: forwarding loops and blackholes across all
@@ -25,15 +37,20 @@
 //
 //   vmn dump <spec-file>
 //       Parses and re-serializes the specification (round-trip check).
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "dataplane/reach.hpp"
 #include "io/spec.hpp"
 #include "slice/policy.hpp"
+#include "verify/wire.hpp"
 #include "vmn.hpp"
 
 namespace {
@@ -43,21 +60,38 @@ using namespace vmn;
 int usage() {
   std::fprintf(stderr,
                "usage: vmn <verify|audit|classes|dump> <spec-file> [options]\n"
+               "       vmn worker   (wire-protocol worker on stdin/stdout)\n"
                "  verify options: --no-slices --no-symmetry --max-failures k\n"
                "                  --trace --timeout ms --batch --jobs N\n"
-               "                  --cache-dir dir --no-warm\n");
+               "                  --cache-dir dir --no-warm\n"
+               "                  --backend=thread|process --worker-timeout ms\n");
   return 2;
+}
+
+/// argv for the process backend's workers: this very binary, re-invoked as
+/// `vmn worker`. /proc/self/exe survives PATH tricks and renames; argv[0]
+/// is the fallback for exotic mounts.
+std::vector<std::string> self_worker_command(const char* argv0) {
+  char path[4096];
+  const ssize_t n = readlink("/proc/self/exe", path, sizeof path - 1);
+  if (n > 0) {
+    path[n] = '\0';
+    return {path, "worker"};
+  }
+  return {argv0, "worker"};
 }
 
 std::string omega_name(const net::Network& net, NodeId n) {
   return n.valid() ? net.name(n) : std::string("OMEGA");
 }
 
-int cmd_verify(io::Spec& spec, int argc, char** argv) {
+int cmd_verify(io::Spec& spec, const char* argv0, int argc, char** argv) {
   verify::VerifyOptions opts;
   bool want_trace = false;
   bool use_symmetry = true;
   bool batch_mode = false;
+  verify::Backend backend = verify::Backend::thread;
+  std::chrono::milliseconds worker_timeout{0};
   std::size_t jobs = 0;  // 0 = hardware concurrency
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-slices") == 0) {
@@ -76,6 +110,30 @@ int cmd_verify(io::Spec& spec, int argc, char** argv) {
       opts.warm_solving = false;
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       batch_mode = true;
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0 ||
+               (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc)) {
+      const char* name =
+          argv[i][9] == '=' ? argv[i] + 10 : argv[++i];
+      if (std::strcmp(name, "thread") == 0) {
+        backend = verify::Backend::thread;
+      } else if (std::strcmp(name, "process") == 0) {
+        backend = verify::Backend::process;
+      } else {
+        std::fprintf(stderr, "--backend wants thread|process, got %s\n", name);
+        return usage();
+      }
+      batch_mode = true;
+    } else if (std::strcmp(argv[i], "--worker-timeout") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long long ms = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || ms <= 0) {
+        std::fprintf(stderr,
+                     "--worker-timeout wants a positive millisecond count, "
+                     "got %s\n",
+                     argv[i]);
+        return usage();
+      }
+      worker_timeout = std::chrono::milliseconds(ms);
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       char* end = nullptr;
       const long n = std::strtol(argv[++i], &end, 10);
@@ -107,14 +165,25 @@ int cmd_verify(io::Spec& spec, int argc, char** argv) {
     popts.jobs = jobs;
     popts.use_symmetry = use_symmetry;
     popts.verify = opts;
+    popts.backend = backend;
+    if (backend == verify::Backend::process) {
+      popts.process.worker_command = self_worker_command(argv0);
+      popts.process.hang_timeout = worker_timeout;
+    }
     verify::ParallelVerifier verifier(spec.model, popts);
     verify::ParallelBatchResult pbatch = verifier.verify_all(spec.invariants);
     std::printf(
         "batch: %zu invariants -> %zu jobs (%zu merged by symmetry, %zu "
-        "conservative splits, hit rate %.0f%%), %zu workers\n",
+        "conservative splits, hit rate %.0f%%), %zu %s workers\n",
         pbatch.invariant_count, pbatch.jobs_executed, pbatch.symmetry_hits,
         pbatch.conservative_splits, pbatch.dedup_hit_rate * 100.0,
-        pbatch.workers.size());
+        pbatch.workers.size(), verify::to_string(popts.backend).c_str());
+    if (backend == verify::Backend::process) {
+      std::printf("  processes: %zu spawned, %zu crashed, %zu jobs requeued, "
+                  "%zu abandoned\n",
+                  pbatch.workers_spawned, pbatch.workers_crashed,
+                  pbatch.jobs_requeued, pbatch.jobs_abandoned);
+    }
     std::printf("  plan: %lld ms\n",
                 static_cast<long long>(pbatch.plan_time.count()));
     if (!opts.cache_dir.empty()) {
@@ -215,11 +284,14 @@ int cmd_classes(const io::Spec& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "worker") == 0) {
+    return verify::wire::worker_main(stdin, stdout);
+  }
   if (argc < 3) return usage();
   try {
     io::Spec spec = io::load_spec(argv[2]);
     const std::string cmd = argv[1];
-    if (cmd == "verify") return cmd_verify(spec, argc - 3, argv + 3);
+    if (cmd == "verify") return cmd_verify(spec, argv[0], argc - 3, argv + 3);
     if (cmd == "audit") return cmd_audit(spec);
     if (cmd == "classes") return cmd_classes(spec);
     if (cmd == "dump") {

@@ -115,6 +115,18 @@ class Middlebox {
     return FailureMode::fail_closed;
   }
 
+  /// Canonical "type:state-scope:failure-mode" triple - the instance's
+  /// configuration-independent structure. Single source for every relation
+  /// that must treat structurally-alike boxes alike: canonical slice keys
+  /// color member middleboxes with it (slice/symmetry.cpp) and policy-class
+  /// refinement describes traversed paths with it (slice/policy.cpp); a new
+  /// axiom-relevant structural attribute belongs here so the two can never
+  /// drift apart.
+  [[nodiscard]] std::string structural_fingerprint() const {
+    return type() + ":" + std::to_string(static_cast<int>(state_scope())) +
+           ":" + std::to_string(static_cast<int>(failure_mode()));
+  }
+
   /// Contributes this instance's axioms (symbolic semantics).
   virtual void emit_axioms(AxiomContext& ctx) const = 0;
 

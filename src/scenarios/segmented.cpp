@@ -1,0 +1,71 @@
+#include "scenarios/segmented.hpp"
+
+#include "mbox/idps.hpp"
+
+namespace vmn::scenarios {
+
+using encode::Invariant;
+
+Batch Segmented::batch() const {
+  return Batch{"segmented", invariants, expected_holds};
+}
+
+Segmented make_segmented(const SegmentedParams& params) {
+  Segmented out;
+  net::Network& net = out.model.network();
+
+  for (int i = 0; i < params.segments; ++i) {
+    const bool bypassed = i == params.bypass_segment;
+    const bool isolated = i == params.isolated_segment;
+    const auto seg = static_cast<std::uint8_t>(i);
+
+    const Address srv_addr = Address::of(10, seg, 0, 100);
+    NodeId srv = net.add_host("srv" + std::to_string(i), srv_addr);
+    auto& idps = out.model.add_middlebox(std::make_unique<mbox::Idps>(
+        "idps" + std::to_string(i), /*drop_malicious=*/true));
+    NodeId sa = net.add_switch("s" + std::to_string(i) + "a");
+    NodeId sb = net.add_switch("s" + std::to_string(i) + "b");
+    net.add_link(idps.node(), sa);
+    net.add_link(sa, sb);
+    net.add_link(srv, sb);
+
+    std::vector<NodeId> senders;
+    for (int j = 0; j < params.senders_per_segment; ++j) {
+      const Address addr =
+          Address::of(10, seg, 0, static_cast<std::uint8_t>(j + 1));
+      NodeId h = net.add_host(
+          "h" + std::to_string(i) + "-" + std::to_string(j), addr);
+      net.add_link(h, sa);
+      senders.push_back(h);
+    }
+
+    if (!isolated) {
+      const Prefix psrv = Prefix::host(srv_addr);
+      for (NodeId h : senders) {
+        const Prefix ph = Prefix::host(net.node(h).address);
+        net.table(sa).add(ph, h);
+        // The only configuration difference between segments is *routing*:
+        // a bypassed segment's outbound path skips the (identically
+        // configured) IDPS, which no host fingerprint can see.
+        net.table(sa).add_from(h, psrv, bypassed ? sb : idps.node());
+        net.table(sa).add_from(sb, ph, idps.node());
+        net.table(sa).add_from(idps.node(), ph, h);
+        net.table(sb).add(ph, sa);
+      }
+      net.table(sa).add_from(idps.node(), psrv, sb);
+      net.table(sb).add(psrv, srv);
+    }
+
+    out.segment_senders.push_back(std::move(senders));
+    out.segment_servers.push_back(srv);
+    out.segment_idps.push_back(idps.node());
+
+    out.invariants.push_back(Invariant::no_malicious_delivery(srv));
+    out.expected_holds.push_back(!bypassed);
+    out.invariants.push_back(Invariant::traversal(srv, "idps"));
+    out.expected_holds.push_back(!bypassed);
+  }
+  return out;
+}
+
+}  // namespace vmn::scenarios

@@ -1,0 +1,63 @@
+// Segmented network: mutually disconnected segments with *identical*
+// middlebox configurations (the representative-sender soundness workload).
+//
+//   segment i:   h<i>-0 .. h<i>-k --- s<i>a ==(idps<i>)== s<i>b --- srv<i>
+//
+// Every segment runs the same dropping IDPS in front of its server, and no
+// link crosses segments - so every host fingerprints identically against
+// every middlebox and configuration-only policy-class inference merges all
+// of them into one class, even though each sender's packets can only ever
+// be delivered inside its own segment. All-senders invariants
+// (no-malicious-delivery, unconstrained traversal) seed their slice with
+// representative senders per class; a fixed first-member representative
+// lives in segment 0 and cannot reach any other segment's server, so before
+// reachability-aware representative selection the sliced verdict for a
+// *misrouted* segment (see bypass_segment) silently disagreed with the
+// whole network. This generator exists to pin that behavior down:
+//
+//   - bypass_segment: that segment's sender-to-server routes skip its IDPS,
+//     so its no-malicious-delivery and traversal invariants are violated -
+//     but only a sender of the *same segment* can witness it;
+//   - isolated_segment: that segment carries no routes at all, giving its
+//     hosts an empty delivery signature - reachability refinement must
+//     split them off the shared class while leaving truly symmetric
+//     segments merged.
+#pragma once
+
+#include "encode/invariant.hpp"
+#include "encode/model.hpp"
+#include "scenarios/batch.hpp"
+
+namespace vmn::scenarios {
+
+struct SegmentedParams {
+  int segments = 2;
+  int senders_per_segment = 2;
+  /// Segment whose sender-to-server routing bypasses its IDPS (the
+  /// representative-sender unsoundness reproducer); -1 = none.
+  int bypass_segment = -1;
+  /// Segment whose switches carry no routes at all (an isolated island:
+  /// its hosts reach nothing, not even each other); -1 = none.
+  int isolated_segment = -1;
+};
+
+struct Segmented {
+  encode::NetworkModel model;
+  std::vector<std::vector<NodeId>> segment_senders;  ///< per segment
+  std::vector<NodeId> segment_servers;               ///< per segment
+  std::vector<NodeId> segment_idps;                  ///< per segment
+
+  /// Two all-senders invariants per segment - no-malicious-delivery on the
+  /// server and IDPS traversal - with expectations: both violated exactly
+  /// for the bypassed segment, held everywhere else (an isolated segment
+  /// delivers nothing, so both hold vacuously).
+  std::vector<encode::Invariant> invariants;
+  std::vector<bool> expected_holds;
+
+  /// The uniform batch view (scenarios/batch.hpp).
+  [[nodiscard]] Batch batch() const;
+};
+
+[[nodiscard]] Segmented make_segmented(const SegmentedParams& params);
+
+}  // namespace vmn::scenarios

@@ -46,17 +46,28 @@ Slice compute_slice(const NetworkModel& model, const Invariant& invariant,
       options.transfers != nullptr ? *options.transfers : local_transfers;
 
   // Seed hosts: the invariant's references; invariants quantifying over all
-  // senders (traversal, no-malicious-delivery) additionally get one
-  // representative per policy class as potential senders.
+  // senders (traversal, no-malicious-delivery) additionally get
+  // representative senders per policy class.
   std::set<NodeId> hosts;
   for (NodeId h : invariant.referenced_hosts()) hosts.insert(h);
   const bool all_senders =
       invariant.kind == InvariantKind::no_malicious_delivery ||
       (invariant.kind == InvariantKind::traversal && !invariant.other.valid());
   if (all_senders) {
-    // The sender is unconstrained: conservatively include one potential
-    // sender per policy class.
-    for (NodeId r : classes.representatives()) hosts.insert(r);
+    // The sender is unconstrained: include potential senders per policy
+    // class, selected per target - a class may span hosts whose packets can
+    // and cannot be delivered to the target (disconnected segments,
+    // scenario-dependent reroutes), and a representative that cannot reach
+    // the target would silently stand in for one that can, making the
+    // sliced verdict disagree with the whole network. Members that deliver
+    // in no in-budget scenario are skipped here: they cannot witness a
+    // reception at the target, and shared-state influence is what the
+    // origin-agnostic closure below covers.
+    for (NodeId r : classes.representatives_for(
+             invariant.target, options.max_failures,
+             /*include_unreachable=*/false)) {
+      hosts.insert(r);
+    }
   }
 
   // Failure scenarios within budget.
@@ -126,7 +137,13 @@ Slice compute_slice(const NetworkModel& model, const Invariant& invariant,
     }
     if (any_origin_agnostic && !need_representatives) {
       need_representatives = true;
-      for (NodeId r : classes.representatives()) {
+      // State closure is target-aware but conservative: every class keeps
+      // contributing one representative per delivery subgroup, unreachable
+      // subgroup included, because shared state can be fed by traffic that
+      // never lands on the target.
+      for (NodeId r : classes.representatives_for(
+               invariant.target, options.max_failures,
+               /*include_unreachable=*/true)) {
         if (hosts.insert(r).second) changed = true;
       }
     }

@@ -4,8 +4,17 @@
 // referencing only nodes in the slice holds in the network iff it holds in
 // the slice. For networks of flow-parallel middleboxes, closure under
 // forwarding suffices; when origin-agnostic middleboxes (caches, proxies)
-// appear in the slice, one representative host per policy equivalence class
+// appear in the slice, representative hosts per policy equivalence class
 // must be added to make the slice closed under state.
+//
+// Representative selection is target-aware (PolicyClasses::
+// representatives_for): all-senders invariants and state closure stand one
+// member per (class, delivery-signature-toward-target) subgroup into the
+// slice, so a class spanning hosts that can and cannot reach the target -
+// disconnected segments with identical middlebox configurations being the
+// canonical case - always contributes a sender that actually exercises the
+// target's paths. A fixed first-member representative could not, and the
+// sliced verdict could silently disagree with the whole network.
 //
 // Closure under forwarding is computed as a fixpoint: starting from the
 // hosts an invariant references, follow the transfer function (under every

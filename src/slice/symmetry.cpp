@@ -68,7 +68,13 @@ std::string canonical_slice_key(const encode::NetworkModel& model,
   // Initial member colors: invariant role, then policy class for hosts and
   // type/scope/failure-mode for middleboxes (plus, for traversal
   // invariants, whether the encoder's name-prefix match selects the box).
-  // Node names and raw address bits never enter the key.
+  // Node names and raw address bits never enter the key. The host color is
+  // the *reachability-refined* class index (infer_policy_classes): hosts
+  // whose configurations fingerprint alike but whose packets live in
+  // disjoint parts of the dataplane carry different classes, so two slices
+  // that differ only in which such sub-population their representative
+  // senders came from can never canonically merge - dedup would otherwise
+  // re-merge exactly the classes the refinement split.
   std::vector<std::string> mcolor(members.size());
   for (std::size_t i = 0; i < members.size(); ++i) {
     const NodeId id = members[i];
@@ -81,9 +87,7 @@ std::string canonical_slice_key(const encode::NetworkModel& model,
     if (net.kind(id) == net::NodeKind::host) {
       c += "h" + std::to_string(classes.class_of(id));
     } else if (const mbox::Middlebox* box = model.middlebox_at(id)) {
-      c += "m:" + box->type() + ":" +
-           std::to_string(static_cast<int>(box->state_scope())) + ":" +
-           std::to_string(static_cast<int>(box->failure_mode()));
+      c += "m:" + box->structural_fingerprint();
       if (invariant.kind == encode::InvariantKind::traversal &&
           net.name(id).starts_with(invariant.type_prefix)) {
         c += ":P";  // the traversal axiom matches boxes by name prefix

@@ -28,8 +28,13 @@ namespace vmn::verify {
 /// canonical_slice_key. A PlanContext owns one memoized transfer function
 /// per failure scenario and every slice computation and canonical key of
 /// the plan draws from it, so each scenario's fabric walks happen once per
-/// batch instead of twice per invariant. Single-threaded, like the cache it
-/// wraps; one context never outlives its model.
+/// batch instead of twice per invariant. Policy-class inference
+/// (build_policy_classes) runs its reachability refinement through a
+/// PlanContext of its own for the same reason: the per-(host, scenario)
+/// delivery walks all share one memo, and slice seeding afterwards only
+/// *looks up* the recorded signatures - planning never re-walks the
+/// dataplane for representative selection. Single-threaded, like the cache
+/// it wraps; one context never outlives its model.
 struct PlanContext {
   explicit PlanContext(const net::Network& network) : transfers(network) {}
   dataplane::TransferCache transfers;

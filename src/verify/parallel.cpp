@@ -77,10 +77,8 @@ BatchResult ParallelBatchResult::to_batch() && {
 
 ParallelVerifier::ParallelVerifier(const encode::NetworkModel& model,
                                    ParallelOptions options)
-    : model_(&model), options_(options) {
-  classes_ = options_.verify.infer_policy_classes
-                 ? slice::infer_policy_classes(model)
-                 : slice::declared_policy_classes(model);
+    : model_(&model), options_(options), ctx_(model.network()) {
+  classes_ = build_policy_classes(model, options_.verify, ctx_);
 }
 
 JobPlan ParallelVerifier::plan(
@@ -89,7 +87,7 @@ JobPlan ParallelVerifier::plan(
   // executes exactly this plan in job order, which is what makes the two
   // engines pick identical representatives and agree outcome-for-outcome.
   return plan_jobs(*model_, invariants, classes_, options_.use_symmetry,
-                   options_.verify);
+                   options_.verify, &ctx_);
 }
 
 ParallelBatchResult ParallelVerifier::verify_all(

@@ -125,6 +125,9 @@ struct ParallelBatchResult {
 /// Verifies invariant batches on a worker pool. Construction is cheap; the
 /// pool spins up per verify_all call and every worker owns an independent
 /// solver session (see solver_pool.hpp for the thread-safety contract).
+/// Like the sequential Verifier, an instance owns one PlanContext shared
+/// by class inference and every (serial, pre-fan-out) plan pass: call
+/// plan/verify_all from one thread at a time; workers never touch it.
 class ParallelVerifier {
  public:
   explicit ParallelVerifier(const encode::NetworkModel& model,
@@ -147,6 +150,9 @@ class ParallelVerifier {
  private:
   const encode::NetworkModel* model_;
   ParallelOptions options_;
+  /// Per-verifier planning context (see Verifier::ctx_): warmed by class
+  /// inference, reused by every plan pass, mutated through const calls.
+  mutable PlanContext ctx_;
   slice::PolicyClasses classes_;
 };
 

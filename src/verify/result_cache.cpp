@@ -20,7 +20,14 @@ namespace vmn::verify {
 namespace {
 
 constexpr const char* kFileName = "vmn-results.cache";
-constexpr const char* kHeader = "# vmn-result-cache v1";
+// Key-format version. Bump whenever the *meaning* of canonical keys
+// changes, even if their syntax does not: v1 -> v2 when policy classes
+// became reachability-refined (host colors in the key now encode the
+// refined relation, so a v1 record could resurrect a verdict computed from
+// an unsoundly merged class). A cache file with any other header is stale:
+// its records are rejected wholesale on load and the file is rewritten
+// under the current version at the next flush.
+constexpr const char* kHeader = "# vmn-result-cache v2";
 
 const char* status_name(smt::CheckStatus status) {
   switch (status) {
@@ -106,7 +113,21 @@ std::size_t ResultCache::parse_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) return records;  // no cache yet: every lookup misses
   std::string line;
+  bool versioned = false;
   while (std::getline(in, line)) {
+    if (!versioned) {
+      // The first line must be the current version header. Anything else -
+      // an older version whose canonical keys meant something different, a
+      // newer one, or a headerless file - makes every record stale:
+      // fingerprints from another key generation must never answer a
+      // lookup. The file itself is rewritten at the next flush.
+      if (line != kHeader) {
+        stale_version_ = true;
+        return 0;
+      }
+      versioned = true;
+      continue;
+    }
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
     std::string hi_hex, lo_hex, status;
@@ -186,7 +207,7 @@ void ResultCache::store(const std::string& canonical_key, const Entry& entry) {
 }
 
 void ResultCache::flush() {
-  if (!enabled() || dirty_.empty()) return;
+  if (!enabled() || (dirty_.empty() && !stale_version_)) return;
   // Non-throwing filesystem calls throughout: an unwritable or bogus cache
   // dir must degrade to an in-memory cache, never abort a verification run
   // whose results are already computed.
@@ -198,17 +219,38 @@ void ResultCache::flush() {
   // compaction can never rename the file out from under a half-written
   // append.
   const std::string path = file_path();
-  const int fd = open_locked(path.c_str(), O_WRONLY | O_APPEND | O_CREAT);
+  const int fd = open_locked(path.c_str(), O_RDWR | O_APPEND | O_CREAT);
   if (fd < 0) return;  // unwritable cache dir: stay an in-memory cache
   struct stat st {};
   std::string block;
+  bool rewrite = false;
   if (::fstat(fd, &st) == 0 && st.st_size == 0) {
     block = std::string(kHeader) + "\n";
+  } else if (stale_version_) {
+    // Load rejected the file for carrying another key-format version:
+    // truncate and rewrite it under the current one. Re-check the header
+    // under the lock first - a concurrent batch may have upgraded the file
+    // since our load, and truncating now would destroy its valid records;
+    // in that case this flush appends like any other.
+    const std::string want = std::string(kHeader) + "\n";
+    std::string probe(want.size(), '\0');
+    const ssize_t n = ::pread(fd, probe.data(), probe.size(), 0);
+    if (n != static_cast<ssize_t>(want.size()) || probe != want) {
+      rewrite = true;
+      block = want;
+    }
   }
   for (const auto& [fp, entry] : dirty_) block += format_line(fp, entry);
+  if (rewrite && ::ftruncate(fd, 0) != 0) {
+    unlock_close(fd);
+    return;
+  }
   const bool ok = write_all_fd(fd, block);
   unlock_close(fd);
-  if (ok) dirty_.clear();
+  if (ok) {
+    dirty_.clear();
+    stale_version_ = false;
+  }
 }
 
 }  // namespace vmn::verify

@@ -25,6 +25,15 @@
 // dedup already takes. This depends on the key being stable across
 // processes (pinned FNV-1a digests, never std::hash).
 //
+// Versioning: the file leads with a key-format version header. Canonical
+// keys are only self-invalidating against edits that change the *encoded
+// problem*; when the key algorithm itself changes meaning (e.g. host colors
+// switching to reachability-refined policy classes), equal-looking
+// fingerprints from the previous generation would resurrect verdicts the
+// new relation exists to retire. A file under any other version is
+// therefore rejected wholesale on load (every lookup misses) and rewritten
+// under the current version at the next flush.
+//
 // Unknown outcomes are never stored: a timeout is a fact about the solver
 // budget, not about the problem.
 #pragma once
@@ -74,6 +83,12 @@ class ResultCache {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::string file_path() const;
+  /// True when load found a cache file of another key-format version and
+  /// rejected its records wholesale (they were fingerprinted under keys
+  /// whose *meaning* differs - e.g. pre-reachability-refinement policy
+  /// classes - so serving them would resurrect retired unsoundness). The
+  /// next successful flush rewrites the file under the current version.
+  [[nodiscard]] bool stale_version() const { return stale_version_; }
 
  private:
   /// 128-bit fingerprint of a canonical key (two independent FNV-1a 64
@@ -107,6 +122,9 @@ class ResultCache {
   std::unordered_map<Fingerprint, Entry, FingerprintHash> entries_;
   /// Stored-but-not-yet-flushed records, in store order.
   std::vector<std::pair<Fingerprint, Entry>> dirty_;
+  /// Set when the on-disk file carries another key-format version (see
+  /// stale_version()); flush truncate-rewrites instead of appending.
+  bool stale_version_ = false;
 };
 
 }  // namespace vmn::verify

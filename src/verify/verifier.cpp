@@ -19,11 +19,25 @@ std::string to_string(Outcome outcome) {
   return "?";
 }
 
+slice::PolicyClasses build_policy_classes(const encode::NetworkModel& model,
+                                          const VerifyOptions& options,
+                                          PlanContext& ctx) {
+  // The reachability refinement walks every (host, scenario) pair through
+  // the verifier's own TransferCache - warming the exact memo the plan
+  // passes draw from later - and the refinement budget mirrors the
+  // verification budget so the class relation splits on exactly the
+  // scenarios the solver will see.
+  slice::PolicyClassOptions popts;
+  popts.max_failures = options.max_failures;
+  popts.transfers = &ctx.transfers;
+  return options.infer_policy_classes
+             ? slice::infer_policy_classes(model, popts)
+             : slice::declared_policy_classes(model, popts);
+}
+
 Verifier::Verifier(const encode::NetworkModel& model, VerifyOptions options)
-    : model_(&model), options_(options) {
-  classes_ = options_.infer_policy_classes
-                 ? slice::infer_policy_classes(model)
-                 : slice::declared_policy_classes(model);
+    : model_(&model), options_(options), ctx_(model.network()) {
+  classes_ = build_policy_classes(model, options_, ctx_);
 }
 
 VerifyResult inherit_result(const VerifyResult& representative) {
@@ -126,8 +140,9 @@ std::vector<NodeId> slice_members(const encode::NetworkModel& model,
 
 VerifyResult Verifier::verify(const encode::Invariant& invariant) const {
   const auto start = std::chrono::steady_clock::now();
-  std::vector<NodeId> members = slice_members(
-      *model_, invariant, classes_, options_.use_slices, options_.max_failures);
+  std::vector<NodeId> members =
+      slice_members(*model_, invariant, classes_, options_.use_slices,
+                    options_.max_failures, &ctx_.transfers);
   SolverSession session(options_.solver);
   VerifyResult result = verify_members(*model_, invariant, std::move(members),
                                        options_.max_failures, session);
@@ -139,14 +154,17 @@ VerifyResult Verifier::verify(const encode::Invariant& invariant) const {
 JobPlan plan_jobs(const encode::NetworkModel& model,
                   const std::vector<encode::Invariant>& invariants,
                   const slice::PolicyClasses& classes, bool use_symmetry,
-                  const VerifyOptions& options) {
+                  const VerifyOptions& options, PlanContext* shared_ctx) {
   const auto plan_start = std::chrono::steady_clock::now();
   JobPlan plan;
   plan.invariant_count = invariants.size();
-  // One PlanContext per pass: every compute_slice and canonical_slice_key
-  // below shares the same per-scenario transfer functions (and their
-  // accumulated walk memos) instead of rebuilding them per invariant.
-  PlanContext ctx(model.network());
+  // One PlanContext across the pass: every compute_slice and
+  // canonical_slice_key below shares the same per-scenario transfer
+  // functions (and their accumulated walk memos) instead of rebuilding
+  // them per invariant. The engines pass their member context, already
+  // warm from class inference; standalone callers plan on a local one.
+  PlanContext local_ctx(model.network());
+  PlanContext& ctx = shared_ctx != nullptr ? *shared_ctx : local_ctx;
   // The key is strictly finer than the coarse class-signature grouping
   // (slice::class_signature, the paper's section 4.2 criterion): invariants
   // whose policy classes match but whose slice structure differs (e.g. an
@@ -212,7 +230,7 @@ BatchResult Verifier::verify_all(
   // encoding and Z3 context carry over between neighbors; the persistent
   // cache answers re-verified slices without any solver at all.
   JobPlan plan =
-      plan_jobs(*model_, invariants, classes_, use_symmetry, options_);
+      plan_jobs(*model_, invariants, classes_, use_symmetry, options_, &ctx_);
   batch.plan_time = plan.plan_time;
   ResultCache cache(options_.cache_dir);
   SolverSession session(options_.solver, options_.warm_solving);

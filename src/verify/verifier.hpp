@@ -105,6 +105,19 @@ struct BatchResult {
 [[nodiscard]] VerifyResult result_from_cache(const ResultCache::Entry& entry,
                                              const encode::Invariant& invariant);
 
+/// The policy classes a verification run plans with: inferred
+/// (configuration fingerprints refined by per-scenario reachability
+/// signatures, budgeted by options.max_failures) or declared, per
+/// options.infer_policy_classes. Both engines build their classes through
+/// this one function - which is what keeps their class relations, slice
+/// seeds and canonical keys byte-identical - and through the verifier's
+/// own PlanContext, so the refinement's dataplane walks land in the same
+/// per-scenario memo every later plan pass draws from (planning re-walks
+/// nothing the refinement already walked).
+[[nodiscard]] slice::PolicyClasses build_policy_classes(
+    const encode::NetworkModel& model, const VerifyOptions& options,
+    PlanContext& ctx);
+
 /// The edge nodes `invariant` is encoded over: the computed slice, or the
 /// whole network when slicing is off. Shared by the sequential Verifier and
 /// the ParallelVerifier planner so the two engines encode identical
@@ -128,10 +141,15 @@ struct BatchResult {
 /// ParallelVerifier fans shape-groups of it out over a pool; sharing the
 /// planner is what makes the two engines agree
 /// representative-for-representative.
+/// `ctx`, when non-null, is the caller's long-lived planning context (the
+/// engines pass their member context, already warm from class inference);
+/// null plans on a private one. JobPlan::transfer_builds/reuses report the
+/// context's cumulative counters.
 [[nodiscard]] JobPlan plan_jobs(const encode::NetworkModel& model,
                                 const std::vector<encode::Invariant>& invariants,
                                 const slice::PolicyClasses& classes,
-                                bool use_symmetry, const VerifyOptions& options);
+                                bool use_symmetry, const VerifyOptions& options,
+                                PlanContext* ctx = nullptr);
 
 /// The shared single-check core: warm-binds `session` to the base problem
 /// (model, members, failure budget) - reusing the live encoding + solver
@@ -147,6 +165,11 @@ struct BatchResult {
                                           int max_failures,
                                           SolverSession& session);
 
+/// The sequential engine. A Verifier owns one PlanContext shared by class
+/// inference and every plan pass, so its planning state is mutated by the
+/// (const) verify calls: run them from one thread at a time. Worker
+/// fan-out happens *inside* a call and never touches the context; distinct
+/// Verifier instances are fully independent.
 class Verifier {
  public:
   Verifier(const encode::NetworkModel& model, VerifyOptions options = {});
@@ -168,6 +191,11 @@ class Verifier {
  private:
   const encode::NetworkModel* model_;
   VerifyOptions options_;
+  /// Per-verifier planning context: the class-inference walks warm the
+  /// per-scenario transfer memo that every subsequent plan pass reuses.
+  /// Mutable because planning memoizes through const verify calls; see the
+  /// class comment for the serialization contract.
+  mutable PlanContext ctx_;
   slice::PolicyClasses classes_;
 };
 

@@ -184,6 +184,107 @@ TEST(ResultCacheUnit, CompactsWhenDeadRecordsDominate) {
   EXPECT_EQ(read_lines().size(), 5u);
 }
 
+TEST(ResultCacheUnit, StaleKeyVersionIsRejectedWholesaleAndRewritten) {
+  TempCacheDir dir;
+  const std::string key = "no-malicious-delivery/#a;@x;!s;";
+  {
+    ResultCache cache(dir.path);
+    cache.store(key, ResultCache::Entry{smt::CheckStatus::unsat, 4, 11});
+    cache.flush();
+  }
+  const std::string path = ResultCache(dir.path).file_path();
+  auto read_lines = [&] {
+    std::vector<std::string> lines;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  };
+  std::vector<std::string> lines = read_lines();
+  ASSERT_EQ(lines.size(), 2u);  // current-version header + 1 record
+
+  // Rewind the header to the previous key-format version. The record line
+  // itself is byte-identical to a live one - only the version says its
+  // fingerprint was minted under keys that meant something else (the
+  // pre-reachability-refinement class relation), and that must be enough
+  // to reject it.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "# vmn-result-cache v1\n" << lines[1] << "\n";
+  }
+  ResultCache stale(dir.path);
+  EXPECT_TRUE(stale.stale_version());
+  EXPECT_EQ(stale.size(), 0u);
+  EXPECT_FALSE(stale.lookup(key).has_value());
+
+  // The next flush upgrades the file in place: current header, only the
+  // records this run actually solved.
+  stale.store(key, ResultCache::Entry{smt::CheckStatus::sat, 5, 13});
+  stale.flush();
+  EXPECT_FALSE(stale.stale_version());
+  lines = read_lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(lines[0].ends_with("v2"));
+  ResultCache upgraded(dir.path);
+  EXPECT_EQ(upgraded.size(), 1u);
+  ASSERT_TRUE(upgraded.lookup(key).has_value());
+  EXPECT_EQ(upgraded.lookup(key)->status, smt::CheckStatus::sat);
+}
+
+TEST(ResultCacheUnit, HeaderlessFileIsStaleToo) {
+  // Pre-versioning files began directly with records; they are just as
+  // stale as a wrong-version header.
+  TempCacheDir dir;
+  const std::string path = ResultCache(dir.path).file_path();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "00000000000000aa 00000000000000bb unsat 3 9\n";
+  }
+  ResultCache cache(dir.path);
+  EXPECT_TRUE(cache.stale_version());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheBatch, StaleCacheDirectoryForcesFreshSolvesThenUpgrades) {
+  scenarios::Enterprise e = make_enterprise_small();
+  TempCacheDir dir;
+  {
+    ParallelVerifier verifier(e.model, cached_options(dir.path));
+    ParallelBatchResult cold = verifier.verify_all(e.invariants);
+    EXPECT_EQ(cold.cache_hits, 0u);
+  }
+  const std::string path = ResultCache(dir.path).file_path();
+  // Demote the whole file to the previous key version (real fingerprints,
+  // stale meaning).
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 1u);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "# vmn-result-cache v1\n";
+    for (std::size_t i = 1; i < lines.size(); ++i) out << lines[i] << "\n";
+  }
+
+  // A pre-fix cache directory must answer nothing...
+  ParallelVerifier again(e.model, cached_options(dir.path));
+  ParallelBatchResult warm = again.verify_all(e.invariants);
+  EXPECT_EQ(warm.cache_hits, 0u);
+  EXPECT_EQ(warm.cache_misses, warm.jobs_executed);
+  EXPECT_GT(warm.solver_calls, 0u);
+
+  // ...and the flush at the end of that run upgrades the file, so the next
+  // one hits everything again.
+  ParallelBatchResult hot =
+      ParallelVerifier(e.model, cached_options(dir.path))
+          .verify_all(e.invariants);
+  EXPECT_EQ(hot.cache_hits, hot.jobs_executed);
+  EXPECT_EQ(hot.solver_calls, 0u);
+}
+
 TEST(ResultCacheBatch, IdenticalRerunHitsEverythingWithEqualVerdicts) {
   scenarios::Datacenter dc = make_datacenter_small();
   const scenarios::Batch batch = dc.batch();

@@ -15,6 +15,7 @@
 #include "scenarios/enterprise.hpp"
 #include "scenarios/isp.hpp"
 #include "scenarios/multitenant.hpp"
+#include "scenarios/segmented.hpp"
 #include "util.hpp"
 #include "verify/parallel.hpp"
 #include "verify/verifier.hpp"
@@ -128,6 +129,20 @@ TEST(Parallel, OneWorkerMatchesSequentialOnMultiTenant) {
   p.private_vms_per_tenant = 1;
   scenarios::MultiTenant mt = scenarios::make_multitenant(p);
   expect_agreement(mt.model, mt.batch());
+}
+
+TEST(Parallel, OneWorkerMatchesSequentialOnSegmented) {
+  scenarios::Segmented s = scenarios::make_segmented({});
+  expect_agreement(s.model, s.batch());
+}
+
+TEST(Parallel, OneWorkerMatchesSequentialOnBypassedSegmented) {
+  // The representative-sender workload: only a segment-1 sender witnesses
+  // the bypassed IDPS, and expected_holds encodes the whole-network truth.
+  scenarios::SegmentedParams p;
+  p.bypass_segment = 1;
+  scenarios::Segmented s = scenarios::make_segmented(p);
+  expect_agreement(s.model, s.batch());
 }
 
 TEST(Parallel, DeterministicAcrossFourWorkerRuns) {
@@ -335,6 +350,13 @@ TEST(WarmSolving, MatchesColdOnMultiTenant) {
   p.private_vms_per_tenant = 1;
   scenarios::MultiTenant mt = scenarios::make_multitenant(p);
   expect_warm_matches_cold(mt.model, mt.batch());
+}
+
+TEST(WarmSolving, MatchesColdOnBypassedSegmented) {
+  scenarios::SegmentedParams p;
+  p.bypass_segment = 1;
+  scenarios::Segmented s = scenarios::make_segmented(p);
+  expect_warm_matches_cold(s.model, s.batch());
 }
 
 TEST(WarmSolving, MatchesColdWhenOutcomesGoUnknown) {
@@ -547,6 +569,21 @@ TEST(ProcessBackend, AgreesWithThreadOnMultiTenant) {
   p.private_vms_per_tenant = 1;
   scenarios::MultiTenant mt = scenarios::make_multitenant(p);
   expect_process_matches_thread(mt.model, mt.batch());
+}
+
+TEST(ProcessBackend, AgreesWithThreadOnSegmented) {
+  scenarios::Segmented s = scenarios::make_segmented({});
+  expect_process_matches_thread(s.model, s.batch());
+}
+
+TEST(ProcessBackend, AgreesWithThreadOnBypassedSegmented) {
+  // Disconnected segments stress the projected-spec path too: the shipped
+  // slice must carry the reachability-selected representative sender, or
+  // the worker would re-encode the unsound problem.
+  scenarios::SegmentedParams p;
+  p.bypass_segment = 1;
+  scenarios::Segmented s = scenarios::make_segmented(p);
+  expect_process_matches_thread(s.model, s.batch());
 }
 
 TEST(ProcessBackend, ViolatedVerdictsShipTracesAcrossTheProcessBoundary) {

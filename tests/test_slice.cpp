@@ -11,6 +11,9 @@
 #include "mbox/nat.hpp"
 #include "scenarios/datacenter.hpp"
 #include "scenarios/enterprise.hpp"
+#include "scenarios/isp.hpp"
+#include "scenarios/multitenant.hpp"
+#include "scenarios/segmented.hpp"
 #include "slice/slice.hpp"
 #include "slice/symmetry.hpp"
 #include "util.hpp"
@@ -504,6 +507,323 @@ TEST(CanonicalKey, BatchNeverInheritsAcrossDifferentConfigs) {
   EXPECT_EQ(r.results[0].outcome, verify::Outcome::holds);
   EXPECT_EQ(r.results[1].outcome, verify::Outcome::violated);
   EXPECT_FALSE(r.results[1].by_symmetry);
+}
+
+// -- all-senders slice soundness ---------------------------------------------
+//
+// The representative-sender regression (ROADMAP, "Topology-aware policy
+// classes"): all-senders invariants (no-malicious-delivery, unconstrained
+// traversal) seed their slice with representative senders per policy class.
+// Configuration-only classes merge hosts of disconnected segments, and the
+// seed behavior's fixed first-member representative could not even reach
+// the target - the sliced verdict silently disagreed with the whole
+// network. These property tests pin sliced == unsliced for all-senders
+// invariants across every scenario generator, the segmented one (built to
+// reproduce the bug) above all.
+
+void expect_all_senders_sound(const encode::NetworkModel& model,
+                              const std::vector<Invariant>& invariants,
+                              const std::string& label) {
+  verify::VerifyOptions sliced;
+  sliced.use_slices = true;
+  sliced.solver.seed = 7;
+  verify::VerifyOptions full;
+  full.use_slices = false;
+  full.solver.seed = 7;
+  verify::Verifier vs(model, sliced);
+  verify::Verifier vf(model, full);
+  for (const Invariant& inv : invariants) {
+    verify::VerifyResult rs = vs.verify(inv);
+    verify::VerifyResult rf = vf.verify(inv);
+    EXPECT_EQ(rs.outcome, rf.outcome)
+        << label << " "
+        << inv.describe([&](NodeId n) { return model.network().name(n); });
+    EXPECT_LE(rs.slice_size, rf.slice_size);
+  }
+}
+
+TEST(AllSendersSoundness, SegmentedSymmetric) {
+  scenarios::Segmented s = scenarios::make_segmented({});
+  expect_all_senders_sound(s.model, s.invariants, "segmented");
+}
+
+TEST(AllSendersSoundness, SegmentedWithBypassedIdps) {
+  // The bug reproducer: only a segment-1 sender witnesses the bypass, and
+  // the seed behavior's slice contained no such sender.
+  scenarios::SegmentedParams p;
+  p.bypass_segment = 1;
+  scenarios::Segmented s = scenarios::make_segmented(p);
+  expect_all_senders_sound(s.model, s.invariants, "segmented-bypass");
+}
+
+TEST(AllSendersSoundness, SegmentedWithIsolatedIsland) {
+  scenarios::SegmentedParams p;
+  p.isolated_segment = 1;
+  scenarios::Segmented s = scenarios::make_segmented(p);
+  expect_all_senders_sound(s.model, s.invariants, "segmented-isolated");
+}
+
+TEST(AllSendersSoundness, SegmentedThreeSegmentsBypassLast) {
+  scenarios::SegmentedParams p;
+  p.segments = 3;
+  p.bypass_segment = 2;
+  scenarios::Segmented s = scenarios::make_segmented(p);
+  expect_all_senders_sound(s.model, s.invariants, "segmented-3");
+}
+
+TEST(AllSendersSoundness, Enterprise) {
+  Enterprise ent = small_enterprise(3);
+  std::vector<Invariant> invs;
+  for (const auto& hosts : ent.subnet_hosts) {
+    invs.push_back(Invariant::no_malicious_delivery(hosts[0]));
+    invs.push_back(Invariant::traversal(hosts[0], "gw"));
+  }
+  expect_all_senders_sound(ent.model, invs, "enterprise");
+}
+
+TEST(AllSendersSoundness, Datacenter) {
+  scenarios::Datacenter dc = scenarios::make_datacenter(DatacenterParams{
+      .policy_groups = 2, .clients_per_group = 1, .redundancy = false});
+  std::vector<Invariant> invs = dc.traversal_invariants();
+  invs.push_back(Invariant::no_malicious_delivery(dc.group_clients[0][0]));
+  expect_all_senders_sound(dc.model, invs, "datacenter");
+}
+
+TEST(AllSendersSoundness, Isp) {
+  scenarios::IspParams p;
+  p.peering_points = 2;
+  p.subnets = 2;
+  p.with_scrub_reroute = false;
+  scenarios::Isp isp = scenarios::make_isp(p);
+  std::vector<Invariant> invs = {
+      Invariant::no_malicious_delivery(isp.subnet_hosts[0][0]),
+      Invariant::no_malicious_delivery(isp.subnet_hosts[1][0])};
+  expect_all_senders_sound(isp.model, invs, "isp");
+}
+
+TEST(AllSendersSoundness, MultiTenant) {
+  scenarios::MultiTenantParams p;
+  p.tenants = 2;
+  p.servers = 2;
+  p.public_vms_per_tenant = 1;
+  p.private_vms_per_tenant = 1;
+  scenarios::MultiTenant mt = scenarios::make_multitenant(p);
+  std::vector<Invariant> invs = {
+      Invariant::no_malicious_delivery(mt.private_vms[0][0]),
+      Invariant::no_malicious_delivery(mt.public_vms[1][0])};
+  expect_all_senders_sound(mt.model, invs, "multitenant");
+}
+
+// -- reachability-refined policy classes -------------------------------------
+
+TEST(PolicyClasses, RefinementSplitsDisjointReachabilityAndMergesSymmetric) {
+  // Truly symmetric disconnected segments (identical configs, isomorphic
+  // reachability) must keep sharing classes...
+  scenarios::Segmented sym = scenarios::make_segmented({});
+  PolicyClasses merged = infer_policy_classes(sym.model);
+  EXPECT_EQ(merged.class_of(sym.segment_senders[0][0]),
+            merged.class_of(sym.segment_senders[1][0]));
+
+  // ...while an isolated island (identical configs, *disjoint and
+  // asymmetric* reachability: its hosts deliver to nobody) must split off.
+  scenarios::SegmentedParams p;
+  p.isolated_segment = 1;
+  scenarios::Segmented iso = scenarios::make_segmented(p);
+  PolicyClasses split = infer_policy_classes(iso.model);
+  EXPECT_NE(split.class_of(iso.segment_senders[0][0]),
+            split.class_of(iso.segment_senders[1][0]));
+
+  // The configuration-only relation (refinement off - the seed behavior)
+  // cannot tell the island apart: every host fingerprints identically.
+  PolicyClassOptions coarse_opts;
+  coarse_opts.refine_by_reachability = false;
+  PolicyClasses coarse = infer_policy_classes(iso.model, coarse_opts);
+  EXPECT_EQ(coarse.class_of(iso.segment_senders[0][0]),
+            coarse.class_of(iso.segment_senders[1][0]));
+}
+
+TEST(PolicyClasses, RefinementLeavesConnectedGeneratorsUntouched) {
+  // Every enterprise host can (dataplane-)deliver to every other - policy
+  // drops live in the solver, not the relation - so the refined classes
+  // must equal the configuration-fingerprint classes exactly.
+  Enterprise ent = small_enterprise(6);
+  PolicyClasses refined = infer_policy_classes(ent.model);
+  PolicyClassOptions coarse_opts;
+  coarse_opts.refine_by_reachability = false;
+  PolicyClasses coarse = infer_policy_classes(ent.model, coarse_opts);
+  EXPECT_EQ(refined.count(), coarse.count());
+  EXPECT_TRUE(refined.has_reach_signatures());
+  EXPECT_FALSE(coarse.has_reach_signatures());
+}
+
+TEST(PolicyClasses, TargetAwareRepresentativesReachTheTarget) {
+  scenarios::SegmentedParams p;
+  p.bypass_segment = 1;
+  scenarios::Segmented s = scenarios::make_segmented(p);
+  PolicyClasses classes = infer_policy_classes(s.model);
+  const NodeId srv1 = s.segment_servers[1];
+
+  // The configuration-only relation merges every host into one class whose
+  // first-member representative is a segment-0 host that cannot deliver to
+  // srv1 (checked against the refined instance's recorded signatures - the
+  // coarse one records none).
+  PolicyClassOptions coarse_seed;
+  coarse_seed.refine_by_reachability = false;
+  PolicyClasses seed_classes = infer_policy_classes(s.model, coarse_seed);
+  ASSERT_EQ(seed_classes.count(), 1u);
+  EXPECT_FALSE(classes.reaches(seed_classes.representatives().front(), srv1, 0));
+  // Target-aware selection includes a segment-1 sender that can.
+  bool any_reaching = false;
+  for (NodeId r :
+       classes.representatives_for(srv1, 0, /*include_unreachable=*/false)) {
+    EXPECT_TRUE(classes.reaches(r, srv1, 0));
+    any_reaching = true;
+  }
+  EXPECT_TRUE(any_reaching);
+
+  // And the computed slice for the all-senders invariant carries it.
+  Invariant inv = Invariant::no_malicious_delivery(srv1);
+  Slice sliced = compute_slice(s.model, inv, classes);
+  bool has_segment1_sender = false;
+  for (NodeId m : sliced.members) {
+    for (NodeId h : s.segment_senders[1]) has_segment1_sender |= m == h;
+  }
+  EXPECT_TRUE(has_segment1_sender);
+
+  // The seed behavior, replayed: with the configuration-only relation the
+  // slice has no sender that can reach srv1, and verifying on it reports
+  // the silently-wrong "holds" the whole network contradicts. This is the
+  // exact unsoundness the refinement retires.
+  PolicyClassOptions coarse_opts;
+  coarse_opts.refine_by_reachability = false;
+  PolicyClasses coarse = infer_policy_classes(s.model, coarse_opts);
+  Slice unsound = compute_slice(s.model, inv, coarse);
+  verify::SolverSession session{smt::SolverOptions{}};
+  verify::VerifyResult wrong = verify::verify_members(
+      s.model, inv, unsound.members, /*max_failures=*/0, session);
+  EXPECT_EQ(wrong.outcome, verify::Outcome::holds);
+  verify::VerifyOptions full;
+  full.use_slices = false;
+  verify::VerifyResult truth = verify::Verifier(s.model, full).verify(inv);
+  EXPECT_EQ(truth.outcome, verify::Outcome::violated);
+}
+
+TEST(PolicyClasses, PathAwareSignaturesCatchWithinSegmentBypass) {
+  // The residual hole of a reach-only relation: one *connected* segment
+  // where h0's route to the server is chained through the IDPS but h1's
+  // in-port rule skips it. Both deliver to the server, so a who-is-reached
+  // signature merges them and a reach-only representative (h0, the policed
+  // one) would hide h1's unpoliced path - sliced "holds" vs whole-network
+  // "violated". Delivery signatures carry the traversed middlebox types,
+  // so the refinement splits the two senders, and the sliced verdicts
+  // match the whole network.
+  encode::NetworkModel model;
+  net::Network& net = model.network();
+  const Address asrv = Address::of(10, 0, 0, 100);
+  const Address a0 = Address::of(10, 0, 0, 1);
+  const Address a1 = Address::of(10, 0, 0, 2);
+  NodeId srv = net.add_host("srv", asrv);
+  NodeId h0 = net.add_host("h0", a0);
+  NodeId h1 = net.add_host("h1", a1);
+  NodeId idps = model
+                    .add_middlebox(std::make_unique<mbox::Idps>(
+                        "idps0", /*drop_malicious=*/true))
+                    .node();
+  NodeId sa = net.add_switch("sa");
+  NodeId sb = net.add_switch("sb");
+  net.add_link(idps, sa);
+  net.add_link(sa, sb);
+  net.add_link(srv, sb);
+  net.add_link(h0, sa);
+  net.add_link(h1, sa);
+  net.table(sa).add(Prefix::host(a0), h0);
+  net.table(sa).add(Prefix::host(a1), h1);
+  net.table(sa).add_from(h0, Prefix::host(asrv), idps);
+  net.table(sa).add_from(h1, Prefix::host(asrv), sb);  // the bypass
+  net.table(sa).add_from(idps, Prefix::host(asrv), sb);
+  net.table(sb).add(Prefix::host(asrv), srv);
+  net.table(sb).add(Prefix::host(a0), sa);
+  net.table(sb).add(Prefix::host(a1), sa);
+
+  PolicyClasses classes = infer_policy_classes(model);
+  EXPECT_NE(classes.class_of(h0), classes.class_of(h1));
+
+  expect_all_senders_sound(model,
+                           {Invariant::no_malicious_delivery(srv),
+                            Invariant::traversal(srv, "idps")},
+                           "within-segment-bypass");
+  verify::VerifyOptions full;
+  full.use_slices = false;
+  verify::Verifier truth(model, full);
+  EXPECT_EQ(truth.verify(Invariant::no_malicious_delivery(srv)).outcome,
+            verify::Outcome::violated);
+}
+
+TEST(PolicyClasses, InferenceToleratesForwardingLoopsOutsideTheSlice) {
+  // Class inference walks the whole dataplane at Verifier construction; a
+  // static forwarding loop confined to one island must not make every
+  // unrelated invariant unverifiable (it counts as undeliverable for the
+  // relation), while an invariant whose slice actually walks the looping
+  // pair still surfaces the fault loudly - the pre-refinement behavior on
+  // both counts.
+  encode::NetworkModel model;
+  net::Network& net = model.network();
+  NodeId a = net.add_host("a", Address::of(10, 0, 0, 1));
+  NodeId b = net.add_host("b", Address::of(10, 0, 0, 2));
+  NodeId s = net.add_switch("s");
+  net.add_link(a, s);
+  net.add_link(b, s);
+  net.table(s).add(Prefix::host(Address::of(10, 0, 0, 1)), a);
+  net.table(s).add(Prefix::host(Address::of(10, 0, 0, 2)), b);
+  // Disconnected island whose switches bounce c->d traffic forever.
+  NodeId c = net.add_host("c", Address::of(10, 9, 0, 1));
+  NodeId d = net.add_host("d", Address::of(10, 9, 0, 2));
+  NodeId l1 = net.add_switch("l1");
+  NodeId l2 = net.add_switch("l2");
+  net.add_link(c, l1);
+  net.add_link(d, l2);
+  net.add_link(l1, l2);
+  net.table(l1).add(Prefix::host(Address::of(10, 9, 0, 2)), l2);
+  net.table(l2).add(Prefix::host(Address::of(10, 9, 0, 2)), l1);
+
+  verify::Verifier v(model);  // must not throw
+  verify::VerifyResult healthy = v.verify(Invariant::reachable(b, a));
+  EXPECT_EQ(healthy.outcome, verify::Outcome::holds);
+  EXPECT_THROW((void)v.verify(Invariant::node_isolation(d, c)),
+               ForwardingLoopError);
+}
+
+TEST(CanonicalKey, SymmetricSegmentsStillDedupUnderRefinedClasses) {
+  // Refinement must not over-split: the two segments' all-senders checks
+  // are genuinely isomorphic, so the batch still merges them.
+  scenarios::Segmented s = scenarios::make_segmented({});
+  verify::Verifier v(s.model);
+  verify::BatchResult r = v.verify_all(s.invariants, /*use_symmetry=*/true);
+  EXPECT_EQ(r.solver_calls, 2u);  // one no-malicious job + one traversal job
+  for (std::size_t i = 0; i < r.results.size(); ++i) {
+    EXPECT_EQ(r.results[i].outcome, verify::Outcome::holds) << i;
+  }
+}
+
+TEST(CanonicalKey, BatchNeverInheritsAcrossSegmentsWithDifferentRouting) {
+  // Segment 1's senders bypass its IDPS; the slices differ only in
+  // routing, which the canonical key must see - merging would let the
+  // bypassed segment inherit "holds" from the protected one.
+  scenarios::SegmentedParams p;
+  p.bypass_segment = 1;
+  scenarios::Segmented s = scenarios::make_segmented(p);
+  verify::Verifier v(s.model);
+  verify::BatchResult r = v.verify_all(s.invariants, /*use_symmetry=*/true);
+  ASSERT_EQ(r.results.size(), s.invariants.size());
+  for (std::size_t i = 0; i < r.results.size(); ++i) {
+    const verify::Outcome expected = s.expected_holds[i]
+                                         ? verify::Outcome::holds
+                                         : verify::Outcome::violated;
+    EXPECT_EQ(r.results[i].outcome, expected) << i;
+    if (!s.expected_holds[i]) {
+      EXPECT_FALSE(r.results[i].by_symmetry) << i;
+    }
+  }
 }
 
 }  // namespace

@@ -3,7 +3,11 @@
 # then smoke-test the batch modes on the shipped enterprise spec - the
 # cached rerun, the process backend (verdicts must match the thread
 # backend), and a worker killed mid-batch (the batch must still complete
-# with every invariant answered).
+# with every invariant answered) - and slice soundness on the shipped
+# segmented spec (disconnected segments, identical middlebox configs): its
+# expect clauses encode the whole-network truth, so every backend and
+# symmetry mode must reproduce them, and a cache directory written under a
+# previous key-format version must be rejected (0 hits), then upgraded.
 #
 #   tools/ci.sh [build-dir]
 #
@@ -17,6 +21,7 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 spec="$repo/examples/specs/enterprise.vmn"
+segmented="$repo/examples/specs/segmented.vmn"
 
 cmake_args=(-DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}"
             -DVMN_SANITIZE="${VMN_SANITIZE:-OFF}")
@@ -81,6 +86,60 @@ if echo "$kill_out" | verdicts | grep -q unknown; then
 fi
 if ! diff <(echo "$thread_verdicts") <(echo "$kill_out" | verdicts); then
   echo "ci: verdicts drifted after the worker kill" >&2
+  exit 1
+fi
+
+echo "--- smoke: segmented spec, slice soundness across backends/symmetry ---"
+# The spec's expect clauses are the whole-network verdicts (segment 1's
+# invariants violated); `vmn verify` exits non-zero on any disagreement, so
+# each of these runs is itself a representative-sender soundness assertion.
+seg_thread="$("$build/vmn" verify "$segmented" --batch --jobs 2 --backend=thread)"
+echo "$seg_thread"
+seg_verdicts="$(echo "$seg_thread" | verdicts)"
+seg_process="$("$build/vmn" verify "$segmented" --batch --jobs 2 --backend=process)"
+if ! diff <(echo "$seg_verdicts") <(echo "$seg_process" | verdicts); then
+  echo "ci: segmented spec: process backend disagrees with thread backend" >&2
+  exit 1
+fi
+seg_nosym="$("$build/vmn" verify "$segmented" --batch --jobs 2 --no-symmetry)"
+if ! diff <(echo "$seg_verdicts") <(echo "$seg_nosym" | verdicts); then
+  echo "ci: segmented spec: --no-symmetry changed the verdicts" >&2
+  exit 1
+fi
+seg_nosym_proc="$("$build/vmn" verify "$segmented" --batch --jobs 2 \
+    --no-symmetry --backend=process)"
+if ! diff <(echo "$seg_verdicts") <(echo "$seg_nosym_proc" | verdicts); then
+  echo "ci: segmented spec: --no-symmetry process backend disagrees" >&2
+  exit 1
+fi
+
+echo "--- smoke: pre-fix cache directory is rejected (stale key version) ---"
+seg_cache="$(mktemp -d)"
+trap 'rm -rf "$cache_dir" "$seg_cache"' EXIT
+"$build/vmn" verify "$segmented" --batch --jobs 2 --cache-dir "$seg_cache" \
+    > /dev/null
+# Demote the freshly written cache to the previous key-format version: the
+# record lines stay byte-identical, only the header says their fingerprints
+# were minted under keys that meant something else.
+sed -i '1s/^# vmn-result-cache v[0-9]*$/# vmn-result-cache v1/' \
+    "$seg_cache/vmn-results.cache"
+stale_run="$("$build/vmn" verify "$segmented" --batch --jobs 2 \
+    --cache-dir "$seg_cache")"
+echo "$stale_run"
+if ! echo "$stale_run" | grep -q "cache: 0 hits"; then
+  echo "ci: stale-version cache was not rejected" >&2
+  exit 1
+fi
+# The stale run's flush must have rewritten the file under the current
+# version, so the next run hits again.
+if head -1 "$seg_cache/vmn-results.cache" | grep -q "v1$"; then
+  echo "ci: stale cache file was not rewritten under the current version" >&2
+  exit 1
+fi
+upgraded="$("$build/vmn" verify "$segmented" --batch --jobs 2 \
+    --cache-dir "$seg_cache")"
+if ! echo "$upgraded" | grep -Eq "cache: [1-9][0-9]* hits"; then
+  echo "ci: cache was not upgraded after the stale-version rejection" >&2
   exit 1
 fi
 echo "ci: OK"

@@ -215,6 +215,91 @@ BENCHMARK(BM_BatchFastPath)
     ->Arg(kCold)->Arg(kWarm)->Arg(kCached)
     ->ArgNames({"mode"})->Unit(benchmark::kMillisecond)->Iterations(1);
 
+// --- cross-isomorphic warm reuse --------------------------------------------
+//
+// The datacenter's per-group jobs are the canonical cross-isomorphic
+// workload: every group pair's slice is a renamed copy of the first, but
+// the firewall fingerprints name raw peer prefixes, so canonical keys
+// (rightly) refuse to merge their verdicts - before encoding-layer reuse,
+// each paid for its own base encoding and a cold context. With warm
+// solving on, the planner rebinds all of them onto one representative's
+// encoding (iso_reuses > 0) and encode-time transfer builds stay at one
+// per session; --no-warm is the all-cold baseline the speedup is measured
+// against. Both numbers land in BENCH_parallel.json, and ci.sh's bench
+// smoke asserts the reuse actually happened.
+
+void BM_IsoWarm(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  Datacenter dc = make();
+  scenarios::Batch batch;
+  batch.name = "datacenter-isowarm";
+  for (const encode::Invariant& iso : dc.isolation_invariants()) {
+    batch.invariants.push_back(iso);
+    batch.expected_holds.push_back(true);
+  }
+
+  ParallelOptions opts;
+  opts.jobs = 2;
+  opts.use_symmetry = true;
+  opts.verify.solver.seed = 1;
+  opts.verify.warm_solving = warm;
+  ParallelVerifier v(dc.model, opts);
+  double wall_ms = 0, plan_ms = 0, iso_mapped = 0, iso_reuses = 0,
+         warm_binds = 0, enc_builds = 0, enc_reuses = 0;
+  for (auto _ : state) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    verify::ParallelBatchResult r = v.verify_all(batch.invariants);
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
+    for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+      const Outcome expected =
+          batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
+      if (r.results[i].outcome != expected) {
+        state.SkipWithError("unexpected outcome in iso-warm batch");
+        return;
+      }
+    }
+    if (warm && r.iso_reuses == 0) {
+      state.SkipWithError("iso-warm batch reported no cross-isomorphic reuse");
+      return;
+    }
+    if (!warm && (r.iso_mapped != 0 || r.iso_reuses != 0)) {
+      state.SkipWithError("cold baseline performed iso rebinding");
+      return;
+    }
+    plan_ms = static_cast<double>(r.plan_time.count());
+    iso_mapped = static_cast<double>(r.iso_mapped);
+    iso_reuses = static_cast<double>(r.iso_reuses);
+    warm_binds = static_cast<double>(r.warm_binds);
+    enc_builds = static_cast<double>(r.encode_transfer_builds);
+    enc_reuses = static_cast<double>(r.encode_transfer_reuses);
+    benchmark::DoNotOptimize(r);
+  }
+  static double iso_cold_wall_ms = 0;  // Arg(0) registers (and runs) first
+  if (!warm) iso_cold_wall_ms = wall_ms;
+  const double speedup =
+      iso_cold_wall_ms > 0 && wall_ms > 0 ? iso_cold_wall_ms / wall_ms : 0.0;
+  state.counters["iso_mapped"] = benchmark::Counter(iso_mapped);
+  state.counters["iso_reuses"] = benchmark::Counter(iso_reuses);
+  state.counters["warm_binds"] = benchmark::Counter(warm_binds);
+  state.counters["encode_transfer_builds"] = benchmark::Counter(enc_builds);
+  state.counters["speedup_vs_cold"] = benchmark::Counter(speedup);
+  bench::BenchJson::instance().record(
+      std::string("isowarm/") + (warm ? "warm" : "cold"),
+      {{"wall_ms", wall_ms},
+       {"plan_ms", plan_ms},
+       {"iso_mapped", iso_mapped},
+       {"iso_reuses", iso_reuses},
+       {"warm_binds", warm_binds},
+       {"encode_transfer_builds", enc_builds},
+       {"encode_transfer_reuses", enc_reuses},
+       {"speedup_vs_cold", speedup}});
+}
+BENCHMARK(BM_IsoWarm)
+    ->Arg(0)->Arg(1)
+    ->ArgNames({"warm"})->Unit(benchmark::kMillisecond)->Iterations(1);
+
 // --- backend comparison: threads vs forked worker processes -----------------
 //
 // The process backend pays fork + projected-spec re-parse + frame traffic

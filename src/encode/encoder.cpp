@@ -212,10 +212,34 @@ void Encoding::emit_omega_and_failures() {
   l::TermPtr t = f.fresh_var("t", l::Sort::integer());
   l::TermPtr t1 = f.fresh_var("t", l::Sort::integer());
 
+  // Per-scenario transfer functions: drawn from the borrowed memo when the
+  // caller supplied one (a planning context or a per-session cache - the
+  // planner or a previous encoding on the same session already paid for
+  // these walks), built locally otherwise. A cache bound to a different
+  // network than the model is ignored rather than trusted.
+  dataplane::TransferCache* shared =
+      options_.transfers != nullptr && &options_.transfers->network() == &net
+          ? options_.transfers
+          : nullptr;
   std::vector<l::TermPtr> scenario_cases;
   for (std::size_t si = 0; si < active_scenarios_.size(); ++si) {
     const ScenarioId sid = active_scenarios_[si];
-    dataplane::TransferFunction tf(net, sid);
+    std::optional<dataplane::TransferFunction> local;
+    const dataplane::TransferFunction* tf_ptr = nullptr;
+    if (shared != nullptr) {
+      const std::size_t builds_before = shared->builds();
+      tf_ptr = &shared->at(sid);
+      if (shared->builds() > builds_before) {
+        ++transfer_builds_;
+      } else {
+        ++transfer_reuses_;
+      }
+    } else {
+      local.emplace(net, sid);
+      tf_ptr = &*local;
+      ++transfer_builds_;
+    }
+    const dataplane::TransferFunction& tf = *tf_ptr;
     std::vector<l::TermPtr> routes;
     for (NodeId from : members_) {
       for (Address a : relevant_) {

@@ -20,6 +20,10 @@
 #include "encode/model.hpp"
 #include "logic/builder.hpp"
 
+namespace vmn::dataplane {
+class TransferCache;
+}
+
 namespace vmn::encode {
 
 struct EncodeOptions {
@@ -27,6 +31,15 @@ struct EncodeOptions {
   /// scenarios with more failed nodes are excluded. 0 verifies only the
   /// failure-free network.
   int max_failures = 0;
+  /// Optional shared per-scenario transfer-function memo for the omega
+  /// axioms (see dataplane::TransferCache). Planning-adjacent callers pass
+  /// the PlanContext cache (whose walks the planner already paid for);
+  /// worker threads pass a per-SolverSession cache - TransferFunction
+  /// memos are not thread-safe, so a cache is never shared across
+  /// sessions. Borrowed, must outlive the construction call, and must be
+  /// bound to the same network as the model (ignored otherwise). When
+  /// null, the encoder builds one TransferFunction per scenario itself.
+  dataplane::TransferCache* transfers = nullptr;
 };
 
 /// A labelled axiom (labels show up in diagnostics and tests).
@@ -82,6 +95,13 @@ class Encoding {
 
   [[nodiscard]] const NetworkModel& model() const { return *model_; }
 
+  /// Transfer functions constructed during omega emission vs served from
+  /// the borrowed EncodeOptions::transfers memo. builds() > 0 with a warm
+  /// borrowed cache means the planner and the encoder walked the same
+  /// scenario twice - the duplicate-work signal the batch counters surface.
+  [[nodiscard]] std::size_t transfer_builds() const { return transfer_builds_; }
+  [[nodiscard]] std::size_t transfer_reuses() const { return transfer_reuses_; }
+
  private:
   void compute_relevant_addresses();
   void emit_causality();
@@ -106,6 +126,8 @@ class Encoding {
   logic::TermPtr scenario_const_;
   logic::SortPtr scenario_sort_;
   bool invariant_added_ = false;
+  std::size_t transfer_builds_ = 0;
+  std::size_t transfer_reuses_ = 0;
 };
 
 /// Convenience: encode the full network (all hosts and middleboxes).

@@ -39,6 +39,14 @@ class AppFirewall final : public Middlebox {
   /// both change the emitted axioms, so both enter the fingerprint.
   [[nodiscard]] std::string policy_fingerprint(Address) const override;
 
+  /// Address-free configuration: blocked app classes are compiled as
+  /// literal class ids (never renamed), so the fingerprint is exact.
+  [[nodiscard]] std::string encoding_projection(
+      const std::vector<Address>&,
+      const std::function<std::string(Address)>&) const override {
+    return policy_fingerprint(Address{});
+  }
+
   [[nodiscard]] const std::vector<std::uint16_t>& blocked_classes() const {
     return blocked_;
   }

@@ -36,6 +36,18 @@ std::string ContentCache::policy_fingerprint(Address a) const {
   return fp;
 }
 
+std::string ContentCache::encoding_projection(
+    const std::vector<Address>& relevant,
+    const std::function<std::string(Address)>& token) const {
+  std::string out = "cache[";
+  for (Address client : relevant) {
+    for (Address origin : relevant) {
+      if (allows(client, origin)) out += token(client) + "<" + token(origin) + ";";
+    }
+  }
+  return out + "]";
+}
+
 void ContentCache::emit_axioms(AxiomContext& ctx) const {
   const l::Vocab& v = ctx.vocab();
   l::TermFactory& f = ctx.factory();

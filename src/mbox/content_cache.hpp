@@ -54,6 +54,12 @@ class ContentCache final : public Middlebox {
 
   [[nodiscard]] std::string policy_fingerprint(Address a) const override;
 
+  /// The axioms compile the ACL only through the allows() matrix over
+  /// relevant (client, origin) pairs, so that matrix is the projection.
+  [[nodiscard]] std::string encoding_projection(
+      const std::vector<Address>& relevant,
+      const std::function<std::string(Address)>& token) const override;
+
   void sim_reset() override {
     cached_.clear();
     requesters_.clear();

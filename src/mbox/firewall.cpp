@@ -44,6 +44,23 @@ std::string LearningFirewall::policy_fingerprint(Address a) const {
   return fp;
 }
 
+std::string LearningFirewall::encoding_projection(
+    const std::vector<Address>& relevant,
+    const std::function<std::string(Address)>& token) const {
+  // Everything emit_axioms compiles from the configuration is the
+  // admitted-pair matrix over the relevant set (acl_term, used for both
+  // the live packet and the flow-establishing one), so two firewalls whose
+  // matrices agree under the address bijection emit identical axioms -
+  // regardless of how their ACLs spell the prefixes.
+  std::string out = "fw[";
+  for (Address src : relevant) {
+    for (Address dst : relevant) {
+      if (allows(src, dst)) out += token(src) + ">" + token(dst) + ";";
+    }
+  }
+  return out + "]";
+}
+
 l::TermPtr LearningFirewall::acl_term(AxiomContext& ctx, const l::TermPtr& src,
                                       const l::TermPtr& dst) const {
   l::TermFactory& f = ctx.factory();

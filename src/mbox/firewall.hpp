@@ -72,6 +72,12 @@ class LearningFirewall final : public Middlebox {
 
   [[nodiscard]] std::string policy_fingerprint(Address a) const override;
 
+  /// The axioms compile the ACL only through the allows() matrix over
+  /// relevant address pairs (acl_term), so that matrix IS the projection.
+  [[nodiscard]] std::string encoding_projection(
+      const std::vector<Address>& relevant,
+      const std::function<std::string(Address)>& token) const override;
+
  private:
   /// Disjunction over relevant address pairs admitted by the ACL, applied
   /// to symbolic source/destination terms.

@@ -24,6 +24,14 @@ class Gateway final : public Middlebox {
 
   void emit_axioms(AxiomContext& ctx) const override;
 
+  /// No configuration, no addresses in the axioms (the failure mode is in
+  /// the structural fingerprint, which shape matching compares separately).
+  [[nodiscard]] std::string encoding_projection(
+      const std::vector<Address>&,
+      const std::function<std::string(Address)>&) const override {
+    return {};
+  }
+
   void sim_reset() override {}
   [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override {
     return {p};

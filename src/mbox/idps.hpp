@@ -30,6 +30,13 @@ class Idps final : public Middlebox {
     return drop_malicious_ ? "drop-malicious" : "monitor";
   }
 
+  /// Address-free configuration: the mode alone determines the axioms.
+  [[nodiscard]] std::string encoding_projection(
+      const std::vector<Address>&,
+      const std::function<std::string(Address)>&) const override {
+    return policy_fingerprint(Address{});
+  }
+
   void sim_reset() override {}
   [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override;
 

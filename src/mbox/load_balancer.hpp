@@ -52,6 +52,15 @@ class LoadBalancer final : public Middlebox {
     return a == vip_ ? "vip;" : std::string{};
   }
 
+  /// The axioms mention the VIP and each backend address (in list order).
+  [[nodiscard]] std::string encoding_projection(
+      const std::vector<Address>&,
+      const std::function<std::string(Address)>& token) const override {
+    std::string out = "lb[vip:" + token(vip_) + ";";
+    for (Address b : backends_) out += "b:" + token(b) + ";";
+    return out + "]";
+  }
+
   void sim_reset() override { assignment_.clear(); }
   [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override;
 

@@ -171,6 +171,32 @@ class Middlebox {
     return {};
   }
 
+  /// Canonical rendering of everything emit_axioms compiles from this
+  /// instance's configuration over the `relevant` address set, with every
+  /// address written through `token` instead of its raw bits.
+  ///
+  /// Cross-isomorphic encoding reuse (slice::shape_bijection) compares two
+  /// member instances' projections under a bijection of their slices'
+  /// relevant addresses: `relevant` arrives in corresponding order on both
+  /// sides and `token` renders corresponding addresses identically, so the
+  /// projections compare equal exactly when the two instances emit
+  /// logically identical axioms up to that bijection.
+  ///
+  /// Contract (stricter than policy_fingerprint's): the projection must
+  /// determine the instance's axioms over `relevant` COMPLETELY - every
+  /// configuration knob emit_axioms compiles, and every address the axioms
+  /// mention, rendered through `token` (never as raw bits; iterate
+  /// `relevant` in the order given, not sorted). An under-projected knob
+  /// lets a differently-configured instance borrow this one's base
+  /// encoding and silently answer the wrong problem. The default is
+  /// deliberately conservative for box types without a bespoke override:
+  /// it pins every relevant address to its raw bits, so such a box only
+  /// ever matches under the identity address mapping (no cross-renamed
+  /// reuse, which is always sound).
+  [[nodiscard]] virtual std::string encoding_projection(
+      const std::vector<Address>& relevant,
+      const std::function<std::string(Address)>& token) const;
+
   // -- concrete semantics (simulator) ---------------------------------------
   /// Clears all mutable state (also invoked when the instance fails).
   virtual void sim_reset() = 0;

@@ -39,6 +39,18 @@ class Nat final : public Middlebox {
     return internal_.contains(a) ? "int;" : std::string{};
   }
 
+  /// The axioms mention the external address and the internal-prefix
+  /// membership of each relevant address - nothing else of the prefix.
+  [[nodiscard]] std::string encoding_projection(
+      const std::vector<Address>& relevant,
+      const std::function<std::string(Address)>& token) const override {
+    std::string out = "nat[ext:" + token(external_) + ";";
+    for (Address a : relevant) {
+      if (internal_.contains(a)) out += "int:" + token(a) + ";";
+    }
+    return out + "]";
+  }
+
   /// Internal hosts are reachable from outside via the external address.
   [[nodiscard]] std::vector<Address> inverse_addresses(
       Address target) const override {

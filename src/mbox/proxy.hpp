@@ -38,6 +38,13 @@ class Proxy final : public Middlebox {
     return {address_};
   }
 
+  /// The axioms mention only the proxy's own address.
+  [[nodiscard]] std::string encoding_projection(
+      const std::vector<Address>&,
+      const std::function<std::string(Address)>& token) const override {
+    return "proxy[" + token(address_) + "]";
+  }
+
   void sim_reset() override {
     requesters_.clear();
     contacted_.clear();

@@ -25,6 +25,13 @@ class WanOptimizer final : public Middlebox {
 
   void emit_axioms(AxiomContext& ctx) const override;
 
+  /// No configuration, no addresses in the axioms.
+  [[nodiscard]] std::string encoding_projection(
+      const std::vector<Address>&,
+      const std::function<std::string(Address)>&) const override {
+    return {};
+  }
+
   void sim_reset() override {}
   [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override {
     Packet q = p;

@@ -8,6 +8,7 @@
 #include "core/hash.hpp"
 #include <map>
 #include <optional>
+#include <set>
 #include <utility>
 
 #include "dataplane/transfer.hpp"
@@ -43,73 +44,75 @@ SymmetryGroups group_invariants(
   return out;
 }
 
-std::string canonical_slice_key(const encode::NetworkModel& model,
-                                const std::vector<NodeId>& slice_members,
-                                const encode::Invariant& invariant,
-                                const PolicyClasses& classes,
-                                int max_failures,
-                                dataplane::TransferCache* transfers) {
-  const net::Network& net = model.network();
-  dataplane::TransferCache local_transfers(net);
-  dataplane::TransferCache& tcache =
-      transfers != nullptr ? *transfers : local_transfers;
+namespace {
 
-  // Mirror encode::Encoding's member normalization: the key must
-  // fingerprint exactly the problem verify_members() will encode.
-  std::vector<NodeId> members(slice_members);
-  std::sort(members.begin(), members.end());
-  members.erase(std::unique(members.begin(), members.end()), members.end());
+/// Normalizes a member list exactly like encode::Encoding's constructor:
+/// the fingerprints below must describe the problem verify_members() will
+/// encode.
+std::vector<NodeId> normalize_members(const std::vector<NodeId>& members) {
+  std::vector<NodeId> out(members);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Round signatures are compressed to a 64-bit digest before reuse:
+/// uncompressed, color length multiplies by relation degree every round,
+/// and the digest is a pure function of the signature string, so the same
+/// signature digests identically in every slice - cross-slice comparability
+/// is preserved exactly, up to the (negligible) chance of a 64-bit
+/// collision. The digest is pinned FNV-1a 64 (core/hash.hpp), NOT
+/// std::hash: std::hash may differ between implementations, builds and
+/// even runs (hash hardening), and the persistent result cache
+/// (verify::ResultCache) compares these keys across processes.
+std::string digest(const std::string& sig) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(sig)));
+  return std::string(buf);
+}
+
+/// The relevant address set of a member list, derived exactly like
+/// Encoding::compute_relevant_addresses: member host addresses plus member
+/// middleboxes' implicit addresses, sorted.
+std::vector<Address> relevant_addresses(const encode::NetworkModel& model,
+                                        const std::vector<NodeId>& members) {
+  std::set<Address> addrs;
+  for (NodeId m : members) {
+    const net::Node& n = model.network().node(m);
+    if (n.kind == net::NodeKind::host) {
+      addrs.insert(n.address);
+    } else if (const mbox::Middlebox* box = model.middlebox_at(m)) {
+      for (Address a : box->implicit_addresses()) addrs.insert(a);
+    }
+  }
+  return {addrs.begin(), addrs.end()};
+}
+
+struct Refined {
+  /// Final member colors, aligned with the normalized member list.
+  std::vector<std::string> mcolor;
+  /// The "#members@addresses!scenarios" palette suffix of the key.
+  std::string palette;
+};
+
+/// The shared 1-WL core of canonical_slice_key and canonical_shape_key:
+/// co-refines member and relevant-address colors over the scenario-tagged
+/// routing relation (three rounds on the tripartite member/address/scenario
+/// structure), starting from the caller's initial member colors.
+/// `fingerprint_incidence` additionally colors each (middlebox, address)
+/// incidence with the box's per-address policy fingerprint - the slice key
+/// wants configuration in the fingerprint, the shape key deliberately does
+/// not (shape_bijection verifies configuration exactly instead).
+Refined wl_refine(const encode::NetworkModel& model,
+                  const std::vector<NodeId>& members,
+                  std::vector<std::string> mcolor, bool fingerprint_incidence,
+                  int max_failures, dataplane::TransferCache& tcache) {
+  const net::Network& net = model.network();
   auto member_index = [&](NodeId id) -> std::optional<std::size_t> {
     auto it = std::lower_bound(members.begin(), members.end(), id);
     if (it == members.end() || *it != id) return std::nullopt;
     return static_cast<std::size_t>(it - members.begin());
-  };
-
-  // Initial member colors: invariant role, then policy class for hosts and
-  // type/scope/failure-mode for middleboxes (plus, for traversal
-  // invariants, whether the encoder's name-prefix match selects the box).
-  // Node names and raw address bits never enter the key. The host color is
-  // the *reachability-refined* class index (infer_policy_classes): hosts
-  // whose configurations fingerprint alike but whose packets live in
-  // disjoint parts of the dataplane carry different classes, so two slices
-  // that differ only in which such sub-population their representative
-  // senders came from can never canonically merge - dedup would otherwise
-  // re-merge exactly the classes the refinement split.
-  std::vector<std::string> mcolor(members.size());
-  for (std::size_t i = 0; i < members.size(); ++i) {
-    const NodeId id = members[i];
-    std::string c;
-    if (id == invariant.target) {
-      c = "T";
-    } else if (id == invariant.other) {
-      c = "O";
-    }
-    if (net.kind(id) == net::NodeKind::host) {
-      c += "h" + std::to_string(classes.class_of(id));
-    } else if (const mbox::Middlebox* box = model.middlebox_at(id)) {
-      c += "m:" + box->structural_fingerprint();
-      if (invariant.kind == encode::InvariantKind::traversal &&
-          net.name(id).starts_with(invariant.type_prefix)) {
-        c += ":P";  // the traversal axiom matches boxes by name prefix
-      }
-    }
-    mcolor[i] = std::move(c);
-  }
-
-  // Round signatures are compressed to a 64-bit digest before reuse:
-  // uncompressed, color length multiplies by relation degree every round,
-  // and the digest is a pure function of the signature string, so the same
-  // signature digests identically in every slice - cross-slice comparability
-  // is preserved exactly, up to the (negligible) chance of a 64-bit
-  // collision. The digest is pinned FNV-1a 64 (core/hash.hpp), NOT
-  // std::hash: std::hash may differ between implementations, builds and
-  // even runs (hash hardening), and the persistent result cache
-  // (verify::ResultCache) compares these keys across processes.
-  const auto digest = [](const std::string& sig) {
-    char buf[17];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(fnv1a64(sig)));
-    return std::string(buf);
   };
 
   // Relevant addresses with their owning members (the same derivation as
@@ -136,25 +139,32 @@ std::string canonical_slice_key(const encode::NetworkModel& model,
     owners.push_back(std::move(os));
   }
 
-  // Configuration enters the key through each member middlebox's per-address
-  // policy projection (the same projection infer_policy_classes fingerprints
-  // hosts with): the box x relevant-address incidence is colored by
-  // policy_fingerprint, so same-type boxes whose configurations treat a
-  // slice address differently (e.g. default-deny vs default-allow firewalls,
-  // or a dropping IDPS vs a pure monitor) never merge - without this the
-  // encoding (which compiles the full config) would diverge from the key and
-  // symmetric-looking checks could unsoundly inherit outcomes. Soundness
-  // rests on the Middlebox::policy_fingerprint contract: every axiom-relevant
-  // knob, address-independent ones included, must be projected (see the
-  // Idps/AppFirewall overrides). Fingerprints may mention raw peer prefixes, so
-  // corresponding-but-renamed configs split conservatively (sound, costs a
-  // solver call); fingerprints of isomorphically-treated addresses are equal
-  // strings, which is what keeps e.g. an enterprise's public subnets merged.
-  for (std::size_t i = 0; i < members.size(); ++i) {
-    const mbox::Middlebox* box = model.middlebox_at(members[i]);
-    if (box == nullptr) continue;
-    for (std::size_t j = 0; j < relevant.size(); ++j) {
-      owners[j].push_back({"f" + digest(box->policy_fingerprint(relevant[j])), i});
+  // Configuration enters the slice key through each member middlebox's
+  // per-address policy projection (the same projection infer_policy_classes
+  // fingerprints hosts with): the box x relevant-address incidence is
+  // colored by policy_fingerprint, so same-type boxes whose configurations
+  // treat a slice address differently (e.g. default-deny vs default-allow
+  // firewalls, or a dropping IDPS vs a pure monitor) never merge - without
+  // this the encoding (which compiles the full config) would diverge from
+  // the key and symmetric-looking checks could unsoundly inherit outcomes.
+  // Soundness rests on the Middlebox::policy_fingerprint contract: every
+  // axiom-relevant knob, address-independent ones included, must be
+  // projected (see the Idps/AppFirewall overrides). Fingerprints may
+  // mention raw peer prefixes, so corresponding-but-renamed configs split
+  // conservatively (sound, costs a solver call); fingerprints of
+  // isomorphically-treated addresses are equal strings, which is what
+  // keeps e.g. an enterprise's public subnets merged. (The shape key skips
+  // this incidence: it must pair exactly the renamed-but-corresponding
+  // slices the raw fingerprints split, and shape_bijection re-checks
+  // configuration exactly through Middlebox::encoding_projection.)
+  if (fingerprint_incidence) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const mbox::Middlebox* box = model.middlebox_at(members[i]);
+      if (box == nullptr) continue;
+      for (std::size_t j = 0; j < relevant.size(); ++j) {
+        owners[j].push_back(
+            {"f" + digest(box->policy_fingerprint(relevant[j])), i});
+      }
     }
   }
 
@@ -258,22 +268,320 @@ std::string canonical_slice_key(const encode::NetworkModel& model,
     acolor = std::move(next_a);
   }
 
-  // The key: invariant signature plus the sorted multisets of final member
-  // colors, address colors and scenario fingerprints.
+  // The palette: the sorted multisets of final member colors, address
+  // colors and scenario fingerprints.
   std::vector<std::string> mpal = mcolor;
   std::vector<std::string> apal = acolor;
   std::vector<std::string> spal = scenario_tags(mcolor, acolor);
   std::sort(mpal.begin(), mpal.end());
   std::sort(apal.begin(), apal.end());
   std::sort(spal.begin(), spal.end());
-  std::string key = encode::to_string(invariant.kind) + "/" +
-                    invariant.type_prefix + "#";
-  for (const std::string& c : mpal) key += c + ";";
-  key += "@";
-  for (const std::string& c : apal) key += c + ";";
-  key += "!";
-  for (const std::string& c : spal) key += c + ";";
-  return key;
+  Refined out;
+  out.palette = "#";
+  for (const std::string& c : mpal) out.palette += c + ";";
+  out.palette += "@";
+  for (const std::string& c : apal) out.palette += c + ";";
+  out.palette += "!";
+  for (const std::string& c : spal) out.palette += c + ";";
+  out.mcolor = std::move(mcolor);
+  return out;
+}
+
+}  // namespace
+
+std::string canonical_slice_key(const encode::NetworkModel& model,
+                                const std::vector<NodeId>& slice_members,
+                                const encode::Invariant& invariant,
+                                const PolicyClasses& classes,
+                                int max_failures,
+                                dataplane::TransferCache* transfers) {
+  const net::Network& net = model.network();
+  dataplane::TransferCache local_transfers(net);
+  dataplane::TransferCache& tcache =
+      transfers != nullptr ? *transfers : local_transfers;
+  const std::vector<NodeId> members = normalize_members(slice_members);
+
+  // Initial member colors: invariant role, then policy class for hosts and
+  // type/scope/failure-mode for middleboxes (plus, for traversal
+  // invariants, whether the encoder's name-prefix match selects the box).
+  // Node names and raw address bits never enter the key. The host color is
+  // the *reachability-refined* class index (infer_policy_classes): hosts
+  // whose configurations fingerprint alike but whose packets live in
+  // disjoint parts of the dataplane carry different classes, so two slices
+  // that differ only in which such sub-population their representative
+  // senders came from can never canonically merge - dedup would otherwise
+  // re-merge exactly the classes the refinement split.
+  std::vector<std::string> mcolor(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const NodeId id = members[i];
+    std::string c;
+    if (id == invariant.target) {
+      c = "T";
+    } else if (id == invariant.other) {
+      c = "O";
+    }
+    if (net.kind(id) == net::NodeKind::host) {
+      c += "h" + std::to_string(classes.class_of(id));
+    } else if (const mbox::Middlebox* box = model.middlebox_at(id)) {
+      c += "m:" + box->structural_fingerprint();
+      if (invariant.kind == encode::InvariantKind::traversal &&
+          net.name(id).starts_with(invariant.type_prefix)) {
+        c += ":P";  // the traversal axiom matches boxes by name prefix
+      }
+    }
+    mcolor[i] = std::move(c);
+  }
+
+  Refined refined = wl_refine(model, members, std::move(mcolor),
+                              /*fingerprint_incidence=*/true, max_failures,
+                              tcache);
+  return encode::to_string(invariant.kind) + "/" + invariant.type_prefix +
+         refined.palette;
+}
+
+ShapeKey canonical_shape_key(const encode::NetworkModel& model,
+                             const std::vector<NodeId>& slice_members,
+                             int max_failures,
+                             dataplane::TransferCache* transfers) {
+  const net::Network& net = model.network();
+  dataplane::TransferCache local_transfers(net);
+  dataplane::TransferCache& tcache =
+      transfers != nullptr ? *transfers : local_transfers;
+
+  ShapeKey out;
+  out.members = normalize_members(slice_members);
+
+  // Invariant-free, configuration-free initial colors: hosts are all alike
+  // (their policy classes and fingerprints deliberately excluded - raw
+  // peer prefixes inside fingerprints would split exactly the
+  // renamed-isomorphic slices this key exists to pair), middleboxes carry
+  // their structural triple only. Everything else the base encoding
+  // depends on - routing under every in-budget scenario, failure sets,
+  // address ownership - enters through the refinement relation.
+  std::vector<std::string> mcolor(out.members.size());
+  for (std::size_t i = 0; i < out.members.size(); ++i) {
+    const NodeId id = out.members[i];
+    if (net.kind(id) == net::NodeKind::host) {
+      mcolor[i] = "h";
+    } else if (const mbox::Middlebox* box = model.middlebox_at(id)) {
+      mcolor[i] = "m:" + box->structural_fingerprint();
+    }
+  }
+
+  Refined refined = wl_refine(model, out.members, std::move(mcolor),
+                              /*fingerprint_incidence=*/false, max_failures,
+                              tcache);
+  out.key = "shape" + refined.palette;
+  out.colors = std::move(refined.mcolor);
+  return out;
+}
+
+std::optional<std::vector<NodeId>> shape_bijection(
+    const encode::NetworkModel& model, const ShapeKey& from,
+    const ShapeKey& to, int max_failures,
+    dataplane::TransferCache* transfers) {
+  const net::Network& net = model.network();
+  if (from.members.size() != to.members.size()) return std::nullopt;
+  if (from.members.size() != from.colors.size() ||
+      to.members.size() != to.colors.size()) {
+    return std::nullopt;
+  }
+  dataplane::TransferCache local_transfers(net);
+  dataplane::TransferCache& tcache =
+      transfers != nullptr ? *transfers : local_transfers;
+  const std::size_t n = from.members.size();
+
+  // Candidate pairing: sort both sides by (color, position) and pair in
+  // order. Within a color class the pairing is arbitrary - if the class
+  // holds genuine automorphisms any pairing verifies; if 1-WL merely
+  // failed to distinguish non-corresponding nodes, the exact checks below
+  // reject the candidate and the caller encodes cold.
+  auto order_by_color = [n](const std::vector<std::string>& colors) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return colors[a] != colors[b] ? colors[a] < colors[b] : a < b;
+    });
+    return idx;
+  };
+  const std::vector<std::size_t> from_order = order_by_color(from.colors);
+  const std::vector<std::size_t> to_order = order_by_color(to.colors);
+  std::vector<NodeId> image(n);
+  // perm[i] = index into to.members of the node playing from.members[i].
+  std::vector<std::size_t> perm(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (from.colors[from_order[r]] != to.colors[to_order[r]]) {
+      return std::nullopt;  // color multisets differ: not even a candidate
+    }
+    perm[from_order[r]] = to_order[r];
+    image[from_order[r]] = to.members[to_order[r]];
+  }
+
+  // --- exact verification: everything the base encoding compiles ---------
+
+  // 1. Node kinds and structural middlebox fingerprints must correspond.
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId a = from.members[i];
+    const NodeId b = image[i];
+    if (net.kind(a) != net.kind(b)) return std::nullopt;
+    const mbox::Middlebox* box_a = model.middlebox_at(a);
+    const mbox::Middlebox* box_b = model.middlebox_at(b);
+    if ((box_a == nullptr) != (box_b == nullptr)) return std::nullopt;
+    if (box_a != nullptr &&
+        box_a->structural_fingerprint() != box_b->structural_fingerprint()) {
+      return std::nullopt;
+    }
+  }
+
+  // 2. The induced address bijection: host addresses map pairwise, and
+  // middlebox implicit-address lists map elementwise (their order is part
+  // of the instance's configuration - e.g. a load balancer's backends).
+  // Any conflict, and any failure to map the relevant sets onto each
+  // other bijectively, refuses the candidate.
+  std::map<Address, Address> alpha;
+  std::map<Address, Address> alpha_inv;
+  auto map_addr = [&](Address a, Address b) {
+    auto [it, inserted] = alpha.emplace(a, b);
+    if (!inserted && it->second != b) return false;
+    auto [jt, jinserted] = alpha_inv.emplace(b, a);
+    return jinserted || jt->second == a;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::Node& node_a = net.node(from.members[i]);
+    if (node_a.kind == net::NodeKind::host) {
+      if (!map_addr(node_a.address, net.node(image[i]).address)) {
+        return std::nullopt;
+      }
+    } else if (const mbox::Middlebox* box_a = model.middlebox_at(from.members[i])) {
+      const mbox::Middlebox* box_b = model.middlebox_at(image[i]);
+      const std::vector<Address> ia = box_a->implicit_addresses();
+      const std::vector<Address> ib = box_b->implicit_addresses();
+      if (ia.size() != ib.size()) return std::nullopt;
+      for (std::size_t k = 0; k < ia.size(); ++k) {
+        if (!map_addr(ia[k], ib[k])) return std::nullopt;
+      }
+    }
+  }
+  const std::vector<Address> rel_from = relevant_addresses(model, from.members);
+  const std::vector<Address> rel_to = relevant_addresses(model, to.members);
+  if (rel_from.size() != rel_to.size()) return std::nullopt;
+  // mapped[j] = alpha(rel_from[j]); must enumerate rel_to exactly.
+  std::vector<Address> mapped(rel_from.size(), Address{});
+  {
+    std::set<Address> image_set;
+    for (std::size_t j = 0; j < rel_from.size(); ++j) {
+      auto it = alpha.find(rel_from[j]);
+      if (it == alpha.end()) return std::nullopt;
+      mapped[j] = it->second;
+      image_set.insert(it->second);
+    }
+    if (!std::equal(image_set.begin(), image_set.end(), rel_to.begin(),
+                    rel_to.end())) {
+      return std::nullopt;
+    }
+  }
+
+  // 3. Middlebox configurations: each member box's canonical projection of
+  // its configuration onto the relevant set must agree under the address
+  // bijection. Addresses are rendered as positions in the aligned relevant
+  // lists; an address a projection mentions without a mapping (possible
+  // only for box types relying on the conservative default projection)
+  // renders as a side-tagged raw literal, which can never compare equal
+  // across the two sides - unknown configuration surface refuses reuse.
+  std::map<Address, std::size_t> from_token;
+  std::map<Address, std::size_t> to_token;
+  for (std::size_t j = 0; j < rel_from.size(); ++j) {
+    from_token.emplace(rel_from[j], j);
+    to_token.emplace(mapped[j], j);
+  }
+  auto token_of = [](const std::map<Address, std::size_t>& tokens,
+                     const char* side) {
+    return [&tokens, side](Address a) {
+      auto it = tokens.find(a);
+      if (it == tokens.end()) {
+        return std::string("!") + side + std::to_string(a.bits());
+      }
+      return "#" + std::to_string(it->second);
+    };
+  };
+  const std::function<std::string(Address)> tok_from =
+      token_of(from_token, "f");
+  const std::function<std::string(Address)> tok_to = token_of(to_token, "t");
+  for (std::size_t i = 0; i < n; ++i) {
+    const mbox::Middlebox* box_a = model.middlebox_at(from.members[i]);
+    if (box_a == nullptr) continue;
+    const mbox::Middlebox* box_b = model.middlebox_at(image[i]);
+    if (box_a->encoding_projection(rel_from, tok_from) !=
+        box_b->encoding_projection(mapped, tok_to)) {
+      return std::nullopt;
+    }
+  }
+
+  // 4. Routing and failures: for every in-budget scenario, the transfer
+  // relation over members x relevant addresses (what omega.transfer
+  // compiles) and the failed-member set, both written in the target
+  // namespace, must correspond under SOME permutation of the in-budget
+  // scenarios - the scenario-selection constant is used only with
+  // equality, so permuting the enum's interpretation preserves
+  // satisfiability, and nothing else in the encoding is scenario-indexed.
+  // A multiset match certifies existence; the permutation itself is never
+  // needed downstream (witness fail events name nodes, not scenarios).
+  auto member_pos = [](const std::vector<NodeId>& members, NodeId id)
+      -> std::optional<std::size_t> {
+    auto it = std::lower_bound(members.begin(), members.end(), id);
+    if (it == members.end() || *it != id) return std::nullopt;
+    return static_cast<std::size_t>(it - members.begin());
+  };
+  std::vector<std::string> from_sigs;
+  std::vector<std::string> to_sigs;
+  for (const net::FailureScenario& sc : net.scenarios()) {
+    if (static_cast<int>(sc.failed_nodes.size()) > max_failures) continue;
+    const ScenarioId sid(static_cast<ScenarioId::underlying_type>(
+        &sc - net.scenarios().data()));
+    const dataplane::TransferFunction& tf = tcache.at(sid);
+    std::vector<std::string> fl;
+    std::vector<std::string> tl;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < rel_from.size(); ++j) {
+        // from-side walk, written in to-space coordinates via perm.
+        if (std::optional<NodeId> hop = tf.next_edge(from.members[i],
+                                                     rel_from[j])) {
+          if (std::optional<std::size_t> k = member_pos(from.members, *hop)) {
+            fl.push_back("r" + std::to_string(perm[i]) + "," +
+                         std::to_string(j) + ">" + std::to_string(perm[*k]));
+          }
+        }
+        // to-side walk, already in to-space; addresses share the aligned
+        // token space (mapped[j] is alpha(rel_from[j])).
+        if (std::optional<NodeId> hop = tf.next_edge(to.members[i],
+                                                     mapped[j])) {
+          if (std::optional<std::size_t> k = member_pos(to.members, *hop)) {
+            tl.push_back("r" + std::to_string(i) + "," + std::to_string(j) +
+                         ">" + std::to_string(*k));
+          }
+        }
+      }
+      if (sc.is_failed(from.members[i])) {
+        fl.push_back("x" + std::to_string(perm[i]));
+      }
+      if (sc.is_failed(to.members[i])) {
+        tl.push_back("x" + std::to_string(i));
+      }
+    }
+    std::sort(fl.begin(), fl.end());
+    std::sort(tl.begin(), tl.end());
+    std::string fsig;
+    for (const std::string& l : fl) fsig += l + ";";
+    std::string tsig;
+    for (const std::string& l : tl) tsig += l + ";";
+    from_sigs.push_back(std::move(fsig));
+    to_sigs.push_back(std::move(tsig));
+  }
+  std::sort(from_sigs.begin(), from_sigs.end());
+  std::sort(to_sigs.begin(), to_sigs.end());
+  if (from_sigs != to_sigs) return std::nullopt;
+
+  return image;
 }
 
 }  // namespace vmn::slice

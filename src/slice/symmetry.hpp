@@ -7,6 +7,7 @@
 // verifies one representative per group.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -84,5 +85,56 @@ struct SymmetryGroups {
     const encode::NetworkModel& model, const std::vector<NodeId>& members,
     const encode::Invariant& invariant, const PolicyClasses& classes,
     int max_failures = 0, dataplane::TransferCache* transfers = nullptr);
+
+/// Canonical fingerprint of a *base encoding problem* - (model, member set,
+/// failure budget) with no invariant - plus the per-member refinement
+/// colors the fingerprint was derived from.
+///
+/// Unlike canonical_slice_key, the shape key ignores invariant roles,
+/// policy classes and middlebox configuration payloads (policy fingerprints
+/// mention raw peer prefixes, which would split exactly the
+/// corresponding-but-renamed slices shape matching exists to pair): hosts
+/// are colored "host", middleboxes by structural fingerprint, and the
+/// 1-WL refinement over the scenario-tagged routing relation does the rest.
+/// Equal keys are therefore only a *candidate* signal - two slices whose
+/// keys collide may still encode different problems (differing
+/// configurations, or a 1-WL blind spot). shape_bijection() below performs
+/// the exact, soundness-carrying verification; the key's only job is to
+/// index the encoding-reuse cache and to align members for pairing.
+struct ShapeKey {
+  std::string key;
+  /// Normalized (sorted, deduplicated) members the key describes.
+  std::vector<NodeId> members;
+  /// Final refinement color per member, aligned with `members`.
+  std::vector<std::string> colors;
+};
+
+[[nodiscard]] ShapeKey canonical_shape_key(
+    const encode::NetworkModel& model, const std::vector<NodeId>& members,
+    int max_failures = 0, dataplane::TransferCache* transfers = nullptr);
+
+/// Attempts to build - and exactly verify - a bijection from `from.members`
+/// onto `to.members` under which the two base encodings are isomorphic:
+/// the returned image (aligned with `from.members`) maps nodes such that
+/// kinds and structural fingerprints agree, the induced address bijection
+/// (host addresses plus middlebox implicit-address lists, elementwise) is
+/// well defined and maps one relevant-address set onto the other, every
+/// member middlebox's encoding_projection (the canonical rendering of
+/// everything emit_axioms compiles from its configuration) agrees under
+/// the address bijection, and for the in-budget failure scenarios there is
+/// a scenario permutation under which the transfer relations
+/// (members x relevant addresses, exactly what omega.transfer compiles)
+/// and per-scenario failed-member sets correspond.
+///
+/// These checks re-derive the entire configuration-dependent content of
+/// encode::Encoding, so a returned bijection certifies that solving an
+/// invariant mapped through it on `to`'s base encoding is equisatisfiable
+/// with solving the original on `from`'s - the 1-WL candidate pairing is
+/// never trusted on its own. Returns nullopt when any check fails (the
+/// caller falls back to encoding `from` cold, which is always sound).
+[[nodiscard]] std::optional<std::vector<NodeId>> shape_bijection(
+    const encode::NetworkModel& model, const ShapeKey& from,
+    const ShapeKey& to, int max_failures = 0,
+    dataplane::TransferCache* transfers = nullptr);
 
 }  // namespace vmn::slice

@@ -14,12 +14,22 @@
 #include <chrono>
 #include <cstddef>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/ids.hpp"
 #include "dataplane/transfer.hpp"
 
 namespace vmn::verify {
+
+/// One cached representative per base-encoding shape: the member set whose
+/// encoding stands in for every isomorphic member set planned later, plus
+/// the refinement colors new candidates are paired against
+/// (slice::canonical_shape_key / slice::shape_bijection).
+struct ShapeRep {
+  std::vector<NodeId> members;
+  std::vector<std::string> colors;
+};
 
 /// Shared state for one plan_jobs pass. The planner is the serial Amdahl
 /// term in front of the parallel fan-out, and its dominant cost used to be
@@ -38,6 +48,18 @@ namespace vmn::verify {
 struct PlanContext {
   explicit PlanContext(const net::Network& network) : transfers(network) {}
   dataplane::TransferCache transfers;
+  /// Canonical-shape-key-indexed encoding-reuse cache: member sets planned
+  /// under a shape key are rebound (Job::iso_image) onto the first
+  /// registered representative their exact verification accepts. A key
+  /// holds a short *list* of representatives, not one: the shape key is
+  /// configuration-blind, so e.g. a clean and a rule-deleted datacenter
+  /// group share a key while encoding different problems - each
+  /// configuration stratum gets its own representative and later member
+  /// sets of the same stratum still pair up (the list is capped; see
+  /// plan_jobs). Owned by the verifier alongside the transfer memo, so
+  /// representatives persist across plan passes - a later batch warms
+  /// straight onto the shapes an earlier batch encoded.
+  std::unordered_map<std::string, std::vector<ShapeRep>> shape_reps;
 };
 
 /// One unit of parallel work: verify a representative invariant on its slice.
@@ -52,6 +74,24 @@ struct Job {
   /// Canonical fingerprint of (invariant, slice) used for job dedup
   /// (empty when planned without symmetry).
   std::string canonical_key;
+  /// Cross-isomorphic encoding reuse (empty = encode `members` directly).
+  /// When set, iso_image[i] is the representative node playing members[i]'s
+  /// part under a planner-verified isomorphism (slice::shape_bijection):
+  /// the job executes on the base encoding of the representative member
+  /// set (`iso_members`) with the invariant mapped through the bijection,
+  /// and the counterexample witness is relabeled back before it surfaces
+  /// (verify::IsoBinding).
+  std::vector<NodeId> iso_image;
+  /// The representative member set (sorted iso_image values); set exactly
+  /// when iso_image is.
+  std::vector<NodeId> iso_members;
+
+  /// The member set whose base encoding this job actually binds: the
+  /// isomorphic representative's when mapped, its own otherwise. Jobs with
+  /// equal encode_members share a warm solver context.
+  [[nodiscard]] const std::vector<NodeId>& encode_members() const {
+    return iso_image.empty() ? members : iso_members;
+  }
   /// Batch indices (excluding the representative) inheriting the outcome.
   std::vector<std::size_t> inheritors;
   /// Planning cost (slice computation + canonical key) for the
@@ -81,6 +121,9 @@ struct JobPlan {
   /// 2 x invariants x scenarios and reuses == 0.
   std::size_t transfer_builds = 0;
   std::size_t transfer_reuses = 0;
+  /// Jobs rebound onto an isomorphic representative's base encoding this
+  /// pass (cross-isomorphic warm candidates; Job::iso_image set).
+  std::size_t iso_mapped = 0;
 
   /// Fraction of the batch answered without a dedicated solver job.
   [[nodiscard]] double dedup_hit_rate() const {

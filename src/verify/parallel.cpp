@@ -59,6 +59,9 @@ BatchResult ParallelBatchResult::to_batch() const& {
   out.cache_misses = cache_misses;
   out.warm_binds = warm_binds;
   out.warm_reuses = warm_reuses;
+  out.iso_reuses = iso_reuses;
+  out.encode_transfer_builds = encode_transfer_builds;
+  out.encode_transfer_reuses = encode_transfer_reuses;
   return out;
 }
 
@@ -72,6 +75,9 @@ BatchResult ParallelBatchResult::to_batch() && {
   out.cache_misses = cache_misses;
   out.warm_binds = warm_binds;
   out.warm_reuses = warm_reuses;
+  out.iso_reuses = iso_reuses;
+  out.encode_transfer_builds = encode_transfer_builds;
+  out.encode_transfer_reuses = encode_transfer_reuses;
   return out;
 }
 
@@ -103,10 +109,11 @@ ParallelBatchResult ParallelVerifier::verify_all(
   out.conservative_splits = plan.conservative_splits;
   out.dedup_hit_rate = plan.dedup_hit_rate();
   out.plan_time = plan.plan_time;
+  out.iso_mapped = plan.iso_mapped;
 
   // Persistent-cache pass: answer whatever a previous batch already solved
   // before any task is scheduled; only the misses reach the pool.
-  ResultCache cache(options_.verify.cache_dir);
+  ResultCache cache(options_.verify.cache_dir, model_fingerprint(*model_));
   std::vector<VerifyResult> job_results(plan.jobs.size());
   std::vector<std::size_t> to_solve;
   to_solve.reserve(plan.jobs.size());
@@ -124,6 +131,10 @@ ParallelBatchResult ParallelVerifier::verify_all(
   // Group runs of same-shape jobs (the planner made them adjacent, and
   // removing cache hits preserves adjacency) into single pool tasks: the
   // jobs of a group execute on one worker's warm session, back to back.
+  // "Same shape" means the same *base encoding* - identical member sets,
+  // or member sets rebound onto one isomorphic representative
+  // (Job::encode_members), which is how cross-isomorphic reuse survives
+  // the fan-out.
   std::size_t requested = options_.jobs != 0
                               ? options_.jobs
                               : std::thread::hardware_concurrency();
@@ -132,7 +143,8 @@ ParallelBatchResult ParallelVerifier::verify_all(
   for (std::size_t k = 0; k < to_solve.size();) {
     std::size_t end = k + 1;
     while (end < to_solve.size() &&
-           plan.jobs[to_solve[end]].members == plan.jobs[to_solve[k]].members) {
+           plan.jobs[to_solve[end]].encode_members() ==
+               plan.jobs[to_solve[k]].encode_members()) {
       ++end;
     }
     groups.emplace_back(k, end);
@@ -183,8 +195,19 @@ ParallelBatchResult ParallelVerifier::verify_all(
     process_groups.reserve(groups.size());
     for (const auto& [begin, end] : groups) {
       ProcessGroup group;
+      // The projection must contain every node the group's jobs reference:
+      // with cross-isomorphic rebinding a group spans several member sets
+      // plus their shared representative (whose encoding the worker
+      // builds), so project the union - each job's own slice stays closed
+      // under forwarding inside it.
+      std::set<NodeId> span;
+      for (std::size_t k = begin; k < end; ++k) {
+        const Job& job = plan.jobs[to_solve[k]];
+        span.insert(job.members.begin(), job.members.end());
+        span.insert(job.encode_members().begin(), job.encode_members().end());
+      }
       group.spec_text = io::write_projected_spec_string(
-          *model_, plan.jobs[to_solve[begin]].members);
+          *model_, std::vector<NodeId>(span.begin(), span.end()));
       for (std::size_t k = begin; k < end; ++k) group.jobs.push_back(k);
       process_groups.push_back(std::move(group));
     }
@@ -215,6 +238,9 @@ ParallelBatchResult ParallelVerifier::verify_all(
         }
         out.warm_binds += r.warm_binds;
         out.warm_reuses += r.warm_reuses;
+        out.iso_reuses += r.iso_reuses;
+        out.encode_transfer_builds += r.encode_transfer_builds;
+        out.encode_transfer_reuses += r.encode_transfer_reuses;
         solved.insert(to_solve[k]);
       }
       // Abandoned jobs keep the default-constructed unknown VerifyResult;
@@ -228,19 +254,25 @@ ParallelBatchResult ParallelVerifier::verify_all(
     pool.run(groups.size(), [&](std::size_t gi, SolverSession& session) {
       // Warm reuse is scoped to this task: a session that just solved a
       // same-shape task must not leak its context (and learned state) into
-      // this one, or results would depend on the task-to-worker race.
-      session.reset_warm();
+      // this one, or results would depend on the task-to-worker race. The
+      // transfer memo survives (same model across every task of a batch).
+      session.reset_warm(/*keep_transfers=*/true);
       for (std::size_t k = groups[gi].first; k < groups[gi].second; ++k) {
         Job& job = plan.jobs[to_solve[k]];
+        const IsoBinding iso{job.members, job.iso_image};
         job_results[to_solve[k]] = verify_members(
             *model_, invariants[job.invariant_index], std::move(job.members),
-            options_.verify.max_failures, session);
+            options_.verify.max_failures, session,
+            job.iso_image.empty() ? nullptr : &iso);
       }
     });
     out.workers = pool.stats();
     for (std::size_t w = 0; w < pool.size(); ++w) {
       out.warm_binds += pool.session(w).binds();
       out.warm_reuses += pool.session(w).warm_reuses();
+      out.iso_reuses += pool.session(w).iso_reuses();
+      out.encode_transfer_builds += pool.session(w).encode_transfer_builds();
+      out.encode_transfer_reuses += pool.session(w).encode_transfer_reuses();
     }
     solved.insert(to_solve.begin(), to_solve.end());
   }

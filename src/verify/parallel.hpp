@@ -104,6 +104,17 @@ struct ParallelBatchResult {
   /// jobs answered on a reused live context.
   std::size_t warm_binds = 0;
   std::size_t warm_reuses = 0;
+  /// Jobs the planner rebound onto an isomorphic representative's base
+  /// encoding (Job::iso_image) and, of those, the ones a live context
+  /// answered warm - the cross-isomorphic reuse the canonical-key dedup
+  /// cannot reach because the verdicts must stay separate.
+  std::size_t iso_mapped = 0;
+  std::size_t iso_reuses = 0;
+  /// Transfer functions built by encoders vs served from a warm per-session
+  /// memo during encoding (zero duplicate fabric walks per session; see
+  /// BatchResult).
+  std::size_t encode_transfer_builds = 0;
+  std::size_t encode_transfer_reuses = 0;
   /// Process-backend crash accounting (all 0 under the thread backend):
   /// worker processes spawned/lost, jobs re-dispatched after a crash or
   /// hang, and jobs abandoned to an unknown verdict after the bounded

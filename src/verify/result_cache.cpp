@@ -24,10 +24,14 @@ constexpr const char* kFileName = "vmn-results.cache";
 // changes, even if their syntax does not: v1 -> v2 when policy classes
 // became reachability-refined (host colors in the key now encode the
 // refined relation, so a v1 record could resurrect a verdict computed from
-// an unsoundly merged class). A cache file with any other header is stale:
-// its records are rejected wholesale on load and the file is rewritten
-// under the current version at the next flush.
-constexpr const char* kHeader = "# vmn-result-cache v2";
+// an unsoundly merged class); v2 -> v3 when the header grew the owning
+// model's spec fingerprint (a v2 file cannot prove which spec minted its
+// records, so records stale after spec edits were indistinguishable from
+// live ones and leaked forever). A cache file with any other header -
+// version OR fingerprint - is stale: its records are rejected wholesale on
+// load and the file is rewritten under the current header at the next
+// flush.
+constexpr const char* kHeaderPrefix = "# vmn-result-cache v3";
 
 const char* status_name(smt::CheckStatus status) {
   switch (status) {
@@ -99,8 +103,16 @@ std::string ResultCache::format_line(const Fingerprint& fp,
   return line;
 }
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+ResultCache::ResultCache(std::string dir, std::uint64_t spec_fingerprint)
+    : dir_(std::move(dir)), spec_fingerprint_(spec_fingerprint) {
   if (enabled()) load();
+}
+
+std::string ResultCache::header_line() const {
+  char line[96];
+  std::snprintf(line, sizeof line, "%s spec=%016" PRIx64, kHeaderPrefix,
+                spec_fingerprint_);
+  return line;
 }
 
 std::string ResultCache::file_path() const {
@@ -116,12 +128,14 @@ std::size_t ResultCache::parse_file(const std::string& path) {
   bool versioned = false;
   while (std::getline(in, line)) {
     if (!versioned) {
-      // The first line must be the current version header. Anything else -
-      // an older version whose canonical keys meant something different, a
-      // newer one, or a headerless file - makes every record stale:
-      // fingerprints from another key generation must never answer a
-      // lookup. The file itself is rewritten at the next flush.
-      if (line != kHeader) {
+      // The first line must be the current version header INCLUDING the
+      // spec fingerprint. Anything else - an older version whose canonical
+      // keys meant something different, a newer one, a headerless file, or
+      // a file minted by a different (e.g. since-edited) spec - makes
+      // every record stale: fingerprints from another key generation or
+      // another model must never answer a lookup. The file itself is
+      // rewritten at the next flush.
+      if (line != header_line()) {
         stale_version_ = true;
         return 0;
       }
@@ -173,7 +187,7 @@ void ResultCache::compact() {
   entries_.clear();
   parse_file(path);
   const std::string tmp = path + ".compact." + std::to_string(::getpid());
-  std::string content = std::string(kHeader) + "\n";
+  std::string content = header_line() + "\n";
   for (const auto& [fp, entry] : entries_) content += format_line(fp, entry);
   std::error_code ec;
   {
@@ -225,14 +239,15 @@ void ResultCache::flush() {
   std::string block;
   bool rewrite = false;
   if (::fstat(fd, &st) == 0 && st.st_size == 0) {
-    block = std::string(kHeader) + "\n";
+    block = header_line() + "\n";
   } else if (stale_version_) {
-    // Load rejected the file for carrying another key-format version:
-    // truncate and rewrite it under the current one. Re-check the header
-    // under the lock first - a concurrent batch may have upgraded the file
-    // since our load, and truncating now would destroy its valid records;
-    // in that case this flush appends like any other.
-    const std::string want = std::string(kHeader) + "\n";
+    // Load rejected the file for carrying another key-format version or
+    // spec fingerprint: truncate and rewrite it under the current header.
+    // Re-check the header under the lock first - a concurrent batch may
+    // have upgraded the file since our load, and truncating now would
+    // destroy its valid records; in that case this flush appends like any
+    // other.
+    const std::string want = header_line() + "\n";
     std::string probe(want.size(), '\0');
     const ssize_t n = ::pread(fd, probe.data(), probe.size(), 0);
     if (n != static_cast<ssize_t>(want.size()) || probe != want) {

@@ -64,7 +64,16 @@ class ResultCache {
   /// present (malformed lines are skipped, so a truncated or corrupted file
   /// degrades to misses, never to errors). An empty `dir` constructs a
   /// disabled cache: lookups miss, stores are dropped, flush is a no-op.
-  explicit ResultCache(std::string dir);
+  ///
+  /// `spec_fingerprint` (verify::model_fingerprint) is stamped into the
+  /// version header: canonical keys self-invalidate *lookups* after a spec
+  /// edit, but the orphaned records themselves used to accumulate forever
+  /// ("still need an occasional rm"). A file whose header carries another
+  /// fingerprint - or another key-format version - is rejected wholesale
+  /// on load and truncate-rewritten under the current header at the next
+  /// flush, so an edited spec starts from a clean file instead of leaking
+  /// dead records.
+  explicit ResultCache(std::string dir, std::uint64_t spec_fingerprint = 0);
 
   [[nodiscard]] bool enabled() const { return !dir_.empty(); }
 
@@ -118,7 +127,12 @@ class ResultCache {
   /// concurrently appended records survive).
   void compact();
 
+  /// The exact header line this cache accepts and writes: key-format
+  /// version plus the owning model's spec fingerprint.
+  [[nodiscard]] std::string header_line() const;
+
   std::string dir_;
+  std::uint64_t spec_fingerprint_ = 0;
   std::unordered_map<Fingerprint, Entry, FingerprintHash> entries_;
   /// Stored-but-not-yet-flushed records, in store order.
   std::vector<std::pair<Fingerprint, Entry>> dirty_;

@@ -8,12 +8,13 @@
 
 namespace vmn::verify {
 
-void SolverSession::reset_warm() {
+void SolverSession::reset_warm(bool keep_transfers) {
   encoding_.reset();
   solver_.reset();
   warm_model_ = nullptr;
   warm_members_.clear();
   warm_failures_ = -1;
+  if (!keep_transfers) owned_transfers_.reset();
 }
 
 SolverSession::WarmBound SolverSession::warm_bind(
@@ -28,8 +29,26 @@ SolverSession::WarmBound SolverSession::warm_bind(
     ++warm_reuses_;
     return WarmBound{*encoding_, *solver_, true};
   }
-  encoding_ = std::make_unique<encode::Encoding>(
-      model, std::move(members), encode::EncodeOptions{max_failures});
+  // Per-scenario transfer memo for the new encoding: the borrowed cache
+  // when the owner lent one (single-threaded callers only), else a
+  // session-owned cache scoped to the model's network - TransferFunction
+  // memos are not thread-safe, so each pool worker warms its own.
+  dataplane::TransferCache* transfers = borrowed_transfers_;
+  if (transfers == nullptr) {
+    if (owned_transfers_ == nullptr ||
+        &owned_transfers_->network() != &model.network()) {
+      owned_transfers_ =
+          std::make_unique<dataplane::TransferCache>(model.network());
+    }
+    transfers = owned_transfers_.get();
+  }
+  encode::EncodeOptions eopts;
+  eopts.max_failures = max_failures;
+  eopts.transfers = transfers;
+  encoding_ =
+      std::make_unique<encode::Encoding>(model, std::move(members), eopts);
+  encode_transfer_builds_ += encoding_->transfer_builds();
+  encode_transfer_reuses_ += encoding_->transfer_reuses();
   warm_model_ = &model;
   warm_failures_ = max_failures;
   warm_members_ = encoding_->members();

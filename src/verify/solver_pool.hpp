@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/ids.hpp"
+#include "dataplane/transfer.hpp"
 #include "encode/encoder.hpp"
 #include "logic/builder.hpp"
 #include "smt/solver.hpp"
@@ -35,9 +36,16 @@ class SolverSession {
  public:
   /// `warm` == false disables context reuse: every warm_bind() builds a
   /// fresh encoding and solver (the cold baseline the warm path is tested
-  /// and benchmarked against).
-  explicit SolverSession(smt::SolverOptions options, bool warm = true)
-      : options_(options), warm_(warm) {}
+  /// and benchmarked against). `transfers`, when non-null, is a borrowed
+  /// per-scenario transfer memo every encoding built by this session draws
+  /// from (the sequential engine lends its PlanContext cache, so encoding
+  /// re-walks nothing the planner walked). TransferFunction memos are not
+  /// thread-safe: a borrowed cache must only ever be touched from the
+  /// thread running this session, so pool workers leave it null and the
+  /// session builds a private per-model cache instead.
+  explicit SolverSession(smt::SolverOptions options, bool warm = true,
+                         dataplane::TransferCache* transfers = nullptr)
+      : options_(options), warm_(warm), borrowed_transfers_(transfers) {}
 
   /// What warm_bind hands out: the session-owned base encoding (base axioms
   /// already asserted on `solver` at scope level 0) and whether it was
@@ -61,20 +69,54 @@ class SolverSession {
   /// within one task: which tasks land on which worker is a scheduling
   /// race, and cross-task reuse would make solver state - and with it
   /// witness traces - depend on that race instead of only on the plan.
-  void reset_warm();
+  ///
+  /// The session-owned transfer memo is dropped too by default: it is
+  /// keyed by the network's address, and a session that outlives one model
+  /// and binds another allocated at the same address (the wire worker
+  /// re-emplacing its parsed Spec per shape group) would otherwise serve
+  /// the dead network's memoized walks. Callers that keep binding the same
+  /// model object (the thread backend: one batch, one model, many tasks)
+  /// pass keep_transfers=true - transfer functions are deterministic
+  /// routing data, so keeping them across tasks cannot make results
+  /// scheduling-dependent the way solver state would.
+  void reset_warm(bool keep_transfers = false);
 
   [[nodiscard]] const smt::SolverOptions& options() const { return options_; }
   /// Number of solver contexts built (cold binds + warm misses).
   [[nodiscard]] std::size_t binds() const { return binds_; }
   /// Number of warm_bind calls answered by the live context.
   [[nodiscard]] std::size_t warm_reuses() const { return warm_reuses_; }
+  /// Of the warm reuses, how many served a job whose own member set
+  /// differs from the live encoding's (cross-isomorphic reuse: the job was
+  /// rebound onto an isomorphic representative's base encoding; see
+  /// verify::IsoBinding). Incremented by verify_members via note_iso_reuse.
+  [[nodiscard]] std::size_t iso_reuses() const { return iso_reuses_; }
+  void note_iso_reuse() { ++iso_reuses_; }
+  /// Transfer functions built by this session's encodings vs answered by a
+  /// cache (the borrowed one, or the session-owned per-model cache). With
+  /// warm caches, a scenario's fabric walks happen at most once per
+  /// session no matter how many encodings it builds - "builds" beyond the
+  /// distinct in-budget scenarios would be the duplicate work this counter
+  /// pair exists to rule out.
+  [[nodiscard]] std::size_t encode_transfer_builds() const {
+    return encode_transfer_builds_;
+  }
+  [[nodiscard]] std::size_t encode_transfer_reuses() const {
+    return encode_transfer_reuses_;
+  }
 
  private:
   smt::SolverOptions options_;
   bool warm_ = true;
+  dataplane::TransferCache* borrowed_transfers_ = nullptr;
+  /// Session-owned fallback memo, rebuilt when the model changes.
+  std::unique_ptr<dataplane::TransferCache> owned_transfers_;
   std::unique_ptr<smt::Solver> solver_;
   std::size_t binds_ = 0;
   std::size_t warm_reuses_ = 0;
+  std::size_t iso_reuses_ = 0;
+  std::size_t encode_transfer_builds_ = 0;
+  std::size_t encode_transfer_reuses_ = 0;
 
   /// Warm state: the base encoding the solver is bound to plus the shape
   /// key (model identity, normalized members, failure budget) that must

@@ -1,9 +1,13 @@
 #include "verify/verifier.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <tuple>
 #include <unordered_map>
+
+#include "core/hash.hpp"
+#include "io/spec.hpp"
 
 namespace vmn::verify {
 
@@ -76,22 +80,113 @@ VerifyResult result_from_cache(const ResultCache::Entry& entry,
   return result;
 }
 
+namespace {
+
+/// The representative node playing `node`'s part under `iso`; throws when
+/// the node is not a slice member (the planner never maps such a job).
+NodeId iso_forward(const IsoBinding& iso, NodeId node) {
+  auto it = std::lower_bound(iso.members.begin(), iso.members.end(), node);
+  if (it == iso.members.end() || *it != node) {
+    throw ModelError("iso binding does not cover an invariant node");
+  }
+  return iso.image[static_cast<std::size_t>(it - iso.members.begin())];
+}
+
+/// The invariant as the representative encoding sees it: same kind and
+/// type prefix, target/other pushed through the bijection. The planner
+/// only attaches a binding when every referenced node is a member and, for
+/// traversal invariants, the name-prefix selection is preserved.
+encode::Invariant iso_invariant(const IsoBinding& iso,
+                                const encode::Invariant& invariant) {
+  encode::Invariant mapped = invariant;
+  mapped.target = iso_forward(iso, invariant.target);
+  if (invariant.other.valid()) {
+    mapped.other = iso_forward(iso, invariant.other);
+  }
+  return mapped;
+}
+
+/// Relabels a representative-namespace witness back into the job's own:
+/// nodes through the inverse bijection, packet addresses (src, dst,
+/// origin) through the inverse of the induced address map (representative
+/// host/implicit addresses back to the slice's own). Values outside the
+/// maps - Omega, and model values the solver chose outside the relevant
+/// set - pass through unchanged; the soundness-critical fields (the
+/// receive at the target, the witness sender's address) are always pinned
+/// to relevant addresses by the invariant axioms, hence always mapped.
+Trace relabel_witness(const encode::NetworkModel& model, const IsoBinding& iso,
+                      const Trace& trace) {
+  std::map<NodeId, NodeId> node_back;
+  std::map<Address, Address> addr_back;
+  const net::Network& net = model.network();
+  for (std::size_t i = 0; i < iso.members.size(); ++i) {
+    const NodeId own = iso.members[i];
+    const NodeId rep = iso.image[i];
+    node_back[rep] = own;
+    const net::Node& rep_node = net.node(rep);
+    if (rep_node.kind == net::NodeKind::host) {
+      addr_back[rep_node.address] = net.node(own).address;
+    } else if (const mbox::Middlebox* rep_box = model.middlebox_at(rep)) {
+      const mbox::Middlebox* own_box = model.middlebox_at(own);
+      const std::vector<Address> rep_addrs = rep_box->implicit_addresses();
+      const std::vector<Address> own_addrs = own_box->implicit_addresses();
+      for (std::size_t k = 0; k < rep_addrs.size() && k < own_addrs.size();
+           ++k) {
+        addr_back[rep_addrs[k]] = own_addrs[k];
+      }
+    }
+  }
+  auto map_node = [&](NodeId n) {
+    auto it = node_back.find(n);
+    return it != node_back.end() ? it->second : n;
+  };
+  auto map_addr = [&](Address a) {
+    auto it = addr_back.find(a);
+    return it != addr_back.end() ? it->second : a;
+  };
+  Trace out;
+  for (const Event& ev : trace.events()) {
+    Event mapped = ev;
+    mapped.from = map_node(ev.from);
+    mapped.to = map_node(ev.to);
+    if (ev.kind == EventKind::send || ev.kind == EventKind::receive) {
+      mapped.packet.src = map_addr(ev.packet.src);
+      mapped.packet.dst = map_addr(ev.packet.dst);
+      if (ev.packet.origin) mapped.packet.origin = map_addr(*ev.packet.origin);
+    }
+    out.add(mapped);
+  }
+  return out;
+}
+
+}  // namespace
+
 VerifyResult verify_members(const encode::NetworkModel& model,
                             const encode::Invariant& invariant,
                             std::vector<NodeId> members, int max_failures,
-                            SolverSession& session) {
+                            SolverSession& session, const IsoBinding* iso) {
   const auto start = std::chrono::steady_clock::now();
   VerifyResult result;
+
+  // Cross-isomorphic rebinding: solve the invariant mapped into the
+  // representative's namespace on the representative's base encoding - the
+  // planner verified the isomorphism, so the problems are equisatisfiable
+  // and the witness relabels back exactly.
+  std::vector<NodeId> encode_members =
+      iso != nullptr ? iso->image : std::move(members);
+  const encode::Invariant solved =
+      iso != nullptr ? iso_invariant(*iso, invariant) : invariant;
 
   // Warm bind: base axioms live at solver scope level 0 (asserted only when
   // the session was not already bound to this exact shape); the negated
   // invariant is scoped, checked and retracted, leaving the base - and the
   // solver's learned state - warm for the next invariant on this slice.
   SolverSession::WarmBound warm =
-      session.warm_bind(model, std::move(members), max_failures);
+      session.warm_bind(model, std::move(encode_members), max_failures);
+  if (iso != nullptr && warm.reused) session.note_iso_reuse();
   smt::Solver& solver = warm.solver;
   solver.push();
-  for (const encode::Axiom& axiom : warm.encoding.invariant_axioms(invariant)) {
+  for (const encode::Axiom& axiom : warm.encoding.invariant_axioms(solved)) {
     solver.add(axiom.term);
   }
 
@@ -108,6 +203,10 @@ VerifyResult verify_members(const encode::NetworkModel& model,
       result.outcome =
           invariant.sat_means_holds() ? Outcome::holds : Outcome::violated;
       result.counterexample = extract_trace(warm.encoding, solver.model());
+      if (iso != nullptr) {
+        result.counterexample =
+            relabel_witness(model, *iso, *result.counterexample);
+      }
       break;
     case smt::CheckStatus::unsat:
       result.outcome =
@@ -122,6 +221,37 @@ VerifyResult verify_members(const encode::NetworkModel& model,
       std::chrono::steady_clock::now() - start);
   return result;
 }
+
+namespace {
+
+/// Whether `invariant` can cross the bijection (members[i] -> image[i])
+/// into the representative's namespace: every referenced node must be a
+/// member, and for traversal invariants the encoder's name-prefix
+/// middlebox selection must pick corresponding boxes on both sides (names
+/// are exactly what the bijection erases, so this is checked per job).
+bool iso_covers_invariant(const encode::NetworkModel& model,
+                          const std::vector<NodeId>& members,
+                          const std::vector<NodeId>& image,
+                          const encode::Invariant& invariant) {
+  const net::Network& net = model.network();
+  auto is_member = [&](NodeId n) {
+    return std::binary_search(members.begin(), members.end(), n);
+  };
+  if (!invariant.target.valid() || !is_member(invariant.target)) return false;
+  if (invariant.other.valid() && !is_member(invariant.other)) return false;
+  if (invariant.kind == encode::InvariantKind::traversal) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (model.middlebox_at(members[i]) == nullptr) continue;
+      if (net.name(members[i]).starts_with(invariant.type_prefix) !=
+          net.name(image[i]).starts_with(invariant.type_prefix)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 std::vector<NodeId> slice_members(const encode::NetworkModel& model,
                                   const encode::Invariant& invariant,
@@ -138,12 +268,23 @@ std::vector<NodeId> slice_members(const encode::NetworkModel& model,
   return encode::all_edge_nodes(model);
 }
 
+std::uint64_t model_fingerprint(const encode::NetworkModel& model) {
+  // The serialized full-network projection covers exactly the spec-level
+  // content verification depends on (topology, configurations, routes,
+  // scenarios) and none of what it does not (invariants, expectations).
+  return fnv1a64(
+      io::write_projected_spec_string(model, encode::all_edge_nodes(model)));
+}
+
 VerifyResult Verifier::verify(const encode::Invariant& invariant) const {
   const auto start = std::chrono::steady_clock::now();
   std::vector<NodeId> members =
       slice_members(*model_, invariant, classes_, options_.use_slices,
                     options_.max_failures, &ctx_.transfers);
-  SolverSession session(options_.solver);
+  // The session runs on this thread, so it may borrow the planning
+  // context's transfer memo: encoding re-walks nothing the slice
+  // computation (or class inference) walked.
+  SolverSession session(options_.solver, /*warm=*/true, &ctx_.transfers);
   VerifyResult result = verify_members(*model_, invariant, std::move(members),
                                        options_.max_failures, session);
   result.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -202,14 +343,81 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
         std::chrono::steady_clock::now() - inv_start);
     plan.jobs.push_back(std::move(job));
   }
-  // Shape-adjacency ordering: jobs over identical member sets become
-  // neighbors (stable, so equal-shape jobs keep their first-appearance
-  // order), which is what lets a warm solver session serve a whole run of
-  // jobs without rebinding. Ids are assigned after the reorder so they
-  // stay positional.
+  // Cross-isomorphic encoding reuse: member sets isomorphic to a shape an
+  // earlier job (or batch - the reps live in the PlanContext) already
+  // encodes are rebound onto that representative via a planner-verified
+  // bijection, so one warm base encoding serves symmetric-but-renamed
+  // slices whose canonical keys (rightly) refused to merge verdicts -
+  // the datacenter's per-group jobs being the canonical case. Disabled
+  // with warm solving off: --no-warm is the cold baseline and must keep
+  // the historical encode-everything behavior.
+  if (options.warm_solving) {
+    // One shape decision per distinct member set this pass.
+    std::map<std::vector<NodeId>, std::pair<std::vector<NodeId>,
+                                            std::vector<NodeId>>>
+        decided;  // members -> (image, rep members); empty image = self
+    for (Job& job : plan.jobs) {
+      auto it = decided.find(job.members);
+      if (it == decided.end()) {
+        std::pair<std::vector<NodeId>, std::vector<NodeId>> decision;
+        slice::ShapeKey shape = slice::canonical_shape_key(
+            model, job.members, options.max_failures, &ctx.transfers);
+        if (shape.members != job.members) {
+          // Defensive: iso images are aligned with the normalized member
+          // list; a job whose member list is not already normalized (never
+          // produced by slice_members) encodes itself.
+          it = decided.emplace(job.members, std::move(decision)).first;
+          continue;
+        }
+        // The key is configuration-blind, so one key may legitimately
+        // cover several non-isomorphic configuration strata (clean vs
+        // rule-deleted groups): try each registered representative's exact
+        // verification, and a member set no representative accepts becomes
+        // a representative itself - capped so a pathological key cannot
+        // turn planning quadratic.
+        constexpr std::size_t kMaxShapeReps = 8;
+        std::vector<ShapeRep>& reps = ctx.shape_reps[shape.key];
+        bool is_rep = false;
+        for (const ShapeRep& rep : reps) {
+          if (rep.members == shape.members) {
+            is_rep = true;
+            break;
+          }
+          slice::ShapeKey rep_shape{shape.key, rep.members, rep.colors};
+          if (std::optional<std::vector<NodeId>> image = slice::shape_bijection(
+                  model, shape, rep_shape, options.max_failures,
+                  &ctx.transfers)) {
+            decision.first = std::move(*image);
+            decision.second = rep.members;
+            break;
+          }
+        }
+        if (!is_rep && decision.first.empty() && reps.size() < kMaxShapeReps) {
+          reps.push_back(ShapeRep{shape.members, shape.colors});
+        }
+        it = decided.emplace(job.members, std::move(decision)).first;
+      }
+      if (it->second.first.empty()) continue;
+      if (!iso_covers_invariant(model, job.members, it->second.first,
+                                invariants[job.invariant_index])) {
+        continue;
+      }
+      job.iso_image = it->second.first;
+      job.iso_members = it->second.second;
+      ++plan.iso_mapped;
+    }
+  }
+  // Shape-adjacency ordering: jobs binding identical base encodings become
+  // neighbors - identical member sets as before, plus member sets rebound
+  // onto the same isomorphic representative (stable, so equal-shape jobs
+  // keep their first-appearance order) - which is what lets a warm solver
+  // session serve a whole run of jobs without rebinding. Ids are assigned
+  // after the reorder so they stay positional.
   std::stable_sort(plan.jobs.begin(), plan.jobs.end(),
                    [](const Job& a, const Job& b) {
-                     return a.members < b.members;
+                     const std::vector<NodeId>& ea = a.encode_members();
+                     const std::vector<NodeId>& eb = b.encode_members();
+                     return ea != eb ? ea < eb : a.members < b.members;
                    });
   for (std::size_t j = 0; j < plan.jobs.size(); ++j) plan.jobs[j].id = j;
   plan.transfer_builds = ctx.transfers.builds();
@@ -232,8 +440,13 @@ BatchResult Verifier::verify_all(
   JobPlan plan =
       plan_jobs(*model_, invariants, classes_, use_symmetry, options_, &ctx_);
   batch.plan_time = plan.plan_time;
-  ResultCache cache(options_.cache_dir);
-  SolverSession session(options_.solver, options_.warm_solving);
+  ResultCache cache(options_.cache_dir, model_fingerprint(*model_));
+  // Single-threaded engine: the session borrows the planning context's
+  // transfer memo, so encoding builds zero transfer functions - the
+  // planner (and class inference before it) already walked every
+  // in-budget scenario.
+  SolverSession session(options_.solver, options_.warm_solving,
+                        &ctx_.transfers);
   for (Job& job : plan.jobs) {
     const auto job_start = std::chrono::steady_clock::now();
     VerifyResult rep;
@@ -241,9 +454,11 @@ BatchResult Verifier::verify_all(
       rep = result_from_cache(*hit, invariants[job.invariant_index]);
       ++batch.cache_hits;
     } else {
+      const IsoBinding iso{job.members, job.iso_image};
       rep = verify_members(*model_, invariants[job.invariant_index],
                            std::move(job.members), options_.max_failures,
-                           session);
+                           session,
+                           job.iso_image.empty() ? nullptr : &iso);
       ++batch.solver_calls;
       // Keyless jobs (no-symmetry planning) are outside the cache's reach;
       // they are not misses.
@@ -265,6 +480,9 @@ BatchResult Verifier::verify_all(
   cache.flush();
   batch.warm_binds = session.binds();
   batch.warm_reuses = session.warm_reuses();
+  batch.iso_reuses = session.iso_reuses();
+  batch.encode_transfer_builds = session.encode_transfer_builds();
+  batch.encode_transfer_reuses = session.encode_transfer_reuses();
   batch.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start);
   return batch;

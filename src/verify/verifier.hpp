@@ -8,6 +8,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -86,6 +87,17 @@ struct BatchResult {
   /// answered on a reused live context.
   std::size_t warm_binds = 0;
   std::size_t warm_reuses = 0;
+  /// Of the warm reuses, jobs whose own member set differs from the live
+  /// encoding's: they were rebound onto an isomorphic representative's
+  /// base encoding (Job::iso_image) instead of encoding from cold.
+  std::size_t iso_reuses = 0;
+  /// Transfer functions built by encoders vs served from a warm memo
+  /// during encoding (see SolverSession::encode_transfer_builds): with the
+  /// borrowed/per-session caches in place, no scenario's fabric walks ever
+  /// run twice for the same session - the sequential engine, lending the
+  /// planner's own memo, encodes with zero builds at all.
+  std::size_t encode_transfer_builds = 0;
+  std::size_t encode_transfer_reuses = 0;
 };
 
 /// Reads a counterexample schedule out of a satisfying model.
@@ -117,6 +129,16 @@ struct BatchResult {
 [[nodiscard]] slice::PolicyClasses build_policy_classes(
     const encode::NetworkModel& model, const VerifyOptions& options,
     PlanContext& ctx);
+
+/// Pinned fingerprint (FNV-1a 64 over the serialized full-network spec) of
+/// everything the model contributes to verification problems: topology,
+/// configurations, routes and failure scenarios - invariants excluded, so
+/// merely adding checks never invalidates. Both engines stamp it into the
+/// persistent ResultCache header: records minted from a different model
+/// would otherwise linger as dead weight after a spec edit (canonical
+/// keys self-invalidate lookups, but never the file), so a changed
+/// fingerprint rejects the file wholesale and the next flush rewrites it.
+[[nodiscard]] std::uint64_t model_fingerprint(const encode::NetworkModel& model);
 
 /// The edge nodes `invariant` is encoded over: the computed slice, or the
 /// whole network when slicing is off. Shared by the sequential Verifier and
@@ -151,6 +173,24 @@ struct BatchResult {
                                 bool use_symmetry, const VerifyOptions& options,
                                 PlanContext* ctx = nullptr);
 
+/// A planner-verified isomorphism binding one job onto a representative
+/// member set's base encoding (see Job::iso_image and
+/// slice::shape_bijection). `members` is the job's own sorted slice;
+/// `image[i]` is the representative node playing members[i]'s part. The
+/// bijection carries the soundness argument: the base encodings are
+/// isomorphic under it (node-for-node, address-for-address,
+/// scenario-permuted), so verify_members solves the invariant *mapped into
+/// the representative's namespace* on the representative's (possibly warm)
+/// context and relabels any counterexample back - nodes through the
+/// inverse bijection, packet addresses through the induced inverse address
+/// map - before the result surfaces. The relabeled witness therefore names
+/// the actual slice's hosts, exactly as a cold solve of the original
+/// problem would.
+struct IsoBinding {
+  std::vector<NodeId> members;
+  std::vector<NodeId> image;
+};
+
 /// The shared single-check core: warm-binds `session` to the base problem
 /// (model, members, failure budget) - reusing the live encoding + solver
 /// when the previous call had the same shape - then push()es the negated
@@ -159,11 +199,17 @@ struct BatchResult {
 /// funnel through this function, which is what guarantees their outcomes
 /// agree check-for-check. `total_time` covers encoding and solving only;
 /// callers that also compute the slice fold that time in themselves.
+/// With `iso`, the session is bound to the isomorphic representative's
+/// base problem instead (iso->image; `members` is ignored), the invariant
+/// crosses into and the witness back out of the representative's namespace
+/// (see IsoBinding), and a live-context hit is additionally counted as a
+/// cross-isomorphic reuse on the session.
 [[nodiscard]] VerifyResult verify_members(const encode::NetworkModel& model,
                                           const encode::Invariant& invariant,
                                           std::vector<NodeId> members,
                                           int max_failures,
-                                          SolverSession& session);
+                                          SolverSession& session,
+                                          const IsoBinding* iso = nullptr);
 
 /// The sequential engine. A Verifier owns one PlanContext shared by class
 /// inference and every plan pass, so its planning state is mutated by the

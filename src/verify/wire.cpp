@@ -195,6 +195,8 @@ std::string encode_job(const WireJob& job) {
   w.str(job.type_prefix);
   w.u32(static_cast<std::uint32_t>(job.members.size()));
   for (const std::string& m : job.members) w.str(m);
+  w.u32(static_cast<std::uint32_t>(job.iso_image.size()));
+  for (const std::string& m : job.iso_image) w.str(m);
   w.i32(job.max_failures);
   w.str(job.canonical_key);
   return std::move(w).take();
@@ -219,6 +221,11 @@ WireJob decode_job(std::string_view payload) {
   // clean WireError at the first missing element.
   const std::uint32_t members = r.u32();
   for (std::uint32_t i = 0; i < members; ++i) job.members.push_back(r.str());
+  const std::uint32_t iso = r.u32();
+  if (iso != 0 && iso != members) {
+    corrupt("iso binding length does not match member count");
+  }
+  for (std::uint32_t i = 0; i < iso; ++i) job.iso_image.push_back(r.str());
   job.max_failures = r.i32();
   job.canonical_key = r.str();
   r.finish();
@@ -236,6 +243,9 @@ std::string encode_result(const WireResult& result) {
   w.u64(result.assertion_count);
   w.u64(result.warm_binds);
   w.u64(result.warm_reuses);
+  w.u64(result.iso_reuses);
+  w.u64(result.encode_transfer_builds);
+  w.u64(result.encode_transfer_reuses);
   w.str(result.error);
   w.u8(result.has_trace ? 1 : 0);
   if (result.has_trace) {
@@ -281,6 +291,9 @@ WireResult decode_result(std::string_view payload) {
   result.assertion_count = r.u64();
   result.warm_binds = r.u64();
   result.warm_reuses = r.u64();
+  result.iso_reuses = r.u64();
+  result.encode_transfer_builds = r.u64();
+  result.encode_transfer_reuses = r.u64();
   result.error = r.str();
   result.has_trace = r.u8() != 0;
   if (result.has_trace) {
@@ -325,6 +338,8 @@ WireJob make_wire_job(const encode::NetworkModel& model, const Job& job,
   out.type_prefix = invariant.type_prefix;
   out.members.reserve(job.members.size());
   for (NodeId m : job.members) out.members.push_back(net.name(m));
+  out.iso_image.reserve(job.iso_image.size());
+  for (NodeId m : job.iso_image) out.iso_image.push_back(net.name(m));
   out.max_failures = max_failures;
   out.canonical_key = job.canonical_key;
   return out;
@@ -353,9 +368,32 @@ ResolvedJob resolve_job(const encode::NetworkModel& model, const WireJob& job) {
   for (const std::string& m : job.members) {
     out.members.push_back(resolve_name(net, m));
   }
+  for (const std::string& m : job.iso_image) {
+    out.iso_image.push_back(resolve_name(net, m));
+  }
   // Members travel as names; the worker's re-parsed model assigns different
-  // ids, so restore the sorted order every slice carries.
-  std::sort(out.members.begin(), out.members.end());
+  // ids, so restore the sorted order every slice carries - permuting the
+  // aligned iso binding the same way, so iso_image[i] keeps playing
+  // members[i]'s part.
+  if (out.iso_image.empty()) {
+    std::sort(out.members.begin(), out.members.end());
+  } else {
+    std::vector<std::size_t> order(out.members.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return out.members[a] < out.members[b];
+    });
+    std::vector<NodeId> members;
+    std::vector<NodeId> image;
+    members.reserve(order.size());
+    image.reserve(order.size());
+    for (std::size_t i : order) {
+      members.push_back(out.members[i]);
+      image.push_back(out.iso_image[i]);
+    }
+    out.members = std::move(members);
+    out.iso_image = std::move(image);
+  }
   return out;
 }
 
@@ -501,13 +539,25 @@ int worker_main(std::FILE* in, std::FILE* out) {
           ResolvedJob resolved = resolve_job(spec->model, job);
           const std::size_t binds_before = session->binds();
           const std::size_t reuses_before = session->warm_reuses();
+          const std::size_t iso_before = session->iso_reuses();
+          const std::size_t enc_builds_before =
+              session->encode_transfer_builds();
+          const std::size_t enc_reuses_before =
+              session->encode_transfer_reuses();
+          const IsoBinding iso{resolved.members, resolved.iso_image};
           VerifyResult verdict = verify_members(
               spec->model, resolved.invariant, std::move(resolved.members),
-              job.max_failures, *session);
+              job.max_failures, *session,
+              resolved.iso_image.empty() ? nullptr : &iso);
           result =
               make_wire_result(spec->model.network(), job.id, verdict);
           result.warm_binds = session->binds() - binds_before;
           result.warm_reuses = session->warm_reuses() - reuses_before;
+          result.iso_reuses = session->iso_reuses() - iso_before;
+          result.encode_transfer_builds =
+              session->encode_transfer_builds() - enc_builds_before;
+          result.encode_transfer_reuses =
+              session->encode_transfer_reuses() - enc_reuses_before;
         } catch (const std::exception& e) {
           result = WireResult{};
           result.id = job.id;

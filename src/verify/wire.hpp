@@ -52,7 +52,11 @@ class WireError : public Error {
   using Error::Error;
 };
 
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v1 -> v2: JOB frames grew the cross-isomorphic binding (representative
+/// member names, aligned with the job's own), RESULT frames the iso/encode
+/// reuse counters. Version skew on either side is a WireError, never a
+/// misread.
+inline constexpr std::uint16_t kWireVersion = 2;
 inline constexpr std::size_t kFrameHeaderSize = 20;
 /// Upper bound on a single payload (a projected spec of a pathological
 /// slice stays far below this; anything larger is a corrupt length field).
@@ -105,6 +109,13 @@ struct WireJob {
   std::string other;  ///< empty when the invariant has no peer node
   std::string type_prefix;
   std::vector<std::string> members;
+  /// Cross-isomorphic binding (verify::IsoBinding projected to names):
+  /// when non-empty, iso_image[i] names the representative node playing
+  /// members[i]'s part, and the worker executes the job on the
+  /// representative's base encoding with the witness relabeled back.
+  /// Either empty or exactly members.size() long - anything else is a
+  /// corrupt frame.
+  std::vector<std::string> iso_image;
   std::int32_t max_failures = 0;
   std::string canonical_key;
 };
@@ -139,6 +150,11 @@ struct WireResult {
   /// dispatcher into ParallelBatchResult like the thread backend's.
   std::uint64_t warm_binds = 0;
   std::uint64_t warm_reuses = 0;
+  /// Cross-isomorphic reuse and encode-time transfer-memo traffic for this
+  /// job (see SolverSession), aggregated like the warm counters.
+  std::uint64_t iso_reuses = 0;
+  std::uint64_t encode_transfer_builds = 0;
+  std::uint64_t encode_transfer_reuses = 0;
   /// Non-empty when the worker failed to execute the job (spec parse error,
   /// unknown node, solver exception); the dispatcher requeues such jobs.
   std::string error;
@@ -164,6 +180,10 @@ struct WireResult {
 struct ResolvedJob {
   encode::Invariant invariant;
   std::vector<NodeId> members;
+  /// Resolved iso binding, aligned with `members` (which is re-sorted by
+  /// the worker's ids; the alignment survives the re-sort). Empty when the
+  /// job carries none.
+  std::vector<NodeId> iso_image;
 };
 [[nodiscard]] ResolvedJob resolve_job(const encode::NetworkModel& model,
                                       const WireJob& job);

@@ -224,11 +224,76 @@ TEST(ResultCacheUnit, StaleKeyVersionIsRejectedWholesaleAndRewritten) {
   EXPECT_FALSE(stale.stale_version());
   lines = read_lines();
   ASSERT_EQ(lines.size(), 2u);
-  EXPECT_TRUE(lines[0].ends_with("v2"));
+  EXPECT_NE(lines[0].find("v3"), std::string::npos);
   ResultCache upgraded(dir.path);
   EXPECT_EQ(upgraded.size(), 1u);
   ASSERT_TRUE(upgraded.lookup(key).has_value());
   EXPECT_EQ(upgraded.lookup(key)->status, smt::CheckStatus::sat);
+}
+
+TEST(ResultCacheUnit, SpecFingerprintMismatchIsRejectedWholesaleAndRestamped) {
+  // Same key-format version, different owning spec: the v3 header pins the
+  // model fingerprint, so records minted by another (or a since-edited)
+  // spec are rejected wholesale and the next flush restamps the file -
+  // dead records stop accumulating ("still need an occasional rm" no
+  // more).
+  TempCacheDir dir;
+  const std::string key = "no-malicious-delivery/#a;@x;!s;";
+  {
+    ResultCache cache(dir.path, /*spec_fingerprint=*/0x1111u);
+    cache.store(key, ResultCache::Entry{smt::CheckStatus::unsat, 4, 11});
+    cache.flush();
+  }
+  EXPECT_TRUE(ResultCache(dir.path, 0x1111u).lookup(key).has_value());
+
+  ResultCache other_spec(dir.path, /*spec_fingerprint=*/0x2222u);
+  EXPECT_TRUE(other_spec.stale_version());
+  EXPECT_EQ(other_spec.size(), 0u);
+  EXPECT_FALSE(other_spec.lookup(key).has_value());
+  other_spec.store(key, ResultCache::Entry{smt::CheckStatus::sat, 5, 13});
+  other_spec.flush();
+
+  // The file now belongs to the other spec: it hits there, and the
+  // original spec in turn sees a stale file.
+  ResultCache back(dir.path, 0x2222u);
+  EXPECT_FALSE(back.stale_version());
+  ASSERT_TRUE(back.lookup(key).has_value());
+  EXPECT_EQ(back.lookup(key)->status, smt::CheckStatus::sat);
+  EXPECT_TRUE(ResultCache(dir.path, 0x1111u).stale_version());
+}
+
+TEST(ResultCacheBatch, DifferentSpecSharingACacheDirNeverCrossAnswers) {
+  // Engine-level: a batch on spec B over a dir spec A populated must hit
+  // nothing (even though fingerprint collisions aside, the canonical keys
+  // would already differ - the point here is the file-level restamp), and
+  // A's records are gone afterwards: re-running A starts cold again
+  // instead of reading leaked dead weight.
+  scenarios::Enterprise e = make_enterprise_small();
+  scenarios::Datacenter dc = make_datacenter_small();
+  const scenarios::Batch dc_batch = dc.batch();
+  TempCacheDir dir;
+
+  ParallelBatchResult a1 = ParallelVerifier(e.model, cached_options(dir.path))
+                               .verify_all(e.invariants);
+  EXPECT_EQ(a1.cache_hits, 0u);
+  ParallelBatchResult a2 = ParallelVerifier(e.model, cached_options(dir.path))
+                               .verify_all(e.invariants);
+  EXPECT_EQ(a2.cache_hits, a2.jobs_executed);
+
+  ParallelBatchResult b1 =
+      ParallelVerifier(dc.model, cached_options(dir.path))
+          .verify_all(dc_batch.invariants);
+  EXPECT_EQ(b1.cache_hits, 0u);
+  ParallelBatchResult b2 =
+      ParallelVerifier(dc.model, cached_options(dir.path))
+          .verify_all(dc_batch.invariants);
+  EXPECT_EQ(b2.cache_hits, b2.jobs_executed);
+
+  // B's restamp wiped A's records: A re-solves rather than leaking.
+  ParallelBatchResult a3 = ParallelVerifier(e.model, cached_options(dir.path))
+                               .verify_all(e.invariants);
+  EXPECT_EQ(a3.cache_hits, 0u);
+  EXPECT_GT(a3.solver_calls, 0u);
 }
 
 TEST(ResultCacheUnit, HeaderlessFileIsStaleToo) {

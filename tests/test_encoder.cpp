@@ -2,6 +2,7 @@
 // inventory, invariant encodings and input validation.
 #include <gtest/gtest.h>
 
+#include "dataplane/transfer.hpp"
 #include "encode/encoder.hpp"
 #include "encode/oracle.hpp"
 #include "logic/printer.hpp"
@@ -164,6 +165,44 @@ TEST(Encoder, SatMeansHoldsOnlyForReachability) {
   OneBoxNet n = OneBoxNet::make(open_firewall());
   EXPECT_TRUE(Invariant::reachable(n.b, n.a).sat_means_holds());
   EXPECT_FALSE(Invariant::node_isolation(n.b, n.a).sat_means_holds());
+}
+
+TEST(Encoder, BorrowedTransferCacheServesOmegaEmission) {
+  // With a borrowed per-scenario memo, the first encoding pays the fabric
+  // walks and every later encoding on the same cache reads them back -
+  // emit_omega_and_failures stops rebuilding TransferFunctions per
+  // construction. The axioms must not care where the walks came from.
+  OneBoxNet n = OneBoxNet::make(open_firewall());
+  dataplane::TransferCache cache(n.model.network());
+
+  EncodeOptions with_cache;
+  with_cache.transfers = &cache;
+  Encoding first(n.model, {}, with_cache);
+  EXPECT_EQ(first.transfer_builds(), 1u);  // base scenario, built once
+  EXPECT_EQ(first.transfer_reuses(), 0u);
+  Encoding second(n.model, {}, with_cache);
+  EXPECT_EQ(second.transfer_builds(), 0u);
+  EXPECT_EQ(second.transfer_reuses(), 1u);
+
+  Encoding plain(n.model, {}, {});
+  EXPECT_EQ(plain.transfer_builds(), 1u);  // no cache: built locally
+  ASSERT_EQ(second.axioms().size(), plain.axioms().size());
+  for (std::size_t i = 0; i < plain.axioms().size(); ++i) {
+    EXPECT_EQ(second.axioms()[i].label, plain.axioms()[i].label) << i;
+  }
+}
+
+TEST(Encoder, MismatchedTransferCacheIsIgnoredNotTrusted) {
+  // A cache bound to another network must not leak its walks into this
+  // model's omega axioms: the encoder falls back to building locally.
+  OneBoxNet n = OneBoxNet::make(open_firewall());
+  OneBoxNet other = OneBoxNet::make(open_firewall());
+  dataplane::TransferCache foreign(other.model.network());
+  EncodeOptions opts;
+  opts.transfers = &foreign;
+  Encoding enc(n.model, {}, opts);
+  EXPECT_EQ(enc.transfer_builds(), 1u);  // built locally, cache untouched
+  EXPECT_EQ(foreign.builds(), 0u);
 }
 
 }  // namespace

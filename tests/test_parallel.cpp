@@ -468,6 +468,161 @@ TEST(Planner, OrdersSameShapeJobsAdjacently) {
   }
 }
 
+// --- cross-isomorphic warm solving ------------------------------------------
+
+// The datacenter's per-group isolation jobs: every group pair's slice is a
+// renamed copy of the first, but firewall fingerprints name raw peer
+// prefixes, so canonical keys keep the verdicts separate. Encoding-layer
+// reuse must rebind them onto one representative's base encoding
+// (iso_mapped / iso_reuses > 0) without changing a single verdict, and the
+// --no-warm baseline must stay the historical encode-everything path.
+TEST(IsoWarm, DatacenterBatchRebindsIsomorphicSlices) {
+  scenarios::DatacenterParams p;
+  p.policy_groups = 4;
+  p.clients_per_group = 2;
+  scenarios::Datacenter dc = scenarios::make_datacenter(p);
+  const Batch batch = dc.batch();
+
+  ParallelOptions warm = with_jobs(2);
+  ParallelOptions cold = with_jobs(2);
+  cold.verify.warm_solving = false;
+  ParallelBatchResult warm_r =
+      ParallelVerifier(dc.model, warm).verify_all(batch.invariants);
+  ParallelBatchResult cold_r =
+      ParallelVerifier(dc.model, cold).verify_all(batch.invariants);
+
+  EXPECT_GT(warm_r.iso_mapped, 0u);
+  EXPECT_GT(warm_r.iso_reuses, 0u);
+  EXPECT_EQ(cold_r.iso_mapped, 0u);
+  EXPECT_EQ(cold_r.iso_reuses, 0u);
+  // Rebinding merges encodings, never verdicts: jobs stay jobs.
+  EXPECT_EQ(warm_r.jobs_executed, cold_r.jobs_executed);
+  for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+    EXPECT_EQ(warm_r.results[i].outcome, cold_r.results[i].outcome) << i;
+    EXPECT_EQ(warm_r.results[i].raw_status, cold_r.results[i].raw_status) << i;
+    EXPECT_EQ(warm_r.results[i].assertion_count,
+              cold_r.results[i].assertion_count)
+        << i;
+    const Outcome expected =
+        batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
+    EXPECT_EQ(warm_r.results[i].outcome, expected) << i;
+  }
+}
+
+TEST(IsoWarm, SequentialEngineEncodesWithZeroTransferBuilds) {
+  // The sequential engine lends its PlanContext transfer memo to the solver
+  // session: by encode time the planner has walked every in-budget
+  // scenario, so the encoder builds NOTHING - the acceptance bar for
+  // "zero duplicate TransferFunction builds during encoding". The same
+  // session serves every job in plan order, so the datacenter's rebound
+  // group jobs surface as cross-isomorphic warm reuses.
+  scenarios::DatacenterParams p;
+  p.policy_groups = 4;
+  p.clients_per_group = 1;
+  scenarios::Datacenter dc = scenarios::make_datacenter(p);
+  const Batch batch = dc.batch();
+  VerifyOptions opts;
+  opts.solver.seed = 7;
+  Verifier v(dc.model, opts);
+  BatchResult r = v.verify_all(batch.invariants, /*use_symmetry=*/true);
+  EXPECT_EQ(r.encode_transfer_builds, 0u);
+  EXPECT_GT(r.encode_transfer_reuses, 0u);
+  EXPECT_GT(r.iso_reuses, 0u);
+  for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+    const Outcome expected =
+        batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
+    EXPECT_EQ(r.results[i].outcome, expected) << i;
+  }
+}
+
+TEST(IsoWarm, ThreadWorkersNeverBuildATransferFunctionTwice) {
+  // Worker sessions own a per-model transfer memo that survives task
+  // boundaries: across however many base encodings a session builds, each
+  // in-budget scenario's fabric walks happen at most once per session.
+  scenarios::DatacenterParams p;
+  p.policy_groups = 4;
+  p.clients_per_group = 2;
+  scenarios::Datacenter dc = scenarios::make_datacenter(p);
+  const Batch batch = dc.batch();
+  ParallelOptions opts = with_jobs(2);
+  ParallelBatchResult r =
+      ParallelVerifier(dc.model, opts).verify_all(batch.invariants);
+  const std::size_t scenarios = dc.model.network().scenarios().size();
+  EXPECT_LE(r.encode_transfer_builds, 2 * scenarios);  // <= workers x scenarios
+}
+
+// A violated invariant answered through an isomorphic representative's
+// encoding must surface a witness naming the ACTUAL slice's hosts - the
+// planner relabels nodes and packet addresses back through the inverse
+// bijection. This is the soundness-critical half of encoding reuse.
+TEST(IsoWarm, RelabeledWitnessNamesTheActualSlicesHosts) {
+  // Two rule-deletion breakages in distinct group pairs: two violated
+  // isolation jobs with isomorphic slices and different canonical keys -
+  // the second is solved on the first's base encoding.
+  scenarios::Datacenter dc;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 32 && !found; ++seed) {
+    scenarios::DatacenterParams p;
+    p.policy_groups = 4;
+    p.clients_per_group = 1;
+    dc = scenarios::make_datacenter(p);
+    Rng rng(seed);
+    inject_misconfig(dc, scenarios::DcMisconfig::rules, rng, 2);
+    std::set<std::pair<int, int>> distinct(dc.broken_isolation_pairs.begin(),
+                                           dc.broken_isolation_pairs.end());
+    found = distinct.size() >= 2;
+  }
+  ASSERT_TRUE(found) << "no seed produced two distinct broken pairs";
+  const Batch batch = dc.batch();
+
+  ParallelVerifier v(dc.model, with_jobs(1));
+  JobPlan plan = v.plan(batch.invariants);
+  ParallelBatchResult r = v.verify_all(batch.invariants);
+
+  const net::Network& net = dc.model.network();
+  std::size_t violated_reps = 0;
+  std::size_t violated_via_iso = 0;
+  for (const Job& job : plan.jobs) {
+    const std::size_t i = job.invariant_index;
+    if (r.results[i].outcome != Outcome::violated) continue;
+    ++violated_reps;
+    if (!job.iso_image.empty()) ++violated_via_iso;
+    ASSERT_TRUE(r.results[i].counterexample.has_value()) << "invariant " << i;
+    const Invariant& inv = batch.invariants[i];
+    bool target_received = false;
+    for (const Event& ev : r.results[i].counterexample->events()) {
+      // Every node the relabeled trace names must belong to the job's OWN
+      // slice (or Omega) - never to the representative's.
+      if (ev.from.valid()) {
+        EXPECT_TRUE(std::binary_search(job.members.begin(), job.members.end(),
+                                       ev.from))
+            << "trace names " << net.name(ev.from)
+            << ", outside the slice of invariant " << i;
+      }
+      if (ev.to.valid()) {
+        EXPECT_TRUE(std::binary_search(job.members.begin(), job.members.end(),
+                                       ev.to))
+            << "trace names " << net.name(ev.to)
+            << ", outside the slice of invariant " << i;
+      }
+      if (ev.kind == EventKind::receive && ev.to == inv.target &&
+          ev.packet.src == net.node(inv.other).address) {
+        target_received = true;
+      }
+    }
+    // The delivery the invariant forbids, with the ACTUAL slice's sender
+    // address on the packet (the representative's sender address would
+    // betray an unrelabeled witness).
+    EXPECT_TRUE(target_received)
+        << "no forbidden delivery to " << net.name(inv.target)
+        << " from " << net.name(inv.other) << " in the witness";
+  }
+  EXPECT_GE(violated_reps, 2u);
+  // At least one of the violated jobs must have been answered through the
+  // other's base encoding - otherwise this test exercised nothing.
+  EXPECT_GE(violated_via_iso, 1u);
+}
+
 // --- process backend --------------------------------------------------------
 
 ParallelOptions process_opts(std::size_t jobs) {
@@ -584,6 +739,91 @@ TEST(ProcessBackend, AgreesWithThreadOnBypassedSegmented) {
   p.bypass_segment = 1;
   scenarios::Segmented s = scenarios::make_segmented(p);
   expect_process_matches_thread(s.model, s.batch());
+}
+
+// Warm (cross-isomorphic rebinding included: the binding ships inside the
+// job frames) must be verdict-identical to cold on the process backend too,
+// for every scenario generator - the process half of the warm==cold
+// property the thread backend's WarmSolving suite pins.
+void expect_process_warm_matches_cold(const encode::NetworkModel& model,
+                                      const Batch& batch) {
+  ParallelOptions warm = process_opts(2);
+  ASSERT_TRUE(warm.verify.warm_solving);  // the default
+  ParallelOptions cold = process_opts(2);
+  cold.verify.warm_solving = false;
+  ParallelBatchResult warm_r =
+      ParallelVerifier(model, warm).verify_all(batch.invariants);
+  ParallelBatchResult cold_r =
+      ParallelVerifier(model, cold).verify_all(batch.invariants);
+  EXPECT_EQ(warm_r.jobs_abandoned, 0u);
+  EXPECT_EQ(cold_r.jobs_abandoned, 0u);
+  EXPECT_EQ(cold_r.warm_reuses, 0u);
+  EXPECT_EQ(cold_r.iso_reuses, 0u);
+  ASSERT_EQ(warm_r.results.size(), cold_r.results.size());
+  for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+    EXPECT_EQ(warm_r.results[i].outcome, cold_r.results[i].outcome)
+        << batch.name << " invariant " << i;
+    EXPECT_EQ(warm_r.results[i].raw_status, cold_r.results[i].raw_status)
+        << batch.name << " invariant " << i;
+    EXPECT_EQ(warm_r.results[i].assertion_count,
+              cold_r.results[i].assertion_count)
+        << batch.name << " invariant " << i;
+    if (i < batch.expected_holds.size()) {
+      const Outcome expected =
+          batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
+      EXPECT_EQ(warm_r.results[i].outcome, expected)
+          << batch.name << " invariant " << i;
+    }
+  }
+}
+
+TEST(ProcessBackend, WarmMatchesColdOnEnterprise) {
+  scenarios::EnterpriseParams p;
+  p.subnets = 4;
+  p.hosts_per_subnet = 1;
+  scenarios::Enterprise e = scenarios::make_enterprise(p);
+  expect_process_warm_matches_cold(e.model, e.batch());
+}
+
+TEST(ProcessBackend, WarmMatchesColdOnDatacenter) {
+  // The generator whose per-group jobs actually cross the iso path: the
+  // warm run must report cross-isomorphic reuse over the wire, and still
+  // agree with cold bit-for-bit on verdicts.
+  scenarios::DatacenterParams p;
+  p.policy_groups = 4;
+  p.clients_per_group = 1;
+  scenarios::Datacenter dc = scenarios::make_datacenter(p);
+  const Batch batch = dc.batch();
+  expect_process_warm_matches_cold(dc.model, batch);
+  ParallelBatchResult warm_r =
+      ParallelVerifier(dc.model, process_opts(2)).verify_all(batch.invariants);
+  EXPECT_GT(warm_r.iso_mapped, 0u);
+  EXPECT_GT(warm_r.iso_reuses, 0u);
+}
+
+TEST(ProcessBackend, WarmMatchesColdOnIsp) {
+  scenarios::IspParams p;
+  p.peering_points = 2;
+  p.subnets = 3;
+  scenarios::Isp isp = scenarios::make_isp(p);
+  expect_process_warm_matches_cold(isp.model, isp.batch());
+}
+
+TEST(ProcessBackend, WarmMatchesColdOnMultiTenant) {
+  scenarios::MultiTenantParams p;
+  p.tenants = 2;
+  p.servers = 2;
+  p.public_vms_per_tenant = 1;
+  p.private_vms_per_tenant = 1;
+  scenarios::MultiTenant mt = scenarios::make_multitenant(p);
+  expect_process_warm_matches_cold(mt.model, mt.batch());
+}
+
+TEST(ProcessBackend, WarmMatchesColdOnBypassedSegmented) {
+  scenarios::SegmentedParams p;
+  p.bypass_segment = 1;
+  scenarios::Segmented s = scenarios::make_segmented(p);
+  expect_process_warm_matches_cold(s.model, s.batch());
 }
 
 TEST(ProcessBackend, ViolatedVerdictsShipTracesAcrossTheProcessBoundary) {

@@ -2,6 +2,10 @@
 // grouping, and agreement between symmetric and exhaustive verification.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <optional>
+
 #include "mbox/firewall.hpp"
 #include "scenarios/enterprise.hpp"
 #include "slice/policy.hpp"
@@ -129,6 +133,131 @@ TEST(Symmetry, InheritedResultsAreMarked) {
     if (r.by_symmetry) ++inherited;
   }
   EXPECT_EQ(inherited, batch.results.size() - batch.solver_calls);
+}
+
+// --- base-encoding shape keys + verified bijections -------------------------
+
+/// Two mutually disconnected, structurally identical segments:
+///
+///   a<i> --- s<i> --(fw<i>)-- b<i>       (one-directional: a sends to b
+///                                          through the firewall)
+///
+/// The segments' firewalls may differ in default action (the
+/// configuration-mismatch case), and optional per-segment failure
+/// scenarios exercise the scenario-permutation check.
+struct TwoSegments {
+  encode::NetworkModel model;
+  NodeId a1, b1, m1, a2, b2, m2;
+
+  [[nodiscard]] std::vector<NodeId> seg1() const { return {a1, b1, m1}; }
+  [[nodiscard]] std::vector<NodeId> seg2() const { return {a2, b2, m2}; }
+};
+
+TwoSegments two_segments(mbox::AclAction default1, mbox::AclAction default2,
+                         bool with_failures) {
+  TwoSegments n;
+  net::Network& net = n.model.network();
+  const auto build = [&](int i, mbox::AclAction def, NodeId& a, NodeId& b,
+                         NodeId& m) {
+    const Address addr_a = Address::of(10, static_cast<std::uint8_t>(i), 0, 1);
+    const Address addr_b = Address::of(10, static_cast<std::uint8_t>(i), 1, 1);
+    a = net.add_host("a" + std::to_string(i), addr_a);
+    b = net.add_host("b" + std::to_string(i), addr_b);
+    auto& fw = n.model.add_middlebox(std::make_unique<mbox::LearningFirewall>(
+        "fw" + std::to_string(i),
+        std::vector<mbox::AclEntry>{mbox::AclEntry{Prefix::host(addr_a),
+                                                   Prefix::host(addr_b),
+                                                   mbox::AclAction::allow}},
+        def));
+    m = fw.node();
+    NodeId s = net.add_switch("s" + std::to_string(i));
+    net.add_link(a, s);
+    net.add_link(m, s);
+    net.add_link(b, s);
+    net.table(s).add_from(a, Prefix::host(addr_b), m);
+    net.table(s).add_from(m, Prefix::host(addr_b), b);
+  };
+  build(1, default1, n.a1, n.b1, n.m1);
+  build(2, default2, n.a2, n.b2, n.m2);
+  if (with_failures) {
+    net.add_failure_scenario("fw1-down", {n.m1});
+    net.add_failure_scenario("fw2-down", {n.m2});
+  }
+  return n;
+}
+
+TEST(ShapeKeys, RenamedIsomorphicSegmentsShareAKeyAndVerifyABijection) {
+  TwoSegments n = two_segments(mbox::AclAction::deny, mbox::AclAction::deny,
+                               /*with_failures=*/false);
+  const ShapeKey k1 = canonical_shape_key(n.model, n.seg1());
+  const ShapeKey k2 = canonical_shape_key(n.model, n.seg2());
+  // Raw firewall fingerprints mention peer prefixes, so the *slice* keys of
+  // these segments would split - the shape key must not.
+  EXPECT_EQ(k1.key, k2.key);
+
+  std::optional<std::vector<NodeId>> image =
+      shape_bijection(n.model, k1, k2);
+  ASSERT_TRUE(image.has_value());
+  // Structure forces the pairing: sender to sender, sink to sink, box to
+  // box - 1-WL colors distinguish all three roles here.
+  const auto at = [&](NodeId id) {
+    const auto it = std::find(k1.members.begin(), k1.members.end(), id);
+    return (*image)[static_cast<std::size_t>(it - k1.members.begin())];
+  };
+  EXPECT_EQ(at(n.a1), n.a2);
+  EXPECT_EQ(at(n.b1), n.b2);
+  EXPECT_EQ(at(n.m1), n.m2);
+}
+
+TEST(ShapeKeys, ConfigurationMismatchRefusesTheBijection) {
+  // Identical wiring and routing, but fw2 default-allows what fw1
+  // default-denies: the shape key (configuration-blind by design) still
+  // matches, and the exact verification must catch the difference through
+  // the encoding projections - this is precisely the unsoundness a
+  // key-only match would commit.
+  TwoSegments n = two_segments(mbox::AclAction::deny, mbox::AclAction::allow,
+                               /*with_failures=*/false);
+  const ShapeKey k1 = canonical_shape_key(n.model, n.seg1());
+  const ShapeKey k2 = canonical_shape_key(n.model, n.seg2());
+  EXPECT_EQ(k1.key, k2.key);
+  EXPECT_FALSE(shape_bijection(n.model, k1, k2).has_value());
+}
+
+TEST(ShapeKeys, SymmetricFailureScenariosMatchUnderPermutation) {
+  // "fw1-down" fails segment 1's box, "fw2-down" segment 2's: under the
+  // bijection the scenarios swap roles. The check must accept the
+  // permutation (the scenario constant is used only with equality), not
+  // demand scenario-for-scenario identity.
+  TwoSegments n = two_segments(mbox::AclAction::deny, mbox::AclAction::deny,
+                               /*with_failures=*/true);
+  const ShapeKey k1 = canonical_shape_key(n.model, n.seg1(), 1);
+  const ShapeKey k2 = canonical_shape_key(n.model, n.seg2(), 1);
+  EXPECT_EQ(k1.key, k2.key);
+  EXPECT_TRUE(shape_bijection(n.model, k1, k2, 1).has_value());
+}
+
+TEST(ShapeKeys, AsymmetricFailureScenariosRefuseTheBijection) {
+  // Fail BOTH boxes in one scenario and neither in another: segment 1's
+  // box fails where segment 2's does too, but add an extra scenario that
+  // fails only segment 1's box and the multisets no longer match.
+  TwoSegments n = two_segments(mbox::AclAction::deny, mbox::AclAction::deny,
+                               /*with_failures=*/false);
+  n.model.network().add_failure_scenario("only-fw1", {n.m1});
+  const ShapeKey k1 = canonical_shape_key(n.model, n.seg1(), 1);
+  const ShapeKey k2 = canonical_shape_key(n.model, n.seg2(), 1);
+  EXPECT_NE(k1.key, k2.key);  // the 1-WL palette already differs
+  EXPECT_FALSE(shape_bijection(n.model, k1, k2, 1).has_value());
+}
+
+TEST(ShapeKeys, BijectionIsInvariantFree) {
+  // The same member pair serves any invariant: shape keys carry no roles,
+  // so one representative encoding can host isolation and reachability
+  // checks alike (role mapping happens per job, in the engines).
+  TwoSegments n = two_segments(mbox::AclAction::deny, mbox::AclAction::deny,
+                               /*with_failures=*/false);
+  const ShapeKey k1 = canonical_shape_key(n.model, n.seg1());
+  EXPECT_EQ(k1.key.find("node-isolation"), std::string::npos);
+  EXPECT_EQ(k1.key.find("reachable"), std::string::npos);
 }
 
 }  // namespace

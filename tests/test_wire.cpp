@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -236,26 +237,39 @@ void expect_jobs_roundtrip(const encode::NetworkModel& model,
   for (const Job& job : plan.jobs) {
     const encode::Invariant& invariant = batch.invariants[job.invariant_index];
     SolverSession local_session(popts.verify.solver);
+    // The local reference run encodes the job's own slice directly -
+    // never through an isomorphic representative - so the round trip below
+    // also asserts that executing the shipped iso binding remotely agrees
+    // with a direct solve of the original problem.
     const VerifyResult local = verify_members(model, invariant, job.members,
                                               max_failures, local_session);
 
     WireModel wire_model;
     wire_model.solver = popts.verify.solver;
-    wire_model.spec_text = io::write_projected_spec_string(model, job.members);
+    // Project what the dispatcher projects: the job's members plus (for
+    // iso-rebound jobs) the representative member set whose base encoding
+    // the worker builds.
+    std::set<NodeId> span(job.members.begin(), job.members.end());
+    span.insert(job.encode_members().begin(), job.encode_members().end());
+    wire_model.spec_text = io::write_projected_spec_string(
+        model, std::vector<NodeId>(span.begin(), span.end()));
     const WireModel model_back = decode_model(encode_model(wire_model));
     const WireJob wire_job =
         decode_job(encode_job(make_wire_job(model, job, invariant,
                                             max_failures)));
     EXPECT_EQ(wire_job.canonical_key, job.canonical_key) << "job " << job.id;
     EXPECT_EQ(wire_job.members.size(), job.members.size());
+    EXPECT_EQ(wire_job.iso_image.size(), job.iso_image.size());
 
     io::Spec remote_spec = io::parse_spec_string(model_back.spec_text);
     ResolvedJob resolved = resolve_job(remote_spec.model, wire_job);
     SolverSession remote_session(popts.verify.solver);
+    const IsoBinding remote_iso{resolved.members, resolved.iso_image};
     const VerifyResult remote =
         verify_members(remote_spec.model, resolved.invariant,
                        std::move(resolved.members), wire_job.max_failures,
-                       remote_session);
+                       remote_session,
+                       resolved.iso_image.empty() ? nullptr : &remote_iso);
 
     EXPECT_EQ(remote.outcome, local.outcome) << "job " << job.id;
     EXPECT_EQ(remote.raw_status, local.raw_status) << "job " << job.id;

@@ -35,6 +35,9 @@ if [ "${VMN_SANITIZE:-OFF}" = "ON" ]; then
 fi
 
 cmake -B "$build" -S "$repo" "${cmake_args[@]}"
+# Absolute from here on: the bench smoke below runs binaries from inside a
+# temp dir, where a relative [build-dir] argument would no longer resolve.
+build="$(cd "$build" && pwd)"
 cmake --build "$build" -j "$(nproc)"
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 
@@ -120,8 +123,10 @@ trap 'rm -rf "$cache_dir" "$seg_cache"' EXIT
     > /dev/null
 # Demote the freshly written cache to the previous key-format version: the
 # record lines stay byte-identical, only the header says their fingerprints
-# were minted under keys that meant something else.
-sed -i '1s/^# vmn-result-cache v[0-9]*$/# vmn-result-cache v1/' \
+# were minted under keys that meant something else. (The current header also
+# carries the spec fingerprint - "v3 spec=<hex>" - which the demotion strips,
+# as a real v1 file never had one.)
+sed -i '1s/^# vmn-result-cache v[0-9].*$/# vmn-result-cache v1/' \
     "$seg_cache/vmn-results.cache"
 stale_run="$("$build/vmn" verify "$segmented" --batch --jobs 2 \
     --cache-dir "$seg_cache")"
@@ -141,5 +146,70 @@ upgraded="$("$build/vmn" verify "$segmented" --batch --jobs 2 \
 if ! echo "$upgraded" | grep -Eq "cache: [1-9][0-9]* hits"; then
   echo "ci: cache was not upgraded after the stale-version rejection" >&2
   exit 1
+fi
+
+echo "--- smoke: spec edit invalidates the cache file wholesale ---"
+# Same cache dir, different spec: the header's spec fingerprint must reject
+# every record (0 hits - no stale leftovers served), and the flush must
+# restamp the file for the new spec so its own rerun hits again.
+"$build/vmn" verify "$spec" --batch --jobs 2 --cache-dir "$seg_cache" \
+    > /dev/null
+edited="$("$build/vmn" verify "$spec" --batch --jobs 2 --cache-dir "$seg_cache")"
+if ! echo "$edited" | grep -Eq "cache: [1-9][0-9]* hits"; then
+  echo "ci: cache did not restamp for the edited spec" >&2
+  exit 1
+fi
+back="$("$build/vmn" verify "$segmented" --batch --jobs 2 \
+    --cache-dir "$seg_cache")"
+if ! echo "$back" | grep -q "cache: 0 hits"; then
+  echo "ci: records from another spec answered a lookup" >&2
+  exit 1
+fi
+
+echo "--- smoke: cross-isomorphic counters surface in the batch summary ---"
+if ! echo "$thread_out" | grep -q "cross-isomorphic"; then
+  echo "ci: batch summary lost the cross-isomorphic counter" >&2
+  exit 1
+fi
+
+echo "--- smoke: bench JSON trajectory (bounded run, well-formed output) ---"
+# The JSON-emitting benches never ran in CI before, which is why the bench
+# trajectory stayed empty. A min-time-bounded, filtered run keeps this
+# cheap while asserting both documents are produced and parse.
+bench_dir="$(mktemp -d)"
+trap 'rm -rf "$cache_dir" "$seg_cache" "$bench_dir"' EXIT
+(cd "$bench_dir" && "$build/bench/bench_parallel_scaling" \
+    --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_BatchFastPath|BM_IsoWarm' > /dev/null)
+(cd "$bench_dir" && "$build/bench/bench_fig7_enterprise" \
+    --benchmark_min_time=0.01 > /dev/null)
+for doc in BENCH_parallel.json BENCH_fig7.json; do
+  if [ ! -s "$bench_dir/$doc" ]; then
+    echo "ci: bench smoke did not produce $doc" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null; then
+    python3 -m json.tool "$bench_dir/$doc" > /dev/null \
+      || { echo "ci: $doc is not well-formed JSON" >&2; exit 1; }
+  else
+    grep -q '"records"' "$bench_dir/$doc" \
+      || { echo "ci: $doc looks malformed" >&2; exit 1; }
+  fi
+done
+# The iso-warm family ran inside the filtered bench above; its JSON record
+# must show actual cross-isomorphic reuse on the datacenter batch (the
+# acceptance signal for encoding-layer reuse, machine-checked per CI run).
+if command -v python3 > /dev/null; then
+  python3 - "$bench_dir/BENCH_parallel.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rec = {r["name"]: r["values"] for r in doc["records"]}
+warm = rec.get("isowarm/warm")
+assert warm is not None, "isowarm/warm record missing from BENCH_parallel.json"
+assert warm.get("iso_reuses", 0) > 0, "no cross-isomorphic warm reuse recorded"
+cold = rec.get("isowarm/cold")
+assert cold is not None and cold.get("iso_reuses", 1) == 0, \
+    "cold baseline must not iso-rebind"
+PY
 fi
 echo "ci: OK"

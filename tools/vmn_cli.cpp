@@ -40,6 +40,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -99,9 +100,30 @@ int cmd_verify(io::Spec& spec, const char* argv0, int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--no-symmetry") == 0) {
       use_symmetry = false;
     } else if (std::strcmp(argv[i], "--max-failures") == 0 && i + 1 < argc) {
-      opts.max_failures = std::atoi(argv[++i]);
+      // Strict parse, like --jobs: atoi silently reads garbage as 0, and a
+      // negative budget must be rejected, not passed through.
+      char* end = nullptr;
+      const long k = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || k < 0) {
+        std::fprintf(stderr,
+                     "--max-failures wants a non-negative integer, got %s\n",
+                     argv[i]);
+        return usage();
+      }
+      opts.max_failures = static_cast<int>(k);
     } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
-      opts.solver.timeout_ms = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      // Strict parse: atoi turned garbage into 0 and a negative count,
+      // wrapped through the uint32_t cast, into a ~49-day timeout.
+      char* end = nullptr;
+      const long long ms = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || ms <= 0 ||
+          ms > static_cast<long long>(UINT32_MAX)) {
+        std::fprintf(stderr,
+                     "--timeout wants a positive millisecond count, got %s\n",
+                     argv[i]);
+        return usage();
+      }
+      opts.solver.timeout_ms = static_cast<std::uint32_t>(ms);
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       want_trace = true;
     } else if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
@@ -190,8 +212,12 @@ int cmd_verify(io::Spec& spec, const char* argv0, int argc, char** argv) {
       std::printf("  cache: %zu hits, %zu misses (%s)\n", pbatch.cache_hits,
                   pbatch.cache_misses, opts.cache_dir.c_str());
     }
-    std::printf("  warm solver: %zu context builds, %zu reuses\n",
-                pbatch.warm_binds, pbatch.warm_reuses);
+    std::printf("  warm solver: %zu context builds, %zu reuses "
+                "(%zu cross-isomorphic of %zu mapped)\n",
+                pbatch.warm_binds, pbatch.warm_reuses, pbatch.iso_reuses,
+                pbatch.iso_mapped);
+    std::printf("  encode transfers: %zu built, %zu reused\n",
+                pbatch.encode_transfer_builds, pbatch.encode_transfer_reuses);
     for (std::size_t w = 0; w < pbatch.workers.size(); ++w) {
       std::printf("  worker %zu: %zu tasks, %lld ms busy\n", w,
                   pbatch.workers[w].jobs,

@@ -20,13 +20,27 @@ namespace vmn::io {
 
 namespace {
 
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> out;
-  std::istringstream in(line);
-  std::string tok;
-  while (in >> tok) {
-    if (tok[0] == '#') break;
-    out.push_back(tok);
+/// One input line, split on whitespace, with the 1-based column of each
+/// token's first character (so errors can point at the offending token).
+struct TokenLine {
+  std::vector<std::string> tok;
+  std::vector<int> col;
+};
+
+TokenLine tokenize(const std::string& line) {
+  TokenLine out;
+  std::size_t i = 0;
+  const auto space = [&](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+           c == '\f';
+  };
+  while (i < line.size()) {
+    while (i < line.size() && space(line[i])) ++i;
+    if (i >= line.size() || line[i] == '#') break;
+    const std::size_t begin = i;
+    while (i < line.size() && !space(line[i])) ++i;
+    out.tok.push_back(line.substr(begin, i - begin));
+    out.col.push_back(static_cast<int>(begin) + 1);
   }
   return out;
 }
@@ -35,23 +49,29 @@ std::vector<std::string> tokenize(const std::string& line) {
   throw ParseError(line, message);
 }
 
-int to_int(const std::string& s, int line) {
+[[noreturn]] void fail(int line, int col, const std::string& message) {
+  throw ParseError(line, col, message);
+}
+
+int to_int(const std::string& s, int line, int col = 0) {
   try {
     std::size_t pos = 0;
     int v = std::stoi(s, &pos);
-    if (pos != s.size()) fail(line, "trailing characters in number: " + s);
+    if (pos != s.size()) {
+      fail(line, col, "trailing characters in number: " + s);
+    }
     return v;
   } catch (const ParseError&) {
     throw;
   } catch (const std::exception&) {
-    fail(line, "expected a number, got: " + s);
+    fail(line, col, "expected a number, got: " + s);
   }
 }
 
-mbox::AclAction parse_action(const std::string& s, int line) {
+mbox::AclAction parse_action(const std::string& s, int line, int col = 0) {
   if (s == "allow") return mbox::AclAction::allow;
   if (s == "deny") return mbox::AclAction::deny;
-  fail(line, "expected allow|deny, got: " + s);
+  fail(line, col, "expected allow|deny, got: " + s);
 }
 
 /// Parser state machine: top level plus in-block modes.
@@ -61,9 +81,10 @@ class Parser {
     std::string raw;
     while (std::getline(in, raw)) {
       ++line_;
-      auto tok = tokenize(raw);
-      if (tok.empty()) continue;
-      dispatch(tok);
+      TokenLine tl = tokenize(raw);
+      if (tl.tok.empty()) continue;
+      cols_ = std::move(tl.col);
+      dispatch(tl.tok);
     }
     if (mode_ != Mode::top) fail(line_, "unterminated block (missing 'end')");
     // Resolve invariants only after every node exists.
@@ -77,7 +98,13 @@ class Parser {
   struct PendingInvariant {
     int line;
     std::vector<std::string> tok;
+    std::vector<int> col;
   };
+
+  /// Column of token i on the current line (0 when unknown).
+  [[nodiscard]] int col(std::size_t i) const {
+    return i < cols_.size() ? cols_[i] : 0;
+  }
 
   void dispatch(const std::vector<std::string>& tok) {
     switch (mode_) {
@@ -96,32 +123,35 @@ class Parser {
     const std::string& kw = tok[0];
     if (kw == "host") {
       need(tok, 3, "host <name> <address>");
-      spec_.model.network().add_host(tok[1], parse_address(tok[2], line_));
+      spec_.model.network().add_host(tok[1],
+                                     parse_address(tok[2], line_, col(2)));
     } else if (kw == "switch") {
       need(tok, 2, "switch <name>");
       spec_.model.network().add_switch(tok[1]);
     } else if (kw == "link") {
       need(tok, 3, "link <a> <b>");
-      spec_.model.network().add_link(node(tok[1]), node(tok[2]));
+      spec_.model.network().add_link(node(tok[1], col(1)),
+                                     node(tok[2], col(2)));
     } else if (kw == "firewall") {
       need(tok, 4, "firewall <name> default <allow|deny>");
-      if (tok[2] != "default") fail(line_, "expected 'default'");
+      if (tok[2] != "default") fail(line_, col(2), "expected 'default'");
       fw_name_ = tok[1];
-      fw_default_ = parse_action(tok[3], line_);
+      fw_default_ = parse_action(tok[3], line_, col(3));
       fw_entries_.clear();
       mode_ = Mode::firewall;
     } else if (kw == "nat") {
       need(tok, 4, "nat <name> <external> <internal-prefix>");
       spec_.model.add_middlebox(std::make_unique<mbox::Nat>(
-          tok[1], parse_address(tok[2], line_), parse_prefix(tok[3], line_)));
+          tok[1], parse_address(tok[2], line_, col(2)),
+          parse_prefix(tok[3], line_, col(3))));
     } else if (kw == "load-balancer") {
       if (tok.size() < 4) fail(line_, "load-balancer <name> <vip> <backend>...");
       std::vector<Address> backends;
       for (std::size_t i = 3; i < tok.size(); ++i) {
-        backends.push_back(parse_address(tok[i], line_));
+        backends.push_back(parse_address(tok[i], line_, col(i)));
       }
       spec_.model.add_middlebox(std::make_unique<mbox::LoadBalancer>(
-          tok[1], parse_address(tok[2], line_), std::move(backends)));
+          tok[1], parse_address(tok[2], line_, col(2)), std::move(backends)));
     } else if (kw == "cache") {
       need(tok, 2, "cache <name>");
       cache_name_ = tok[1];
@@ -143,7 +173,8 @@ class Parser {
       if (tok.size() < 3) fail(line_, "app-firewall <name> <class>...");
       std::vector<std::uint16_t> classes;
       for (std::size_t i = 2; i < tok.size(); ++i) {
-        classes.push_back(static_cast<std::uint16_t>(to_int(tok[i], line_)));
+        classes.push_back(
+            static_cast<std::uint16_t>(to_int(tok[i], line_, col(i))));
       }
       spec_.model.add_middlebox(
           std::make_unique<mbox::AppFirewall>(tok[1], std::move(classes)));
@@ -152,8 +183,8 @@ class Parser {
       spec_.model.add_middlebox(std::make_unique<mbox::WanOptimizer>(tok[1]));
     } else if (kw == "proxy") {
       need(tok, 3, "proxy <name> <address>");
-      spec_.model.add_middlebox(
-          std::make_unique<mbox::Proxy>(tok[1], parse_address(tok[2], line_)));
+      spec_.model.add_middlebox(std::make_unique<mbox::Proxy>(
+          tok[1], parse_address(tok[2], line_, col(2))));
     } else if (kw == "route") {
       add_route(tok, net::Network::base_scenario);
     } else if (kw == "scenario") {
@@ -161,7 +192,7 @@ class Parser {
       std::vector<NodeId> failed;
       for (std::size_t i = 2; i < tok.size(); ++i) {
         if (tok[i] == "fail") continue;
-        failed.push_back(node(tok[i]));
+        failed.push_back(node(tok[i], col(i)));
       }
       scenario_ = spec_.model.network().add_failure_scenario(tok[1],
                                                              std::move(failed));
@@ -169,12 +200,13 @@ class Parser {
     } else if (kw == "policy") {
       need(tok, 3, "policy <host> <class-id>");
       spec_.model.set_policy_class(
-          node(tok[1]),
-          PolicyClassId{static_cast<std::uint32_t>(to_int(tok[2], line_))});
+          node(tok[1], col(1)),
+          PolicyClassId{
+              static_cast<std::uint32_t>(to_int(tok[2], line_, col(2)))});
     } else if (kw == "invariant") {
-      pending_invariants_.push_back(PendingInvariant{line_, tok});
+      pending_invariants_.push_back(PendingInvariant{line_, tok, cols_});
     } else {
-      fail(line_, "unknown directive: " + kw);
+      fail(line_, col(0), "unknown directive: " + kw);
     }
   }
 
@@ -187,10 +219,11 @@ class Parser {
     }
     // <allow|deny> <prefix> -> <prefix>
     need(tok, 4, "<allow|deny> <prefix> -> <prefix>");
-    const mbox::AclAction action = parse_action(tok[0], line_);
-    if (tok[2] != "->") fail(line_, "expected '->'");
-    fw_entries_.push_back(mbox::AclEntry{parse_prefix(tok[1], line_),
-                                         parse_prefix(tok[3], line_), action});
+    const mbox::AclAction action = parse_action(tok[0], line_, col(0));
+    if (tok[2] != "->") fail(line_, col(2), "expected '->'");
+    fw_entries_.push_back(
+        mbox::AclEntry{parse_prefix(tok[1], line_, col(1)),
+                       parse_prefix(tok[3], line_, col(3)), action});
   }
 
   void in_cache(const std::vector<std::string>& tok) {
@@ -201,9 +234,11 @@ class Parser {
       return;
     }
     need(tok, 3, "<allow|deny> <client-prefix> <origin-address>");
-    const bool deny = parse_action(tok[0], line_) == mbox::AclAction::deny;
+    const bool deny =
+        parse_action(tok[0], line_, col(0)) == mbox::AclAction::deny;
     cache_entries_.push_back(mbox::CacheAclEntry{
-        parse_prefix(tok[1], line_), parse_address(tok[2], line_), deny});
+        parse_prefix(tok[1], line_, col(1)),
+        parse_address(tok[2], line_, col(2)), deny});
   }
 
   void in_scenario(const std::vector<std::string>& tok) {
@@ -211,7 +246,9 @@ class Parser {
       mode_ = Mode::top;
       return;
     }
-    if (tok[0] != "route") fail(line_, "only route overrides inside scenario");
+    if (tok[0] != "route") {
+      fail(line_, col(0), "only route overrides inside scenario");
+    }
     add_route(tok, scenario_);
   }
 
@@ -221,21 +258,24 @@ class Parser {
       fail(line_, "route <switch> [from <node>] <prefix> <next-hop>");
     }
     std::size_t i = 1;
-    NodeId sw = node(tok[i++]);
+    NodeId sw = node(tok[i], col(i));
+    ++i;
     std::optional<NodeId> from;
     if (tok[i] == "from") {
       if (tok.size() < 6) fail(line_, "route ... from <node> <prefix> <hop>");
-      from = node(tok[i + 1]);
+      from = node(tok[i + 1], col(i + 1));
       i += 2;
     }
-    Prefix prefix = parse_prefix(tok[i++], line_);
-    NodeId hop = node(tok[i++]);
+    Prefix prefix = parse_prefix(tok[i], line_, col(i));
+    ++i;
+    NodeId hop = node(tok[i], col(i));
+    ++i;
     int priority = 0;
     if (i < tok.size()) {
       if (tok[i] != "priority" || i + 1 >= tok.size()) {
-        fail(line_, "expected 'priority <n>'");
+        fail(line_, col(i), "expected 'priority <n>'");
       }
-      priority = to_int(tok[i + 1], line_);
+      priority = to_int(tok[i + 1], line_, col(i + 1));
     }
     net::ForwardingTable& table = spec_.model.network().table(sw, scenario);
     if (from) {
@@ -247,6 +287,10 @@ class Parser {
 
   void resolve_invariant(const PendingInvariant& p) {
     const auto& tok = p.tok;
+    // Restore the line's position state so node() and col() point into the
+    // invariant's own line, not the file's last.
+    line_ = p.line;
+    cols_ = p.col;
     auto expect_at = [&](std::size_t i) -> std::optional<verify::Outcome> {
       if (tok.size() <= i) return std::nullopt;
       if (tok[i] != "expect" || tok.size() <= i + 1) {
@@ -261,41 +305,45 @@ class Parser {
     encode::Invariant inv;
     std::size_t tail = 0;
     if (kind == "node-isolation") {
-      inv = encode::Invariant::node_isolation(node(tok[2]), node(tok[3]));
+      inv = encode::Invariant::node_isolation(node(tok[2], col(2)),
+                                              node(tok[3], col(3)));
       tail = 4;
     } else if (kind == "flow-isolation") {
-      inv = encode::Invariant::flow_isolation(node(tok[2]), node(tok[3]));
+      inv = encode::Invariant::flow_isolation(node(tok[2], col(2)),
+                                              node(tok[3], col(3)));
       tail = 4;
     } else if (kind == "data-isolation") {
-      inv = encode::Invariant::data_isolation(node(tok[2]), node(tok[3]));
+      inv = encode::Invariant::data_isolation(node(tok[2], col(2)),
+                                              node(tok[3], col(3)));
       tail = 4;
     } else if (kind == "no-malicious") {
-      inv = encode::Invariant::no_malicious_delivery(node(tok[2]));
+      inv = encode::Invariant::no_malicious_delivery(node(tok[2], col(2)));
       tail = 3;
     } else if (kind == "traversal") {
       if (tok.size() < 4) fail(p.line, "traversal <d> <type-prefix>");
-      inv = encode::Invariant::traversal(node(tok[2]), tok[3]);
+      inv = encode::Invariant::traversal(node(tok[2], col(2)), tok[3]);
       tail = 4;
     } else if (kind == "traversal-from") {
       if (tok.size() < 5) fail(p.line, "traversal-from <d> <s> <prefix>");
-      inv = encode::Invariant::traversal_from(node(tok[2]), node(tok[3]),
-                                              tok[4]);
+      inv = encode::Invariant::traversal_from(node(tok[2], col(2)),
+                                              node(tok[3], col(3)), tok[4]);
       tail = 5;
     } else if (kind == "reachable") {
-      inv = encode::Invariant::reachable(node(tok[2]), node(tok[3]));
+      inv = encode::Invariant::reachable(node(tok[2], col(2)),
+                                         node(tok[3], col(3)));
       tail = 4;
     } else {
-      fail(p.line, "unknown invariant kind: " + kind);
+      fail(p.line, col(1), "unknown invariant kind: " + kind);
     }
     spec_.invariants.push_back(inv);
     spec_.expectations.push_back(expect_at(tail));
   }
 
-  NodeId node(const std::string& name) {
+  NodeId node(const std::string& name, int c = 0) {
     try {
       return spec_.model.network().node_by_name(name);
     } catch (const Error&) {
-      fail(line_, "unknown node: " + name);
+      fail(line_, c, "unknown node: " + name);
     }
   }
 
@@ -307,6 +355,7 @@ class Parser {
   Spec spec_;
   Mode mode_ = Mode::top;
   int line_ = 0;
+  std::vector<int> cols_;  ///< token columns of the current line
   // firewall block state
   std::string fw_name_;
   mbox::AclAction fw_default_ = mbox::AclAction::deny;
@@ -454,25 +503,25 @@ void write_network(std::ostream& out, const encode::NetworkModel& model,
 
 }  // namespace
 
-Address parse_address(const std::string& text, int line) {
+Address parse_address(const std::string& text, int line, int col) {
   unsigned a = 0, b = 0, c = 0, d = 0;
   char extra = 0;
   if (std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) != 4 ||
       a > 255 || b > 255 || c > 255 || d > 255) {
-    fail(line, "bad address: " + text);
+    fail(line, col, "bad address: " + text);
   }
   return Address::of(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
                      static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
 }
 
-Prefix parse_prefix(const std::string& text, int line) {
+Prefix parse_prefix(const std::string& text, int line, int col) {
   const auto slash = text.find('/');
   if (slash == std::string::npos) {
-    return Prefix::host(parse_address(text, line));
+    return Prefix::host(parse_address(text, line, col));
   }
-  const Address base = parse_address(text.substr(0, slash), line);
-  const int len = to_int(text.substr(slash + 1), line);
-  if (len < 0 || len > 32) fail(line, "bad prefix length in: " + text);
+  const Address base = parse_address(text.substr(0, slash), line, col);
+  const int len = to_int(text.substr(slash + 1), line, col);
+  if (len < 0 || len > 32) fail(line, col, "bad prefix length in: " + text);
   return Prefix(base, len);
 }
 

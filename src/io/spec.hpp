@@ -55,15 +55,25 @@ struct Spec {
   std::vector<std::optional<verify::Outcome>> expectations;
 };
 
-/// Raised with a line number and message on malformed input.
+/// Raised with a source position and message on malformed input. The column
+/// (1-based, of the offending token's first character) is reported when the
+/// parser can attribute the error to a token; 0 means line-only.
 class ParseError : public Error {
  public:
   ParseError(int line, const std::string& message)
-      : Error("line " + std::to_string(line) + ": " + message), line_(line) {}
+      : ParseError(line, 0, message) {}
+  ParseError(int line, int column, const std::string& message)
+      : Error(column > 0 ? "line " + std::to_string(line) + ", col " +
+                               std::to_string(column) + ": " + message
+                         : "line " + std::to_string(line) + ": " + message),
+        line_(line),
+        column_(column) {}
   [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return column_; }
 
  private:
   int line_;
+  int column_;
 };
 
 /// Parses a specification from a stream.
@@ -99,8 +109,10 @@ void write_projected_spec(std::ostream& out, const encode::NetworkModel& model,
     const encode::NetworkModel& model, const std::vector<NodeId>& members);
 
 /// Parses "a.b.c.d" into an address; throws ParseError on bad syntax.
-[[nodiscard]] Address parse_address(const std::string& text, int line = 0);
+[[nodiscard]] Address parse_address(const std::string& text, int line = 0,
+                                    int col = 0);
 /// Parses "a.b.c.d/len" (or a bare address as /32).
-[[nodiscard]] Prefix parse_prefix(const std::string& text, int line = 0);
+[[nodiscard]] Prefix parse_prefix(const std::string& text, int line = 0,
+                                  int col = 0);
 
 }  // namespace vmn::io

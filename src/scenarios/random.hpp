@@ -1,0 +1,72 @@
+// Seeded random specification generator (the fuzzing workload).
+//
+// Where the other generators reproduce the paper's hand-shaped topologies,
+// this one samples the whole input space the engines claim to handle:
+// random switch fabrics, random host placements, middleboxes drawn from the
+// entire src/mbox zoo with randomized configurations, random service
+// chains, failure scenarios (node failures and routing misconfigurations)
+// and random invariants of every kind. Generation is fully deterministic
+// from the seed - all randomness flows through core/rng - and the result is
+// canonicalized as .vmn text, so a seed IS a reproducible test case and a
+// byte-identical regeneration is the fuzzer's first self-check.
+//
+// Construction invariants (what keeps generated specs meaningful rather
+// than degenerate):
+//   - switches form a random connected tree (plus occasional redundant
+//     links); per-destination routes follow BFS toward the owner, so the
+//     static datapath is loop-free by construction;
+//   - service chains (in-port rules, the OneBoxNet pattern) only enlist
+//     pass-through middlebox types; address-rewriting boxes that drop
+//     unrelated traffic (NAT, load balancer, proxy) are reached through
+//     their implicit addresses instead, which get routes of their own;
+//   - failure scenarios fail at most `max_failures` middleboxes, and
+//     routing-only scenarios carry a chain-bypassing route override (the
+//     ISP section 5.3.3 misconfiguration shape).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "io/spec.hpp"
+
+namespace vmn::scenarios {
+
+struct RandomSpecParams {
+  std::uint64_t seed = 0;
+  int min_hosts = 2;
+  int max_hosts = 5;
+  int max_switches = 4;
+  int max_middleboxes = 3;
+  int max_scenarios = 2;
+  /// Largest failed-node set any generated scenario may carry; the
+  /// verification budget is derived back from the spec (see
+  /// derived_max_failures), so it survives serialization.
+  int max_failures = 1;
+  int min_invariants = 2;
+  int max_invariants = 6;
+  /// Probability that a middlebox placed at a switch joins the service
+  /// chain of a given destination host.
+  double chain_probability = 0.5;
+  /// Probability that a failure scenario additionally overrides a route to
+  /// bypass a service chain (misconfiguration injection).
+  double misroute_probability = 0.35;
+};
+
+/// One generated specification: the built model + invariants, and its
+/// canonical .vmn serialization. `text` is what the fuzzer actually tests
+/// (it re-parses it), so a reproducer is always faithful to what ran.
+struct RandomSpec {
+  io::Spec spec;
+  std::string text;
+  std::uint64_t seed = 0;
+};
+
+[[nodiscard]] RandomSpec make_random_spec(const RandomSpecParams& params);
+
+/// The failure budget a spec implies: the size of its largest scenario
+/// failed-node set. The .vmn grammar carries no budget directive, so the
+/// fuzzer (and reproducer replay) derive it from the spec itself - which
+/// makes shrunk reproducers self-contained.
+[[nodiscard]] int derived_max_failures(const encode::NetworkModel& model);
+
+}  // namespace vmn::scenarios

@@ -1,0 +1,247 @@
+#include "sim/replay.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace vmn::sim {
+
+namespace {
+
+/// Receive events at `node` in trace order (the simulator records every
+/// per-hop delivery, middleboxes included).
+bool any_receive(const Trace& trace, NodeId node,
+                 const std::function<bool(const Packet&)>& pred) {
+  for (const Event& e : trace.events()) {
+    if (e.kind == EventKind::receive && e.to == node && pred(e.packet)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool violates_flow_isolation(const Trace& trace, NodeId target,
+                             Address peer) {
+  // rcv(target, p) with src(p) = peer and no earlier snd by target of the
+  // reversed-port flow back to peer (the hole-punching exemption).
+  const auto& events = trace.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (e.kind != EventKind::receive || e.to != target ||
+        e.packet.src != peer) {
+      continue;
+    }
+    bool punched = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      const Event& s = events[j];
+      if (s.kind == EventKind::send && s.from == target &&
+          s.packet.dst == peer && s.packet.src_port == e.packet.dst_port &&
+          s.packet.dst_port == e.packet.src_port) {
+        punched = true;
+        break;
+      }
+    }
+    if (!punched) return true;
+  }
+  return false;
+}
+
+bool violates_traversal(const Trace& trace, const encode::NetworkModel& model,
+                        const encode::Invariant& inv) {
+  const net::Network& net = model.network();
+  const auto& events = trace.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (e.kind != EventKind::receive || e.to != inv.target) continue;
+    if (inv.other.valid() &&
+        e.packet.src != net.node(inv.other).address) {
+      continue;
+    }
+    bool traversed = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      const Event& m = events[j];
+      if (m.kind != EventKind::receive ||
+          model.middlebox_at(m.to) == nullptr) {
+        continue;
+      }
+      if (net.name(m.to).starts_with(inv.type_prefix) &&
+          m.packet == e.packet) {
+        traversed = true;
+        break;
+      }
+    }
+    if (!traversed) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool trace_violates(const Trace& trace, const encode::NetworkModel& model,
+                    const encode::Invariant& inv) {
+  const net::Network& net = model.network();
+  const Address peer =
+      inv.other.valid() ? net.node(inv.other).address : Address{};
+  switch (inv.kind) {
+    case encode::InvariantKind::node_isolation:
+      return any_receive(trace, inv.target,
+                         [&](const Packet& p) { return p.src == peer; });
+    case encode::InvariantKind::flow_isolation:
+      return violates_flow_isolation(trace, inv.target, peer);
+    case encode::InvariantKind::data_isolation:
+      return any_receive(trace, inv.target, [&](const Packet& p) {
+        return p.origin && *p.origin == peer;
+      });
+    case encode::InvariantKind::no_malicious_delivery:
+      return any_receive(trace, inv.target,
+                         [](const Packet& p) { return p.malicious; });
+    case encode::InvariantKind::traversal:
+      return violates_traversal(trace, model, inv);
+    case encode::InvariantKind::reachable:
+      // Existential: "violating" the negation means the delivery exists.
+      // Replay uses this to confirm a `holds` (= reachable) witness.
+      return any_receive(trace, inv.target,
+                         [&](const Packet& p) { return p.src == peer; });
+  }
+  return false;
+}
+
+bool replay_is_strict(const encode::NetworkModel& model) {
+  static const std::set<std::string> kExact = {
+      "firewall", "idps", "scrubber", "gateway", "app-firewall"};
+  for (const auto& box : model.middleboxes()) {
+    if (!kExact.contains(box->type())) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Invariant-derived probe injections: canonical attack packets that
+/// realize the violation whenever the concrete datapath admits one, even
+/// when the witness's exact interleaving does not replay verbatim. Every
+/// probe is a legal host send (src = own address, origin unset or own), so
+/// a probe-realized violation is as genuine as a witness-realized one.
+std::vector<std::pair<NodeId, Packet>> probe_injections(
+    const encode::NetworkModel& model, const encode::Invariant& inv) {
+  const net::Network& net = model.network();
+  std::vector<std::pair<NodeId, Packet>> probes;
+  const Address dst = net.node(inv.target).address;
+  switch (inv.kind) {
+    case encode::InvariantKind::node_isolation:
+    case encode::InvariantKind::flow_isolation:
+    case encode::InvariantKind::reachable: {
+      probes.emplace_back(inv.other,
+                          Packet{net.node(inv.other).address, dst, 1009, 80});
+      break;
+    }
+    case encode::InvariantKind::data_isolation: {
+      // Request / provenance-carrying response / re-request: the ordering a
+      // content cache needs to cache and then serve the data.
+      const Address srv = net.node(inv.other).address;
+      probes.emplace_back(inv.target, Packet{dst, srv, 1013, 80});
+      Packet resp{srv, dst, 80, 1013};
+      resp.origin = srv;
+      probes.emplace_back(inv.other, resp);
+      probes.emplace_back(inv.target, Packet{dst, srv, 1013, 80});
+      break;
+    }
+    case encode::InvariantKind::no_malicious_delivery: {
+      for (NodeId h : net.hosts()) {
+        if (h == inv.target) continue;
+        Packet bad{net.node(h).address, dst, 1021, 80};
+        bad.malicious = true;
+        probes.emplace_back(h, bad);
+      }
+      break;
+    }
+    case encode::InvariantKind::traversal: {
+      if (inv.other.valid()) {
+        probes.emplace_back(inv.other,
+                            Packet{net.node(inv.other).address, dst, 1031, 80});
+      } else {
+        for (NodeId h : net.hosts()) {
+          if (h == inv.target) continue;
+          probes.emplace_back(h, Packet{net.node(h).address, dst, 1031, 80});
+        }
+      }
+      break;
+    }
+  }
+  return probes;
+}
+
+}  // namespace
+
+ReplayResult replay_witness(encode::NetworkModel& model,
+                            const encode::Invariant& inv,
+                            const Trace& witness, int max_failures) {
+  const net::Network& net = model.network();
+
+  // The witness's free choices: host-originated sends, in time order.
+  std::vector<Event> sends;
+  std::set<NodeId> witness_failed;
+  for (const Event& e : witness.events()) {
+    if (e.kind == EventKind::send && e.from.valid() &&
+        net.kind(e.from) == net::NodeKind::host) {
+      sends.push_back(e);
+    } else if (e.kind == EventKind::fail && e.from.valid()) {
+      witness_failed.insert(e.from);
+    }
+  }
+  std::stable_sort(sends.begin(), sends.end(),
+                   [](const Event& a, const Event& b) { return a.time < b.time; });
+
+  // Candidate scenarios: exact fail-set match first, then every other
+  // in-budget scenario (the encoder admits scenarios by budget, and the
+  // SMT model does not expose which one it chose).
+  std::vector<ScenarioId> candidates;
+  const auto& scenarios = net.scenarios();
+  for (std::size_t pass = 0; pass < 2; ++pass) {
+    for (std::size_t si = 0; si < scenarios.size(); ++si) {
+      if (static_cast<int>(scenarios[si].failed_nodes.size()) > max_failures) {
+        continue;
+      }
+      std::set<NodeId> failed(scenarios[si].failed_nodes.begin(),
+                              scenarios[si].failed_nodes.end());
+      const bool exact = failed == witness_failed;
+      if ((pass == 0) == exact) {
+        candidates.push_back(
+            ScenarioId{static_cast<ScenarioId::underlying_type>(si)});
+      }
+    }
+  }
+
+  const auto probes = probe_injections(model, inv);
+  ReplayResult result;
+  for (ScenarioId sid : candidates) {
+    Simulator sim(model, sid);
+    std::size_t injected = 0;
+    auto inject = [&](NodeId from, const Packet& p) {
+      try {
+        sim.inject(from, p);
+        ++injected;
+      } catch (const ForwardingLoopError&) {
+        // A looping injection proves nothing either way; keep going.
+      }
+    };
+    // Witness pass, probe battery, then the witness again: stateful paths
+    // (flow establishment, cache fills) may need the probe-created state
+    // before the witness's final delivery can happen concretely.
+    for (const Event& e : sends) inject(e.from, e.packet);
+    for (const auto& [from, p] : probes) inject(from, p);
+    for (const Event& e : sends) inject(e.from, e.packet);
+    result.injections = injected;
+    if (trace_violates(sim.trace(), model, inv)) {
+      result.realized = true;
+      result.scenario = sid;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace vmn::sim

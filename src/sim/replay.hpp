@@ -1,0 +1,61 @@
+// Concrete witness replay: run a verifier counterexample through the
+// simulator and confirm the forbidden delivery actually occurs.
+//
+// The verifier's witness is a symbolic schedule; its host `send` events are
+// the free choices (hosts send whatever the oracle allows), everything else
+// is a consequence of middlebox and datapath semantics. Replay injects
+// exactly those host sends, in witness time order, into a Simulator running
+// a compatible failure scenario, then adds a small battery of
+// invariant-derived probe injections (a second chance for stateful paths
+// whose concrete event interleaving differs from the symbolic one - e.g. a
+// content cache needs request-before-response ordering). Any concrete
+// realization of the violation confirms the `violated` verdict, whichever
+// injection produced it.
+//
+// Strictness: for middlebox types whose sim_process is an exact refinement
+// of the symbolic model with no havoced choices (firewall, IDPS, scrubber,
+// gateway, app-firewall), a violated verdict that cannot be realized is an
+// oracle failure. Types with symbolic nondeterminism the simulator resolves
+// one way (NAT port choice, load-balancer backend choice, proxy requester
+// choice, cache service choice, WAN-optimizer port havoc) make replay
+// advisory: non-realization is recorded, not flagged.
+#pragma once
+
+#include "core/trace.hpp"
+#include "encode/invariant.hpp"
+#include "sim/simulator.hpp"
+
+namespace vmn::sim {
+
+/// Whether the simulated history violates `inv` - the concrete counterpart
+/// of the encoder's invariant axioms, event-order sensitive where the
+/// symbolic semantics is (flow isolation's prior-reverse-send, traversal's
+/// prior middlebox receive).
+[[nodiscard]] bool trace_violates(const Trace& trace,
+                                  const encode::NetworkModel& model,
+                                  const encode::Invariant& inv);
+
+/// Whether every middlebox in `model` has deterministic concrete semantics,
+/// making witness replay a strict oracle (see file comment).
+[[nodiscard]] bool replay_is_strict(const encode::NetworkModel& model);
+
+struct ReplayResult {
+  /// The violation (for `reachable`: the delivery) was realized concretely.
+  bool realized = false;
+  /// Scenario in which it was realized (meaningful when realized).
+  ScenarioId scenario;
+  /// Host-send injections performed in the realizing (or last) attempt.
+  std::size_t injections = 0;
+};
+
+/// Replays `witness` for `inv` against `model`. Tries the failure scenario
+/// whose failed-node set matches the witness's fail events first, then
+/// every other scenario within `max_failures`; realization in any of them
+/// confirms the verdict (the encoder, too, picks the scenario
+/// existentially). The model's middlebox state is reset per attempt.
+[[nodiscard]] ReplayResult replay_witness(encode::NetworkModel& model,
+                                          const encode::Invariant& inv,
+                                          const Trace& witness,
+                                          int max_failures);
+
+}  // namespace vmn::sim

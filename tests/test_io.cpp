@@ -132,6 +132,60 @@ TEST(SpecParse, ErrorsCarryLineNumbers) {
   }
 }
 
+TEST(SpecParse, ErrorsCarryColumns) {
+  // Bad address: the column points at the address token, not the line start.
+  try {
+    (void)parse_spec_string("host a 10.0.0.1\nhost b 10.0.999.1\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 8);  // "10.0.999.1" starts at column 8
+    EXPECT_NE(std::string(e.what()).find("line 2, col 8"), std::string::npos);
+  }
+  // Unknown node in a link: the column of the offending name.
+  try {
+    (void)parse_spec_string("host a 10.0.0.1\nlink a nosuch\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 8);  // "nosuch"
+  }
+  // Leading whitespace shifts the column (1-based, of the raw line).
+  try {
+    (void)parse_spec_string("switch s\n   route s 10.0.0.0/8 nosuch\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 23);  // "nosuch" after "   route s 10.0.0.0/8 "
+  }
+  // Bad priority number: column of the number token.
+  try {
+    (void)parse_spec_string("switch s\nroute s 10.0.0.0/8 s priority x\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 31);
+  }
+  // Invariants resolve after the whole file: positions must still point at
+  // the invariant's own line, not the file's last.
+  try {
+    (void)parse_spec_string(
+        "host a 10.0.0.1\ninvariant reachable a nosuch\nhost b 10.0.0.2\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 23);  // "nosuch"
+  }
+  // Line-only errors (no token to blame) report column 0.
+  try {
+    (void)parse_spec_string("host a\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.column(), 0);
+    EXPECT_NE(std::string(e.what()).find("line 1:"), std::string::npos);
+  }
+}
+
 TEST(SpecParse, ErrorCases) {
   EXPECT_THROW((void)parse_spec_string("host a\n"), ParseError);
   EXPECT_THROW((void)parse_spec_string("link a b\n"), ParseError);  // unknown

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench JSON document against its checked-in trajectory
+snapshot (bench/trajectory/).
+
+Timings (wall_ms, plan_ms, verify_ms, speedup_vs_cold) vary per machine and
+are ignored. Everything else the benches record is a deterministic counter -
+solver calls, cache traffic, warm/iso reuse, slice sizes - fixed by (spec,
+plan, jobs=2), so a drift against the snapshot means the engine's behavior
+changed, not the hardware. That is the point: the snapshot pins the
+*trajectory* (how the engines get their answers), CI re-derives it on every
+run, and an intentional change updates the snapshot in the same commit.
+
+usage: bench_diff.py <snapshot.json> <fresh.json>
+"""
+
+import json
+import sys
+
+# Everything not listed here must match the snapshot exactly.
+TIMING_KEYS = {"wall_ms", "plan_ms", "verify_ms", "speedup_vs_cold"}
+
+
+def counters(values):
+    return {k: v for k, v in values.items() if k not in TIMING_KEYS}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    snapshot_path, fresh_path = sys.argv[1], sys.argv[2]
+    with open(snapshot_path) as f:
+        snapshot = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    errors = []
+    snap_records = {r["name"]: r["values"] for r in snapshot["records"]}
+    fresh_records = {r["name"]: r["values"] for r in fresh["records"]}
+
+    missing = sorted(set(snap_records) - set(fresh_records))
+    extra = sorted(set(fresh_records) - set(snap_records))
+    if missing:
+        errors.append(f"records missing from fresh run: {', '.join(missing)}")
+    if extra:
+        errors.append(f"records not in snapshot: {', '.join(extra)}")
+
+    for name in sorted(set(snap_records) & set(fresh_records)):
+        want = counters(snap_records[name])
+        got = counters(fresh_records[name])
+        for key in sorted(set(want) | set(got)):
+            if want.get(key) != got.get(key):
+                errors.append(
+                    f"{name}: {key} = {got.get(key)} "
+                    f"(snapshot: {want.get(key)})"
+                )
+
+    # The acceptance signals behind the counters, stated explicitly so a
+    # jointly drifted snapshot+run cannot silently regress them.
+    warm = fresh_records.get("isowarm/warm")
+    if warm is not None and warm.get("iso_reuses", 0) <= 0:
+        errors.append("isowarm/warm: no cross-isomorphic warm reuse")
+    cold = fresh_records.get("isowarm/cold")
+    if cold is not None and cold.get("iso_reuses", 0) != 0:
+        errors.append("isowarm/cold: cold baseline must not iso-rebind")
+
+    if errors:
+        print(f"bench trajectory drift vs {snapshot_path}:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        sys.exit(1)
+    kept = sum(len(counters(v)) for v in snap_records.values())
+    print(f"bench_diff: {len(snap_records)} records, {kept} counters match")
+
+
+if __name__ == "__main__":
+    main()

@@ -196,20 +196,50 @@ for doc in BENCH_parallel.json BENCH_fig7.json; do
       || { echo "ci: $doc looks malformed" >&2; exit 1; }
   fi
 done
-# The iso-warm family ran inside the filtered bench above; its JSON record
-# must show actual cross-isomorphic reuse on the datacenter batch (the
-# acceptance signal for encoding-layer reuse, machine-checked per CI run).
+# Diff the run against the checked-in trajectory snapshot: every
+# deterministic counter (solver calls, cache traffic, warm/iso reuse, slice
+# sizes) must match bench/trajectory/ exactly - timings are ignored. The
+# diff also re-asserts the iso-warm acceptance signals (iso_reuses > 0 warm,
+# == 0 cold), so a jointly drifted snapshot cannot hide a regression.
 if command -v python3 > /dev/null; then
-  python3 - "$bench_dir/BENCH_parallel.json" <<'PY'
-import json, sys
-doc = json.load(open(sys.argv[1]))
-rec = {r["name"]: r["values"] for r in doc["records"]}
-warm = rec.get("isowarm/warm")
-assert warm is not None, "isowarm/warm record missing from BENCH_parallel.json"
-assert warm.get("iso_reuses", 0) > 0, "no cross-isomorphic warm reuse recorded"
-cold = rec.get("isowarm/cold")
-assert cold is not None and cold.get("iso_reuses", 1) == 0, \
-    "cold baseline must not iso-rebind"
-PY
+  python3 "$repo/tools/bench_diff.py" \
+      "$repo/bench/trajectory/BENCH_parallel.json" \
+      "$bench_dir/BENCH_parallel.json"
+  python3 "$repo/tools/bench_diff.py" \
+      "$repo/bench/trajectory/BENCH_fig7.json" \
+      "$bench_dir/BENCH_fig7.json"
+fi
+
+echo "--- smoke: differential fuzzing (fixed seed, all oracles green) ---"
+# 25 random specs through the whole oracle battery (engine agreement,
+# warm/cold, symmetry, slices, witness replay, simulator cross-check). The
+# seed is fixed, so this is deterministic CI, not flaky fuzzing; reproducers
+# land in $build/fuzz-repro for the workflow to upload on failure.
+rm -rf "$build/fuzz-repro"
+"$build/vmn" fuzz --seed 1 --count 25 --reproducer-dir "$build/fuzz-repro"
+
+echo "--- smoke: fuzz fault injection shrinks to a failing reproducer ---"
+# The deliberately broken oracle must fail, shrink, and leave a reproducer
+# that still fails standalone via --replay (the committable-regression
+# workflow, exercised end to end).
+inject_dir="$(mktemp -d)"
+trap 'rm -rf "$cache_dir" "$seg_cache" "$bench_dir" "$inject_dir"' EXIT
+if "$build/vmn" fuzz --seed 1 --count 1 --inject-fault \
+    --reproducer-dir "$inject_dir"; then
+  echo "ci: injected fault did not fail the fuzz run" >&2
+  exit 1
+fi
+repro="$(ls "$inject_dir"/repro-*-injected.vmn 2> /dev/null | head -1)"
+if [ -z "$repro" ]; then
+  echo "ci: injected failure produced no reproducer file" >&2
+  exit 1
+fi
+if "$build/vmn" fuzz --replay "$repro" --inject-fault; then
+  echo "ci: shrunk reproducer no longer fails on replay" >&2
+  exit 1
+fi
+if ! "$build/vmn" fuzz --replay "$repro"; then
+  echo "ci: reproducer fails even without the injected fault" >&2
+  exit 1
 fi
 echo "ci: OK"

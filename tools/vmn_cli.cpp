@@ -28,6 +28,19 @@
 //       it also serves as the single-host template for a future multi-host
 //       dispatcher.
 //
+//   vmn fuzz [--seed S] [--count N] [--jobs N] [--timeout ms]
+//            [--reproducer-dir dir] [--inject-fault] [--replay file.vmn]
+//       Differential fuzzing (src/verify/fuzz.hpp): generates N random
+//       specifications from the seed and runs each through the oracle
+//       battery (engine agreement, warm/cold, symmetry, slices, witness
+//       replay, simulator cross-check). Failures are delta-debugged to a
+//       minimal .vmn reproducer (written into --reproducer-dir when given)
+//       and the exit status is non-zero. --replay re-runs the battery on an
+//       existing spec file - the standalone re-check for a committed
+//       reproducer (pass the seed from its header for seed-dependent
+//       oracles). --inject-fault enables a deliberately broken oracle that
+//       fails on any spec with a middlebox (shrinker self-test).
+//
 //   vmn audit <spec-file>
 //       Static datapath audit: forwarding loops and blackholes across all
 //       destination equivalence classes and failure scenarios.
@@ -44,6 +57,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -51,6 +66,7 @@
 #include "dataplane/reach.hpp"
 #include "io/spec.hpp"
 #include "slice/policy.hpp"
+#include "verify/fuzz.hpp"
 #include "verify/wire.hpp"
 #include "vmn.hpp"
 
@@ -61,11 +77,15 @@ using namespace vmn;
 int usage() {
   std::fprintf(stderr,
                "usage: vmn <verify|audit|classes|dump> <spec-file> [options]\n"
+               "       vmn fuzz [options]   (differential fuzzing)\n"
                "       vmn worker   (wire-protocol worker on stdin/stdout)\n"
                "  verify options: --no-slices --no-symmetry --max-failures k\n"
                "                  --trace --timeout ms --batch --jobs N\n"
                "                  --cache-dir dir --no-warm\n"
-               "                  --backend=thread|process --worker-timeout ms\n");
+               "                  --backend=thread|process --worker-timeout ms\n"
+               "  fuzz options:   --seed S --count N --jobs N --timeout ms\n"
+               "                  --reproducer-dir dir --inject-fault\n"
+               "                  --replay file.vmn\n");
   return 2;
 }
 
@@ -269,6 +289,116 @@ int cmd_verify(io::Spec& spec, const char* argv0, int argc, char** argv) {
   return status;
 }
 
+void print_fuzz_failures(const verify::FuzzReport& report) {
+  for (const verify::FuzzFailure& f : report.failures) {
+    std::fprintf(stderr, "FAIL seed=%llu oracle=%s: %s\n",
+                 static_cast<unsigned long long>(f.seed), f.oracle.c_str(),
+                 f.detail.c_str());
+    if (f.shrunk_lines != 0) {
+      std::fprintf(stderr, "  reproducer: %zu -> %zu lines%s%s\n",
+                   f.original_lines, f.shrunk_lines,
+                   f.reproducer_path.empty() ? "" : ", written to ",
+                   f.reproducer_path.c_str());
+    }
+    if (f.reproducer_path.empty() && !f.reproducer.empty()) {
+      std::fprintf(stderr, "%s", f.reproducer.c_str());
+    }
+  }
+}
+
+int cmd_fuzz(const char* argv0, int argc, char** argv) {
+  verify::FuzzOptions fopts;
+  fopts.jobs = 2;
+  fopts.worker_command = self_worker_command(argv0);
+  std::string replay_path;
+  bool inject = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long long s = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--seed wants a non-negative integer, got %s\n",
+                     argv[i]);
+        return usage();
+      }
+      fopts.seed = s;
+    } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n <= 0) {
+        std::fprintf(stderr, "--count wants a positive integer, got %s\n",
+                     argv[i]);
+        return usage();
+      }
+      fopts.count = static_cast<int>(n);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n <= 0) {
+        std::fprintf(stderr, "--jobs wants a positive integer, got %s\n",
+                     argv[i]);
+        return usage();
+      }
+      fopts.jobs = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long long ms = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || ms <= 0 ||
+          ms > static_cast<long long>(UINT32_MAX)) {
+        std::fprintf(stderr,
+                     "--timeout wants a positive millisecond count, got %s\n",
+                     argv[i]);
+        return usage();
+      }
+      fopts.solver.timeout_ms = static_cast<std::uint32_t>(ms);
+    } else if (std::strcmp(argv[i], "--reproducer-dir") == 0 && i + 1 < argc) {
+      fopts.reproducer_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--inject-fault") == 0) {
+      inject = true;
+    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      replay_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (inject) {
+    // The canned broken oracle: "fails" on any spec that still has a
+    // middlebox, so the shrinker has something to chew down to.
+    fopts.injected_fault = [](const io::Spec& s) {
+      return !s.model.middleboxes().empty();
+    };
+  }
+
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open spec file: %s\n", replay_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    verify::FuzzReport report;
+    verify::check_spec_text(buf.str(), fopts.seed, fopts, report);
+    print_fuzz_failures(report);
+    std::printf("replay %s: %zu invariants, %zu witness replays "
+                "(%zu realized, %zu advisory), %zu failure(s)\n",
+                replay_path.c_str(), report.invariants, report.replays,
+                report.replays_realized, report.replays_advisory,
+                report.failures.size());
+    return report.ok() ? 0 : 1;
+  }
+
+  const verify::FuzzReport report = verify::fuzz(fopts);
+  print_fuzz_failures(report);
+  std::printf(
+      "fuzz: %d specs (seed %llu), %zu invariants, %zu witness replays "
+      "(%zu realized, %zu advisory), %zu sim schedules, %zu failure(s)\n",
+      report.specs, static_cast<unsigned long long>(fopts.seed),
+      report.invariants, report.replays, report.replays_realized,
+      report.replays_advisory, report.sim_schedules, report.failures.size());
+  return report.ok() ? 0 : 1;
+}
+
 int cmd_audit(const io::Spec& spec) {
   const net::Network& net = spec.model.network();
   int findings = 0;
@@ -312,6 +442,14 @@ int cmd_classes(const io::Spec& spec) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "worker") == 0) {
     return verify::wire::worker_main(stdin, stdout);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "fuzz") == 0) {
+    try {
+      return cmd_fuzz(argv[0], argc - 2, argv + 2);
+    } catch (const vmn::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
   }
   if (argc < 3) return usage();
   try {

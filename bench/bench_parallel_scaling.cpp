@@ -27,6 +27,7 @@
 
 #include "core/rng.hpp"
 #include "scenarios/datacenter.hpp"
+#include "verify/faults.hpp"
 #include "verify/parallel.hpp"
 
 namespace {
@@ -352,6 +353,115 @@ void BM_BatchBackend(benchmark::State& state) {
 BENCHMARK(BM_BatchBackend)
     ->Arg(0)->Arg(1)
     ->ArgNames({"process"})->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// --- fault resilience: crash-loop quarantine, unknown escalation ------------
+//
+// The self-healing counters the trajectory pins. faults/quarantine runs the
+// process backend under a deterministic crash-job=0 plan: job 0 kills two
+// workers, is quarantined by crash-loop attribution (its invariants - and
+// only those - come back unknown), and every other verdict matches the
+// fault-free expectation. faults/escalation runs the thread backend with
+// every first solve forced unknown: each job escalates once (perturbed
+// seed, longer timeout), every escalation is rescued, and the batch ends
+// with zero unknowns. All counters here are fixed by (spec, plan, jobs=2)
+// except workers_respawned, which is scheduling-dependent (a crash only
+// respawns while work remains) - bench_diff treats it as a lower-bounded
+// signal, not an exact counter.
+
+void BM_FaultQuarantine(benchmark::State& state) {
+  Datacenter dc = make();
+  const scenarios::Batch batch = dc.batch();
+  ParallelOptions opts;
+  opts.jobs = 2;
+  opts.verify.solver.seed = 1;
+  opts.backend = verify::Backend::process;
+  opts.verify.faults = verify::FaultPlan::parse("crash-job=0");
+  ParallelVerifier v(dc.model, opts);
+  double wall_ms = 0, quarantined = 0, abandoned = 0, crashed = 0,
+         respawned = 0, unknowns = 0, dropped = 0;
+  for (auto _ : state) {
+    verify::ParallelBatchResult r = v.verify_all(batch.invariants);
+    unknowns = 0;
+    for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+      if (r.results[i].outcome == Outcome::unknown) {
+        ++unknowns;
+        continue;
+      }
+      const Outcome expected =
+          batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
+      if (r.results[i].outcome != expected) {
+        state.SkipWithError("verdict flipped under fault injection");
+        return;
+      }
+    }
+    if (r.degradation.quarantined != 1) {
+      state.SkipWithError("crash-looping job was not quarantined");
+      return;
+    }
+    wall_ms = static_cast<double>(r.total_time.count());
+    quarantined = static_cast<double>(r.degradation.quarantined);
+    abandoned = static_cast<double>(r.jobs_abandoned);
+    crashed = static_cast<double>(r.workers_crashed);
+    respawned = static_cast<double>(r.degradation.workers_respawned);
+    dropped = static_cast<double>(r.degradation.cache_records_dropped);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["quarantined"] = benchmark::Counter(quarantined);
+  state.counters["workers_crashed"] = benchmark::Counter(crashed);
+  state.counters["workers_respawned"] = benchmark::Counter(respawned);
+  state.counters["unknown_verdicts"] = benchmark::Counter(unknowns);
+  bench::BenchJson::instance().record(
+      "faults/quarantine",
+      {{"wall_ms", wall_ms},
+       {"quarantined", quarantined},
+       {"jobs_abandoned", abandoned},
+       {"workers_crashed", crashed},
+       {"workers_respawned", respawned},
+       {"unknown_verdicts", unknowns},
+       {"cache_records_dropped", dropped}});
+}
+BENCHMARK(BM_FaultQuarantine)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_FaultEscalation(benchmark::State& state) {
+  Datacenter dc = make();
+  const scenarios::Batch batch = dc.batch();
+  ParallelOptions opts;
+  opts.jobs = 2;
+  opts.verify.solver.seed = 1;
+  opts.verify.faults = verify::FaultPlan::parse("solver-unknown=1");
+  ParallelVerifier v(dc.model, opts);
+  double wall_ms = 0, escalations = 0, rescued = 0, unknowns = 0;
+  for (auto _ : state) {
+    verify::ParallelBatchResult r = v.verify_all(batch.invariants);
+    unknowns = 0;
+    for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+      if (r.results[i].outcome == Outcome::unknown) {
+        ++unknowns;
+        continue;
+      }
+      const Outcome expected =
+          batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
+      if (r.results[i].outcome != expected) {
+        state.SkipWithError("verdict flipped under forced solver unknowns");
+        return;
+      }
+    }
+    wall_ms = static_cast<double>(r.total_time.count());
+    escalations = static_cast<double>(r.degradation.escalations);
+    rescued = static_cast<double>(r.degradation.escalations_rescued);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["escalations"] = benchmark::Counter(escalations);
+  state.counters["escalations_rescued"] = benchmark::Counter(rescued);
+  state.counters["unknown_verdicts"] = benchmark::Counter(unknowns);
+  bench::BenchJson::instance().record(
+      "faults/escalation",
+      {{"wall_ms", wall_ms},
+       {"escalations", escalations},
+       {"escalations_rescued", rescued},
+       {"unknown_verdicts", unknowns}});
+}
+BENCHMARK(BM_FaultEscalation)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 

@@ -217,8 +217,56 @@ std::optional<std::string> oracle_sim_cross(io::Spec& spec, int budget,
   return std::nullopt;
 }
 
+/// The never-flip oracle: the same spec verified under a seeded fault
+/// plan must agree with the fault-free baseline on every verdict both
+/// sides answered - degradation may only widen verdicts to unknown, and
+/// diff_results already skips unknowns, so any surviving disagreement is
+/// a real flip. The process backend takes the full chaos plan (crashes,
+/// crash-looping jobs, frame corruption/truncation, forced unknowns);
+/// the thread backend takes the solver-side plan including persistent
+/// timeouts (the faults that exist in one address space).
+std::optional<std::string> oracle_faults(io::Spec& spec,
+                                         const VerifyOptions& vo,
+                                         const BatchResult& baseline,
+                                         std::uint64_t seed,
+                                         const FuzzOptions& options) {
+  if (!options.fault_oracle) return std::nullopt;
+  FaultPlan chaos;
+  chaos.seed = mix_seed(seed, 0xfa17ull);
+  chaos.worker_crash = 0.1;
+  chaos.job_crash = 0.15;
+  chaos.frame_corrupt = 0.1;
+  chaos.frame_truncate = 0.05;
+  chaos.solver_unknown = 0.2;
+  ParallelOptions po;
+  po.jobs = options.jobs;
+  po.verify = vo;
+  po.verify.faults = chaos;
+  po.backend = Backend::process;
+  po.process.worker_command = options.worker_command;
+  const auto procs =
+      ParallelVerifier(spec.model, po).verify_all(spec.invariants);
+  if (auto d = diff_results(spec, baseline.results, procs.results,
+                            "fault-free vs faulted process backend")) {
+    return d;
+  }
+  FaultPlan solver_chaos;
+  solver_chaos.seed = chaos.seed;
+  solver_chaos.solver_unknown = 0.25;
+  solver_chaos.solver_timeout = 0.1;
+  ParallelOptions to;
+  to.jobs = options.jobs;
+  to.verify = vo;
+  to.verify.faults = solver_chaos;
+  const auto threads =
+      ParallelVerifier(spec.model, to).verify_all(spec.invariants);
+  return diff_results(spec, baseline.results, threads.results,
+                      "fault-free vs faulted thread backend");
+}
+
 constexpr std::string_view kVerdictOracles[] = {
-    "engines", "warm-cold", "symmetry", "slices", "replay", "sim-cross"};
+    "engines", "warm-cold", "symmetry", "slices", "replay", "sim-cross",
+    "faults"};
 
 std::optional<std::string> run_oracle(std::string_view name, io::Spec& spec,
                                       int budget, const BatchResult& baseline,
@@ -235,6 +283,9 @@ std::optional<std::string> run_oracle(std::string_view name, io::Spec& spec,
   if (name == "replay") return oracle_replay(spec, budget, baseline, stats);
   if (name == "sim-cross") {
     return oracle_sim_cross(spec, budget, baseline, seed, stats);
+  }
+  if (name == "faults") {
+    return oracle_faults(spec, vo, baseline, seed, options);
   }
   if (name == "injected") {
     if (options.injected_fault && options.injected_fault(spec)) {

@@ -15,6 +15,11 @@
 //              advisory otherwise - see sim/replay.hpp)
 //   sim-cross  random concrete schedules: any simulated violation must be
 //              reported by the verifier
+//   faults     (opt-in, FuzzOptions::fault_oracle) the spec re-verified
+//              under a seeded fault plan - worker crashes, crash-looping
+//              jobs, frame corruption, forced solver unknowns - must never
+//              *flip* a verdict against the fault-free baseline; verdicts
+//              may only widen to unknown (which the comparison skips)
 //   injected   a deliberately-broken oracle hook (shrinker self-test)
 //
 // On any oracle failure a delta-debugging shrinker removes spec text chunks
@@ -52,6 +57,12 @@ struct FuzzOptions {
   /// the report only.
   std::string reproducer_dir;
   smt::SolverOptions solver;
+  /// Enables the "faults" oracle (vmn fuzz --faults): each spec is
+  /// re-verified under a seeded chaos plan on both backends and compared
+  /// against the fault-free baseline. Off by default - it runs the whole
+  /// battery's most expensive member (a process-backend sweep with
+  /// crashes and respawns) per spec.
+  bool fault_oracle = false;
   /// Deliberately-broken oracle for shrinker tests: specs for which the
   /// hook returns true fail the "injected" oracle.
   std::function<bool(const io::Spec&)> injected_fault;

@@ -1,6 +1,7 @@
 #include "verify/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
 #include <set>
 #include <thread>
@@ -62,6 +63,8 @@ BatchResult ParallelBatchResult::to_batch() const& {
   out.iso_reuses = iso_reuses;
   out.encode_transfer_builds = encode_transfer_builds;
   out.encode_transfer_reuses = encode_transfer_reuses;
+  out.escalations = degradation.escalations;
+  out.escalations_rescued = degradation.escalations_rescued;
   return out;
 }
 
@@ -78,6 +81,8 @@ BatchResult ParallelBatchResult::to_batch() && {
   out.iso_reuses = iso_reuses;
   out.encode_transfer_builds = encode_transfer_builds;
   out.encode_transfer_reuses = encode_transfer_reuses;
+  out.escalations = degradation.escalations;
+  out.escalations_rescued = degradation.escalations_rescued;
   return out;
 }
 
@@ -99,6 +104,8 @@ JobPlan ParallelVerifier::plan(
 ParallelBatchResult ParallelVerifier::verify_all(
     const std::vector<encode::Invariant>& invariants) const {
   const auto start = std::chrono::steady_clock::now();
+  std::optional<std::chrono::steady_clock::time_point> deadline_at;
+  if (options_.deadline.count() > 0) deadline_at = start + options_.deadline;
   ParallelBatchResult out;
   out.invariant_count = invariants.size();
   out.results.resize(invariants.size());
@@ -114,6 +121,9 @@ ParallelBatchResult ParallelVerifier::verify_all(
   // Persistent-cache pass: answer whatever a previous batch already solved
   // before any task is scheduled; only the misses reach the pool.
   ResultCache cache(options_.verify.cache_dir, model_fingerprint(*model_));
+  const FaultInjector cache_faults(options_.verify.faults);
+  if (cache_faults.enabled()) cache.set_fault_injector(&cache_faults);
+  out.degradation.cache_records_dropped = cache.records_dropped();
   std::vector<VerifyResult> job_results(plan.jobs.size());
   std::vector<std::size_t> to_solve;
   to_solve.reserve(plan.jobs.size());
@@ -213,6 +223,20 @@ ParallelBatchResult ParallelVerifier::verify_all(
     }
     ProcessPoolOptions popts = options_.process;
     popts.workers = requested;
+    // The fault plan and escalation policy ride the verify options so the
+    // CLI's --faults / --no-escalate reach the workers unchanged; the
+    // deadline hands the pool whatever budget planning and the cache pass
+    // left (a floor of 1ms keeps "already expired" on the pool's own
+    // drain path instead of special-casing it here).
+    popts.faults = options_.verify.faults;
+    popts.escalate_unknown = options_.verify.escalate_unknown;
+    popts.escalation_timeout_mult = options_.verify.escalation_timeout_mult;
+    if (deadline_at) {
+      popts.deadline = std::max(
+          std::chrono::milliseconds(1),
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              *deadline_at - std::chrono::steady_clock::now()));
+    }
     ProcessPool pool(options_.verify.solver, options_.verify.warm_solving,
                      popts);
     ProcessDispatch dispatch =
@@ -222,6 +246,14 @@ ParallelBatchResult ParallelVerifier::verify_all(
     out.workers_crashed = dispatch.workers_crashed;
     out.jobs_requeued = dispatch.jobs_requeued;
     out.jobs_abandoned = dispatch.jobs_abandoned;
+    out.degradation.quarantined = dispatch.jobs_quarantined;
+    out.degradation.deadline_abandoned = dispatch.jobs_deadline_abandoned;
+    out.degradation.abandoned_retries = dispatch.jobs_abandoned -
+                                        dispatch.jobs_quarantined -
+                                        dispatch.jobs_deadline_abandoned;
+    out.degradation.workers_respawned = dispatch.workers_respawned;
+    out.degradation.deadline_expired = dispatch.deadline_expired;
+    out.degradation.reasons = std::move(dispatch.reasons);
     for (std::size_t k = 0; k < to_solve.size(); ++k) {
       if (dispatch.results[k].has_value()) {
         const wire::WireResult& r = *dispatch.results[k];
@@ -234,6 +266,10 @@ ParallelBatchResult ParallelVerifier::verify_all(
           // unknown verdict instead of aborting a batch full of good ones.
           job_results[to_solve[k]] = VerifyResult{};
           ++out.jobs_abandoned;
+          ++out.degradation.abandoned_retries;
+          out.degradation.reasons.push_back(
+              "job " + std::to_string(to_solve[k]) +
+              " abandoned: result names nodes unknown to this model");
           continue;
         }
         out.warm_binds += r.warm_binds;
@@ -241,6 +277,8 @@ ParallelBatchResult ParallelVerifier::verify_all(
         out.iso_reuses += r.iso_reuses;
         out.encode_transfer_builds += r.encode_transfer_builds;
         out.encode_transfer_reuses += r.encode_transfer_reuses;
+        out.degradation.escalations += r.escalations;
+        out.degradation.escalations_rescued += r.escalations_rescued;
         solved.insert(to_solve[k]);
       }
       // Abandoned jobs keep the default-constructed unknown VerifyResult;
@@ -251,6 +289,12 @@ ParallelBatchResult ParallelVerifier::verify_all(
         1, std::min(requested, std::max<std::size_t>(groups.size(), 1)));
     SolverPool pool(workers, options_.verify.solver,
                     options_.verify.warm_solving);
+    pool.set_resilience(session_resilience(options_.verify));
+    // Deadline bookkeeping: each slot of `skipped` is written by exactly
+    // one worker (per-job ownership), so no lock; the counter is atomic
+    // because any worker may be the one to notice expiry.
+    std::vector<char> skipped(to_solve.size(), 0);
+    std::atomic<std::size_t> deadline_skipped{0};
     pool.run(groups.size(), [&](std::size_t gi, SolverSession& session) {
       // Warm reuse is scoped to this task: a session that just solved a
       // same-shape task must not leak its context (and learned state) into
@@ -258,6 +302,14 @@ ParallelBatchResult ParallelVerifier::verify_all(
       // transfer memo survives (same model across every task of a batch).
       session.reset_warm(/*keep_transfers=*/true);
       for (std::size_t k = groups[gi].first; k < groups[gi].second; ++k) {
+        if (deadline_at &&
+            std::chrono::steady_clock::now() >= *deadline_at) {
+          // Past the deadline: leave the default unknown verdict and keep
+          // draining so every job is accounted, not solved.
+          skipped[k] = 1;
+          deadline_skipped.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         Job& job = plan.jobs[to_solve[k]];
         const IsoBinding iso{job.members, job.iso_image};
         job_results[to_solve[k]] = verify_members(
@@ -273,8 +325,21 @@ ParallelBatchResult ParallelVerifier::verify_all(
       out.iso_reuses += pool.session(w).iso_reuses();
       out.encode_transfer_builds += pool.session(w).encode_transfer_builds();
       out.encode_transfer_reuses += pool.session(w).encode_transfer_reuses();
+      out.degradation.escalations += pool.session(w).escalations();
+      out.degradation.escalations_rescued +=
+          pool.session(w).escalations_rescued();
     }
-    solved.insert(to_solve.begin(), to_solve.end());
+    for (std::size_t k = 0; k < to_solve.size(); ++k) {
+      if (skipped[k] == 0) solved.insert(to_solve[k]);
+    }
+    if (const std::size_t n = deadline_skipped.load()) {
+      out.jobs_abandoned += n;
+      out.degradation.deadline_abandoned += n;
+      out.degradation.deadline_expired = true;
+      out.degradation.reasons.push_back("deadline expired with " +
+                                        std::to_string(n) +
+                                        " jobs not yet attempted");
+    }
   }
   if (cache.enabled()) {
     for (std::size_t j : to_solve) {
@@ -308,6 +373,12 @@ ParallelBatchResult ParallelVerifier::verify_all(
     }
     out.results[job.invariant_index] = std::move(rep);
   }
+  const std::size_t abandoned_total = out.degradation.abandoned_retries +
+                                      out.degradation.quarantined +
+                                      out.degradation.deadline_abandoned;
+  out.degradation.completed =
+      out.jobs_executed > abandoned_total ? out.jobs_executed - abandoned_total
+                                          : 0;
   out.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start);
   return out;

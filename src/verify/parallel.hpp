@@ -55,6 +55,13 @@ struct ParallelOptions {
   /// Process-backend knobs (retry budget, hang timeout, worker argv);
   /// ignored by the thread backend. `workers` is taken from `jobs`.
   ProcessPoolOptions process;
+  /// Batch budget measured from verify_all entry; 0 = none. On expiry the
+  /// engines stop dispatching: jobs never attempted surface as unknown
+  /// verdicts with the abandonment counted in `degradation`, in-flight
+  /// jobs finish, and `vmn verify` exits 2 (incomplete). Works on both
+  /// backends (the process pool gets whatever budget remains after the
+  /// serial planning + cache pass).
+  std::chrono::milliseconds deadline{0};
   /// Fold invariants with identical canonical slice keys into one job
   /// (section 4.2's symmetry argument, sharpened by slice structure: keys
   /// merge strictly less than the sequential engine's class-signature
@@ -115,14 +122,20 @@ struct ParallelBatchResult {
   /// BatchResult).
   std::size_t encode_transfer_builds = 0;
   std::size_t encode_transfer_reuses = 0;
-  /// Process-backend crash accounting (all 0 under the thread backend):
-  /// worker processes spawned/lost, jobs re-dispatched after a crash or
-  /// hang, and jobs abandoned to an unknown verdict after the bounded
-  /// retries ran out (never silently dropped).
+  /// Crash accounting: worker processes spawned/lost (0 under the thread
+  /// backend), jobs re-dispatched after a crash or hang, and jobs
+  /// abandoned to an unknown verdict - retries exhausted, quarantined,
+  /// or past the deadline; both backends count deadline abandonments here
+  /// (never silently dropped).
   std::size_t workers_spawned = 0;
   std::size_t workers_crashed = 0;
   std::size_t jobs_requeued = 0;
   std::size_t jobs_abandoned = 0;
+  /// How (and whether) the batch degraded: respawns, quarantines,
+  /// escalations, dropped cache records, deadline expiry, and one
+  /// human-readable reason per event. `degradation.degraded()` drives the
+  /// CLI's "incomplete" exit code.
+  DegradationReport degradation;
   TimingHistogram solve_histogram;
   std::vector<WorkerStats> workers;
 

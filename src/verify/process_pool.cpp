@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -27,6 +28,22 @@ struct WorkerProc {
   pid_t pid = -1;
   int to_child = -1;
   int from_child = -1;
+};
+
+/// The parent-side pipe fds of every live worker, under one mutex. Fork-
+/// mode children must drop every sibling pipe end (a sibling holding our
+/// stdin write-end open would mask the parent's EOF), and because respawns
+/// fork from dispatcher threads mid-batch, the registry must be both
+/// consistent at fork time (the mutex is held across fork()) and pruned on
+/// close - a stale entry whose fd number the kernel recycled for a new
+/// worker's own pipe would make that child close its own pipes.
+struct FdRegistry {
+  std::mutex mu;
+  std::vector<int> fds;
+
+  void remove_locked(int fd) {
+    fds.erase(std::remove(fds.begin(), fds.end(), fd), fds.end());
+  }
 };
 
 void close_fd(int& fd) {
@@ -109,12 +126,11 @@ std::optional<std::string> read_worker_frame(int fd,
 
 /// Pipes + fork once for both spawn modes; `child` runs in the forked
 /// process with its job-input / result-output fds and must not return
-/// (it _exits). Fork-mode children must drop every parent/sibling pipe end
-/// first - a sibling holding our stdin write-end open would mask the
-/// parent's EOF - which is what `inherited_fds` tracks.
+/// (it _exits). The registry mutex is held across fork() so the child's
+/// snapshot of sibling fds is consistent even when another dispatcher
+/// thread is reaping concurrently.
 template <typename Child>
-std::optional<WorkerProc> spawn(std::vector<int>& inherited_fds,
-                                const Child& child) {
+std::optional<WorkerProc> spawn(FdRegistry& registry, const Child& child) {
   int to_child[2];
   int from_child[2];
   if (::pipe(to_child) != 0) return std::nullopt;
@@ -123,6 +139,7 @@ std::optional<WorkerProc> spawn(std::vector<int>& inherited_fds,
     ::close(to_child[1]);
     return std::nullopt;
   }
+  std::lock_guard<std::mutex> lk(registry.mu);
   const pid_t pid = ::fork();
   if (pid < 0) {
     for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
@@ -131,20 +148,19 @@ std::optional<WorkerProc> spawn(std::vector<int>& inherited_fds,
     return std::nullopt;
   }
   if (pid == 0) {
-    for (int fd : inherited_fds) ::close(fd);
+    for (int fd : registry.fds) ::close(fd);
     child(to_child[0], to_child[1], from_child[0], from_child[1]);
     ::_exit(4);  // unreachable; child() _exits itself
   }
   ::close(to_child[0]);
   ::close(from_child[1]);
-  inherited_fds.push_back(to_child[1]);
-  inherited_fds.push_back(from_child[0]);
+  registry.fds.push_back(to_child[1]);
+  registry.fds.push_back(from_child[0]);
   return WorkerProc{pid, to_child[1], from_child[0]};
 }
 
-std::optional<WorkerProc> spawn_fork(std::vector<int>& inherited_fds) {
-  return spawn(inherited_fds, [](int in, int parent_in, int parent_out,
-                                 int out) {
+std::optional<WorkerProc> spawn_fork(FdRegistry& registry) {
+  return spawn(registry, [](int in, int parent_in, int parent_out, int out) {
     ::close(parent_in);
     ::close(parent_out);
     std::FILE* jobs = ::fdopen(in, "rb");
@@ -156,9 +172,9 @@ std::optional<WorkerProc> spawn_fork(std::vector<int>& inherited_fds) {
 }
 
 std::optional<WorkerProc> spawn_exec(const std::vector<std::string>& command,
-                                     std::vector<int>& inherited_fds) {
-  return spawn(inherited_fds, [&command](int in, int parent_in,
-                                         int parent_out, int out) {
+                                     FdRegistry& registry) {
+  return spawn(registry, [&command](int in, int parent_in, int parent_out,
+                                    int out) {
     ::dup2(in, STDIN_FILENO);
     ::dup2(out, STDOUT_FILENO);
     for (int fd : {in, parent_in, parent_out, out}) ::close(fd);
@@ -173,9 +189,14 @@ std::optional<WorkerProc> spawn_exec(const std::vector<std::string>& command,
   });
 }
 
-void reap(WorkerProc& proc, bool kill_first) {
+void reap(FdRegistry& registry, WorkerProc& proc, bool kill_first) {
   if (proc.pid < 0) return;
   if (kill_first) ::kill(proc.pid, SIGKILL);
+  {
+    std::lock_guard<std::mutex> lk(registry.mu);
+    registry.remove_locked(proc.to_child);
+    registry.remove_locked(proc.from_child);
+  }
   close_fd(proc.to_child);
   close_fd(proc.from_child);
   int status = 0;
@@ -184,6 +205,10 @@ void reap(WorkerProc& proc, bool kill_first) {
   proc.pid = -1;
 }
 
+/// Why a job was abandoned; jobs_abandoned always counts, the cause picks
+/// the subset counter and the report wording.
+enum class AbandonCause { retries, quarantine, deadline, no_workers };
+
 /// Everything the per-worker dispatcher threads share, under one mutex.
 struct DispatchState {
   std::mutex mu;
@@ -191,18 +216,28 @@ struct DispatchState {
   std::deque<ProcessGroup> queue;
   std::vector<std::optional<wire::WireResult>> results;
   std::vector<int> attempts;
+  /// Per job: workers that died while this job was the one in flight.
+  std::vector<int> crash_kills;
   std::size_t outstanding = 0;  ///< jobs neither answered nor abandoned
   std::size_t alive_workers = 0;
   std::size_t workers_crashed = 0;
+  std::size_t workers_respawned = 0;
   std::size_t jobs_requeued = 0;
   std::size_t jobs_abandoned = 0;
+  std::size_t jobs_quarantined = 0;
+  std::size_t jobs_deadline = 0;
+  bool deadline_expired = false;
+  std::vector<std::string> reasons;
 };
 
-/// Locked helper: abandon one undone job (bounded-retry exhaustion or no
-/// surviving workers). Never overwrites an existing result.
-void abandon_locked(DispatchState& state, std::size_t job_index) {
+/// Locked helper: abandon one undone job. Never overwrites an existing
+/// result; silently ignores already-settled jobs.
+void abandon_locked(DispatchState& state, std::size_t job_index,
+                    AbandonCause cause) {
   if (state.results[job_index].has_value()) return;
   ++state.jobs_abandoned;
+  if (cause == AbandonCause::quarantine) ++state.jobs_quarantined;
+  if (cause == AbandonCause::deadline) ++state.jobs_deadline;
   --state.outstanding;
 }
 
@@ -210,6 +245,7 @@ void abandon_locked(DispatchState& state, std::size_t job_index) {
 /// still has attempt budget, abandon the rest. `spec_text` recreates the
 /// group context on whichever worker picks the requeue up.
 void requeue_or_abandon_locked(DispatchState& state,
+                               const std::vector<wire::WireJob>& jobs,
                                const std::string& spec_text,
                                const std::vector<std::size_t>& undone,
                                int max_attempts) {
@@ -218,7 +254,10 @@ void requeue_or_abandon_locked(DispatchState& state,
   for (std::size_t job_index : undone) {
     if (state.results[job_index].has_value()) continue;
     if (state.attempts[job_index] >= max_attempts) {
-      abandon_locked(state, job_index);
+      abandon_locked(state, job_index, AbandonCause::retries);
+      state.reasons.push_back(
+          "job " + std::to_string(jobs[job_index].id) + " abandoned after " +
+          std::to_string(state.attempts[job_index]) + " attempts");
     } else {
       retry.jobs.push_back(job_index);
     }
@@ -226,6 +265,36 @@ void requeue_or_abandon_locked(DispatchState& state,
   if (!retry.jobs.empty()) {
     state.jobs_requeued += retry.jobs.size();
     state.queue.push_back(std::move(retry));
+  }
+}
+
+/// Locked helper: the deadline expired - abandon everything not yet
+/// dispatched (this group's leftovers plus the whole queue). In-flight
+/// jobs on other workers are allowed to finish.
+void drain_deadline_locked(DispatchState& state,
+                           const std::vector<std::size_t>& undone) {
+  std::size_t drained = 0;
+  for (std::size_t job_index : undone) {
+    if (state.results[job_index].has_value()) continue;
+    abandon_locked(state, job_index, AbandonCause::deadline);
+    ++drained;
+  }
+  while (!state.queue.empty()) {
+    for (std::size_t job_index : state.queue.front().jobs) {
+      if (state.results[job_index].has_value()) continue;
+      abandon_locked(state, job_index, AbandonCause::deadline);
+      ++drained;
+    }
+    state.queue.pop_front();
+  }
+  if (!state.deadline_expired) {
+    state.deadline_expired = true;
+    state.reasons.push_back("deadline expired with " +
+                            std::to_string(drained) +
+                            " jobs not yet attempted");
+  } else if (drained > 0) {
+    state.reasons.push_back("deadline drain: " + std::to_string(drained) +
+                            " more jobs not attempted");
   }
 }
 
@@ -253,6 +322,12 @@ ProcessDispatch ProcessPool::run(const std::vector<wire::WireJob>& jobs,
           ? options_.hang_timeout
           : std::chrono::milliseconds(2ull * solver_.timeout_ms + 30000);
   const int max_attempts = std::max(1, options_.max_attempts);
+  const int quarantine_kills = std::max(1, options_.quarantine_kills);
+  const std::string fault_plan_text = options_.faults.to_string();
+  const std::optional<Clock::time_point> deadline =
+      options_.deadline.count() > 0
+          ? std::optional<Clock::time_point>(Clock::now() + options_.deadline)
+          : std::nullopt;
 
   // A worker dying mid-write must surface as EPIPE on the dispatcher
   // thread, not as a process-wide SIGPIPE.
@@ -261,24 +336,32 @@ ProcessDispatch ProcessPool::run(const std::vector<wire::WireJob>& jobs,
   struct sigaction old_pipe {};
   ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
 
-  // Spawn every worker before starting any dispatcher thread: fork() from a
-  // single-threaded parent, and a complete fd list so fork-mode children
-  // can drop every sibling pipe end.
-  std::vector<int> inherited_fds;
+  // Spawn the initial fleet before starting any dispatcher thread (fork()
+  // from a single-threaded parent); respawns fork later from dispatcher
+  // threads under the registry mutex (see the header's spawning note).
+  FdRegistry registry;
+  auto spawn_worker = [&]() -> std::optional<WorkerProc> {
+    return options_.worker_command.empty()
+               ? spawn_fork(registry)
+               : spawn_exec(options_.worker_command, registry);
+  };
   std::vector<WorkerProc> procs;
   for (std::size_t w = 0; w < worker_count; ++w) {
-    std::optional<WorkerProc> proc =
-        options_.worker_command.empty()
-            ? spawn_fork(inherited_fds)
-            : spawn_exec(options_.worker_command, inherited_fds);
+    std::optional<WorkerProc> proc = spawn_worker();
     if (proc) procs.push_back(*proc);
   }
-  out.workers_spawned = procs.size();
+  std::atomic<std::size_t> workers_spawned{procs.size()};
+  // Monotonic worker identity for fault targeting: the initial fleet gets
+  // 0..n-1, every respawn a fresh ordinal - FaultPlan::kill_worker kills
+  // one incarnation, not its slot forever.
+  std::atomic<std::uint32_t> next_ordinal{
+      static_cast<std::uint32_t>(procs.size())};
   out.workers.resize(procs.size());
 
   DispatchState state;
   state.results.resize(jobs.size());
   state.attempts.resize(jobs.size(), 0);
+  state.crash_kills.resize(jobs.size(), 0);
   for (ProcessGroup& group : groups) {
     state.outstanding += group.jobs.size();
     state.queue.push_back(std::move(group));
@@ -288,13 +371,17 @@ ProcessDispatch ProcessPool::run(const std::vector<wire::WireJob>& jobs,
   if (procs.empty()) {
     // Nothing to dispatch on: every job is abandoned, loudly.
     out.jobs_abandoned = state.outstanding;
+    out.reasons.push_back("no workers could be spawned");
     ::sigaction(SIGPIPE, &old_pipe, nullptr);
     return out;
   }
 
-  auto drive = [&](std::size_t worker_index) {
-    WorkerProc& proc = procs[worker_index];
-    WorkerStats& stats = out.workers[worker_index];
+  auto drive = [&](std::size_t slot) {
+    WorkerProc& proc = procs[slot];
+    WorkerStats& stats = out.workers[slot];
+    std::uint32_t ordinal = static_cast<std::uint32_t>(slot);
+    std::size_t respawns_used = 0;
+
     while (true) {
       ProcessGroup group;
       {
@@ -310,11 +397,22 @@ ProcessDispatch ProcessPool::run(const std::vector<wire::WireJob>& jobs,
       bool worker_dead = false;
       bool hung = false;
       std::vector<std::size_t> undone = group.jobs;
+      std::optional<std::size_t> in_flight;
+
+      if (deadline && Clock::now() >= *deadline) {
+        std::lock_guard<std::mutex> lk(state.mu);
+        drain_deadline_locked(state, undone);
+        state.cv.notify_all();
+        continue;
+      }
 
       wire::WireModel model;
-      model.worker_index = static_cast<std::uint32_t>(worker_index);
+      model.worker_index = ordinal;
       model.warm_solving = warm_;
       model.solver = solver_;
+      model.fault_plan = fault_plan_text;
+      model.escalate_unknown = options_.escalate_unknown;
+      model.escalation_timeout_mult = options_.escalation_timeout_mult;
       model.spec_text = group.spec_text;
       if (!write_all_fd(proc.to_child,
                      wire::encode_frame(wire::FrameType::model,
@@ -323,6 +421,13 @@ ProcessDispatch ProcessPool::run(const std::vector<wire::WireJob>& jobs,
       }
 
       while (!worker_dead && !undone.empty()) {
+        if (deadline && Clock::now() >= *deadline) {
+          std::lock_guard<std::mutex> lk(state.mu);
+          drain_deadline_locked(state, undone);
+          state.cv.notify_all();
+          undone.clear();
+          break;
+        }
         const std::size_t job_index = undone.front();
         {
           std::lock_guard<std::mutex> lk(state.mu);
@@ -333,6 +438,7 @@ ProcessDispatch ProcessPool::run(const std::vector<wire::WireJob>& jobs,
           ++state.attempts[job_index];
         }
         const auto job_start = Clock::now();
+        in_flight = job_index;
         if (!write_all_fd(proc.to_child,
                        wire::encode_frame(wire::FrameType::job,
                                           wire::encode_job(jobs[job_index])))) {
@@ -357,6 +463,7 @@ ProcessDispatch ProcessPool::run(const std::vector<wire::WireJob>& jobs,
           worker_dead = true;  // stream out of sync; do not guess
           break;
         }
+        in_flight.reset();
         stats.busy += std::chrono::duration_cast<std::chrono::milliseconds>(
             Clock::now() - job_start);
         undone.erase(undone.begin());
@@ -365,7 +472,7 @@ ProcessDispatch ProcessPool::run(const std::vector<wire::WireJob>& jobs,
           // elsewhere within the attempt budget (some other job of the
           // group may still succeed here).
           std::lock_guard<std::mutex> lk(state.mu);
-          requeue_or_abandon_locked(state, group.spec_text, {job_index},
+          requeue_or_abandon_locked(state, jobs, group.spec_text, {job_index},
                                     max_attempts);
           state.cv.notify_all();
           continue;
@@ -377,27 +484,81 @@ ProcessDispatch ProcessPool::run(const std::vector<wire::WireJob>& jobs,
         if (state.outstanding == 0) state.cv.notify_all();
       }
 
-      if (worker_dead) {
-        reap(proc, /*kill_first=*/hung);
+      if (!worker_dead) continue;
+
+      reap(registry, proc, /*kill_first=*/hung);
+      bool work_remains = false;
+      {
         std::lock_guard<std::mutex> lk(state.mu);
         ++state.workers_crashed;
-        --state.alive_workers;
-        requeue_or_abandon_locked(state, group.spec_text, undone,
-                                  max_attempts);
-        if (state.alive_workers == 0) {
-          // Last worker down: whatever is still queued can never run.
-          while (!state.queue.empty()) {
-            for (std::size_t job_index : state.queue.front().jobs) {
-              abandon_locked(state, job_index);
-            }
-            state.queue.pop_front();
+        // Crash-loop attribution: charge the death to the job that was in
+        // flight; a job that keeps killing workers is quarantined instead
+        // of requeued, so it can never eat the whole fleet's respawn
+        // budget.
+        if (in_flight && !state.results[*in_flight].has_value()) {
+          const std::size_t victim = *in_flight;
+          if (++state.crash_kills[victim] >= quarantine_kills) {
+            abandon_locked(state, victim, AbandonCause::quarantine);
+            state.reasons.push_back(
+                "job " + std::to_string(jobs[victim].id) +
+                " quarantined after killing " +
+                std::to_string(state.crash_kills[victim]) + " workers");
+            undone.erase(std::remove(undone.begin(), undone.end(), victim),
+                         undone.end());
           }
         }
+        requeue_or_abandon_locked(state, jobs, group.spec_text, undone,
+                                  max_attempts);
+        work_remains = state.outstanding > 0;
         state.cv.notify_all();
-        return;
       }
+
+      // Self-healing: replace the dead worker (capped exponential backoff,
+      // bounded per slot) while there is still work it could do.
+      bool respawned = false;
+      while (work_remains && respawns_used < options_.max_respawns) {
+        const std::chrono::milliseconds pause = respawn_backoff(
+            options_.faults.seed, slot, respawns_used,
+            options_.respawn_backoff_base, options_.respawn_backoff_cap);
+        ++respawns_used;
+        if (pause.count() > 0) std::this_thread::sleep_for(pause);
+        std::optional<WorkerProc> replacement = spawn_worker();
+        if (!replacement) continue;  // burn a respawn, back off longer
+        proc = *replacement;
+        ordinal = next_ordinal.fetch_add(1, std::memory_order_relaxed);
+        workers_spawned.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lk(state.mu);
+          ++state.workers_respawned;
+        }
+        respawned = true;
+        break;
+      }
+      if (respawned) continue;
+
+      // Slot retires: out of respawn budget (or nothing left to do).
+      std::lock_guard<std::mutex> lk(state.mu);
+      --state.alive_workers;
+      if (state.alive_workers == 0 && state.outstanding > 0) {
+        // Last worker down: whatever is still queued can never run.
+        std::size_t drained = 0;
+        while (!state.queue.empty()) {
+          for (std::size_t job_index : state.queue.front().jobs) {
+            if (!state.results[job_index].has_value()) ++drained;
+            abandon_locked(state, job_index, AbandonCause::no_workers);
+          }
+          state.queue.pop_front();
+        }
+        if (drained > 0) {
+          state.reasons.push_back("no surviving workers: " +
+                                  std::to_string(drained) +
+                                  " queued jobs abandoned");
+        }
+      }
+      state.cv.notify_all();
+      return;
     }
-    reap(proc, /*kill_first=*/false);
+    reap(registry, proc, /*kill_first=*/false);
   };
 
   std::vector<std::thread> threads;
@@ -409,9 +570,15 @@ ProcessDispatch ProcessPool::run(const std::vector<wire::WireJob>& jobs,
   ::sigaction(SIGPIPE, &old_pipe, nullptr);
 
   out.results = std::move(state.results);
+  out.workers_spawned = workers_spawned.load();
   out.workers_crashed = state.workers_crashed;
+  out.workers_respawned = state.workers_respawned;
   out.jobs_requeued = state.jobs_requeued;
   out.jobs_abandoned = state.jobs_abandoned;
+  out.jobs_quarantined = state.jobs_quarantined;
+  out.jobs_deadline_abandoned = state.jobs_deadline;
+  out.deadline_expired = state.deadline_expired;
+  out.reasons = std::move(state.reasons);
   return out;
 }
 

@@ -13,15 +13,35 @@
 // are bounded (max_attempts dispatches per job); a job that exhausts its
 // budget - or outlives every worker - is *abandoned*: it surfaces as an
 // unknown verdict with the abandonment counted, never as a silently missing
-// result. Workers are never respawned mid-batch: a deterministic crasher
-// would just burn its retry budget again, and the no-survivors path must
-// stay reachable for the bounded-retry guarantee to mean anything.
+// result.
+//
+// Self-healing: a slot whose worker dies respawns a replacement (capped
+// exponential backoff with seeded jitter, at most max_respawns per slot),
+// so one bad worker - or a chaos plan killing several - does not shrink the
+// fleet for the rest of the batch. Respawning alone would let a
+// *deterministic* crasher (a job that kills whichever worker runs it) eat
+// every respawn budget in turn, so crashes are attributed to the job that
+// was in flight: a job that has killed quarantine_kills workers is
+// quarantined - abandoned to an unknown verdict, counted and named in the
+// dispatch report - and the fleet keeps going. The no-survivors path stays
+// reachable (respawn budgets are finite), so the bounded-retry guarantee
+// still means what it said.
+//
+// Graceful degradation: an optional deadline (measured from run()) stops
+// dispatching when it expires - jobs never attempted are abandoned with a
+// deadline cause, in-flight jobs finish, and the caller gets a partial
+// result set plus accurate counters instead of an open-ended wait.
 //
 // Spawning: with an empty worker_command the child runs wire::worker_main
 // directly after fork() (no exec - used by in-process callers like tests
 // and benchmarks); a non-empty command fork+execs it (the CLI passes
 // {/proc/self/exe, "worker"}, so dispatcher and workers are always the
-// same build of the same binary).
+// same build of the same binary). The initial fleet forks before any
+// dispatcher thread starts; respawns fork mid-batch from dispatcher
+// threads, which is safe here because those threads only ever move bytes
+// over pipes - all solving happens in the workers, so no Z3 (or other
+// lock-holding) work races the fork, and the shared fd registry is
+// mutex-held across it so children see a consistent snapshot to close.
 #pragma once
 
 #include <chrono>
@@ -49,6 +69,26 @@ struct ProcessPoolOptions {
   /// argv of the worker to fork+exec; empty runs wire::worker_main in a
   /// forked child of this process.
   std::vector<std::string> worker_command;
+  /// Fault plan shipped to workers in the MODEL frame (and whose seed
+  /// drives the respawn-backoff jitter). Default injects nothing.
+  FaultPlan faults;
+  /// Unknown-escalation policy forwarded to worker sessions (see
+  /// VerifyOptions::escalate_unknown).
+  bool escalate_unknown = true;
+  std::uint32_t escalation_timeout_mult = 2;
+  /// Respawn budget per slot: how many replacement workers one slot may
+  /// spawn after crashes/hangs before it retires.
+  std::size_t max_respawns = 2;
+  /// Capped exponential backoff before the k-th respawn of a slot:
+  /// min(cap, base << k) plus seeded jitter in [0, base).
+  std::chrono::milliseconds respawn_backoff_base{25};
+  std::chrono::milliseconds respawn_backoff_cap{400};
+  /// A job whose worker died this many times while it was in flight is
+  /// quarantined (abandoned to unknown, never dispatched again).
+  int quarantine_kills = 2;
+  /// Batch budget measured from run() entry; 0 = none. On expiry,
+  /// not-yet-attempted jobs are abandoned with a deadline cause.
+  std::chrono::milliseconds deadline{0};
 };
 
 /// One unit of dispatch: the projected model its jobs execute in, plus the
@@ -62,12 +102,25 @@ struct ProcessDispatch {
   /// Aligned with the job vector; nullopt marks an abandoned job.
   std::vector<std::optional<wire::WireResult>> results;
   std::vector<WorkerStats> workers;
+  /// Workers ever spawned (initial fleet + respawned replacements).
   std::size_t workers_spawned = 0;
   std::size_t workers_crashed = 0;
+  /// Replacement workers spawned after a crash or hang.
+  std::size_t workers_respawned = 0;
   /// Jobs re-dispatched after a worker crash/hang or a worker-side error.
   std::size_t jobs_requeued = 0;
-  /// Jobs that exhausted max_attempts or outlived every worker.
+  /// Jobs that exhausted max_attempts or outlived every worker - a
+  /// superset: quarantined and deadline-abandoned jobs count here too.
   std::size_t jobs_abandoned = 0;
+  /// Of the abandoned: jobs quarantined by crash-loop attribution.
+  std::size_t jobs_quarantined = 0;
+  /// Of the abandoned: jobs never attempted because the deadline expired.
+  std::size_t jobs_deadline_abandoned = 0;
+  /// The batch deadline expired before the queue drained.
+  bool deadline_expired = false;
+  /// One human-readable line per degradation event (quarantine, retry
+  /// exhaustion, deadline expiry, fleet loss).
+  std::vector<std::string> reasons;
 };
 
 class ProcessPool {

@@ -8,6 +8,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -30,8 +31,11 @@ constexpr const char* kFileName = "vmn-results.cache";
 // live ones and leaked forever). A cache file with any other header -
 // version OR fingerprint - is stale: its records are rejected wholesale on
 // load and the file is rewritten under the current header at the next
-// flush.
-constexpr const char* kHeaderPrefix = "# vmn-result-cache v3";
+// flush. v3 -> v4 when record lines became length-prefixed and
+// per-record FNV-digested (a v3 line has no digest, so a bit flip would
+// be *misread* rather than dropped; the version bump retires that format
+// rather than guessing).
+constexpr const char* kHeaderPrefix = "# vmn-result-cache v4";
 
 const char* status_name(smt::CheckStatus status) {
   switch (status) {
@@ -96,10 +100,18 @@ ResultCache::Fingerprint ResultCache::fingerprint(const std::string& key) {
 
 std::string ResultCache::format_line(const Fingerprint& fp,
                                      const Entry& entry) {
-  char line[128];
-  std::snprintf(line, sizeof line, "%016" PRIx64 " %016" PRIx64 " %s %zu %zu\n",
-                fp.hi, fp.lo, status_name(entry.status), entry.slice_size,
+  // v4 record: `<payload-len> <payload-digest> <payload>` where the
+  // payload is the v3 record body. The length prefix catches torn tails
+  // (a crash mid-append cuts the payload short), the FNV-1a digest
+  // catches bit flips; either failure drops this record alone on load.
+  char payload[128];
+  std::snprintf(payload, sizeof payload,
+                "%016" PRIx64 " %016" PRIx64 " %s %zu %zu", fp.hi, fp.lo,
+                status_name(entry.status), entry.slice_size,
                 entry.assertion_count);
+  char line[176];
+  std::snprintf(line, sizeof line, "%zu %016" PRIx64 " %s\n",
+                std::strlen(payload), fnv1a64(payload), payload);
   return line;
 }
 
@@ -120,7 +132,8 @@ std::string ResultCache::file_path() const {
                       : (std::filesystem::path(dir_) / kFileName).string();
 }
 
-std::size_t ResultCache::parse_file(const std::string& path) {
+std::size_t ResultCache::parse_file(const std::string& path,
+                                    std::size_t* dropped_out) {
   std::size_t records = 0;
   std::ifstream in(path);
   if (!in) return records;  // no cache yet: every lookup misses
@@ -143,22 +156,62 @@ std::size_t ResultCache::parse_file(const std::string& path) {
       continue;
     }
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream fields(line);
+    // `<len> <digest> <payload>`: refuse the record - alone - unless the
+    // payload is exactly `len` bytes and hashes to `digest`. A torn tail
+    // fails the length check (or never parses), a bit flip fails the
+    // digest; either way earlier records already loaded and later ones
+    // still will.
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos) {
+      ++*dropped_out;
+      continue;
+    }
+    char* end = nullptr;
+    const std::string len_text = line.substr(0, sp1);
+    const std::uint64_t len = std::strtoull(len_text.c_str(), &end, 10);
+    if (end == len_text.c_str() || *end != '\0') {
+      ++*dropped_out;
+      continue;
+    }
+    const std::string digest_text = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::uint64_t digest = std::strtoull(digest_text.c_str(), &end, 16);
+    if (digest_text.size() != 16 || end == digest_text.c_str() ||
+        *end != '\0') {
+      ++*dropped_out;
+      continue;
+    }
+    const std::string payload = line.substr(sp2 + 1);
+    if (payload.size() != len || fnv1a64(payload) != digest) {
+      ++*dropped_out;
+      continue;
+    }
+    std::istringstream fields(payload);
     std::string hi_hex, lo_hex, status;
     Entry entry;
     if (!(fields >> hi_hex >> lo_hex >> status >> entry.slice_size >>
           entry.assertion_count)) {
-      continue;  // malformed (e.g. torn tail line): skip
+      ++*dropped_out;  // digest-valid but unparseable: treat as corrupt
+      continue;
     }
     std::optional<smt::CheckStatus> parsed = parse_status(status);
-    if (!parsed) continue;
+    if (!parsed) {
+      ++*dropped_out;
+      continue;
+    }
     entry.status = *parsed;
     Fingerprint fp;
-    char* end = nullptr;
     fp.hi = std::strtoull(hi_hex.c_str(), &end, 16);
-    if (end == hi_hex.c_str() || *end != '\0') continue;
+    if (end == hi_hex.c_str() || *end != '\0') {
+      ++*dropped_out;
+      continue;
+    }
     fp.lo = std::strtoull(lo_hex.c_str(), &end, 16);
-    if (end == lo_hex.c_str() || *end != '\0') continue;
+    if (end == lo_hex.c_str() || *end != '\0') {
+      ++*dropped_out;
+      continue;
+    }
     ++records;
     entries_[fp] = entry;  // later lines win (append-only file)
   }
@@ -166,16 +219,18 @@ std::size_t ResultCache::parse_file(const std::string& path) {
 }
 
 void ResultCache::load() {
-  const std::size_t records = parse_file(file_path());
+  records_dropped_ = 0;
+  const std::size_t records = parse_file(file_path(), &records_dropped_);
   // Compaction: append-only files accumulate dead records - lines
   // superseded by a later line for the same fingerprint (concurrent
   // batches racing the same keys, torn dedup across processes). When the
-  // dead weight outgrows the live entries, rewrite the file in place.
-  // (Records whose key is simply never looked up again - stale after a
-  // spec edit - are indistinguishable from live ones here and still need
-  // an occasional `rm`.)
+  // dead weight outgrows the live entries - or any record was dropped as
+  // torn/corrupt - rewrite the file in place. (Records whose key is
+  // simply never looked up again - stale after a spec edit - are
+  // indistinguishable from live ones here and still need an occasional
+  // `rm`.)
   const std::size_t dead = records - entries_.size();
-  if (dead > 0 && 2 * dead > records) compact();
+  if (records_dropped_ > 0 || (dead > 0 && 2 * dead > records)) compact();
 }
 
 void ResultCache::compact() {
@@ -183,9 +238,12 @@ void ResultCache::compact() {
   const int fd = open_locked(path.c_str(), O_RDWR);
   if (fd < 0) return;
   // Re-read under the lock: flushes from other processes may have appended
-  // since the unlocked load pass, and their records must survive.
+  // since the unlocked load pass, and their records must survive. The
+  // re-parse's drop count is discarded - records_dropped_ keeps reporting
+  // what the load saw, even though compaction is about to prune it.
   entries_.clear();
-  parse_file(path);
+  std::size_t dropped = 0;
+  parse_file(path, &dropped);
   const std::string tmp = path + ".compact." + std::to_string(::getpid());
   std::string content = header_line() + "\n";
   for (const auto& [fp, entry] : entries_) content += format_line(fp, entry);
@@ -255,7 +313,23 @@ void ResultCache::flush() {
       block = want;
     }
   }
-  for (const auto& [fp, entry] : dirty_) block += format_line(fp, entry);
+  for (const auto& [fp, entry] : dirty_) {
+    std::string record = format_line(fp, entry);
+    if (injector_ && injector_->flip_cache_record(record_ordinal_++)) {
+      // Flip a payload bit *after* the digest was computed: the record
+      // fails its check on the next load and is dropped, never misread.
+      record[record.size() - 2] ^= 0x01;
+    }
+    block += record;
+  }
+  if (injector_ && !dirty_.empty() &&
+      injector_->tear_cache_flush(flush_ordinal_++)) {
+    // Simulate a crash mid-append: keep everything up to the final record
+    // and only half of that record's bytes (newline included in the cut).
+    const std::size_t last_nl = block.rfind('\n', block.size() - 2);
+    const std::size_t tail = last_nl == std::string::npos ? 0 : last_nl + 1;
+    block.resize(tail + (block.size() - tail) / 2);
+  }
   if (rewrite && ::ftruncate(fd, 0) != 0) {
     unlock_close(fd);
     return;

@@ -36,6 +36,15 @@
 //
 // Unknown outcomes are never stored: a timeout is a fact about the solver
 // budget, not about the problem.
+//
+// Torn-write hardening (v4): every record line is length-prefixed and
+// carries its own FNV-1a digest. A crash mid-flush leaves a torn tail that
+// fails its length or digest check and is dropped *alone* - all earlier
+// records still load - and a bit-flipped record (bad disk, bad copy) is
+// skipped the same way instead of being misread; both are counted
+// (records_dropped) and pruned from the file by compaction on the next
+// load. Wholesale rejection remains only for what it is actually for:
+// another key-format version or another spec's fingerprint in the header.
 #pragma once
 
 #include <cstddef>
@@ -46,6 +55,7 @@
 #include <vector>
 
 #include "smt/solver.hpp"
+#include "verify/faults.hpp"
 
 namespace vmn::verify {
 
@@ -99,6 +109,22 @@ class ResultCache {
   /// next successful flush rewrites the file under the current version.
   [[nodiscard]] bool stale_version() const { return stale_version_; }
 
+  /// Records load() found but refused: torn tails (length prefix ran past
+  /// the line), digest mismatches (bit flips), and otherwise malformed
+  /// lines. Dropping is per-record - everything before a torn tail still
+  /// loads - and any nonzero count triggers compaction so the damage is
+  /// pruned from the file, not just skipped forever.
+  [[nodiscard]] std::size_t records_dropped() const { return records_dropped_; }
+
+  /// Chaos hook: when set, flush() consults the injector to tear the tail
+  /// of an appended block (simulating a crash mid-write) or flip a bit in
+  /// a formatted record (simulating silent corruption). Deterministic per
+  /// plan seed; nullptr (the default) injects nothing. The pointer is
+  /// borrowed and must outlive the cache.
+  void set_fault_injector(const FaultInjector* injector) {
+    injector_ = injector;
+  }
+
  private:
   /// 128-bit fingerprint of a canonical key (two independent FNV-1a 64
   /// streams), stored instead of the multi-hundred-byte key itself. A
@@ -120,8 +146,9 @@ class ResultCache {
   void load();
   /// Parses `path` into entries_ (later lines win), returning the number
   /// of well-formed records seen - duplicates included, which is what the
-  /// compaction trigger compares against.
-  std::size_t parse_file(const std::string& path);
+  /// compaction trigger compares against. `dropped_out` receives the count
+  /// of lines refused for failing their length prefix or digest.
+  std::size_t parse_file(const std::string& path, std::size_t* dropped_out);
   /// Rewrites the file to one line per live entry (flock-serialized
   /// against flushes and other compactions; re-reads under the lock so
   /// concurrently appended records survive).
@@ -139,6 +166,13 @@ class ResultCache {
   /// Set when the on-disk file carries another key-format version (see
   /// stale_version()); flush truncate-rewrites instead of appending.
   bool stale_version_ = false;
+  /// Torn/corrupt records refused by the last load (see records_dropped()).
+  std::size_t records_dropped_ = 0;
+  /// Borrowed chaos injector (see set_fault_injector); counters give each
+  /// flush and each written record a stable ordinal for its decisions.
+  const FaultInjector* injector_ = nullptr;
+  std::uint64_t flush_ordinal_ = 0;
+  std::uint64_t record_ordinal_ = 0;
 };
 
 }  // namespace vmn::verify

@@ -6,15 +6,53 @@
 #include <mutex>
 #include <thread>
 
+#include "core/error.hpp"
+
 namespace vmn::verify {
 
 void SolverSession::reset_warm(bool keep_transfers) {
   encoding_.reset();
   solver_.reset();
+  esc_encoding_.reset();
+  esc_solver_.reset();
   warm_model_ = nullptr;
   warm_members_.clear();
   warm_failures_ = -1;
   if (!keep_transfers) owned_transfers_.reset();
+}
+
+SolverSession::WarmBound SolverSession::escalate_bind() {
+  if (warm_model_ == nullptr) {
+    throw Error("escalate_bind without a preceding warm_bind");
+  }
+  ++escalations_;
+  smt::SolverOptions esc = options_;
+  const std::uint64_t mult =
+      resilience_.escalation_timeout_mult > 0
+          ? resilience_.escalation_timeout_mult
+          : 2;
+  const std::uint64_t timeout =
+      static_cast<std::uint64_t>(options_.timeout_ms) * mult;
+  esc.timeout_ms = timeout > 0xffffffffull
+                       ? 0xffffffffu
+                       : static_cast<std::uint32_t>(timeout);
+  // Perturb the random seed: a different exploration order is frequently
+  // all a borderline-unknown check needs.
+  esc.seed = options_.seed ^ 0x9e3779b9u;
+  dataplane::TransferCache* transfers = borrowed_transfers_;
+  if (transfers == nullptr) transfers = owned_transfers_.get();
+  encode::EncodeOptions eopts;
+  eopts.max_failures = warm_failures_;
+  eopts.transfers = transfers;
+  esc_encoding_ = std::make_unique<encode::Encoding>(
+      *warm_model_, warm_members_, eopts);
+  encode_transfer_builds_ += esc_encoding_->transfer_builds();
+  encode_transfer_reuses_ += esc_encoding_->transfer_reuses();
+  esc_solver_ = smt::make_z3_solver(esc_encoding_->vocab(), esc);
+  for (const encode::Axiom& axiom : esc_encoding_->axioms()) {
+    esc_solver_->add(axiom.term);
+  }
+  return WarmBound{*esc_encoding_, *esc_solver_, false};
 }
 
 SolverSession::WarmBound SolverSession::warm_bind(

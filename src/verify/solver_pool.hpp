@@ -28,8 +28,21 @@
 #include "encode/encoder.hpp"
 #include "logic/builder.hpp"
 #include "smt/solver.hpp"
+#include "verify/faults.hpp"
 
 namespace vmn::verify {
+
+/// Session-level robustness policy: which faults to inject into solver
+/// checks (FaultInjector; default injects nothing) and whether to escalate
+/// unknown verdicts - retry once on a fresh context with the timeout
+/// multiplied and the solver seed perturbed - before accepting unknown.
+/// Engines derive this from VerifyOptions; a default-constructed value is
+/// the historical behavior.
+struct SessionResilience {
+  FaultInjector faults;
+  bool escalate_unknown = false;
+  std::uint32_t escalation_timeout_mult = 2;
+};
 
 /// A single worker's solver state. Never shared between threads.
 class SolverSession {
@@ -63,6 +76,15 @@ class SolverSession {
   /// (every push popped) before the next warm_bind.
   WarmBound warm_bind(const encode::NetworkModel& model,
                       std::vector<NodeId> members, int max_failures);
+
+  /// A fresh context over the *current* warm shape with escalated options
+  /// (timeout x escalation_timeout_mult, perturbed seed), for retrying an
+  /// unknown verdict. Kept separate from the warm context so escalation
+  /// never leaks its options into later jobs; freed by reset_warm. Must
+  /// follow a warm_bind (asserts on the warm shape being set). Counts one
+  /// escalation; callers report a rescue via note_escalation_rescued.
+  WarmBound escalate_bind();
+  void note_escalation_rescued() { ++escalations_rescued_; }
 
   /// Drops the warm encoding + solver (counters survive). The parallel
   /// engine calls this at every task boundary so warm reuse is confined to
@@ -105,6 +127,21 @@ class SolverSession {
     return encode_transfer_reuses_;
   }
 
+  /// Robustness policy (fault injection + unknown escalation). Set once
+  /// before the session solves; decisions are pure functions of the plan,
+  /// so this never makes results depend on scheduling.
+  void set_resilience(SessionResilience resilience) {
+    resilience_ = std::move(resilience);
+  }
+  [[nodiscard]] const SessionResilience& resilience() const {
+    return resilience_;
+  }
+  /// Escalated retries attempted / of those, answered definitively.
+  [[nodiscard]] std::size_t escalations() const { return escalations_; }
+  [[nodiscard]] std::size_t escalations_rescued() const {
+    return escalations_rescued_;
+  }
+
  private:
   smt::SolverOptions options_;
   bool warm_ = true;
@@ -117,6 +154,13 @@ class SolverSession {
   std::size_t iso_reuses_ = 0;
   std::size_t encode_transfer_builds_ = 0;
   std::size_t encode_transfer_reuses_ = 0;
+  SessionResilience resilience_;
+  std::size_t escalations_ = 0;
+  std::size_t escalations_rescued_ = 0;
+  /// Escalation context (escalate_bind): separate from the warm pair so
+  /// the escalated options die with the retry.
+  std::unique_ptr<encode::Encoding> esc_encoding_;
+  std::unique_ptr<smt::Solver> esc_solver_;
 
   /// Warm state: the base encoding the solver is bound to plus the shape
   /// key (model identity, normalized members, failure budget) that must
@@ -154,6 +198,10 @@ class SolverPool {
   /// Worker `i`'s session (for aggregating bind/warm-reuse counters).
   [[nodiscard]] const SolverSession& session(std::size_t i) const {
     return *sessions_[i];
+  }
+  /// Applies one robustness policy to every session (before run()).
+  void set_resilience(const SessionResilience& resilience) {
+    for (auto& s : sessions_) s->set_resilience(resilience);
   }
 
   /// Executes `fn(task_index, session)` for every index in [0, count).

@@ -161,6 +161,36 @@ Trace relabel_witness(const encode::NetworkModel& model, const IsoBinding& iso,
 
 }  // namespace
 
+namespace {
+
+/// Stable identity of one solver problem, for deterministic fault-injection
+/// decisions (FaultInjector::solver_fault). Built from node *names* so it
+/// agrees between the dispatcher and a worker's re-parsed model - the fault
+/// schedule of a plan depends on which problems run, never on which thread
+/// or process runs them or in what order.
+std::uint64_t solve_identity(const net::Network& net,
+                             const encode::Invariant& invariant,
+                             const std::vector<NodeId>& members,
+                             int max_failures) {
+  std::string key;
+  key += std::to_string(static_cast<int>(invariant.kind));
+  key += '|';
+  if (invariant.target.valid()) key += net.name(invariant.target);
+  key += '|';
+  if (invariant.other.valid()) key += net.name(invariant.other);
+  key += '|';
+  key += invariant.type_prefix;
+  key += '|';
+  key += std::to_string(max_failures);
+  for (NodeId m : members) {
+    key += '|';
+    key += net.name(m);
+  }
+  return fnv1a64(key);
+}
+
+}  // namespace
+
 VerifyResult verify_members(const encode::NetworkModel& model,
                             const encode::Invariant& invariant,
                             std::vector<NodeId> members, int max_failures,
@@ -176,47 +206,81 @@ VerifyResult verify_members(const encode::NetworkModel& model,
       iso != nullptr ? iso->image : std::move(members);
   const encode::Invariant solved =
       iso != nullptr ? iso_invariant(*iso, invariant) : invariant;
+  const std::uint64_t solve_key =
+      session.resilience().faults.enabled()
+          ? solve_identity(model.network(), solved, encode_members,
+                           max_failures)
+          : 0;
 
-  // Warm bind: base axioms live at solver scope level 0 (asserted only when
-  // the session was not already bound to this exact shape); the negated
-  // invariant is scoped, checked and retracted, leaving the base - and the
-  // solver's learned state - warm for the next invariant on this slice.
+  // One scoped check on a bound context: base axioms live at solver scope
+  // level 0, the negated invariant is pushed, checked and retracted,
+  // leaving the base - and the solver's learned state - warm for the next
+  // invariant on this slice. `attempt` keys the fault decision: forced
+  // unknowns are transient (attempt 0 only), forced timeouts persistent.
+  auto solve_once = [&](SolverSession::WarmBound& bound,
+                        std::uint32_t attempt) -> smt::CheckStatus {
+    smt::Solver& solver = bound.solver;
+    solver.push();
+    for (const encode::Axiom& axiom :
+         bound.encoding.invariant_axioms(solved)) {
+      solver.add(axiom.term);
+    }
+    smt::CheckStatus status = solver.check();
+    result.solve_time += solver.last_check_time();
+    const FaultInjector::SolverFault fault =
+        session.resilience().faults.solver_fault(solve_key, attempt);
+    if (fault == FaultInjector::SolverFault::forced_timeout) {
+      status = smt::CheckStatus::unknown;
+      result.solve_time += std::chrono::milliseconds(
+          session.options().timeout_ms);
+    } else if (fault == FaultInjector::SolverFault::forced_unknown) {
+      status = smt::CheckStatus::unknown;
+    }
+    result.raw_status = status;
+    result.slice_size = bound.encoding.members().size();
+    result.assertion_count = solver.assertion_count();
+
+    // sat = counterexample exists = violated, except for positive
+    // reachability invariants where sat is the desired witness.
+    switch (status) {
+      case smt::CheckStatus::sat:
+        result.outcome =
+            invariant.sat_means_holds() ? Outcome::holds : Outcome::violated;
+        result.counterexample = extract_trace(bound.encoding, solver.model());
+        if (iso != nullptr) {
+          result.counterexample =
+              relabel_witness(model, *iso, *result.counterexample);
+        }
+        break;
+      case smt::CheckStatus::unsat:
+        result.outcome =
+            invariant.sat_means_holds() ? Outcome::violated : Outcome::holds;
+        break;
+      case smt::CheckStatus::unknown:
+        result.outcome = Outcome::unknown;
+        break;
+    }
+    solver.pop();
+    return status;
+  };
+
   SolverSession::WarmBound warm =
       session.warm_bind(model, std::move(encode_members), max_failures);
   if (iso != nullptr && warm.reused) session.note_iso_reuse();
-  smt::Solver& solver = warm.solver;
-  solver.push();
-  for (const encode::Axiom& axiom : warm.encoding.invariant_axioms(solved)) {
-    solver.add(axiom.term);
+  smt::CheckStatus status = solve_once(warm, 0);
+
+  // Unknown escalation: before accepting unknown, retry once on a fresh
+  // context with the timeout multiplied and the solver seed perturbed. An
+  // unknown that survives escalation is accepted (and still never cached);
+  // a definitive escalated answer replaces it - widening only ever goes
+  // the other way, so this cannot flip a verdict.
+  if (status == smt::CheckStatus::unknown &&
+      session.resilience().escalate_unknown) {
+    SolverSession::WarmBound escalated = session.escalate_bind();
+    status = solve_once(escalated, 1);
+    if (status != smt::CheckStatus::unknown) session.note_escalation_rescued();
   }
 
-  const smt::CheckStatus status = solver.check();
-  result.raw_status = status;
-  result.solve_time = solver.last_check_time();
-  result.slice_size = warm.encoding.members().size();
-  result.assertion_count = solver.assertion_count();
-
-  // sat = counterexample exists = violated, except for positive
-  // reachability invariants where sat is the desired witness.
-  switch (status) {
-    case smt::CheckStatus::sat:
-      result.outcome =
-          invariant.sat_means_holds() ? Outcome::holds : Outcome::violated;
-      result.counterexample = extract_trace(warm.encoding, solver.model());
-      if (iso != nullptr) {
-        result.counterexample =
-            relabel_witness(model, *iso, *result.counterexample);
-      }
-      break;
-    case smt::CheckStatus::unsat:
-      result.outcome =
-          invariant.sat_means_holds() ? Outcome::violated : Outcome::holds;
-      break;
-    case smt::CheckStatus::unknown:
-      result.outcome = Outcome::unknown;
-      break;
-  }
-  solver.pop();
   result.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start);
   return result;
@@ -285,6 +349,7 @@ VerifyResult Verifier::verify(const encode::Invariant& invariant) const {
   // context's transfer memo: encoding re-walks nothing the slice
   // computation (or class inference) walked.
   SolverSession session(options_.solver, /*warm=*/true, &ctx_.transfers);
+  session.set_resilience(session_resilience(options_));
   VerifyResult result = verify_members(*model_, invariant, std::move(members),
                                        options_.max_failures, session);
   result.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -447,6 +512,7 @@ BatchResult Verifier::verify_all(
   // in-budget scenario.
   SolverSession session(options_.solver, options_.warm_solving,
                         &ctx_.transfers);
+  session.set_resilience(session_resilience(options_));
   for (Job& job : plan.jobs) {
     const auto job_start = std::chrono::steady_clock::now();
     VerifyResult rep;
@@ -483,9 +549,19 @@ BatchResult Verifier::verify_all(
   batch.iso_reuses = session.iso_reuses();
   batch.encode_transfer_builds = session.encode_transfer_builds();
   batch.encode_transfer_reuses = session.encode_transfer_reuses();
+  batch.escalations = session.escalations();
+  batch.escalations_rescued = session.escalations_rescued();
   batch.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start);
   return batch;
+}
+
+SessionResilience session_resilience(const VerifyOptions& options) {
+  SessionResilience resilience;
+  resilience.faults = FaultInjector(options.faults);
+  resilience.escalate_unknown = options.escalate_unknown;
+  resilience.escalation_timeout_mult = options.escalation_timeout_mult;
+  return resilience;
 }
 
 Trace extract_trace(const encode::Encoding& encoding,

@@ -53,6 +53,16 @@ struct VerifyOptions {
   /// outcome and statistics but never a counterexample trace.
   std::string cache_dir;
   smt::SolverOptions solver;
+  /// Seeded deterministic fault injection (verify/faults.hpp); a default
+  /// plan injects nothing. Worker/frame faults only bite on the process
+  /// backend; solver and cache faults bite everywhere.
+  FaultPlan faults;
+  /// Retry unknown verdicts once on a fresh context with the timeout
+  /// multiplied by escalation_timeout_mult and the solver seed perturbed,
+  /// before accepting unknown. Widening-only: a definitive escalated
+  /// answer replaces unknown, never the other way around.
+  bool escalate_unknown = true;
+  std::uint32_t escalation_timeout_mult = 2;
 };
 
 struct VerifyResult {
@@ -98,11 +108,21 @@ struct BatchResult {
   /// planner's own memo, encodes with zero builds at all.
   std::size_t encode_transfer_builds = 0;
   std::size_t encode_transfer_reuses = 0;
+  /// Unknown-escalation traffic (VerifyOptions::escalate_unknown):
+  /// escalated retries attempted / of those, answered definitively.
+  std::size_t escalations = 0;
+  std::size_t escalations_rescued = 0;
 };
 
 /// Reads a counterexample schedule out of a satisfying model.
 [[nodiscard]] Trace extract_trace(const encode::Encoding& encoding,
                                   const smt::SmtModel& model);
+
+/// The session-level robustness policy `options` asks for (fault injector
+/// + escalation knobs), applied to every SolverSession either engine - or
+/// a wire worker - solves with.
+[[nodiscard]] SessionResilience session_resilience(
+    const VerifyOptions& options);
 
 /// The result a symmetric invariant inherits from its verified
 /// representative: same outcome and statistics, by_symmetry set, and no

@@ -1,5 +1,7 @@
 #include "verify/wire.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <csignal>
 #include <cstdlib>
@@ -8,6 +10,7 @@
 
 #include "core/hash.hpp"
 #include "io/spec.hpp"
+#include "verify/faults.hpp"
 #include "verify/solver_pool.hpp"
 
 namespace vmn::verify::wire {
@@ -170,6 +173,9 @@ std::string encode_model(const WireModel& model) {
   w.u8(model.warm_solving ? 1 : 0);
   w.u32(model.solver.timeout_ms);
   w.u32(model.solver.seed);
+  w.str(model.fault_plan);
+  w.u8(model.escalate_unknown ? 1 : 0);
+  w.u32(model.escalation_timeout_mult);
   w.str(model.spec_text);
   return std::move(w).take();
 }
@@ -181,6 +187,9 @@ WireModel decode_model(std::string_view payload) {
   model.warm_solving = r.u8() != 0;
   model.solver.timeout_ms = r.u32();
   model.solver.seed = r.u32();
+  model.fault_plan = r.str();
+  model.escalate_unknown = r.u8() != 0;
+  model.escalation_timeout_mult = r.u32();
   model.spec_text = r.str();
   r.finish();
   return model;
@@ -246,6 +255,8 @@ std::string encode_result(const WireResult& result) {
   w.u64(result.iso_reuses);
   w.u64(result.encode_transfer_builds);
   w.u64(result.encode_transfer_reuses);
+  w.u64(result.escalations);
+  w.u64(result.escalations_rescued);
   w.str(result.error);
   w.u8(result.has_trace ? 1 : 0);
   if (result.has_trace) {
@@ -294,6 +305,8 @@ WireResult decode_result(std::string_view payload) {
   result.iso_reuses = r.u64();
   result.encode_transfer_builds = r.u64();
   result.encode_transfer_reuses = r.u64();
+  result.escalations = r.u64();
+  result.escalations_rescued = r.u64();
   result.error = r.str();
   result.has_trace = r.u8() != 0;
   if (result.has_trace) {
@@ -471,22 +484,30 @@ VerifyResult to_verify_result(const net::Network& network,
 
 namespace {
 
-struct WorkerFault {
-  bool kill_all = false;
-  bool kill_on_first_job = false;
-};
-
-WorkerFault parse_fault(std::uint32_t worker_index) {
-  WorkerFault fault;
-  const char* spec = std::getenv("VMN_WORKER_FAULT");
-  if (spec == nullptr) return fault;
-  if (std::strcmp(spec, "kill-all") == 0) {
-    fault.kill_all = true;
-  } else if (std::strncmp(spec, "kill:", 5) == 0) {
-    fault.kill_on_first_job =
-        std::strtoul(spec + 5, nullptr, 10) == worker_index;
+/// Result-frame write with fault injection: `corrupt` flips one payload
+/// bit (the header digest then refuses it dispatcher-side), `truncate`
+/// writes a partial frame and exits - a worker dying mid-write. Both make
+/// the dispatcher declare this worker dead and requeue.
+void write_result_frame(std::FILE* out, const WireResult& result,
+                        FaultInjector::FrameFault fault) {
+  const std::string payload = encode_result(result);
+  if (fault == FaultInjector::FrameFault::none) {
+    write_frame(out, FrameType::result, payload);
+    return;
   }
-  return fault;
+  std::string frame = encode_frame(FrameType::result, payload);
+  if (fault == FaultInjector::FrameFault::corrupt) {
+    frame[kFrameHeaderSize + (frame.size() - kFrameHeaderSize) / 2] ^=
+        static_cast<char>(0x01);
+    (void)std::fwrite(frame.data(), 1, frame.size(), out);
+    (void)std::fflush(out);
+    return;
+  }
+  // truncate: half the payload, then die the way a crashing worker does.
+  const std::size_t cut = kFrameHeaderSize + (frame.size() - kFrameHeaderSize) / 2;
+  (void)std::fwrite(frame.data(), 1, cut, out);
+  (void)std::fflush(out);
+  std::_Exit(4);
 }
 
 }  // namespace
@@ -494,7 +515,10 @@ WorkerFault parse_fault(std::uint32_t worker_index) {
 int worker_main(std::FILE* in, std::FILE* out) {
   std::optional<io::Spec> spec;
   std::optional<SolverSession> session;
-  WorkerFault fault;
+  FaultInjector injector;
+  std::uint32_t worker_ordinal = 0;
+  std::uint64_t dispatch_k = 0;
+  std::uint64_t frames_written = 0;
   std::string model_error;
 
   FrameType type;
@@ -522,12 +546,36 @@ int worker_main(std::FILE* in, std::FILE* out) {
           // context eagerly.
           session->reset_warm();
         }
-        fault = parse_fault(model.worker_index);
+        // The dispatcher's plan plus the legacy VMN_WORKER_FAULT env shim
+        // (kill:<i> / kill-all). A malformed env value is ignored, like
+        // the bespoke parser it replaced used to.
+        worker_ordinal = model.worker_index;
+        FaultPlan plan;
+        try {
+          plan = FaultPlan::parse(model.fault_plan);
+          plan.merge(FaultPlan::from_env());
+        } catch (const Error&) {
+        }
+        injector = FaultInjector(std::move(plan));
+        SessionResilience resilience;
+        resilience.faults = injector;
+        resilience.escalate_unknown = model.escalate_unknown;
+        resilience.escalation_timeout_mult = model.escalation_timeout_mult;
+        session->set_resilience(std::move(resilience));
         continue;
       }
       if (type != FrameType::job) return 3;  // results flow the other way
       const WireJob job = decode_job(payload);
-      if (fault.kill_all || fault.kill_on_first_job) (void)raise(SIGKILL);
+      const std::uint64_t k = dispatch_k++;
+      if (injector.crash_worker(worker_ordinal, k) ||
+          injector.crash_on_job(job.id)) {
+        (void)raise(SIGKILL);
+      }
+      if (injector.hang_worker(worker_ordinal, k)) {
+        // Stop responding without dying: the dispatcher's hang timeout
+        // must notice, kill us, and requeue the in-flight job.
+        for (;;) pause();
+      }
       WireResult result;
       result.id = job.id;
       if (!spec) {
@@ -544,6 +592,9 @@ int worker_main(std::FILE* in, std::FILE* out) {
               session->encode_transfer_builds();
           const std::size_t enc_reuses_before =
               session->encode_transfer_reuses();
+          const std::size_t esc_before = session->escalations();
+          const std::size_t esc_rescued_before =
+              session->escalations_rescued();
           const IsoBinding iso{resolved.members, resolved.iso_image};
           VerifyResult verdict = verify_members(
               spec->model, resolved.invariant, std::move(resolved.members),
@@ -558,13 +609,17 @@ int worker_main(std::FILE* in, std::FILE* out) {
               session->encode_transfer_builds() - enc_builds_before;
           result.encode_transfer_reuses =
               session->encode_transfer_reuses() - enc_reuses_before;
+          result.escalations = session->escalations() - esc_before;
+          result.escalations_rescued =
+              session->escalations_rescued() - esc_rescued_before;
         } catch (const std::exception& e) {
           result = WireResult{};
           result.id = job.id;
           result.error = e.what();
         }
       }
-      write_frame(out, FrameType::result, encode_result(result));
+      write_result_frame(out, result,
+                         injector.frame_fault(worker_ordinal, frames_written++));
     }
   } catch (const WireError&) {
     // A torn or corrupt stream cannot be resynchronized; exit and let the

@@ -54,9 +54,10 @@ class WireError : public Error {
 
 /// v1 -> v2: JOB frames grew the cross-isomorphic binding (representative
 /// member names, aligned with the job's own), RESULT frames the iso/encode
-/// reuse counters. Version skew on either side is a WireError, never a
-/// misread.
-inline constexpr std::uint16_t kWireVersion = 2;
+/// reuse counters. v2 -> v3: MODEL frames carry the serialized FaultPlan
+/// and the unknown-escalation policy; RESULT frames the escalation
+/// counters. Version skew on either side is a WireError, never a misread.
+inline constexpr std::uint16_t kWireVersion = 3;
 inline constexpr std::size_t kFrameHeaderSize = 20;
 /// Upper bound on a single payload (a projected spec of a pathological
 /// slice stays far below this; anything larger is a corrupt length field).
@@ -94,9 +95,19 @@ void write_frame(std::FILE* out, FrameType type, std::string_view payload);
 
 /// MODEL: the (projected) verification context a worker executes jobs in.
 struct WireModel {
+  /// Monotonic worker ordinal: the original fleet gets 0..n-1, respawned
+  /// replacements fresh ordinals after that, so targeted fault knobs
+  /// (FaultPlan::kill_worker) hit one incarnation, not a slot forever.
   std::uint32_t worker_index = 0;
   bool warm_solving = true;
   smt::SolverOptions solver;
+  /// Serialized verify::FaultPlan (FaultPlan::to_string; empty = none).
+  /// The worker merges the legacy VMN_WORKER_FAULT env shim on top.
+  std::string fault_plan;
+  /// Unknown-verdict escalation policy (VerifyOptions::escalate_unknown /
+  /// escalation_timeout_mult), applied worker-side in verify_members.
+  bool escalate_unknown = false;
+  std::uint32_t escalation_timeout_mult = 2;
   /// io::write_projected_spec output (network only, no invariants).
   std::string spec_text;
 };
@@ -155,6 +166,10 @@ struct WireResult {
   std::uint64_t iso_reuses = 0;
   std::uint64_t encode_transfer_builds = 0;
   std::uint64_t encode_transfer_reuses = 0;
+  /// Unknown-escalation traffic for this job (see SolverSession):
+  /// escalated retries attempted, and how many came back definitive.
+  std::uint64_t escalations = 0;
+  std::uint64_t escalations_rescued = 0;
   /// Non-empty when the worker failed to execute the job (spec parse error,
   /// unknown node, solver exception); the dispatcher requeues such jobs.
   std::string error;
@@ -204,12 +219,12 @@ struct ResolvedJob {
 /// frames to `out`. Returns 0 on clean EOF, non-zero after a protocol
 /// error (the dispatcher sees the closed pipe and requeues).
 ///
-/// Fault injection for crash-tolerance tests (VMN_WORKER_FAULT):
-///   "kill:<i>"  worker with index i raises SIGKILL on receiving its first
-///               job, before answering it - a deterministic mid-batch crash
-///               whose in-flight job must be requeued onto the survivors;
-///   "kill-all"  every worker does the same (the no-survivors path:
-///               bounded retries, then unknown verdicts).
+/// Fault injection: the MODEL frame carries a serialized verify::FaultPlan
+/// (worker crash/hang at dispatch k, per-job crash loops, frame
+/// corruption/truncation on write, forced solver unknowns/timeouts); the
+/// worker merges the legacy VMN_WORKER_FAULT env shim (`kill:<i>` /
+/// `kill-all`, via FaultPlan::from_env) on top, so the historical chaos
+/// knob keeps working with no bespoke parsing here.
 int worker_main(std::FILE* in, std::FILE* out);
 
 }  // namespace vmn::verify::wire

@@ -224,7 +224,7 @@ TEST(ResultCacheUnit, StaleKeyVersionIsRejectedWholesaleAndRewritten) {
   EXPECT_FALSE(stale.stale_version());
   lines = read_lines();
   ASSERT_EQ(lines.size(), 2u);
-  EXPECT_NE(lines[0].find("v3"), std::string::npos);
+  EXPECT_NE(lines[0].find("v4"), std::string::npos);
   ResultCache upgraded(dir.path);
   EXPECT_EQ(upgraded.size(), 1u);
   ASSERT_TRUE(upgraded.lookup(key).has_value());

@@ -864,8 +864,10 @@ TEST(ProcessBackend, ViolatedVerdictsShipTracesAcrossTheProcessBoundary) {
 
 TEST(ProcessBackend, SurvivesAKilledWorkerMidBatch) {
   // Worker 0 SIGKILLs itself on its first job: the dispatcher must observe
-  // the crash, requeue the in-flight job onto worker 1, and deliver every
-  // verdict - matching the thread backend exactly.
+  // the crash, requeue the in-flight job, respawn a replacement into the
+  // slot (respawned workers take fresh ordinals, so the replacement is
+  // immune to kill:0), and deliver every verdict - matching the thread
+  // backend exactly.
   scenarios::EnterpriseParams p;
   p.subnets = 6;
   p.hosts_per_subnet = 1;
@@ -876,10 +878,12 @@ TEST(ProcessBackend, SurvivesAKilledWorkerMidBatch) {
   FaultGuard fault("kill:0");
   ParallelBatchResult r =
       ParallelVerifier(e.model, process_opts(2)).verify_all(e.invariants);
-  EXPECT_EQ(r.workers_spawned, 2u);
+  EXPECT_EQ(r.workers_spawned, 3u);  // initial fleet of 2 + 1 respawn
   EXPECT_EQ(r.workers_crashed, 1u);
+  EXPECT_EQ(r.degradation.workers_respawned, 1u);
   EXPECT_GE(r.jobs_requeued, 1u);
   EXPECT_EQ(r.jobs_abandoned, 0u);
+  EXPECT_FALSE(r.degradation.degraded());
   ASSERT_EQ(r.results.size(), reference.results.size());
   for (std::size_t i = 0; i < e.invariants.size(); ++i) {
     EXPECT_EQ(r.results[i].outcome, reference.results[i].outcome) << i;

@@ -18,10 +18,19 @@ import sys
 
 # Everything not listed here must match the snapshot exactly.
 TIMING_KEYS = {"wall_ms", "plan_ms", "verify_ms", "speedup_vs_cold"}
+# Scheduling-dependent: a crashed worker is only respawned while work
+# remains, so the respawn count depends on which worker drains the queue
+# first. Excluded from the exact diff; the acceptance check below still
+# requires at least one respawn in the quarantine record.
+SCHEDULING_KEYS = {"workers_respawned"}
 
 
 def counters(values):
-    return {k: v for k, v in values.items() if k not in TIMING_KEYS}
+    return {
+        k: v
+        for k, v in values.items()
+        if k not in TIMING_KEYS and k not in SCHEDULING_KEYS
+    }
 
 
 def main():
@@ -62,6 +71,29 @@ def main():
     cold = fresh_records.get("isowarm/cold")
     if cold is not None and cold.get("iso_reuses", 0) != 0:
         errors.append("isowarm/cold: cold baseline must not iso-rebind")
+    quarantine = fresh_records.get("faults/quarantine")
+    if quarantine is not None:
+        if quarantine.get("quarantined", 0) != 1:
+            errors.append(
+                "faults/quarantine: crash-looping job not quarantined "
+                "exactly once"
+            )
+        if quarantine.get("workers_respawned", 0) < 1:
+            errors.append("faults/quarantine: fleet was never respawned")
+    escalation = fresh_records.get("faults/escalation")
+    if escalation is not None:
+        if escalation.get("escalations", 0) <= 0:
+            errors.append("faults/escalation: no unknown verdict escalated")
+        if escalation.get("escalations") != escalation.get(
+            "escalations_rescued"
+        ):
+            errors.append(
+                "faults/escalation: an escalated retry was not rescued"
+            )
+        if escalation.get("unknown_verdicts", -1) != 0:
+            errors.append(
+                "faults/escalation: unknowns survived escalation"
+            )
 
     if errors:
         print(f"bench trajectory drift vs {snapshot_path}:", file=sys.stderr)

@@ -2,8 +2,12 @@
 # The tier-1 gate, as one command: configure, build, run every test suite,
 # then smoke-test the batch modes on the shipped enterprise spec - the
 # cached rerun, the process backend (verdicts must match the thread
-# backend), and a worker killed mid-batch (the batch must still complete
-# with every invariant answered) - and slice soundness on the shipped
+# backend), a worker killed mid-batch (the batch must still complete with
+# every invariant answered), and the fault-injection harness (a
+# deterministic crash-looping job must be quarantined while the respawned
+# fleet answers everything else; verdicts may widen to unknown but never
+# flip; a torn cache flush loses only the tail record; a 1ms deadline
+# exits with the "incomplete" code) - and slice soundness on the shipped
 # segmented spec (disconnected segments, identical middlebox configs): its
 # expect clauses encode the whole-network truth, so every backend and
 # symmetry mode must reproduce them, and a cache directory written under a
@@ -92,6 +96,65 @@ if ! diff <(echo "$thread_verdicts") <(echo "$kill_out" | verdicts); then
   exit 1
 fi
 
+echo "--- smoke: crash-looping job is quarantined, fleet survives ---"
+# --faults=crash-job=0 kills whichever worker runs plan job 0, twice; the
+# dispatcher must quarantine the job (one unknown verdict), respawn the
+# lost workers, answer everything else with verdicts equal to the
+# fault-free run (never-flip: unknown is the only allowed difference),
+# and exit with the distinct "incomplete" code.
+fault_rc=0
+fault_out="$("$build/vmn" verify "$spec" --batch --jobs 2 --backend=process \
+    --faults=crash-job=0)" || fault_rc=$?
+echo "$fault_out"
+if [ "$fault_rc" -ne 2 ]; then
+  echo "ci: quarantined batch exited $fault_rc, want 2 (incomplete)" >&2
+  exit 1
+fi
+if echo "$fault_out" | grep -q " 0 respawned"; then
+  echo "ci: no workers were respawned after the crash loop" >&2
+  exit 1
+fi
+if ! echo "$fault_out" | grep -q "1 quarantined"; then
+  echo "ci: the deterministic crasher was not quarantined exactly once" >&2
+  exit 1
+fi
+if ! echo "$fault_out" | grep -q "degradation:"; then
+  echo "ci: degraded batch printed no degradation report" >&2
+  exit 1
+fi
+if ! paste -d' ' <(echo "$thread_verdicts") <(echo "$fault_out" | verdicts) \
+    | awk '{ if ($2 != $4 && $4 != "unknown") exit 1 }'; then
+  echo "ci: a verdict flipped under fault injection" >&2
+  exit 1
+fi
+
+echo "--- smoke: torn cache flush loses only the tail record ---"
+torn_cache="$(mktemp -d)"
+trap 'rm -rf "$cache_dir" "$torn_cache"' EXIT
+"$build/vmn" verify "$spec" --batch --jobs 2 --cache-dir "$torn_cache" \
+    --faults=seed=1,cache-torn-tail=1 > /dev/null
+torn_rerun="$("$build/vmn" verify "$spec" --batch --jobs 2 \
+    --cache-dir "$torn_cache")"
+echo "$torn_rerun"
+if ! echo "$torn_rerun" | grep -Eq "cache: [1-9][0-9]* hits"; then
+  echo "ci: torn cache flush lost more than the tail record" >&2
+  exit 1
+fi
+
+echo "--- smoke: deadline expiry degrades gracefully (exit 2, partial) ---"
+deadline_rc=0
+deadline_out="$("$build/vmn" verify "$spec" --batch --jobs 2 \
+    --deadline 1)" || deadline_rc=$?
+echo "$deadline_out"
+if [ "$deadline_rc" -ne 2 ]; then
+  echo "ci: expired deadline exited $deadline_rc, want 2 (incomplete)" >&2
+  exit 1
+fi
+if ! echo "$deadline_out" | grep -q "deadline expired"; then
+  echo "ci: expired deadline not reported in the degradation summary" >&2
+  exit 1
+fi
+
 echo "--- smoke: segmented spec, slice soundness across backends/symmetry ---"
 # The spec's expect clauses are the whole-network verdicts (segment 1's
 # invariants violated); `vmn verify` exits non-zero on any disagreement, so
@@ -118,13 +181,13 @@ fi
 
 echo "--- smoke: pre-fix cache directory is rejected (stale key version) ---"
 seg_cache="$(mktemp -d)"
-trap 'rm -rf "$cache_dir" "$seg_cache"' EXIT
+trap 'rm -rf "$cache_dir" "$torn_cache" "$seg_cache"' EXIT
 "$build/vmn" verify "$segmented" --batch --jobs 2 --cache-dir "$seg_cache" \
     > /dev/null
 # Demote the freshly written cache to the previous key-format version: the
 # record lines stay byte-identical, only the header says their fingerprints
 # were minted under keys that meant something else. (The current header also
-# carries the spec fingerprint - "v3 spec=<hex>" - which the demotion strips,
+# carries the spec fingerprint - "v4 spec=<hex>" - which the demotion strips,
 # as a real v1 file never had one.)
 sed -i '1s/^# vmn-result-cache v[0-9].*$/# vmn-result-cache v1/' \
     "$seg_cache/vmn-results.cache"
@@ -177,10 +240,10 @@ echo "--- smoke: bench JSON trajectory (bounded run, well-formed output) ---"
 # trajectory stayed empty. A min-time-bounded, filtered run keeps this
 # cheap while asserting both documents are produced and parse.
 bench_dir="$(mktemp -d)"
-trap 'rm -rf "$cache_dir" "$seg_cache" "$bench_dir"' EXIT
+trap 'rm -rf "$cache_dir" "$torn_cache" "$seg_cache" "$bench_dir"' EXIT
 (cd "$bench_dir" && "$build/bench/bench_parallel_scaling" \
     --benchmark_min_time=0.01 \
-    --benchmark_filter='BM_BatchFastPath|BM_IsoWarm' > /dev/null)
+    --benchmark_filter='BM_BatchFastPath|BM_IsoWarm|BM_Fault' > /dev/null)
 (cd "$bench_dir" && "$build/bench/bench_fig7_enterprise" \
     --benchmark_min_time=0.01 > /dev/null)
 for doc in BENCH_parallel.json BENCH_fig7.json; do
@@ -218,12 +281,20 @@ echo "--- smoke: differential fuzzing (fixed seed, all oracles green) ---"
 rm -rf "$build/fuzz-repro"
 "$build/vmn" fuzz --seed 1 --count 25 --reproducer-dir "$build/fuzz-repro"
 
+echo "--- smoke: fuzzing under fault injection (never-flip oracle) ---"
+# A short sweep with the faults oracle enabled: each spec is re-verified
+# under a seeded chaos plan (worker crashes, crash-looping jobs, frame
+# corruption, forced solver unknowns) on both backends; verdicts may widen
+# to unknown but must never flip against the fault-free baseline.
+"$build/vmn" fuzz --seed 1 --count 3 --faults \
+    --reproducer-dir "$build/fuzz-repro"
+
 echo "--- smoke: fuzz fault injection shrinks to a failing reproducer ---"
 # The deliberately broken oracle must fail, shrink, and leave a reproducer
 # that still fails standalone via --replay (the committable-regression
 # workflow, exercised end to end).
 inject_dir="$(mktemp -d)"
-trap 'rm -rf "$cache_dir" "$seg_cache" "$bench_dir" "$inject_dir"' EXIT
+trap 'rm -rf "$cache_dir" "$torn_cache" "$seg_cache" "$bench_dir" "$inject_dir"' EXIT
 if "$build/vmn" fuzz --seed 1 --count 1 --inject-fault \
     --reproducer-dir "$inject_dir"; then
   echo "ci: injected fault did not fail the fuzz run" >&2

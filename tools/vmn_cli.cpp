@@ -4,9 +4,15 @@
 //                          [--trace] [--timeout ms] [--batch] [--jobs N]
 //                          [--cache-dir dir] [--no-warm]
 //                          [--backend=thread|process] [--worker-timeout ms]
-//       Verifies every invariant declared in the file. Exits non-zero if
-//       any invariant with an `expect` clause disagrees, or any outcome is
-//       unknown. With --batch, the invariants are planned into a
+//                          [--faults plan] [--deadline ms] [--no-escalate]
+//       Verifies every invariant declared in the file. Exit codes:
+//         0  every verdict definitive and as expected
+//         1  some invariant with an `expect` clause disagreed
+//         2  incomplete: an unknown verdict, or the batch degraded
+//            (abandoned/quarantined/deadline-expired jobs)
+//         3  usage or internal error
+//       (1 wins over 2 when both apply: a proven violation outranks an
+//       incomplete sweep.) With --batch, the invariants are planned into a
 //       deduplicated job queue and fanned out over a solver pool of
 //       --jobs N workers (default: hardware concurrency); the summary
 //       reports the dedup hit rate, plan time, cache and warm-solving
@@ -17,8 +23,17 @@
 //       disables solver-context reuse across same-shape jobs (debug /
 //       benchmarking baseline). --backend=process fans out over forked
 //       `vmn worker` processes instead of threads: crashed or hung workers
-//       (--worker-timeout) get their jobs requeued onto the survivors,
-//       bounded-retried, then reported unknown - never silently dropped.
+//       (--worker-timeout) get their jobs requeued onto the survivors and
+//       their slots respawned (bounded); a job that keeps killing workers
+//       is quarantined; exhausted jobs are reported unknown - never
+//       silently dropped. --faults takes a deterministic fault plan
+//       (src/verify/faults.hpp; e.g. seed=7,job-crash=0.2) injected into
+//       the run - chaos testing with replayable schedules. --deadline
+//       bounds the batch wall clock: on expiry unattempted jobs surface
+//       as unknown with the degradation reported and exit code 2.
+//       --no-escalate disables the unknown-escalation retry (escalated
+//       solver timeout + perturbed seed) that otherwise rescues transient
+//       unknowns.
 //
 //   vmn worker
 //       Internal: one verification worker of the process backend. Reads
@@ -29,7 +44,8 @@
 //       dispatcher.
 //
 //   vmn fuzz [--seed S] [--count N] [--jobs N] [--timeout ms]
-//            [--reproducer-dir dir] [--inject-fault] [--replay file.vmn]
+//            [--reproducer-dir dir] [--inject-fault] [--faults]
+//            [--replay file.vmn]
 //       Differential fuzzing (src/verify/fuzz.hpp): generates N random
 //       specifications from the seed and runs each through the oracle
 //       battery (engine agreement, warm/cold, symmetry, slices, witness
@@ -39,7 +55,11 @@
 //       existing spec file - the standalone re-check for a committed
 //       reproducer (pass the seed from its header for seed-dependent
 //       oracles). --inject-fault enables a deliberately broken oracle that
-//       fails on any spec with a middlebox (shrinker self-test).
+//       fails on any spec with a middlebox (shrinker self-test). --faults
+//       adds the fault-injection oracle: each spec is re-verified under a
+//       seeded chaos plan (crashes, frame corruption, forced unknowns) and
+//       any verdict that *flips* against the fault-free run fails - faults
+//       may only widen verdicts to unknown, never change them.
 //
 //   vmn audit <spec-file>
 //       Static datapath audit: forwarding loops and blackholes across all
@@ -74,6 +94,14 @@ namespace {
 
 using namespace vmn;
 
+// Exit codes (vmn verify / vmn fuzz): 0 = clean, 1 = violated/failed,
+// 2 = incomplete (unknown verdicts or degraded batch), 3 = usage or
+// internal error.
+constexpr int kExitClean = 0;
+constexpr int kExitViolated = 1;
+constexpr int kExitIncomplete = 2;
+constexpr int kExitUsage = 3;
+
 int usage() {
   std::fprintf(stderr,
                "usage: vmn <verify|audit|classes|dump> <spec-file> [options]\n"
@@ -83,10 +111,11 @@ int usage() {
                "                  --trace --timeout ms --batch --jobs N\n"
                "                  --cache-dir dir --no-warm\n"
                "                  --backend=thread|process --worker-timeout ms\n"
+               "                  --faults plan --deadline ms --no-escalate\n"
                "  fuzz options:   --seed S --count N --jobs N --timeout ms\n"
-               "                  --reproducer-dir dir --inject-fault\n"
+               "                  --reproducer-dir dir --inject-fault --faults\n"
                "                  --replay file.vmn\n");
-  return 2;
+  return kExitUsage;
 }
 
 /// argv for the process backend's workers: this very binary, re-invoked as
@@ -113,6 +142,7 @@ int cmd_verify(io::Spec& spec, const char* argv0, int argc, char** argv) {
   bool batch_mode = false;
   verify::Backend backend = verify::Backend::thread;
   std::chrono::milliseconds worker_timeout{0};
+  std::chrono::milliseconds deadline{0};
   std::size_t jobs = 0;  // 0 = hardware concurrency
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-slices") == 0) {
@@ -176,6 +206,25 @@ int cmd_verify(io::Spec& spec, const char* argv0, int argc, char** argv) {
         return usage();
       }
       worker_timeout = std::chrono::milliseconds(ms);
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0 ||
+               (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc)) {
+      const char* spec_text = argv[i][8] == '=' ? argv[i] + 9 : argv[++i];
+      // FaultPlan::parse throws vmn::Error on bad specs; main maps that
+      // to the usage/internal exit code.
+      opts.faults = verify::FaultPlan::parse(spec_text);
+    } else if (std::strcmp(argv[i], "--deadline") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long long ms = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || ms <= 0) {
+        std::fprintf(stderr,
+                     "--deadline wants a positive millisecond count, got %s\n",
+                     argv[i]);
+        return usage();
+      }
+      deadline = std::chrono::milliseconds(ms);
+      batch_mode = true;  // the deadline is a batch-engine feature
+    } else if (std::strcmp(argv[i], "--no-escalate") == 0) {
+      opts.escalate_unknown = false;
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       char* end = nullptr;
       const long n = std::strtol(argv[++i], &end, 10);
@@ -192,7 +241,7 @@ int cmd_verify(io::Spec& spec, const char* argv0, int argc, char** argv) {
   }
   if (spec.invariants.empty()) {
     std::fprintf(stderr, "spec declares no invariants\n");
-    return 2;
+    return kExitUsage;
   }
   if (!opts.cache_dir.empty() && !use_symmetry) {
     std::fprintf(stderr,
@@ -202,12 +251,14 @@ int cmd_verify(io::Spec& spec, const char* argv0, int argc, char** argv) {
   }
   const net::Network& net = spec.model.network();
   verify::BatchResult batch;
+  bool degraded = false;
   if (batch_mode) {
     verify::ParallelOptions popts;
     popts.jobs = jobs;
     popts.use_symmetry = use_symmetry;
     popts.verify = opts;
     popts.backend = backend;
+    popts.deadline = deadline;
     if (backend == verify::Backend::process) {
       popts.process.worker_command = self_worker_command(argv0);
       popts.process.hang_timeout = worker_timeout;
@@ -221,11 +272,21 @@ int cmd_verify(io::Spec& spec, const char* argv0, int argc, char** argv) {
         pbatch.conservative_splits, pbatch.dedup_hit_rate * 100.0,
         pbatch.workers.size(), verify::to_string(popts.backend).c_str());
     if (backend == verify::Backend::process) {
-      std::printf("  processes: %zu spawned, %zu crashed, %zu jobs requeued, "
-                  "%zu abandoned\n",
+      std::printf("  processes: %zu spawned, %zu crashed, %zu respawned, "
+                  "%zu jobs requeued, %zu abandoned, %zu quarantined\n",
                   pbatch.workers_spawned, pbatch.workers_crashed,
-                  pbatch.jobs_requeued, pbatch.jobs_abandoned);
+                  pbatch.degradation.workers_respawned, pbatch.jobs_requeued,
+                  pbatch.jobs_abandoned, pbatch.degradation.quarantined);
     }
+    if (pbatch.degradation.degraded() || opts.faults.enabled() ||
+        pbatch.degradation.escalations > 0) {
+      std::printf("  degradation: %s\n",
+                  pbatch.degradation.summary().c_str());
+      for (const std::string& reason : pbatch.degradation.reasons) {
+        std::printf("    - %s\n", reason.c_str());
+      }
+    }
+    degraded = pbatch.degradation.degraded();
     std::printf("  plan: %lld ms\n",
                 static_cast<long long>(pbatch.plan_time.count()));
     if (!opts.cache_dir.empty()) {
@@ -251,16 +312,20 @@ int cmd_verify(io::Spec& spec, const char* argv0, int argc, char** argv) {
     batch = verifier.verify_all(spec.invariants, use_symmetry);
   }
 
-  int status = 0;
+  // Exit-code folding: a proven disagreement with an `expect` clause is a
+  // *violation* (1); unknown verdicts and batch degradation make the sweep
+  // *incomplete* (2); 1 outranks 2 when both apply.
+  bool unexpected = false;
+  bool incomplete = degraded;
   for (std::size_t i = 0; i < spec.invariants.size(); ++i) {
     const verify::VerifyResult& r = batch.results[i];
     const char* marker = "";
     if (r.outcome == verify::Outcome::unknown) {
       marker = "  <-- UNKNOWN";
-      status = 1;
+      incomplete = true;
     } else if (spec.expectations[i] && r.outcome != *spec.expectations[i]) {
       marker = "  <-- UNEXPECTED";
-      status = 1;
+      unexpected = true;
     }
     std::printf("%-48s %-9s %s(%lld ms, slice %zu)%s\n",
                 spec.invariants[i]
@@ -286,7 +351,9 @@ int cmd_verify(io::Spec& spec, const char* argv0, int argc, char** argv) {
   std::printf("%zu invariants, %zu solver calls, %lld ms\n",
               spec.invariants.size(), batch.solver_calls,
               static_cast<long long>(batch.total_time.count()));
-  return status;
+  if (unexpected) return kExitViolated;
+  if (incomplete) return kExitIncomplete;
+  return kExitClean;
 }
 
 void print_fuzz_failures(const verify::FuzzReport& report) {
@@ -355,6 +422,8 @@ int cmd_fuzz(const char* argv0, int argc, char** argv) {
       fopts.reproducer_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--inject-fault") == 0) {
       inject = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      fopts.fault_oracle = true;
     } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
       replay_path = argv[++i];
     } else {
@@ -373,7 +442,7 @@ int cmd_fuzz(const char* argv0, int argc, char** argv) {
     std::ifstream in(replay_path);
     if (!in) {
       std::fprintf(stderr, "cannot open spec file: %s\n", replay_path.c_str());
-      return 2;
+      return kExitUsage;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
@@ -448,7 +517,7 @@ int main(int argc, char** argv) {
       return cmd_fuzz(argv[0], argc - 2, argv + 2);
     } catch (const vmn::Error& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
-      return 2;
+      return kExitUsage;
     }
   }
   if (argc < 3) return usage();
@@ -465,6 +534,6 @@ int main(int argc, char** argv) {
     return usage();
   } catch (const vmn::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    return kExitUsage;
   }
 }

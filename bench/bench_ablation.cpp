@@ -15,7 +15,7 @@ using bench::verify_expecting;
 using scenarios::DatacenterParams;
 using scenarios::EnterpriseParams;
 using verify::Outcome;
-using verify::Verifier;
+using verify::Engine;
 using verify::VerifyOptions;
 
 void BM_Slicing(benchmark::State& state) {
@@ -26,7 +26,7 @@ void BM_Slicing(benchmark::State& state) {
   auto dc = make_datacenter(p);
   VerifyOptions opts;
   opts.use_slices = use_slices;
-  Verifier v(dc.model, opts);
+  Engine v(dc.model, opts);
   verify_expecting(state, v, dc.isolation_invariants()[0], Outcome::holds);
 }
 BENCHMARK(BM_Slicing)->Arg(1)->Arg(0)->ArgNames({"slices"})
@@ -38,7 +38,7 @@ void BM_Symmetry(benchmark::State& state) {
   p.subnets = 15;
   p.hosts_per_subnet = 2;
   auto ent = make_enterprise(p);
-  Verifier v(ent.model);
+  Engine v(ent.model);
   std::vector<Outcome> expected(ent.invariants.size(), Outcome::holds);
   verify_all_expecting(state, v, ent.invariants, expected, use_symmetry);
 }
@@ -53,7 +53,7 @@ void BM_FailureBudget(benchmark::State& state) {
   auto dc = make_datacenter(p);
   VerifyOptions opts;
   opts.max_failures = budget;
-  Verifier v(dc.model, opts);
+  Engine v(dc.model, opts);
   verify_expecting(state, v, dc.isolation_invariants()[0], Outcome::holds);
 }
 BENCHMARK(BM_FailureBudget)->Arg(0)->Arg(1)->ArgNames({"max_failures"})

@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "encode/invariant.hpp"
-#include "verify/verifier.hpp"
+#include "verify/engine.hpp"
 
 namespace vmn::bench {
 
@@ -131,7 +131,7 @@ namespace vmn::bench {
 /// Returns the mean per-verification wall time in ms (0 when skipped), so
 /// JSON-emitting callers can record it.
 inline double verify_expecting(benchmark::State& state,
-                               const verify::Verifier& verifier,
+                               verify::Engine& engine,
                                const encode::Invariant& inv,
                                verify::Outcome expected) {
   std::size_t slice_size = 0;
@@ -139,7 +139,7 @@ inline double verify_expecting(benchmark::State& state,
   double total_ms = 0;
   std::size_t runs = 0;
   for (auto _ : state) {
-    verify::VerifyResult r = verifier.verify(inv);
+    verify::VerifyResult r = engine.run_one(inv);
     if (r.outcome != expected) {
       state.SkipWithError(("unexpected outcome: " +
                            verify::to_string(r.outcome) + " (expected " +
@@ -163,13 +163,13 @@ inline double verify_expecting(benchmark::State& state,
 /// Verifies a whole invariant list (the "verify the entire network" mode of
 /// Figs 3 and 5) and checks every outcome.
 inline void verify_all_expecting(benchmark::State& state,
-                                 const verify::Verifier& verifier,
+                                 verify::Engine& engine,
                                  const std::vector<encode::Invariant>& invs,
                                  const std::vector<verify::Outcome>& expected,
                                  bool use_symmetry) {
   std::size_t solver_calls = 0;
   for (auto _ : state) {
-    verify::BatchResult batch = verifier.verify_all(invs, use_symmetry);
+    verify::BatchResult batch = engine.run_batch(invs, use_symmetry);
     for (std::size_t i = 0; i < invs.size(); ++i) {
       if (batch.results[i].outcome != expected[i]) {
         state.SkipWithError("unexpected outcome in batch");

@@ -20,7 +20,7 @@ using scenarios::Datacenter;
 using scenarios::DatacenterParams;
 using scenarios::DcMisconfig;
 using verify::Outcome;
-using verify::Verifier;
+using verify::Engine;
 using verify::VerifyOptions;
 
 DatacenterParams params() {
@@ -53,7 +53,7 @@ void BM_Rules(benchmark::State& state) {
   Datacenter dc = make_datacenter(params());
   Rng rng(42);
   inject_misconfig(dc, DcMisconfig::rules, rng, /*strength=*/2);
-  Verifier v(dc.model);
+  Engine v(dc.model);
   verify_expecting(state, v, pick_invariant(dc, violated),
                    violated ? Outcome::violated : Outcome::holds);
 }
@@ -65,7 +65,7 @@ void BM_Redundancy(benchmark::State& state) {
   Datacenter dc = make_datacenter(params());
   Rng rng(43);
   inject_misconfig(dc, DcMisconfig::redundancy, rng, /*strength=*/2);
-  Verifier v(dc.model, failures(1));
+  Engine v(dc.model, failures(1));
   verify_expecting(state, v, pick_invariant(dc, violated),
                    violated ? Outcome::violated : Outcome::holds);
 }
@@ -79,7 +79,7 @@ void BM_Traversal(benchmark::State& state) {
     Rng rng(44);
     inject_misconfig(dc, DcMisconfig::traversal, rng);
   }
-  Verifier v(dc.model, failures(1));
+  Engine v(dc.model, failures(1));
   verify_expecting(state, v, dc.traversal_invariants()[0],
                    violated ? Outcome::violated : Outcome::holds);
 }

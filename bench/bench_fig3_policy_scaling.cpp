@@ -19,7 +19,7 @@ using scenarios::Datacenter;
 using scenarios::DatacenterParams;
 using scenarios::DcMisconfig;
 using verify::Outcome;
-using verify::Verifier;
+using verify::Engine;
 using verify::VerifyOptions;
 
 Datacenter make(int classes) {
@@ -45,7 +45,7 @@ void BM_Fig3_Rules(benchmark::State& state) {
   Datacenter dc = make(classes);
   Rng rng(7);
   inject_misconfig(dc, DcMisconfig::rules, rng, classes / 4 + 1);
-  Verifier v(dc.model);
+  Engine v(dc.model);
   // Misconfigured groups fall into their own policy classes (rule removal
   // breaks symmetry), so symmetric batching stays sound.
   verify_all_expecting(state, v, dc.isolation_invariants(),
@@ -61,7 +61,7 @@ void BM_Fig3_Redundancy(benchmark::State& state) {
   inject_misconfig(dc, DcMisconfig::redundancy, rng, classes / 4 + 1);
   VerifyOptions opts;
   opts.max_failures = 1;
-  Verifier v(dc.model, opts);
+  Engine v(dc.model, opts);
   verify_all_expecting(state, v, dc.isolation_invariants(),
                        expected_isolation(dc), true);
 }
@@ -75,7 +75,7 @@ void BM_Fig3_Traversal(benchmark::State& state) {
   inject_misconfig(dc, DcMisconfig::traversal, rng);
   VerifyOptions opts;
   opts.max_failures = 1;
-  Verifier v(dc.model, opts);
+  Engine v(dc.model, opts);
   auto invs = dc.traversal_invariants();
   std::vector<Outcome> expected(invs.size(), Outcome::violated);
   verify_all_expecting(state, v, invs, expected, true);

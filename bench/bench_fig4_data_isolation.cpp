@@ -18,7 +18,7 @@ using scenarios::Datacenter;
 using scenarios::DatacenterParams;
 using scenarios::DcMisconfig;
 using verify::Outcome;
-using verify::Verifier;
+using verify::Engine;
 
 Datacenter make(int classes) {
   DatacenterParams p;
@@ -30,7 +30,7 @@ Datacenter make(int classes) {
 
 void BM_Fig4_Holds(benchmark::State& state) {
   Datacenter dc = make(static_cast<int>(state.range(0)));
-  Verifier v(dc.model);
+  Engine v(dc.model);
   verify_expecting(state, v, dc.data_isolation_invariants()[0],
                    Outcome::holds);
 }
@@ -42,7 +42,7 @@ void BM_Fig4_Violated(benchmark::State& state) {
   Rng rng(21);
   inject_misconfig(dc, DcMisconfig::cache_acl, rng, 1);
   const int g = dc.broken_pairs[0].first;
-  Verifier v(dc.model);
+  Engine v(dc.model);
   verify_expecting(state, v,
                    dc.data_isolation_invariants()[static_cast<std::size_t>(g)],
                    Outcome::violated);

@@ -13,7 +13,7 @@ using bench::verify_all_expecting;
 using scenarios::Datacenter;
 using scenarios::DatacenterParams;
 using verify::Outcome;
-using verify::Verifier;
+using verify::Engine;
 
 void BM_Fig5_AllDataIsolation(benchmark::State& state) {
   DatacenterParams p;
@@ -21,7 +21,7 @@ void BM_Fig5_AllDataIsolation(benchmark::State& state) {
   p.clients_per_group = 2;
   p.with_storage = true;
   Datacenter dc = make_datacenter(p);
-  Verifier v(dc.model);
+  Engine v(dc.model);
   auto invs = dc.data_isolation_invariants();
   std::vector<Outcome> expected(invs.size(), Outcome::holds);
   verify_all_expecting(state, v, invs, expected, /*use_symmetry=*/true);

@@ -15,7 +15,7 @@ using bench::verify_expecting;
 using scenarios::Enterprise;
 using scenarios::EnterpriseParams;
 using verify::Outcome;
-using verify::Verifier;
+using verify::Engine;
 using verify::VerifyOptions;
 
 Enterprise make(int subnets) {
@@ -32,7 +32,7 @@ void run(benchmark::State& state, int invariant_index, bool use_slices) {
   Enterprise ent = make(subnets);
   VerifyOptions opts;
   opts.use_slices = use_slices;
-  Verifier v(ent.model, opts);
+  Engine v(ent.model, opts);
   const double mean_ms = verify_expecting(
       state, v, ent.invariants[static_cast<std::size_t>(invariant_index)],
       Outcome::holds);

@@ -1,5 +1,5 @@
 // Parallel scaling of the policy-scaling experiment (Fig 3 workload): the
-// datacenter isolation batch is verified by the ParallelVerifier at
+// datacenter isolation batch is verified by the Engine at
 // 1/2/4/8 workers. Per-slice checks share no state, so on k cores the
 // batch should approach k-fold speedup; the `speedup_vs_1` counter reports
 // the measured ratio against the 1-worker wall time of the same batch
@@ -28,6 +28,7 @@
 #include "core/rng.hpp"
 #include "scenarios/datacenter.hpp"
 #include "verify/faults.hpp"
+#include "verify/engine.hpp"
 #include "verify/parallel.hpp"
 
 namespace {
@@ -38,7 +39,7 @@ using scenarios::DatacenterParams;
 using scenarios::DcMisconfig;
 using verify::Outcome;
 using verify::ParallelOptions;
-using verify::ParallelVerifier;
+using verify::Engine;
 
 constexpr int kClasses = 8;
 
@@ -59,9 +60,9 @@ double run_batch(const Datacenter& dc, std::size_t workers,
   opts.jobs = workers;
   opts.use_symmetry = use_symmetry;
   opts.verify.solver.seed = 1;
-  ParallelVerifier v(dc.model, opts);
+  Engine v(dc.model, opts);
   const scenarios::Batch batch = dc.batch();
-  verify::ParallelBatchResult r = v.verify_all(batch.invariants);
+  verify::BatchResult r = v.run_batch(batch.invariants);
   for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
     const Outcome expected =
         batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
@@ -71,8 +72,8 @@ double run_batch(const Datacenter& dc, std::size_t workers,
     }
   }
   state.counters["jobs_executed"] =
-      benchmark::Counter(static_cast<double>(r.jobs_executed));
-  state.counters["dedup_hit_rate"] = benchmark::Counter(r.dedup_hit_rate);
+      benchmark::Counter(static_cast<double>(r.pool.jobs_executed));
+  state.counters["dedup_hit_rate"] = benchmark::Counter(r.pool.dedup_hit_rate);
   return static_cast<double>(r.total_time.count());
 }
 
@@ -168,16 +169,16 @@ void BM_BatchFastPath(benchmark::State& state) {
     opts.verify.cache_dir = cache_template;
     // Populate outside the timing loop: the measured run is the *repeated*
     // batch, the incremental re-verification case.
-    ParallelVerifier warmup(dc.model, opts);
-    benchmark::DoNotOptimize(warmup.verify_all(batch.invariants));
+    Engine warmup(dc.model, opts);
+    benchmark::DoNotOptimize(warmup.run_batch(batch.invariants));
   }
 
-  ParallelVerifier v(dc.model, opts);
+  Engine v(dc.model, opts);
   double wall_ms = 0, plan_ms = 0, cache_hits = 0, warm_reuses = 0,
          solver_calls = 0;
   for (auto _ : state) {
     const auto wall_start = std::chrono::steady_clock::now();
-    verify::ParallelBatchResult r = v.verify_all(batch.invariants);
+    verify::BatchResult r = v.run_batch(batch.invariants);
     wall_ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - wall_start)
                   .count();
@@ -244,12 +245,12 @@ void BM_IsoWarm(benchmark::State& state) {
   opts.use_symmetry = true;
   opts.verify.solver.seed = 1;
   opts.verify.warm_solving = warm;
-  ParallelVerifier v(dc.model, opts);
+  Engine v(dc.model, opts);
   double wall_ms = 0, plan_ms = 0, iso_mapped = 0, iso_reuses = 0,
          warm_binds = 0, enc_builds = 0, enc_reuses = 0;
   for (auto _ : state) {
     const auto wall_start = std::chrono::steady_clock::now();
-    verify::ParallelBatchResult r = v.verify_all(batch.invariants);
+    verify::BatchResult r = v.run_batch(batch.invariants);
     wall_ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - wall_start)
                   .count();
@@ -318,10 +319,10 @@ void BM_BatchBackend(benchmark::State& state) {
   opts.verify.solver.seed = 1;
   opts.backend =
       use_process ? verify::Backend::process : verify::Backend::thread;
-  ParallelVerifier v(dc.model, opts);
+  Engine v(dc.model, opts);
   double wall_ms = 0;
   for (auto _ : state) {
-    verify::ParallelBatchResult r = v.verify_all(batch.invariants);
+    verify::BatchResult r = v.run_batch(batch.invariants);
     for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
       const Outcome expected =
           batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
@@ -330,7 +331,7 @@ void BM_BatchBackend(benchmark::State& state) {
         return;
       }
     }
-    if (r.workers_crashed != 0 || r.jobs_abandoned != 0) {
+    if (r.pool.workers_crashed != 0 || r.pool.jobs_abandoned != 0) {
       state.SkipWithError("process backend lost workers on a healthy run");
       return;
     }
@@ -376,11 +377,11 @@ void BM_FaultQuarantine(benchmark::State& state) {
   opts.verify.solver.seed = 1;
   opts.backend = verify::Backend::process;
   opts.verify.faults = verify::FaultPlan::parse("crash-job=0");
-  ParallelVerifier v(dc.model, opts);
+  Engine v(dc.model, opts);
   double wall_ms = 0, quarantined = 0, abandoned = 0, crashed = 0,
          respawned = 0, unknowns = 0, dropped = 0;
   for (auto _ : state) {
-    verify::ParallelBatchResult r = v.verify_all(batch.invariants);
+    verify::BatchResult r = v.run_batch(batch.invariants);
     unknowns = 0;
     for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
       if (r.results[i].outcome == Outcome::unknown) {
@@ -400,8 +401,8 @@ void BM_FaultQuarantine(benchmark::State& state) {
     }
     wall_ms = static_cast<double>(r.total_time.count());
     quarantined = static_cast<double>(r.degradation.quarantined);
-    abandoned = static_cast<double>(r.jobs_abandoned);
-    crashed = static_cast<double>(r.workers_crashed);
+    abandoned = static_cast<double>(r.pool.jobs_abandoned);
+    crashed = static_cast<double>(r.pool.workers_crashed);
     respawned = static_cast<double>(r.degradation.workers_respawned);
     dropped = static_cast<double>(r.degradation.cache_records_dropped);
     benchmark::DoNotOptimize(r);
@@ -429,10 +430,10 @@ void BM_FaultEscalation(benchmark::State& state) {
   opts.jobs = 2;
   opts.verify.solver.seed = 1;
   opts.verify.faults = verify::FaultPlan::parse("solver-unknown=1");
-  ParallelVerifier v(dc.model, opts);
+  Engine v(dc.model, opts);
   double wall_ms = 0, escalations = 0, rescued = 0, unknowns = 0;
   for (auto _ : state) {
-    verify::ParallelBatchResult r = v.verify_all(batch.invariants);
+    verify::BatchResult r = v.run_batch(batch.invariants);
     unknowns = 0;
     for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
       if (r.results[i].outcome == Outcome::unknown) {

@@ -31,9 +31,9 @@ int main() {
 
   std::printf("== correct configuration: private data stays in-group ==\n");
   {
-    verify::Verifier verifier(dc.model);
+    verify::Engine verifier(dc.model);
     for (const auto& inv : dc.data_isolation_invariants()) {
-      auto r = verifier.verify(inv);
+      auto r = verifier.run_one(inv);
       std::printf("  %-40s %-9s (slice %zu nodes, %lld ms)\n",
                   inv.describe(name).c_str(),
                   verify::to_string(r.outcome).c_str(), r.slice_size,
@@ -49,9 +49,9 @@ int main() {
   std::printf("  leaked: group %d's private data to group %d's clients\n", g,
               d);
   {
-    verify::Verifier verifier(dc.model);
+    verify::Engine verifier(dc.model);
     auto inv = dc.data_isolation_invariants()[static_cast<std::size_t>(g)];
-    auto r = verifier.verify(inv);
+    auto r = verifier.run_one(inv);
     std::printf("  %-40s %-9s\n", inv.describe(name).c_str(),
                 verify::to_string(r.outcome).c_str());
     if (r.counterexample) {

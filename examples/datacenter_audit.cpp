@@ -25,9 +25,9 @@ void audit(const char* title, const scenarios::Datacenter& dc,
   std::printf("\n== %s (failure budget: %d) ==\n", title, max_failures);
   verify::VerifyOptions opts;
   opts.max_failures = max_failures;
-  verify::Verifier verifier(dc.model, opts);
+  verify::Engine verifier(dc.model, opts);
   const net::Network& net = dc.model.network();
-  verify::BatchResult batch = verifier.verify_all(invariants);
+  verify::BatchResult batch = verifier.run_batch(invariants);
   bool printed = false;
   for (std::size_t i = 0; i < invariants.size(); ++i) {
     const verify::VerifyResult& r = batch.results[i];

@@ -22,9 +22,9 @@ void check(const vmn::scenarios::Isp& isp, const char* label) {
   auto name = [&](NodeId n) {
     return n.valid() ? net.name(n) : std::string("OMEGA");
   };
-  verify::Verifier verifier(isp.model);
+  verify::Engine verifier(isp.model);
   auto inv = isp.attacked_subnet_isolation();
-  auto r = verifier.verify(inv);
+  auto r = verifier.run_one(inv);
   std::printf("%-48s %-9s (slice %zu nodes, %lld ms)\n", label,
               verify::to_string(r.outcome).c_str(), r.slice_size,
               static_cast<long long>(r.solve_time.count()));
@@ -47,10 +47,10 @@ int main() {
   std::printf("== baseline policies at every peering point ==\n");
   {
     auto isp = scenarios::make_isp(params);
-    verify::Verifier verifier(isp.model);
+    verify::Engine verifier(isp.model);
     const net::Network& net = isp.model.network();
     for (const auto& inv : isp.invariants()) {
-      auto r = verifier.verify(inv);
+      auto r = verifier.run_one(inv);
       std::printf("  %-40s %-9s\n",
                   inv.describe([&](NodeId n) { return net.name(n); }).c_str(),
                   verify::to_string(r.outcome).c_str());

@@ -24,7 +24,7 @@ int main() {
     const std::size_t edges = encode::all_edge_nodes(mt.model).size();
 
     std::printf("== %d tenants (%zu VMs + vswitches) ==\n", tenants, edges);
-    verify::Verifier verifier(mt.model);
+    verify::Engine verifier(mt.model);
     struct Case {
       const char* label;
       encode::Invariant inv;
@@ -34,7 +34,7 @@ int main() {
         {"Priv-Pub:  A-private can reach B-public          ", mt.priv_pub()},
     };
     for (const Case& c : cases) {
-      auto r = verifier.verify(c.inv);
+      auto r = verifier.run_one(c.inv);
       std::printf("  %s  -> %-8s (slice %zu of %zu nodes, %lld ms)\n",
                   c.label, verify::to_string(r.outcome).c_str(), r.slice_size,
                   edges, static_cast<long long>(r.solve_time.count()));

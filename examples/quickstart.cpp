@@ -42,9 +42,9 @@ int main() {
   const net::Network& net = ent.model.network();
 
   std::printf("== correctly configured network: all invariants hold ==\n");
-  verify::Verifier verifier(ent.model);
+  verify::Engine verifier(ent.model);
   for (std::size_t i = 0; i < ent.invariants.size(); ++i) {
-    report(net, "", ent.invariants[i], verifier.verify(ent.invariants[i]));
+    report(net, "", ent.invariants[i], verifier.run_one(ent.invariants[i]));
   }
 
   // Break the firewall: allow the internet to reach the quarantined subnet.
@@ -57,10 +57,10 @@ int main() {
                                mbox::AclAction::allow});
   fw->replace_acl(acl);
 
-  verify::Verifier verifier2(ent.model);
+  verify::Engine verifier2(ent.model);
   const NodeId quarantined = ent.subnet_hosts[2].front();
   auto inv = encode::Invariant::node_isolation(quarantined, ent.internet);
   report(net, "internet reaches the quarantined host", inv,
-         verifier2.verify(inv));
+         verifier2.run_one(inv));
   return 0;
 }

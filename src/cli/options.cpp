@@ -1,0 +1,172 @@
+#include "cli/options.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace vmn::cli {
+
+bool parse_int(const std::string& text, long long lo, long long hi,
+               long long& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+  if (v < lo || v > hi) return false;
+  out = v;
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  // strtoull wraps "-1" to UINT64_MAX; reject any sign explicitly.
+  if (text[0] == '-' || text[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+OptionSet::OptionSet(std::string usage_line, std::string summary)
+    : usage_line_(std::move(usage_line)), summary_(std::move(summary)) {}
+
+void OptionSet::add_flag(const std::string& name, const std::string& help,
+                         std::function<void()> set) {
+  Opt opt;
+  opt.name = name;
+  opt.help = help;
+  opt.takes_value = false;
+  opt.apply = [set = std::move(set)](const std::string&, std::string&) {
+    set();
+    return true;
+  };
+  opts_.push_back(std::move(opt));
+}
+
+void OptionSet::add_flag(const std::string& name, const std::string& help,
+                         bool* target, bool value) {
+  add_flag(name, help, [target, value] { *target = value; });
+}
+
+void OptionSet::add_value(
+    const std::string& name, const std::string& value_name,
+    const std::string& help,
+    std::function<bool(const std::string&, std::string&)> apply) {
+  Opt opt;
+  opt.name = name;
+  opt.value_name = value_name;
+  opt.help = help;
+  opt.takes_value = true;
+  opt.apply = std::move(apply);
+  opts_.push_back(std::move(opt));
+}
+
+void OptionSet::add_string(const std::string& name,
+                           const std::string& value_name,
+                           const std::string& help, std::string* target) {
+  add_value(name, value_name, help,
+            [target](const std::string& text, std::string&) {
+              *target = text;
+              return true;
+            });
+}
+
+const OptionSet::Opt* OptionSet::find(const std::string& name) const {
+  for (const Opt& opt : opts_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+std::string OptionSet::usage() const {
+  std::ostringstream os;
+  os << "usage: " << usage_line_ << "\n";
+  if (!summary_.empty()) os << summary_ << "\n";
+  if (!opts_.empty()) os << "options:\n";
+  // Two columns: "  --name VALUE" padded, then the help text.
+  std::size_t width = 0;
+  for (const Opt& opt : opts_) {
+    std::size_t w = opt.name.size();
+    if (opt.takes_value) w += 1 + opt.value_name.size();
+    width = std::max(width, w);
+  }
+  for (const Opt& opt : opts_) {
+    std::string left = opt.name;
+    if (opt.takes_value) left += " " + opt.value_name;
+    os << "  " << left;
+    for (std::size_t i = left.size(); i < width + 2; ++i) os << ' ';
+    os << opt.help << "\n";
+  }
+  os << "  --help";
+  for (std::size_t i = 6; i < width + 2; ++i) os << ' ';
+  os << "show this help\n";
+  return os.str();
+}
+
+OptionSet::Result OptionSet::parse(
+    int argc, char** argv, std::vector<std::string>* positionals) const {
+  for (int i = 0; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return Result::help;
+    }
+    if (token.rfind("--", 0) != 0) {
+      if (positionals != nullptr) {
+        positionals->push_back(std::move(token));
+        continue;
+      }
+      std::fprintf(stderr, "unexpected operand: %s\n%s", token.c_str(),
+                   usage().c_str());
+      return Result::error;
+    }
+    std::string name = token;
+    std::string inline_value;
+    bool has_inline = false;
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      name = token.substr(0, eq);
+      inline_value = token.substr(eq + 1);
+      has_inline = true;
+    }
+    const Opt* opt = find(name);
+    if (opt == nullptr) {
+      std::fprintf(stderr, "unknown option: %s\n%s", name.c_str(),
+                   usage().c_str());
+      return Result::error;
+    }
+    std::string value;
+    if (opt->takes_value) {
+      if (has_inline) {
+        value = inline_value;
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "%s wants a %s argument\n%s", name.c_str(),
+                     opt->value_name.c_str(), usage().c_str());
+        return Result::error;
+      }
+    } else if (has_inline) {
+      std::fprintf(stderr, "%s does not take a value\n%s", name.c_str(),
+                   usage().c_str());
+      return Result::error;
+    }
+    std::string error;
+    if (!opt->apply(value, error)) {
+      std::fprintf(stderr, "%s: %s\n%s", name.c_str(),
+                   error.empty() ? "invalid argument" : error.c_str(),
+                   usage().c_str());
+      return Result::error;
+    }
+  }
+  return Result::ok;
+}
+
+}  // namespace vmn::cli

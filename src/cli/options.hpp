@@ -1,0 +1,94 @@
+// Shared command-line option parsing for the vmn front end.
+//
+// Every subcommand (verify, fuzz, serve, worker-launching paths) declares
+// its flags into an OptionSet and calls parse() - one strict parser
+// instead of per-subcommand strcmp ladders. What the set gives you:
+//
+//  - `--name value` and `--name=value` both accepted; a flag given an
+//    `=value` is an error, a value option missing its argument is an error;
+//  - strict numerics via the parse_* helpers (whole-token, range-checked:
+//    atoi-style "read garbage as 0" and negative-count wraparounds are
+//    structurally impossible);
+//  - `--help` is implicit on every set and prints a usage page assembled
+//    from the declarations (name, value placeholder, help text);
+//  - unknown options name themselves in the error; positional operands are
+//    collected only when the caller asks for them.
+//
+// The apply callbacks run as flags are parsed, in command-line order, so
+// later options override earlier ones exactly like the hand-rolled loops
+// they replace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vmn::cli {
+
+/// Strict whole-token signed parse into [lo, hi]. Rejects empty strings,
+/// trailing junk, and out-of-range values (including everything strtoll
+/// clamps). Returns false without touching `out` on failure.
+[[nodiscard]] bool parse_int(const std::string& text, long long lo,
+                             long long hi, long long& out);
+
+/// Strict whole-token unsigned parse. Rejects empty, junk, and "-0"-style
+/// negatives that strtoull silently wraps.
+[[nodiscard]] bool parse_u64(const std::string& text, std::uint64_t& out);
+
+class OptionSet {
+ public:
+  /// `usage_line` is the synopsis ("vmn verify <spec-file> [options]");
+  /// `summary` is the one-paragraph description printed under it.
+  OptionSet(std::string usage_line, std::string summary);
+
+  /// A boolean option: `--name`. `set` runs when the flag appears.
+  void add_flag(const std::string& name, const std::string& help,
+                std::function<void()> set);
+  /// Convenience: `--name` stores `value` into `*target`.
+  void add_flag(const std::string& name, const std::string& help,
+                bool* target, bool value = true);
+
+  /// An option taking one argument: `--name <value_name>` or
+  /// `--name=<value>`. `apply` returns false (filling `error`) to reject
+  /// the argument - the message is reported with the option's name.
+  void add_value(const std::string& name, const std::string& value_name,
+                 const std::string& help,
+                 std::function<bool(const std::string& text,
+                                    std::string& error)> apply);
+
+  /// Convenience: `--name <s>` stores the raw string.
+  void add_string(const std::string& name, const std::string& value_name,
+                  const std::string& help, std::string* target);
+
+  enum class Result {
+    ok,     ///< parsed cleanly; proceed
+    help,   ///< --help printed to stdout; exit 0
+    error,  ///< message + usage printed to stderr; exit with usage status
+  };
+
+  /// Parses argv[0..argc). Non-option tokens go to `positionals` when
+  /// given, otherwise they are an error ("unexpected operand").
+  [[nodiscard]] Result parse(int argc, char** argv,
+                             std::vector<std::string>* positionals =
+                                 nullptr) const;
+
+  /// The assembled help page (what --help prints).
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Opt {
+    std::string name;        // with leading dashes: "--jobs"
+    std::string value_name;  // "" for flags
+    std::string help;
+    bool takes_value = false;
+    std::function<bool(const std::string&, std::string&)> apply;
+  };
+  [[nodiscard]] const Opt* find(const std::string& name) const;
+
+  std::string usage_line_;
+  std::string summary_;
+  std::vector<Opt> opts_;
+};
+
+}  // namespace vmn::cli

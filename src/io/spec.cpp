@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <functional>
+#include <map>
 #include <sstream>
 #include <unordered_set>
 
@@ -588,6 +589,47 @@ std::string write_spec_string(const Spec& spec) {
   std::ostringstream out;
   write_spec(out, spec);
   return out.str();
+}
+
+std::string SpecDiff::summary() const {
+  if (empty()) return "no semantic change";
+  std::string out = "+" + std::to_string(added.size()) + " -" +
+                    std::to_string(removed.size()) + " lines (";
+  out += model_changed ? "model changed" : "model unchanged";
+  out += invariants_changed ? ", invariants changed" : ", invariants unchanged";
+  out += ")";
+  return out;
+}
+
+SpecDiff diff_specs(const Spec& before, const Spec& after) {
+  // Diff the canonical serializations, not the raw files: the writer emits
+  // one normalized line per semantic item, so comment/whitespace edits
+  // cancel out and any surviving line difference is a real change.
+  auto lines_of = [](const Spec& spec) {
+    std::vector<std::string> lines;
+    std::istringstream in(write_spec_string(spec));
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    return lines;
+  };
+  // Multiset difference (ordered map for deterministic added/removed
+  // ordering): positive count = only in `before`, negative = only in
+  // `after`. Line moves cancel - the writer's ordering is structural, so
+  // a reordered-but-equal spec diffs empty.
+  std::map<std::string, long> count;
+  for (const std::string& l : lines_of(before)) ++count[l];
+  for (const std::string& l : lines_of(after)) --count[l];
+  SpecDiff diff;
+  for (const auto& [line, c] : count) {
+    if (c == 0) continue;
+    const bool is_invariant = line.rfind("invariant ", 0) == 0;
+    (is_invariant ? diff.invariants_changed : diff.model_changed) = true;
+    for (long i = 0; i < c; ++i) diff.removed.push_back(line);
+    for (long i = 0; i < -c; ++i) diff.added.push_back(line);
+  }
+  return diff;
 }
 
 void write_projected_spec(std::ostream& out, const encode::NetworkModel& model,

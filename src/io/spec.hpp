@@ -108,6 +108,31 @@ void write_projected_spec(std::ostream& out, const encode::NetworkModel& model,
 [[nodiscard]] std::string write_projected_spec_string(
     const encode::NetworkModel& model, const std::vector<NodeId>& members);
 
+/// A structural diff between two parsed specs, computed over their
+/// canonical serializations (write_spec_string), so formatting-only edits
+/// - reordered comments, whitespace - diff empty. `model_changed` is the
+/// signal the serve daemon re-plans on: invariant-only edits (adding a
+/// check, changing an expectation) never invalidate solved problems.
+struct SpecDiff {
+  /// Any line of the serialized *model* half differs (topology, configs,
+  /// routes, scenarios, policies).
+  bool model_changed = false;
+  /// The invariant/expectation lines differ.
+  bool invariants_changed = false;
+  /// Canonical lines only in the new spec / only in the old one.
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
+
+  [[nodiscard]] bool empty() const {
+    return !model_changed && !invariants_changed;
+  }
+  /// e.g. "model: +2 -1 lines; invariants unchanged"
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Diffs `before` -> `after` (see SpecDiff).
+[[nodiscard]] SpecDiff diff_specs(const Spec& before, const Spec& after);
+
 /// Parses "a.b.c.d" into an address; throws ParseError on bad syntax.
 [[nodiscard]] Address parse_address(const std::string& text, int line = 0,
                                     int col = 0);

@@ -1,0 +1,111 @@
+#include "verify/engine.hpp"
+
+namespace vmn::verify {
+
+ParallelOptions EngineOptions::parallel() const {
+  ParallelOptions p;
+  p.jobs = jobs;
+  p.backend = backend;
+  p.process = process;
+  p.deadline = deadline;
+  p.use_symmetry = use_symmetry;
+  p.verify = verify;
+  return p;
+}
+
+namespace {
+
+// Fingerprinting serializes the model's spec projection, which throws for
+// middlebox types the io layer cannot name (e.g. test-local subclasses).
+// Only a configured cache needs the stamp, so cacheless engines - the only
+// place such models are legal - never pay or throw.
+std::uint64_t cache_stamp(const encode::NetworkModel& model,
+                          const EngineOptions& options) {
+  const bool cached =
+      !options.verify.cache_dir.empty() || options.memory_cache;
+  return cached ? model_fingerprint(model) : 0;
+}
+
+}  // namespace
+
+Engine::Engine(const encode::NetworkModel& model, EngineOptions options)
+    : model_(&model), options_(std::move(options)),
+      cache_(options_.verify.cache_dir, cache_stamp(model, options_),
+             options_.memory_cache) {}
+
+Verifier& Engine::sequential() {
+  if (!seq_) {
+    seq_ = std::make_unique<Verifier>(*model_, options_.verify);
+    seq_->set_result_cache(&cache_);
+  }
+  return *seq_;
+}
+
+ParallelVerifier& Engine::pooled() {
+  if (!par_) {
+    par_ = std::make_unique<ParallelVerifier>(*model_, options_.parallel());
+    par_->set_result_cache(&cache_);
+  }
+  return *par_;
+}
+
+BatchResult Engine::run_batch(
+    const std::vector<encode::Invariant>& invariants) {
+  return run_batch(invariants, options_.use_symmetry);
+}
+
+BatchResult Engine::run_batch(
+    const std::vector<encode::Invariant>& invariants, bool use_symmetry) {
+  if (!options_.batch) {
+    return sequential().verify_all(invariants, use_symmetry);
+  }
+  if (use_symmetry == options_.use_symmetry) {
+    return pooled().verify_all(invariants);
+  }
+  // A one-call symmetry override on the pooled path: plan under a
+  // throwaway verifier with the flag flipped (sharing the Engine's cache),
+  // leaving the warm member verifier's setting untouched.
+  EngineOptions flipped = options_;
+  flipped.use_symmetry = use_symmetry;
+  ParallelVerifier once(*model_, flipped.parallel());
+  once.set_result_cache(&cache_);
+  return once.verify_all(invariants);
+}
+
+VerifyResult Engine::run_one(const encode::Invariant& invariant) {
+  return sequential().verify(invariant);
+}
+
+JobPlan Engine::plan(const std::vector<encode::Invariant>& invariants) {
+  if (options_.batch) return pooled().plan(invariants);
+  Verifier& seq = sequential();
+  return plan_jobs(*model_, invariants, seq.policy_classes(),
+                   options_.use_symmetry, options_.verify);
+}
+
+void Engine::rebind(const encode::NetworkModel& model) {
+  model_ = &model;
+  // The cache survives the edit: same file (or memory), new stamping
+  // generation. Unchanged problems keep their canonical keys and hit;
+  // records the edit orphaned are retired at the flush after the next
+  // batch proves them dead (see ResultCache).
+  if (cache_.enabled()) {
+    cache_.set_model_fingerprint(model_fingerprint(model));
+  }
+  seq_.reset();
+  par_.reset();
+}
+
+const slice::PolicyClasses& Engine::policy_classes() {
+  return options_.batch ? pooled().policy_classes()
+                        : sequential().policy_classes();
+}
+
+BatchResult run_batch(const encode::NetworkModel& model,
+                      const std::vector<encode::Invariant>& invariants,
+                      const EngineOptions& options) {
+  Engine engine(model, options);
+  return engine.run_batch(invariants);
+}
+
+}  // namespace vmn::verify

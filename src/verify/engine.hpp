@@ -1,0 +1,126 @@
+// The one verification entry point.
+//
+// Engine fronts the sequential Verifier and the ParallelVerifier behind a
+// single facade: callers say *what* to verify (a model, a batch of
+// invariants) and *how* (EngineOptions: sequential or pooled, thread or
+// process backend, deadline, cache), and never construct either engine
+// directly - the CLI, the serve daemon, the fuzzer oracles, benches and
+// tests all funnel through here. Both paths return the unified BatchResult.
+//
+// An Engine owns the warm state worth keeping between calls:
+//  - the persistent ResultCache, opened once (or memory-only) and shared
+//    by every run_batch - including across rebind()s, where its v5
+//    record-granular invalidation retires exactly the records a spec edit
+//    orphaned;
+//  - the underlying verifier(s) and with them the PlanContext transfer
+//    memos, shape representatives, and (sequentially) the warm solver
+//    session.
+// rebind() swaps in an edited model while keeping the cache, which is what
+// makes the serve daemon's incremental re-verification cheap: unchanged
+// slices' canonical keys still hit.
+//
+// Thread contract: like the verifiers it wraps, an Engine is single-caller
+// - run one call at a time; fan-out happens inside.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "verify/parallel.hpp"
+#include "verify/result_cache.hpp"
+#include "verify/verifier.hpp"
+
+namespace vmn::verify {
+
+struct EngineOptions {
+  /// Fan the batch out over a worker pool (ParallelOptions semantics);
+  /// false = the sequential engine's single warm session.
+  bool batch = false;
+  /// Worker count; 0 picks hardware concurrency. Pool mode only.
+  std::size_t jobs = 0;
+  /// Thread or process fan-out (see Backend). Pool mode only.
+  Backend backend = Backend::thread;
+  /// Process-backend knobs (retry budget, hang timeout, worker argv).
+  ProcessPoolOptions process;
+  /// Batch budget; 0 = none (see ParallelOptions::deadline). Pool mode
+  /// only.
+  std::chrono::milliseconds deadline{0};
+  /// Fold invariants with identical canonical slice keys into one job.
+  bool use_symmetry = true;
+  /// Keep a live in-memory result cache even without verify.cache_dir:
+  /// lookups hit across run_batch calls (and rebinds) within this Engine,
+  /// nothing touches disk. The serve daemon's default.
+  bool memory_cache = false;
+  /// Options shared by both engines (slices, failure budget, solver
+  /// seed/timeout, cache_dir, faults, escalation).
+  VerifyOptions verify;
+
+  EngineOptions() = default;
+  /// Sequential run with these verify options (implicit: the historical
+  /// `Verifier(model, opts)` call sites convert as-is).
+  EngineOptions(const VerifyOptions& v) : verify(v) {}  // NOLINT
+  /// Pooled run with these parallel options (implicit: the historical
+  /// `ParallelVerifier(model, opts)` call sites convert as-is).
+  EngineOptions(const ParallelOptions& p)  // NOLINT
+      : batch(true), jobs(p.jobs), backend(p.backend), process(p.process),
+        deadline(p.deadline), use_symmetry(p.use_symmetry), verify(p.verify) {}
+
+  /// The equivalent ParallelOptions (for the pooled path).
+  [[nodiscard]] ParallelOptions parallel() const;
+};
+
+class Engine {
+ public:
+  explicit Engine(const encode::NetworkModel& model, EngineOptions options = {});
+
+  /// Verifies the batch under options().use_symmetry.
+  [[nodiscard]] BatchResult run_batch(
+      const std::vector<encode::Invariant>& invariants);
+  /// Verifies the batch with symmetry dedup explicitly on or off (a
+  /// baseline/oracle knob; differs from the engine-level setting only for
+  /// that one call).
+  [[nodiscard]] BatchResult run_batch(
+      const std::vector<encode::Invariant>& invariants, bool use_symmetry);
+
+  /// Verifies a single invariant (always sequential; pool mode batches).
+  [[nodiscard]] VerifyResult run_one(const encode::Invariant& invariant);
+
+  /// Plans the deduplicated job queue without solving (exposed for tests
+  /// and diagnostics; run_batch executes exactly this plan).
+  [[nodiscard]] JobPlan plan(const std::vector<encode::Invariant>& invariants);
+
+  /// Swaps in an edited model. The verifiers (policy classes, plan
+  /// context, warm sessions) are rebuilt lazily for the new model; the
+  /// result cache survives with its stamping generation switched to the
+  /// new model's fingerprint, so unchanged slices' canonical keys still
+  /// hit and the edit's orphaned records are retired at the next flush.
+  void rebind(const encode::NetworkModel& model);
+
+  [[nodiscard]] ResultCache& cache() { return cache_; }
+  [[nodiscard]] const slice::PolicyClasses& policy_classes();
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+  [[nodiscard]] const encode::NetworkModel& model() const { return *model_; }
+
+ private:
+  [[nodiscard]] Verifier& sequential();
+  [[nodiscard]] ParallelVerifier& pooled();
+
+  const encode::NetworkModel* model_;
+  EngineOptions options_;
+  ResultCache cache_;
+  /// Lazily built per mode (run_one needs the sequential engine even in
+  /// pool mode) and dropped on rebind.
+  std::unique_ptr<Verifier> seq_;
+  std::unique_ptr<ParallelVerifier> par_;
+};
+
+/// One-shot convenience: verify `invariants` against `model` under
+/// `options` (the ISSUE-level `run_batch(model, invariants, Options)`
+/// shape). Constructs a throwaway Engine; callers wanting warm state or
+/// cache reuse across calls hold an Engine instead.
+[[nodiscard]] BatchResult run_batch(
+    const encode::NetworkModel& model,
+    const std::vector<encode::Invariant>& invariants,
+    const EngineOptions& options = {});
+
+}  // namespace vmn::verify

@@ -164,7 +164,7 @@ class FaultInjector {
     std::chrono::milliseconds base, std::chrono::milliseconds cap);
 
 /// How a batch degraded, if it did. Aggregated by the engines and carried
-/// on ParallelBatchResult; `vmn verify` prints it and exit code 2 signals
+/// on BatchResult; `vmn verify` prints it and exit code 2 signals
 /// "incomplete" whenever `degraded()` is true or any verdict is unknown.
 struct DegradationReport {
   /// Planned jobs answered definitively (solver or cache).
@@ -181,7 +181,9 @@ struct DegradationReport {
   std::size_t escalations_rescued = 0;
   /// Workers respawned after a crash or hang.
   std::size_t workers_respawned = 0;
-  /// Corrupt/torn cache records dropped on load (rest of file served).
+  /// Cache records dropped: corrupt/torn lines refused on load (rest of
+  /// file served) plus stale records retired at flush (minted by an
+  /// edited-away model, untouched by this run's lookups).
   std::size_t cache_records_dropped = 0;
   /// The batch deadline expired before the queue drained.
   bool deadline_expired = false;

@@ -9,6 +9,7 @@
 #include "core/rng.hpp"
 #include "sim/replay.hpp"
 #include "sim/simulator.hpp"
+#include "verify/engine.hpp"
 #include "verify/parallel.hpp"
 #include "verify/verifier.hpp"
 
@@ -68,7 +69,7 @@ std::optional<std::string> oracle_engines(io::Spec& spec,
   ParallelOptions po;
   po.jobs = options.jobs;
   po.verify = vo;
-  const auto threads = ParallelVerifier(spec.model, po).verify_all(
+  const auto threads = Engine(spec.model, po).run_batch(
       spec.invariants);
   if (auto d = diff_results(spec, baseline.results, threads.results,
                             "sequential vs thread backend")) {
@@ -76,7 +77,7 @@ std::optional<std::string> oracle_engines(io::Spec& spec,
   }
   po.backend = Backend::process;
   po.process.worker_command = options.worker_command;
-  const auto procs = ParallelVerifier(spec.model, po).verify_all(
+  const auto procs = Engine(spec.model, po).run_batch(
       spec.invariants);
   return diff_results(spec, baseline.results, procs.results,
                       "sequential vs process backend");
@@ -89,7 +90,7 @@ std::optional<std::string> oracle_warm_cold(io::Spec& spec,
   VerifyOptions cold = vo;
   cold.warm_solving = false;
   const auto seq_cold =
-      Verifier(spec.model, cold).verify_all(spec.invariants, true);
+      Engine(spec.model, cold).run_batch(spec.invariants, true);
   if (auto d = diff_results(spec, baseline.results, seq_cold.results,
                             "warm vs cold (sequential)")) {
     return d;
@@ -100,7 +101,7 @@ std::optional<std::string> oracle_warm_cold(io::Spec& spec,
   ParallelOptions po;
   po.jobs = options.jobs;
   po.verify = cold;
-  const auto par_cold = ParallelVerifier(spec.model, po).verify_all(
+  const auto par_cold = Engine(spec.model, po).run_batch(
       spec.invariants);
   return diff_results(spec, baseline.results, par_cold.results,
                       "warm vs cold (parallel)");
@@ -110,7 +111,7 @@ std::optional<std::string> oracle_symmetry(io::Spec& spec,
                                            const VerifyOptions& vo,
                                            const BatchResult& baseline) {
   const auto plain =
-      Verifier(spec.model, vo).verify_all(spec.invariants, false);
+      Engine(spec.model, vo).run_batch(spec.invariants, false);
   return diff_results(spec, baseline.results, plain.results,
                       "symmetry vs no-symmetry");
 }
@@ -121,7 +122,7 @@ std::optional<std::string> oracle_slices(io::Spec& spec,
   VerifyOptions whole = vo;
   whole.use_slices = false;
   const auto full =
-      Verifier(spec.model, whole).verify_all(spec.invariants, true);
+      Engine(spec.model, whole).run_batch(spec.invariants, true);
   return diff_results(spec, baseline.results, full.results,
                       "sliced vs whole-network");
 }
@@ -245,7 +246,7 @@ std::optional<std::string> oracle_faults(io::Spec& spec,
   po.backend = Backend::process;
   po.process.worker_command = options.worker_command;
   const auto procs =
-      ParallelVerifier(spec.model, po).verify_all(spec.invariants);
+      Engine(spec.model, po).run_batch(spec.invariants);
   if (auto d = diff_results(spec, baseline.results, procs.results,
                             "fault-free vs faulted process backend")) {
     return d;
@@ -259,7 +260,7 @@ std::optional<std::string> oracle_faults(io::Spec& spec,
   to.verify = vo;
   to.verify.faults = solver_chaos;
   const auto threads =
-      ParallelVerifier(spec.model, to).verify_all(spec.invariants);
+      Engine(spec.model, to).run_batch(spec.invariants);
   return diff_results(spec, baseline.results, threads.results,
                       "fault-free vs faulted thread backend");
 }
@@ -309,8 +310,8 @@ bool oracle_fails(std::string_view oracle, const std::string& text,
     }
     if (spec.invariants.empty()) return false;
     const BatchResult baseline =
-        Verifier(spec.model, baseline_options(options, budget))
-            .verify_all(spec.invariants, true);
+        Engine(spec.model, baseline_options(options, budget))
+            .run_batch(spec.invariants, true);
     return run_oracle(oracle, spec, budget, baseline, seed, options, nullptr)
         .has_value();
   } catch (const std::exception&) {
@@ -444,8 +445,8 @@ std::size_t check_spec_text(const std::string& text, std::uint64_t seed,
   const std::size_t before = report.failures.size();
   std::optional<BatchResult> baseline;
   if (!spec.invariants.empty()) {
-    baseline = Verifier(spec.model, baseline_options(options, budget))
-                   .verify_all(spec.invariants, true);
+    baseline = Engine(spec.model, baseline_options(options, budget))
+                   .run_batch(spec.invariants, true);
     for (std::string_view name : kVerdictOracles) {
       if (auto detail = run_oracle(name, spec, budget, *baseline, seed,
                                    options, &report)) {

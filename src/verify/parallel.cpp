@@ -21,71 +21,6 @@ std::string to_string(Backend backend) {
   return "?";
 }
 
-void TimingHistogram::record(std::chrono::milliseconds ms) {
-  std::size_t bucket = 0;
-  for (auto v = ms.count(); v > 0; v >>= 1) ++bucket;
-  if (buckets.size() <= bucket) buckets.resize(bucket + 1);
-  ++buckets[bucket];
-}
-
-std::size_t TimingHistogram::samples() const {
-  std::size_t n = 0;
-  for (std::size_t b : buckets) n += b;
-  return n;
-}
-
-std::string TimingHistogram::to_string() const {
-  std::string out;
-  for (std::size_t i = 0; i < buckets.size(); ++i) {
-    if (buckets[i] == 0) continue;
-    if (!out.empty()) out += " ";
-    if (i == 0) {
-      out += "<1ms";
-    } else {
-      out += std::to_string(1LL << (i - 1)) + "-" + std::to_string(1LL << i) +
-             "ms";
-    }
-    out += ":" + std::to_string(buckets[i]);
-  }
-  return out.empty() ? "(no samples)" : out;
-}
-
-BatchResult ParallelBatchResult::to_batch() const& {
-  BatchResult out;
-  out.results = results;
-  out.solver_calls = solver_calls;
-  out.total_time = total_time;
-  out.plan_time = plan_time;
-  out.cache_hits = cache_hits;
-  out.cache_misses = cache_misses;
-  out.warm_binds = warm_binds;
-  out.warm_reuses = warm_reuses;
-  out.iso_reuses = iso_reuses;
-  out.encode_transfer_builds = encode_transfer_builds;
-  out.encode_transfer_reuses = encode_transfer_reuses;
-  out.escalations = degradation.escalations;
-  out.escalations_rescued = degradation.escalations_rescued;
-  return out;
-}
-
-BatchResult ParallelBatchResult::to_batch() && {
-  BatchResult out;
-  out.results = std::move(results);
-  out.solver_calls = solver_calls;
-  out.total_time = total_time;
-  out.plan_time = plan_time;
-  out.cache_hits = cache_hits;
-  out.cache_misses = cache_misses;
-  out.warm_binds = warm_binds;
-  out.warm_reuses = warm_reuses;
-  out.iso_reuses = iso_reuses;
-  out.encode_transfer_builds = encode_transfer_builds;
-  out.encode_transfer_reuses = encode_transfer_reuses;
-  out.escalations = degradation.escalations;
-  out.escalations_rescued = degradation.escalations_rescued;
-  return out;
-}
-
 ParallelVerifier::ParallelVerifier(const encode::NetworkModel& model,
                                    ParallelOptions options)
     : model_(&model), options_(options), ctx_(model.network()) {
@@ -101,26 +36,32 @@ JobPlan ParallelVerifier::plan(
                    options_.verify, &ctx_);
 }
 
-ParallelBatchResult ParallelVerifier::verify_all(
+BatchResult ParallelVerifier::verify_all(
     const std::vector<encode::Invariant>& invariants) const {
   const auto start = std::chrono::steady_clock::now();
   std::optional<std::chrono::steady_clock::time_point> deadline_at;
   if (options_.deadline.count() > 0) deadline_at = start + options_.deadline;
-  ParallelBatchResult out;
-  out.invariant_count = invariants.size();
+  BatchResult out;
+  out.pool.invariant_count = invariants.size();
   out.results.resize(invariants.size());
 
   JobPlan plan = this->plan(invariants);
-  out.jobs_executed = plan.jobs.size();
-  out.symmetry_hits = plan.symmetry_hits;
-  out.conservative_splits = plan.conservative_splits;
-  out.dedup_hit_rate = plan.dedup_hit_rate();
+  out.pool.jobs_executed = plan.jobs.size();
+  out.pool.symmetry_hits = plan.symmetry_hits;
+  out.pool.conservative_splits = plan.conservative_splits;
+  out.pool.dedup_hit_rate = plan.dedup_hit_rate();
   out.plan_time = plan.plan_time;
   out.iso_mapped = plan.iso_mapped;
 
   // Persistent-cache pass: answer whatever a previous batch already solved
-  // before any task is scheduled; only the misses reach the pool.
-  ResultCache cache(options_.verify.cache_dir, model_fingerprint(*model_));
+  // before any task is scheduled; only the misses reach the pool. An
+  // Engine-lent cache survives across calls (and daemon reloads).
+  std::optional<ResultCache> local_cache;
+  if (external_cache_ == nullptr) {
+    local_cache.emplace(options_.verify.cache_dir,
+                        model_fingerprint(*model_));
+  }
+  ResultCache& cache = external_cache_ ? *external_cache_ : *local_cache;
   const FaultInjector cache_faults(options_.verify.faults);
   if (cache_faults.enabled()) cache.set_fault_injector(&cache_faults);
   out.degradation.cache_records_dropped = cache.records_dropped();
@@ -241,11 +182,11 @@ ParallelBatchResult ParallelVerifier::verify_all(
                      popts);
     ProcessDispatch dispatch =
         pool.run(wire_jobs, std::move(process_groups));
-    out.workers = dispatch.workers;
-    out.workers_spawned = dispatch.workers_spawned;
-    out.workers_crashed = dispatch.workers_crashed;
-    out.jobs_requeued = dispatch.jobs_requeued;
-    out.jobs_abandoned = dispatch.jobs_abandoned;
+    out.pool.workers = dispatch.workers;
+    out.pool.workers_spawned = dispatch.workers_spawned;
+    out.pool.workers_crashed = dispatch.workers_crashed;
+    out.pool.jobs_requeued = dispatch.jobs_requeued;
+    out.pool.jobs_abandoned = dispatch.jobs_abandoned;
     out.degradation.quarantined = dispatch.jobs_quarantined;
     out.degradation.deadline_abandoned = dispatch.jobs_deadline_abandoned;
     out.degradation.abandoned_retries = dispatch.jobs_abandoned -
@@ -265,7 +206,7 @@ ParallelBatchResult ParallelVerifier::verify_all(
           // or version-skewed worker binary): abandon the one job to an
           // unknown verdict instead of aborting a batch full of good ones.
           job_results[to_solve[k]] = VerifyResult{};
-          ++out.jobs_abandoned;
+          ++out.pool.jobs_abandoned;
           ++out.degradation.abandoned_retries;
           out.degradation.reasons.push_back(
               "job " + std::to_string(to_solve[k]) +
@@ -318,7 +259,7 @@ ParallelBatchResult ParallelVerifier::verify_all(
             job.iso_image.empty() ? nullptr : &iso);
       }
     });
-    out.workers = pool.stats();
+    out.pool.workers = pool.stats();
     for (std::size_t w = 0; w < pool.size(); ++w) {
       out.warm_binds += pool.session(w).binds();
       out.warm_reuses += pool.session(w).warm_reuses();
@@ -333,7 +274,7 @@ ParallelBatchResult ParallelVerifier::verify_all(
       if (skipped[k] == 0) solved.insert(to_solve[k]);
     }
     if (const std::size_t n = deadline_skipped.load()) {
-      out.jobs_abandoned += n;
+      out.pool.jobs_abandoned += n;
       out.degradation.deadline_abandoned += n;
       out.degradation.deadline_expired = true;
       out.degradation.reasons.push_back("deadline expired with " +
@@ -354,7 +295,11 @@ ParallelBatchResult ParallelVerifier::verify_all(
                                      rep.assertion_count});
     }
     cache.flush();
+    out.degradation.cache_records_dropped = cache.records_dropped();
   }
+  // The fault injector is a local; an Engine-lent cache outlives this call
+  // and must not keep the dangling pointer.
+  cache.set_fault_injector(nullptr);
 
   // Aggregate: representatives keep their full result (including any
   // counterexample); inheritors copy the outcome with by_symmetry set, like
@@ -365,7 +310,7 @@ ParallelBatchResult ParallelVerifier::verify_all(
     VerifyResult& rep = job_results[j];
     rep.total_time += job.plan_time;
     if (solved.count(j) != 0) {
-      out.solve_histogram.record(rep.solve_time);
+      out.pool.solve_histogram.record(rep.solve_time);
       ++out.solver_calls;
     }
     for (std::size_t k : job.inheritors) {
@@ -376,9 +321,9 @@ ParallelBatchResult ParallelVerifier::verify_all(
   const std::size_t abandoned_total = out.degradation.abandoned_retries +
                                       out.degradation.quarantined +
                                       out.degradation.deadline_abandoned;
-  out.degradation.completed =
-      out.jobs_executed > abandoned_total ? out.jobs_executed - abandoned_total
-                                          : 0;
+  out.degradation.completed = out.pool.jobs_executed > abandoned_total
+                                  ? out.pool.jobs_executed - abandoned_total
+                                  : 0;
   out.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start);
   return out;

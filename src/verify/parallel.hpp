@@ -5,7 +5,7 @@
 //   invariants --slice_members-------> one slice per invariant
 //              --canonical_slice_key-> deduplicated (isomorphic) jobs
 //              --SolverPool----------> per-worker solver sessions
-//              --aggregate-----------> ParallelBatchResult
+//              --aggregate-----------> BatchResult
 //
 // Fast path: the planner orders the queue so jobs sharing a slice shape are
 // adjacent; those runs are handed to the pool as single tasks, so one
@@ -73,79 +73,6 @@ struct ParallelOptions {
   VerifyOptions verify;
 };
 
-/// Log2-bucketed per-job solve times: bucket i counts jobs whose solve time
-/// fell in [2^(i-1), 2^i) ms (bucket 0 is < 1 ms).
-struct TimingHistogram {
-  std::vector<std::size_t> buckets;
-
-  void record(std::chrono::milliseconds ms);
-  [[nodiscard]] std::size_t samples() const;
-  /// e.g. "<1ms:3 1-2ms:1 8-16ms:7"
-  [[nodiscard]] std::string to_string() const;
-};
-
-/// BatchResult plus the parallel-engine diagnostics.
-struct ParallelBatchResult {
-  /// Aligned with the invariant list, like BatchResult::results.
-  std::vector<VerifyResult> results;
-  std::size_t solver_calls = 0;
-  std::chrono::milliseconds total_time{0};
-
-  std::size_t invariant_count = 0;
-  /// Planned solver jobs (the deduplicated queue; cache hits answer some of
-  /// these without scheduling them).
-  std::size_t jobs_executed = 0;
-  /// Invariants answered by canonical-key job merging.
-  std::size_t symmetry_hits = 0;
-  /// Class-symmetric checks verified separately anyway (see JobPlan).
-  std::size_t conservative_splits = 0;
-  /// (invariants - solver jobs) / invariants.
-  double dedup_hit_rate = 0.0;
-  /// Serial planning wall time (the pre-fan-out Amdahl term).
-  std::chrono::milliseconds plan_time{0};
-  /// Persistent-cache traffic (hits + misses == planned jobs when the
-  /// cache is enabled; both 0 when disabled).
-  std::size_t cache_hits = 0;
-  std::size_t cache_misses = 0;
-  /// Warm-solving effectiveness across all workers: cold context builds vs
-  /// jobs answered on a reused live context.
-  std::size_t warm_binds = 0;
-  std::size_t warm_reuses = 0;
-  /// Jobs the planner rebound onto an isomorphic representative's base
-  /// encoding (Job::iso_image) and, of those, the ones a live context
-  /// answered warm - the cross-isomorphic reuse the canonical-key dedup
-  /// cannot reach because the verdicts must stay separate.
-  std::size_t iso_mapped = 0;
-  std::size_t iso_reuses = 0;
-  /// Transfer functions built by encoders vs served from a warm per-session
-  /// memo during encoding (zero duplicate fabric walks per session; see
-  /// BatchResult).
-  std::size_t encode_transfer_builds = 0;
-  std::size_t encode_transfer_reuses = 0;
-  /// Crash accounting: worker processes spawned/lost (0 under the thread
-  /// backend), jobs re-dispatched after a crash or hang, and jobs
-  /// abandoned to an unknown verdict - retries exhausted, quarantined,
-  /// or past the deadline; both backends count deadline abandonments here
-  /// (never silently dropped).
-  std::size_t workers_spawned = 0;
-  std::size_t workers_crashed = 0;
-  std::size_t jobs_requeued = 0;
-  std::size_t jobs_abandoned = 0;
-  /// How (and whether) the batch degraded: respawns, quarantines,
-  /// escalations, dropped cache records, deadline expiry, and one
-  /// human-readable reason per event. `degradation.degraded()` drives the
-  /// CLI's "incomplete" exit code.
-  DegradationReport degradation;
-  TimingHistogram solve_histogram;
-  std::vector<WorkerStats> workers;
-
-  /// The sequential-compatible view (results, calls, wall time). The
-  /// rvalue overload moves the result vector out instead of deep-copying
-  /// every counterexample trace.
-  [[nodiscard]] BatchResult to_batch() const&;
-  [[nodiscard]] BatchResult to_batch() &&;
-};
-
 /// Verifies invariant batches on a worker pool. Construction is cheap; the
 /// pool spins up per verify_all call and every worker owns an independent
 /// solver session (see solver_pool.hpp for the thread-safety contract).
@@ -162,14 +89,20 @@ class ParallelVerifier {
   [[nodiscard]] JobPlan plan(
       const std::vector<encode::Invariant>& invariants) const;
 
-  /// Verifies the batch: plan, fan out, aggregate.
-  [[nodiscard]] ParallelBatchResult verify_all(
+  /// Verifies the batch: plan, fan out, aggregate into the unified
+  /// BatchResult (pool/plan diagnostics under `pool`, failure accounting
+  /// under `degradation`).
+  [[nodiscard]] BatchResult verify_all(
       const std::vector<encode::Invariant>& invariants) const;
 
   [[nodiscard]] const slice::PolicyClasses& policy_classes() const {
     return classes_;
   }
   [[nodiscard]] const ParallelOptions& options() const { return options_; }
+
+  /// Lends the verifier an external persistent cache (see
+  /// Verifier::set_result_cache); borrowed, must outlive the verifier.
+  void set_result_cache(ResultCache* cache) { external_cache_ = cache; }
 
  private:
   const encode::NetworkModel* model_;
@@ -178,6 +111,7 @@ class ParallelVerifier {
   /// inference, reused by every plan pass, mutated through const calls.
   mutable PlanContext ctx_;
   slice::PolicyClasses classes_;
+  ResultCache* external_cache_ = nullptr;
 };
 
 }  // namespace vmn::verify

@@ -26,16 +26,16 @@ constexpr const char* kFileName = "vmn-results.cache";
 // became reachability-refined (host colors in the key now encode the
 // refined relation, so a v1 record could resurrect a verdict computed from
 // an unsoundly merged class); v2 -> v3 when the header grew the owning
-// model's spec fingerprint (a v2 file cannot prove which spec minted its
-// records, so records stale after spec edits were indistinguishable from
-// live ones and leaked forever). A cache file with any other header -
-// version OR fingerprint - is stale: its records are rejected wholesale on
-// load and the file is rewritten under the current header at the next
-// flush. v3 -> v4 when record lines became length-prefixed and
-// per-record FNV-digested (a v3 line has no digest, so a bit flip would
-// be *misread* rather than dropped; the version bump retires that format
-// rather than guessing).
-constexpr const char* kHeaderPrefix = "# vmn-result-cache v4";
+// model's spec fingerprint; v3 -> v4 when record lines became
+// length-prefixed and per-record FNV-digested (a v3 line has no digest, so
+// a bit flip would be *misread* rather than dropped); v4 -> v5 when the
+// model fingerprint moved from the header into each record. A v4 file was
+// rejected wholesale after any spec edit - v5 stamps records individually,
+// so an edit retires exactly the records it orphaned and the header is
+// version-only again. A cache file with any other version is stale: its
+// records are rejected wholesale on load and the file is rewritten under
+// the current header at the next flush.
+constexpr const char* kHeaderPrefix = "# vmn-result-cache v5";
 
 const char* status_name(smt::CheckStatus status) {
   switch (status) {
@@ -99,37 +99,44 @@ ResultCache::Fingerprint ResultCache::fingerprint(const std::string& key) {
 }
 
 std::string ResultCache::format_line(const Fingerprint& fp,
-                                     const Entry& entry) {
-  // v4 record: `<payload-len> <payload-digest> <payload>` where the
-  // payload is the v3 record body. The length prefix catches torn tails
-  // (a crash mid-append cuts the payload short), the FNV-1a digest
-  // catches bit flips; either failure drops this record alone on load.
-  char payload[128];
+                                     const Slot& slot) {
+  // v5 record: `<payload-len> <payload-digest> <payload>` where the
+  // payload leads with the minting model's fingerprint stamp (garbage
+  // collection only - lookups are keyed on the canonical-key fingerprint
+  // alone). The length prefix catches torn tails (a crash mid-append cuts
+  // the payload short), the FNV-1a digest catches bit flips; either
+  // failure drops this record alone on load.
+  char payload[160];
   std::snprintf(payload, sizeof payload,
-                "%016" PRIx64 " %016" PRIx64 " %s %zu %zu", fp.hi, fp.lo,
-                status_name(entry.status), entry.slice_size,
-                entry.assertion_count);
-  char line[176];
+                "%016" PRIx64 " %016" PRIx64 " %016" PRIx64 " %s %zu %zu",
+                slot.stamp, fp.hi, fp.lo, status_name(slot.entry.status),
+                slot.entry.slice_size, slot.entry.assertion_count);
+  char line[208];
   std::snprintf(line, sizeof line, "%zu %016" PRIx64 " %s\n",
                 std::strlen(payload), fnv1a64(payload), payload);
   return line;
 }
 
-ResultCache::ResultCache(std::string dir, std::uint64_t spec_fingerprint)
-    : dir_(std::move(dir)), spec_fingerprint_(spec_fingerprint) {
-  if (enabled()) load();
+ResultCache::ResultCache(std::string dir, std::uint64_t model_fingerprint,
+                         bool memory_only)
+    : dir_(std::move(dir)), model_fp_(model_fingerprint),
+      memory_(memory_only) {
+  if (!dir_.empty()) load();
 }
 
-std::string ResultCache::header_line() const {
-  char line[96];
-  std::snprintf(line, sizeof line, "%s spec=%016" PRIx64, kHeaderPrefix,
-                spec_fingerprint_);
-  return line;
-}
+std::string ResultCache::header_line() { return kHeaderPrefix; }
 
 std::string ResultCache::file_path() const {
   return dir_.empty() ? std::string()
                       : (std::filesystem::path(dir_) / kFileName).string();
+}
+
+void ResultCache::set_model_fingerprint(std::uint64_t model_fingerprint) {
+  model_fp_ = model_fingerprint;
+  // Liveness must be re-proven under the new model: the next batch's
+  // lookups re-mark the records whose problems survived the edit, and the
+  // flush after retires the ones the edit orphaned.
+  for (auto& [fp, slot] : entries_) slot.hit = false;
 }
 
 std::size_t ResultCache::parse_file(const std::string& path,
@@ -141,13 +148,11 @@ std::size_t ResultCache::parse_file(const std::string& path,
   bool versioned = false;
   while (std::getline(in, line)) {
     if (!versioned) {
-      // The first line must be the current version header INCLUDING the
-      // spec fingerprint. Anything else - an older version whose canonical
-      // keys meant something different, a newer one, a headerless file, or
-      // a file minted by a different (e.g. since-edited) spec - makes
-      // every record stale: fingerprints from another key generation or
-      // another model must never answer a lookup. The file itself is
-      // rewritten at the next flush.
+      // The first line must be the current version header. An older
+      // version whose canonical keys meant something different, a newer
+      // one, or a headerless file makes every record stale: fingerprints
+      // from another key generation must never answer a lookup. The file
+      // itself is rewritten at the next flush.
       if (line != header_line()) {
         stale_version_ = true;
         return 0;
@@ -188,10 +193,10 @@ std::size_t ResultCache::parse_file(const std::string& path,
       continue;
     }
     std::istringstream fields(payload);
-    std::string hi_hex, lo_hex, status;
-    Entry entry;
-    if (!(fields >> hi_hex >> lo_hex >> status >> entry.slice_size >>
-          entry.assertion_count)) {
+    std::string stamp_hex, hi_hex, lo_hex, status;
+    Slot slot;
+    if (!(fields >> stamp_hex >> hi_hex >> lo_hex >> status >>
+          slot.entry.slice_size >> slot.entry.assertion_count)) {
       ++*dropped_out;  // digest-valid but unparseable: treat as corrupt
       continue;
     }
@@ -200,7 +205,12 @@ std::size_t ResultCache::parse_file(const std::string& path,
       ++*dropped_out;
       continue;
     }
-    entry.status = *parsed;
+    slot.entry.status = *parsed;
+    slot.stamp = std::strtoull(stamp_hex.c_str(), &end, 16);
+    if (end == stamp_hex.c_str() || *end != '\0') {
+      ++*dropped_out;
+      continue;
+    }
     Fingerprint fp;
     fp.hi = std::strtoull(hi_hex.c_str(), &end, 16);
     if (end == hi_hex.c_str() || *end != '\0') {
@@ -213,7 +223,7 @@ std::size_t ResultCache::parse_file(const std::string& path,
       continue;
     }
     ++records;
-    entries_[fp] = entry;  // later lines win (append-only file)
+    entries_[fp] = slot;  // later lines win (append-only file)
   }
   return records;
 }
@@ -225,40 +235,85 @@ void ResultCache::load() {
   // superseded by a later line for the same fingerprint (concurrent
   // batches racing the same keys, torn dedup across processes). When the
   // dead weight outgrows the live entries - or any record was dropped as
-  // torn/corrupt - rewrite the file in place. (Records whose key is
-  // simply never looked up again - stale after a spec edit - are
-  // indistinguishable from live ones here and still need an occasional
-  // `rm`.)
+  // torn/corrupt - rewrite the file in place. (Records orphaned by spec
+  // edits are handled separately: flush retires them once they carry a
+  // foreign stamp and no lookup touched them.)
   const std::size_t dead = records - entries_.size();
-  if (records_dropped_ > 0 || (dead > 0 && 2 * dead > records)) compact();
+  if (records_dropped_ > 0 || (dead > 0 && 2 * dead > records)) {
+    rewrite_locked(/*retire_stale=*/false);
+  }
 }
 
-void ResultCache::compact() {
+bool ResultCache::have_stale_records() const {
+  for (const auto& [fp, slot] : entries_) {
+    if (!slot.hit && slot.stamp != model_fp_) return true;
+  }
+  return false;
+}
+
+void ResultCache::rewrite_locked(bool retire_stale) {
   const std::string path = file_path();
-  const int fd = open_locked(path.c_str(), O_RDWR);
+  const int fd = open_locked(path.c_str(), O_RDWR | O_CREAT);
   if (fd < 0) return;
-  // Re-read under the lock: flushes from other processes may have appended
-  // since the unlocked load pass, and their records must survive. The
-  // re-parse's drop count is discarded - records_dropped_ keeps reporting
-  // what the load saw, even though compaction is about to prune it.
+  // Snapshot this run's bookkeeping, then re-read under the lock: flushes
+  // from other processes may have appended since the unlocked load pass,
+  // and their records must survive - a record we never saw is kept under
+  // its own stamp, whatever it is. Records we *did* load carry our hit
+  // marks: a hit record is live under the current model and is re-stamped
+  // to it; with `retire_stale`, a never-hit record under a foreign stamp
+  // is dropped and counted. Stored-but-unflushed records (dirty) are not
+  // on disk yet; merging the snapshot back in writes them too.
+  auto known = std::move(entries_);
   entries_.clear();
+  const bool was_stale_version = stale_version_;
+  stale_version_ = false;
   std::size_t dropped = 0;
   parse_file(path, &dropped);
+  std::size_t retired = 0;
+  for (auto& [fp, slot] : entries_) {
+    auto it = known.find(fp);
+    if (it == known.end()) continue;  // concurrent append: keep verbatim
+    slot.hit = it->second.hit;
+    if (slot.hit) slot.stamp = model_fp_;
+    known.erase(it);
+  }
+  // Whatever remains in the snapshot is not on disk (dirty stores, or
+  // records a concurrent rewrite pruned that we still hold live).
+  for (auto& [fp, slot] : known) entries_.emplace(fp, slot);
+  if (retire_stale) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (!it->second.hit && it->second.stamp != model_fp_) {
+        ++retired;
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   const std::string tmp = path + ".compact." + std::to_string(::getpid());
   std::string content = header_line() + "\n";
-  for (const auto& [fp, entry] : entries_) content += format_line(fp, entry);
+  for (const auto& [fp, slot] : entries_) content += format_line(fp, slot);
   std::error_code ec;
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out || !(out << content)) {
       std::filesystem::remove(tmp, ec);
+      stale_version_ = was_stale_version;
       unlock_close(fd);
       return;
     }
   }
   std::filesystem::rename(tmp, path, ec);
-  if (ec) std::filesystem::remove(tmp, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    stale_version_ = was_stale_version;
+    unlock_close(fd);
+    return;
+  }
   unlock_close(fd);
+  dirty_.clear();
+  stale_version_ = false;  // the file now carries the current header
+  records_dropped_ += retired;
 }
 
 std::optional<ResultCache::Entry> ResultCache::lookup(
@@ -266,26 +321,59 @@ std::optional<ResultCache::Entry> ResultCache::lookup(
   if (!enabled() || canonical_key.empty()) return std::nullopt;
   auto it = entries_.find(fingerprint(canonical_key));
   if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  it->second.hit = true;  // live under the current model: exempt from GC
+  return it->second.entry;
 }
 
 void ResultCache::store(const std::string& canonical_key, const Entry& entry) {
   if (!enabled() || canonical_key.empty()) return;
   if (entry.status == smt::CheckStatus::unknown) return;
   const Fingerprint fp = fingerprint(canonical_key);
-  auto [it, inserted] = entries_.emplace(fp, entry);
-  if (!inserted) return;  // already known (and durable or pending)
+  auto [it, inserted] = entries_.emplace(fp, Slot{entry, model_fp_, true});
+  if (!inserted) {
+    // Already known (and durable or pending): a re-store still proves the
+    // record live under the current model.
+    it->second.hit = true;
+    return;
+  }
   dirty_.emplace_back(fp, entry);
 }
 
 void ResultCache::flush() {
-  if (!enabled() || (dirty_.empty() && !stale_version_)) return;
+  if (!enabled()) return;
+  const bool retire = have_stale_records();
+  if (dirty_.empty() && !stale_version_ && !retire) return;
+  if (dir_.empty()) {
+    // Memory-only: nothing durable, but retire stale records all the same
+    // so generation switches reclaim memory and report identically.
+    dirty_.clear();
+    if (retire) {
+      for (auto it = entries_.begin(); it != entries_.end();) {
+        if (!it->second.hit && it->second.stamp != model_fp_) {
+          ++records_dropped_;
+          it = entries_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    return;
+  }
   // Non-throwing filesystem calls throughout: an unwritable or bogus cache
   // dir must degrade to an in-memory cache, never abort a verification run
   // whose results are already computed.
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec) return;
+  if (stale_version_ || retire) {
+    // A wrong-version file or stale records to retire: rewrite instead of
+    // appending. rewrite_locked re-reads under the lock, so a concurrent
+    // batch that already upgraded (or appended to) the file keeps its
+    // records; if the file is still the wrong version its records simply
+    // do not parse and only this run's survive.
+    rewrite_locked(retire);
+    return;
+  }
   // Advisory exclusive lock for the whole append: concurrent batches (and
   // worker-sharing dispatchers) interleave whole record blocks, and a
   // compaction can never rename the file out from under a half-written
@@ -295,26 +383,11 @@ void ResultCache::flush() {
   if (fd < 0) return;  // unwritable cache dir: stay an in-memory cache
   struct stat st {};
   std::string block;
-  bool rewrite = false;
   if (::fstat(fd, &st) == 0 && st.st_size == 0) {
-    block = header_line() + "\n";
-  } else if (stale_version_) {
-    // Load rejected the file for carrying another key-format version or
-    // spec fingerprint: truncate and rewrite it under the current header.
-    // Re-check the header under the lock first - a concurrent batch may
-    // have upgraded the file since our load, and truncating now would
-    // destroy its valid records; in that case this flush appends like any
-    // other.
-    const std::string want = header_line() + "\n";
-    std::string probe(want.size(), '\0');
-    const ssize_t n = ::pread(fd, probe.data(), probe.size(), 0);
-    if (n != static_cast<ssize_t>(want.size()) || probe != want) {
-      rewrite = true;
-      block = want;
-    }
+    block = header_line() + std::string("\n");
   }
   for (const auto& [fp, entry] : dirty_) {
-    std::string record = format_line(fp, entry);
+    std::string record = format_line(fp, Slot{entry, model_fp_, true});
     if (injector_ && injector_->flip_cache_record(record_ordinal_++)) {
       // Flip a payload bit *after* the digest was computed: the record
       // fails its check on the next load and is dropped, never misread.
@@ -330,16 +403,9 @@ void ResultCache::flush() {
     const std::size_t tail = last_nl == std::string::npos ? 0 : last_nl + 1;
     block.resize(tail + (block.size() - tail) / 2);
   }
-  if (rewrite && ::ftruncate(fd, 0) != 0) {
-    unlock_close(fd);
-    return;
-  }
   const bool ok = write_all_fd(fd, block);
   unlock_close(fd);
-  if (ok) {
-    dirty_.clear();
-    stale_version_ = false;
-  }
+  if (ok) dirty_.clear();
 }
 
 }  // namespace vmn::verify

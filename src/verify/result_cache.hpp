@@ -5,10 +5,19 @@
 // failure scenario, and every middlebox's policy projection - i.e. the whole
 // verification problem. That makes the cache self-invalidating: any spec
 // edit that changes the encoded problem changes the key, so stale entries
-// are simply never looked up again (they stay in the file as dead weight,
-// which an occasional `rm` of the cache dir reclaims). Re-verification after
-// an edit therefore re-solves exactly the changed slices and answers the
-// rest from disk.
+// are simply never looked up again. Re-verification after an edit therefore
+// re-solves exactly the changed slices and answers the rest from disk.
+//
+// Invalidation is record-granular (v5): every record carries the
+// fingerprint of the model that minted it, but that stamp gates *garbage
+// collection*, never lookups - soundness is entirely the canonical key's.
+// A record whose stamp differs from the current model and that no lookup
+// touched this run is retired (rewritten away, counted in
+// records_dropped()) at the next flush; a record another model minted but
+// this run's keys still hit is re-stamped and survives. A one-segment spec
+// edit therefore costs one segment's solves and one segment's dead
+// records, not the whole file - the v4 header-fingerprint wholesale
+// rejection is retired.
 //
 // Concurrency and growth: flushes append under an advisory exclusive
 // flock(2), so concurrent batches - including the process backend's
@@ -16,7 +25,9 @@
 // record blocks, never torn lines. Duplicate records (the same fingerprint
 // written by racing processes) are harmless on read (later lines win) but
 // accumulate; load() compacts the file in place once such dead records
-// outnumber the live entries, under the same lock.
+// outnumber the live entries, under the same lock. Retirement rewrites
+// re-read the file under the lock first, so records a concurrent batch
+// appended (under any stamp) survive.
 //
 // Soundness inherits the planner's: a cache hit reuses an outcome across
 // canonically-equal problems, exactly like an in-batch symmetry merge; the
@@ -32,7 +43,8 @@
 // fingerprints from the previous generation would resurrect verdicts the
 // new relation exists to retire. A file under any other version is
 // therefore rejected wholesale on load (every lookup misses) and rewritten
-// under the current version at the next flush.
+// under the current version at the next flush. Version mismatch is the
+// *only* wholesale rejection left.
 //
 // Unknown outcomes are never stored: a timeout is a fact about the solver
 // budget, not about the problem.
@@ -43,8 +55,7 @@
 // records still load - and a bit-flipped record (bad disk, bad copy) is
 // skipped the same way instead of being misread; both are counted
 // (records_dropped) and pruned from the file by compaction on the next
-// load. Wholesale rejection remains only for what it is actually for:
-// another key-format version or another spec's fingerprint in the header.
+// load.
 #pragma once
 
 #include <cstddef>
@@ -73,20 +84,21 @@ class ResultCache {
   /// Opens the cache rooted at `dir` and loads `dir`/vmn-results.cache if
   /// present (malformed lines are skipped, so a truncated or corrupted file
   /// degrades to misses, never to errors). An empty `dir` constructs a
-  /// disabled cache: lookups miss, stores are dropped, flush is a no-op.
+  /// disabled cache - unless `memory_only` is set, which keeps the cache
+  /// fully live in memory with flush a no-op (the serve daemon's default
+  /// when no --cache-dir is given: hits across reloads within one process,
+  /// nothing persisted).
   ///
-  /// `spec_fingerprint` (verify::model_fingerprint) is stamped into the
-  /// version header: canonical keys self-invalidate *lookups* after a spec
-  /// edit, but the orphaned records themselves used to accumulate forever
-  /// ("still need an occasional rm"). A file whose header carries another
-  /// fingerprint - or another key-format version - is rejected wholesale
-  /// on load and truncate-rewritten under the current header at the next
-  /// flush, so an edited spec starts from a clean file instead of leaking
-  /// dead records.
-  explicit ResultCache(std::string dir, std::uint64_t spec_fingerprint = 0);
+  /// `model_fingerprint` (verify::model_fingerprint) stamps every record
+  /// this run stores; see the header comment for how stamps drive
+  /// record-granular garbage collection without ever gating a lookup.
+  explicit ResultCache(std::string dir, std::uint64_t model_fingerprint = 0,
+                       bool memory_only = false);
 
-  [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+  [[nodiscard]] bool enabled() const { return !dir_.empty() || memory_; }
 
+  /// A hit also marks the record live under the current model fingerprint,
+  /// exempting it from stale-record retirement at the next flush.
   [[nodiscard]] std::optional<Entry> lookup(
       const std::string& canonical_key) const;
 
@@ -97,8 +109,19 @@ class ResultCache {
   /// Appends the entries stored since load to disk, creating the directory
   /// on first use. Append-only under an advisory exclusive flock:
   /// concurrent batches interleave whole record blocks and never corrupt
-  /// (or compact away) each other's records mid-write.
+  /// (or compact away) each other's records mid-write. When stale records
+  /// are due for retirement (another model's stamp, never hit this run) the
+  /// flush becomes a rewrite instead - still under the lock, re-reading
+  /// first so concurrent appends survive.
   void flush();
+
+  /// Switches the stamping generation without reloading the file: the
+  /// daemon calls this after a spec edit rebinds the engine to the edited
+  /// model. Hit marks reset, so liveness is re-proven by the next batch's
+  /// lookups; records the edit orphaned are retired at the flush after.
+  void set_model_fingerprint(std::uint64_t model_fingerprint);
+
+  [[nodiscard]] std::uint64_t model_fingerprint() const { return model_fp_; }
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::string file_path() const;
@@ -109,11 +132,12 @@ class ResultCache {
   /// next successful flush rewrites the file under the current version.
   [[nodiscard]] bool stale_version() const { return stale_version_; }
 
-  /// Records load() found but refused: torn tails (length prefix ran past
-  /// the line), digest mismatches (bit flips), and otherwise malformed
-  /// lines. Dropping is per-record - everything before a torn tail still
-  /// loads - and any nonzero count triggers compaction so the damage is
-  /// pruned from the file, not just skipped forever.
+  /// Records refused or retired: torn tails (length prefix ran past the
+  /// line), digest mismatches (bit flips), otherwise malformed lines -
+  /// counted at load - plus stale records (another model's stamp, never
+  /// hit) retired at flush. Dropping is per-record; load-time damage
+  /// triggers compaction so it is pruned from the file, not just skipped
+  /// forever.
   [[nodiscard]] std::size_t records_dropped() const { return records_dropped_; }
 
   /// Chaos hook: when set, flush() consults the injector to tear the tail
@@ -140,8 +164,16 @@ class ResultCache {
       return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ull));
     }
   };
+  /// A loaded or stored record plus the bookkeeping retirement needs: the
+  /// model stamp it was minted (or last re-stamped) under, and whether any
+  /// lookup hit it this run.
+  struct Slot {
+    Entry entry;
+    std::uint64_t stamp = 0;
+    bool hit = false;
+  };
   static Fingerprint fingerprint(const std::string& key);
-  static std::string format_line(const Fingerprint& fp, const Entry& entry);
+  static std::string format_line(const Fingerprint& fp, const Slot& slot);
 
   void load();
   /// Parses `path` into entries_ (later lines win), returning the number
@@ -151,22 +183,29 @@ class ResultCache {
   std::size_t parse_file(const std::string& path, std::size_t* dropped_out);
   /// Rewrites the file to one line per live entry (flock-serialized
   /// against flushes and other compactions; re-reads under the lock so
-  /// concurrently appended records survive).
-  void compact();
+  /// concurrently appended records survive). With `retire_stale`, entries
+  /// this run knows to be stale (foreign stamp, never hit) are dropped and
+  /// counted; entries a concurrent batch appended are always kept.
+  void rewrite_locked(bool retire_stale);
+  /// True when entries_ holds a loaded record due for retirement.
+  [[nodiscard]] bool have_stale_records() const;
 
-  /// The exact header line this cache accepts and writes: key-format
-  /// version plus the owning model's spec fingerprint.
-  [[nodiscard]] std::string header_line() const;
+  /// The exact header line this cache accepts and writes: the key-format
+  /// version. Per-record model stamps replaced the v4 header fingerprint.
+  [[nodiscard]] static std::string header_line();
 
   std::string dir_;
-  std::uint64_t spec_fingerprint_ = 0;
-  std::unordered_map<Fingerprint, Entry, FingerprintHash> entries_;
+  std::uint64_t model_fp_ = 0;
+  bool memory_ = false;
+  /// Mutable: lookup() is logically const but marks the hit slot live.
+  mutable std::unordered_map<Fingerprint, Slot, FingerprintHash> entries_;
   /// Stored-but-not-yet-flushed records, in store order.
   std::vector<std::pair<Fingerprint, Entry>> dirty_;
   /// Set when the on-disk file carries another key-format version (see
   /// stale_version()); flush truncate-rewrites instead of appending.
   bool stale_version_ = false;
-  /// Torn/corrupt records refused by the last load (see records_dropped()).
+  /// Torn/corrupt records refused by load plus stale records retired by
+  /// flush (see records_dropped()).
   std::size_t records_dropped_ = 0;
   /// Borrowed chaos injector (see set_fault_injector); counters give each
   /// flush and each written record a stable ordinal for its decisions.

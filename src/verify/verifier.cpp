@@ -23,6 +23,35 @@ std::string to_string(Outcome outcome) {
   return "?";
 }
 
+void TimingHistogram::record(std::chrono::milliseconds ms) {
+  std::size_t bucket = 0;
+  for (auto v = ms.count(); v > 0; v >>= 1) ++bucket;
+  if (buckets.size() <= bucket) buckets.resize(bucket + 1);
+  ++buckets[bucket];
+}
+
+std::size_t TimingHistogram::samples() const {
+  std::size_t n = 0;
+  for (std::size_t b : buckets) n += b;
+  return n;
+}
+
+std::string TimingHistogram::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (!out.empty()) out += " ";
+    if (i == 0) {
+      out += "<1ms";
+    } else {
+      out += std::to_string(1LL << (i - 1)) + "-" + std::to_string(1LL << i) +
+             "ms";
+    }
+    out += ":" + std::to_string(buckets[i]);
+  }
+  return out.empty() ? "(no samples)" : out;
+}
+
 slice::PolicyClasses build_policy_classes(const encode::NetworkModel& model,
                                           const VerifyOptions& options,
                                           PlanContext& ctx) {
@@ -505,14 +534,37 @@ BatchResult Verifier::verify_all(
   JobPlan plan =
       plan_jobs(*model_, invariants, classes_, use_symmetry, options_, &ctx_);
   batch.plan_time = plan.plan_time;
-  ResultCache cache(options_.cache_dir, model_fingerprint(*model_));
+  batch.iso_mapped = plan.iso_mapped;
+  batch.pool.invariant_count = invariants.size();
+  batch.pool.jobs_executed = plan.jobs.size();
+  batch.pool.symmetry_hits = plan.symmetry_hits;
+  batch.pool.conservative_splits = plan.conservative_splits;
+  batch.pool.dedup_hit_rate = plan.dedup_hit_rate();
+  // An Engine-lent cache survives across calls (and daemon reloads);
+  // otherwise open the persistent cache for this call alone.
+  std::optional<ResultCache> local_cache;
+  if (external_cache_ == nullptr) {
+    local_cache.emplace(options_.cache_dir, model_fingerprint(*model_));
+  }
+  ResultCache& cache = external_cache_ ? *external_cache_ : *local_cache;
   // Single-threaded engine: the session borrows the planning context's
   // transfer memo, so encoding builds zero transfer functions - the
   // planner (and class inference before it) already walked every
-  // in-budget scenario.
-  SolverSession session(options_.solver, options_.warm_solving,
-                        &ctx_.transfers);
-  session.set_resilience(session_resilience(options_));
+  // in-budget scenario. The session persists across verify_all calls
+  // (warm across a daemon's requests); counters below are per-call deltas.
+  if (!session_) {
+    session_ = std::make_unique<SolverSession>(
+        options_.solver, options_.warm_solving, &ctx_.transfers);
+    session_->set_resilience(session_resilience(options_));
+  }
+  SolverSession& session = *session_;
+  const std::size_t binds0 = session.binds();
+  const std::size_t warm0 = session.warm_reuses();
+  const std::size_t iso0 = session.iso_reuses();
+  const std::size_t tbuilds0 = session.encode_transfer_builds();
+  const std::size_t treuses0 = session.encode_transfer_reuses();
+  const std::size_t esc0 = session.escalations();
+  const std::size_t rescued0 = session.escalations_rescued();
   for (Job& job : plan.jobs) {
     const auto job_start = std::chrono::steady_clock::now();
     VerifyResult rep;
@@ -526,6 +578,7 @@ BatchResult Verifier::verify_all(
                            session,
                            job.iso_image.empty() ? nullptr : &iso);
       ++batch.solver_calls;
+      batch.pool.solve_histogram.record(rep.solve_time);
       // Keyless jobs (no-symmetry planning) are outside the cache's reach;
       // they are not misses.
       if (cache.enabled() && !job.canonical_key.empty()) {
@@ -544,13 +597,16 @@ BatchResult Verifier::verify_all(
     batch.results[job.invariant_index] = std::move(rep);
   }
   cache.flush();
-  batch.warm_binds = session.binds();
-  batch.warm_reuses = session.warm_reuses();
-  batch.iso_reuses = session.iso_reuses();
-  batch.encode_transfer_builds = session.encode_transfer_builds();
-  batch.encode_transfer_reuses = session.encode_transfer_reuses();
-  batch.escalations = session.escalations();
-  batch.escalations_rescued = session.escalations_rescued();
+  batch.degradation.cache_records_dropped = cache.records_dropped();
+  batch.warm_binds = session.binds() - binds0;
+  batch.warm_reuses = session.warm_reuses() - warm0;
+  batch.iso_reuses = session.iso_reuses() - iso0;
+  batch.encode_transfer_builds = session.encode_transfer_builds() - tbuilds0;
+  batch.encode_transfer_reuses = session.encode_transfer_reuses() - treuses0;
+  batch.degradation.escalations = session.escalations() - esc0;
+  batch.degradation.escalations_rescued =
+      session.escalations_rescued() - rescued0;
+  batch.degradation.completed = plan.jobs.size();
   batch.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start);
   return batch;

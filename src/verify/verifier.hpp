@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -81,6 +82,50 @@ struct VerifyResult {
   bool from_cache = false;
 };
 
+/// Log2-bucketed per-job solve times: bucket i counts jobs whose solve time
+/// fell in [2^(i-1), 2^i) ms (bucket 0 is < 1 ms).
+struct TimingHistogram {
+  std::vector<std::size_t> buckets;
+
+  void record(std::chrono::milliseconds ms);
+  [[nodiscard]] std::size_t samples() const;
+  /// e.g. "<1ms:3 1-2ms:1 8-16ms:7"
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Plan- and pool-level diagnostics nested inside BatchResult: how the
+/// batch deduplicated and fanned out. Both engines fill the plan half
+/// (invariants, jobs, symmetry); the worker half is zero under the
+/// sequential engine (no pool) and the crash counters additionally zero
+/// under the thread backend (threads do not crash independently).
+struct PoolStats {
+  std::size_t invariant_count = 0;
+  /// Planned solver jobs (the deduplicated queue; cache hits answer some
+  /// of these without scheduling them).
+  std::size_t jobs_executed = 0;
+  /// Invariants answered by canonical-key job merging.
+  std::size_t symmetry_hits = 0;
+  /// Class-symmetric checks verified separately anyway (see JobPlan).
+  std::size_t conservative_splits = 0;
+  /// (invariants - solver jobs) / invariants.
+  double dedup_hit_rate = 0.0;
+  /// Crash accounting: worker processes spawned/lost (0 under the thread
+  /// backend), jobs re-dispatched after a crash or hang, and jobs
+  /// abandoned to an unknown verdict - retries exhausted, quarantined,
+  /// or past the deadline; both backends count deadline abandonments here
+  /// (never silently dropped).
+  std::size_t workers_spawned = 0;
+  std::size_t workers_crashed = 0;
+  std::size_t jobs_requeued = 0;
+  std::size_t jobs_abandoned = 0;
+  TimingHistogram solve_histogram;
+  std::vector<WorkerStats> workers;
+};
+
+/// The one batch-verification result both engines return (the historical
+/// BatchResult/ParallelBatchResult split is gone): per-invariant verdicts
+/// plus the unified counter set, with plan/pool diagnostics nested in
+/// `pool` and failure accounting in `degradation`.
 struct BatchResult {
   std::vector<VerifyResult> results;  ///< aligned with the invariant list
   /// Actual solver invocations: planned jobs minus cache hits.
@@ -97,9 +142,11 @@ struct BatchResult {
   /// answered on a reused live context.
   std::size_t warm_binds = 0;
   std::size_t warm_reuses = 0;
-  /// Of the warm reuses, jobs whose own member set differs from the live
-  /// encoding's: they were rebound onto an isomorphic representative's
-  /// base encoding (Job::iso_image) instead of encoding from cold.
+  /// Jobs the planner rebound onto an isomorphic representative's base
+  /// encoding (Job::iso_image) and, of those, the ones a live context
+  /// answered warm - the cross-isomorphic reuse the canonical-key dedup
+  /// cannot reach because the verdicts must stay separate.
+  std::size_t iso_mapped = 0;
   std::size_t iso_reuses = 0;
   /// Transfer functions built by encoders vs served from a warm memo
   /// during encoding (see SolverSession::encode_transfer_builds): with the
@@ -108,10 +155,14 @@ struct BatchResult {
   /// planner's own memo, encodes with zero builds at all.
   std::size_t encode_transfer_builds = 0;
   std::size_t encode_transfer_reuses = 0;
-  /// Unknown-escalation traffic (VerifyOptions::escalate_unknown):
-  /// escalated retries attempted / of those, answered definitively.
-  std::size_t escalations = 0;
-  std::size_t escalations_rescued = 0;
+  /// How (and whether) the batch degraded: respawns, quarantines,
+  /// escalation traffic (escalations / escalations_rescued), dropped
+  /// cache records, deadline expiry, and one human-readable reason per
+  /// event. `degradation.degraded()` drives the CLI's "incomplete" exit
+  /// code.
+  DegradationReport degradation;
+  /// Plan and fan-out diagnostics (see PoolStats).
+  PoolStats pool;
 };
 
 /// Reads a counterexample schedule out of a satisfying model.
@@ -153,11 +204,12 @@ struct BatchResult {
 /// Pinned fingerprint (FNV-1a 64 over the serialized full-network spec) of
 /// everything the model contributes to verification problems: topology,
 /// configurations, routes and failure scenarios - invariants excluded, so
-/// merely adding checks never invalidates. Both engines stamp it into the
-/// persistent ResultCache header: records minted from a different model
-/// would otherwise linger as dead weight after a spec edit (canonical
-/// keys self-invalidate lookups, but never the file), so a changed
-/// fingerprint rejects the file wholesale and the next flush rewrites it.
+/// merely adding checks never invalidates. Both engines stamp it into
+/// every persistent ResultCache record (v5): records minted from a
+/// different model would otherwise linger as dead weight after a spec
+/// edit (canonical keys self-invalidate lookups, but never the file), so
+/// a stale-stamped record no lookup touches is retired at the next flush
+/// - record by record, leaving the rest of the file live.
 [[nodiscard]] std::uint64_t model_fingerprint(const encode::NetworkModel& model);
 
 /// The edge nodes `invariant` is encoded over: the computed slice, or the
@@ -254,6 +306,13 @@ class Verifier {
   }
   [[nodiscard]] const VerifyOptions& options() const { return options_; }
 
+  /// Lends the verifier an external persistent cache (the Engine's, shared
+  /// with the parallel engine and kept across daemon reloads) instead of
+  /// opening its own from options().cache_dir per call. Borrowed: the
+  /// cache must outlive the verifier. Batch counters (hits/misses) still
+  /// report per-call traffic.
+  void set_result_cache(ResultCache* cache) { external_cache_ = cache; }
+
  private:
   const encode::NetworkModel* model_;
   VerifyOptions options_;
@@ -263,6 +322,12 @@ class Verifier {
   /// class comment for the serialization contract.
   mutable PlanContext ctx_;
   slice::PolicyClasses classes_;
+  /// The batch solver session, created on first verify_all and kept warm
+  /// across calls: a daemon re-verifying after an edit rebinds the live
+  /// context instead of encoding from cold. Batch counters report per-call
+  /// deltas against its cumulative totals.
+  mutable std::unique_ptr<SolverSession> session_;
+  ResultCache* external_cache_ = nullptr;
 };
 
 }  // namespace vmn::verify

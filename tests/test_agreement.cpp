@@ -14,6 +14,7 @@
 #include "scenarios/datacenter.hpp"
 #include "sim/simulator.hpp"
 #include "util.hpp"
+#include "verify/engine.hpp"
 #include "verify/verifier.hpp"
 
 namespace vmn {
@@ -27,7 +28,7 @@ using scenarios::DatacenterParams;
 using scenarios::DcMisconfig;
 using test::OneBoxNet;
 using verify::Outcome;
-using verify::Verifier;
+using verify::Engine;
 
 constexpr Address kA = OneBoxNet::addr_a();
 constexpr Address kB = OneBoxNet::addr_b();
@@ -75,8 +76,8 @@ TEST(Agreement, RandomFirewallConfigs) {
         std::make_unique<mbox::LearningFirewall>("fw", acl, dflt));
 
     Invariant inv = Invariant::node_isolation(n.b, n.a);
-    Verifier v(n.model);
-    const Outcome outcome = v.verify(inv).outcome;
+    Engine v(n.model);
+    const Outcome outcome = v.run_one(inv).outcome;
 
     sim::Simulator sim(n.model);
     // Random schedule of a-to-b and b-to-a packets.
@@ -104,8 +105,8 @@ TEST(Agreement, IdpsMaliciousTraffic) {
     OneBoxNet n =
         OneBoxNet::make(std::make_unique<mbox::Idps>("idps", dropping));
     Invariant inv = Invariant::no_malicious_delivery(n.b);
-    Verifier v(n.model);
-    const Outcome outcome = v.verify(inv).outcome;
+    Engine v(n.model);
+    const Outcome outcome = v.run_one(inv).outcome;
 
     sim::Simulator sim(n.model);
     Packet bad{kA, kB, 1000, 80};
@@ -142,17 +143,17 @@ TEST(Agreement, DatacenterRulesMisconfig) {
                          80});
   EXPECT_TRUE(sim_violates(sim, dc.model, inv));
 
-  Verifier v(dc.model);
-  EXPECT_EQ(v.verify(inv).outcome, Outcome::violated);
+  Engine v(dc.model);
+  EXPECT_EQ(v.run_one(inv).outcome, Outcome::violated);
 }
 
 TEST(Agreement, DatacenterCleanConfigNeverViolatesInSim) {
   Datacenter dc = scenarios::make_datacenter(
       DatacenterParams{.policy_groups = 3, .clients_per_group = 2});
-  Verifier v(dc.model);
+  Engine v(dc.model);
   auto invs = dc.isolation_invariants();
   for (const Invariant& inv : invs) {
-    ASSERT_EQ(v.verify(inv).outcome, Outcome::holds);
+    ASSERT_EQ(v.run_one(inv).outcome, Outcome::holds);
   }
   // Fuzz schedules: no concrete schedule may deliver cross-group packets.
   Rng rng(5);
@@ -200,8 +201,8 @@ TEST(Agreement, CacheDataIsolationRealizedConcretely) {
   Invariant inv = Invariant::data_isolation(thief, server);
   EXPECT_TRUE(sim_violates(sim, dc.model, inv));
 
-  Verifier v(dc.model);
-  EXPECT_EQ(v.verify(inv).outcome, Outcome::violated);
+  Engine v(dc.model);
+  EXPECT_EQ(v.run_one(inv).outcome, Outcome::violated);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
-// Persistent result-cache tests: unit coverage for ResultCache itself, and
-// end-to-end coverage of the batch fast path - identical reruns answer
+// Persistent result-cache tests: unit coverage for ResultCache itself -
+// including the v5 record-granular invalidation (per-record model stamps
+// that gate garbage collection, never lookups) - and end-to-end coverage
+// of the batch fast path through verify::Engine: identical reruns answer
 // every job from disk with verdicts equal to the cold run, spec edits that
 // change the canonical key miss and re-solve, and a disabled cache changes
 // nothing about the outcomes.
@@ -15,7 +17,7 @@
 #include "mbox/firewall.hpp"
 #include "scenarios/datacenter.hpp"
 #include "scenarios/enterprise.hpp"
-#include "verify/parallel.hpp"
+#include "verify/engine.hpp"
 #include "verify/result_cache.hpp"
 #include "verify/verifier.hpp"
 
@@ -203,11 +205,12 @@ TEST(ResultCacheUnit, StaleKeyVersionIsRejectedWholesaleAndRewritten) {
   std::vector<std::string> lines = read_lines();
   ASSERT_EQ(lines.size(), 2u);  // current-version header + 1 record
 
-  // Rewind the header to the previous key-format version. The record line
+  // Rewind the header to a previous key-format version. The record line
   // itself is byte-identical to a live one - only the version says its
   // fingerprint was minted under keys that meant something else (the
   // pre-reachability-refinement class relation), and that must be enough
-  // to reject it.
+  // to reject it. Version mismatch is the *only* wholesale rejection left
+  // in v5 - spec edits are handled per record by the stamps.
   {
     std::ofstream out(path, std::ios::trunc);
     out << "# vmn-result-cache v1\n" << lines[1] << "\n";
@@ -224,76 +227,125 @@ TEST(ResultCacheUnit, StaleKeyVersionIsRejectedWholesaleAndRewritten) {
   EXPECT_FALSE(stale.stale_version());
   lines = read_lines();
   ASSERT_EQ(lines.size(), 2u);
-  EXPECT_NE(lines[0].find("v4"), std::string::npos);
+  EXPECT_NE(lines[0].find("v5"), std::string::npos);
   ResultCache upgraded(dir.path);
   EXPECT_EQ(upgraded.size(), 1u);
   ASSERT_TRUE(upgraded.lookup(key).has_value());
   EXPECT_EQ(upgraded.lookup(key)->status, smt::CheckStatus::sat);
 }
 
-TEST(ResultCacheUnit, SpecFingerprintMismatchIsRejectedWholesaleAndRestamped) {
-  // Same key-format version, different owning spec: the v3 header pins the
-  // model fingerprint, so records minted by another (or a since-edited)
-  // spec are rejected wholesale and the next flush restamps the file -
-  // dead records stop accumulating ("still need an occasional rm" no
-  // more).
+TEST(ResultCacheUnit, ForeignStampNeverGatesALookup) {
+  // v5: the model stamp drives garbage collection only. A record minted by
+  // another model whose canonical key still matches *must* answer - the
+  // key embeds the whole verification problem, so an equal key is the same
+  // problem no matter who solved it first.
   TempCacheDir dir;
-  const std::string key = "no-malicious-delivery/#a;@x;!s;";
+  const std::string key = "reachable/#seg;@x;!s;";
   {
-    ResultCache cache(dir.path, /*spec_fingerprint=*/0x1111u);
+    ResultCache cache(dir.path, /*model_fingerprint=*/0x1111u);
     cache.store(key, ResultCache::Entry{smt::CheckStatus::unsat, 4, 11});
     cache.flush();
   }
-  EXPECT_TRUE(ResultCache(dir.path, 0x1111u).lookup(key).has_value());
-
-  ResultCache other_spec(dir.path, /*spec_fingerprint=*/0x2222u);
-  EXPECT_TRUE(other_spec.stale_version());
-  EXPECT_EQ(other_spec.size(), 0u);
-  EXPECT_FALSE(other_spec.lookup(key).has_value());
-  other_spec.store(key, ResultCache::Entry{smt::CheckStatus::sat, 5, 13});
-  other_spec.flush();
-
-  // The file now belongs to the other spec: it hits there, and the
-  // original spec in turn sees a stale file.
-  ResultCache back(dir.path, 0x2222u);
-  EXPECT_FALSE(back.stale_version());
-  ASSERT_TRUE(back.lookup(key).has_value());
-  EXPECT_EQ(back.lookup(key)->status, smt::CheckStatus::sat);
-  EXPECT_TRUE(ResultCache(dir.path, 0x1111u).stale_version());
+  ResultCache other(dir.path, /*model_fingerprint=*/0x2222u);
+  EXPECT_FALSE(other.stale_version());
+  EXPECT_EQ(other.size(), 1u);
+  ASSERT_TRUE(other.lookup(key).has_value());
+  EXPECT_EQ(other.lookup(key)->status, smt::CheckStatus::unsat);
 }
 
-TEST(ResultCacheBatch, DifferentSpecSharingACacheDirNeverCrossAnswers) {
-  // Engine-level: a batch on spec B over a dir spec A populated must hit
-  // nothing (even though fingerprint collisions aside, the canonical keys
-  // would already differ - the point here is the file-level restamp), and
-  // A's records are gone afterwards: re-running A starts cold again
-  // instead of reading leaked dead weight.
-  scenarios::Enterprise e = make_enterprise_small();
-  scenarios::Datacenter dc = make_datacenter_small();
-  const scenarios::Batch dc_batch = dc.batch();
+TEST(ResultCacheUnit, OneSegmentEditKeepsOtherSegmentsRecordsLive) {
+  // The v5 point: a spec edit confined to one segment orphans only that
+  // segment's records. Model A minted records for two segments; model B
+  // (the edited spec) still looks up segment 2's unchanged key, stores a
+  // fresh record for the edited segment 1, and the flush retires exactly
+  // the never-hit orphan - not the whole file.
   TempCacheDir dir;
+  const std::string seg1_old = "no-malicious-delivery/#seg1;@x;!s;";
+  const std::string seg1_new = "no-malicious-delivery/#seg1';@x;!s;";
+  const std::string seg2 = "no-malicious-delivery/#seg2;@y;!s;";
+  {
+    ResultCache cache(dir.path, /*model_fingerprint=*/0xAAAAu);
+    cache.store(seg1_old, ResultCache::Entry{smt::CheckStatus::unsat, 4, 11});
+    cache.store(seg2, ResultCache::Entry{smt::CheckStatus::sat, 6, 17});
+    cache.flush();
+    EXPECT_EQ(cache.records_dropped(), 0u);
+  }
+  {
+    ResultCache cache(dir.path, /*model_fingerprint=*/0xBBBBu);
+    EXPECT_EQ(cache.size(), 2u);
+    // Segment 2's key is unchanged by the edit: the hit marks it live.
+    ASSERT_TRUE(cache.lookup(seg2).has_value());
+    // Segment 1 re-solves under its new key.
+    EXPECT_FALSE(cache.lookup(seg1_new).has_value());
+    cache.store(seg1_new, ResultCache::Entry{smt::CheckStatus::unsat, 5, 13});
+    cache.flush();
+    // Exactly the orphan (seg1_old: foreign stamp, never hit) retired.
+    EXPECT_EQ(cache.records_dropped(), 1u);
+  }
+  ResultCache reloaded(dir.path, 0xBBBBu);
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_TRUE(reloaded.lookup(seg2).has_value());
+  EXPECT_TRUE(reloaded.lookup(seg1_new).has_value());
+  EXPECT_FALSE(reloaded.lookup(seg1_old).has_value());
+}
 
-  ParallelBatchResult a1 = ParallelVerifier(e.model, cached_options(dir.path))
-                               .verify_all(e.invariants);
-  EXPECT_EQ(a1.cache_hits, 0u);
-  ParallelBatchResult a2 = ParallelVerifier(e.model, cached_options(dir.path))
-                               .verify_all(e.invariants);
-  EXPECT_EQ(a2.cache_hits, a2.jobs_executed);
+TEST(ResultCacheUnit, HitRecordsAreRestampedToTheCurrentModel) {
+  // A foreign-stamp record a lookup touched is re-stamped by the rewrite:
+  // the *next* generation sees it as belonging to the model that last used
+  // it, so it keeps surviving edits as long as its key keeps hitting.
+  TempCacheDir dir;
+  const std::string kept = "reachable/#kept;";
+  const std::string orphan = "reachable/#orphan;";
+  {
+    ResultCache cache(dir.path, 0x1u);
+    cache.store(kept, ResultCache::Entry{smt::CheckStatus::unsat, 2, 5});
+    cache.store(orphan, ResultCache::Entry{smt::CheckStatus::sat, 3, 7});
+    cache.flush();
+  }
+  {
+    ResultCache cache(dir.path, 0x2u);
+    ASSERT_TRUE(cache.lookup(kept).has_value());
+    cache.flush();  // retires `orphan`, rewrites `kept` under stamp 0x2
+    EXPECT_EQ(cache.records_dropped(), 1u);
+  }
+  {
+    // A third generation that never looks anything up: `kept` now carries
+    // 0x2, is foreign and unhit, and is retired in turn. Stamps age out
+    // records exactly one edit after their last use.
+    ResultCache cache(dir.path, 0x3u);
+    EXPECT_EQ(cache.size(), 1u);
+    cache.store("reachable/#other;",
+                ResultCache::Entry{smt::CheckStatus::unsat, 1, 3});
+    cache.flush();
+    EXPECT_EQ(cache.records_dropped(), 1u);
+  }
+  ResultCache final_gen(dir.path, 0x3u);
+  EXPECT_EQ(final_gen.size(), 1u);
+  EXPECT_FALSE(final_gen.lookup(kept).has_value());
+}
 
-  ParallelBatchResult b1 =
-      ParallelVerifier(dc.model, cached_options(dir.path))
-          .verify_all(dc_batch.invariants);
-  EXPECT_EQ(b1.cache_hits, 0u);
-  ParallelBatchResult b2 =
-      ParallelVerifier(dc.model, cached_options(dir.path))
-          .verify_all(dc_batch.invariants);
-  EXPECT_EQ(b2.cache_hits, b2.jobs_executed);
+TEST(ResultCacheUnit, SetModelFingerprintSwitchesGenerationInPlace) {
+  // The serve daemon's path: one live cache object, set_model_fingerprint
+  // after a reload instead of reopening the file. Memory-only mode so this
+  // also covers the no-cache-dir daemon default: flush never touches disk
+  // but still retires the orphans.
+  ResultCache cache("", /*model_fingerprint=*/0x1u, /*memory_only=*/true);
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_TRUE(cache.file_path().empty());
+  cache.store("k-live", ResultCache::Entry{smt::CheckStatus::unsat, 2, 5});
+  cache.store("k-orphan", ResultCache::Entry{smt::CheckStatus::sat, 3, 7});
+  cache.flush();
+  EXPECT_EQ(cache.size(), 2u);
 
-  // B's restamp wiped A's records: A re-solves rather than leaking.
-  ParallelBatchResult a3 = ParallelVerifier(e.model, cached_options(dir.path))
-                               .verify_all(e.invariants);
-  EXPECT_EQ(a3.cache_hits, 0u);
-  EXPECT_GT(a3.solver_calls, 0u);
+  cache.set_model_fingerprint(0x2u);
+  EXPECT_EQ(cache.model_fingerprint(), 0x2u);
+  // Liveness must be re-proven under the new model: only k-live is.
+  ASSERT_TRUE(cache.lookup("k-live").has_value());
+  cache.flush();
+  EXPECT_EQ(cache.records_dropped(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.lookup("k-live").has_value());
+  EXPECT_FALSE(cache.lookup("k-orphan").has_value());
 }
 
 TEST(ResultCacheUnit, HeaderlessFileIsStaleToo) {
@@ -310,12 +362,45 @@ TEST(ResultCacheUnit, HeaderlessFileIsStaleToo) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(ResultCacheBatch, DifferentSpecSharingACacheDirNeverCrossAnswers) {
+  // Engine-level: a batch on spec B over a dir spec A populated must hit
+  // nothing (their canonical keys differ), and because none of A's records
+  // are touched by B's lookups, B's flush retires them record by record:
+  // re-running A starts cold again instead of reading leaked dead weight.
+  scenarios::Enterprise e = make_enterprise_small();
+  scenarios::Datacenter dc = make_datacenter_small();
+  const scenarios::Batch dc_batch = dc.batch();
+  TempCacheDir dir;
+
+  BatchResult a1 =
+      Engine(e.model, cached_options(dir.path)).run_batch(e.invariants);
+  EXPECT_EQ(a1.cache_hits, 0u);
+  BatchResult a2 =
+      Engine(e.model, cached_options(dir.path)).run_batch(e.invariants);
+  EXPECT_EQ(a2.cache_hits, a2.pool.jobs_executed);
+
+  BatchResult b1 =
+      Engine(dc.model, cached_options(dir.path)).run_batch(dc_batch.invariants);
+  EXPECT_EQ(b1.cache_hits, 0u);
+  BatchResult b2 =
+      Engine(dc.model, cached_options(dir.path)).run_batch(dc_batch.invariants);
+  EXPECT_EQ(b2.cache_hits, b2.pool.jobs_executed);
+
+  // B's flush retired A's never-hit records: A re-solves rather than
+  // inheriting leaked entries.
+  EXPECT_GT(b1.degradation.cache_records_dropped, 0u);
+  BatchResult a3 =
+      Engine(e.model, cached_options(dir.path)).run_batch(e.invariants);
+  EXPECT_EQ(a3.cache_hits, 0u);
+  EXPECT_GT(a3.solver_calls, 0u);
+}
+
 TEST(ResultCacheBatch, StaleCacheDirectoryForcesFreshSolvesThenUpgrades) {
   scenarios::Enterprise e = make_enterprise_small();
   TempCacheDir dir;
   {
-    ParallelVerifier verifier(e.model, cached_options(dir.path));
-    ParallelBatchResult cold = verifier.verify_all(e.invariants);
+    Engine engine(e.model, cached_options(dir.path));
+    BatchResult cold = engine.run_batch(e.invariants);
     EXPECT_EQ(cold.cache_hits, 0u);
   }
   const std::string path = ResultCache(dir.path).file_path();
@@ -335,18 +420,17 @@ TEST(ResultCacheBatch, StaleCacheDirectoryForcesFreshSolvesThenUpgrades) {
   }
 
   // A pre-fix cache directory must answer nothing...
-  ParallelVerifier again(e.model, cached_options(dir.path));
-  ParallelBatchResult warm = again.verify_all(e.invariants);
+  Engine again(e.model, cached_options(dir.path));
+  BatchResult warm = again.run_batch(e.invariants);
   EXPECT_EQ(warm.cache_hits, 0u);
-  EXPECT_EQ(warm.cache_misses, warm.jobs_executed);
+  EXPECT_EQ(warm.cache_misses, warm.pool.jobs_executed);
   EXPECT_GT(warm.solver_calls, 0u);
 
   // ...and the flush at the end of that run upgrades the file, so the next
   // one hits everything again.
-  ParallelBatchResult hot =
-      ParallelVerifier(e.model, cached_options(dir.path))
-          .verify_all(e.invariants);
-  EXPECT_EQ(hot.cache_hits, hot.jobs_executed);
+  BatchResult hot =
+      Engine(e.model, cached_options(dir.path)).run_batch(e.invariants);
+  EXPECT_EQ(hot.cache_hits, hot.pool.jobs_executed);
   EXPECT_EQ(hot.solver_calls, 0u);
 }
 
@@ -355,14 +439,14 @@ TEST(ResultCacheBatch, IdenticalRerunHitsEverythingWithEqualVerdicts) {
   const scenarios::Batch batch = dc.batch();
   TempCacheDir dir;
 
-  ParallelVerifier verifier(dc.model, cached_options(dir.path));
-  ParallelBatchResult cold = verifier.verify_all(batch.invariants);
+  Engine engine(dc.model, cached_options(dir.path));
+  BatchResult cold = engine.run_batch(batch.invariants);
   EXPECT_EQ(cold.cache_hits, 0u);
-  EXPECT_EQ(cold.cache_misses, cold.jobs_executed);
-  EXPECT_EQ(cold.solver_calls, cold.jobs_executed);
+  EXPECT_EQ(cold.cache_misses, cold.pool.jobs_executed);
+  EXPECT_EQ(cold.solver_calls, cold.pool.jobs_executed);
 
-  ParallelBatchResult hot = verifier.verify_all(batch.invariants);
-  EXPECT_EQ(hot.cache_hits, hot.jobs_executed);
+  BatchResult hot = engine.run_batch(batch.invariants);
+  EXPECT_EQ(hot.cache_hits, hot.pool.jobs_executed);
   EXPECT_EQ(hot.cache_misses, 0u);
   EXPECT_EQ(hot.solver_calls, 0u);
   ASSERT_EQ(hot.results.size(), cold.results.size());
@@ -378,20 +462,20 @@ TEST(ResultCacheBatch, IdenticalRerunHitsEverythingWithEqualVerdicts) {
 }
 
 TEST(ResultCacheBatch, SequentialEngineSharesTheSameCache) {
-  // A cache populated by the parallel engine answers the sequential engine
-  // (and vice versa): both consult the same canonical keys.
+  // A cache populated by the pooled path answers the sequential path (and
+  // vice versa): both consult the same canonical keys.
   scenarios::Enterprise e = make_enterprise_small();
   TempCacheDir dir;
 
-  ParallelVerifier parallel(e.model, cached_options(dir.path));
-  ParallelBatchResult cold = parallel.verify_all(e.invariants);
+  BatchResult cold =
+      Engine(e.model, cached_options(dir.path)).run_batch(e.invariants);
   EXPECT_EQ(cold.cache_hits, 0u);
 
   VerifyOptions seq_opts;
   seq_opts.solver.seed = 7;
   seq_opts.cache_dir = dir.path;
-  Verifier sequential(e.model, seq_opts);
-  BatchResult hot = sequential.verify_all(e.invariants, /*use_symmetry=*/true);
+  Engine sequential(e.model, seq_opts);
+  BatchResult hot = sequential.run_batch(e.invariants, /*use_symmetry=*/true);
   EXPECT_GT(hot.cache_hits, 0u);
   EXPECT_EQ(hot.cache_misses, 0u);
   EXPECT_EQ(hot.solver_calls, 0u);
@@ -404,8 +488,8 @@ TEST(ResultCacheBatch, ConfigEditChangesKeyAndForcesFreshSolve) {
   scenarios::Enterprise e = make_enterprise_small();
   TempCacheDir dir;
   {
-    ParallelVerifier verifier(e.model, cached_options(dir.path));
-    ParallelBatchResult cold = verifier.verify_all(e.invariants);
+    BatchResult cold =
+        Engine(e.model, cached_options(dir.path)).run_batch(e.invariants);
     EXPECT_EQ(cold.cache_hits, 0u);
   }
 
@@ -421,8 +505,8 @@ TEST(ResultCacheBatch, ConfigEditChangesKeyAndForcesFreshSolve) {
                       Prefix(Address::of(10, 0, 0, 0), 8), AclAction::allow});
   fw->replace_acl(acl);
 
-  ParallelVerifier edited(e.model, cached_options(dir.path));
-  ParallelBatchResult after = edited.verify_all(e.invariants);
+  BatchResult after =
+      Engine(e.model, cached_options(dir.path)).run_batch(e.invariants);
   // The edited problems miss and re-solve...
   EXPECT_GT(after.cache_misses, 0u);
   EXPECT_GT(after.solver_calls, 0u);
@@ -431,8 +515,7 @@ TEST(ResultCacheBatch, ConfigEditChangesKeyAndForcesFreshSolve) {
   ParallelOptions uncached;
   uncached.jobs = 2;
   uncached.verify.solver.seed = 7;
-  ParallelBatchResult reference =
-      ParallelVerifier(e.model, uncached).verify_all(e.invariants);
+  BatchResult reference = Engine(e.model, uncached).run_batch(e.invariants);
   for (std::size_t i = 0; i < e.invariants.size(); ++i) {
     EXPECT_EQ(after.results[i].outcome, reference.results[i].outcome) << i;
   }
@@ -453,14 +536,12 @@ TEST(ResultCacheBatch, DisabledCacheLeavesOutcomesIdentical) {
   ParallelOptions plain;
   plain.jobs = 2;
   plain.verify.solver.seed = 7;
-  ParallelBatchResult uncached =
-      ParallelVerifier(dc.model, plain).verify_all(batch.invariants);
+  BatchResult uncached = Engine(dc.model, plain).run_batch(batch.invariants);
   EXPECT_EQ(uncached.cache_hits, 0u);
   EXPECT_EQ(uncached.cache_misses, 0u);
 
-  ParallelBatchResult cached =
-      ParallelVerifier(dc.model, cached_options(dir.path))
-          .verify_all(batch.invariants);
+  BatchResult cached =
+      Engine(dc.model, cached_options(dir.path)).run_batch(batch.invariants);
   ASSERT_EQ(cached.results.size(), uncached.results.size());
   for (std::size_t i = 0; i < uncached.results.size(); ++i) {
     EXPECT_EQ(cached.results[i].outcome, uncached.results[i].outcome) << i;
@@ -488,8 +569,7 @@ TEST(ResultCacheBatch, UnknownOutcomesAreNeverPersisted) {
   ParallelOptions opts = cached_options(dir.path);
   opts.verify.use_slices = false;  // whole network: decisively too big
   opts.verify.solver.timeout_ms = 1;
-  ParallelBatchResult r =
-      ParallelVerifier(dc.model, opts).verify_all(batch.invariants);
+  BatchResult r = Engine(dc.model, opts).run_batch(batch.invariants);
   bool all_unknown = true;
   for (const VerifyResult& res : r.results) {
     all_unknown &= res.outcome == Outcome::unknown;

@@ -1,0 +1,178 @@
+// cli::OptionSet / strict-numeric tests: the shared parser every vmn
+// subcommand declares its flags into. The interesting properties are the
+// ones the old per-subcommand strcmp ladders got wrong: atoi-style
+// "garbage parses as 0", silently wrapped negative counts, and missing
+// values consuming the next flag.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cli/options.hpp"
+
+namespace vmn::cli {
+namespace {
+
+/// parse() wants argv; build one from string literals (argv[0] = subcommand
+/// name, skipped by callers via argc/argv arithmetic - here we pass the
+/// option tokens only, as the subcommands do).
+struct Argv {
+  std::vector<std::string> store;
+  std::vector<char*> ptrs;
+  explicit Argv(std::vector<std::string> args) : store(std::move(args)) {
+    ptrs.reserve(store.size());
+    for (std::string& s : store) ptrs.push_back(s.data());
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(ptrs.size()); }
+  [[nodiscard]] char** argv() { return ptrs.data(); }
+};
+
+TEST(ParseInt, AcceptsWholeTokensInRange) {
+  long long v = -1;
+  EXPECT_TRUE(parse_int("0", 0, 100, v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(parse_int("100", 0, 100, v));
+  EXPECT_EQ(v, 100);
+  EXPECT_TRUE(parse_int("-3", -10, 10, v));
+  EXPECT_EQ(v, -3);
+}
+
+TEST(ParseInt, RejectsJunkRangeAndPartialTokens) {
+  long long v = 42;
+  EXPECT_FALSE(parse_int("", 0, 100, v));
+  EXPECT_FALSE(parse_int("abc", 0, 100, v));
+  EXPECT_FALSE(parse_int("12abc", 0, 100, v));   // atoi would say 12
+  EXPECT_FALSE(parse_int("1 2", 0, 100, v));
+  EXPECT_FALSE(parse_int("101", 0, 100, v));     // out of range
+  EXPECT_FALSE(parse_int("-1", 0, 100, v));
+  EXPECT_FALSE(parse_int("99999999999999999999", 0, 100, v));  // overflows
+  EXPECT_EQ(v, 42) << "failed parses must not touch the output";
+}
+
+TEST(ParseU64, RejectsNegativesStrtoullWouldWrap) {
+  std::uint64_t v = 7;
+  EXPECT_FALSE(parse_u64("-1", v));   // strtoull yields 2^64-1
+  EXPECT_FALSE(parse_u64("-0", v));
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("0x10", v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, 18446744073709551615ull);
+}
+
+TEST(OptionSet, ParsesFlagsAndBothValueSpellings) {
+  bool verbose = false;
+  std::string out;
+  OptionSet set("vmn test [options]", "test set");
+  set.add_flag("--verbose", "talk more", &verbose);
+  set.add_string("--out", "<path>", "output file", &out);
+
+  Argv a({"--verbose", "--out", "a.txt"});
+  EXPECT_EQ(set.parse(a.argc(), a.argv()), OptionSet::Result::ok);
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(out, "a.txt");
+
+  Argv b({"--out=b.txt"});
+  EXPECT_EQ(set.parse(b.argc(), b.argv()), OptionSet::Result::ok);
+  EXPECT_EQ(out, "b.txt");
+}
+
+TEST(OptionSet, LaterOptionsOverrideEarlierOnes) {
+  std::string out;
+  OptionSet set("vmn test", "test set");
+  set.add_string("--out", "<path>", "output file", &out);
+  Argv a({"--out", "first", "--out=second"});
+  EXPECT_EQ(set.parse(a.argc(), a.argv()), OptionSet::Result::ok);
+  EXPECT_EQ(out, "second");
+}
+
+TEST(OptionSet, ErrorsNameTheProblem) {
+  bool flag = false;
+  std::string out;
+  OptionSet set("vmn test", "test set");
+  set.add_flag("--flag", "a flag", &flag);
+  set.add_string("--out", "<path>", "output file", &out);
+
+  testing::internal::CaptureStderr();
+  Argv unknown({"--bogus"});
+  EXPECT_EQ(set.parse(unknown.argc(), unknown.argv()),
+            OptionSet::Result::error);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("--bogus"),
+            std::string::npos);
+
+  // A value option at end of argv must not invent an empty value.
+  testing::internal::CaptureStderr();
+  Argv missing({"--out"});
+  EXPECT_EQ(set.parse(missing.argc(), missing.argv()),
+            OptionSet::Result::error);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("--out"),
+            std::string::npos);
+
+  // A flag given =value is an error, not silently ignored.
+  testing::internal::CaptureStderr();
+  Argv flagged({"--flag=yes"});
+  EXPECT_EQ(set.parse(flagged.argc(), flagged.argv()),
+            OptionSet::Result::error);
+  testing::internal::GetCapturedStderr();
+  EXPECT_FALSE(flag);
+}
+
+TEST(OptionSet, RejectingApplyCallbackReportsTheOptionName) {
+  OptionSet set("vmn test", "test set");
+  set.add_value("--jobs", "<n>", "worker count",
+                [](const std::string& text, std::string& error) {
+                  long long n = 0;
+                  if (!parse_int(text, 1, 64, n)) {
+                    error = "want an integer in [1, 64]";
+                    return false;
+                  }
+                  return true;
+                });
+  testing::internal::CaptureStderr();
+  Argv a({"--jobs", "-2"});
+  EXPECT_EQ(set.parse(a.argc(), a.argv()), OptionSet::Result::error);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("--jobs"), std::string::npos) << err;
+}
+
+TEST(OptionSet, HelpIsImplicitAndListsDeclaredOptions) {
+  bool flag = false;
+  OptionSet set("vmn test [options]", "one-line summary");
+  set.add_flag("--flag", "a documented flag", &flag);
+
+  const std::string usage = set.usage();
+  EXPECT_NE(usage.find("vmn test [options]"), std::string::npos);
+  EXPECT_NE(usage.find("--flag"), std::string::npos);
+  EXPECT_NE(usage.find("a documented flag"), std::string::npos);
+
+  testing::internal::CaptureStdout();
+  Argv a({"--help"});
+  EXPECT_EQ(set.parse(a.argc(), a.argv()), OptionSet::Result::help);
+  EXPECT_NE(testing::internal::GetCapturedStdout().find("--flag"),
+            std::string::npos);
+  testing::internal::CaptureStdout();
+  Argv b({"-h"});
+  EXPECT_EQ(set.parse(b.argc(), b.argv()), OptionSet::Result::help);
+  testing::internal::GetCapturedStdout();
+}
+
+TEST(OptionSet, PositionalsCollectedOnlyWhenRequested) {
+  std::string out;
+  OptionSet set("vmn test <file>", "test set");
+  set.add_string("--out", "<path>", "output file", &out);
+
+  std::vector<std::string> pos;
+  Argv a({"spec.vmn", "--out", "x", "extra"});
+  EXPECT_EQ(set.parse(a.argc(), a.argv(), &pos), OptionSet::Result::ok);
+  EXPECT_EQ(pos, (std::vector<std::string>{"spec.vmn", "extra"}));
+
+  testing::internal::CaptureStderr();
+  Argv b({"spec.vmn"});
+  EXPECT_EQ(set.parse(b.argc(), b.argv()), OptionSet::Result::error);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("spec.vmn"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vmn::cli

@@ -14,6 +14,7 @@
 
 #include "core/error.hpp"
 #include "scenarios/enterprise.hpp"
+#include "verify/engine.hpp"
 #include "verify/faults.hpp"
 #include "verify/parallel.hpp"
 #include "verify/result_cache.hpp"
@@ -222,21 +223,21 @@ TEST(CrashLoop, DeterministicCrasherIsQuarantinedAndFleetSurvives) {
   // the surviving/respawned workers with verdicts equal to the fault-free
   // run.
   scenarios::Enterprise e = small_enterprise();
-  ParallelBatchResult reference =
-      ParallelVerifier(e.model, thread_opts()).verify_all(e.invariants);
+  BatchResult reference =
+      Engine(e.model, thread_opts()).run_batch(e.invariants);
 
   ParallelOptions opts = process_opts();
   opts.verify.faults = FaultPlan::parse("crash-job=0");
-  ParallelBatchResult r =
-      ParallelVerifier(e.model, opts).verify_all(e.invariants);
+  BatchResult r =
+      Engine(e.model, opts).run_batch(e.invariants);
 
   EXPECT_EQ(r.degradation.quarantined, 1u);
-  EXPECT_EQ(r.jobs_abandoned, 1u);  // quarantined subset of abandoned
-  EXPECT_EQ(r.workers_crashed, 2u);  // the two kills that convicted it
+  EXPECT_EQ(r.pool.jobs_abandoned, 1u);  // quarantined subset of abandoned
+  EXPECT_EQ(r.pool.workers_crashed, 2u);  // the two kills that convicted it
   EXPECT_GE(r.degradation.workers_respawned, 1u);
   EXPECT_TRUE(r.degradation.degraded());
   EXPECT_FALSE(r.degradation.reasons.empty());
-  EXPECT_EQ(r.degradation.completed, r.jobs_executed - 1);
+  EXPECT_EQ(r.degradation.completed, r.pool.jobs_executed - 1);
 
   // Never-flip: every verdict the faulted run answered matches the
   // fault-free run; only the quarantined job (and its symmetry
@@ -261,15 +262,15 @@ TEST(Deadline, ExpiryYieldsPartialResultsWithAccurateCounters) {
   scenarios::Enterprise e = small_enterprise();
   ParallelOptions opts = thread_opts();
   opts.deadline = std::chrono::milliseconds(1);
-  ParallelBatchResult r =
-      ParallelVerifier(e.model, opts).verify_all(e.invariants);
+  BatchResult r =
+      Engine(e.model, opts).run_batch(e.invariants);
 
   EXPECT_TRUE(r.degradation.deadline_expired);
   EXPECT_TRUE(r.degradation.degraded());
   EXPECT_GE(r.degradation.deadline_abandoned, 1u);
   EXPECT_EQ(r.degradation.completed + r.degradation.deadline_abandoned,
-            r.jobs_executed);
-  EXPECT_EQ(r.jobs_abandoned, r.degradation.deadline_abandoned);
+            r.pool.jobs_executed);
+  EXPECT_EQ(r.pool.jobs_abandoned, r.degradation.deadline_abandoned);
   EXPECT_FALSE(r.degradation.reasons.empty());
   ASSERT_EQ(r.results.size(), e.invariants.size());
   std::size_t unknowns = 0;
@@ -286,14 +287,14 @@ TEST(Escalation, TransientUnknownsAreRetriedAndRescued) {
   // escalation retry (bumped timeout, perturbed seed) runs fault-free and
   // must rescue every one of them - counters tell the story exactly.
   scenarios::Enterprise e = small_enterprise(4);
-  ParallelBatchResult reference =
-      ParallelVerifier(e.model, thread_opts()).verify_all(e.invariants);
+  BatchResult reference =
+      Engine(e.model, thread_opts()).run_batch(e.invariants);
 
   ParallelOptions faulted = thread_opts();
   faulted.verify.faults = FaultPlan::parse("seed=11,solver-unknown=1");
-  ParallelBatchResult r =
-      ParallelVerifier(e.model, faulted).verify_all(e.invariants);
-  EXPECT_EQ(r.degradation.escalations, r.jobs_executed);
+  BatchResult r =
+      Engine(e.model, faulted).run_batch(e.invariants);
+  EXPECT_EQ(r.degradation.escalations, r.pool.jobs_executed);
   EXPECT_EQ(r.degradation.escalations_rescued, r.degradation.escalations);
   EXPECT_FALSE(r.degradation.degraded());  // every verdict recovered
   ASSERT_EQ(r.results.size(), reference.results.size());
@@ -301,21 +302,14 @@ TEST(Escalation, TransientUnknownsAreRetriedAndRescued) {
     EXPECT_EQ(r.results[i].outcome, reference.results[i].outcome) << i;
     EXPECT_NE(r.results[i].outcome, Outcome::unknown) << i;
   }
-  // The counters survive the BatchResult projection (what the CLI and
-  // bench emitters read).
-  const std::size_t escalations = r.degradation.escalations;
-  const BatchResult batch = std::move(r).to_batch();
-  EXPECT_EQ(batch.escalations, escalations);
-  EXPECT_EQ(batch.escalations_rescued, escalations);
-
   // Persistent faults are counted but not rescued: solver-timeout holds
   // at every attempt, so escalation fires and fails, and every verdict
   // stays unknown.
   ParallelOptions timeouts = thread_opts();
   timeouts.verify.faults = FaultPlan::parse("seed=11,solver-timeout=1");
-  ParallelBatchResult t =
-      ParallelVerifier(e.model, timeouts).verify_all(e.invariants);
-  EXPECT_EQ(t.degradation.escalations, t.jobs_executed);
+  BatchResult t =
+      Engine(e.model, timeouts).run_batch(e.invariants);
+  EXPECT_EQ(t.degradation.escalations, t.pool.jobs_executed);
   EXPECT_EQ(t.degradation.escalations_rescued, 0u);
   for (const VerifyResult& res : t.results) {
     EXPECT_EQ(res.outcome, Outcome::unknown);
@@ -326,8 +320,8 @@ TEST(Escalation, TransientUnknownsAreRetriedAndRescued) {
   ParallelOptions off = thread_opts();
   off.verify.faults = FaultPlan::parse("seed=11,solver-unknown=1");
   off.verify.escalate_unknown = false;
-  ParallelBatchResult n =
-      ParallelVerifier(e.model, off).verify_all(e.invariants);
+  BatchResult n =
+      Engine(e.model, off).run_batch(e.invariants);
   EXPECT_EQ(n.degradation.escalations, 0u);
   for (const VerifyResult& res : n.results) {
     EXPECT_EQ(res.outcome, Outcome::unknown);
@@ -341,9 +335,9 @@ TEST(Escalation, SequentialEngineCountsEscalationsToo) {
   VerifyOptions opts;
   opts.solver.seed = 7;
   opts.faults = FaultPlan::parse("seed=11,solver-unknown=1");
-  BatchResult r = Verifier(e.model, opts).verify_all(e.invariants, true);
-  EXPECT_GT(r.escalations, 0u);
-  EXPECT_EQ(r.escalations_rescued, r.escalations);
+  BatchResult r = Engine(e.model, opts).run_batch(e.invariants, true);
+  EXPECT_GT(r.degradation.escalations, 0u);
+  EXPECT_EQ(r.degradation.escalations_rescued, r.degradation.escalations);
   for (const VerifyResult& res : r.results) {
     EXPECT_NE(res.outcome, Outcome::unknown);
   }

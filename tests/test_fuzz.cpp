@@ -7,6 +7,7 @@
 #include "io/spec.hpp"
 #include "scenarios/random.hpp"
 #include "verify/fuzz.hpp"
+#include "verify/engine.hpp"
 #include "verify/parallel.hpp"
 
 namespace vmn {
@@ -57,9 +58,9 @@ TEST(RandomSpec, ShapeKeysStableAcrossReparses) {
   verify::ParallelOptions popts;
   popts.verify.max_failures = scenarios::derived_max_failures(first.model);
   const auto plan_a =
-      verify::ParallelVerifier(first.model, popts).plan(first.invariants);
+      verify::Engine(first.model, popts).plan(first.invariants);
   const auto plan_b =
-      verify::ParallelVerifier(second.model, popts).plan(second.invariants);
+      verify::Engine(second.model, popts).plan(second.invariants);
   ASSERT_EQ(plan_a.jobs.size(), plan_b.jobs.size());
   for (std::size_t i = 0; i < plan_a.jobs.size(); ++i) {
     EXPECT_EQ(plan_a.jobs[i].canonical_key, plan_b.jobs[i].canonical_key);

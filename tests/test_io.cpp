@@ -6,6 +6,7 @@
 #include "mbox/firewall.hpp"
 #include "mbox/load_balancer.hpp"
 #include "mbox/nat.hpp"
+#include "verify/engine.hpp"
 #include "verify/verifier.hpp"
 
 namespace vmn::io {
@@ -52,9 +53,9 @@ TEST(SpecParse, TinyNetworkStructure) {
 
 TEST(SpecParse, ParsedNetworkVerifies) {
   Spec spec = parse_spec_string(kTiny);
-  verify::Verifier v(spec.model);
+  verify::Engine v(spec.model);
   for (std::size_t i = 0; i < spec.invariants.size(); ++i) {
-    EXPECT_EQ(v.verify(spec.invariants[i]).outcome, *spec.expectations[i]);
+    EXPECT_EQ(v.run_one(spec.invariants[i]).outcome, *spec.expectations[i]);
   }
 }
 
@@ -223,9 +224,9 @@ TEST(SpecRoundTrip, StructurePreserved) {
     EXPECT_EQ(spec.invariants[i].kind, again.invariants[i].kind);
   }
   // And the reparsed network verifies identically.
-  verify::Verifier v(again.model);
+  verify::Engine v(again.model);
   for (std::size_t i = 0; i < again.invariants.size(); ++i) {
-    EXPECT_EQ(v.verify(again.invariants[i]).outcome, *again.expectations[i]);
+    EXPECT_EQ(v.run_one(again.invariants[i]).outcome, *again.expectations[i]);
   }
 }
 
@@ -249,9 +250,9 @@ TEST(SpecLoad, ExampleSpecParsesAndVerifies) {
   Spec spec = load_spec(std::string(VMN_SOURCE_DIR) +
                         "/examples/specs/enterprise.vmn");
   EXPECT_EQ(spec.invariants.size(), 4u);
-  verify::Verifier v(spec.model);
+  verify::Engine v(spec.model);
   for (std::size_t i = 0; i < spec.invariants.size(); ++i) {
-    EXPECT_EQ(v.verify(spec.invariants[i]).outcome, *spec.expectations[i])
+    EXPECT_EQ(v.run_one(spec.invariants[i]).outcome, *spec.expectations[i])
         << "invariant " << i;
   }
 }

@@ -8,6 +8,7 @@
 #include "scenarios/enterprise.hpp"
 #include "scenarios/isp.hpp"
 #include "scenarios/multitenant.hpp"
+#include "verify/engine.hpp"
 #include "verify/verifier.hpp"
 
 namespace vmn {
@@ -15,7 +16,7 @@ namespace {
 
 using encode::Invariant;
 using verify::Outcome;
-using verify::Verifier;
+using verify::Engine;
 using verify::VerifyOptions;
 
 // -- enterprise sizes ---------------------------------------------------------
@@ -27,8 +28,8 @@ TEST_P(EnterpriseMatrix, AllPoliciesHoldAtEverySize) {
   p.subnets = 3 * (1 + GetParam());
   p.hosts_per_subnet = 1 + GetParam() % 2;
   auto ent = scenarios::make_enterprise(p);
-  Verifier v(ent.model);
-  auto batch = v.verify_all(ent.invariants, true);
+  Engine v(ent.model);
+  auto batch = v.run_batch(ent.invariants, true);
   for (std::size_t i = 0; i < ent.invariants.size(); ++i) {
     EXPECT_EQ(batch.results[i].outcome, Outcome::holds) << "invariant " << i;
   }
@@ -50,12 +51,12 @@ TEST_P(RulesSeeds, ExactlyBrokenPairsAreViolated) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 1);
   inject_misconfig(dc, scenarios::DcMisconfig::rules, rng,
                    1 + GetParam() % 3);
-  Verifier v(dc.model);
+  Engine v(dc.model);
   auto invs = dc.isolation_invariants();
   for (std::size_t g = 0; g < invs.size(); ++g) {
     const bool broken =
         dc.pair_broken(static_cast<int>(g), (static_cast<int>(g) + 1) % 4);
-    EXPECT_EQ(v.verify(invs[g]).outcome,
+    EXPECT_EQ(v.run_one(invs[g]).outcome,
               broken ? Outcome::violated : Outcome::holds)
         << "seed " << GetParam() << " group " << g;
   }
@@ -78,8 +79,8 @@ TEST_P(RedundancySeeds, ViolationOnlyUnderFailureBudget) {
   VerifyOptions f0;
   VerifyOptions f1;
   f1.max_failures = 1;
-  EXPECT_EQ(Verifier(dc.model, f0).verify(inv).outcome, Outcome::holds);
-  EXPECT_EQ(Verifier(dc.model, f1).verify(inv).outcome, Outcome::violated);
+  EXPECT_EQ(Engine(dc.model, f0).run_one(inv).outcome, Outcome::holds);
+  EXPECT_EQ(Engine(dc.model, f1).run_one(inv).outcome, Outcome::violated);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RedundancySeeds, ::testing::Range(0, 4));
@@ -98,15 +99,15 @@ TEST_P(IspMatrix, PoliciesHoldAcrossTopologies) {
   p.peering_points = GetParam().peering;
   p.subnets = GetParam().subnets;
   auto isp = scenarios::make_isp(p);
-  Verifier v(isp.model);
+  Engine v(isp.model);
   auto invs = isp.invariants();
   for (std::size_t i = 0; i < invs.size(); ++i) {
-    EXPECT_EQ(v.verify(invs[i]).outcome, Outcome::holds)
+    EXPECT_EQ(v.run_one(invs[i]).outcome, Outcome::holds)
         << "peering=" << GetParam().peering
         << " subnets=" << GetParam().subnets << " invariant " << i;
   }
   if (GetParam().peering >= 2) {
-    EXPECT_EQ(v.verify(isp.attacked_subnet_isolation()).outcome,
+    EXPECT_EQ(v.run_one(isp.attacked_subnet_isolation()).outcome,
               Outcome::holds);
   }
 }
@@ -127,9 +128,9 @@ TEST_P(TenantMatrix, SecurityGroupsHoldAcrossPlacements) {
   p.public_vms_per_tenant = 1 + GetParam() % 3;
   p.private_vms_per_tenant = 1 + (GetParam() + 1) % 3;
   auto mt = scenarios::make_multitenant(p);
-  Verifier v(mt.model);
+  Engine v(mt.model);
   for (const Invariant& inv : mt.invariants()) {
-    EXPECT_EQ(v.verify(inv).outcome, Outcome::holds)
+    EXPECT_EQ(v.run_one(inv).outcome, Outcome::holds)
         << "config " << GetParam();
   }
 }
@@ -145,16 +146,16 @@ TEST(SliceBounds, FlowParallelScenariosHaveConstantSlices) {
     scenarios::EnterpriseParams ep;
     ep.subnets = 3 * scale;
     auto ent = scenarios::make_enterprise(ep);
-    Verifier v(ent.model);
-    auto r = v.verify(ent.invariants[1]);
+    Engine v(ent.model);
+    auto r = v.run_one(ent.invariants[1]);
     EXPECT_LE(r.slice_size, 4u) << "enterprise scale " << scale;
 
     scenarios::MultiTenantParams mp;
     mp.tenants = 2 * scale;
     mp.servers = 2 * scale;
     auto mt = scenarios::make_multitenant(mp);
-    Verifier vm(mt.model);
-    EXPECT_LE(vm.verify(mt.priv_priv()).slice_size, 4u)
+    Engine vm(mt.model);
+    EXPECT_LE(vm.run_one(mt.priv_priv()).slice_size, 4u)
         << "tenants " << mp.tenants;
   }
 }

@@ -1,4 +1,4 @@
-// ParallelVerifier tests: agreement with the sequential engine, determinism
+// Engine tests: agreement with the sequential engine, determinism
 // under a fixed solver seed regardless of worker count, counterexample
 // validity under concurrency, job planning, the SolverPool contract, and
 // the process backend - verdict agreement with the thread backend on every
@@ -17,6 +17,7 @@
 #include "scenarios/multitenant.hpp"
 #include "scenarios/segmented.hpp"
 #include "util.hpp"
+#include "verify/engine.hpp"
 #include "verify/parallel.hpp"
 #include "verify/verifier.hpp"
 
@@ -39,11 +40,11 @@ ParallelOptions with_jobs(std::size_t jobs) {
 void expect_agreement(const encode::NetworkModel& model, const Batch& batch) {
   VerifyOptions seq_opts;
   seq_opts.solver.seed = 7;
-  Verifier sequential(model, seq_opts);
-  BatchResult expected = sequential.verify_all(batch.invariants,
+  Engine sequential(model, seq_opts);
+  BatchResult expected = sequential.run_batch(batch.invariants,
                                                /*use_symmetry=*/true);
-  ParallelVerifier parallel(model, with_jobs(1));
-  ParallelBatchResult got = parallel.verify_all(batch.invariants);
+  Engine parallel(model, with_jobs(1));
+  BatchResult got = parallel.run_batch(batch.invariants);
   ASSERT_EQ(got.results.size(), expected.results.size());
   for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
     EXPECT_EQ(got.results[i].outcome, expected.results[i].outcome)
@@ -151,9 +152,9 @@ TEST(Parallel, DeterministicAcrossFourWorkerRuns) {
   p.hosts_per_subnet = 1;
   scenarios::Enterprise e = scenarios::make_enterprise(p);
 
-  ParallelVerifier v(e.model, with_jobs(4));
-  ParallelBatchResult first = v.verify_all(e.invariants);
-  ParallelBatchResult second = v.verify_all(e.invariants);
+  Engine v(e.model, with_jobs(4));
+  BatchResult first = v.run_batch(e.invariants);
+  BatchResult second = v.run_batch(e.invariants);
   ASSERT_EQ(first.results.size(), second.results.size());
   for (std::size_t i = 0; i < first.results.size(); ++i) {
     EXPECT_EQ(first.results[i].outcome, second.results[i].outcome) << i;
@@ -165,8 +166,8 @@ TEST(Parallel, DeterministicAcrossFourWorkerRuns) {
     EXPECT_EQ(first.results[i].by_symmetry, second.results[i].by_symmetry)
         << i;
   }
-  EXPECT_EQ(first.jobs_executed, second.jobs_executed);
-  EXPECT_EQ(first.symmetry_hits, second.symmetry_hits);
+  EXPECT_EQ(first.pool.jobs_executed, second.pool.jobs_executed);
+  EXPECT_EQ(first.pool.symmetry_hits, second.pool.symmetry_hits);
 }
 
 TEST(Parallel, ViolatedSlicesYieldCounterexamplesConcurrently) {
@@ -187,8 +188,8 @@ TEST(Parallel, ViolatedSlicesYieldCounterexamplesConcurrently) {
                       Prefix(Address::of(10, 0, 0, 0), 8), AclAction::allow});
   fw->replace_acl(acl);
 
-  ParallelVerifier v(e.model, with_jobs(4));
-  ParallelBatchResult r = v.verify_all(e.invariants);
+  Engine v(e.model, with_jobs(4));
+  BatchResult r = v.run_batch(e.invariants);
   std::size_t violated = 0;
   for (std::size_t i = 0; i < e.invariants.size(); ++i) {
     const VerifyResult& res = r.results[i];
@@ -212,7 +213,7 @@ TEST(Parallel, PlanPartitionsTheBatch) {
   p.subnets = 6;
   p.hosts_per_subnet = 2;
   scenarios::Enterprise e = scenarios::make_enterprise(p);
-  ParallelVerifier v(e.model, with_jobs(2));
+  Engine v(e.model, with_jobs(2));
   JobPlan plan = v.plan(e.invariants);
 
   // Every invariant is answered exactly once: either as a representative or
@@ -236,7 +237,7 @@ TEST(Parallel, PlanPartitionsTheBatch) {
   // Without symmetry, one job per invariant.
   ParallelOptions no_sym = with_jobs(2);
   no_sym.use_symmetry = false;
-  JobPlan flat = ParallelVerifier(e.model, no_sym).plan(e.invariants);
+  JobPlan flat = Engine(e.model, no_sym).plan(e.invariants);
   EXPECT_EQ(flat.jobs.size(), e.invariants.size());
   EXPECT_EQ(flat.symmetry_hits, 0u);
 }
@@ -254,10 +255,10 @@ void expect_warm_matches_cold(const encode::NetworkModel& model,
   ParallelOptions cold = with_jobs(2);
   cold.verify.warm_solving = false;
 
-  ParallelBatchResult warm_r =
-      ParallelVerifier(model, warm).verify_all(batch.invariants);
-  ParallelBatchResult cold_r =
-      ParallelVerifier(model, cold).verify_all(batch.invariants);
+  BatchResult warm_r =
+      Engine(model, warm).run_batch(batch.invariants);
+  BatchResult cold_r =
+      Engine(model, cold).run_batch(batch.invariants);
   ASSERT_EQ(warm_r.results.size(), cold_r.results.size());
   for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
     EXPECT_EQ(warm_r.results[i].outcome, cold_r.results[i].outcome)
@@ -376,10 +377,10 @@ TEST(WarmSolving, MatchesColdWhenOutcomesGoUnknown) {
   ParallelOptions cold = warm;
   cold.verify.warm_solving = false;
 
-  ParallelBatchResult warm_r =
-      ParallelVerifier(dc.model, warm).verify_all(batch.invariants);
-  ParallelBatchResult cold_r =
-      ParallelVerifier(dc.model, cold).verify_all(batch.invariants);
+  BatchResult warm_r =
+      Engine(dc.model, warm).run_batch(batch.invariants);
+  BatchResult cold_r =
+      Engine(dc.model, cold).run_batch(batch.invariants);
   for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
     if (warm_r.results[i].outcome != Outcome::unknown ||
         cold_r.results[i].outcome != Outcome::unknown) {
@@ -406,20 +407,20 @@ TEST(WarmSolving, SequentialBatchReusesOneSessionAcrossSameShapeJobs) {
                                        Invariant::reachable(n.b, n.a)};
   VerifyOptions opts;
   opts.solver.seed = 7;
-  Verifier v(n.model, opts);
-  BatchResult batch = v.verify_all(invariants, /*use_symmetry=*/true);
+  Engine v(n.model, opts);
+  BatchResult batch = v.run_batch(invariants, /*use_symmetry=*/true);
   EXPECT_EQ(batch.warm_binds, 1u);
   EXPECT_EQ(batch.warm_reuses, 2u);
 
   // A 1-worker parallel run hands the whole shape-run to one warm session;
   // with more workers than shape-runs the run is split to restore fan-out
   // (warm reuse traded for concurrency), so every job gets its own context.
-  ParallelBatchResult pr =
-      ParallelVerifier(n.model, with_jobs(1)).verify_all(invariants);
+  BatchResult pr =
+      Engine(n.model, with_jobs(1)).run_batch(invariants);
   EXPECT_EQ(pr.warm_binds, 1u);
   EXPECT_EQ(pr.warm_reuses, 2u);
-  ParallelBatchResult split =
-      ParallelVerifier(n.model, with_jobs(4)).verify_all(invariants);
+  BatchResult split =
+      Engine(n.model, with_jobs(4)).run_batch(invariants);
   EXPECT_EQ(split.warm_binds, 3u);
   EXPECT_EQ(split.warm_reuses, 0u);
   for (std::size_t i = 0; i < invariants.size(); ++i) {
@@ -433,7 +434,7 @@ TEST(Planner, SharesTransferFunctionsAcrossTheWholePlan) {
   p.subnets = 6;
   p.hosts_per_subnet = 2;
   scenarios::Enterprise e = scenarios::make_enterprise(p);
-  ParallelVerifier v(e.model, with_jobs(2));
+  Engine v(e.model, with_jobs(2));
   JobPlan plan = v.plan(e.invariants);
   // One TransferFunction per in-budget scenario for the whole pass; every
   // further request - across compute_slice, canonical keys and all six
@@ -452,7 +453,7 @@ TEST(Planner, OrdersSameShapeJobsAdjacently) {
   scenarios::Datacenter dc = scenarios::make_datacenter(p);
   ParallelOptions no_sym = with_jobs(2);
   no_sym.use_symmetry = false;  // keep every invariant: more shape repeats
-  JobPlan plan = ParallelVerifier(dc.model, no_sym).plan(dc.batch().invariants);
+  JobPlan plan = Engine(dc.model, no_sym).plan(dc.batch().invariants);
   // Equal member sets must form contiguous runs (what the engines turn
   // into warm reuse), and ids must stay positional after the reorder.
   std::set<std::vector<NodeId>> seen_shapes;
@@ -486,17 +487,17 @@ TEST(IsoWarm, DatacenterBatchRebindsIsomorphicSlices) {
   ParallelOptions warm = with_jobs(2);
   ParallelOptions cold = with_jobs(2);
   cold.verify.warm_solving = false;
-  ParallelBatchResult warm_r =
-      ParallelVerifier(dc.model, warm).verify_all(batch.invariants);
-  ParallelBatchResult cold_r =
-      ParallelVerifier(dc.model, cold).verify_all(batch.invariants);
+  BatchResult warm_r =
+      Engine(dc.model, warm).run_batch(batch.invariants);
+  BatchResult cold_r =
+      Engine(dc.model, cold).run_batch(batch.invariants);
 
   EXPECT_GT(warm_r.iso_mapped, 0u);
   EXPECT_GT(warm_r.iso_reuses, 0u);
   EXPECT_EQ(cold_r.iso_mapped, 0u);
   EXPECT_EQ(cold_r.iso_reuses, 0u);
   // Rebinding merges encodings, never verdicts: jobs stay jobs.
-  EXPECT_EQ(warm_r.jobs_executed, cold_r.jobs_executed);
+  EXPECT_EQ(warm_r.pool.jobs_executed, cold_r.pool.jobs_executed);
   for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
     EXPECT_EQ(warm_r.results[i].outcome, cold_r.results[i].outcome) << i;
     EXPECT_EQ(warm_r.results[i].raw_status, cold_r.results[i].raw_status) << i;
@@ -523,8 +524,8 @@ TEST(IsoWarm, SequentialEngineEncodesWithZeroTransferBuilds) {
   const Batch batch = dc.batch();
   VerifyOptions opts;
   opts.solver.seed = 7;
-  Verifier v(dc.model, opts);
-  BatchResult r = v.verify_all(batch.invariants, /*use_symmetry=*/true);
+  Engine v(dc.model, opts);
+  BatchResult r = v.run_batch(batch.invariants, /*use_symmetry=*/true);
   EXPECT_EQ(r.encode_transfer_builds, 0u);
   EXPECT_GT(r.encode_transfer_reuses, 0u);
   EXPECT_GT(r.iso_reuses, 0u);
@@ -545,8 +546,8 @@ TEST(IsoWarm, ThreadWorkersNeverBuildATransferFunctionTwice) {
   scenarios::Datacenter dc = scenarios::make_datacenter(p);
   const Batch batch = dc.batch();
   ParallelOptions opts = with_jobs(2);
-  ParallelBatchResult r =
-      ParallelVerifier(dc.model, opts).verify_all(batch.invariants);
+  BatchResult r =
+      Engine(dc.model, opts).run_batch(batch.invariants);
   const std::size_t scenarios = dc.model.network().scenarios().size();
   EXPECT_LE(r.encode_transfer_builds, 2 * scenarios);  // <= workers x scenarios
 }
@@ -575,9 +576,9 @@ TEST(IsoWarm, RelabeledWitnessNamesTheActualSlicesHosts) {
   ASSERT_TRUE(found) << "no seed produced two distinct broken pairs";
   const Batch batch = dc.batch();
 
-  ParallelVerifier v(dc.model, with_jobs(1));
+  Engine v(dc.model, with_jobs(1));
   JobPlan plan = v.plan(batch.invariants);
-  ParallelBatchResult r = v.verify_all(batch.invariants);
+  BatchResult r = v.run_batch(batch.invariants);
 
   const net::Network& net = dc.model.network();
   std::size_t violated_reps = 0;
@@ -642,14 +643,14 @@ struct FaultGuard {
 
 void expect_process_matches_thread(const encode::NetworkModel& model,
                                    const Batch& batch) {
-  ParallelBatchResult thread_r =
-      ParallelVerifier(model, with_jobs(2)).verify_all(batch.invariants);
-  ParallelBatchResult process_r =
-      ParallelVerifier(model, process_opts(2)).verify_all(batch.invariants);
-  EXPECT_GT(process_r.workers_spawned, 0u);
-  EXPECT_EQ(process_r.workers_crashed, 0u);
-  EXPECT_EQ(process_r.jobs_abandoned, 0u);
-  EXPECT_EQ(process_r.jobs_executed, thread_r.jobs_executed);
+  BatchResult thread_r =
+      Engine(model, with_jobs(2)).run_batch(batch.invariants);
+  BatchResult process_r =
+      Engine(model, process_opts(2)).run_batch(batch.invariants);
+  EXPECT_GT(process_r.pool.workers_spawned, 0u);
+  EXPECT_EQ(process_r.pool.workers_crashed, 0u);
+  EXPECT_EQ(process_r.pool.jobs_abandoned, 0u);
+  EXPECT_EQ(process_r.pool.jobs_executed, thread_r.pool.jobs_executed);
   ASSERT_EQ(process_r.results.size(), thread_r.results.size());
   for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
     EXPECT_EQ(process_r.results[i].outcome, thread_r.results[i].outcome)
@@ -751,12 +752,12 @@ void expect_process_warm_matches_cold(const encode::NetworkModel& model,
   ASSERT_TRUE(warm.verify.warm_solving);  // the default
   ParallelOptions cold = process_opts(2);
   cold.verify.warm_solving = false;
-  ParallelBatchResult warm_r =
-      ParallelVerifier(model, warm).verify_all(batch.invariants);
-  ParallelBatchResult cold_r =
-      ParallelVerifier(model, cold).verify_all(batch.invariants);
-  EXPECT_EQ(warm_r.jobs_abandoned, 0u);
-  EXPECT_EQ(cold_r.jobs_abandoned, 0u);
+  BatchResult warm_r =
+      Engine(model, warm).run_batch(batch.invariants);
+  BatchResult cold_r =
+      Engine(model, cold).run_batch(batch.invariants);
+  EXPECT_EQ(warm_r.pool.jobs_abandoned, 0u);
+  EXPECT_EQ(cold_r.pool.jobs_abandoned, 0u);
   EXPECT_EQ(cold_r.warm_reuses, 0u);
   EXPECT_EQ(cold_r.iso_reuses, 0u);
   ASSERT_EQ(warm_r.results.size(), cold_r.results.size());
@@ -795,8 +796,8 @@ TEST(ProcessBackend, WarmMatchesColdOnDatacenter) {
   scenarios::Datacenter dc = scenarios::make_datacenter(p);
   const Batch batch = dc.batch();
   expect_process_warm_matches_cold(dc.model, batch);
-  ParallelBatchResult warm_r =
-      ParallelVerifier(dc.model, process_opts(2)).verify_all(batch.invariants);
+  BatchResult warm_r =
+      Engine(dc.model, process_opts(2)).run_batch(batch.invariants);
   EXPECT_GT(warm_r.iso_mapped, 0u);
   EXPECT_GT(warm_r.iso_reuses, 0u);
 }
@@ -843,8 +844,8 @@ TEST(ProcessBackend, ViolatedVerdictsShipTracesAcrossTheProcessBoundary) {
                       Prefix(Address::of(10, 0, 0, 0), 8), AclAction::allow});
   fw->replace_acl(acl);
 
-  ParallelBatchResult r =
-      ParallelVerifier(e.model, process_opts(2)).verify_all(e.invariants);
+  BatchResult r =
+      Engine(e.model, process_opts(2)).run_batch(e.invariants);
   std::size_t violated = 0;
   for (std::size_t i = 0; i < e.invariants.size(); ++i) {
     const VerifyResult& res = r.results[i];
@@ -872,17 +873,17 @@ TEST(ProcessBackend, SurvivesAKilledWorkerMidBatch) {
   p.subnets = 6;
   p.hosts_per_subnet = 1;
   scenarios::Enterprise e = scenarios::make_enterprise(p);
-  ParallelBatchResult reference =
-      ParallelVerifier(e.model, with_jobs(2)).verify_all(e.invariants);
+  BatchResult reference =
+      Engine(e.model, with_jobs(2)).run_batch(e.invariants);
 
   FaultGuard fault("kill:0");
-  ParallelBatchResult r =
-      ParallelVerifier(e.model, process_opts(2)).verify_all(e.invariants);
-  EXPECT_EQ(r.workers_spawned, 3u);  // initial fleet of 2 + 1 respawn
-  EXPECT_EQ(r.workers_crashed, 1u);
+  BatchResult r =
+      Engine(e.model, process_opts(2)).run_batch(e.invariants);
+  EXPECT_EQ(r.pool.workers_spawned, 3u);  // initial fleet of 2 + 1 respawn
+  EXPECT_EQ(r.pool.workers_crashed, 1u);
   EXPECT_EQ(r.degradation.workers_respawned, 1u);
-  EXPECT_GE(r.jobs_requeued, 1u);
-  EXPECT_EQ(r.jobs_abandoned, 0u);
+  EXPECT_GE(r.pool.jobs_requeued, 1u);
+  EXPECT_EQ(r.pool.jobs_abandoned, 0u);
   EXPECT_FALSE(r.degradation.degraded());
   ASSERT_EQ(r.results.size(), reference.results.size());
   for (std::size_t i = 0; i < e.invariants.size(); ++i) {
@@ -901,10 +902,10 @@ TEST(ProcessBackend, BoundedRetriesEndInUnknownWhenEveryWorkerDies) {
   scenarios::Enterprise e = scenarios::make_enterprise(p);
 
   FaultGuard fault("kill-all");
-  ParallelBatchResult r =
-      ParallelVerifier(e.model, process_opts(2)).verify_all(e.invariants);
-  EXPECT_EQ(r.workers_crashed, r.workers_spawned);
-  EXPECT_EQ(r.jobs_abandoned, r.jobs_executed);
+  BatchResult r =
+      Engine(e.model, process_opts(2)).run_batch(e.invariants);
+  EXPECT_EQ(r.pool.workers_crashed, r.pool.workers_spawned);
+  EXPECT_EQ(r.pool.jobs_abandoned, r.pool.jobs_executed);
   EXPECT_EQ(r.solver_calls, 0u);
   ASSERT_EQ(r.results.size(), e.invariants.size());
   for (std::size_t i = 0; i < e.invariants.size(); ++i) {

@@ -20,6 +20,7 @@
 #include "scenarios/isp.hpp"
 #include "scenarios/multitenant.hpp"
 #include "sim/simulator.hpp"
+#include "verify/engine.hpp"
 #include "verify/verifier.hpp"
 
 namespace vmn {
@@ -27,7 +28,7 @@ namespace {
 
 using encode::Invariant;
 using verify::Outcome;
-using verify::Verifier;
+using verify::Engine;
 using verify::VerifyOptions;
 
 // -- HSA vs scalar transfer function ----------------------------------------
@@ -186,14 +187,14 @@ ProxyNet make_proxy_net() {
 
 TEST(Proxy, ReoriginatesButPreservesProvenance) {
   ProxyNet n = make_proxy_net();
-  Verifier v(n.model);
+  Engine v(n.model);
   // The server never sees the client's address (anonymization)...
-  EXPECT_EQ(v.verify(Invariant::node_isolation(n.server, n.client)).outcome,
+  EXPECT_EQ(v.run_one(Invariant::node_isolation(n.server, n.client)).outcome,
             Outcome::holds);
   // ...but server-origin data can reach the client through the proxy: the
   // origin abstraction survives re-origination, so data isolation is
   // correctly reported violated (no laundering).
-  EXPECT_EQ(v.verify(Invariant::data_isolation(n.client, n.server)).outcome,
+  EXPECT_EQ(v.run_one(Invariant::data_isolation(n.client, n.server)).outcome,
             Outcome::violated);
 }
 
@@ -201,13 +202,13 @@ TEST(Proxy, SliceIncludesRepresentativesAndAgreesWithFull) {
   ProxyNet n = make_proxy_net();
   VerifyOptions full;
   full.use_slices = false;
-  Verifier vs(n.model);
-  Verifier vf(n.model, full);
+  Engine vs(n.model);
+  Engine vf(n.model, full);
   for (const Invariant& inv :
        {Invariant::data_isolation(n.other, n.server),
         Invariant::node_isolation(n.server, n.other),
         Invariant::reachable(n.server, n.client)}) {
-    EXPECT_EQ(vs.verify(inv).outcome, vf.verify(inv).outcome);
+    EXPECT_EQ(vs.run_one(inv).outcome, vf.run_one(inv).outcome);
   }
 }
 
@@ -242,10 +243,10 @@ TEST_P(MultiTenantAgreement, SliceAndFullAgree) {
   auto mt = scenarios::make_multitenant(p);
   VerifyOptions full;
   full.use_slices = false;
-  Verifier vs(mt.model);
-  Verifier vf(mt.model, full);
+  Engine vs(mt.model);
+  Engine vf(mt.model, full);
   for (const Invariant& inv : mt.invariants()) {
-    EXPECT_EQ(vs.verify(inv).outcome, vf.verify(inv).outcome);
+    EXPECT_EQ(vs.run_one(inv).outcome, vf.run_one(inv).outcome);
   }
 }
 

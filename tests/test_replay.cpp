@@ -12,6 +12,7 @@
 #include "scenarios/multitenant.hpp"
 #include "scenarios/segmented.hpp"
 #include "sim/replay.hpp"
+#include "verify/engine.hpp"
 #include "verify/verifier.hpp"
 
 namespace vmn {
@@ -19,7 +20,7 @@ namespace {
 
 using encode::Invariant;
 using verify::Outcome;
-using verify::Verifier;
+using verify::Engine;
 using verify::VerifyOptions;
 
 /// Verifies `invariants` (symmetry off, so every result carries its own
@@ -29,7 +30,7 @@ int replay_all(encode::NetworkModel& model,
                const std::vector<Invariant>& invariants, int max_failures) {
   VerifyOptions opts;
   opts.max_failures = max_failures;
-  const auto batch = Verifier(model, opts).verify_all(invariants, false);
+  const auto batch = Engine(model, opts).run_batch(invariants, false);
   const net::Network& net = model.network();
   int replayed = 0;
   for (std::size_t i = 0; i < invariants.size(); ++i) {
@@ -73,7 +74,7 @@ TEST(Replay, DatacenterRedundancyMisconfigRealizesInFailureScenario) {
   VerifyOptions opts;
   opts.max_failures = 1;
   const auto invariants = dc.isolation_invariants();
-  const auto batch = Verifier(dc.model, opts).verify_all(invariants, false);
+  const auto batch = Engine(dc.model, opts).run_batch(invariants, false);
   int realized_in_failure = 0;
   for (std::size_t i = 0; i < invariants.size(); ++i) {
     const verify::VerifyResult& r = batch.results[i];

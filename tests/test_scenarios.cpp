@@ -8,6 +8,7 @@
 #include "scenarios/enterprise.hpp"
 #include "scenarios/isp.hpp"
 #include "scenarios/multitenant.hpp"
+#include "verify/engine.hpp"
 #include "verify/verifier.hpp"
 
 namespace vmn::scenarios {
@@ -15,7 +16,7 @@ namespace {
 
 using encode::Invariant;
 using verify::Outcome;
-using verify::Verifier;
+using verify::Engine;
 using verify::VerifyOptions;
 
 VerifyOptions with_failures(int k) {
@@ -30,9 +31,9 @@ TEST(EnterpriseScenario, AllInvariantsHoldWhenCorrect) {
   EnterpriseParams p;
   p.subnets = 6;
   Enterprise ent = make_enterprise(p);
-  Verifier v(ent.model);
+  Engine v(ent.model);
   for (std::size_t i = 0; i < ent.invariants.size(); ++i) {
-    EXPECT_EQ(v.verify(ent.invariants[i]).outcome, Outcome::holds)
+    EXPECT_EQ(v.run_one(ent.invariants[i]).outcome, Outcome::holds)
         << "invariant " << i;
   }
 }
@@ -69,12 +70,12 @@ DatacenterParams small_dc(bool storage = false) {
 
 TEST(DatacenterScenario, CleanConfigHolds) {
   Datacenter dc = make_datacenter(small_dc());
-  Verifier v(dc.model, with_failures(1));
+  Engine v(dc.model, with_failures(1));
   for (const Invariant& inv : dc.isolation_invariants()) {
-    EXPECT_EQ(v.verify(inv).outcome, Outcome::holds);
+    EXPECT_EQ(v.run_one(inv).outcome, Outcome::holds);
   }
   for (const Invariant& inv : dc.traversal_invariants()) {
-    EXPECT_EQ(v.verify(inv).outcome, Outcome::holds);
+    EXPECT_EQ(v.run_one(inv).outcome, Outcome::holds);
   }
 }
 
@@ -83,12 +84,12 @@ TEST(DatacenterScenario, RulesMisconfigurationDetected) {
   Rng rng(7);
   inject_misconfig(dc, DcMisconfig::rules, rng, /*strength=*/1);
   ASSERT_FALSE(dc.broken_pairs.empty());
-  Verifier v(dc.model);
+  Engine v(dc.model);
   auto invs = dc.isolation_invariants();
   for (std::size_t g = 0; g < invs.size(); ++g) {
     const bool broken = dc.pair_broken(static_cast<int>(g),
                                        (static_cast<int>(g) + 1) % 3);
-    EXPECT_EQ(v.verify(invs[g]).outcome,
+    EXPECT_EQ(v.run_one(invs[g]).outcome,
               broken ? Outcome::violated : Outcome::holds)
         << "group " << g;
   }
@@ -102,11 +103,11 @@ TEST(DatacenterScenario, RedundancyMisconfigurationNeedsFailure) {
   const int g = dc.broken_pairs[0].first;
   Invariant inv = dc.isolation_invariants()[static_cast<std::size_t>(g)];
   // Invisible without failures...
-  Verifier v0(dc.model, with_failures(0));
-  EXPECT_EQ(v0.verify(inv).outcome, Outcome::holds);
+  Engine v0(dc.model, with_failures(0));
+  EXPECT_EQ(v0.run_one(inv).outcome, Outcome::holds);
   // ...but caught under a single-failure budget.
-  Verifier v1(dc.model, with_failures(1));
-  EXPECT_EQ(v1.verify(inv).outcome, Outcome::violated);
+  Engine v1(dc.model, with_failures(1));
+  EXPECT_EQ(v1.run_one(inv).outcome, Outcome::violated);
 }
 
 TEST(DatacenterScenario, TraversalMisconfigurationNeedsFailure) {
@@ -114,29 +115,29 @@ TEST(DatacenterScenario, TraversalMisconfigurationNeedsFailure) {
   Rng rng(13);
   inject_misconfig(dc, DcMisconfig::traversal, rng);
   Invariant inv = dc.traversal_invariants()[0];
-  Verifier v0(dc.model, with_failures(0));
-  EXPECT_EQ(v0.verify(inv).outcome, Outcome::holds);
-  Verifier v1(dc.model, with_failures(1));
-  EXPECT_EQ(v1.verify(inv).outcome, Outcome::violated);
+  Engine v0(dc.model, with_failures(0));
+  EXPECT_EQ(v0.run_one(inv).outcome, Outcome::holds);
+  Engine v1(dc.model, with_failures(1));
+  EXPECT_EQ(v1.run_one(inv).outcome, Outcome::violated);
 }
 
 // -- data isolation (5.2) --------------------------------------------------------
 
 TEST(DataIsolationScenario, CleanConfigHolds) {
   Datacenter dc = make_datacenter(small_dc(/*storage=*/true));
-  Verifier v(dc.model);
+  Engine v(dc.model);
   for (const Invariant& inv : dc.data_isolation_invariants()) {
-    EXPECT_EQ(v.verify(inv).outcome, Outcome::holds);
+    EXPECT_EQ(v.run_one(inv).outcome, Outcome::holds);
   }
 }
 
 TEST(DataIsolationScenario, PublicDataIsReachableAcrossGroups) {
   Datacenter dc = make_datacenter(small_dc(/*storage=*/true));
-  Verifier v(dc.model);
+  Engine v(dc.model);
   // Group 1's client can fetch group 0's *public* server data.
   Invariant inv =
       Invariant::reachable(dc.group_clients[1][0], dc.public_servers[0]);
-  EXPECT_EQ(v.verify(inv).outcome, Outcome::holds);
+  EXPECT_EQ(v.run_one(inv).outcome, Outcome::holds);
 }
 
 TEST(DataIsolationScenario, CacheAclDeletionViolatesIsolation) {
@@ -145,15 +146,15 @@ TEST(DataIsolationScenario, CacheAclDeletionViolatesIsolation) {
   inject_misconfig(dc, DcMisconfig::cache_acl, rng, 1);
   ASSERT_FALSE(dc.broken_pairs.empty());
   const auto [g, d] = dc.broken_pairs[0];
-  Verifier v(dc.model);
+  Engine v(dc.model);
   Invariant broken = dc.data_isolation_invariants()[static_cast<std::size_t>(g)];
-  EXPECT_EQ(v.verify(broken).outcome, Outcome::violated);
+  EXPECT_EQ(v.run_one(broken).outcome, Outcome::violated);
   // Unaffected groups stay isolated.
   const int other = (g + 1) % 3;
   if (!dc.pair_broken(other, (other + 1) % 3)) {
     Invariant ok =
         dc.data_isolation_invariants()[static_cast<std::size_t>(other)];
-    EXPECT_EQ(v.verify(ok).outcome, Outcome::holds);
+    EXPECT_EQ(v.run_one(ok).outcome, Outcome::holds);
   }
 }
 
@@ -166,10 +167,10 @@ TEST(MultiTenantScenario, SecurityGroupInvariants) {
   p.public_vms_per_tenant = 2;
   p.private_vms_per_tenant = 2;
   MultiTenant mt = make_multitenant(p);
-  Verifier v(mt.model);
-  EXPECT_EQ(v.verify(mt.priv_priv()).outcome, Outcome::holds);
-  EXPECT_EQ(v.verify(mt.pub_priv()).outcome, Outcome::holds);
-  EXPECT_EQ(v.verify(mt.priv_pub()).outcome, Outcome::holds);
+  Engine v(mt.model);
+  EXPECT_EQ(v.run_one(mt.priv_priv()).outcome, Outcome::holds);
+  EXPECT_EQ(v.run_one(mt.pub_priv()).outcome, Outcome::holds);
+  EXPECT_EQ(v.run_one(mt.priv_pub()).outcome, Outcome::holds);
 }
 
 TEST(MultiTenantScenario, SameTenantReachesItsPrivateVm) {
@@ -179,10 +180,10 @@ TEST(MultiTenantScenario, SameTenantReachesItsPrivateVm) {
   p.public_vms_per_tenant = 2;
   p.private_vms_per_tenant = 2;
   MultiTenant mt = make_multitenant(p);
-  Verifier v(mt.model);
+  Engine v(mt.model);
   Invariant inv =
       Invariant::reachable(mt.private_vms[0][0], mt.public_vms[0][1]);
-  EXPECT_EQ(v.verify(inv).outcome, Outcome::holds);
+  EXPECT_EQ(v.run_one(inv).outcome, Outcome::holds);
 }
 
 TEST(MultiTenantScenario, CrossTenantReachableOnlyAsReply) {
@@ -190,16 +191,16 @@ TEST(MultiTenantScenario, CrossTenantReachableOnlyAsReply) {
   p.tenants = 2;
   p.servers = 2;
   MultiTenant mt = make_multitenant(p);
-  Verifier v(mt.model);
+  Engine v(mt.model);
   // A cross-tenant packet CAN arrive at the private VM - but only as the
   // reply to a flow the private VM initiated (hole punching): positive
   // reachability holds while flow isolation also holds.
   Invariant reach =
       Invariant::reachable(mt.private_vms[1][0], mt.public_vms[0][0]);
-  EXPECT_EQ(v.verify(reach).outcome, Outcome::holds);
+  EXPECT_EQ(v.run_one(reach).outcome, Outcome::holds);
   Invariant iso = Invariant::flow_isolation(mt.private_vms[1][1],
                                             mt.public_vms[0][1]);
-  EXPECT_EQ(v.verify(iso).outcome, Outcome::holds);
+  EXPECT_EQ(v.run_one(iso).outcome, Outcome::holds);
 }
 
 // -- ISP with intrusion detection (5.3.3) -------------------------------------------
@@ -209,9 +210,9 @@ TEST(IspScenario, CleanConfigHolds) {
   p.peering_points = 2;
   p.subnets = 3;
   Isp isp = make_isp(p);
-  Verifier v(isp.model);
+  Engine v(isp.model);
   for (const Invariant& inv : isp.invariants()) {
-    EXPECT_EQ(v.verify(inv).outcome, Outcome::holds);
+    EXPECT_EQ(v.run_one(inv).outcome, Outcome::holds);
   }
 }
 
@@ -221,8 +222,8 @@ TEST(IspScenario, CorrectScrubRerouteKeepsIsolation) {
   p.subnets = 3;
   p.scrub_bypasses_firewalls = false;
   Isp isp = make_isp(p);
-  Verifier v(isp.model);
-  EXPECT_EQ(v.verify(isp.attacked_subnet_isolation()).outcome, Outcome::holds);
+  Engine v(isp.model);
+  EXPECT_EQ(v.run_one(isp.attacked_subnet_isolation()).outcome, Outcome::holds);
 }
 
 TEST(IspScenario, MisconfiguredScrubRerouteViolatesIsolation) {
@@ -231,8 +232,8 @@ TEST(IspScenario, MisconfiguredScrubRerouteViolatesIsolation) {
   p.subnets = 3;
   p.scrub_bypasses_firewalls = true;
   Isp isp = make_isp(p);
-  Verifier v(isp.model);
-  verify::VerifyResult r = v.verify(isp.attacked_subnet_isolation());
+  Engine v(isp.model);
+  verify::VerifyResult r = v.run_one(isp.attacked_subnet_isolation());
   EXPECT_EQ(r.outcome, Outcome::violated);
   ASSERT_TRUE(r.counterexample.has_value());
 }

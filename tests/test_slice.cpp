@@ -17,6 +17,7 @@
 #include "slice/slice.hpp"
 #include "slice/symmetry.hpp"
 #include "util.hpp"
+#include "verify/engine.hpp"
 #include "verify/verifier.hpp"
 
 namespace vmn::slice {
@@ -172,11 +173,11 @@ TEST_P(SliceAgreement, SliceAndFullNetworkAgree) {
   sliced.use_slices = true;
   verify::VerifyOptions full;
   full.use_slices = false;
-  verify::Verifier vs(ent.model, sliced);
-  verify::Verifier vf(ent.model, full);
+  verify::Engine vs(ent.model, sliced);
+  verify::Engine vf(ent.model, full);
   for (const Invariant& inv : ent.invariants) {
-    verify::VerifyResult rs = vs.verify(inv);
-    verify::VerifyResult rf = vf.verify(inv);
+    verify::VerifyResult rs = vs.run_one(inv);
+    verify::VerifyResult rf = vf.run_one(inv);
     EXPECT_EQ(rs.outcome, rf.outcome)
         << inv.describe([&](NodeId n) { return ent.model.network().name(n); });
     EXPECT_LE(rs.slice_size, rf.slice_size);
@@ -288,12 +289,12 @@ TEST_P(RandomSliceSoundness, SlicedVerdictMatchesWholeNetwork) {
   sliced.use_slices = true;
   verify::VerifyOptions full;
   full.use_slices = false;
-  verify::Verifier vs(n.model, sliced);
-  verify::Verifier vf(n.model, full);
+  verify::Engine vs(n.model, sliced);
+  verify::Engine vf(n.model, full);
   for (int k = 0; k < 2; ++k) {
     Invariant inv = random_invariant(rng, n.hosts);
-    verify::VerifyResult rs = vs.verify(inv);
-    verify::VerifyResult rf = vf.verify(inv);
+    verify::VerifyResult rs = vs.run_one(inv);
+    verify::VerifyResult rf = vf.run_one(inv);
     EXPECT_EQ(rs.outcome, rf.outcome)
         << "seed " << GetParam() << " "
         << inv.describe(
@@ -483,10 +484,10 @@ TEST(CanonicalKey, BatchNeverInheritsAcrossDifferentIdpsModes) {
   net.table(s2).add_from(i2, pb2, b2);
   net.table(s2).add(pa, s0);
 
-  verify::Verifier v(model);
+  verify::Engine v(model);
   const std::vector<Invariant> batch = {Invariant::no_malicious_delivery(b1),
                                         Invariant::no_malicious_delivery(b2)};
-  verify::BatchResult r = v.verify_all(batch, /*use_symmetry=*/true);
+  verify::BatchResult r = v.run_batch(batch, /*use_symmetry=*/true);
   EXPECT_EQ(r.results[0].outcome, verify::Outcome::holds);
   EXPECT_EQ(r.results[1].outcome, verify::Outcome::violated);
   EXPECT_FALSE(r.results[1].by_symmetry);
@@ -500,10 +501,10 @@ TEST(CanonicalKey, BatchNeverInheritsAcrossDifferentConfigs) {
   // segment would unsoundly inherit "holds" from the deny segment.
   TwoSegments n =
       two_firewall_segments(mbox::AclAction::deny, mbox::AclAction::allow);
-  verify::Verifier v(n.model);
+  verify::Engine v(n.model);
   const std::vector<Invariant> batch = {Invariant::node_isolation(n.b1, n.a1),
                                         Invariant::node_isolation(n.b2, n.a2)};
-  verify::BatchResult r = v.verify_all(batch, /*use_symmetry=*/true);
+  verify::BatchResult r = v.run_batch(batch, /*use_symmetry=*/true);
   EXPECT_EQ(r.results[0].outcome, verify::Outcome::holds);
   EXPECT_EQ(r.results[1].outcome, verify::Outcome::violated);
   EXPECT_FALSE(r.results[1].by_symmetry);
@@ -530,11 +531,11 @@ void expect_all_senders_sound(const encode::NetworkModel& model,
   verify::VerifyOptions full;
   full.use_slices = false;
   full.solver.seed = 7;
-  verify::Verifier vs(model, sliced);
-  verify::Verifier vf(model, full);
+  verify::Engine vs(model, sliced);
+  verify::Engine vf(model, full);
   for (const Invariant& inv : invariants) {
-    verify::VerifyResult rs = vs.verify(inv);
-    verify::VerifyResult rf = vf.verify(inv);
+    verify::VerifyResult rs = vs.run_one(inv);
+    verify::VerifyResult rf = vf.run_one(inv);
     EXPECT_EQ(rs.outcome, rf.outcome)
         << label << " "
         << inv.describe([&](NodeId n) { return model.network().name(n); });
@@ -704,7 +705,7 @@ TEST(PolicyClasses, TargetAwareRepresentativesReachTheTarget) {
   EXPECT_EQ(wrong.outcome, verify::Outcome::holds);
   verify::VerifyOptions full;
   full.use_slices = false;
-  verify::VerifyResult truth = verify::Verifier(s.model, full).verify(inv);
+  verify::VerifyResult truth = verify::Engine(s.model, full).run_one(inv);
   EXPECT_EQ(truth.outcome, verify::Outcome::violated);
 }
 
@@ -754,13 +755,13 @@ TEST(PolicyClasses, PathAwareSignaturesCatchWithinSegmentBypass) {
                            "within-segment-bypass");
   verify::VerifyOptions full;
   full.use_slices = false;
-  verify::Verifier truth(model, full);
-  EXPECT_EQ(truth.verify(Invariant::no_malicious_delivery(srv)).outcome,
+  verify::Engine truth(model, full);
+  EXPECT_EQ(truth.run_one(Invariant::no_malicious_delivery(srv)).outcome,
             verify::Outcome::violated);
 }
 
 TEST(PolicyClasses, InferenceToleratesForwardingLoopsOutsideTheSlice) {
-  // Class inference walks the whole dataplane at Verifier construction; a
+  // Class inference walks the whole dataplane at Engine construction; a
   // static forwarding loop confined to one island must not make every
   // unrelated invariant unverifiable (it counts as undeliverable for the
   // relation), while an invariant whose slice actually walks the looping
@@ -786,10 +787,10 @@ TEST(PolicyClasses, InferenceToleratesForwardingLoopsOutsideTheSlice) {
   net.table(l1).add(Prefix::host(Address::of(10, 9, 0, 2)), l2);
   net.table(l2).add(Prefix::host(Address::of(10, 9, 0, 2)), l1);
 
-  verify::Verifier v(model);  // must not throw
-  verify::VerifyResult healthy = v.verify(Invariant::reachable(b, a));
+  verify::Engine v(model);  // must not throw
+  verify::VerifyResult healthy = v.run_one(Invariant::reachable(b, a));
   EXPECT_EQ(healthy.outcome, verify::Outcome::holds);
-  EXPECT_THROW((void)v.verify(Invariant::node_isolation(d, c)),
+  EXPECT_THROW((void)v.run_one(Invariant::node_isolation(d, c)),
                ForwardingLoopError);
 }
 
@@ -797,8 +798,8 @@ TEST(CanonicalKey, SymmetricSegmentsStillDedupUnderRefinedClasses) {
   // Refinement must not over-split: the two segments' all-senders checks
   // are genuinely isomorphic, so the batch still merges them.
   scenarios::Segmented s = scenarios::make_segmented({});
-  verify::Verifier v(s.model);
-  verify::BatchResult r = v.verify_all(s.invariants, /*use_symmetry=*/true);
+  verify::Engine v(s.model);
+  verify::BatchResult r = v.run_batch(s.invariants, /*use_symmetry=*/true);
   EXPECT_EQ(r.solver_calls, 2u);  // one no-malicious job + one traversal job
   for (std::size_t i = 0; i < r.results.size(); ++i) {
     EXPECT_EQ(r.results[i].outcome, verify::Outcome::holds) << i;
@@ -812,8 +813,8 @@ TEST(CanonicalKey, BatchNeverInheritsAcrossSegmentsWithDifferentRouting) {
   scenarios::SegmentedParams p;
   p.bypass_segment = 1;
   scenarios::Segmented s = scenarios::make_segmented(p);
-  verify::Verifier v(s.model);
-  verify::BatchResult r = v.verify_all(s.invariants, /*use_symmetry=*/true);
+  verify::Engine v(s.model);
+  verify::BatchResult r = v.run_batch(s.invariants, /*use_symmetry=*/true);
   ASSERT_EQ(r.results.size(), s.invariants.size());
   for (std::size_t i = 0; i < r.results.size(); ++i) {
     const verify::Outcome expected = s.expected_holds[i]

@@ -10,6 +10,7 @@
 #include "scenarios/enterprise.hpp"
 #include "slice/policy.hpp"
 #include "slice/symmetry.hpp"
+#include "verify/engine.hpp"
 #include "verify/verifier.hpp"
 
 namespace vmn::slice {
@@ -111,9 +112,9 @@ TEST(Symmetry, SameClassHostsShareGroup) {
 
 TEST(Symmetry, BatchVerificationAgreesWithExhaustive) {
   Enterprise ent = enterprise(9);
-  verify::Verifier v(ent.model);
-  verify::BatchResult symmetric = v.verify_all(ent.invariants, true);
-  verify::BatchResult exhaustive = v.verify_all(ent.invariants, false);
+  verify::Engine v(ent.model);
+  verify::BatchResult symmetric = v.run_batch(ent.invariants, true);
+  verify::BatchResult exhaustive = v.run_batch(ent.invariants, false);
   ASSERT_EQ(symmetric.results.size(), exhaustive.results.size());
   for (std::size_t i = 0; i < symmetric.results.size(); ++i) {
     EXPECT_EQ(symmetric.results[i].outcome, exhaustive.results[i].outcome)
@@ -126,8 +127,8 @@ TEST(Symmetry, BatchVerificationAgreesWithExhaustive) {
 
 TEST(Symmetry, InheritedResultsAreMarked) {
   Enterprise ent = enterprise(6);
-  verify::Verifier v(ent.model);
-  verify::BatchResult batch = v.verify_all(ent.invariants, true);
+  verify::Engine v(ent.model);
+  verify::BatchResult batch = v.run_batch(ent.invariants, true);
   std::size_t inherited = 0;
   for (const auto& r : batch.results) {
     if (r.by_symmetry) ++inherited;

@@ -13,6 +13,7 @@
 #include "mbox/wan_optimizer.hpp"
 #include "smt/solver.hpp"
 #include "util.hpp"
+#include "verify/engine.hpp"
 #include "verify/verifier.hpp"
 
 namespace vmn::verify {
@@ -29,8 +30,8 @@ constexpr Address kB = OneBoxNet::addr_b();
 TEST(Verify, OpenFirewallViolatesIsolationWithTrace) {
   OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::LearningFirewall>(
       "fw", std::vector<AclEntry>{}, AclAction::allow));
-  Verifier v(n.model);
-  VerifyResult r = v.verify(Invariant::node_isolation(n.b, n.a));
+  Engine v(n.model);
+  VerifyResult r = v.run_one(Invariant::node_isolation(n.b, n.a));
   EXPECT_EQ(r.outcome, Outcome::violated);
   ASSERT_TRUE(r.counterexample.has_value());
   // The trace must contain a's send and b's reception of an a-sourced packet.
@@ -46,12 +47,12 @@ TEST(Verify, OpenFirewallViolatesIsolationWithTrace) {
 TEST(Verify, ClosedFirewallIsolationHolds) {
   OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::LearningFirewall>(
       "fw", std::vector<AclEntry>{}, AclAction::deny));
-  Verifier v(n.model);
-  VerifyResult r = v.verify(Invariant::node_isolation(n.b, n.a));
+  Engine v(n.model);
+  VerifyResult r = v.run_one(Invariant::node_isolation(n.b, n.a));
   EXPECT_EQ(r.outcome, Outcome::holds);
   EXPECT_FALSE(r.counterexample.has_value());
   // And nothing is reachable either.
-  EXPECT_EQ(v.verify(Invariant::reachable(n.b, n.a)).outcome,
+  EXPECT_EQ(v.run_one(Invariant::reachable(n.b, n.a)).outcome,
             Outcome::violated);
 }
 
@@ -63,46 +64,46 @@ TEST(Verify, FirewallHolePunchingFlowIsolation) {
       std::vector<AclEntry>{{Prefix::host(kA), Prefix::host(kB),
                              AclAction::allow}},
       AclAction::deny));
-  Verifier v(n.model);
-  EXPECT_EQ(v.verify(Invariant::flow_isolation(n.a, n.b)).outcome,
+  Engine v(n.model);
+  EXPECT_EQ(v.run_one(Invariant::flow_isolation(n.a, n.b)).outcome,
             Outcome::holds);
-  EXPECT_EQ(v.verify(Invariant::node_isolation(n.a, n.b)).outcome,
+  EXPECT_EQ(v.run_one(Invariant::node_isolation(n.a, n.b)).outcome,
             Outcome::violated);  // replies do arrive
-  EXPECT_EQ(v.verify(Invariant::reachable(n.b, n.a)).outcome, Outcome::holds);
+  EXPECT_EQ(v.run_one(Invariant::reachable(n.b, n.a)).outcome, Outcome::holds);
 }
 
 TEST(Verify, IdpsBlocksMaliciousDelivery) {
   OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::Idps>("idps"));
-  Verifier v(n.model);
-  EXPECT_EQ(v.verify(Invariant::no_malicious_delivery(n.b)).outcome,
+  Engine v(n.model);
+  EXPECT_EQ(v.run_one(Invariant::no_malicious_delivery(n.b)).outcome,
             Outcome::holds);
   // Benign traffic still flows.
-  EXPECT_EQ(v.verify(Invariant::reachable(n.b, n.a)).outcome, Outcome::holds);
+  EXPECT_EQ(v.run_one(Invariant::reachable(n.b, n.a)).outcome, Outcome::holds);
 }
 
 TEST(Verify, MonitorIdpsDoesNotBlock) {
   OneBoxNet n = OneBoxNet::make(
       std::make_unique<mbox::Idps>("ids", /*drop_malicious=*/false));
-  Verifier v(n.model);
-  EXPECT_EQ(v.verify(Invariant::no_malicious_delivery(n.b)).outcome,
+  Engine v(n.model);
+  EXPECT_EQ(v.run_one(Invariant::no_malicious_delivery(n.b)).outcome,
             Outcome::violated);
 }
 
 TEST(Verify, TraversalThroughChainedBox) {
   OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::Idps>("idps"));
-  Verifier v(n.model);
-  EXPECT_EQ(v.verify(Invariant::traversal_from(n.b, n.a, "idps")).outcome,
+  Engine v(n.model);
+  EXPECT_EQ(v.run_one(Invariant::traversal_from(n.b, n.a, "idps")).outcome,
             Outcome::holds);
   // Requiring traversal of a middlebox type that is not on the path fails.
-  EXPECT_EQ(v.verify(Invariant::traversal_from(n.b, n.a, "scrubber")).outcome,
+  EXPECT_EQ(v.run_one(Invariant::traversal_from(n.b, n.a, "scrubber")).outcome,
             Outcome::violated);
 }
 
 TEST(Verify, GatewayIsTransparent) {
   OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::Gateway>("gw"));
-  Verifier v(n.model);
-  EXPECT_EQ(v.verify(Invariant::reachable(n.b, n.a)).outcome, Outcome::holds);
-  EXPECT_EQ(v.verify(Invariant::node_isolation(n.b, n.a)).outcome,
+  Engine v(n.model);
+  EXPECT_EQ(v.run_one(Invariant::reachable(n.b, n.a)).outcome, Outcome::holds);
+  EXPECT_EQ(v.run_one(Invariant::node_isolation(n.b, n.a)).outcome,
             Outcome::violated);
 }
 
@@ -139,20 +140,20 @@ NatNet make_nat_net(Prefix internal) {
 
 TEST(Verify, NatHidesInternalAddress) {
   NatNet n = make_nat_net(Prefix(Address::of(10, 0, 0, 0), 8));
-  Verifier v(n.model);
+  Engine v(n.model);
   // The outside host never sees a packet with the internal source address:
   // the NAT rewrites sources to its external address.
-  EXPECT_EQ(v.verify(Invariant::node_isolation(n.outside, n.inside)).outcome,
+  EXPECT_EQ(v.run_one(Invariant::node_isolation(n.outside, n.inside)).outcome,
             Outcome::holds);
 }
 
 TEST(Verify, NatMappingAdmitsReturnTraffic) {
   NatNet n = make_nat_net(Prefix(Address::of(10, 0, 0, 0), 8));
-  Verifier v(n.model);
+  Engine v(n.model);
   // Paper Listing 2 is a full-cone NAT: once the inside host opens any
   // mapping, outside traffic to that mapping reaches it - so the inside
   // host is NOT node-isolated from outside.
-  EXPECT_EQ(v.verify(Invariant::node_isolation(n.inside, n.outside)).outcome,
+  EXPECT_EQ(v.run_one(Invariant::node_isolation(n.inside, n.outside)).outcome,
             Outcome::violated);
 }
 
@@ -160,10 +161,10 @@ TEST(Verify, NatWithoutInternalHostsBlocksEverything) {
   // The internal prefix matches nobody: the NAT never creates mappings and
   // never translates, so nothing crosses it in either direction.
   NatNet n = make_nat_net(Prefix(Address::of(192, 168, 0, 0), 16));
-  Verifier v(n.model);
-  EXPECT_EQ(v.verify(Invariant::node_isolation(n.inside, n.outside)).outcome,
+  Engine v(n.model);
+  EXPECT_EQ(v.run_one(Invariant::node_isolation(n.inside, n.outside)).outcome,
             Outcome::holds);
-  EXPECT_EQ(v.verify(Invariant::reachable(n.outside, n.inside)).outcome,
+  EXPECT_EQ(v.run_one(Invariant::reachable(n.outside, n.inside)).outcome,
             Outcome::violated);
 }
 
@@ -203,9 +204,9 @@ CacheNet make_cache_net(std::vector<mbox::CacheAclEntry> acl) {
 
 TEST(Verify, CacheServesCachedDataWhenUnrestricted) {
   CacheNet n = make_cache_net({});
-  Verifier v(n.model);
+  Engine v(n.model);
   // x can end up with server-origin data (fetched directly or via cache).
-  EXPECT_EQ(v.verify(Invariant::data_isolation(n.client_x, n.server)).outcome,
+  EXPECT_EQ(v.run_one(Invariant::data_isolation(n.client_x, n.server)).outcome,
             Outcome::violated);
 }
 
@@ -216,8 +217,8 @@ TEST(Verify, CacheDenyEntryAloneDoesNotIsolate) {
   CacheNet n = make_cache_net(
       {{Prefix::host(Address::of(10, 0, 0, 1)), Address::of(10, 0, 9, 1),
         /*deny=*/true}});
-  Verifier v(n.model);
-  EXPECT_EQ(v.verify(Invariant::data_isolation(n.client_x, n.server)).outcome,
+  Engine v(n.model);
+  EXPECT_EQ(v.run_one(Invariant::data_isolation(n.client_x, n.server)).outcome,
             Outcome::violated);
 }
 
@@ -229,16 +230,16 @@ TEST(Verify, CacheSliceIncludesPolicyRepresentatives) {
   CacheNet n = make_cache_net(
       {{Prefix::host(Address::of(10, 0, 0, 1)), Address::of(10, 0, 9, 1),
         /*deny=*/true}});
-  Verifier v(n.model);
-  VerifyResult r = v.verify(Invariant::data_isolation(n.client_x, n.server));
+  Engine v(n.model);
+  VerifyResult r = v.run_one(Invariant::data_isolation(n.client_x, n.server));
   EXPECT_EQ(r.slice_size, 4u);
 
   // Without the entry every host is policy-equivalent: one representative
   // suffices and the slice is smaller.
   CacheNet plain = make_cache_net({});
-  Verifier v2(plain.model);
+  Engine v2(plain.model);
   VerifyResult r2 =
-      v2.verify(Invariant::data_isolation(plain.client_x, plain.server));
+      v2.run_one(Invariant::data_isolation(plain.client_x, plain.server));
   EXPECT_EQ(r2.slice_size, 3u);
 }
 
@@ -276,9 +277,9 @@ TEST(Verify, WanOptimizerHavocBreaksFlowMatching) {
   // reachability still works. This reproduces the paper's "can result in
   // false positives" behavior for complex packet modifications.
   OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::WanOptimizer>("wo"));
-  Verifier v(n.model);
-  EXPECT_EQ(v.verify(Invariant::reachable(n.b, n.a)).outcome, Outcome::holds);
-  EXPECT_EQ(v.verify(Invariant::flow_isolation(n.a, n.b)).outcome,
+  Engine v(n.model);
+  EXPECT_EQ(v.run_one(Invariant::reachable(n.b, n.a)).outcome, Outcome::holds);
+  EXPECT_EQ(v.run_one(Invariant::flow_isolation(n.a, n.b)).outcome,
             Outcome::violated);
 }
 
@@ -314,8 +315,8 @@ TEST(Verify, FlowConsistentMaliceConstraint) {
 
 TEST(Verify, ResultMetadataPopulated) {
   OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::Gateway>("gw"));
-  Verifier v(n.model);
-  VerifyResult r = v.verify(Invariant::reachable(n.b, n.a));
+  Engine v(n.model);
+  VerifyResult r = v.run_one(Invariant::reachable(n.b, n.a));
   EXPECT_GT(r.slice_size, 0u);
   EXPECT_GT(r.assertion_count, 0u);
   EXPECT_GE(r.total_time.count(), r.solve_time.count());
@@ -328,8 +329,8 @@ TEST(Verify, NoSliceModeUsesWholeNetwork) {
   OneBoxNet n = OneBoxNet::make(std::make_unique<mbox::Gateway>("gw"));
   VerifyOptions opts;
   opts.use_slices = false;
-  Verifier v(n.model, opts);
-  VerifyResult r = v.verify(Invariant::reachable(n.b, n.a));
+  Engine v(n.model, opts);
+  VerifyResult r = v.run_one(Invariant::reachable(n.b, n.a));
   EXPECT_EQ(r.slice_size, 3u);  // a, b, gw - the whole edge set
   EXPECT_EQ(r.outcome, Outcome::holds);
 }

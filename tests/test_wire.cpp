@@ -24,6 +24,7 @@
 #include "slice/symmetry.hpp"
 #include "verify/parallel.hpp"
 #include "verify/solver_pool.hpp"
+#include "verify/engine.hpp"
 #include "verify/verifier.hpp"
 #include "verify/wire.hpp"
 
@@ -230,7 +231,7 @@ void expect_jobs_roundtrip(const encode::NetworkModel& model,
   popts.jobs = 1;
   popts.verify.solver.seed = 7;
   popts.verify.max_failures = max_failures;
-  ParallelVerifier verifier(model, popts);
+  Engine verifier(model, popts);
   JobPlan plan = verifier.plan(batch.invariants);
   ASSERT_FALSE(plan.jobs.empty());
 
@@ -316,7 +317,7 @@ void expect_canonical_keys_survive(const encode::NetworkModel& model,
   popts.jobs = 1;
   popts.verify.solver.seed = 7;
   popts.verify.max_failures = max_failures;
-  JobPlan plan = ParallelVerifier(model, popts).plan(batch.invariants);
+  JobPlan plan = Engine(model, popts).plan(batch.invariants);
   ASSERT_FALSE(plan.jobs.empty());
 
   const std::string full_text = io::write_projected_spec_string(

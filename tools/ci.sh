@@ -11,7 +11,10 @@
 # segmented spec (disconnected segments, identical middlebox configs): its
 # expect clauses encode the whole-network truth, so every backend and
 # symmetry mode must reproduce them, and a cache directory written under a
-# previous key-format version must be rejected (0 hits), then upgraded.
+# previous key-format version must be rejected (0 hits), then upgraded -
+# and finally the serve daemon on a Unix socket: an in-place edit confined
+# to one segment must re-solve only that segment (counter-asserted) with
+# verdicts equal to a cold one-shot run.
 #
 #   tools/ci.sh [build-dir]
 #
@@ -186,9 +189,9 @@ trap 'rm -rf "$cache_dir" "$torn_cache" "$seg_cache"' EXIT
     > /dev/null
 # Demote the freshly written cache to the previous key-format version: the
 # record lines stay byte-identical, only the header says their fingerprints
-# were minted under keys that meant something else. (The current header also
-# carries the spec fingerprint - "v4 spec=<hex>" - which the demotion strips,
-# as a real v1 file never had one.)
+# were minted under keys that meant something else. A version mismatch is
+# the one wholesale rejection v5 retains - spec edits are handled
+# per-record by the model-fingerprint stamps each record carries.
 sed -i '1s/^# vmn-result-cache v[0-9].*$/# vmn-result-cache v1/' \
     "$seg_cache/vmn-results.cache"
 stale_run="$("$build/vmn" verify "$segmented" --batch --jobs 2 \
@@ -211,10 +214,10 @@ if ! echo "$upgraded" | grep -Eq "cache: [1-9][0-9]* hits"; then
   exit 1
 fi
 
-echo "--- smoke: spec edit invalidates the cache file wholesale ---"
-# Same cache dir, different spec: the header's spec fingerprint must reject
-# every record (0 hits - no stale leftovers served), and the flush must
-# restamp the file for the new spec so its own rerun hits again.
+echo "--- smoke: records from another spec never answer a lookup ---"
+# Same cache dir, different spec: no record digest can match (0 hits - no
+# stale leftovers served), the flush retires the other spec's orphaned
+# records, and the new spec's own rerun hits again.
 "$build/vmn" verify "$spec" --batch --jobs 2 --cache-dir "$seg_cache" \
     > /dev/null
 edited="$("$build/vmn" verify "$spec" --batch --jobs 2 --cache-dir "$seg_cache")"
@@ -312,5 +315,90 @@ fi
 if ! "$build/vmn" fuzz --replay "$repro"; then
   echo "ci: reproducer fails even without the injected fault" >&2
   exit 1
+fi
+
+echo "--- smoke: serve daemon (unix socket, incremental one-segment edit) ---"
+# The daemon loads the segmented spec, answers over its Unix socket, and on
+# an in-place edit confined to segment 1 (idps1 flips to monitor mode)
+# re-solves only that segment: the STATS batch counters must show cache
+# hits for segment 0, fewer solver calls than jobs, and the retired
+# orphaned records - with verdicts identical to a cold one-shot run.
+if ! command -v python3 > /dev/null; then
+  echo "ci: serve smoke skipped (needs python3 as the socket client)" >&2
+else
+  serve_dir="$(mktemp -d)"
+  cp "$segmented" "$serve_dir/segmented.vmn"
+  sock="$serve_dir/vmn.sock"
+  "$build/vmn" serve "$serve_dir/segmented.vmn" --socket "$sock" \
+      --poll-interval 50 &
+  serve_pid=$!
+  trap 'kill "$serve_pid" 2> /dev/null || true
+        rm -rf "$cache_dir" "$torn_cache" "$seg_cache" "$bench_dir" \
+               "$inject_dir" "$serve_dir"' EXIT
+
+  # One request line -> one response line over the Unix socket.
+  ask() {
+    python3 -c '
+import socket, sys
+s = socket.socket(socket.AF_UNIX)
+s.settimeout(10)
+s.connect(sys.argv[1])
+s.sendall((sys.argv[2] + "\n").encode())
+buf = b""
+while b"\n" not in buf:
+    chunk = s.recv(4096)
+    if not chunk:
+        break
+    buf += chunk
+sys.stdout.write(buf.decode())' "$sock" "$1"
+  }
+  # Daemon verdict outcomes in invariant order, one per line.
+  daemon_verdicts() {
+    n="$(ask STATUS | sed -n 's/.*invariants=\([0-9]*\).*/\1/p')"
+    for i in $(seq 0 $((n - 1))); do
+      ask "VERDICT $i" | awk '{print $2}'
+    done
+  }
+  wait_for_generation() {
+    for _ in $(seq 1 200); do
+      if ask STATUS 2> /dev/null | grep -q "generation=$1 "; then return 0; fi
+      sleep 0.1
+    done
+    echo "ci: serve daemon never reached generation $1" >&2
+    return 1
+  }
+
+  wait_for_generation 1
+  if ! diff <(daemon_verdicts) \
+      <("$build/vmn" verify "$serve_dir/segmented.vmn" | verdicts \
+        | awk '{print $2}'); then
+    echo "ci: serve verdicts disagree with one-shot verify" >&2
+    exit 1
+  fi
+
+  sed -i 's/^idps idps1$/idps idps1 monitor/' "$serve_dir/segmented.vmn"
+  wait_for_generation 2
+  read -r jobs calls hits dropped <<< "$(ask STATS | python3 -c '
+import json, sys
+b = json.loads(sys.stdin.read().split(" ", 1)[1])["batch"]
+print(b["jobs_executed"], b["solver_calls"], b["cache_hits"],
+      b["cache_records_dropped"])')"
+  if [ "$hits" -eq 0 ] || [ "$calls" -eq 0 ] || [ "$calls" -ge "$jobs" ]; then
+    echo "ci: reload was not incremental ($jobs jobs, $calls solver calls," \
+         "$hits cache hits)" >&2
+    exit 1
+  fi
+  if [ "$dropped" -eq 0 ]; then
+    echo "ci: reload retired no orphaned cache records" >&2
+    exit 1
+  fi
+  if ! diff <(daemon_verdicts) \
+      <("$build/vmn" verify "$serve_dir/segmented.vmn" | verdicts \
+        | awk '{print $2}'); then
+    echo "ci: post-edit serve verdicts disagree with a cold one-shot" >&2
+    exit 1
+  fi
+  kill "$serve_pid"
+  wait "$serve_pid" 2> /dev/null || true
 fi
 echo "ci: OK"

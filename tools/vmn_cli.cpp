@@ -1,10 +1,6 @@
 // vmn - command-line front end.
 //
-//   vmn verify <spec-file> [--no-slices] [--no-symmetry] [--max-failures k]
-//                          [--trace] [--timeout ms] [--batch] [--jobs N]
-//                          [--cache-dir dir] [--no-warm]
-//                          [--backend=thread|process] [--worker-timeout ms]
-//                          [--faults plan] [--deadline ms] [--no-escalate]
+//   vmn verify <spec-file> [options]     (vmn verify --help)
 //       Verifies every invariant declared in the file. Exit codes:
 //         0  every verdict definitive and as expected
 //         1  some invariant with an `expect` clause disagreed
@@ -35,6 +31,17 @@
 //       solver timeout + perturbed seed) that otherwise rescues transient
 //       unknowns.
 //
+//   vmn serve <spec-file> [options]      (vmn serve --help)
+//       Long-running incremental re-verification daemon
+//       (src/verify/serve.hpp): loads the spec, verifies it once, then
+//       answers STATUS / VERDICT <invariant> / RELOAD / STATS over a line
+//       protocol on a Unix socket (--socket; default <spec>.sock) and/or
+//       loopback TCP (--port; 0 = ephemeral). The file is watched (inotify
+//       when available, content polling otherwise); a semantic edit
+//       re-plans and re-solves only the slices whose canonical keys
+//       changed - the warm engine and record-granular result cache carry
+//       everything else across the reload.
+//
 //   vmn worker
 //       Internal: one verification worker of the process backend. Reads
 //       wire-framed model/job frames on stdin, writes result frames to
@@ -43,9 +50,7 @@
 //       it also serves as the single-host template for a future multi-host
 //       dispatcher.
 //
-//   vmn fuzz [--seed S] [--count N] [--jobs N] [--timeout ms]
-//            [--reproducer-dir dir] [--inject-fault] [--faults]
-//            [--replay file.vmn]
+//   vmn fuzz [options]                   (vmn fuzz --help)
 //       Differential fuzzing (src/verify/fuzz.hpp): generates N random
 //       specifications from the seed and runs each through the oracle
 //       battery (engine agreement, warm/cold, symmetry, slices, witness
@@ -70,23 +75,29 @@
 //
 //   vmn dump <spec-file>
 //       Parses and re-serializes the specification (round-trip check).
+//
+// All flag parsing goes through cli::OptionSet (src/cli/options.hpp):
+// strict numerics, --name value and --name=value, per-subcommand --help.
+// All verification goes through verify::Engine (src/verify/engine.hpp);
+// this file never constructs a Verifier or ParallelVerifier.
 #include <unistd.h>
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
-#include <utility>
 #include <vector>
 
+#include "cli/options.hpp"
 #include "dataplane/reach.hpp"
 #include "io/spec.hpp"
 #include "slice/policy.hpp"
+#include "verify/engine.hpp"
 #include "verify/fuzz.hpp"
+#include "verify/serve.hpp"
 #include "verify/wire.hpp"
 #include "vmn.hpp"
 
@@ -104,17 +115,12 @@ constexpr int kExitUsage = 3;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: vmn <verify|audit|classes|dump> <spec-file> [options]\n"
+               "usage: vmn <verify|serve|audit|classes|dump> <spec-file> "
+               "[options]\n"
                "       vmn fuzz [options]   (differential fuzzing)\n"
                "       vmn worker   (wire-protocol worker on stdin/stdout)\n"
-               "  verify options: --no-slices --no-symmetry --max-failures k\n"
-               "                  --trace --timeout ms --batch --jobs N\n"
-               "                  --cache-dir dir --no-warm\n"
-               "                  --backend=thread|process --worker-timeout ms\n"
-               "                  --faults plan --deadline ms --no-escalate\n"
-               "  fuzz options:   --seed S --count N --jobs N --timeout ms\n"
-               "                  --reproducer-dir dir --inject-fault --faults\n"
-               "                  --replay file.vmn\n");
+               "  `vmn <verify|serve|fuzz> --help` lists that subcommand's "
+               "options.\n");
   return kExitUsage;
 }
 
@@ -135,188 +141,217 @@ std::string omega_name(const net::Network& net, NodeId n) {
   return n.valid() ? net.name(n) : std::string("OMEGA");
 }
 
-int cmd_verify(io::Spec& spec, const char* argv0, int argc, char** argv) {
-  verify::VerifyOptions opts;
-  bool want_trace = false;
-  bool use_symmetry = true;
-  bool batch_mode = false;
-  verify::Backend backend = verify::Backend::thread;
-  std::chrono::milliseconds worker_timeout{0};
-  std::chrono::milliseconds deadline{0};
-  std::size_t jobs = 0;  // 0 = hardware concurrency
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--no-slices") == 0) {
-      opts.use_slices = false;
-    } else if (std::strcmp(argv[i], "--no-symmetry") == 0) {
-      use_symmetry = false;
-    } else if (std::strcmp(argv[i], "--max-failures") == 0 && i + 1 < argc) {
-      // Strict parse, like --jobs: atoi silently reads garbage as 0, and a
-      // negative budget must be rejected, not passed through.
-      char* end = nullptr;
-      const long k = std::strtol(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || k < 0) {
-        std::fprintf(stderr,
-                     "--max-failures wants a non-negative integer, got %s\n",
-                     argv[i]);
-        return usage();
-      }
-      opts.max_failures = static_cast<int>(k);
-    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
-      // Strict parse: atoi turned garbage into 0 and a negative count,
-      // wrapped through the uint32_t cast, into a ~49-day timeout.
-      char* end = nullptr;
-      const long long ms = std::strtoll(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || ms <= 0 ||
-          ms > static_cast<long long>(UINT32_MAX)) {
-        std::fprintf(stderr,
-                     "--timeout wants a positive millisecond count, got %s\n",
-                     argv[i]);
-        return usage();
-      }
-      opts.solver.timeout_ms = static_cast<std::uint32_t>(ms);
-    } else if (std::strcmp(argv[i], "--trace") == 0) {
-      want_trace = true;
-    } else if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
-      opts.cache_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--no-warm") == 0) {
-      opts.warm_solving = false;
-    } else if (std::strcmp(argv[i], "--batch") == 0) {
-      batch_mode = true;
-    } else if (std::strncmp(argv[i], "--backend=", 10) == 0 ||
-               (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc)) {
-      const char* name =
-          argv[i][9] == '=' ? argv[i] + 10 : argv[++i];
-      if (std::strcmp(name, "thread") == 0) {
-        backend = verify::Backend::thread;
-      } else if (std::strcmp(name, "process") == 0) {
-        backend = verify::Backend::process;
-      } else {
-        std::fprintf(stderr, "--backend wants thread|process, got %s\n", name);
-        return usage();
-      }
-      batch_mode = true;
-    } else if (std::strcmp(argv[i], "--worker-timeout") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      const long long ms = std::strtoll(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || ms <= 0) {
-        std::fprintf(stderr,
-                     "--worker-timeout wants a positive millisecond count, "
-                     "got %s\n",
-                     argv[i]);
-        return usage();
-      }
-      worker_timeout = std::chrono::milliseconds(ms);
-    } else if (std::strncmp(argv[i], "--faults=", 9) == 0 ||
-               (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc)) {
-      const char* spec_text = argv[i][8] == '=' ? argv[i] + 9 : argv[++i];
-      // FaultPlan::parse throws vmn::Error on bad specs; main maps that
-      // to the usage/internal exit code.
-      opts.faults = verify::FaultPlan::parse(spec_text);
-    } else if (std::strcmp(argv[i], "--deadline") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      const long long ms = std::strtoll(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || ms <= 0) {
-        std::fprintf(stderr,
-                     "--deadline wants a positive millisecond count, got %s\n",
-                     argv[i]);
-        return usage();
-      }
-      deadline = std::chrono::milliseconds(ms);
-      batch_mode = true;  // the deadline is a batch-engine feature
-    } else if (std::strcmp(argv[i], "--no-escalate") == 0) {
-      opts.escalate_unknown = false;
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      const long n = std::strtol(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || n < 0) {
-        std::fprintf(stderr, "--jobs wants a non-negative integer, got %s\n",
-                     argv[i]);
-        return usage();
-      }
-      jobs = static_cast<std::size_t>(n);
-      batch_mode = true;
-    } else {
-      return usage();
-    }
+/// Registers the verification-engine flags shared by `verify` and `serve`
+/// into `set`, writing into `engine` (and `worker_timeout`, folded into
+/// engine.process by finish_engine_flags once parsing settles).
+void add_engine_flags(cli::OptionSet& set, verify::EngineOptions& engine,
+                      std::chrono::milliseconds& worker_timeout) {
+  set.add_flag("--no-slices", "verify on the whole network, not slices",
+               [&engine] { engine.verify.use_slices = false; });
+  set.add_flag("--no-symmetry", "disable canonical-key job dedup",
+               [&engine] { engine.use_symmetry = false; });
+  set.add_value(
+      "--max-failures", "k", "failure budget per scenario sweep",
+      [&engine](const std::string& text, std::string& error) {
+        long long k = 0;
+        if (!cli::parse_int(text, 0, INT32_MAX, k)) {
+          error = "wants a non-negative integer, got " + text;
+          return false;
+        }
+        engine.verify.max_failures = static_cast<int>(k);
+        return true;
+      });
+  set.add_value(
+      "--timeout", "ms", "per-solver-call timeout",
+      [&engine](const std::string& text, std::string& error) {
+        long long ms = 0;
+        if (!cli::parse_int(text, 1, static_cast<long long>(UINT32_MAX),
+                            ms)) {
+          error = "wants a positive millisecond count, got " + text;
+          return false;
+        }
+        engine.verify.solver.timeout_ms = static_cast<std::uint32_t>(ms);
+        return true;
+      });
+  set.add_string("--cache-dir", "dir", "persistent result cache directory",
+                 &engine.verify.cache_dir);
+  set.add_flag("--no-warm", "disable warm solver-context reuse",
+               [&engine] { engine.verify.warm_solving = false; });
+  set.add_flag("--batch", "plan + fan out over a solver pool",
+               [&engine] { engine.batch = true; });
+  set.add_value(
+      "--backend", "thread|process", "solver pool fan-out backend",
+      [&engine](const std::string& text, std::string& error) {
+        if (text == "thread") {
+          engine.backend = verify::Backend::thread;
+        } else if (text == "process") {
+          engine.backend = verify::Backend::process;
+        } else {
+          error = "wants thread|process, got " + text;
+          return false;
+        }
+        engine.batch = true;
+        return true;
+      });
+  set.add_value(
+      "--worker-timeout", "ms", "hang timeout per process-backend worker",
+      [&worker_timeout](const std::string& text, std::string& error) {
+        long long ms = 0;
+        if (!cli::parse_int(text, 1, INT64_MAX, ms)) {
+          error = "wants a positive millisecond count, got " + text;
+          return false;
+        }
+        worker_timeout = std::chrono::milliseconds(ms);
+        return true;
+      });
+  set.add_value(
+      "--faults", "plan", "deterministic fault-injection plan",
+      [&engine](const std::string& text, std::string& error) {
+        try {
+          engine.verify.faults = verify::FaultPlan::parse(text);
+        } catch (const Error& e) {
+          error = e.what();
+          return false;
+        }
+        return true;
+      });
+  set.add_value(
+      "--deadline", "ms", "batch wall-clock budget",
+      [&engine](const std::string& text, std::string& error) {
+        long long ms = 0;
+        if (!cli::parse_int(text, 1, INT64_MAX, ms)) {
+          error = "wants a positive millisecond count, got " + text;
+          return false;
+        }
+        engine.deadline = std::chrono::milliseconds(ms);
+        engine.batch = true;  // the deadline is a batch-engine feature
+        return true;
+      });
+  set.add_flag("--no-escalate", "disable the unknown-escalation retry",
+               [&engine] { engine.verify.escalate_unknown = false; });
+  set.add_value(
+      "--jobs", "N", "pool worker count (0 = hardware concurrency)",
+      [&engine](const std::string& text, std::string& error) {
+        long long n = 0;
+        if (!cli::parse_int(text, 0, INT32_MAX, n)) {
+          error = "wants a non-negative integer, got " + text;
+          return false;
+        }
+        engine.jobs = static_cast<std::size_t>(n);
+        engine.batch = true;
+        return true;
+      });
+}
+
+/// Post-parse fixups shared by verify and serve: wire the process backend
+/// to re-invoke this binary, and warn on no-op combinations.
+void finish_engine_flags(verify::EngineOptions& engine,
+                         std::chrono::milliseconds worker_timeout,
+                         const char* argv0) {
+  if (engine.backend == verify::Backend::process) {
+    engine.process.worker_command = self_worker_command(argv0);
+    engine.process.hang_timeout = worker_timeout;
   }
-  if (spec.invariants.empty()) {
-    std::fprintf(stderr, "spec declares no invariants\n");
-    return kExitUsage;
-  }
-  if (!opts.cache_dir.empty() && !use_symmetry) {
+  if (!engine.verify.cache_dir.empty() && !engine.use_symmetry) {
     std::fprintf(stderr,
                  "warning: --cache-dir has no effect with --no-symmetry "
                  "(cache keys are canonical slice fingerprints, which only "
                  "symmetry planning computes)\n");
   }
+}
+
+/// Extracts the single positional spec-file operand; reports via `set`'s
+/// usage when it is missing or duplicated.
+bool spec_operand(const cli::OptionSet& set,
+                  const std::vector<std::string>& positionals,
+                  std::string& path) {
+  if (positionals.size() != 1) {
+    std::fprintf(stderr, "%s\n%s",
+                 positionals.empty() ? "missing spec-file operand"
+                                     : "more than one spec-file operand",
+                 set.usage().c_str());
+    return false;
+  }
+  path = positionals[0];
+  return true;
+}
+
+int cmd_verify(const char* argv0, int argc, char** argv) {
+  verify::EngineOptions eopts;
+  std::chrono::milliseconds worker_timeout{0};
+  bool want_trace = false;
+  cli::OptionSet set("vmn verify <spec-file> [options]",
+                     "Verifies every invariant in the spec; --batch fans "
+                     "out over a solver pool.");
+  add_engine_flags(set, eopts, worker_timeout);
+  set.add_flag("--trace", "print counterexample traces", &want_trace);
+  std::vector<std::string> positionals;
+  switch (set.parse(argc, argv, &positionals)) {
+    case cli::OptionSet::Result::help: return kExitClean;
+    case cli::OptionSet::Result::error: return kExitUsage;
+    case cli::OptionSet::Result::ok: break;
+  }
+  std::string spec_path;
+  if (!spec_operand(set, positionals, spec_path)) return kExitUsage;
+  finish_engine_flags(eopts, worker_timeout, argv0);
+
+  io::Spec spec = io::load_spec(spec_path);
+  if (spec.invariants.empty()) {
+    std::fprintf(stderr, "spec declares no invariants\n");
+    return kExitUsage;
+  }
   const net::Network& net = spec.model.network();
-  verify::BatchResult batch;
-  bool degraded = false;
-  if (batch_mode) {
-    verify::ParallelOptions popts;
-    popts.jobs = jobs;
-    popts.use_symmetry = use_symmetry;
-    popts.verify = opts;
-    popts.backend = backend;
-    popts.deadline = deadline;
-    if (backend == verify::Backend::process) {
-      popts.process.worker_command = self_worker_command(argv0);
-      popts.process.hang_timeout = worker_timeout;
-    }
-    verify::ParallelVerifier verifier(spec.model, popts);
-    verify::ParallelBatchResult pbatch = verifier.verify_all(spec.invariants);
+  verify::Engine engine(spec.model, eopts);
+  verify::BatchResult batch = engine.run_batch(spec.invariants);
+  if (eopts.batch) {
     std::printf(
         "batch: %zu invariants -> %zu jobs (%zu merged by symmetry, %zu "
         "conservative splits, hit rate %.0f%%), %zu %s workers\n",
-        pbatch.invariant_count, pbatch.jobs_executed, pbatch.symmetry_hits,
-        pbatch.conservative_splits, pbatch.dedup_hit_rate * 100.0,
-        pbatch.workers.size(), verify::to_string(popts.backend).c_str());
-    if (backend == verify::Backend::process) {
+        batch.pool.invariant_count, batch.pool.jobs_executed,
+        batch.pool.symmetry_hits, batch.pool.conservative_splits,
+        batch.pool.dedup_hit_rate * 100.0, batch.pool.workers.size(),
+        verify::to_string(eopts.backend).c_str());
+    if (eopts.backend == verify::Backend::process) {
       std::printf("  processes: %zu spawned, %zu crashed, %zu respawned, "
                   "%zu jobs requeued, %zu abandoned, %zu quarantined\n",
-                  pbatch.workers_spawned, pbatch.workers_crashed,
-                  pbatch.degradation.workers_respawned, pbatch.jobs_requeued,
-                  pbatch.jobs_abandoned, pbatch.degradation.quarantined);
+                  batch.pool.workers_spawned, batch.pool.workers_crashed,
+                  batch.degradation.workers_respawned,
+                  batch.pool.jobs_requeued, batch.pool.jobs_abandoned,
+                  batch.degradation.quarantined);
     }
-    if (pbatch.degradation.degraded() || opts.faults.enabled() ||
-        pbatch.degradation.escalations > 0) {
-      std::printf("  degradation: %s\n",
-                  pbatch.degradation.summary().c_str());
-      for (const std::string& reason : pbatch.degradation.reasons) {
+    if (batch.degradation.degraded() || eopts.verify.faults.enabled() ||
+        batch.degradation.escalations > 0) {
+      std::printf("  degradation: %s\n", batch.degradation.summary().c_str());
+      for (const std::string& reason : batch.degradation.reasons) {
         std::printf("    - %s\n", reason.c_str());
       }
     }
-    degraded = pbatch.degradation.degraded();
     std::printf("  plan: %lld ms\n",
-                static_cast<long long>(pbatch.plan_time.count()));
-    if (!opts.cache_dir.empty()) {
-      std::printf("  cache: %zu hits, %zu misses (%s)\n", pbatch.cache_hits,
-                  pbatch.cache_misses, opts.cache_dir.c_str());
+                static_cast<long long>(batch.plan_time.count()));
+    if (!eopts.verify.cache_dir.empty()) {
+      std::printf("  cache: %zu hits, %zu misses (%s)\n", batch.cache_hits,
+                  batch.cache_misses, eopts.verify.cache_dir.c_str());
     }
     std::printf("  warm solver: %zu context builds, %zu reuses "
                 "(%zu cross-isomorphic of %zu mapped)\n",
-                pbatch.warm_binds, pbatch.warm_reuses, pbatch.iso_reuses,
-                pbatch.iso_mapped);
+                batch.warm_binds, batch.warm_reuses, batch.iso_reuses,
+                batch.iso_mapped);
     std::printf("  encode transfers: %zu built, %zu reused\n",
-                pbatch.encode_transfer_builds, pbatch.encode_transfer_reuses);
-    for (std::size_t w = 0; w < pbatch.workers.size(); ++w) {
+                batch.encode_transfer_builds, batch.encode_transfer_reuses);
+    for (std::size_t w = 0; w < batch.pool.workers.size(); ++w) {
       std::printf("  worker %zu: %zu tasks, %lld ms busy\n", w,
-                  pbatch.workers[w].jobs,
-                  static_cast<long long>(pbatch.workers[w].busy.count()));
+                  batch.pool.workers[w].jobs,
+                  static_cast<long long>(batch.pool.workers[w].busy.count()));
     }
     std::printf("  solve times: %s\n",
-                pbatch.solve_histogram.to_string().c_str());
-    batch = std::move(pbatch).to_batch();
-  } else {
-    verify::Verifier verifier(spec.model, opts);
-    batch = verifier.verify_all(spec.invariants, use_symmetry);
+                batch.pool.solve_histogram.to_string().c_str());
   }
 
   // Exit-code folding: a proven disagreement with an `expect` clause is a
   // *violation* (1); unknown verdicts and batch degradation make the sweep
   // *incomplete* (2); 1 outranks 2 when both apply.
   bool unexpected = false;
-  bool incomplete = degraded;
+  bool incomplete = batch.degradation.degraded();
   for (std::size_t i = 0; i < spec.invariants.size(); ++i) {
     const verify::VerifyResult& r = batch.results[i];
     const char* marker = "";
@@ -356,6 +391,55 @@ int cmd_verify(io::Spec& spec, const char* argv0, int argc, char** argv) {
   return kExitClean;
 }
 
+int cmd_serve(const char* argv0, int argc, char** argv) {
+  verify::ServeOptions sopts;
+  std::chrono::milliseconds worker_timeout{0};
+  cli::OptionSet set(
+      "vmn serve <spec-file> [options]",
+      "Serves verdicts over STATUS/VERDICT/RELOAD/STATS, watching the spec "
+      "and re-verifying only what an edit changed.");
+  add_engine_flags(set, sopts.engine, worker_timeout);
+  set.add_string("--socket", "path",
+                 "Unix socket to listen on (default <spec-file>.sock)",
+                 &sopts.socket_path);
+  set.add_value(
+      "--port", "N", "loopback TCP port (0 = ephemeral)",
+      [&sopts](const std::string& text, std::string& error) {
+        long long port = 0;
+        if (!cli::parse_int(text, 0, 65535, port)) {
+          error = "wants a port number, got " + text;
+          return false;
+        }
+        sopts.tcp_port = static_cast<int>(port);
+        return true;
+      });
+  set.add_value(
+      "--poll-interval", "ms", "edit-poll tick (default 500)",
+      [&sopts](const std::string& text, std::string& error) {
+        long long ms = 0;
+        if (!cli::parse_int(text, 1, INT32_MAX, ms)) {
+          error = "wants a positive millisecond count, got " + text;
+          return false;
+        }
+        sopts.poll_interval = std::chrono::milliseconds(ms);
+        return true;
+      });
+  set.add_flag("--no-inotify", "use pure content polling, no inotify watch",
+               [&sopts] { sopts.use_inotify = false; });
+  std::vector<std::string> positionals;
+  switch (set.parse(argc, argv, &positionals)) {
+    case cli::OptionSet::Result::help: return kExitClean;
+    case cli::OptionSet::Result::error: return kExitUsage;
+    case cli::OptionSet::Result::ok: break;
+  }
+  if (!spec_operand(set, positionals, sopts.spec_path)) return kExitUsage;
+  finish_engine_flags(sopts.engine, worker_timeout, argv0);
+  if (sopts.socket_path.empty() && sopts.tcp_port < 0) {
+    sopts.socket_path = sopts.spec_path + ".sock";
+  }
+  return verify::serve_main(sopts);
+}
+
 void print_fuzz_failures(const verify::FuzzReport& report) {
   for (const verify::FuzzFailure& f : report.failures) {
     std::fprintf(stderr, "FAIL seed=%llu oracle=%s: %s\n",
@@ -379,56 +463,63 @@ int cmd_fuzz(const char* argv0, int argc, char** argv) {
   fopts.worker_command = self_worker_command(argv0);
   std::string replay_path;
   bool inject = false;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      const unsigned long long s = std::strtoull(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0') {
-        std::fprintf(stderr, "--seed wants a non-negative integer, got %s\n",
-                     argv[i]);
-        return usage();
-      }
-      fopts.seed = s;
-    } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      const long n = std::strtol(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || n <= 0) {
-        std::fprintf(stderr, "--count wants a positive integer, got %s\n",
-                     argv[i]);
-        return usage();
-      }
-      fopts.count = static_cast<int>(n);
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      const long n = std::strtol(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || n <= 0) {
-        std::fprintf(stderr, "--jobs wants a positive integer, got %s\n",
-                     argv[i]);
-        return usage();
-      }
-      fopts.jobs = static_cast<std::size_t>(n);
-    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      const long long ms = std::strtoll(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || ms <= 0 ||
-          ms > static_cast<long long>(UINT32_MAX)) {
-        std::fprintf(stderr,
-                     "--timeout wants a positive millisecond count, got %s\n",
-                     argv[i]);
-        return usage();
-      }
-      fopts.solver.timeout_ms = static_cast<std::uint32_t>(ms);
-    } else if (std::strcmp(argv[i], "--reproducer-dir") == 0 && i + 1 < argc) {
-      fopts.reproducer_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--inject-fault") == 0) {
-      inject = true;
-    } else if (std::strcmp(argv[i], "--faults") == 0) {
-      fopts.fault_oracle = true;
-    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
-      replay_path = argv[++i];
-    } else {
-      return usage();
-    }
+  cli::OptionSet set("vmn fuzz [options]",
+                     "Differential fuzzing: random specs through the oracle "
+                     "battery, failures shrunk to reproducers.");
+  set.add_value("--seed", "S", "generator seed",
+                [&fopts](const std::string& text, std::string& error) {
+                  std::uint64_t s = 0;
+                  if (!cli::parse_u64(text, s)) {
+                    error = "wants a non-negative integer, got " + text;
+                    return false;
+                  }
+                  fopts.seed = s;
+                  return true;
+                });
+  set.add_value("--count", "N", "number of specs to generate",
+                [&fopts](const std::string& text, std::string& error) {
+                  long long n = 0;
+                  if (!cli::parse_int(text, 1, INT32_MAX, n)) {
+                    error = "wants a positive integer, got " + text;
+                    return false;
+                  }
+                  fopts.count = static_cast<int>(n);
+                  return true;
+                });
+  set.add_value("--jobs", "N", "parallel fuzzing jobs",
+                [&fopts](const std::string& text, std::string& error) {
+                  long long n = 0;
+                  if (!cli::parse_int(text, 1, INT32_MAX, n)) {
+                    error = "wants a positive integer, got " + text;
+                    return false;
+                  }
+                  fopts.jobs = static_cast<std::size_t>(n);
+                  return true;
+                });
+  set.add_value("--timeout", "ms", "per-solver-call timeout",
+                [&fopts](const std::string& text, std::string& error) {
+                  long long ms = 0;
+                  if (!cli::parse_int(text, 1,
+                                      static_cast<long long>(UINT32_MAX),
+                                      ms)) {
+                    error = "wants a positive millisecond count, got " + text;
+                    return false;
+                  }
+                  fopts.solver.timeout_ms = static_cast<std::uint32_t>(ms);
+                  return true;
+                });
+  set.add_string("--reproducer-dir", "dir",
+                 "write shrunk reproducers here", &fopts.reproducer_dir);
+  set.add_flag("--inject-fault", "broken-oracle shrinker self-test",
+               &inject);
+  set.add_flag("--faults", "add the fault-injection oracle",
+               &fopts.fault_oracle);
+  set.add_string("--replay", "file.vmn",
+                 "re-run the battery on an existing spec", &replay_path);
+  switch (set.parse(argc, argv)) {
+    case cli::OptionSet::Result::help: return kExitClean;
+    case cli::OptionSet::Result::error: return kExitUsage;
+    case cli::OptionSet::Result::ok: break;
   }
   if (inject) {
     // The canned broken oracle: "fails" on any spec that still has a
@@ -509,22 +600,17 @@ int cmd_classes(const io::Spec& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::strcmp(argv[1], "worker") == 0) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "worker") {
     return verify::wire::worker_main(stdin, stdout);
   }
-  if (argc >= 2 && std::strcmp(argv[1], "fuzz") == 0) {
-    try {
-      return cmd_fuzz(argv[0], argc - 2, argv + 2);
-    } catch (const vmn::Error& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-      return kExitUsage;
-    }
-  }
-  if (argc < 3) return usage();
   try {
+    if (cmd == "fuzz") return cmd_fuzz(argv[0], argc - 2, argv + 2);
+    if (cmd == "verify") return cmd_verify(argv[0], argc - 2, argv + 2);
+    if (cmd == "serve") return cmd_serve(argv[0], argc - 2, argv + 2);
+    if (argc < 3) return usage();
     io::Spec spec = io::load_spec(argv[2]);
-    const std::string cmd = argv[1];
-    if (cmd == "verify") return cmd_verify(spec, argv[0], argc - 3, argv + 3);
     if (cmd == "audit") return cmd_audit(spec);
     if (cmd == "classes") return cmd_classes(spec);
     if (cmd == "dump") {

@@ -160,6 +160,17 @@ inline double verify_expecting(benchmark::State& state,
   return runs != 0 ? total_ms / static_cast<double>(runs) : 0;
 }
 
+/// Solve-latency tail of a batch as record values: nearest-rank p50/p95
+/// and max of the per-solver-call times (ms), straight off the pool's
+/// TimingHistogram. Benchmarks merge these into their BENCH_*.json records
+/// so the trajectory pins the tail, not just the mean wall time.
+inline void add_solve_percentiles(std::map<std::string, double>& values,
+                                  const verify::TimingHistogram& h) {
+  values["solve_p50_ms"] = static_cast<double>(h.percentile(50).count());
+  values["solve_p95_ms"] = static_cast<double>(h.percentile(95).count());
+  values["solve_max_ms"] = static_cast<double>(h.percentile(100).count());
+}
+
 /// Verifies a whole invariant list (the "verify the entire network" mode of
 /// Figs 3 and 5) and checks every outcome.
 inline void verify_all_expecting(benchmark::State& state,

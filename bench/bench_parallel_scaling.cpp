@@ -27,6 +27,7 @@
 
 #include "core/rng.hpp"
 #include "scenarios/datacenter.hpp"
+#include "scenarios/multitenant.hpp"
 #include "verify/faults.hpp"
 #include "verify/engine.hpp"
 #include "verify/parallel.hpp"
@@ -176,6 +177,7 @@ void BM_BatchFastPath(benchmark::State& state) {
   Engine v(dc.model, opts);
   double wall_ms = 0, plan_ms = 0, cache_hits = 0, warm_reuses = 0,
          solver_calls = 0;
+  std::map<std::string, double> solve_tail;
   for (auto _ : state) {
     const auto wall_start = std::chrono::steady_clock::now();
     verify::BatchResult r = v.run_batch(batch.invariants);
@@ -194,6 +196,7 @@ void BM_BatchFastPath(benchmark::State& state) {
     cache_hits = static_cast<double>(r.cache_hits);
     warm_reuses = static_cast<double>(r.warm_reuses);
     solver_calls = static_cast<double>(r.solver_calls);
+    bench::add_solve_percentiles(solve_tail, r.pool.solve_histogram);
     benchmark::DoNotOptimize(r);
   }
   if (mode == kCold) cold_wall_ms = wall_ms;
@@ -204,31 +207,32 @@ void BM_BatchFastPath(benchmark::State& state) {
   state.counters["warm_reuses"] = benchmark::Counter(warm_reuses);
   state.counters["solver_calls"] = benchmark::Counter(solver_calls);
   state.counters["speedup_vs_cold"] = benchmark::Counter(speedup);
+  std::map<std::string, double> values = {{"wall_ms", wall_ms},
+                                          {"plan_ms", plan_ms},
+                                          {"cache_hits", cache_hits},
+                                          {"warm_reuses", warm_reuses},
+                                          {"solver_calls", solver_calls},
+                                          {"speedup_vs_cold", speedup}};
+  values.insert(solve_tail.begin(), solve_tail.end());
   bench::BenchJson::instance().record(
-      std::string("fastpath/") + mode_name(mode),
-      {{"wall_ms", wall_ms},
-       {"plan_ms", plan_ms},
-       {"cache_hits", cache_hits},
-       {"warm_reuses", warm_reuses},
-       {"solver_calls", solver_calls},
-       {"speedup_vs_cold", speedup}});
+      std::string("fastpath/") + mode_name(mode), values);
 }
 BENCHMARK(BM_BatchFastPath)
     ->Arg(kCold)->Arg(kWarm)->Arg(kCached)
     ->ArgNames({"mode"})->Unit(benchmark::kMillisecond)->Iterations(1);
 
-// --- cross-isomorphic warm reuse --------------------------------------------
+// --- cross-isomorphic verdict reuse -----------------------------------------
 //
 // The datacenter's per-group jobs are the canonical cross-isomorphic
-// workload: every group pair's slice is a renamed copy of the first, but
-// the firewall fingerprints name raw peer prefixes, so canonical keys
-// (rightly) refuse to merge their verdicts - before encoding-layer reuse,
-// each paid for its own base encoding and a cold context. With warm
-// solving on, the planner rebinds all of them onto one representative's
-// encoding (iso_reuses > 0) and encode-time transfer builds stay at one
-// per session; --no-warm is the all-cold baseline the speedup is measured
-// against. Both numbers land in BENCH_parallel.json, and ci.sh's bench
-// smoke asserts the reuse actually happened.
+// workload: every group pair's slice is a renamed copy of the first. With
+// warm solving on, the planner folds each equivalence class of isomorphic
+// invariant-jobs onto ONE solver call and replays the verdict per binding
+// (iso_verdict_reuses > 0, solver_calls well below planned jobs); any
+// same-class job that still solves live is rebound onto the
+// representative's encoding (iso_mapped/iso_reuses). --no-warm is the
+// all-cold baseline the speedup is measured against. All counters land in
+// BENCH_parallel.json, and ci.sh's bench smoke asserts the reuse actually
+// happened.
 
 void BM_IsoWarm(benchmark::State& state) {
   const bool warm = state.range(0) != 0;
@@ -247,7 +251,9 @@ void BM_IsoWarm(benchmark::State& state) {
   opts.verify.warm_solving = warm;
   Engine v(dc.model, opts);
   double wall_ms = 0, plan_ms = 0, iso_mapped = 0, iso_reuses = 0,
-         warm_binds = 0, enc_builds = 0, enc_reuses = 0;
+         iso_verdicts = 0, solver_calls = 0, planned_jobs = 0, warm_binds = 0,
+         enc_builds = 0, enc_reuses = 0;
+  std::map<std::string, double> solve_tail;
   for (auto _ : state) {
     const auto wall_start = std::chrono::steady_clock::now();
     verify::BatchResult r = v.run_batch(batch.invariants);
@@ -262,20 +268,25 @@ void BM_IsoWarm(benchmark::State& state) {
         return;
       }
     }
-    if (warm && r.iso_reuses == 0) {
+    if (warm && r.iso_verdict_reuses == 0 && r.iso_reuses == 0) {
       state.SkipWithError("iso-warm batch reported no cross-isomorphic reuse");
       return;
     }
-    if (!warm && (r.iso_mapped != 0 || r.iso_reuses != 0)) {
+    if (!warm &&
+        (r.iso_mapped != 0 || r.iso_reuses != 0 || r.iso_verdict_reuses != 0)) {
       state.SkipWithError("cold baseline performed iso rebinding");
       return;
     }
     plan_ms = static_cast<double>(r.plan_time.count());
     iso_mapped = static_cast<double>(r.iso_mapped);
     iso_reuses = static_cast<double>(r.iso_reuses);
+    iso_verdicts = static_cast<double>(r.iso_verdict_reuses);
+    solver_calls = static_cast<double>(r.solver_calls);
+    planned_jobs = static_cast<double>(r.pool.jobs_executed);
     warm_binds = static_cast<double>(r.warm_binds);
     enc_builds = static_cast<double>(r.encode_transfer_builds);
     enc_reuses = static_cast<double>(r.encode_transfer_reuses);
+    bench::add_solve_percentiles(solve_tail, r.pool.solve_histogram);
     benchmark::DoNotOptimize(r);
   }
   static double iso_cold_wall_ms = 0;  // Arg(0) registers (and runs) first
@@ -284,23 +295,92 @@ void BM_IsoWarm(benchmark::State& state) {
       iso_cold_wall_ms > 0 && wall_ms > 0 ? iso_cold_wall_ms / wall_ms : 0.0;
   state.counters["iso_mapped"] = benchmark::Counter(iso_mapped);
   state.counters["iso_reuses"] = benchmark::Counter(iso_reuses);
+  state.counters["iso_verdict_reuses"] = benchmark::Counter(iso_verdicts);
+  state.counters["solver_calls"] = benchmark::Counter(solver_calls);
   state.counters["warm_binds"] = benchmark::Counter(warm_binds);
   state.counters["encode_transfer_builds"] = benchmark::Counter(enc_builds);
   state.counters["speedup_vs_cold"] = benchmark::Counter(speedup);
+  std::map<std::string, double> values = {
+      {"wall_ms", wall_ms},
+      {"plan_ms", plan_ms},
+      {"iso_mapped", iso_mapped},
+      {"iso_reuses", iso_reuses},
+      {"iso_verdict_reuses", iso_verdicts},
+      {"solver_calls", solver_calls},
+      {"planned_jobs", planned_jobs},
+      {"warm_binds", warm_binds},
+      {"encode_transfer_builds", enc_builds},
+      {"encode_transfer_reuses", enc_reuses},
+      {"speedup_vs_cold", speedup}};
+  values.insert(solve_tail.begin(), solve_tail.end());
   bench::BenchJson::instance().record(
-      std::string("isowarm/") + (warm ? "warm" : "cold"),
-      {{"wall_ms", wall_ms},
-       {"plan_ms", plan_ms},
-       {"iso_mapped", iso_mapped},
-       {"iso_reuses", iso_reuses},
-       {"warm_binds", warm_binds},
-       {"encode_transfer_builds", enc_builds},
-       {"encode_transfer_reuses", enc_reuses},
-       {"speedup_vs_cold", speedup}});
+      std::string("isowarm/") + (warm ? "warm" : "cold"), values);
 }
 BENCHMARK(BM_IsoWarm)
     ->Arg(0)->Arg(1)
     ->ArgNames({"warm"})->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// --- fig8 batch under verdict merging ---------------------------------------
+//
+// The multitenant audit (Fig 8 workload) pins the *other* side of verdict
+// merging: its per-tenant copies are already folded by canonical-key
+// symmetry, and the remaining jobs are distinct classes whose candidate
+// merges the planner refuses (firewall projection mismatch - the blockers
+// `vmn verify --dedup-report` lists). The record pins planned jobs, solver
+// calls, verdict replays AND the refused-merge count, so a projection
+// migration that unlocks these merges shows up in the trajectory as a
+// counter step, not a silent timing shift.
+
+void BM_Fig8Batch(benchmark::State& state) {
+  scenarios::MultiTenantParams p;
+  p.tenants = 4;
+  p.servers = 2;
+  p.public_vms_per_tenant = 1;
+  p.private_vms_per_tenant = 1;
+  scenarios::MultiTenant mt = scenarios::make_multitenant(p);
+  const scenarios::Batch batch = mt.batch();
+  ParallelOptions opts;
+  opts.jobs = 2;
+  opts.verify.solver.seed = 1;
+  Engine v(mt.model, opts);
+  double wall_ms = 0, planned_jobs = 0, solver_calls = 0, iso_verdicts = 0,
+         blocked_merges = 0;
+  std::map<std::string, double> solve_tail;
+  for (auto _ : state) {
+    verify::BatchResult r = v.run_batch(batch.invariants);
+    for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+      const Outcome expected =
+          batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
+      if (r.results[i].outcome != expected) {
+        state.SkipWithError("unexpected outcome in fig8 batch");
+        return;
+      }
+    }
+    wall_ms = static_cast<double>(r.total_time.count());
+    planned_jobs = static_cast<double>(r.pool.jobs_executed);
+    solver_calls = static_cast<double>(r.solver_calls);
+    iso_verdicts = static_cast<double>(r.iso_verdict_reuses);
+    blocked_merges = 0;
+    for (const auto& [reason, count] : r.pool.merge_blockers) {
+      blocked_merges += static_cast<double>(count);
+    }
+    bench::add_solve_percentiles(solve_tail, r.pool.solve_histogram);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["planned_jobs"] = benchmark::Counter(planned_jobs);
+  state.counters["solver_calls"] = benchmark::Counter(solver_calls);
+  state.counters["iso_verdict_reuses"] = benchmark::Counter(iso_verdicts);
+  state.counters["blocked_merges"] = benchmark::Counter(blocked_merges);
+  std::map<std::string, double> values = {
+      {"wall_ms", wall_ms},
+      {"planned_jobs", planned_jobs},
+      {"solver_calls", solver_calls},
+      {"iso_verdict_reuses", iso_verdicts},
+      {"blocked_merges", blocked_merges}};
+  values.insert(solve_tail.begin(), solve_tail.end());
+  bench::BenchJson::instance().record("fig8/batch", values);
+}
+BENCHMARK(BM_Fig8Batch)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 // --- backend comparison: threads vs forked worker processes -----------------
 //

@@ -78,6 +78,10 @@ void OptionSet::add_string(const std::string& name,
             });
 }
 
+void OptionSet::add_check(std::function<bool(std::string&)> check) {
+  checks_.push_back(std::move(check));
+}
+
 const OptionSet::Opt* OptionSet::find(const std::string& name) const {
   for (const Opt& opt : opts_) {
     if (opt.name == name) return &opt;
@@ -162,6 +166,16 @@ OptionSet::Result OptionSet::parse(
     if (!opt->apply(value, error)) {
       std::fprintf(stderr, "%s: %s\n%s", name.c_str(),
                    error.empty() ? "invalid argument" : error.c_str(),
+                   usage().c_str());
+      return Result::error;
+    }
+  }
+  for (const auto& check : checks_) {
+    std::string error;
+    if (!check(error)) {
+      std::fprintf(stderr, "%s\n%s",
+                   error.empty() ? "invalid option combination"
+                                 : error.c_str(),
                    usage().c_str());
       return Result::error;
     }

@@ -61,6 +61,13 @@ class OptionSet {
   void add_string(const std::string& name, const std::string& value_name,
                   const std::string& help, std::string* target);
 
+  /// A cross-flag validation run after every token parsed cleanly (so it
+  /// sees the settled values regardless of option order). Returning false
+  /// (filling `error`) turns the parse into Result::error - the message
+  /// plus usage go to stderr exactly like a bad single option. Checks run
+  /// in registration order; the first failure reports.
+  void add_check(std::function<bool(std::string& error)> check);
+
   enum class Result {
     ok,     ///< parsed cleanly; proceed
     help,   ///< --help printed to stdout; exit 0
@@ -89,6 +96,7 @@ class OptionSet {
   std::string usage_line_;
   std::string summary_;
   std::vector<Opt> opts_;
+  std::vector<std::function<bool(std::string&)>> checks_;
 };
 
 }  // namespace vmn::cli

@@ -379,12 +379,18 @@ ShapeKey canonical_shape_key(const encode::NetworkModel& model,
 std::optional<std::vector<NodeId>> shape_bijection(
     const encode::NetworkModel& model, const ShapeKey& from,
     const ShapeKey& to, int max_failures,
-    dataplane::TransferCache* transfers) {
+    dataplane::TransferCache* transfers, std::string* why) {
   const net::Network& net = model.network();
-  if (from.members.size() != to.members.size()) return std::nullopt;
+  auto refuse = [&](std::string reason) -> std::optional<std::vector<NodeId>> {
+    if (why != nullptr) *why = std::move(reason);
+    return std::nullopt;
+  };
+  if (from.members.size() != to.members.size()) {
+    return refuse("member counts differ");
+  }
   if (from.members.size() != from.colors.size() ||
       to.members.size() != to.colors.size()) {
-    return std::nullopt;
+    return refuse("shape colors misaligned");
   }
   dataplane::TransferCache local_transfers(net);
   dataplane::TransferCache& tcache =
@@ -411,7 +417,8 @@ std::optional<std::vector<NodeId>> shape_bijection(
   std::vector<std::size_t> perm(n);
   for (std::size_t r = 0; r < n; ++r) {
     if (from.colors[from_order[r]] != to.colors[to_order[r]]) {
-      return std::nullopt;  // color multisets differ: not even a candidate
+      // color multisets differ: not even a candidate
+      return refuse("refinement color multisets differ");
     }
     perm[from_order[r]] = to_order[r];
     image[from_order[r]] = to.members[to_order[r]];
@@ -423,13 +430,16 @@ std::optional<std::vector<NodeId>> shape_bijection(
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId a = from.members[i];
     const NodeId b = image[i];
-    if (net.kind(a) != net.kind(b)) return std::nullopt;
+    if (net.kind(a) != net.kind(b)) return refuse("node kinds differ");
     const mbox::Middlebox* box_a = model.middlebox_at(a);
     const mbox::Middlebox* box_b = model.middlebox_at(b);
-    if ((box_a == nullptr) != (box_b == nullptr)) return std::nullopt;
+    if ((box_a == nullptr) != (box_b == nullptr)) {
+      return refuse("node kinds differ");
+    }
     if (box_a != nullptr &&
         box_a->structural_fingerprint() != box_b->structural_fingerprint()) {
-      return std::nullopt;
+      return refuse("middlebox structure differs (" + box_a->type() + " vs " +
+                    box_b->type() + ")");
     }
   }
 
@@ -450,34 +460,42 @@ std::optional<std::vector<NodeId>> shape_bijection(
     const net::Node& node_a = net.node(from.members[i]);
     if (node_a.kind == net::NodeKind::host) {
       if (!map_addr(node_a.address, net.node(image[i]).address)) {
-        return std::nullopt;
+        return refuse("induced address map is not a bijection");
       }
     } else if (const mbox::Middlebox* box_a = model.middlebox_at(from.members[i])) {
       const mbox::Middlebox* box_b = model.middlebox_at(image[i]);
       const std::vector<Address> ia = box_a->implicit_addresses();
       const std::vector<Address> ib = box_b->implicit_addresses();
-      if (ia.size() != ib.size()) return std::nullopt;
+      if (ia.size() != ib.size()) {
+        return refuse("implicit address lists differ (" + box_a->type() + ")");
+      }
       for (std::size_t k = 0; k < ia.size(); ++k) {
-        if (!map_addr(ia[k], ib[k])) return std::nullopt;
+        if (!map_addr(ia[k], ib[k])) {
+          return refuse("induced address map is not a bijection");
+        }
       }
     }
   }
   const std::vector<Address> rel_from = relevant_addresses(model, from.members);
   const std::vector<Address> rel_to = relevant_addresses(model, to.members);
-  if (rel_from.size() != rel_to.size()) return std::nullopt;
+  if (rel_from.size() != rel_to.size()) {
+    return refuse("relevant address sets differ in size");
+  }
   // mapped[j] = alpha(rel_from[j]); must enumerate rel_to exactly.
   std::vector<Address> mapped(rel_from.size(), Address{});
   {
     std::set<Address> image_set;
     for (std::size_t j = 0; j < rel_from.size(); ++j) {
       auto it = alpha.find(rel_from[j]);
-      if (it == alpha.end()) return std::nullopt;
+      if (it == alpha.end()) {
+        return refuse("relevant address sets do not correspond");
+      }
       mapped[j] = it->second;
       image_set.insert(it->second);
     }
     if (!std::equal(image_set.begin(), image_set.end(), rel_to.begin(),
                     rel_to.end())) {
-      return std::nullopt;
+      return refuse("relevant address sets do not correspond");
     }
   }
 
@@ -513,7 +531,8 @@ std::optional<std::vector<NodeId>> shape_bijection(
     const mbox::Middlebox* box_b = model.middlebox_at(image[i]);
     if (box_a->encoding_projection(rel_from, tok_from) !=
         box_b->encoding_projection(mapped, tok_to)) {
-      return std::nullopt;
+      return refuse("configuration projection mismatch (" + box_a->type() +
+                    ")");
     }
   }
 
@@ -579,9 +598,179 @@ std::optional<std::vector<NodeId>> shape_bijection(
   }
   std::sort(from_sigs.begin(), from_sigs.end());
   std::sort(to_sigs.begin(), to_sigs.end());
-  if (from_sigs != to_sigs) return std::nullopt;
+  if (from_sigs != to_sigs) {
+    return refuse("scenario transfer relations differ");
+  }
 
   return image;
+}
+
+ProblemKey canonical_problem_key(const encode::NetworkModel& model,
+                                 const ShapeKey& shape,
+                                 const encode::Invariant& invariant,
+                                 int max_failures,
+                                 dataplane::TransferCache* transfers) {
+  ProblemKey out;
+  const net::Network& net = model.network();
+  const std::size_t n = shape.members.size();
+  if (n == 0 || shape.colors.size() != n) return out;
+  if (shape.members != normalize_members(shape.members)) return out;
+
+  dataplane::TransferCache local_transfers(net);
+  dataplane::TransferCache& tcache =
+      transfers != nullptr ? *transfers : local_transfers;
+
+  // Canonical rank order: (final shape color, invariant role, position).
+  // Rank r of one problem stands for rank r of any equal-keyed other, and
+  // equal keys certify that the rank-for-rank pairing passes every exact
+  // check shape_bijection performs (the rendering below spells each
+  // check's inputs out in rank/token coordinates), which is the key's
+  // soundness argument. The invariant role breaks color ties between the
+  // target/other endpoints and their symmetric peers: without it, two
+  // copies of the same invariant template whose endpoints happen to sort
+  // in opposite creation order render as I2:3 vs I3:2 and miss each other
+  // (the datacenter's wrap-around group pair). An isomorphism of problems
+  // maps roles to roles, so role-aware ranks still correspond; a remaining
+  // unlucky tie within a color class can only make two isomorphic problems
+  // render differently - a missed hit, never a merge.
+  auto role_of = [&](std::size_t i) {
+    const NodeId id = shape.members[i];
+    if (invariant.target.valid() && id == invariant.target) return 0;
+    if (invariant.other.valid() && id == invariant.other) return 1;
+    return 2;
+  };
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (shape.colors[a] != shape.colors[b]) {
+      return shape.colors[a] < shape.colors[b];
+    }
+    if (role_of(a) != role_of(b)) return role_of(a) < role_of(b);
+    return a < b;
+  });
+  std::vector<std::size_t> rank_of(n);
+  for (std::size_t r = 0; r < n; ++r) rank_of[order[r]] = r;
+
+  auto rank_of_node = [&](NodeId id) -> std::optional<std::size_t> {
+    auto it = std::lower_bound(shape.members.begin(), shape.members.end(), id);
+    if (it == shape.members.end() || *it != id) return std::nullopt;
+    return rank_of[static_cast<std::size_t>(it - shape.members.begin())];
+  };
+  std::optional<std::size_t> target_rank;
+  if (invariant.target.valid()) target_rank = rank_of_node(invariant.target);
+  if (!target_rank) return out;  // invariant escapes the slice: no key
+  std::optional<std::size_t> other_rank;
+  if (invariant.other.valid()) {
+    other_rank = rank_of_node(invariant.other);
+    if (!other_rank) return out;
+  }
+
+  // Address tokens: first appearance along the rank order (a host's
+  // address, then each middlebox's implicit list in its configured order).
+  // Every relevant address is owned by some member, so this numbers the
+  // whole relevant set; raw bits never enter the key.
+  std::map<Address, std::size_t> token;
+  auto tok = [&](Address a) {
+    auto [it, inserted] = token.emplace(a, out.tokens.size());
+    if (inserted) out.tokens.push_back(a);
+    return it->second;
+  };
+
+  std::string body = "prob6/" + encode::to_string(invariant.kind) + "/";
+  for (std::size_t r = 0; r < n; ++r) {
+    const NodeId id = shape.members[order[r]];
+    const net::Node& node = net.node(id);
+    if (node.kind == net::NodeKind::host) {
+      body += "h@" + std::to_string(tok(node.address));
+    } else if (const mbox::Middlebox* box = model.middlebox_at(id)) {
+      body += "m:" + box->structural_fingerprint();
+      for (Address a : box->implicit_addresses()) {
+        body += "@" + std::to_string(tok(a));
+      }
+    } else {
+      body += "n";  // structureless member (never produced by slicing)
+    }
+    body += ";";
+  }
+  // Configurations: each member box's canonical projection over the
+  // token-ordered relevant set. An address a projection mentions outside
+  // the relevant set renders as raw bits: equal bits on both sides of a
+  // key comparison name the literally identical address, which extends
+  // the induced token bijection by identity (still sound - unlike
+  // shape_bijection's side-tagged refusal, which must stay conservative
+  // because its two sides token addresses independently).
+  auto tokfn = [&](Address a) -> std::string {
+    auto it = token.find(a);
+    if (it == token.end()) return "!" + std::to_string(a.bits());
+    return "#" + std::to_string(it->second);
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    const mbox::Middlebox* box = model.middlebox_at(shape.members[order[r]]);
+    if (box == nullptr) continue;
+    body += "c" + std::to_string(r) + "=" +
+            digest(box->encoding_projection(out.tokens, tokfn)) + ";";
+  }
+  // The invariant, in rank coordinates. Traversal invariants select
+  // middleboxes by name prefix - the key records the selected rank set
+  // instead of the (name-carrying) prefix itself, so renamed prefixes
+  // with corresponding selections still match.
+  body += "I" + std::to_string(*target_rank) + ":" +
+          (other_rank ? std::to_string(*other_rank) : std::string("-"));
+  if (invariant.kind == encode::InvariantKind::traversal) {
+    std::vector<std::size_t> sel;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (model.middlebox_at(shape.members[i]) != nullptr &&
+          net.name(shape.members[i]).starts_with(invariant.type_prefix)) {
+        sel.push_back(rank_of[i]);
+      }
+    }
+    std::sort(sel.begin(), sel.end());
+    body += ":P{";
+    for (std::size_t r : sel) body += std::to_string(r) + ",";
+    body += "}";
+  } else if (!invariant.type_prefix.empty()) {
+    body += ":t" + invariant.type_prefix;
+  }
+  body += ";";
+  // Routing and failures: per in-budget scenario, the member x relevant
+  // transfer relation and failed-member set in rank/token coordinates,
+  // compared as a sorted multiset of signatures (scenario order is
+  // interpretation, not content - exactly shape_bijection's check 4).
+  std::vector<std::string> sigs;
+  for (const net::FailureScenario& sc : net.scenarios()) {
+    if (static_cast<int>(sc.failed_nodes.size()) > max_failures) continue;
+    const ScenarioId sid(static_cast<ScenarioId::underlying_type>(
+        &sc - net.scenarios().data()));
+    const dataplane::TransferFunction& tf = tcache.at(sid);
+    std::vector<std::string> lines;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t t = 0; t < out.tokens.size(); ++t) {
+        std::optional<NodeId> hop =
+            tf.next_edge(shape.members[i], out.tokens[t]);
+        if (!hop) continue;
+        std::optional<std::size_t> k = rank_of_node(*hop);
+        if (!k) continue;
+        lines.push_back("r" + std::to_string(rank_of[i]) + "," +
+                        std::to_string(t) + ">" + std::to_string(*k));
+      }
+      if (sc.is_failed(shape.members[i])) {
+        lines.push_back("x" + std::to_string(rank_of[i]));
+      }
+    }
+    std::sort(lines.begin(), lines.end());
+    std::string sig;
+    for (const std::string& l : lines) sig += l + ";";
+    sigs.push_back(digest(sig));
+  }
+  std::sort(sigs.begin(), sigs.end());
+  body += "|S";
+  for (const std::string& s : sigs) body += s + ";";
+  body += "|mf=" + std::to_string(max_failures);
+
+  out.order.resize(n);
+  for (std::size_t r = 0; r < n; ++r) out.order[r] = shape.members[order[r]];
+  out.key = std::move(body);
+  return out;
 }
 
 }  // namespace vmn::slice

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/address.hpp"
 #include "encode/invariant.hpp"
 #include "encode/model.hpp"
 #include "slice/policy.hpp"
@@ -113,6 +114,54 @@ struct ShapeKey {
     const encode::NetworkModel& model, const std::vector<NodeId>& members,
     int max_failures = 0, dataplane::TransferCache* transfers = nullptr);
 
+/// Canonical fingerprint of one *whole* verification problem - (model,
+/// member set, invariant, failure budget) - rendered entirely in
+/// name-blind, address-blind coordinates, plus the coordinate maps the
+/// rendering was written in.
+///
+/// Members are listed in canonical order (final shape-refinement color,
+/// ties broken by sorted position); relevant addresses are numbered by
+/// first appearance along that order. The rendering then spells out, rank
+/// by rank and token by token, every configuration-dependent input of
+/// encode::Encoding: node kinds and structural middlebox fingerprints,
+/// address ownership, each member box's encoding_projection over the
+/// token-ordered relevant set, the invariant's kind and the ranks it
+/// targets (for traversal invariants, the rank set the encoder's
+/// name-prefix selection picks), and the per-scenario transfer relation
+/// plus failed-member sets as a sorted multiset of scenario signatures,
+/// with the failure budget appended.
+///
+/// Exactness contract: two problems with equal keys pair rank-for-rank
+/// into a bijection that passes every check shape_bijection() verifies
+/// (kinds/structure, induced address bijection, projections, scenario
+/// relations) *and* maps one invariant onto the other - equal keys imply
+/// equisatisfiable problems whose witnesses relabel across rank/token
+/// correspondence. The converse stays heuristic (an unlucky canonical
+/// order can render two isomorphic problems differently - a missed reuse,
+/// never a wrong one). `key` is empty when the problem resists
+/// canonicalization (invariant nodes outside the member set, or a
+/// non-normalized shape), which callers must treat as "never equal".
+///
+/// This is what verify::ResultCache v6 keys records by: a renamed (or
+/// renumbered) but isomorphic spec re-derives the same key cold, and the
+/// stored `order`/`tokens` maps let the hit's witness relabel into the
+/// new namespace. canonical_slice_key remains the in-batch dedup
+/// authority (its policy-class/role colors keep same-slice invariants
+/// apart); this key's job is cross-run and cross-namespace identity.
+struct ProblemKey {
+  std::string key;
+  /// Members in canonical rank order: rank r of any equal-keyed problem
+  /// corresponds to rank r here.
+  std::vector<NodeId> order;
+  /// Relevant addresses in token order (first appearance over `order`).
+  std::vector<Address> tokens;
+};
+
+[[nodiscard]] ProblemKey canonical_problem_key(
+    const encode::NetworkModel& model, const ShapeKey& shape,
+    const encode::Invariant& invariant, int max_failures = 0,
+    dataplane::TransferCache* transfers = nullptr);
+
 /// Attempts to build - and exactly verify - a bijection from `from.members`
 /// onto `to.members` under which the two base encodings are isomorphic:
 /// the returned image (aligned with `from.members`) maps nodes such that
@@ -131,10 +180,15 @@ struct ShapeKey {
 /// invariant mapped through it on `to`'s base encoding is equisatisfiable
 /// with solving the original on `from`'s - the 1-WL candidate pairing is
 /// never trusted on its own. Returns nullopt when any check fails (the
-/// caller falls back to encoding `from` cold, which is always sound).
+/// caller falls back to encoding `from` cold, which is always sound);
+/// `why`, when non-null, receives a one-line reason naming the failed
+/// check - and, for configuration-projection mismatches, the box type
+/// whose projection blocked the merge (the raw-bits default projection
+/// being the classic blocker `vmn verify --dedup-report` surfaces).
 [[nodiscard]] std::optional<std::vector<NodeId>> shape_bijection(
     const encode::NetworkModel& model, const ShapeKey& from,
     const ShapeKey& to, int max_failures = 0,
-    dataplane::TransferCache* transfers = nullptr);
+    dataplane::TransferCache* transfers = nullptr,
+    std::string* why = nullptr);
 
 }  // namespace vmn::slice

@@ -107,6 +107,30 @@ std::optional<std::string> oracle_warm_cold(io::Spec& spec,
                       "warm vs cold (parallel)");
 }
 
+std::optional<std::string> oracle_iso_verdict(io::Spec& spec,
+                                              const VerifyOptions& vo,
+                                              const BatchResult& baseline,
+                                              const FuzzOptions& options) {
+  // Verdict-level equivalence-class merging (one solver call fanned out to
+  // every problem-key-equal binding) against the merge-free run that solves
+  // each planned job itself: replayed verdicts must be indistinguishable
+  // from solved ones on both engines.
+  VerifyOptions unmerged = vo;
+  unmerged.merge_isomorphic = false;
+  const auto seq =
+      Engine(spec.model, unmerged).run_batch(spec.invariants, true);
+  if (auto d = diff_results(spec, baseline.results, seq.results,
+                            "merged vs unmerged (sequential)")) {
+    return d;
+  }
+  ParallelOptions po;
+  po.jobs = options.jobs;
+  po.verify = unmerged;
+  const auto par = Engine(spec.model, po).run_batch(spec.invariants);
+  return diff_results(spec, baseline.results, par.results,
+                      "merged vs unmerged (parallel)");
+}
+
 std::optional<std::string> oracle_symmetry(io::Spec& spec,
                                            const VerifyOptions& vo,
                                            const BatchResult& baseline) {
@@ -266,8 +290,8 @@ std::optional<std::string> oracle_faults(io::Spec& spec,
 }
 
 constexpr std::string_view kVerdictOracles[] = {
-    "engines", "warm-cold", "symmetry", "slices", "replay", "sim-cross",
-    "faults"};
+    "engines", "warm-cold", "iso-verdict", "symmetry", "slices", "replay",
+    "sim-cross", "faults"};
 
 std::optional<std::string> run_oracle(std::string_view name, io::Spec& spec,
                                       int budget, const BatchResult& baseline,
@@ -278,6 +302,9 @@ std::optional<std::string> run_oracle(std::string_view name, io::Spec& spec,
   if (name == "engines") return oracle_engines(spec, vo, baseline, options);
   if (name == "warm-cold") {
     return oracle_warm_cold(spec, vo, baseline, options);
+  }
+  if (name == "iso-verdict") {
+    return oracle_iso_verdict(spec, vo, baseline, options);
   }
   if (name == "symmetry") return oracle_symmetry(spec, vo, baseline);
   if (name == "slices") return oracle_slices(spec, vo, baseline);

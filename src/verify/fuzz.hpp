@@ -8,6 +8,10 @@
 //   warm-cold  warm solving == cold solving (sequential and parallel; the
 //              parallel warm path includes iso-rebinding, so this doubles
 //              as iso-rebound == plain)
+//   iso-verdict  verdict-level equivalence-class merging (one solver call
+//              per problem-key class, replayed to every binding) == the
+//              merge-free run solving each planned job itself, on both
+//              engines
 //   symmetry   symmetry planning == --no-symmetry verdicts
 //   slices     sliced == whole-network verdicts
 //   replay     every violated verdict's witness replayed concretely in the

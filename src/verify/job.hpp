@@ -19,6 +19,8 @@
 
 #include "core/ids.hpp"
 #include "dataplane/transfer.hpp"
+#include "encode/invariant.hpp"
+#include "slice/symmetry.hpp"
 
 namespace vmn::verify {
 
@@ -62,6 +64,43 @@ struct PlanContext {
   std::unordered_map<std::string, std::vector<ShapeRep>> shape_reps;
 };
 
+/// One verdict bound to a job's single solver call. A Job carries its
+/// representative binding inline (members / iso_image / invariant_index /
+/// inheritors below) plus a list of *extra* bindings: invariants whose
+/// (invariant, slice) problems the planner proved isomorphic to the
+/// representative's encode-space problem (identical encode members and
+/// identical mapped invariant), so the one verdict fans out to all of
+/// them - each binding relabels the witness through its own inverse
+/// bijection (verify::bind_result) and answers its own inheritors.
+struct VerdictBinding {
+  /// Index of this binding's invariant in the batch list.
+  std::size_t invariant_index = 0;
+  /// The binding's own slice members (sorted).
+  std::vector<NodeId> members;
+  /// iso_image[i] is the encode-space node playing members[i]'s part
+  /// (empty when the binding's members ARE the encode members).
+  std::vector<NodeId> iso_image;
+  /// Cross-run cache identity of this binding's own problem (see
+  /// slice::canonical_problem_key); key empty when uncanonicalizable.
+  slice::ProblemKey problem_key;
+  /// Batch indices inheriting this binding's outcome by symmetry.
+  std::vector<std::size_t> inheritors;
+  /// Planning cost attributed to this binding's invariant.
+  std::chrono::milliseconds plan_time{0};
+};
+
+/// A borrowed uniform view over a Job's bindings (rank 0 = the
+/// representative binding the Job's own fields describe); pointers alias
+/// the Job and share its lifetime.
+struct BindingRef {
+  std::size_t invariant_index = 0;
+  const std::vector<NodeId>* members = nullptr;
+  const std::vector<NodeId>* iso_image = nullptr;
+  const slice::ProblemKey* problem_key = nullptr;
+  const std::vector<std::size_t>* inheritors = nullptr;
+  std::chrono::milliseconds plan_time{0};
+};
+
 /// One unit of parallel work: verify a representative invariant on its slice.
 struct Job {
   /// Position in the job queue (stable across runs for a fixed batch).
@@ -98,6 +137,28 @@ struct Job {
   /// representative; both engines fold it into the representative's
   /// total_time so per-invariant figures stay comparable.
   std::chrono::milliseconds plan_time{0};
+  /// The invariant the solver actually sees, already mapped into encode
+  /// space (== the batch invariant when iso_image is empty). Engines and
+  /// workers solve this verbatim; no per-engine relabeling.
+  encode::Invariant solve_invariant;
+  /// Cross-run cache identity of the representative binding's problem.
+  slice::ProblemKey problem_key;
+  /// Extra verdict bindings answered by this job's single solver call
+  /// (equivalence-class merging; empty without warm iso merging).
+  std::vector<VerdictBinding> bindings;
+
+  /// Planned invariant-jobs this solver call answers (1 + extra bindings).
+  [[nodiscard]] std::size_t fan_out() const { return 1 + bindings.size(); }
+  /// Uniform view over binding `k` (0 = the representative binding).
+  [[nodiscard]] BindingRef binding(std::size_t k) const {
+    if (k == 0) {
+      return BindingRef{invariant_index, &members,    &iso_image,
+                        &problem_key,    &inheritors, plan_time};
+    }
+    const VerdictBinding& b = bindings[k - 1];
+    return BindingRef{b.invariant_index, &b.members,    &b.iso_image,
+                      &b.problem_key,    &b.inheritors, b.plan_time};
+  }
 };
 
 /// The deduplicated queue plus planning statistics. Jobs are ordered so
@@ -122,13 +183,30 @@ struct JobPlan {
   std::size_t transfer_builds = 0;
   std::size_t transfer_reuses = 0;
   /// Jobs rebound onto an isomorphic representative's base encoding this
-  /// pass (cross-isomorphic warm candidates; Job::iso_image set).
+  /// pass (cross-isomorphic warm candidates; Job::iso_image or a merged
+  /// binding's iso_image set).
   std::size_t iso_mapped = 0;
+  /// Planned invariant-jobs folded into another job's solver call as an
+  /// extra verdict binding (equivalence-class merging): the plan's jobs
+  /// list shrinks by exactly this many entries while planned_jobs() - and
+  /// the counters derived from it - keep counting them.
+  std::size_t iso_verdict_merged = 0;
+  /// Why candidate merges were refused, reason -> count (the
+  /// shape_bijection `why` diagnostics; "configuration projection
+  /// mismatch (<type>)" names a box type blocking merges). Feeds
+  /// `vmn verify --dedup-report`.
+  std::vector<std::pair<std::string, std::size_t>> merge_blockers;
 
-  /// Fraction of the batch answered without a dedicated solver job.
+  /// Planned invariant-jobs: solver calls plus merged verdict bindings
+  /// (the historical "jobs" count before equivalence-class merging).
+  [[nodiscard]] std::size_t planned_jobs() const {
+    return jobs.size() + iso_verdict_merged;
+  }
+
+  /// Fraction of the batch answered without a dedicated planned job.
   [[nodiscard]] double dedup_hit_rate() const {
     if (invariant_count == 0) return 0.0;
-    return static_cast<double>(invariant_count - jobs.size()) /
+    return static_cast<double>(invariant_count - planned_jobs()) /
            static_cast<double>(invariant_count);
   }
 };

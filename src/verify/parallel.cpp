@@ -46,10 +46,14 @@ BatchResult ParallelVerifier::verify_all(
   out.results.resize(invariants.size());
 
   JobPlan plan = this->plan(invariants);
-  out.pool.jobs_executed = plan.jobs.size();
+  out.pool.jobs_executed = plan.planned_jobs();
   out.pool.symmetry_hits = plan.symmetry_hits;
   out.pool.conservative_splits = plan.conservative_splits;
   out.pool.dedup_hit_rate = plan.dedup_hit_rate();
+  out.pool.merge_blockers = plan.merge_blockers;
+  for (const Job& job : plan.jobs) {
+    out.pool.iso_class_sizes.push_back(job.fan_out());
+  }
   out.plan_time = plan.plan_time;
   out.iso_mapped = plan.iso_mapped;
 
@@ -65,18 +69,36 @@ BatchResult ParallelVerifier::verify_all(
   const FaultInjector cache_faults(options_.verify.faults);
   if (cache_faults.enabled()) cache.set_fault_injector(&cache_faults);
   out.degradation.cache_records_dropped = cache.records_dropped();
+  // Per-binding cache pass: every verdict binding of every job looks
+  // itself up by its own cross-run problem key; a job reaches the pool
+  // only when at least one of its bindings missed. The pool solves the
+  // job's encode-space problem once, and the aggregation below fans the
+  // verdict out through the remaining bindings' inverse bijections.
   std::vector<VerifyResult> job_results(plan.jobs.size());
+  std::vector<std::vector<VerifyResult>> bound(plan.jobs.size());
+  std::vector<std::vector<char>> from_cache_hit(plan.jobs.size());
   std::vector<std::size_t> to_solve;
   to_solve.reserve(plan.jobs.size());
   for (std::size_t j = 0; j < plan.jobs.size(); ++j) {
     const Job& job = plan.jobs[j];
-    if (std::optional<ResultCache::Entry> hit = cache.lookup(job.canonical_key)) {
-      job_results[j] =
-          result_from_cache(*hit, invariants[job.invariant_index]);
-      ++out.cache_hits;
-    } else {
-      to_solve.push_back(j);
+    const std::size_t fan = job.fan_out();
+    bound[j].resize(fan);
+    from_cache_hit[j].assign(fan, 0);
+    bool need_solve = false;
+    for (std::size_t k = 0; k < fan; ++k) {
+      const BindingRef b = job.binding(k);
+      if (!b.problem_key->key.empty()) {
+        if (std::optional<ResultCache::Entry> hit =
+                cache.lookup(b.problem_key->key)) {
+          bound[j][k] = result_from_cache(*hit, invariants[b.invariant_index]);
+          from_cache_hit[j][k] = 1;
+          ++out.cache_hits;
+          continue;
+        }
+      }
+      need_solve = true;
     }
+    if (need_solve) to_solve.push_back(j);
   }
 
   // Group runs of same-shape jobs (the planner made them adjacent, and
@@ -137,24 +159,20 @@ BatchResult ParallelVerifier::verify_all(
     std::vector<wire::WireJob> wire_jobs;
     wire_jobs.reserve(to_solve.size());
     for (std::size_t k = 0; k < to_solve.size(); ++k) {
-      const Job& job = plan.jobs[to_solve[k]];
-      wire_jobs.push_back(wire::make_wire_job(*model_, job,
-                                              invariants[job.invariant_index],
+      wire_jobs.push_back(wire::make_wire_job(*model_, plan.jobs[to_solve[k]],
                                               options_.verify.max_failures));
     }
     std::vector<ProcessGroup> process_groups;
     process_groups.reserve(groups.size());
     for (const auto& [begin, end] : groups) {
       ProcessGroup group;
-      // The projection must contain every node the group's jobs reference:
-      // with cross-isomorphic rebinding a group spans several member sets
-      // plus their shared representative (whose encoding the worker
-      // builds), so project the union - each job's own slice stays closed
-      // under forwarding inside it.
+      // The projection must contain every node the group's jobs reference.
+      // Jobs cross the pipe in encode space (v4), so that is exactly the
+      // union of encode member sets - a merged class's own member sets
+      // never travel; the dispatcher relabels verdicts after the fact.
       std::set<NodeId> span;
       for (std::size_t k = begin; k < end; ++k) {
         const Job& job = plan.jobs[to_solve[k]];
-        span.insert(job.members.begin(), job.members.end());
         span.insert(job.encode_members().begin(), job.encode_members().end());
       }
       group.spec_text = io::write_projected_spec_string(
@@ -251,12 +269,10 @@ BatchResult ParallelVerifier::verify_all(
           deadline_skipped.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
-        Job& job = plan.jobs[to_solve[k]];
-        const IsoBinding iso{job.members, job.iso_image};
+        const Job& job = plan.jobs[to_solve[k]];
         job_results[to_solve[k]] = verify_members(
-            *model_, invariants[job.invariant_index], std::move(job.members),
-            options_.verify.max_failures, session,
-            job.iso_image.empty() ? nullptr : &iso);
+            *model_, job.solve_invariant, job.encode_members(),
+            options_.verify.max_failures, session, !job.iso_image.empty());
       }
     });
     out.pool.workers = pool.stats();
@@ -282,42 +298,60 @@ BatchResult ParallelVerifier::verify_all(
                                         " jobs not yet attempted");
     }
   }
-  if (cache.enabled()) {
-    for (std::size_t j : to_solve) {
-      // Keyless jobs (--no-symmetry planning) can never hit or be stored;
-      // counting them as misses would misreport a cache that is simply
-      // not in play for them.
-      if (plan.jobs[j].canonical_key.empty()) continue;
-      ++out.cache_misses;
-      const VerifyResult& rep = job_results[j];
-      cache.store(plan.jobs[j].canonical_key,
-                  ResultCache::Entry{rep.raw_status, rep.slice_size,
-                                     rep.assertion_count});
+  // Aggregate: each job's encode-space verdict fans out through its
+  // bindings' inverse bijections (verify::bind_result) - replays beyond
+  // the first non-cached binding count as iso_verdict_reuses -
+  // representatives keep their full (relabeled) result and inheritors
+  // copy the outcome with by_symmetry set, like the sequential batch
+  // path. Cache hits and abandoned jobs count no solver call.
+  for (std::size_t j = 0; j < plan.jobs.size(); ++j) {
+    const Job& job = plan.jobs[j];
+    const bool was_solved = solved.count(j) != 0;
+    if (was_solved) {
+      out.pool.solve_histogram.record(job_results[j].solve_time);
+      ++out.solver_calls;
     }
+    const std::size_t fan = job.fan_out();
+    bool replayed = false;
+    for (std::size_t k = 0; k < fan; ++k) {
+      const BindingRef b = job.binding(k);
+      VerifyResult rep;
+      if (from_cache_hit[j][k] != 0) {
+        rep = std::move(bound[j][k]);
+      } else {
+        rep = bind_result(*model_, job_results[j], *b.members, *b.iso_image);
+        if (was_solved) {
+          if (replayed) ++out.iso_verdict_reuses;
+          replayed = true;
+        }
+        // Keyless bindings (no-symmetry planning, or a problem that
+        // resists canonicalization) are outside the cache's reach; they
+        // are not misses. Abandoned jobs count misses but store nothing
+        // (unknown outcomes are never persisted).
+        if (cache.enabled() && !b.problem_key->key.empty()) {
+          ++out.cache_misses;
+          ResultCache::Entry entry;
+          entry.status = job_results[j].raw_status;
+          entry.slice_size = job_results[j].slice_size;
+          entry.assertion_count = job_results[j].assertion_count;
+          entry.binding = binding_signature(*model_, b.problem_key->order);
+          cache.store(b.problem_key->key, entry);
+        }
+      }
+      rep.total_time += b.plan_time;
+      for (std::size_t inh : *b.inheritors) {
+        out.results[inh] = inherit_result(rep);
+      }
+      out.results[b.invariant_index] = std::move(rep);
+    }
+  }
+  if (cache.enabled()) {
     cache.flush();
     out.degradation.cache_records_dropped = cache.records_dropped();
   }
   // The fault injector is a local; an Engine-lent cache outlives this call
   // and must not keep the dangling pointer.
   cache.set_fault_injector(nullptr);
-
-  // Aggregate: representatives keep their full result (including any
-  // counterexample); inheritors copy the outcome with by_symmetry set, like
-  // the sequential batch path. Cache hits and abandoned jobs count no
-  // solver call.
-  for (std::size_t j = 0; j < plan.jobs.size(); ++j) {
-    const Job& job = plan.jobs[j];
-    VerifyResult& rep = job_results[j];
-    rep.total_time += job.plan_time;
-    if (solved.count(j) != 0) {
-      out.pool.solve_histogram.record(rep.solve_time);
-      ++out.solver_calls;
-    }
-    for (std::size_t k : job.inheritors) {
-      out.results[k] = inherit_result(rep);
-    }
-    out.results[job.invariant_index] = std::move(rep);
-  }
   const std::size_t abandoned_total = out.degradation.abandoned_retries +
                                       out.degradation.quarantined +
                                       out.degradation.deadline_abandoned;

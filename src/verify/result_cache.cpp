@@ -32,10 +32,16 @@ constexpr const char* kFileName = "vmn-results.cache";
 // model fingerprint moved from the header into each record. A v4 file was
 // rejected wholesale after any spec edit - v5 stamps records individually,
 // so an edit retires exactly the records it orphaned and the header is
-// version-only again. A cache file with any other version is stale: its
-// records are rejected wholesale on load and the file is rewritten under
-// the current header at the next flush.
-constexpr const char* kHeaderPrefix = "# vmn-result-cache v5";
+// version-only again. v5 -> v6 when keys switched from
+// slice::canonical_slice_key (name-embedding policy fingerprints) to
+// slice::canonical_problem_key (shape-canonical, name- and address-blind):
+// the two generations fingerprint different renderings of the same
+// problems, so a v5 record can neither answer nor collide with a v6
+// lookup, and v6 records additionally carry the minting binding's member
+// signature for diagnostics. A cache file with any other version is stale:
+// its records are rejected wholesale on load and the file is rewritten
+// under the current header at the next flush.
+constexpr const char* kHeaderPrefix = "# vmn-result-cache v6";
 
 const char* status_name(smt::CheckStatus status) {
   switch (status) {
@@ -100,21 +106,28 @@ ResultCache::Fingerprint ResultCache::fingerprint(const std::string& key) {
 
 std::string ResultCache::format_line(const Fingerprint& fp,
                                      const Slot& slot) {
-  // v5 record: `<payload-len> <payload-digest> <payload>` where the
+  // v6 record: `<payload-len> <payload-digest> <payload>` where the
   // payload leads with the minting model's fingerprint stamp (garbage
   // collection only - lookups are keyed on the canonical-key fingerprint
-  // alone). The length prefix catches torn tails (a crash mid-append cuts
-  // the payload short), the FNV-1a digest catches bit flips; either
-  // failure drops this record alone on load.
-  char payload[160];
-  std::snprintf(payload, sizeof payload,
+  // alone) and ends with the optional binding signature (diagnostics
+  // only; everything after the assertion count, spaces included). The
+  // length prefix catches torn tails (a crash mid-append cuts the payload
+  // short), the FNV-1a digest catches bit flips; either failure drops
+  // this record alone on load.
+  char head[160];
+  std::snprintf(head, sizeof head,
                 "%016" PRIx64 " %016" PRIx64 " %016" PRIx64 " %s %zu %zu",
                 slot.stamp, fp.hi, fp.lo, status_name(slot.entry.status),
                 slot.entry.slice_size, slot.entry.assertion_count);
-  char line[208];
-  std::snprintf(line, sizeof line, "%zu %016" PRIx64 " %s\n",
-                std::strlen(payload), fnv1a64(payload), payload);
-  return line;
+  std::string payload = head;
+  if (!slot.entry.binding.empty()) {
+    payload += ' ';
+    payload += slot.entry.binding;
+  }
+  char prefix[48];
+  std::snprintf(prefix, sizeof prefix, "%zu %016" PRIx64 " ", payload.size(),
+                fnv1a64(payload));
+  return prefix + payload + "\n";
 }
 
 ResultCache::ResultCache(std::string dir, std::uint64_t model_fingerprint,
@@ -199,6 +212,13 @@ std::size_t ResultCache::parse_file(const std::string& path,
           slot.entry.slice_size >> slot.entry.assertion_count)) {
       ++*dropped_out;  // digest-valid but unparseable: treat as corrupt
       continue;
+    }
+    // Optional trailing binding signature (diagnostics): the rest of the
+    // payload after the single separating space.
+    std::string binding_tail;
+    if (std::getline(fields, binding_tail) && binding_tail.size() > 1 &&
+        binding_tail[0] == ' ') {
+      slot.entry.binding = binding_tail.substr(1);
     }
     std::optional<smt::CheckStatus> parsed = parse_status(status);
     if (!parsed) {

@@ -1,12 +1,16 @@
 // Persistent cross-batch verification-result cache.
 //
-// Keys are slice::canonical_slice_key fingerprints: they erase node identity
-// but embed the invariant, the routing relation under every in-budget
-// failure scenario, and every middlebox's policy projection - i.e. the whole
-// verification problem. That makes the cache self-invalidating: any spec
+// Keys are slice::canonical_problem_key renderings (v6): shape-canonical,
+// name- and address-blind fingerprints of the whole verification problem -
+// member kinds and structural fingerprints in canonical rank order,
+// token-numbered relevant addresses, each box's encoding_projection, the
+// invariant's kind and target ranks, and the per-scenario transfer relation
+// with the failure budget. That makes the cache self-invalidating (any spec
 // edit that changes the encoded problem changes the key, so stale entries
-// are simply never looked up again. Re-verification after an edit therefore
-// re-solves exactly the changed slices and answers the rest from disk.
+// are simply never looked up again) *and* rename-stable: a spec whose nodes
+// and addresses were consistently renamed re-derives the same keys cold, so
+// re-verification answers every isomorphic slice from disk and re-solves
+// exactly the problems the edit actually changed.
 //
 // Invalidation is record-granular (v5): every record carries the
 // fingerprint of the model that minted it, but that stamp gates *garbage
@@ -79,6 +83,11 @@ class ResultCache {
     smt::CheckStatus status = smt::CheckStatus::unknown;
     std::size_t slice_size = 0;
     std::size_t assertion_count = 0;
+    /// Diagnostic only (v6): comma-joined member names, in the canonical
+    /// rank order of the binding that minted this record
+    /// (verify::binding_signature). Never part of the record's identity -
+    /// a rename-isomorphic spec hits the record under different names.
+    std::string binding;
   };
 
   /// Opens the cache rooted at `dir` and loads `dir`/vmn-results.cache if

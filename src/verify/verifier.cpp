@@ -1,6 +1,7 @@
 #include "verify/verifier.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 #include <tuple>
@@ -28,12 +29,27 @@ void TimingHistogram::record(std::chrono::milliseconds ms) {
   for (auto v = ms.count(); v > 0; v >>= 1) ++bucket;
   if (buckets.size() <= bucket) buckets.resize(bucket + 1);
   ++buckets[bucket];
+  raw.push_back(ms);
 }
 
 std::size_t TimingHistogram::samples() const {
   std::size_t n = 0;
   for (std::size_t b : buckets) n += b;
   return n;
+}
+
+std::chrono::milliseconds TimingHistogram::percentile(double p) const {
+  if (raw.empty()) return std::chrono::milliseconds{0};
+  std::vector<std::chrono::milliseconds> sorted = raw;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest sample with at least p% of the samples at
+  // or below it (p clamped into [0, 100]).
+  const double clamped = p < 0.0 ? 0.0 : (p > 100.0 ? 100.0 : p);
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
 }
 
 std::string TimingHistogram::to_string() const {
@@ -223,18 +239,17 @@ std::uint64_t solve_identity(const net::Network& net,
 VerifyResult verify_members(const encode::NetworkModel& model,
                             const encode::Invariant& invariant,
                             std::vector<NodeId> members, int max_failures,
-                            SolverSession& session, const IsoBinding* iso) {
+                            SolverSession& session, bool iso_encoded) {
   const auto start = std::chrono::steady_clock::now();
   VerifyResult result;
 
-  // Cross-isomorphic rebinding: solve the invariant mapped into the
-  // representative's namespace on the representative's base encoding - the
-  // planner verified the isomorphism, so the problems are equisatisfiable
-  // and the witness relabels back exactly.
-  std::vector<NodeId> encode_members =
-      iso != nullptr ? iso->image : std::move(members);
-  const encode::Invariant solved =
-      iso != nullptr ? iso_invariant(*iso, invariant) : invariant;
+  // The problem arrives already in encode space: for iso-rebound jobs the
+  // planner mapped the invariant into the representative's namespace
+  // (Job::solve_invariant) and encode_members() IS the representative set.
+  // The result - witness included - stays in encode space; callers fan it
+  // out through bind_result per verdict binding.
+  std::vector<NodeId> encode_members = std::move(members);
+  const encode::Invariant& solved = invariant;
   const std::uint64_t solve_key =
       session.resilience().faults.enabled()
           ? solve_identity(model.network(), solved, encode_members,
@@ -276,10 +291,6 @@ VerifyResult verify_members(const encode::NetworkModel& model,
         result.outcome =
             invariant.sat_means_holds() ? Outcome::holds : Outcome::violated;
         result.counterexample = extract_trace(bound.encoding, solver.model());
-        if (iso != nullptr) {
-          result.counterexample =
-              relabel_witness(model, *iso, *result.counterexample);
-        }
         break;
       case smt::CheckStatus::unsat:
         result.outcome =
@@ -295,7 +306,7 @@ VerifyResult verify_members(const encode::NetworkModel& model,
 
   SolverSession::WarmBound warm =
       session.warm_bind(model, std::move(encode_members), max_failures);
-  if (iso != nullptr && warm.reused) session.note_iso_reuse();
+  if (iso_encoded && warm.reused) session.note_iso_reuse();
   smt::CheckStatus status = solve_once(warm, 0);
 
   // Unknown escalation: before accepting unknown, retry once on a fresh
@@ -313,6 +324,22 @@ VerifyResult verify_members(const encode::NetworkModel& model,
   result.total_time = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start);
   return result;
+}
+
+VerifyResult bind_result(const encode::NetworkModel& model,
+                         const VerifyResult& solved,
+                         const std::vector<NodeId>& members,
+                         const std::vector<NodeId>& iso_image) {
+  VerifyResult out = solved;
+  // The verdict transfers verbatim (equisatisfiability is the planner's
+  // shape_bijection contract and the mapped invariants share a kind, hence
+  // a sat polarity); only the witness needs to cross back into the
+  // binding's own namespace.
+  if (!iso_image.empty() && out.counterexample) {
+    const IsoBinding iso{members, iso_image};
+    out.counterexample = relabel_witness(model, iso, *out.counterexample);
+  }
+  return out;
 }
 
 namespace {
@@ -359,6 +386,16 @@ std::vector<NodeId> slice_members(const encode::NetworkModel& model,
     return std::move(s.members);
   }
   return encode::all_edge_nodes(model);
+}
+
+std::string binding_signature(const encode::NetworkModel& model,
+                              const std::vector<NodeId>& order) {
+  std::string out;
+  for (NodeId id : order) {
+    if (!out.empty()) out += ",";
+    out += model.network().name(id);
+  }
+  return out;
 }
 
 std::uint64_t model_fingerprint(const encode::NetworkModel& model) {
@@ -437,6 +474,23 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
         std::chrono::steady_clock::now() - inv_start);
     plan.jobs.push_back(std::move(job));
   }
+  // Shape keys are memoized per distinct member set: the iso-rebinding
+  // decision below consumes them and so does every job's cross-run
+  // problem key afterwards.
+  std::map<std::vector<NodeId>, slice::ShapeKey> shapes;
+  auto shape_of = [&](const std::vector<NodeId>& members)
+      -> const slice::ShapeKey& {
+    auto it = shapes.find(members);
+    if (it == shapes.end()) {
+      it = shapes
+               .emplace(members,
+                        slice::canonical_shape_key(model, members,
+                                                   options.max_failures,
+                                                   &ctx.transfers))
+               .first;
+    }
+    return it->second;
+  };
   // Cross-isomorphic encoding reuse: member sets isomorphic to a shape an
   // earlier job (or batch - the reps live in the PlanContext) already
   // encodes are rebound onto that representative via a planner-verified
@@ -445,6 +499,7 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
   // the datacenter's per-group jobs being the canonical case. Disabled
   // with warm solving off: --no-warm is the cold baseline and must keep
   // the historical encode-everything behavior.
+  std::map<std::string, std::size_t> blockers;
   if (options.warm_solving) {
     // One shape decision per distinct member set this pass.
     std::map<std::vector<NodeId>, std::pair<std::vector<NodeId>,
@@ -454,8 +509,7 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
       auto it = decided.find(job.members);
       if (it == decided.end()) {
         std::pair<std::vector<NodeId>, std::vector<NodeId>> decision;
-        slice::ShapeKey shape = slice::canonical_shape_key(
-            model, job.members, options.max_failures, &ctx.transfers);
+        const slice::ShapeKey& shape = shape_of(job.members);
         if (shape.members != job.members) {
           // Defensive: iso images are aligned with the normalized member
           // list; a job whose member list is not already normalized (never
@@ -468,7 +522,8 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
         // rule-deleted groups): try each registered representative's exact
         // verification, and a member set no representative accepts becomes
         // a representative itself - capped so a pathological key cannot
-        // turn planning quadratic.
+        // turn planning quadratic. Refusal reasons are kept per batch for
+        // the --dedup-report diagnostics.
         constexpr std::size_t kMaxShapeReps = 8;
         std::vector<ShapeRep>& reps = ctx.shape_reps[shape.key];
         bool is_rep = false;
@@ -478,13 +533,15 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
             break;
           }
           slice::ShapeKey rep_shape{shape.key, rep.members, rep.colors};
+          std::string why;
           if (std::optional<std::vector<NodeId>> image = slice::shape_bijection(
                   model, shape, rep_shape, options.max_failures,
-                  &ctx.transfers)) {
+                  &ctx.transfers, &why)) {
             decision.first = std::move(*image);
             decision.second = rep.members;
             break;
           }
+          ++blockers[why];
         }
         if (!is_rep && decision.first.empty() && reps.size() < kMaxShapeReps) {
           reps.push_back(ShapeRep{shape.members, shape.colors});
@@ -500,6 +557,87 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
       job.iso_members = it->second.second;
       ++plan.iso_mapped;
     }
+  }
+  // Every job's encode-space invariant (both engines and wire workers
+  // solve it verbatim) plus, under symmetry planning, the cross-run
+  // problem key the v6 result cache looks records up by.
+  for (Job& job : plan.jobs) {
+    const encode::Invariant& inv = invariants[job.invariant_index];
+    job.solve_invariant =
+        job.iso_image.empty()
+            ? inv
+            : iso_invariant(IsoBinding{job.members, job.iso_image}, inv);
+    if (use_symmetry) {
+      job.problem_key = slice::canonical_problem_key(
+          model, shape_of(job.members), inv, options.max_failures,
+          &ctx.transfers);
+    }
+  }
+  // Equivalence-class merging: jobs whose problem keys are equal describe
+  // the same verification problem up to a rank-preserving isomorphism
+  // (the key's exactness contract, slice/symmetry.hpp), so the class needs
+  // ONE solver call; later jobs of a class become verdict bindings of the
+  // first and replay its verdict through a rank-aligned bijection - the
+  // binding's rank-r node plays the part of the representative's rank-r
+  // node, invariant roles included, which is what makes the relabeled
+  // witness name the binding's own hosts. Keying on the problem key (not
+  // the exact mapped invariant) also folds role-swapped bijections the
+  // shape pairing happens to pick for symmetric slices. Gated on warm
+  // solving AND symmetry planning, so --no-warm keeps the
+  // solve-every-binding cold baseline and --no-symmetry stays a genuinely
+  // exhaustive one-solve-per-invariant run.
+  if (use_symmetry && options.warm_solving && options.merge_isomorphic) {
+    std::map<std::string, std::size_t> class_of;
+    std::vector<Job> merged;
+    for (Job& job : plan.jobs) {
+      bool fresh = true;
+      std::size_t rep_index = 0;
+      if (!job.problem_key.key.empty()) {
+        auto [it, inserted] =
+            class_of.emplace(job.problem_key.key, merged.size());
+        fresh = inserted;
+        rep_index = it->second;
+      }
+      if (!fresh) {
+        Job& rep = merged[rep_index];
+        const std::vector<NodeId>& rep_order = rep.problem_key.order;
+        const std::vector<NodeId>& own_order = job.problem_key.order;
+        if (rep_order.size() == own_order.size() &&
+            own_order.size() == job.members.size()) {
+          // g: binding member of canonical rank r -> the encode-space node
+          // standing in for the representative's rank-r member.
+          std::map<NodeId, NodeId> g;
+          for (std::size_t r = 0; r < own_order.size(); ++r) {
+            NodeId enc = rep_order[r];
+            if (!rep.iso_image.empty()) {
+              auto pos = std::lower_bound(rep.members.begin(),
+                                          rep.members.end(), enc);
+              enc = rep.iso_image[static_cast<std::size_t>(
+                  pos - rep.members.begin())];
+            }
+            g.emplace(own_order[r], enc);
+          }
+          VerdictBinding binding;
+          binding.invariant_index = job.invariant_index;
+          binding.iso_image.reserve(job.members.size());
+          for (NodeId m : job.members) binding.iso_image.push_back(g.at(m));
+          binding.members = std::move(job.members);
+          binding.problem_key = std::move(job.problem_key);
+          binding.inheritors = std::move(job.inheritors);
+          binding.plan_time = job.plan_time;
+          rep.bindings.push_back(std::move(binding));
+          ++plan.iso_verdict_merged;
+          continue;
+        }
+        // Rank lists disagree with the member set (empty-key sentinel or a
+        // defensive mismatch): keep the job as its own solver call.
+      }
+      merged.push_back(std::move(job));
+    }
+    plan.jobs = std::move(merged);
+  }
+  for (auto& [reason, count] : blockers) {
+    plan.merge_blockers.emplace_back(reason, count);
   }
   // Shape-adjacency ordering: jobs binding identical base encodings become
   // neighbors - identical member sets as before, plus member sets rebound
@@ -536,10 +674,14 @@ BatchResult Verifier::verify_all(
   batch.plan_time = plan.plan_time;
   batch.iso_mapped = plan.iso_mapped;
   batch.pool.invariant_count = invariants.size();
-  batch.pool.jobs_executed = plan.jobs.size();
+  batch.pool.jobs_executed = plan.planned_jobs();
   batch.pool.symmetry_hits = plan.symmetry_hits;
   batch.pool.conservative_splits = plan.conservative_splits;
   batch.pool.dedup_hit_rate = plan.dedup_hit_rate();
+  batch.pool.merge_blockers = plan.merge_blockers;
+  for (const Job& job : plan.jobs) {
+    batch.pool.iso_class_sizes.push_back(job.fan_out());
+  }
   // An Engine-lent cache survives across calls (and daemon reloads);
   // otherwise open the persistent cache for this call alone.
   std::optional<ResultCache> local_cache;
@@ -567,34 +709,67 @@ BatchResult Verifier::verify_all(
   const std::size_t rescued0 = session.escalations_rescued();
   for (Job& job : plan.jobs) {
     const auto job_start = std::chrono::steady_clock::now();
-    VerifyResult rep;
-    if (std::optional<ResultCache::Entry> hit = cache.lookup(job.canonical_key)) {
-      rep = result_from_cache(*hit, invariants[job.invariant_index]);
-      ++batch.cache_hits;
-    } else {
-      const IsoBinding iso{job.members, job.iso_image};
-      rep = verify_members(*model_, invariants[job.invariant_index],
-                           std::move(job.members), options_.max_failures,
-                           session,
-                           job.iso_image.empty() ? nullptr : &iso);
+    const std::size_t fan = job.fan_out();
+    std::vector<VerifyResult> bound(fan);
+    std::vector<char> from_cache_hit(fan, 0);
+    // Per-binding cache pass: every verdict binding looks itself up by its
+    // own cross-run problem key (bindings of one class usually share the
+    // key, so a warm cache answers the whole class from one record).
+    bool need_solve = false;
+    for (std::size_t k = 0; k < fan; ++k) {
+      const BindingRef b = job.binding(k);
+      if (!b.problem_key->key.empty()) {
+        if (std::optional<ResultCache::Entry> hit =
+                cache.lookup(b.problem_key->key)) {
+          bound[k] = result_from_cache(*hit, invariants[b.invariant_index]);
+          from_cache_hit[k] = 1;
+          ++batch.cache_hits;
+          continue;
+        }
+      }
+      need_solve = true;
+    }
+    // One encode-space solve answers every remaining binding: the verdict
+    // replays through each binding's inverse bijection (bind_result), with
+    // replays beyond the first counted as iso_verdict_reuses.
+    if (need_solve) {
+      VerifyResult solved = verify_members(
+          *model_, job.solve_invariant, job.encode_members(),
+          options_.max_failures, session, !job.iso_image.empty());
       ++batch.solver_calls;
-      batch.pool.solve_histogram.record(rep.solve_time);
-      // Keyless jobs (no-symmetry planning) are outside the cache's reach;
-      // they are not misses.
-      if (cache.enabled() && !job.canonical_key.empty()) {
-        ++batch.cache_misses;
-        cache.store(job.canonical_key,
-                    ResultCache::Entry{rep.raw_status, rep.slice_size,
-                                       rep.assertion_count});
+      batch.pool.solve_histogram.record(solved.solve_time);
+      bool replayed = false;
+      for (std::size_t k = 0; k < fan; ++k) {
+        if (from_cache_hit[k]) continue;
+        const BindingRef b = job.binding(k);
+        bound[k] = bind_result(*model_, solved, *b.members, *b.iso_image);
+        if (replayed) ++batch.iso_verdict_reuses;
+        replayed = true;
+        // Keyless bindings (no-symmetry planning, or a problem that
+        // resists canonicalization) are outside the cache's reach; they
+        // are not misses.
+        if (cache.enabled() && !b.problem_key->key.empty()) {
+          ++batch.cache_misses;
+          ResultCache::Entry entry;
+          entry.status = solved.raw_status;
+          entry.slice_size = solved.slice_size;
+          entry.assertion_count = solved.assertion_count;
+          entry.binding = binding_signature(*model_, b.problem_key->order);
+          cache.store(b.problem_key->key, entry);
+        }
       }
     }
-    rep.total_time =
-        job.plan_time + std::chrono::duration_cast<std::chrono::milliseconds>(
+    for (std::size_t k = 0; k < fan; ++k) {
+      const BindingRef b = job.binding(k);
+      VerifyResult rep = std::move(bound[k]);
+      rep.total_time =
+          b.plan_time + std::chrono::duration_cast<std::chrono::milliseconds>(
                             std::chrono::steady_clock::now() - job_start);
-    for (std::size_t k : job.inheritors) {
-      batch.results[k] = inherit_result(rep);
+      for (std::size_t inh : *b.inheritors) {
+        batch.results[inh] = inherit_result(rep);
+      }
+      batch.results[b.invariant_index] = std::move(rep);
     }
-    batch.results[job.invariant_index] = std::move(rep);
   }
   cache.flush();
   batch.degradation.cache_records_dropped = cache.records_dropped();

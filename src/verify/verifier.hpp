@@ -49,6 +49,14 @@ struct VerifyOptions {
   /// per-invariant negation pushed/popped). Verdict-identical to cold
   /// solving; off is the benchmark/debug baseline.
   bool warm_solving = true;
+  /// Collapse planned jobs whose encode-space problems are identical
+  /// (same representative members, same mapped invariant - the planner's
+  /// exact shape_bijection having vouched for every mapping) into ONE
+  /// solver call fanned out to per-binding verdicts, witnesses relabeled
+  /// per binding. Verdict-identical to solving each binding separately
+  /// (the `iso-verdict` fuzz oracle pins this); only active alongside
+  /// warm_solving, so --no-warm stays the full no-reuse cold baseline.
+  bool merge_isomorphic = true;
   /// Directory of the persistent cross-batch result cache (see
   /// verify/result_cache.hpp); empty disables caching. Cache hits restore
   /// outcome and statistics but never a counterexample trace.
@@ -83,12 +91,21 @@ struct VerifyResult {
 };
 
 /// Log2-bucketed per-job solve times: bucket i counts jobs whose solve time
-/// fell in [2^(i-1), 2^i) ms (bucket 0 is < 1 ms).
+/// fell in [2^(i-1), 2^i) ms (bucket 0 is < 1 ms). The raw samples are
+/// kept alongside the buckets (one entry per solver call - bounded by the
+/// batch's job count) so the tail is reportable exactly: BENCH_parallel
+/// and the CLI summary surface p50/p95/max, not just the mean.
 struct TimingHistogram {
   std::vector<std::size_t> buckets;
+  /// Every recorded sample, in record order.
+  std::vector<std::chrono::milliseconds> raw;
 
   void record(std::chrono::milliseconds ms);
   [[nodiscard]] std::size_t samples() const;
+  /// Nearest-rank percentile (p in [0, 100]) of the raw samples; 0ms when
+  /// empty. percentile(100) is the max.
+  [[nodiscard]] std::chrono::milliseconds percentile(double p) const;
+  [[nodiscard]] std::chrono::milliseconds max() const { return percentile(100.0); }
   /// e.g. "<1ms:3 1-2ms:1 8-16ms:7"
   [[nodiscard]] std::string to_string() const;
 };
@@ -100,8 +117,11 @@ struct TimingHistogram {
 /// under the thread backend (threads do not crash independently).
 struct PoolStats {
   std::size_t invariant_count = 0;
-  /// Planned solver jobs (the deduplicated queue; cache hits answer some
-  /// of these without scheduling them).
+  /// Planned invariant-jobs (the deduplicated queue, counting every
+  /// verdict binding of a merged equivalence class; cache hits answer
+  /// some of these without scheduling them, and merging answers others
+  /// without their own solver call - see BatchResult::solver_calls for
+  /// actual solves).
   std::size_t jobs_executed = 0;
   /// Invariants answered by canonical-key job merging.
   std::size_t symmetry_hits = 0;
@@ -120,6 +140,13 @@ struct PoolStats {
   std::size_t jobs_abandoned = 0;
   TimingHistogram solve_histogram;
   std::vector<WorkerStats> workers;
+  /// Equivalence-class fan-out: one entry per solver-call class, its value
+  /// the number of planned invariant-jobs the class's single solve
+  /// answers (1 = unmerged). Sum == jobs_executed.
+  std::vector<std::size_t> iso_class_sizes;
+  /// Refused candidate merges, reason -> count (JobPlan::merge_blockers);
+  /// `vmn verify --dedup-report` prints both.
+  std::vector<std::pair<std::string, std::size_t>> merge_blockers;
 };
 
 /// The one batch-verification result both engines return (the historical
@@ -134,8 +161,13 @@ struct BatchResult {
   /// Serial planning wall time (slices + canonical keys + dedup), the
   /// Amdahl term ahead of the fan-out.
   std::chrono::milliseconds plan_time{0};
-  /// Jobs answered by the persistent result cache / solved while it was
-  /// enabled (hits + misses == jobs when caching is on, 0 + 0 when off).
+  /// Verdict bindings answered by the persistent result cache / stored
+  /// into it after a solve (counted per planned invariant-job, so
+  /// hits + misses == jobs_executed when caching is on, 0 + 0 when off;
+  /// bindings of one merged class usually share a problem key, so misses
+  /// may land on one record). Keys are shape-canonical problem digests
+  /// (slice::canonical_problem_key): a renamed-but-isomorphic spec hits
+  /// cold, cross-run.
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   /// Warm-solving effectiveness: base encodings built cold vs jobs
@@ -148,6 +180,12 @@ struct BatchResult {
   /// cannot reach because the verdicts must stay separate.
   std::size_t iso_mapped = 0;
   std::size_t iso_reuses = 0;
+  /// Verdicts answered by replaying another binding's solve through a
+  /// planner-verified bijection (equivalence-class merging): for every
+  /// solver call with fan-out N whose bindings the cache did not answer,
+  /// N-1 of the N verdicts count here. The datacenter batch's "8 planned
+  /// jobs, 1 solver call" shows up as iso_verdict_reuses == 7.
+  std::size_t iso_verdict_reuses = 0;
   /// Transfer functions built by encoders vs served from a warm memo
   /// during encoding (see SolverSession::encode_transfer_builds): with the
   /// borrowed/per-session caches in place, no scenario's fabric walks ever
@@ -212,6 +250,13 @@ struct BatchResult {
 /// - record by record, leaving the rest of the file live.
 [[nodiscard]] std::uint64_t model_fingerprint(const encode::NetworkModel& model);
 
+/// Human-readable rendering of a problem key's canonical member order
+/// ("a,b,c"): the concrete binding stored alongside every v6 cache record
+/// so a record names the nodes that minted it (diagnostics only - lookups
+/// compare keys, never bindings).
+[[nodiscard]] std::string binding_signature(const encode::NetworkModel& model,
+                                            const std::vector<NodeId>& order);
+
 /// The edge nodes `invariant` is encoded over: the computed slice, or the
 /// whole network when slicing is off. Shared by the sequential Verifier and
 /// the ParallelVerifier planner so the two engines encode identical
@@ -245,19 +290,19 @@ struct BatchResult {
                                 bool use_symmetry, const VerifyOptions& options,
                                 PlanContext* ctx = nullptr);
 
-/// A planner-verified isomorphism binding one job onto a representative
-/// member set's base encoding (see Job::iso_image and
+/// A planner-verified isomorphism binding one invariant-job onto a
+/// representative member set's base encoding (see Job::iso_image and
 /// slice::shape_bijection). `members` is the job's own sorted slice;
 /// `image[i]` is the representative node playing members[i]'s part. The
 /// bijection carries the soundness argument: the base encodings are
 /// isomorphic under it (node-for-node, address-for-address,
-/// scenario-permuted), so verify_members solves the invariant *mapped into
-/// the representative's namespace* on the representative's (possibly warm)
-/// context and relabels any counterexample back - nodes through the
-/// inverse bijection, packet addresses through the induced inverse address
-/// map - before the result surfaces. The relabeled witness therefore names
-/// the actual slice's hosts, exactly as a cold solve of the original
-/// problem would.
+/// scenario-permuted), so the planner maps the invariant into the
+/// representative's namespace (Job::solve_invariant), the engines solve
+/// the mapped problem once, and bind_result relabels any counterexample
+/// back - nodes through the inverse bijection, packet addresses through
+/// the induced inverse address map - before each binding's result
+/// surfaces. The relabeled witness therefore names the actual slice's
+/// hosts, exactly as a cold solve of the original problem would.
 struct IsoBinding {
   std::vector<NodeId> members;
   std::vector<NodeId> image;
@@ -271,17 +316,30 @@ struct IsoBinding {
 /// funnel through this function, which is what guarantees their outcomes
 /// agree check-for-check. `total_time` covers encoding and solving only;
 /// callers that also compute the slice fold that time in themselves.
-/// With `iso`, the session is bound to the isomorphic representative's
-/// base problem instead (iso->image; `members` is ignored), the invariant
-/// crosses into and the witness back out of the representative's namespace
-/// (see IsoBinding), and a live-context hit is additionally counted as a
+/// `invariant` and `members` are the encode-space problem verbatim (for
+/// iso-rebound jobs the planner already mapped both); the returned
+/// result - witness included - stays in encode space, and callers fan it
+/// out through bind_result per verdict binding. `iso_encoded` only marks
+/// the problem as an iso-rebound one so a live-context hit counts as a
 /// cross-isomorphic reuse on the session.
 [[nodiscard]] VerifyResult verify_members(const encode::NetworkModel& model,
                                           const encode::Invariant& invariant,
                                           std::vector<NodeId> members,
                                           int max_failures,
                                           SolverSession& session,
-                                          const IsoBinding* iso = nullptr);
+                                          bool iso_encoded = false);
+
+/// The result one verdict binding surfaces from its class's single
+/// encode-space solve: verdict, status and statistics verbatim, the
+/// witness relabeled from encode space into the binding's own namespace
+/// through the inverse bijection (members[i] <- iso_image[i]); an empty
+/// iso_image is the identity binding and passes the witness through
+/// untouched. Equisatisfiability is the planner's shape_bijection
+/// contract, which is why the verdict itself never changes hands here.
+[[nodiscard]] VerifyResult bind_result(const encode::NetworkModel& model,
+                                       const VerifyResult& solved,
+                                       const std::vector<NodeId>& members,
+                                       const std::vector<NodeId>& iso_image);
 
 /// The sequential engine. A Verifier owns one PlanContext shared by class
 /// inference and every plan pass, so its planning state is mutated by the

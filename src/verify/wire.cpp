@@ -204,10 +204,8 @@ std::string encode_job(const WireJob& job) {
   w.str(job.type_prefix);
   w.u32(static_cast<std::uint32_t>(job.members.size()));
   for (const std::string& m : job.members) w.str(m);
-  w.u32(static_cast<std::uint32_t>(job.iso_image.size()));
-  for (const std::string& m : job.iso_image) w.str(m);
+  w.u8(job.iso_encoded ? 1 : 0);
   w.i32(job.max_failures);
-  w.str(job.canonical_key);
   return std::move(w).take();
 }
 
@@ -230,13 +228,8 @@ WireJob decode_job(std::string_view payload) {
   // clean WireError at the first missing element.
   const std::uint32_t members = r.u32();
   for (std::uint32_t i = 0; i < members; ++i) job.members.push_back(r.str());
-  const std::uint32_t iso = r.u32();
-  if (iso != 0 && iso != members) {
-    corrupt("iso binding length does not match member count");
-  }
-  for (std::uint32_t i = 0; i < iso; ++i) job.iso_image.push_back(r.str());
+  job.iso_encoded = r.u8() != 0;
   job.max_failures = r.i32();
-  job.canonical_key = r.str();
   r.finish();
   return job;
 }
@@ -341,20 +334,20 @@ WireResult decode_result(std::string_view payload) {
 // --- id <-> name projection -------------------------------------------------
 
 WireJob make_wire_job(const encode::NetworkModel& model, const Job& job,
-                      const encode::Invariant& invariant, int max_failures) {
+                      int max_failures) {
   const net::Network& net = model.network();
+  const encode::Invariant& invariant = job.solve_invariant;
   WireJob out;
   out.id = job.id;
   out.kind = invariant.kind;
   out.target = net.name(invariant.target);
   out.other = invariant.other.valid() ? net.name(invariant.other) : "";
   out.type_prefix = invariant.type_prefix;
-  out.members.reserve(job.members.size());
-  for (NodeId m : job.members) out.members.push_back(net.name(m));
-  out.iso_image.reserve(job.iso_image.size());
-  for (NodeId m : job.iso_image) out.iso_image.push_back(net.name(m));
+  const std::vector<NodeId>& members = job.encode_members();
+  out.members.reserve(members.size());
+  for (NodeId m : members) out.members.push_back(net.name(m));
+  out.iso_encoded = !job.iso_image.empty();
   out.max_failures = max_failures;
-  out.canonical_key = job.canonical_key;
   return out;
 }
 
@@ -381,32 +374,10 @@ ResolvedJob resolve_job(const encode::NetworkModel& model, const WireJob& job) {
   for (const std::string& m : job.members) {
     out.members.push_back(resolve_name(net, m));
   }
-  for (const std::string& m : job.iso_image) {
-    out.iso_image.push_back(resolve_name(net, m));
-  }
   // Members travel as names; the worker's re-parsed model assigns different
-  // ids, so restore the sorted order every slice carries - permuting the
-  // aligned iso binding the same way, so iso_image[i] keeps playing
-  // members[i]'s part.
-  if (out.iso_image.empty()) {
-    std::sort(out.members.begin(), out.members.end());
-  } else {
-    std::vector<std::size_t> order(out.members.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return out.members[a] < out.members[b];
-    });
-    std::vector<NodeId> members;
-    std::vector<NodeId> image;
-    members.reserve(order.size());
-    image.reserve(order.size());
-    for (std::size_t i : order) {
-      members.push_back(out.members[i]);
-      image.push_back(out.iso_image[i]);
-    }
-    out.members = std::move(members);
-    out.iso_image = std::move(image);
-  }
+  // ids, so restore the sorted order every slice carries.
+  std::sort(out.members.begin(), out.members.end());
+  out.iso_encoded = job.iso_encoded;
   return out;
 }
 
@@ -595,11 +566,9 @@ int worker_main(std::FILE* in, std::FILE* out) {
           const std::size_t esc_before = session->escalations();
           const std::size_t esc_rescued_before =
               session->escalations_rescued();
-          const IsoBinding iso{resolved.members, resolved.iso_image};
           VerifyResult verdict = verify_members(
               spec->model, resolved.invariant, std::move(resolved.members),
-              job.max_failures, *session,
-              resolved.iso_image.empty() ? nullptr : &iso);
+              job.max_failures, *session, resolved.iso_encoded);
           result =
               make_wire_result(spec->model.network(), job.id, verdict);
           result.warm_binds = session->binds() - binds_before;

@@ -7,10 +7,10 @@
 //                                         session options; one per shape
 //                                         group - re-parsing a small slice is
 //                                         cheaper than shipping the network)
-//                          JOB frames    (invariant + member names + failure
-//                                         budget + canonical key, node ids
-//                                         projected to names so they survive
-//                                         re-parsing)
+//                          JOB frames    (encode-space invariant + encode
+//                                         member names + failure budget,
+//                                         node ids projected to names so
+//                                         they survive re-parsing)
 //   worker -> dispatcher:  RESULT frames (verdict, raw status, timings,
 //                                         slice/assertion statistics, warm
 //                                         counters, optional counterexample
@@ -56,8 +56,14 @@ class WireError : public Error {
 /// member names, aligned with the job's own), RESULT frames the iso/encode
 /// reuse counters. v2 -> v3: MODEL frames carry the serialized FaultPlan
 /// and the unknown-escalation policy; RESULT frames the escalation
-/// counters. Version skew on either side is a WireError, never a misread.
-inline constexpr std::uint16_t kWireVersion = 3;
+/// counters. v3 -> v4: JOB frames ship the *encode-space* problem verbatim
+/// (the planner's solve_invariant over the representative member set) with
+/// a single iso_encoded marker instead of the aligned iso_image name list
+/// and the canonical key - workers return encode-space results and the
+/// dispatcher fans each verdict out to its bindings (verify::bind_result),
+/// so frames shrink and a merged equivalence class crosses the pipe once.
+/// Version skew on either side is a WireError, never a misread.
+inline constexpr std::uint16_t kWireVersion = 4;
 inline constexpr std::size_t kFrameHeaderSize = 20;
 /// Upper bound on a single payload (a projected spec of a pathological
 /// slice stays far below this; anything larger is a corrupt length field).
@@ -112,7 +118,11 @@ struct WireModel {
   std::string spec_text;
 };
 
-/// JOB: one verify::Job, node ids projected to names.
+/// JOB: one verify::Job's encode-space problem, node ids projected to
+/// names. The invariant fields are the planner's solve_invariant (already
+/// mapped into encode space for iso-rebound jobs) and `members` the
+/// encode member set; the worker solves exactly this and returns the
+/// encode-space result - binding fan-out stays dispatcher-side.
 struct WireJob {
   std::uint64_t id = 0;
   encode::InvariantKind kind = encode::InvariantKind::node_isolation;
@@ -120,15 +130,11 @@ struct WireJob {
   std::string other;  ///< empty when the invariant has no peer node
   std::string type_prefix;
   std::vector<std::string> members;
-  /// Cross-isomorphic binding (verify::IsoBinding projected to names):
-  /// when non-empty, iso_image[i] names the representative node playing
-  /// members[i]'s part, and the worker executes the job on the
-  /// representative's base encoding with the witness relabeled back.
-  /// Either empty or exactly members.size() long - anything else is a
-  /// corrupt frame.
-  std::vector<std::string> iso_image;
+  /// True when the problem was rebound onto an isomorphic representative
+  /// (Job::iso_image non-empty): a live-context hit on the worker then
+  /// counts as a cross-isomorphic reuse, nothing more.
+  bool iso_encoded = false;
   std::int32_t max_failures = 0;
-  std::string canonical_key;
 };
 
 /// One trace event with node identity projected to names ("" = the network
@@ -184,21 +190,18 @@ struct WireResult {
 [[nodiscard]] std::string encode_result(const WireResult& result);
 [[nodiscard]] WireResult decode_result(std::string_view payload);
 
-/// Projects a planned Job (and its invariant) to names for the wire.
+/// Projects a planned Job's encode-space problem (solve_invariant +
+/// encode members) to names for the wire.
 [[nodiscard]] WireJob make_wire_job(const encode::NetworkModel& model,
-                                    const Job& job,
-                                    const encode::Invariant& invariant,
-                                    int max_failures);
+                                    const Job& job, int max_failures);
 
 /// A wire job resolved against a (re)parsed model: names back to ids.
 /// Throws WireError when a name does not exist in `model`.
 struct ResolvedJob {
   encode::Invariant invariant;
   std::vector<NodeId> members;
-  /// Resolved iso binding, aligned with `members` (which is re-sorted by
-  /// the worker's ids; the alignment survives the re-sort). Empty when the
-  /// job carries none.
-  std::vector<NodeId> iso_image;
+  /// WireJob::iso_encoded, passed through to verify_members.
+  bool iso_encoded = false;
 };
 [[nodiscard]] ResolvedJob resolve_job(const encode::NetworkModel& model,
                                       const WireJob& job);

@@ -1,19 +1,23 @@
 // Persistent result-cache tests: unit coverage for ResultCache itself -
-// including the v5 record-granular invalidation (per-record model stamps
+// including the record-granular invalidation (per-record model stamps
 // that gate garbage collection, never lookups) - and end-to-end coverage
 // of the batch fast path through verify::Engine: identical reruns answer
 // every job from disk with verdicts equal to the cold run, spec edits that
-// change the canonical key miss and re-solve, and a disabled cache changes
-// nothing about the outcomes.
+// change the problem key miss and re-solve, a renamed-and-readdressed but
+// isomorphic spec hits the v6 shape-canonical keys cold, and a disabled
+// cache changes nothing about the outcomes.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/rng.hpp"
+#include "io/spec.hpp"
 #include "mbox/firewall.hpp"
 #include "scenarios/datacenter.hpp"
 #include "scenarios/enterprise.hpp"
@@ -53,6 +57,18 @@ ParallelOptions cached_options(const std::string& cache_dir,
   opts.verify.solver.seed = 7;
   opts.verify.cache_dir = cache_dir;
   return opts;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string segmented_spec_path() {
+  return std::string(VMN_SOURCE_DIR) + "/examples/specs/segmented.vmn";
 }
 
 scenarios::Datacenter make_datacenter_small() {
@@ -210,7 +226,7 @@ TEST(ResultCacheUnit, StaleKeyVersionIsRejectedWholesaleAndRewritten) {
   // fingerprint was minted under keys that meant something else (the
   // pre-reachability-refinement class relation), and that must be enough
   // to reject it. Version mismatch is the *only* wholesale rejection left
-  // in v5 - spec edits are handled per record by the stamps.
+  // in v6 - spec edits are handled per record by the stamps.
   {
     std::ofstream out(path, std::ios::trunc);
     out << "# vmn-result-cache v1\n" << lines[1] << "\n";
@@ -227,7 +243,7 @@ TEST(ResultCacheUnit, StaleKeyVersionIsRejectedWholesaleAndRewritten) {
   EXPECT_FALSE(stale.stale_version());
   lines = read_lines();
   ASSERT_EQ(lines.size(), 2u);
-  EXPECT_NE(lines[0].find("v5"), std::string::npos);
+  EXPECT_NE(lines[0].find("v6"), std::string::npos);
   ResultCache upgraded(dir.path);
   EXPECT_EQ(upgraded.size(), 1u);
   ASSERT_TRUE(upgraded.lookup(key).has_value());
@@ -443,7 +459,13 @@ TEST(ResultCacheBatch, IdenticalRerunHitsEverythingWithEqualVerdicts) {
   BatchResult cold = engine.run_batch(batch.invariants);
   EXPECT_EQ(cold.cache_hits, 0u);
   EXPECT_EQ(cold.cache_misses, cold.pool.jobs_executed);
-  EXPECT_EQ(cold.solver_calls, cold.pool.jobs_executed);
+  // Verdict-level merging: isomorphic invariants share one solver call, the
+  // replayed bindings show up as iso_verdict_reuses. Every executed job is
+  // accounted for exactly once.
+  EXPECT_GT(cold.solver_calls, 0u);
+  EXPECT_LT(cold.solver_calls, cold.pool.jobs_executed);
+  EXPECT_EQ(cold.solver_calls + cold.iso_verdict_reuses + cold.cache_hits,
+            cold.pool.jobs_executed);
 
   BatchResult hot = engine.run_batch(batch.invariants);
   EXPECT_EQ(hot.cache_hits, hot.pool.jobs_executed);
@@ -458,6 +480,59 @@ TEST(ResultCacheBatch, IdenticalRerunHitsEverythingWithEqualVerdicts) {
         << i;
     EXPECT_EQ(hot.results[i].by_symmetry, cold.results[i].by_symmetry) << i;
     EXPECT_TRUE(hot.results[i].from_cache) << i;
+  }
+}
+
+TEST(ResultCacheBatch, RenamedIsomorphicSpecHitsColdAcrossRuns) {
+  // The v6 headline: two *separate* Engine runs over one cache directory,
+  // where the second spec renames every node AND moves both segments to new
+  // subnets. Shape-canonical problem keys are name-blind and address-token-
+  // canonical, so the renamed spec's first-ever run answers every job from
+  // the other spec's records - zero solver calls on a cold process.
+  const std::string original = read_file(segmented_spec_path());
+  std::string renamed = original;
+  auto replace_all = [&renamed](const std::string& from,
+                                const std::string& to) {
+    for (std::size_t pos = renamed.find(from); pos != std::string::npos;
+         pos = renamed.find(from, pos + to.size())) {
+      renamed.replace(pos, from.size(), to);
+    }
+  };
+  // Addresses first (name tokens never contain dots, so the passes cannot
+  // interfere), then every node name, then the traversal invariants' name
+  // prefix (the middlebox TYPE keyword "idps" stays).
+  replace_all("10.0.", "10.4.");
+  replace_all("10.1.", "10.5.");
+  for (const auto& [from, to] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"srv0", "edge0"},   {"srv1", "edge1"},   {"h0-0", "peer-a"},
+           {"h0-1", "peer-b"},  {"h1-0", "peer-c"},  {"h1-1", "peer-d"},
+           {"idps0", "watch0"}, {"idps1", "watch1"}, {"s0a", "t4a"},
+           {"s0b", "t4b"},      {"s1a", "t5a"},      {"s1b", "t5b"}}) {
+    replace_all(from, to);
+  }
+  replace_all(" idps expect", " watch expect");
+  ASSERT_EQ(renamed.find("srv0"), std::string::npos);
+  ASSERT_EQ(renamed.find("10.0."), std::string::npos);
+
+  TempCacheDir dir;
+  io::Spec first = io::parse_spec_string(original);
+  BatchResult cold = Engine(first.model, cached_options(dir.path))
+                         .run_batch(first.invariants);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_GT(cold.solver_calls, 0u);
+
+  io::Spec second = io::parse_spec_string(renamed);
+  BatchResult warm = Engine(second.model, cached_options(dir.path))
+                         .run_batch(second.invariants);
+  EXPECT_EQ(warm.pool.jobs_executed, cold.pool.jobs_executed);
+  EXPECT_EQ(warm.solver_calls, 0u);
+  EXPECT_EQ(warm.cache_hits, warm.pool.jobs_executed);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  ASSERT_EQ(warm.results.size(), cold.results.size());
+  for (std::size_t i = 0; i < cold.results.size(); ++i) {
+    EXPECT_EQ(warm.results[i].outcome, cold.results[i].outcome) << i;
+    EXPECT_EQ(warm.results[i].raw_status, cold.results[i].raw_status) << i;
   }
 }
 

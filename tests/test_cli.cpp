@@ -118,6 +118,49 @@ TEST(OptionSet, ErrorsNameTheProblem) {
   EXPECT_FALSE(flag);
 }
 
+TEST(OptionSet, CrossFlagChecksRejectBadCombinationsInEitherOrder) {
+  // The vmn verify regression: --no-symmetry with --cache-dir must be a
+  // hard usage error (exit 3 at the CLI), whichever order the two flags
+  // appear in - the check sees settled values, not parse order.
+  auto make = [](bool& symmetry, std::string& cache_dir) {
+    OptionSet set("vmn test", "test set");
+    set.add_flag("--no-symmetry", "disable dedup", &symmetry, false);
+    set.add_string("--cache-dir", "<dir>", "cache", &cache_dir);
+    set.add_check([&symmetry, &cache_dir](std::string& error) {
+      if (!cache_dir.empty() && !symmetry) {
+        error = "--cache-dir cannot be combined with --no-symmetry";
+        return false;
+      }
+      return true;
+    });
+    return set;
+  };
+
+  for (const std::vector<std::string>& args :
+       {std::vector<std::string>{"--no-symmetry", "--cache-dir", "d"},
+        std::vector<std::string>{"--cache-dir", "d", "--no-symmetry"}}) {
+    bool symmetry = true;
+    std::string cache_dir;
+    OptionSet set = make(symmetry, cache_dir);
+    testing::internal::CaptureStderr();
+    Argv a(args);
+    EXPECT_EQ(set.parse(a.argc(), a.argv()), OptionSet::Result::error);
+    EXPECT_NE(testing::internal::GetCapturedStderr().find("--no-symmetry"),
+              std::string::npos);
+  }
+
+  // Either flag alone parses cleanly.
+  for (const std::vector<std::string>& args :
+       {std::vector<std::string>{"--no-symmetry"},
+        std::vector<std::string>{"--cache-dir", "d"}}) {
+    bool symmetry = true;
+    std::string cache_dir;
+    OptionSet set = make(symmetry, cache_dir);
+    Argv a(args);
+    EXPECT_EQ(set.parse(a.argc(), a.argv()), OptionSet::Result::ok);
+  }
+}
+
 TEST(OptionSet, RejectingApplyCallbackReportsTheOptionName) {
   OptionSet set("vmn test", "test set");
   set.add_value("--jobs", "<n>", "worker count",

@@ -16,6 +16,7 @@
 #include "scenarios/isp.hpp"
 #include "scenarios/multitenant.hpp"
 #include "scenarios/segmented.hpp"
+#include "sim/replay.hpp"
 #include "util.hpp"
 #include "verify/engine.hpp"
 #include "verify/parallel.hpp"
@@ -472,11 +473,11 @@ TEST(Planner, OrdersSameShapeJobsAdjacently) {
 // --- cross-isomorphic warm solving ------------------------------------------
 
 // The datacenter's per-group isolation jobs: every group pair's slice is a
-// renamed copy of the first, but firewall fingerprints name raw peer
-// prefixes, so canonical keys keep the verdicts separate. Encoding-layer
-// reuse must rebind them onto one representative's base encoding
-// (iso_mapped / iso_reuses > 0) without changing a single verdict, and the
-// --no-warm baseline must stay the historical encode-everything path.
+// renamed copy of the first, but canonical slice keys keep the verdicts
+// separate. Verdict-level merging must fold them onto one representative's
+// solver call (iso_mapped / iso_verdict_reuses > 0, strictly fewer solver
+// calls) without changing a single verdict, and the --no-warm baseline must
+// stay the historical encode-everything path.
 TEST(IsoWarm, DatacenterBatchRebindsIsomorphicSlices) {
   scenarios::DatacenterParams p;
   p.policy_groups = 4;
@@ -493,11 +494,15 @@ TEST(IsoWarm, DatacenterBatchRebindsIsomorphicSlices) {
       Engine(dc.model, cold).run_batch(batch.invariants);
 
   EXPECT_GT(warm_r.iso_mapped, 0u);
-  EXPECT_GT(warm_r.iso_reuses, 0u);
+  EXPECT_GT(warm_r.iso_verdict_reuses, 0u);
   EXPECT_EQ(cold_r.iso_mapped, 0u);
   EXPECT_EQ(cold_r.iso_reuses, 0u);
-  // Rebinding merges encodings, never verdicts: jobs stay jobs.
+  EXPECT_EQ(cold_r.iso_verdict_reuses, 0u);
+  // Merging folds solver calls, never planned jobs: every invariant-job is
+  // still accounted for on both sides, warm just answers them with fewer
+  // solves.
   EXPECT_EQ(warm_r.pool.jobs_executed, cold_r.pool.jobs_executed);
+  EXPECT_LT(warm_r.solver_calls, cold_r.solver_calls);
   for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
     EXPECT_EQ(warm_r.results[i].outcome, cold_r.results[i].outcome) << i;
     EXPECT_EQ(warm_r.results[i].raw_status, cold_r.results[i].raw_status) << i;
@@ -510,13 +515,59 @@ TEST(IsoWarm, DatacenterBatchRebindsIsomorphicSlices) {
   }
 }
 
+// The acceptance bar for verdict-level merging: the fig-4 style isolation
+// batch (one invariant per policy group, all the same direction) is ONE
+// equivalence class - 8 planned invariant jobs, exactly 1 solver call, the
+// other 7 replayed as verdict bindings. --no-warm keeps solving all 8.
+TEST(IsoWarm, EightGroupIsolationBatchSolvesOnce) {
+  scenarios::DatacenterParams p;
+  p.policy_groups = 8;
+  p.clients_per_group = 1;
+  scenarios::Datacenter dc = scenarios::make_datacenter(p);
+  const std::vector<Invariant> isolation = dc.isolation_invariants();
+  ASSERT_GE(isolation.size(), 8u);
+
+  Engine warm(dc.model, with_jobs(2));
+  JobPlan plan = warm.plan(isolation);
+  EXPECT_GE(plan.planned_jobs(), 8u);
+  EXPECT_EQ(plan.jobs.size(), 1u);
+  BatchResult warm_r = warm.run_batch(isolation);
+  EXPECT_GE(warm_r.pool.jobs_executed, 8u);
+  EXPECT_EQ(warm_r.solver_calls, 1u);
+  EXPECT_EQ(warm_r.iso_verdict_reuses, warm_r.pool.jobs_executed - 1);
+
+  ParallelOptions cold_opts = with_jobs(2);
+  cold_opts.verify.warm_solving = false;
+  BatchResult cold_r = Engine(dc.model, cold_opts).run_batch(isolation);
+  EXPECT_EQ(cold_r.solver_calls, cold_r.pool.jobs_executed);
+  EXPECT_EQ(cold_r.iso_verdict_reuses, 0u);
+  ASSERT_EQ(warm_r.results.size(), cold_r.results.size());
+  for (std::size_t i = 0; i < warm_r.results.size(); ++i) {
+    EXPECT_EQ(warm_r.results[i].outcome, Outcome::holds) << i;
+    EXPECT_EQ(warm_r.results[i].outcome, cold_r.results[i].outcome) << i;
+    EXPECT_EQ(warm_r.results[i].raw_status, cold_r.results[i].raw_status) << i;
+  }
+
+  // The sequential engine shares the planner, so the same batch collapses
+  // to one solve there too.
+  VerifyOptions seq;
+  seq.solver.seed = 7;
+  BatchResult seq_r =
+      Engine(dc.model, seq).run_batch(isolation, /*use_symmetry=*/true);
+  EXPECT_EQ(seq_r.solver_calls, 1u);
+  EXPECT_GE(seq_r.pool.jobs_executed, 8u);
+  for (std::size_t i = 0; i < seq_r.results.size(); ++i) {
+    EXPECT_EQ(seq_r.results[i].outcome, warm_r.results[i].outcome) << i;
+  }
+}
+
 TEST(IsoWarm, SequentialEngineEncodesWithZeroTransferBuilds) {
   // The sequential engine lends its PlanContext transfer memo to the solver
   // session: by encode time the planner has walked every in-budget
   // scenario, so the encoder builds NOTHING - the acceptance bar for
-  // "zero duplicate TransferFunction builds during encoding". The same
-  // session serves every job in plan order, so the datacenter's rebound
-  // group jobs surface as cross-isomorphic warm reuses.
+  // "zero duplicate TransferFunction builds during encoding". The
+  // datacenter's per-group jobs merge into shared solver calls, so their
+  // replayed bindings surface as verdict-level reuses.
   scenarios::DatacenterParams p;
   p.policy_groups = 4;
   p.clients_per_group = 1;
@@ -528,7 +579,7 @@ TEST(IsoWarm, SequentialEngineEncodesWithZeroTransferBuilds) {
   BatchResult r = v.run_batch(batch.invariants, /*use_symmetry=*/true);
   EXPECT_EQ(r.encode_transfer_builds, 0u);
   EXPECT_GT(r.encode_transfer_reuses, 0u);
-  EXPECT_GT(r.iso_reuses, 0u);
+  EXPECT_GT(r.iso_verdict_reuses, 0u);
   for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
     const Outcome expected =
         batch.expected_holds[i] ? Outcome::holds : Outcome::violated;
@@ -553,13 +604,15 @@ TEST(IsoWarm, ThreadWorkersNeverBuildATransferFunctionTwice) {
 }
 
 // A violated invariant answered through an isomorphic representative's
-// encoding must surface a witness naming the ACTUAL slice's hosts - the
-// planner relabels nodes and packet addresses back through the inverse
-// bijection. This is the soundness-critical half of encoding reuse.
+// solver call must surface a witness naming the ACTUAL slice's hosts - the
+// engine relabels nodes and packet addresses back through the inverse
+// bijection per binding (verify::bind_result). This is the
+// soundness-critical half of verdict-level reuse.
 TEST(IsoWarm, RelabeledWitnessNamesTheActualSlicesHosts) {
   // Two rule-deletion breakages in distinct group pairs: two violated
-  // isolation jobs with isomorphic slices and different canonical keys -
-  // the second is solved on the first's base encoding.
+  // isolation bindings with isomorphic slices and different canonical keys -
+  // the planner merges them into one solver call (or rebinds the second
+  // onto the first's encoding) and the second's witness is a relabel.
   scenarios::Datacenter dc;
   bool found = false;
   for (std::uint64_t seed = 1; seed <= 32 && !found; ++seed) {
@@ -581,47 +634,152 @@ TEST(IsoWarm, RelabeledWitnessNamesTheActualSlicesHosts) {
   BatchResult r = v.run_batch(batch.invariants);
 
   const net::Network& net = dc.model.network();
-  std::size_t violated_reps = 0;
+  std::size_t violated_bindings = 0;
   std::size_t violated_via_iso = 0;
   for (const Job& job : plan.jobs) {
-    const std::size_t i = job.invariant_index;
-    if (r.results[i].outcome != Outcome::violated) continue;
-    ++violated_reps;
-    if (!job.iso_image.empty()) ++violated_via_iso;
-    ASSERT_TRUE(r.results[i].counterexample.has_value()) << "invariant " << i;
-    const Invariant& inv = batch.invariants[i];
-    bool target_received = false;
-    for (const Event& ev : r.results[i].counterexample->events()) {
-      // Every node the relabeled trace names must belong to the job's OWN
-      // slice (or Omega) - never to the representative's.
-      if (ev.from.valid()) {
-        EXPECT_TRUE(std::binary_search(job.members.begin(), job.members.end(),
-                                       ev.from))
-            << "trace names " << net.name(ev.from)
-            << ", outside the slice of invariant " << i;
+    for (std::size_t k = 0; k < job.fan_out(); ++k) {
+      const BindingRef b = job.binding(k);
+      const std::size_t i = b.invariant_index;
+      if (r.results[i].outcome != Outcome::violated) continue;
+      ++violated_bindings;
+      // Replayed bindings (k > 0) and iso-rebound representatives both go
+      // through the inverse bijection before the witness surfaces.
+      if (k > 0 || !b.iso_image->empty()) ++violated_via_iso;
+      ASSERT_TRUE(r.results[i].counterexample.has_value()) << "invariant " << i;
+      const Invariant& inv = batch.invariants[i];
+      bool target_received = false;
+      for (const Event& ev : r.results[i].counterexample->events()) {
+        // Every node the relabeled trace names must belong to the binding's
+        // OWN slice (or Omega) - never to the representative's.
+        if (ev.from.valid()) {
+          EXPECT_TRUE(std::binary_search(b.members->begin(), b.members->end(),
+                                         ev.from))
+              << "trace names " << net.name(ev.from)
+              << ", outside the slice of invariant " << i;
+        }
+        if (ev.to.valid()) {
+          EXPECT_TRUE(std::binary_search(b.members->begin(), b.members->end(),
+                                         ev.to))
+              << "trace names " << net.name(ev.to)
+              << ", outside the slice of invariant " << i;
+        }
+        if (ev.kind == EventKind::receive && ev.to == inv.target &&
+            ev.packet.src == net.node(inv.other).address) {
+          target_received = true;
+        }
       }
-      if (ev.to.valid()) {
-        EXPECT_TRUE(std::binary_search(job.members.begin(), job.members.end(),
-                                       ev.to))
-            << "trace names " << net.name(ev.to)
-            << ", outside the slice of invariant " << i;
-      }
-      if (ev.kind == EventKind::receive && ev.to == inv.target &&
-          ev.packet.src == net.node(inv.other).address) {
-        target_received = true;
-      }
+      // The delivery the invariant forbids, with the ACTUAL slice's sender
+      // address on the packet (the representative's sender address would
+      // betray an unrelabeled witness).
+      EXPECT_TRUE(target_received)
+          << "no forbidden delivery to " << net.name(inv.target)
+          << " from " << net.name(inv.other) << " in the witness";
     }
-    // The delivery the invariant forbids, with the ACTUAL slice's sender
-    // address on the packet (the representative's sender address would
-    // betray an unrelabeled witness).
-    EXPECT_TRUE(target_received)
-        << "no forbidden delivery to " << net.name(inv.target)
-        << " from " << net.name(inv.other) << " in the witness";
   }
-  EXPECT_GE(violated_reps, 2u);
-  // At least one of the violated jobs must have been answered through the
-  // other's base encoding - otherwise this test exercised nothing.
+  EXPECT_GE(violated_bindings, 2u);
+  // At least one of the violated bindings must have been answered through
+  // another's solver call or base encoding - otherwise this test exercised
+  // nothing.
   EXPECT_GE(violated_via_iso, 1u);
+}
+
+// --- verdict transfer property ----------------------------------------------
+
+// The merge property, generator by generator: the default engine (verdict-
+// level merging on) must match a --no-warm cold run - verdict and raw
+// solver status exactly - and every transferred violated result must carry
+// a witness that concretely violates its OWN invariant under the symbolic
+// replay semantics (a structurally valid relabel, not the representative's
+// trace leaking through).
+BatchResult expect_transfer_matches_cold(const encode::NetworkModel& model,
+                                         const Batch& batch) {
+  ParallelOptions merged = with_jobs(2);
+  ParallelOptions cold = with_jobs(2);
+  EXPECT_TRUE(merged.verify.merge_isomorphic);  // the default
+  cold.verify.warm_solving = false;
+
+  BatchResult m = Engine(model, merged).run_batch(batch.invariants);
+  BatchResult c = Engine(model, cold).run_batch(batch.invariants);
+  EXPECT_EQ(c.iso_verdict_reuses, 0u);
+  EXPECT_EQ(m.pool.jobs_executed, c.pool.jobs_executed);
+  EXPECT_EQ(m.results.size(), c.results.size());
+  for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
+    EXPECT_EQ(m.results[i].outcome, c.results[i].outcome)
+        << batch.name << " invariant " << i;
+    EXPECT_EQ(m.results[i].raw_status, c.results[i].raw_status)
+        << batch.name << " invariant " << i;
+    // Equal raw status implies equal witness *presence* (sat extracts a
+    // trace, unsat cannot); validity is checked on the merged side.
+    EXPECT_EQ(m.results[i].counterexample.has_value(),
+              c.results[i].counterexample.has_value())
+        << batch.name << " invariant " << i;
+    if (m.results[i].counterexample.has_value()) {
+      EXPECT_FALSE(m.results[i].counterexample->empty()) << i;
+      EXPECT_TRUE(sim::trace_violates(*m.results[i].counterexample, model,
+                                      batch.invariants[i]))
+          << batch.name << " invariant " << i
+          << ": transferred witness does not violate its own invariant";
+    }
+  }
+  return m;
+}
+
+TEST(IsoVerdictTransfer, MatchesColdOnOpenFirewallEnterprise) {
+  scenarios::EnterpriseParams p;
+  p.subnets = 5;
+  p.hosts_per_subnet = 1;
+  scenarios::Enterprise e = scenarios::make_enterprise(p);
+  auto* fw = dynamic_cast<mbox::LearningFirewall*>(
+      e.model.middlebox_at(e.model.network().node_by_name("fw")));
+  ASSERT_NE(fw, nullptr);
+  std::vector<AclEntry> acl = fw->acl();
+  acl.insert(acl.begin(),
+             AclEntry{Prefix(Address::of(172, 16, 0, 0), 12),
+                      Prefix(Address::of(10, 0, 0, 0), 8), AclAction::allow});
+  fw->replace_acl(acl);
+  Batch batch;
+  batch.name = "enterprise-open-fw";
+  batch.invariants = e.invariants;
+  expect_transfer_matches_cold(e.model, batch);
+}
+
+TEST(IsoVerdictTransfer, MatchesColdOnMisconfiguredDatacenter) {
+  scenarios::DatacenterParams p;
+  p.policy_groups = 4;
+  p.clients_per_group = 1;
+  scenarios::Datacenter dc = scenarios::make_datacenter(p);
+  Rng rng(7);
+  inject_misconfig(dc, scenarios::DcMisconfig::rules, rng, 2);
+  BatchResult m = expect_transfer_matches_cold(dc.model, dc.batch());
+  // The datacenter is the generator whose batches actually merge; a zero
+  // here would mean the property ran against an empty mechanism.
+  EXPECT_GT(m.iso_verdict_reuses, 0u);
+}
+
+TEST(IsoVerdictTransfer, MatchesColdOnBypassedIsp) {
+  scenarios::IspParams p;
+  p.peering_points = 2;
+  p.subnets = 3;
+  p.scrub_bypasses_firewalls = true;
+  scenarios::Isp isp = scenarios::make_isp(p);
+  expect_transfer_matches_cold(isp.model, isp.batch());
+}
+
+TEST(IsoVerdictTransfer, MatchesColdOnMultiTenant) {
+  scenarios::MultiTenantParams p;
+  p.tenants = 2;
+  p.servers = 2;
+  p.public_vms_per_tenant = 1;
+  p.private_vms_per_tenant = 1;
+  scenarios::MultiTenant mt = scenarios::make_multitenant(p);
+  expect_transfer_matches_cold(mt.model, mt.batch());
+}
+
+TEST(IsoVerdictTransfer, MatchesColdOnBypassedSegmented) {
+  scenarios::SegmentedParams p;
+  p.bypass_segment = 1;
+  scenarios::Segmented s = scenarios::make_segmented(p);
+  expect_transfer_matches_cold(s.model, s.batch());
 }
 
 // --- process backend --------------------------------------------------------
@@ -760,6 +918,7 @@ void expect_process_warm_matches_cold(const encode::NetworkModel& model,
   EXPECT_EQ(cold_r.pool.jobs_abandoned, 0u);
   EXPECT_EQ(cold_r.warm_reuses, 0u);
   EXPECT_EQ(cold_r.iso_reuses, 0u);
+  EXPECT_EQ(cold_r.iso_verdict_reuses, 0u);
   ASSERT_EQ(warm_r.results.size(), cold_r.results.size());
   for (std::size_t i = 0; i < batch.invariants.size(); ++i) {
     EXPECT_EQ(warm_r.results[i].outcome, cold_r.results[i].outcome)
@@ -788,7 +947,7 @@ TEST(ProcessBackend, WarmMatchesColdOnEnterprise) {
 
 TEST(ProcessBackend, WarmMatchesColdOnDatacenter) {
   // The generator whose per-group jobs actually cross the iso path: the
-  // warm run must report cross-isomorphic reuse over the wire, and still
+  // warm run must fan merged verdicts out dispatcher-side, and still
   // agree with cold bit-for-bit on verdicts.
   scenarios::DatacenterParams p;
   p.policy_groups = 4;
@@ -799,7 +958,7 @@ TEST(ProcessBackend, WarmMatchesColdOnDatacenter) {
   BatchResult warm_r =
       Engine(dc.model, process_opts(2)).run_batch(batch.invariants);
   EXPECT_GT(warm_r.iso_mapped, 0u);
-  EXPECT_GT(warm_r.iso_reuses, 0u);
+  EXPECT_GT(warm_r.iso_verdict_reuses, 0u);
 }
 
 TEST(ProcessBackend, WarmMatchesColdOnIsp) {

@@ -287,6 +287,67 @@ TEST(ServeIncremental, InvariantOnlyEditAnswersOldJobsFromCache) {
   EXPECT_EQ(state.stats().reloads, 1u);
 }
 
+TEST(ServeIncremental, PureRenameReloadAnswersEntirelyFromCache) {
+  // Rename every host, middlebox and switch AND move both segments to new
+  // subnets: not one byte of node identity survives, but the v6 problem
+  // keys are name-blind and address-token-canonical, so the reload must
+  // answer every job from the cache with ZERO solver calls.
+  TempSpecDir dir;
+  const std::string path = dir.path + "/segmented.vmn";
+  const std::string original = read_file(segmented_path());
+  write_file(path, original);
+
+  ServeOptions sopts;
+  sopts.spec_path = path;
+  sopts.engine = sequential_opts();
+  ServeState state(sopts);
+  const BatchResult& cold = state.last_batch();
+  const std::size_t cold_jobs = cold.pool.jobs_executed;
+  ASSERT_GT(cold_jobs, 0u);
+  std::vector<Outcome> cold_outcomes;
+  for (const auto& r : cold.results) cold_outcomes.push_back(r.outcome);
+
+  std::string renamed = original;
+  auto replace_all = [&renamed](const std::string& from,
+                                const std::string& to) {
+    for (std::size_t pos = renamed.find(from); pos != std::string::npos;
+         pos = renamed.find(from, pos + to.size())) {
+      renamed.replace(pos, from.size(), to);
+    }
+  };
+  // Addresses first (name tokens never contain dots, so the two passes
+  // cannot interfere), then every node name.
+  replace_all("10.0.", "10.4.");
+  replace_all("10.1.", "10.5.");
+  for (const auto& [from, to] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"srv0", "edge0"},   {"srv1", "edge1"},   {"h0-0", "peer-a"},
+           {"h0-1", "peer-b"},  {"h1-0", "peer-c"},  {"h1-1", "peer-d"},
+           {"idps0", "watch0"}, {"idps1", "watch1"}, {"s0a", "t4a"},
+           {"s0b", "t4b"},      {"s1a", "t5a"},      {"s1b", "t5b"}}) {
+    replace_all(from, to);
+  }
+  // The traversal invariants select middleboxes by name prefix; a pure
+  // rename renames the prefix with the boxes ("idps watch0" keeps the
+  // middlebox TYPE keyword "idps", which stays).
+  replace_all(" idps expect", " watch expect");
+  ASSERT_EQ(renamed.find("srv0"), std::string::npos);
+  ASSERT_EQ(renamed.find("10.0."), std::string::npos);
+
+  write_file(path, renamed);
+  ASSERT_TRUE(state.check_for_edit());
+  EXPECT_EQ(state.stats().reloads, 1u);
+  const BatchResult& warm = state.last_batch();
+  EXPECT_EQ(warm.pool.jobs_executed, cold_jobs);
+  EXPECT_EQ(warm.solver_calls, 0u);
+  EXPECT_EQ(warm.cache_hits, warm.pool.jobs_executed);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  ASSERT_EQ(warm.results.size(), cold_outcomes.size());
+  for (std::size_t i = 0; i < cold_outcomes.size(); ++i) {
+    EXPECT_EQ(warm.results[i].outcome, cold_outcomes[i]) << i;
+  }
+}
+
 TEST(ServeProtocol, VerdictByIndexAndByDescriptionAgree) {
   TempSpecDir dir;
   const std::string path = dir.path + "/segmented.vmn";

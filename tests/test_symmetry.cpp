@@ -261,5 +261,107 @@ TEST(ShapeKeys, BijectionIsInvariantFree) {
   EXPECT_EQ(k1.key.find("reachable"), std::string::npos);
 }
 
+// --- shape-canonical problem keys -------------------------------------------
+
+TEST(ProblemKeys, RenamedIsomorphicProblemsShareAKeyRankForRank) {
+  // The v6 contract: equal keys certify rank-for-rank isomorphic problems.
+  // The same isolation invariant posed in two disjoint renamed segments
+  // must produce byte-identical keys, with the invariant roles landing on
+  // the same ranks.
+  TwoSegments n = two_segments(mbox::AclAction::deny, mbox::AclAction::deny,
+                               /*with_failures=*/false);
+  const ShapeKey s1 = canonical_shape_key(n.model, n.seg1());
+  const ShapeKey s2 = canonical_shape_key(n.model, n.seg2());
+  const ProblemKey k1 = canonical_problem_key(
+      n.model, s1, Invariant::node_isolation(n.b1, n.a1));
+  const ProblemKey k2 = canonical_problem_key(
+      n.model, s2, Invariant::node_isolation(n.b2, n.a2));
+  EXPECT_EQ(k1.key, k2.key);
+  ASSERT_EQ(k1.order.size(), k2.order.size());
+  const auto rank_of = [](const ProblemKey& k, NodeId id) {
+    return std::find(k.order.begin(), k.order.end(), id) - k.order.begin();
+  };
+  EXPECT_EQ(rank_of(k1, n.b1), rank_of(k2, n.b2));  // target rank
+  EXPECT_EQ(rank_of(k1, n.a1), rank_of(k2, n.a2));  // other rank
+  EXPECT_EQ(rank_of(k1, n.m1), rank_of(k2, n.m2));
+}
+
+TEST(ProblemKeys, DirectionFlipIsADifferentProblem) {
+  // node-isolation(b, a) and node-isolation(a, b) over the same slice are
+  // different verification problems (the routing is one-directional); their
+  // keys must split even though shape and members coincide.
+  TwoSegments n = two_segments(mbox::AclAction::deny, mbox::AclAction::deny,
+                               /*with_failures=*/false);
+  const ShapeKey s1 = canonical_shape_key(n.model, n.seg1());
+  const ShapeKey s2 = canonical_shape_key(n.model, n.seg2());
+  const ProblemKey forward = canonical_problem_key(
+      n.model, s1, Invariant::node_isolation(n.b1, n.a1));
+  const ProblemKey reverse = canonical_problem_key(
+      n.model, s2, Invariant::node_isolation(n.a2, n.b2));
+  EXPECT_NE(forward.key, reverse.key);
+}
+
+TEST(ProblemKeys, ConfigurationMismatchSplitsTheKeyOutright) {
+  // Unlike the shape key (configuration-blind, backed by an exact
+  // bijection check), the problem key IS the certificate: a default-allow
+  // vs default-deny firewall must already split the key, because a cache
+  // hit on it is answered with no further verification.
+  TwoSegments n = two_segments(mbox::AclAction::deny, mbox::AclAction::allow,
+                               /*with_failures=*/false);
+  const ShapeKey s1 = canonical_shape_key(n.model, n.seg1());
+  const ShapeKey s2 = canonical_shape_key(n.model, n.seg2());
+  EXPECT_EQ(s1.key, s2.key);  // shape alone cannot tell them apart
+  const ProblemKey k1 = canonical_problem_key(
+      n.model, s1, Invariant::node_isolation(n.b1, n.a1));
+  const ProblemKey k2 = canonical_problem_key(
+      n.model, s2, Invariant::node_isolation(n.b2, n.a2));
+  EXPECT_NE(k1.key, k2.key);
+}
+
+TEST(ProblemKeys, RolesBreakRankTiesNotCreationOrder) {
+  // Two interchangeable same-color hosts per segment, with creation order
+  // flipped between the segments. Position tie-breaking would put the
+  // *earlier-created* host at the lower rank and flip the invariant roles
+  // between the two keys (the datacenter wrap-around pair bug); role-aware
+  // ranking pins target before other within a color.
+  encode::NetworkModel model;
+  net::Network& net = model.network();
+  NodeId x1, y1, x2, y2;
+  const auto build = [&](int i, bool flip, NodeId& x, NodeId& y) {
+    const Address ax = Address::of(10, static_cast<std::uint8_t>(i), 0, 1);
+    const Address ay = Address::of(10, static_cast<std::uint8_t>(i), 0, 2);
+    const std::string suffix = std::to_string(i);
+    if (flip) {
+      y = net.add_host("y" + suffix, ay);
+      x = net.add_host("x" + suffix, ax);
+    } else {
+      x = net.add_host("x" + suffix, ax);
+      y = net.add_host("y" + suffix, ay);
+    }
+    const NodeId s = net.add_switch("s" + suffix);
+    net.add_link(x, s);
+    net.add_link(y, s);
+    net.table(s).add_from(x, Prefix::host(ay), y);
+    net.table(s).add_from(y, Prefix::host(ax), x);
+  };
+  build(1, /*flip=*/false, x1, y1);
+  build(2, /*flip=*/true, x2, y2);
+
+  const ShapeKey s1 = canonical_shape_key(model, {x1, y1});
+  const ShapeKey s2 = canonical_shape_key(model, {x2, y2});
+  ASSERT_EQ(s1.key, s2.key);
+  const ProblemKey k1 = canonical_problem_key(
+      model, s1, Invariant::node_isolation(y1, x1));
+  const ProblemKey k2 = canonical_problem_key(
+      model, s2, Invariant::node_isolation(y2, x2));
+  EXPECT_EQ(k1.key, k2.key);
+  ASSERT_EQ(k1.order.size(), 2u);
+  const auto rank_of = [](const ProblemKey& k, NodeId id) {
+    return std::find(k.order.begin(), k.order.end(), id) - k.order.begin();
+  };
+  EXPECT_EQ(rank_of(k1, y1), rank_of(k2, y2));
+  EXPECT_EQ(rank_of(k1, x1), rank_of(k2, x2));
+}
+
 }  // namespace
 }  // namespace vmn::slice

@@ -2,15 +2,20 @@
 // version-skewed streams fail cleanly, never crash or misread), payload
 // codec field fidelity, and the property the process backend stands on -
 // every Job planned from every scenario generator, serialized through the
-// projected spec + wire job and executed on the reconstructed model, yields
-// the identical verdict (and statistics), and the canonical key survives
-// both the job frame and a full spec round trip.
+// projected spec + wire job (v4: the encode-space problem) and executed on
+// the reconstructed model, fans back out through bind_result to the
+// identical verdict (and statistics) a direct cold solve of the binding's
+// own problem produces, and the cross-run problem key survives a full spec
+// round trip.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "dataplane/transfer.hpp"
 
 #include "core/rng.hpp"
 #include "encode/encoder.hpp"
@@ -133,8 +138,8 @@ TEST(WirePayloads, JobRoundTripsFieldForField) {
   job.other = "";
   job.type_prefix = "firewall";
   job.members = {"h-3", "fw-0", "idps-1"};
+  job.iso_encoded = true;
   job.max_failures = 2;
-  job.canonical_key = "traversal/firewall/#deadbeef;";
   const WireJob back = decode_job(encode_job(job));
   EXPECT_EQ(back.id, job.id);
   EXPECT_EQ(back.kind, job.kind);
@@ -142,8 +147,8 @@ TEST(WirePayloads, JobRoundTripsFieldForField) {
   EXPECT_EQ(back.other, job.other);
   EXPECT_EQ(back.type_prefix, job.type_prefix);
   EXPECT_EQ(back.members, job.members);
+  EXPECT_EQ(back.iso_encoded, job.iso_encoded);
   EXPECT_EQ(back.max_failures, job.max_failures);
-  EXPECT_EQ(back.canonical_key, job.canonical_key);
 }
 
 TEST(WirePayloads, ResultWithTraceRoundTripsFieldForField) {
@@ -208,7 +213,6 @@ TEST(WirePayloads, EveryTruncationOfAPayloadThrows) {
   job.target = "victim";
   job.other = "attacker";
   job.members = {"victim", "attacker", "fw"};
-  job.canonical_key = "flow-isolation/#cafe;";
   const std::string payload = encode_job(job);
   for (std::size_t cut = 0; cut < payload.size(); ++cut) {
     EXPECT_THROW((void)decode_job(payload.substr(0, cut)), WireError)
@@ -221,10 +225,11 @@ TEST(WirePayloads, EveryTruncationOfAPayloadThrows) {
 // --- the property the process backend stands on ------------------------------
 
 /// For every job the planner emits: executing the wire round trip of the
-/// job on the re-parsed projected spec must reproduce the original verdict,
-/// raw status, slice size and assertion count; the canonical key must
-/// survive the job frame byte-for-byte; and the worker's result frame must
-/// map back onto the dispatcher's node ids.
+/// job's encode-space problem on the re-parsed projected spec, mapping the
+/// result frame back onto the dispatcher's node ids and fanning it out
+/// through bind_result must reproduce the verdict, raw status, slice size
+/// and assertion count a direct cold solve of the representative binding's
+/// own problem produces.
 void expect_jobs_roundtrip(const encode::NetworkModel& model,
                            const Batch& batch, int max_failures = 0) {
   ParallelOptions popts;
@@ -240,45 +245,30 @@ void expect_jobs_roundtrip(const encode::NetworkModel& model,
     SolverSession local_session(popts.verify.solver);
     // The local reference run encodes the job's own slice directly -
     // never through an isomorphic representative - so the round trip below
-    // also asserts that executing the shipped iso binding remotely agrees
-    // with a direct solve of the original problem.
+    // also asserts that executing the encode-space problem remotely and
+    // relabeling the verdict agrees with a direct solve of the original.
     const VerifyResult local = verify_members(model, invariant, job.members,
                                               max_failures, local_session);
 
     WireModel wire_model;
     wire_model.solver = popts.verify.solver;
-    // Project what the dispatcher projects: the job's members plus (for
-    // iso-rebound jobs) the representative member set whose base encoding
-    // the worker builds.
-    std::set<NodeId> span(job.members.begin(), job.members.end());
-    span.insert(job.encode_members().begin(), job.encode_members().end());
-    wire_model.spec_text = io::write_projected_spec_string(
-        model, std::vector<NodeId>(span.begin(), span.end()));
+    // Project what the dispatcher projects: v4 jobs cross the pipe in
+    // encode space, so the encode member set is the whole span.
+    wire_model.spec_text =
+        io::write_projected_spec_string(model, job.encode_members());
     const WireModel model_back = decode_model(encode_model(wire_model));
     const WireJob wire_job =
-        decode_job(encode_job(make_wire_job(model, job, invariant,
-                                            max_failures)));
-    EXPECT_EQ(wire_job.canonical_key, job.canonical_key) << "job " << job.id;
-    EXPECT_EQ(wire_job.members.size(), job.members.size());
-    EXPECT_EQ(wire_job.iso_image.size(), job.iso_image.size());
+        decode_job(encode_job(make_wire_job(model, job, max_failures)));
+    EXPECT_EQ(wire_job.members.size(), job.encode_members().size());
+    EXPECT_EQ(wire_job.iso_encoded, !job.iso_image.empty());
 
     io::Spec remote_spec = io::parse_spec_string(model_back.spec_text);
     ResolvedJob resolved = resolve_job(remote_spec.model, wire_job);
     SolverSession remote_session(popts.verify.solver);
-    const IsoBinding remote_iso{resolved.members, resolved.iso_image};
     const VerifyResult remote =
         verify_members(remote_spec.model, resolved.invariant,
                        std::move(resolved.members), wire_job.max_failures,
-                       remote_session,
-                       resolved.iso_image.empty() ? nullptr : &remote_iso);
-
-    EXPECT_EQ(remote.outcome, local.outcome) << "job " << job.id;
-    EXPECT_EQ(remote.raw_status, local.raw_status) << "job " << job.id;
-    EXPECT_EQ(remote.slice_size, local.slice_size) << "job " << job.id;
-    // The projection must reconstruct the *identical* encoding problem,
-    // not merely an equivalent-looking one.
-    EXPECT_EQ(remote.assertion_count, local.assertion_count)
-        << "job " << job.id;
+                       remote_session, resolved.iso_encoded);
 
     const WireResult reply = decode_result(encode_result(
         make_wire_result(remote_spec.model.network(), job.id, remote)));
@@ -286,6 +276,20 @@ void expect_jobs_roundtrip(const encode::NetworkModel& model,
     const VerifyResult mapped = to_verify_result(model.network(), reply);
     EXPECT_EQ(mapped.outcome, remote.outcome);
     EXPECT_EQ(mapped.assertion_count, remote.assertion_count);
+
+    // Dispatcher-side fan-out: relabeling the encode-space verdict through
+    // the representative binding's inverse bijection must agree with the
+    // direct cold solve of the binding's own problem - the projection must
+    // reconstruct the *identical* encoding problem, not merely an
+    // equivalent-looking one.
+    const VerifyResult bound =
+        bind_result(model, mapped, job.members, job.iso_image);
+    EXPECT_EQ(bound.outcome, local.outcome) << "job " << job.id;
+    EXPECT_EQ(bound.raw_status, local.raw_status) << "job " << job.id;
+    EXPECT_EQ(bound.slice_size, local.slice_size) << "job " << job.id;
+    EXPECT_EQ(bound.assertion_count, local.assertion_count)
+        << "job " << job.id;
+
     if (remote.counterexample.has_value()) {
       ASSERT_TRUE(mapped.counterexample.has_value()) << "job " << job.id;
       ASSERT_EQ(mapped.counterexample->size(), remote.counterexample->size());
@@ -307,12 +311,15 @@ void expect_jobs_roundtrip(const encode::NetworkModel& model,
   }
 }
 
-/// The canonical key re-derived on a full spec round trip must equal the
-/// planner's: the text format preserves everything the key fingerprints
-/// (topology relation, failure scenarios, policy projections, invariant),
-/// and the key itself erases the node renumbering the round trip causes.
-void expect_canonical_keys_survive(const encode::NetworkModel& model,
-                                   const Batch& batch, int max_failures = 0) {
+/// The cross-run problem key (v6 cache identity) re-derived on a full spec
+/// round trip must equal the planner's for every verdict binding: the text
+/// format preserves everything the key fingerprints (topology relation,
+/// failure scenarios, configuration projections, invariant), and the key
+/// itself erases the node renumbering the round trip causes - which is
+/// exactly the property that lets a renamed-but-isomorphic spec hit the
+/// persistent cache cold.
+void expect_problem_keys_survive(const encode::NetworkModel& model,
+                                 const Batch& batch, int max_failures = 0) {
   ParallelOptions popts;
   popts.jobs = 1;
   popts.verify.solver.seed = 7;
@@ -323,18 +330,32 @@ void expect_canonical_keys_survive(const encode::NetworkModel& model,
   const std::string full_text = io::write_projected_spec_string(
       model, encode::all_edge_nodes(model));
   io::Spec reparsed = io::parse_spec_string(full_text);
-  const slice::PolicyClasses classes =
-      slice::infer_policy_classes(reparsed.model);
+  dataplane::TransferCache transfers(reparsed.model.network());
+  auto renamed = [&](NodeId id) {
+    return reparsed.model.network().node_by_name(model.network().name(id));
+  };
+  std::size_t keyed = 0;
   for (const Job& job : plan.jobs) {
-    const encode::Invariant& invariant = batch.invariants[job.invariant_index];
-    ResolvedJob resolved = resolve_job(
-        reparsed.model, make_wire_job(model, job, invariant, max_failures));
-    EXPECT_EQ(slice::canonical_slice_key(reparsed.model, resolved.members,
-                                         resolved.invariant, classes,
-                                         max_failures),
-              job.canonical_key)
-        << "job " << job.id;
+    for (std::size_t k = 0; k < job.fan_out(); ++k) {
+      const BindingRef b = job.binding(k);
+      if (b.problem_key->key.empty()) continue;
+      ++keyed;
+      std::vector<NodeId> members;
+      members.reserve(b.members->size());
+      for (NodeId m : *b.members) members.push_back(renamed(m));
+      std::sort(members.begin(), members.end());
+      encode::Invariant inv = batch.invariants[b.invariant_index];
+      inv.target = renamed(inv.target);
+      if (inv.other.valid()) inv.other = renamed(inv.other);
+      const slice::ShapeKey shape = slice::canonical_shape_key(
+          reparsed.model, members, max_failures, &transfers);
+      const slice::ProblemKey pk = slice::canonical_problem_key(
+          reparsed.model, shape, inv, max_failures, &transfers);
+      EXPECT_EQ(pk.key, b.problem_key->key)
+          << "job " << job.id << " binding " << k;
+    }
   }
+  EXPECT_GT(keyed, 0u);
 }
 
 TEST(WireJobs, RoundTripOnEnterprise) {
@@ -343,7 +364,7 @@ TEST(WireJobs, RoundTripOnEnterprise) {
   p.hosts_per_subnet = 1;
   scenarios::Enterprise e = scenarios::make_enterprise(p);
   expect_jobs_roundtrip(e.model, e.batch());
-  expect_canonical_keys_survive(e.model, e.batch());
+  expect_problem_keys_survive(e.model, e.batch());
 }
 
 TEST(WireJobs, RoundTripOnViolatedEnterprise) {
@@ -365,7 +386,7 @@ TEST(WireJobs, RoundTripOnViolatedEnterprise) {
   batch.name = "enterprise-open-fw";
   batch.invariants = e.invariants;
   expect_jobs_roundtrip(e.model, batch);
-  expect_canonical_keys_survive(e.model, batch);
+  expect_problem_keys_survive(e.model, batch);
 }
 
 TEST(WireJobs, RoundTripOnDatacenter) {
@@ -374,7 +395,7 @@ TEST(WireJobs, RoundTripOnDatacenter) {
   p.clients_per_group = 1;
   scenarios::Datacenter dc = scenarios::make_datacenter(p);
   expect_jobs_roundtrip(dc.model, dc.batch());
-  expect_canonical_keys_survive(dc.model, dc.batch());
+  expect_problem_keys_survive(dc.model, dc.batch());
 }
 
 TEST(WireJobs, RoundTripOnMisconfiguredDatacenterUnderFailures) {
@@ -387,7 +408,7 @@ TEST(WireJobs, RoundTripOnMisconfiguredDatacenterUnderFailures) {
   Rng rng(7);
   inject_misconfig(dc, scenarios::DcMisconfig::rules, rng, 1);
   expect_jobs_roundtrip(dc.model, dc.batch(), /*max_failures=*/1);
-  expect_canonical_keys_survive(dc.model, dc.batch(), /*max_failures=*/1);
+  expect_problem_keys_survive(dc.model, dc.batch(), /*max_failures=*/1);
 }
 
 TEST(WireJobs, RoundTripOnIsp) {
@@ -396,7 +417,7 @@ TEST(WireJobs, RoundTripOnIsp) {
   p.subnets = 3;
   scenarios::Isp isp = scenarios::make_isp(p);
   expect_jobs_roundtrip(isp.model, isp.batch());
-  expect_canonical_keys_survive(isp.model, isp.batch());
+  expect_problem_keys_survive(isp.model, isp.batch());
 }
 
 TEST(WireJobs, RoundTripOnMisconfiguredIsp) {
@@ -406,7 +427,7 @@ TEST(WireJobs, RoundTripOnMisconfiguredIsp) {
   p.scrub_bypasses_firewalls = true;
   scenarios::Isp isp = scenarios::make_isp(p);
   expect_jobs_roundtrip(isp.model, isp.batch());
-  expect_canonical_keys_survive(isp.model, isp.batch());
+  expect_problem_keys_survive(isp.model, isp.batch());
 }
 
 TEST(WireJobs, RoundTripOnMultiTenant) {
@@ -417,7 +438,7 @@ TEST(WireJobs, RoundTripOnMultiTenant) {
   p.private_vms_per_tenant = 1;
   scenarios::MultiTenant mt = scenarios::make_multitenant(p);
   expect_jobs_roundtrip(mt.model, mt.batch());
-  expect_canonical_keys_survive(mt.model, mt.batch());
+  expect_problem_keys_survive(mt.model, mt.batch());
 }
 
 TEST(WireWorker, RejectedModelYieldsStructuredJobErrorsNotDeath) {

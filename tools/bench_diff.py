@@ -16,8 +16,18 @@ usage: bench_diff.py <snapshot.json> <fresh.json>
 import json
 import sys
 
-# Everything not listed here must match the snapshot exactly.
-TIMING_KEYS = {"wall_ms", "plan_ms", "verify_ms", "speedup_vs_cold"}
+# Everything not listed here must match the snapshot exactly. The solve
+# latency tail (p50/p95/max of per-solver-call times) is a timing too,
+# recorded for trend reading, never pinned.
+TIMING_KEYS = {
+    "wall_ms",
+    "plan_ms",
+    "verify_ms",
+    "speedup_vs_cold",
+    "solve_p50_ms",
+    "solve_p95_ms",
+    "solve_max_ms",
+}
 # Scheduling-dependent: a crashed worker is only respawned while work
 # remains, so the respawn count depends on which worker drains the queue
 # first. Excluded from the exact diff; the acceptance check below still
@@ -66,10 +76,21 @@ def main():
     # The acceptance signals behind the counters, stated explicitly so a
     # jointly drifted snapshot+run cannot silently regress them.
     warm = fresh_records.get("isowarm/warm")
-    if warm is not None and warm.get("iso_reuses", 0) <= 0:
-        errors.append("isowarm/warm: no cross-isomorphic warm reuse")
+    if warm is not None:
+        if (
+            warm.get("iso_verdict_reuses", 0) <= 0
+            and warm.get("iso_reuses", 0) <= 0
+        ):
+            errors.append("isowarm/warm: no cross-isomorphic reuse at all")
+        if warm.get("solver_calls", 0) >= warm.get("planned_jobs", 0):
+            errors.append(
+                "isowarm/warm: verdict merging saved no solver calls"
+            )
     cold = fresh_records.get("isowarm/cold")
-    if cold is not None and cold.get("iso_reuses", 0) != 0:
+    if cold is not None and (
+        cold.get("iso_reuses", 0) != 0
+        or cold.get("iso_verdict_reuses", 0) != 0
+    ):
         errors.append("isowarm/cold: cold baseline must not iso-rebind")
     quarantine = fresh_records.get("faults/quarantine")
     if quarantine is not None:

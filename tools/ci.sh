@@ -232,6 +232,56 @@ if ! echo "$back" | grep -q "cache: 0 hits"; then
   exit 1
 fi
 
+echo "--- smoke: renamed isomorphic spec answers from cache, 0 solver calls ---"
+# Rename every host, middlebox and switch in the segmented spec AND move
+# both segments to new subnets (addresses first; name tokens never contain
+# dots). The v6 problem keys are name-blind and address-token-canonical,
+# so a warm cache dir populated by the ORIGINAL spec must answer the
+# renamed spec's first-ever run completely: full hits, zero misses, zero
+# solver calls - on the thread and the process backend alike - with
+# verdict outcomes equal to a cold --no-warm baseline.
+ren_dir="$(mktemp -d)"
+trap 'rm -rf "$cache_dir" "$torn_cache" "$seg_cache" "$ren_dir"' EXIT
+sed -e 's/10\.0\./10.4./g' -e 's/10\.1\./10.5./g' \
+    -e 's/srv0/edge0/g' -e 's/srv1/edge1/g' \
+    -e 's/h0-0/peer-a/g' -e 's/h0-1/peer-b/g' \
+    -e 's/h1-0/peer-c/g' -e 's/h1-1/peer-d/g' \
+    -e 's/idps0/watch0/g' -e 's/idps1/watch1/g' \
+    -e 's/s0a/t4a/g' -e 's/s0b/t4b/g' -e 's/s1a/t5a/g' -e 's/s1b/t5b/g' \
+    -e 's/ idps expect/ watch expect/g' \
+    "$segmented" > "$ren_dir/renamed.vmn"
+if grep -q 'srv0\|10\.0\.' "$ren_dir/renamed.vmn"; then
+  echo "ci: rename recipe left original identifiers behind" >&2
+  exit 1
+fi
+"$build/vmn" verify "$segmented" --batch --jobs 2 \
+    --cache-dir "$ren_dir/cache" > /dev/null
+for backend in thread process; do
+  ren_out="$("$build/vmn" verify "$ren_dir/renamed.vmn" --batch --jobs 2 \
+      --backend="$backend" --cache-dir "$ren_dir/cache")"
+  echo "$ren_out"
+  if ! echo "$ren_out" | grep -q ", 0 solver calls,"; then
+    echo "ci: renamed spec still hit the solver ($backend backend)" >&2
+    exit 1
+  fi
+  if ! echo "$ren_out" | grep -Eq "cache: [1-9][0-9]* hits, 0 misses"; then
+    echo "ci: renamed spec was not fully answered from cache ($backend)" >&2
+    exit 1
+  fi
+  if ! diff <(echo "$seg_verdicts" | awk '{print $2}') \
+      <(echo "$ren_out" | verdicts | awk '{print $2}'); then
+    echo "ci: renamed spec's cached verdicts drifted ($backend)" >&2
+    exit 1
+  fi
+done
+ren_cold="$("$build/vmn" verify "$ren_dir/renamed.vmn" --batch --jobs 2 \
+    --no-warm)"
+if ! diff <(echo "$seg_verdicts" | awk '{print $2}') \
+    <(echo "$ren_cold" | verdicts | awk '{print $2}'); then
+  echo "ci: renamed spec's cold --no-warm baseline disagrees" >&2
+  exit 1
+fi
+
 echo "--- smoke: cross-isomorphic counters surface in the batch summary ---"
 if ! echo "$thread_out" | grep -q "cross-isomorphic"; then
   echo "ci: batch summary lost the cross-isomorphic counter" >&2
@@ -243,10 +293,11 @@ echo "--- smoke: bench JSON trajectory (bounded run, well-formed output) ---"
 # trajectory stayed empty. A min-time-bounded, filtered run keeps this
 # cheap while asserting both documents are produced and parse.
 bench_dir="$(mktemp -d)"
-trap 'rm -rf "$cache_dir" "$torn_cache" "$seg_cache" "$bench_dir"' EXIT
+trap 'rm -rf "$cache_dir" "$torn_cache" "$seg_cache" "$ren_dir" "$bench_dir"' EXIT
 (cd "$bench_dir" && "$build/bench/bench_parallel_scaling" \
     --benchmark_min_time=0.01 \
-    --benchmark_filter='BM_BatchFastPath|BM_IsoWarm|BM_Fault' > /dev/null)
+    --benchmark_filter='BM_BatchFastPath|BM_IsoWarm|BM_Fig8Batch|BM_Fault' \
+    > /dev/null)
 (cd "$bench_dir" && "$build/bench/bench_fig7_enterprise" \
     --benchmark_min_time=0.01 > /dev/null)
 for doc in BENCH_parallel.json BENCH_fig7.json; do
@@ -265,8 +316,9 @@ done
 # Diff the run against the checked-in trajectory snapshot: every
 # deterministic counter (solver calls, cache traffic, warm/iso reuse, slice
 # sizes) must match bench/trajectory/ exactly - timings are ignored. The
-# diff also re-asserts the iso-warm acceptance signals (iso_reuses > 0 warm,
-# == 0 cold), so a jointly drifted snapshot cannot hide a regression.
+# diff also re-asserts the iso-warm acceptance signals (verdict-level reuse
+# saves solver calls when warm, no iso counters when cold), so a jointly
+# drifted snapshot cannot hide a regression.
 if command -v python3 > /dev/null; then
   python3 "$repo/tools/bench_diff.py" \
       "$repo/bench/trajectory/BENCH_parallel.json" \
@@ -278,7 +330,8 @@ fi
 
 echo "--- smoke: differential fuzzing (fixed seed, all oracles green) ---"
 # 25 random specs through the whole oracle battery (engine agreement,
-# warm/cold, symmetry, slices, witness replay, simulator cross-check). The
+# warm/cold, iso-verdict merging vs cold, symmetry, slices, witness replay,
+# simulator cross-check). The
 # seed is fixed, so this is deterministic CI, not flaky fuzzing; reproducers
 # land in $build/fuzz-repro for the workflow to upload on failure.
 rm -rf "$build/fuzz-repro"
@@ -297,7 +350,7 @@ echo "--- smoke: fuzz fault injection shrinks to a failing reproducer ---"
 # that still fails standalone via --replay (the committable-regression
 # workflow, exercised end to end).
 inject_dir="$(mktemp -d)"
-trap 'rm -rf "$cache_dir" "$torn_cache" "$seg_cache" "$bench_dir" "$inject_dir"' EXIT
+trap 'rm -rf "$cache_dir" "$torn_cache" "$seg_cache" "$ren_dir" "$bench_dir" "$inject_dir"' EXIT
 if "$build/vmn" fuzz --seed 1 --count 1 --inject-fault \
     --reproducer-dir "$inject_dir"; then
   echo "ci: injected fault did not fail the fuzz run" >&2
@@ -333,8 +386,8 @@ else
       --poll-interval 50 &
   serve_pid=$!
   trap 'kill "$serve_pid" 2> /dev/null || true
-        rm -rf "$cache_dir" "$torn_cache" "$seg_cache" "$bench_dir" \
-               "$inject_dir" "$serve_dir"' EXIT
+        rm -rf "$cache_dir" "$torn_cache" "$seg_cache" "$ren_dir" \
+               "$bench_dir" "$inject_dir" "$serve_dir"' EXIT
 
   # One request line -> one response line over the Unix socket.
   ask() {

@@ -87,6 +87,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -241,22 +242,28 @@ void add_engine_flags(cli::OptionSet& set, verify::EngineOptions& engine,
         engine.batch = true;
         return true;
       });
+  set.add_check([&engine](std::string& error) {
+    if (!engine.verify.cache_dir.empty() && !engine.use_symmetry) {
+      error =
+          "--cache-dir cannot be combined with --no-symmetry: cache "
+          "records are keyed by shape-canonical problem keys, which only "
+          "symmetry planning computes";
+      return false;
+    }
+    return true;
+  });
 }
 
 /// Post-parse fixups shared by verify and serve: wire the process backend
-/// to re-invoke this binary, and warn on no-op combinations.
+/// to re-invoke this binary. (Contradictory combinations like --no-symmetry
+/// with --cache-dir are hard usage errors, rejected by the OptionSet's
+/// cross-flag checks before this runs.)
 void finish_engine_flags(verify::EngineOptions& engine,
                          std::chrono::milliseconds worker_timeout,
                          const char* argv0) {
   if (engine.backend == verify::Backend::process) {
     engine.process.worker_command = self_worker_command(argv0);
     engine.process.hang_timeout = worker_timeout;
-  }
-  if (!engine.verify.cache_dir.empty() && !engine.use_symmetry) {
-    std::fprintf(stderr,
-                 "warning: --cache-dir has no effect with --no-symmetry "
-                 "(cache keys are canonical slice fingerprints, which only "
-                 "symmetry planning computes)\n");
   }
 }
 
@@ -280,11 +287,15 @@ int cmd_verify(const char* argv0, int argc, char** argv) {
   verify::EngineOptions eopts;
   std::chrono::milliseconds worker_timeout{0};
   bool want_trace = false;
+  bool dedup_report = false;
   cli::OptionSet set("vmn verify <spec-file> [options]",
                      "Verifies every invariant in the spec; --batch fans "
                      "out over a solver pool.");
   add_engine_flags(set, eopts, worker_timeout);
   set.add_flag("--trace", "print counterexample traces", &want_trace);
+  set.add_flag("--dedup-report",
+               "print equivalence-class sizes and what blocked merges",
+               &dedup_report);
   std::vector<std::string> positionals;
   switch (set.parse(argc, argv, &positionals)) {
     case cli::OptionSet::Result::help: return kExitClean;
@@ -336,6 +347,8 @@ int cmd_verify(const char* argv0, int argc, char** argv) {
                 "(%zu cross-isomorphic of %zu mapped)\n",
                 batch.warm_binds, batch.warm_reuses, batch.iso_reuses,
                 batch.iso_mapped);
+    std::printf("  iso verdicts: %zu replayed without a solver call\n",
+                batch.iso_verdict_reuses);
     std::printf("  encode transfers: %zu built, %zu reused\n",
                 batch.encode_transfer_builds, batch.encode_transfer_reuses);
     for (std::size_t w = 0; w < batch.pool.workers.size(); ++w) {
@@ -343,8 +356,37 @@ int cmd_verify(const char* argv0, int argc, char** argv) {
                   batch.pool.workers[w].jobs,
                   static_cast<long long>(batch.pool.workers[w].busy.count()));
     }
-    std::printf("  solve times: %s\n",
-                batch.pool.solve_histogram.to_string().c_str());
+    std::printf(
+        "  solve times: %s (p50 %lld ms, p95 %lld ms, max %lld ms)\n",
+        batch.pool.solve_histogram.to_string().c_str(),
+        static_cast<long long>(batch.pool.solve_histogram.percentile(50)
+                                   .count()),
+        static_cast<long long>(batch.pool.solve_histogram.percentile(95)
+                                   .count()),
+        static_cast<long long>(batch.pool.solve_histogram.max().count()));
+  }
+  if (dedup_report) {
+    // Equivalence-class fan-out: how many planned invariant jobs each
+    // solver call answered, as a "count x size" histogram, plus the
+    // shape_bijection refusal reasons naming which middlebox types kept
+    // candidate classes apart.
+    std::map<std::size_t, std::size_t> by_size;
+    for (std::size_t s : batch.pool.iso_class_sizes) ++by_size[s];
+    std::printf("dedup report: %zu solver classes over %zu planned jobs\n",
+                batch.pool.iso_class_sizes.size(), batch.pool.jobs_executed);
+    std::printf("  class sizes:");
+    for (auto it = by_size.rbegin(); it != by_size.rend(); ++it) {
+      std::printf(" %zux%zu", it->second, it->first);
+    }
+    std::printf("\n");
+    if (batch.pool.merge_blockers.empty()) {
+      std::printf("  merge blockers: none\n");
+    } else {
+      std::printf("  merge blockers:\n");
+      for (const auto& [reason, count] : batch.pool.merge_blockers) {
+        std::printf("    - %s: %zu\n", reason.c_str(), count);
+      }
+    }
   }
 
   // Exit-code folding: a proven disagreement with an `expect` clause is a

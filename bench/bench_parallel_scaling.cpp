@@ -344,7 +344,8 @@ void BM_Fig8Batch(benchmark::State& state) {
   opts.verify.solver.seed = 1;
   Engine v(mt.model, opts);
   double wall_ms = 0, planned_jobs = 0, solver_calls = 0, iso_verdicts = 0,
-         blocked_merges = 0;
+         blocked_merges = 0, dedup_rate = 0;
+  std::map<std::string, double> per_box_blocked;
   std::map<std::string, double> solve_tail;
   for (auto _ : state) {
     verify::BatchResult r = v.run_batch(batch.invariants);
@@ -360,9 +361,16 @@ void BM_Fig8Batch(benchmark::State& state) {
     planned_jobs = static_cast<double>(r.pool.jobs_executed);
     solver_calls = static_cast<double>(r.solver_calls);
     iso_verdicts = static_cast<double>(r.iso_verdict_reuses);
+    dedup_rate = r.pool.dedup_hit_rate;
     blocked_merges = 0;
-    for (const auto& [reason, count] : r.pool.merge_blockers) {
-      blocked_merges += static_cast<double>(count);
+    per_box_blocked.clear();
+    for (const verify::MergeBlocker& b : r.pool.merge_blockers) {
+      blocked_merges += static_cast<double>(b.count);
+      // Per-box breakdown: structural refusals (no box type) land in
+      // "structural" so the blocked_merges_* keys always sum to the total.
+      const std::string box = b.box_type.empty() ? "structural" : b.box_type;
+      per_box_blocked["blocked_merges_" + box] +=
+          static_cast<double>(b.count);
     }
     bench::add_solve_percentiles(solve_tail, r.pool.solve_histogram);
     benchmark::DoNotOptimize(r);
@@ -376,7 +384,9 @@ void BM_Fig8Batch(benchmark::State& state) {
       {"planned_jobs", planned_jobs},
       {"solver_calls", solver_calls},
       {"iso_verdict_reuses", iso_verdicts},
-      {"blocked_merges", blocked_merges}};
+      {"blocked_merges", blocked_merges},
+      {"dedup_rate", dedup_rate}};
+  values.insert(per_box_blocked.begin(), per_box_blocked.end());
   values.insert(solve_tail.begin(), solve_tail.end());
   bench::BenchJson::instance().record("fig8/batch", values);
 }

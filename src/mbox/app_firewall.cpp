@@ -7,14 +7,18 @@ namespace vmn::mbox {
 namespace l = vmn::logic;
 namespace ltl = vmn::logic::ltl;
 
-std::string AppFirewall::policy_fingerprint(Address) const {
+ConfigRelations AppFirewall::config_relations() const {
   // Sorted so semantically equal configurations built in different entry
-  // orders fingerprint identically.
+  // orders describe (and therefore fingerprint) identically.
   std::vector<std::uint16_t> classes(blocked_);
   std::sort(classes.begin(), classes.end());
-  std::string fp = exclusive_ ? "x:" : "o:";
-  for (std::uint16_t c : classes) fp += std::to_string(c) + ",";
-  return fp;
+  ConfigRelation rel;
+  rel.name = "app-classes";
+  rel.rows.push_back({{ConfigCell::make_enum("", exclusive_ ? "x:" : "o:")}});
+  for (std::uint16_t c : classes) {
+    rel.rows.push_back({{ConfigCell::make_int("", c)}});
+  }
+  return {{std::move(rel)}};
 }
 
 void AppFirewall::emit_axioms(AxiomContext& ctx) const {

@@ -35,21 +35,15 @@ class AppFirewall final : public Middlebox {
 
   void emit_axioms(AxiomContext& ctx) const override;
 
-  /// Address-independent: the blocked-class set and the exclusivity mode
-  /// both change the emitted axioms, so both enter the fingerprint.
-  [[nodiscard]] std::string policy_fingerprint(Address) const override;
-
-  /// Address-free configuration: blocked app classes are compiled as
-  /// literal class ids (never renamed), so the fingerprint is exact.
-  [[nodiscard]] std::string encoding_projection(
-      const std::vector<Address>&,
-      const std::function<std::string(Address)>&) const override {
-    return policy_fingerprint(Address{});
-  }
+  /// Address-free configuration: the exclusivity mode and the blocked class
+  /// ids (literal integers, never renamed) both change the emitted axioms,
+  /// so both enter the descriptor as address-free rows.
+  [[nodiscard]] ConfigRelations config_relations() const override;
 
   [[nodiscard]] const std::vector<std::uint16_t>& blocked_classes() const {
     return blocked_;
   }
+  [[nodiscard]] bool exclusive_classes() const { return exclusive_; }
 
   void sim_reset() override {}
   [[nodiscard]] std::vector<Packet> sim_process(const Packet& p) override;

@@ -19,33 +19,23 @@ void ContentCache::remove_entry(std::size_t index) {
   acl_.erase(acl_.begin() + static_cast<long>(index));
 }
 
-std::string ContentCache::policy_fingerprint(Address a) const {
-  // Content-based, mirroring LearningFirewall::policy_fingerprint.
-  std::string fp;
+ConfigRelations ContentCache::config_relations() const {
+  // One pair_match relation mirroring LearningFirewall's: the axioms
+  // compile the ACL only through the allows() matrix over relevant
+  // (client, origin) pairs, which is exactly what pair_match projects.
+  // Caches default-allow; isolation comes from deny rows.
+  ConfigRelation acl;
+  acl.name = "acl";
+  acl.semantics = RelationSemantics::pair_match;
+  acl.default_admit = true;
+  acl.render_tag = "cache";
+  acl.pair_sep = "<";
   for (const CacheAclEntry& e : acl_) {
-    const char action = e.deny ? '-' : '+';
-    if (e.client.contains(a)) {
-      fp += "c" + std::string(1, action) +
-            std::to_string(e.client.length()) + ">" + e.origin.to_string() +
-            ";";
-    }
-    if (e.origin == a) {
-      fp += "o" + std::string(1, action) + "<" + e.client.to_string() + ";";
-    }
+    acl.rows.push_back({{ConfigCell::make_prefix("client", e.client),
+                         ConfigCell::make_addr("origin", e.origin),
+                         ConfigCell::make_flag("allow", !e.deny)}});
   }
-  return fp;
-}
-
-std::string ContentCache::encoding_projection(
-    const std::vector<Address>& relevant,
-    const std::function<std::string(Address)>& token) const {
-  std::string out = "cache[";
-  for (Address client : relevant) {
-    for (Address origin : relevant) {
-      if (allows(client, origin)) out += token(client) + "<" + token(origin) + ";";
-    }
-  }
-  return out + "]";
+  return {{std::move(acl)}};
 }
 
 void ContentCache::emit_axioms(AxiomContext& ctx) const {

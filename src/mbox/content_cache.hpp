@@ -52,13 +52,11 @@ class ContentCache final : public Middlebox {
   [[nodiscard]] const std::vector<CacheAclEntry>& acl() const { return acl_; }
   void remove_entry(std::size_t index);
 
-  [[nodiscard]] std::string policy_fingerprint(Address a) const override;
-
-  /// The axioms compile the ACL only through the allows() matrix over
-  /// relevant (client, origin) pairs, so that matrix is the projection.
-  [[nodiscard]] std::string encoding_projection(
-      const std::vector<Address>& relevant,
-      const std::function<std::string(Address)>& token) const override;
+  /// The ACL as one pair_match relation ([client prefix, origin address,
+  /// allow flag] rows, default-allow). The axioms compile it only through
+  /// the allows() matrix over relevant (client, origin) pairs, so the
+  /// derived projection is that matrix.
+  [[nodiscard]] ConfigRelations config_relations() const override;
 
   void sim_reset() override {
     cached_.clear();

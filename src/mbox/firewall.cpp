@@ -21,44 +21,30 @@ void LearningFirewall::remove_entry(std::size_t index) {
   acl_.erase(acl_.begin() + static_cast<long>(index));
 }
 
-std::string LearningFirewall::policy_fingerprint(Address a) const {
-  // Content-based (not entry-index-based): two hosts whose matching entries
-  // have the same shape - role, action, the peer side's prefix, and the
-  // length of the prefix that matched them - are treated identically by
-  // this configuration. This is what merges, say, all public subnets of an
-  // enterprise into one policy class while separating datacenter groups
-  // whose deny entries name different peers.
-  std::string fp;
+ConfigRelations LearningFirewall::config_relations() const {
+  // One pair_match relation carrying the whole configuration surface.
+  // Everything emit_axioms compiles from it is the admitted-pair matrix
+  // over the relevant set (acl_term, used for both the live packet and the
+  // flow-establishing one), which is exactly what pair_match projects - so
+  // two firewalls whose matrices agree under the address bijection emit
+  // identical axioms regardless of how their ACLs spell the prefixes. The
+  // derived fingerprint renders matching rows by prefix length and
+  // membership, never by prefix bits, so renamed-isomorphic groups land in
+  // one policy class while groups whose deny rows cover different slice
+  // peers stay apart.
+  ConfigRelation acl;
+  acl.name = "acl";
+  acl.semantics = RelationSemantics::pair_match;
+  acl.default_admit = default_action_ == AclAction::allow;
+  acl.render_tag = "fw";
+  acl.pair_sep = ">";
   for (const AclEntry& e : acl_) {
-    const char action = e.action == AclAction::allow ? '+' : '-';
-    if (e.src.contains(a)) {
-      fp += "s" + std::string(1, action) + std::to_string(e.src.length()) +
-            ">" + e.dst.to_string() + ";";
-    }
-    if (e.dst.contains(a)) {
-      fp += "d" + std::string(1, action) + std::to_string(e.dst.length()) +
-            "<" + e.src.to_string() + ";";
-    }
+    acl.rows.push_back(
+        {{ConfigCell::make_prefix("src", e.src),
+          ConfigCell::make_prefix("dst", e.dst),
+          ConfigCell::make_flag("allow", e.action == AclAction::allow)}});
   }
-  fp += default_action_ == AclAction::allow ? "*+" : "*-";
-  return fp;
-}
-
-std::string LearningFirewall::encoding_projection(
-    const std::vector<Address>& relevant,
-    const std::function<std::string(Address)>& token) const {
-  // Everything emit_axioms compiles from the configuration is the
-  // admitted-pair matrix over the relevant set (acl_term, used for both
-  // the live packet and the flow-establishing one), so two firewalls whose
-  // matrices agree under the address bijection emit identical axioms -
-  // regardless of how their ACLs spell the prefixes.
-  std::string out = "fw[";
-  for (Address src : relevant) {
-    for (Address dst : relevant) {
-      if (allows(src, dst)) out += token(src) + ">" + token(dst) + ";";
-    }
-  }
-  return out + "]";
+  return {{std::move(acl)}};
 }
 
 l::TermPtr LearningFirewall::acl_term(AxiomContext& ctx, const l::TermPtr& src,

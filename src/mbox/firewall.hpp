@@ -70,13 +70,11 @@ class LearningFirewall final : public Middlebox {
   /// Replaces the whole ACL (used by generators that accumulate rules).
   void replace_acl(std::vector<AclEntry> acl) { acl_ = std::move(acl); }
 
-  [[nodiscard]] std::string policy_fingerprint(Address a) const override;
-
-  /// The axioms compile the ACL only through the allows() matrix over
-  /// relevant address pairs (acl_term), so that matrix IS the projection.
-  [[nodiscard]] std::string encoding_projection(
-      const std::vector<Address>& relevant,
-      const std::function<std::string(Address)>& token) const override;
+  /// The ACL as one pair_match relation: rows of [src prefix, dst prefix,
+  /// allow flag] plus the default action. The axioms compile it only
+  /// through the allows() matrix over relevant address pairs (acl_term), so
+  /// the derived projection is that matrix.
+  [[nodiscard]] ConfigRelations config_relations() const override;
 
  private:
   /// Disjunction over relevant address pairs admitted by the ACL, applied

@@ -26,9 +26,7 @@ class Gateway final : public Middlebox {
 
   /// No configuration, no addresses in the axioms (the failure mode is in
   /// the structural fingerprint, which shape matching compares separately).
-  [[nodiscard]] std::string encoding_projection(
-      const std::vector<Address>&,
-      const std::function<std::string(Address)>&) const override {
+  [[nodiscard]] ConfigRelations config_relations() const override {
     return {};
   }
 

@@ -24,17 +24,15 @@ class Idps final : public Middlebox {
 
   void emit_axioms(AxiomContext& ctx) const override;
 
-  /// Address-independent, but axiom-relevant: a dropping IDPS and a pure
-  /// monitor encode different problems and must never fingerprint equal.
-  [[nodiscard]] std::string policy_fingerprint(Address) const override {
-    return drop_malicious_ ? "drop-malicious" : "monitor";
-  }
-
-  /// Address-free configuration: the mode alone determines the axioms.
-  [[nodiscard]] std::string encoding_projection(
-      const std::vector<Address>&,
-      const std::function<std::string(Address)>&) const override {
-    return policy_fingerprint(Address{});
+  /// Address-free, but axiom-relevant: a dropping IDPS and a pure monitor
+  /// encode different problems and must never fingerprint equal. The mode
+  /// is one address-free enum row, rendered identically for every address.
+  [[nodiscard]] ConfigRelations config_relations() const override {
+    ConfigRelation mode;
+    mode.name = "mode";
+    mode.rows.push_back({{ConfigCell::make_enum(
+        "", drop_malicious_ ? "drop-malicious" : "monitor")}});
+    return {{std::move(mode)}};
   }
 
   void sim_reset() override {}

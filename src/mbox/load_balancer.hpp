@@ -45,20 +45,18 @@ class LoadBalancer final : public Middlebox {
     return out;
   }
 
-  [[nodiscard]] std::string policy_fingerprint(Address a) const override {
-    for (std::size_t i = 0; i < backends_.size(); ++i) {
-      if (backends_[i] == a) return "b" + std::to_string(i) + ";";
-    }
-    return a == vip_ ? "vip;" : std::string{};
-  }
-
   /// The axioms mention the VIP and each backend address (in list order).
-  [[nodiscard]] std::string encoding_projection(
-      const std::vector<Address>&,
-      const std::function<std::string(Address)>& token) const override {
-    std::string out = "lb[vip:" + token(vip_) + ";";
-    for (Address b : backends_) out += "b:" + token(b) + ";";
-    return out + "]";
+  /// Backends are positional configuration - backend 0 is not backend 1 -
+  /// which the row_list semantics preserve in the derived fingerprint.
+  [[nodiscard]] ConfigRelations config_relations() const override {
+    ConfigRelation lb;
+    lb.name = "lb";
+    lb.render_tag = "lb";
+    lb.rows.push_back({{ConfigCell::make_addr("vip", vip_)}});
+    for (Address b : backends_) {
+      lb.rows.push_back({{ConfigCell::make_addr("b", b)}});
+    }
+    return {{std::move(lb)}};
   }
 
   void sim_reset() override { assignment_.clear(); }

@@ -25,21 +25,6 @@ bool AxiomContext::is_relevant(Address a) const {
   return std::find(relevant_.begin(), relevant_.end(), a) != relevant_.end();
 }
 
-std::string Middlebox::encoding_projection(
-    const std::vector<Address>& relevant,
-    const std::function<std::string(Address)>& token) const {
-  // Conservative default: anchor every relevant address to its raw bits so
-  // the projection only ever matches when the two slices' address sets are
-  // literally identical - a box type that has not spelled out its
-  // configuration surface never participates in cross-renamed reuse.
-  std::string out;
-  for (Address a : relevant) {
-    out += token(a) + "=" + std::to_string(a.bits()) + ":" +
-           policy_fingerprint(a) + ";";
-  }
-  return out;
-}
-
 ltl::FormulaPtr Middlebox::received_before(AxiomContext& ctx,
                                            const l::TermPtr& p) const {
   l::TermPtr n = ctx.fresh_node("src");

@@ -24,6 +24,7 @@
 #include "core/packet.hpp"
 #include "logic/builder.hpp"
 #include "logic/ltl.hpp"
+#include "mbox/config.hpp"
 
 namespace vmn::mbox {
 
@@ -151,24 +152,40 @@ class Middlebox {
     return {};
   }
 
-  // -- policy equivalence support (paper, section 4.1) -----------------------
+  // -- configuration surface (paper, section 4.1) ----------------------------
+  /// The instance's full declarative configuration: named relations of typed
+  /// cells, addr/prefix cells holding real Address values (see
+  /// mbox/config.hpp). This is the ONE place a box type describes its
+  /// configuration; policy_fingerprint, encoding_projection and the dedup
+  /// diagnostics are all derived from it generically and cannot be
+  /// overridden.
+  ///
+  /// Contract: every configuration knob that emit_axioms compiles into the
+  /// solver problem MUST appear in the descriptor - address-independent
+  /// settings (e.g. an IDPS's drop-vs-monitor mode) included, as
+  /// address-free rows. The canonical slice key
+  /// (slice::canonical_slice_key) dedups verification jobs by the derived
+  /// fingerprint and cross-isomorphic encoding reuse
+  /// (slice::shape_bijection) by the derived projection; an undescribed
+  /// knob lets two differently-configured same-type instances share a job
+  /// and one invariant silently inherit the other's verdict. Return an
+  /// empty descriptor only for boxes with no configuration at all.
+  [[nodiscard]] virtual ConfigRelations config_relations() const = 0;
+
   /// Canonical description of how this instance's configuration treats
   /// address `a`. Hosts with identical fingerprints across all middleboxes
   /// (and identical forwarding chains) are policy-equivalent; removal of a
   /// configuration entry changes the affected hosts' fingerprints, which is
   /// how "removal of rules breaks symmetry" (section 5.1) materializes.
   ///
-  /// Contract: every configuration knob that emit_axioms compiles into the
-  /// solver problem MUST be projected through this fingerprint -
-  /// address-independent settings (e.g. an IDPS's drop-vs-monitor mode)
-  /// included, returned identically for every `a`. The canonical slice key
-  /// (slice::canonical_slice_key) dedups verification jobs by this
-  /// projection; an unprojected knob lets two differently-configured
-  /// same-type instances share a job and one invariant silently inherit the
-  /// other's verdict. The default is for boxes with no configuration at all.
-  [[nodiscard]] virtual std::string policy_fingerprint(Address a) const {
-    (void)a;
-    return {};
+  /// Derived: filters config_relations() to rows mentioning `a` (plus
+  /// address-free rows, which are global knobs) and renders them
+  /// canonically - prefixes by length, peer addresses by column shape,
+  /// never by raw bits - so corresponding-but-renamed configurations
+  /// fingerprint equal. Final by design: box types describe configuration,
+  /// they do not render it.
+  [[nodiscard]] std::string policy_fingerprint(Address a) const {
+    return render_fingerprint(config_relations(), a);
   }
 
   /// Canonical rendering of everything emit_axioms compiles from this
@@ -182,20 +199,16 @@ class Middlebox {
   /// projections compare equal exactly when the two instances emit
   /// logically identical axioms up to that bijection.
   ///
-  /// Contract (stricter than policy_fingerprint's): the projection must
-  /// determine the instance's axioms over `relevant` COMPLETELY - every
-  /// configuration knob emit_axioms compiles, and every address the axioms
-  /// mention, rendered through `token` (never as raw bits; iterate
-  /// `relevant` in the order given, not sorted). An under-projected knob
-  /// lets a differently-configured instance borrow this one's base
-  /// encoding and silently answer the wrong problem. The default is
-  /// deliberately conservative for box types without a bespoke override:
-  /// it pins every relevant address to its raw bits, so such a box only
-  /// ever matches under the identity address mapping (no cross-renamed
-  /// reuse, which is always sound).
-  [[nodiscard]] virtual std::string encoding_projection(
+  /// Derived from config_relations(): addr cells render through `token`,
+  /// prefix cells project onto their relevant members, pair tables onto
+  /// their admitted-pair matrix - a raw-bits leak is impossible by
+  /// construction, because the renderer never sees address bits, only the
+  /// descriptor and `token`. Final by design, same as policy_fingerprint.
+  [[nodiscard]] std::string encoding_projection(
       const std::vector<Address>& relevant,
-      const std::function<std::string(Address)>& token) const;
+      const std::function<std::string(Address)>& token) const {
+    return render_projection(config_relations(), relevant, token);
+  }
 
   // -- concrete semantics (simulator) ---------------------------------------
   /// Clears all mutable state (also invoked when the instance fails).

@@ -35,20 +35,16 @@ class Nat final : public Middlebox {
     return {external_};
   }
 
-  [[nodiscard]] std::string policy_fingerprint(Address a) const override {
-    return internal_.contains(a) ? "int;" : std::string{};
-  }
-
   /// The axioms mention the external address and the internal-prefix
-  /// membership of each relevant address - nothing else of the prefix.
-  [[nodiscard]] std::string encoding_projection(
-      const std::vector<Address>& relevant,
-      const std::function<std::string(Address)>& token) const override {
-    std::string out = "nat[ext:" + token(external_) + ";";
-    for (Address a : relevant) {
-      if (internal_.contains(a)) out += "int:" + token(a) + ";";
-    }
-    return out + "]";
+  /// membership of each relevant address - nothing else of the prefix -
+  /// which is exactly what an addr cell plus a prefix cell project.
+  [[nodiscard]] ConfigRelations config_relations() const override {
+    ConfigRelation nat;
+    nat.name = "nat";
+    nat.render_tag = "nat";
+    nat.rows.push_back({{ConfigCell::make_addr("ext", external_)}});
+    nat.rows.push_back({{ConfigCell::make_prefix("int", internal_)}});
+    return {{std::move(nat)}};
   }
 
   /// Internal hosts are reachable from outside via the external address.

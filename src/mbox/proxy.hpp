@@ -39,10 +39,12 @@ class Proxy final : public Middlebox {
   }
 
   /// The axioms mention only the proxy's own address.
-  [[nodiscard]] std::string encoding_projection(
-      const std::vector<Address>&,
-      const std::function<std::string(Address)>& token) const override {
-    return "proxy[" + token(address_) + "]";
+  [[nodiscard]] ConfigRelations config_relations() const override {
+    ConfigRelation self;
+    self.name = "proxy";
+    self.render_tag = "proxy";
+    self.rows.push_back({{ConfigCell::make_addr("", address_)}});
+    return {{std::move(self)}};
   }
 
   void sim_reset() override {

@@ -26,9 +26,7 @@ class WanOptimizer final : public Middlebox {
   void emit_axioms(AxiomContext& ctx) const override;
 
   /// No configuration, no addresses in the axioms.
-  [[nodiscard]] std::string encoding_projection(
-      const std::vector<Address>&,
-      const std::function<std::string(Address)>&) const override {
+  [[nodiscard]] ConfigRelations config_relations() const override {
     return {};
   }
 

@@ -377,10 +377,23 @@ PolicyClasses infer_policy_classes(const encode::NetworkModel& model,
   std::map<std::string, std::vector<NodeId>> groups;
   for (NodeId h : model.network().hosts()) {
     const Address a = model.network().node(h).address;
-    std::string fp;
+    // A host's fingerprint is the sorted multiset of type-tagged non-empty
+    // box fingerprints - no box names, no positions - so hosts of
+    // renamed-isomorphic segments (treated alike by their own boxes, not
+    // touched by each other's) land in one class. Sound because the class
+    // is only a symmetry-grouping hypothesis: reachability refinement
+    // (attach_reachability below) splits classes whose traffic actually
+    // traverses different boxes, and canonical slice keys re-fingerprint
+    // every member box of the slice before any verdict merges.
+    std::vector<std::string> parts;
     for (const auto& box : model.middleboxes()) {
-      fp += box->name() + "{" + box->policy_fingerprint(a) + "}";
+      std::string bfp = box->policy_fingerprint(a);
+      if (bfp.empty()) continue;
+      parts.push_back(box->type() + "{" + std::move(bfp) + "}");
     }
+    std::sort(parts.begin(), parts.end());
+    std::string fp;
+    for (std::string& p : parts) fp += p;
     groups[fp].push_back(h);
   }
   PolicyClasses out;

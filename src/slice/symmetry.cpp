@@ -147,16 +147,32 @@ Refined wl_refine(const encode::NetworkModel& model,
   // firewalls, or a dropping IDPS vs a pure monitor) never merge - without
   // this the encoding (which compiles the full config) would diverge from
   // the key and symmetric-looking checks could unsoundly inherit outcomes.
-  // Soundness rests on the Middlebox::policy_fingerprint contract: every
-  // axiom-relevant knob, address-independent ones included, must be
-  // projected (see the Idps/AppFirewall overrides). Fingerprints may
-  // mention raw peer prefixes, so corresponding-but-renamed configs split
-  // conservatively (sound, costs a solver call); fingerprints of
-  // isomorphically-treated addresses are equal strings, which is what
-  // keeps e.g. an enterprise's public subnets merged. (The shape key skips
-  // this incidence: it must pair exactly the renamed-but-corresponding
-  // slices the raw fingerprints split, and shape_bijection re-checks
-  // configuration exactly through Middlebox::encoding_projection.)
+  // Soundness rests on the ConfigRelations contract (mbox/config.hpp):
+  // every axiom-relevant knob, address-independent ones included, must be
+  // in the descriptor the fingerprint is derived from (address-free rows,
+  // e.g. the IDPS mode or an app-firewall's class list). Fingerprints
+  // render prefixes canonically (length and membership, never bits), so
+  // isomorphically-treated addresses - renamed ones included - get equal
+  // strings, which is what keeps e.g. an enterprise's public subnets
+  // merged. (The shape key skips this incidence: configuration must not
+  // split its candidate pairing, and shape_bijection re-checks it exactly
+  // through Middlebox::encoding_projection.)
+  // Pairwise configuration joins among slice addresses. The per-address
+  // fingerprints above are deliberately role-local (occurrence ids are
+  // relative to the queried address's matched rows, so an enterprise's
+  // public subnets collapse), which means they cannot tell whether two
+  // slice addresses are joined by the SAME config row or by two
+  // corresponding-but-different ones - deny(P1->Q1, P2->Q2) looks alike
+  // from x1 in P1 whether the slice's other host sits in Q1 (denied) or Q2
+  // (admitted). That information is exactly the admitted-pair relation the
+  // axioms compile (acl_term and friends project onto relevant x relevant),
+  // so each pair_match relation contributes its admitted pairs as refinement
+  // edges below, alongside the routing relation.
+  struct CfgPair {
+    std::size_t box, lhs, rhs;
+    std::string rel;
+  };
+  std::vector<CfgPair> cfg_pairs;
   if (fingerprint_incidence) {
     for (std::size_t i = 0; i < members.size(); ++i) {
       const mbox::Middlebox* box = model.middlebox_at(members[i]);
@@ -164,6 +180,17 @@ Refined wl_refine(const encode::NetworkModel& model,
       for (std::size_t j = 0; j < relevant.size(); ++j) {
         owners[j].push_back(
             {"f" + digest(box->policy_fingerprint(relevant[j])), i});
+      }
+      const mbox::ConfigRelations rels = box->config_relations();
+      for (const mbox::ConfigRelation& rel : rels.relations) {
+        if (rel.semantics != mbox::RelationSemantics::pair_match) continue;
+        for (std::size_t j = 0; j < relevant.size(); ++j) {
+          for (std::size_t k = 0; k < relevant.size(); ++k) {
+            if (rel.admits(relevant[j], relevant[k])) {
+              cfg_pairs.push_back(CfgPair{i, j, k, rel.name});
+            }
+          }
+        }
       }
     }
   }
@@ -249,6 +276,12 @@ Refined wl_refine(const encode::NetworkModel& model,
         mparts[i].push_back("o" + tag + acolor[j]);
         aparts[j].push_back("o" + tag + mcolor[i]);
       }
+    }
+    for (const CfgPair& p : cfg_pairs) {
+      mparts[p.box].push_back("c" + p.rel + acolor[p.lhs] + ">" +
+                              acolor[p.rhs]);
+      aparts[p.lhs].push_back("cl" + p.rel + mcolor[p.box] + acolor[p.rhs]);
+      aparts[p.rhs].push_back("cr" + p.rel + mcolor[p.box] + acolor[p.lhs]);
     }
     std::vector<std::string> next_m(members.size());
     for (std::size_t i = 0; i < members.size(); ++i) {
@@ -379,10 +412,14 @@ ShapeKey canonical_shape_key(const encode::NetworkModel& model,
 std::optional<std::vector<NodeId>> shape_bijection(
     const encode::NetworkModel& model, const ShapeKey& from,
     const ShapeKey& to, int max_failures,
-    dataplane::TransferCache* transfers, std::string* why) {
+    dataplane::TransferCache* transfers, MergeRefusal* why) {
   const net::Network& net = model.network();
-  auto refuse = [&](std::string reason) -> std::optional<std::vector<NodeId>> {
-    if (why != nullptr) *why = std::move(reason);
+  auto refuse = [&](std::string reason, std::string box_type =
+                                            {}) -> std::optional<std::vector<NodeId>> {
+    if (why != nullptr) {
+      why->reason = std::move(reason);
+      why->box_type = std::move(box_type);
+    }
     return std::nullopt;
   };
   if (from.members.size() != to.members.size()) {
@@ -439,7 +476,7 @@ std::optional<std::vector<NodeId>> shape_bijection(
     if (box_a != nullptr &&
         box_a->structural_fingerprint() != box_b->structural_fingerprint()) {
       return refuse("middlebox structure differs (" + box_a->type() + " vs " +
-                    box_b->type() + ")");
+                    box_b->type() + ")", box_a->type());
     }
   }
 
@@ -467,7 +504,8 @@ std::optional<std::vector<NodeId>> shape_bijection(
       const std::vector<Address> ia = box_a->implicit_addresses();
       const std::vector<Address> ib = box_b->implicit_addresses();
       if (ia.size() != ib.size()) {
-        return refuse("implicit address lists differ (" + box_a->type() + ")");
+        return refuse("implicit address lists differ (" + box_a->type() + ")",
+                      box_a->type());
       }
       for (std::size_t k = 0; k < ia.size(); ++k) {
         if (!map_addr(ia[k], ib[k])) {
@@ -502,10 +540,11 @@ std::optional<std::vector<NodeId>> shape_bijection(
   // 3. Middlebox configurations: each member box's canonical projection of
   // its configuration onto the relevant set must agree under the address
   // bijection. Addresses are rendered as positions in the aligned relevant
-  // lists; an address a projection mentions without a mapping (possible
-  // only for box types relying on the conservative default projection)
-  // renders as a side-tagged raw literal, which can never compare equal
-  // across the two sides - unknown configuration surface refuses reuse.
+  // lists; an address a projection mentions without a mapping renders as a
+  // side-tagged raw literal, which can never compare equal across the two
+  // sides - unknown configuration surface refuses reuse. On a mismatch the
+  // two ConfigRelations descriptors are diffed structurally so the refusal
+  // names the exact relation, row and cell that differ.
   std::map<Address, std::size_t> from_token;
   std::map<Address, std::size_t> to_token;
   for (std::size_t j = 0; j < rel_from.size(); ++j) {
@@ -531,8 +570,15 @@ std::optional<std::vector<NodeId>> shape_bijection(
     const mbox::Middlebox* box_b = model.middlebox_at(image[i]);
     if (box_a->encoding_projection(rel_from, tok_from) !=
         box_b->encoding_projection(mapped, tok_to)) {
-      return refuse("configuration projection mismatch (" + box_a->type() +
-                    ")");
+      std::string detail = mbox::diff_config(
+          box_a->type(), box_a->config_relations(), box_b->config_relations(),
+          rel_from, tok_from, mapped, tok_to);
+      if (detail.empty()) {
+        // Structurally corresponding descriptors whose projections still
+        // differ (relevant-set interplay): keep the generic reason.
+        detail = "configuration projection mismatch (" + box_a->type() + ")";
+      }
+      return refuse(std::move(detail), box_a->type());
     }
   }
 

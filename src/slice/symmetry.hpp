@@ -52,14 +52,20 @@ struct SymmetryGroups {
 /// The key erases node identity: hosts are labelled by their policy class
 /// and invariant role (target / other), middleboxes by type, state scope,
 /// failure mode and the per-address projection of their configuration
-/// (policy_fingerprint over the slice's relevant addresses - same-type
-/// boxes never merge when their configurations differ under that
-/// projection, which is sound exactly as long as every box honors the
-/// Middlebox::policy_fingerprint contract of projecting every
-/// axiom-relevant knob, address-independent ones included), switches
-/// anonymously - then the labelling is sharpened by
+/// (policy_fingerprint over the slice's relevant addresses - rendered
+/// from the box's config_relations() descriptor with rename-blind
+/// occurrence ids, so corresponding-but-renamed slices share keys while
+/// same-type boxes never merge when their configurations treat a member
+/// differently; sound exactly as long as every box's descriptor names
+/// every axiom-relevant knob, address-independent ones included),
+/// switches anonymously - then the labelling is sharpened by
 /// three rounds of neighborhood refinement (1-WL) over the subgraph induced
-/// on the slice members plus the switching fabric. Isomorphic
+/// on the slice members plus the switching fabric, with every admitted
+/// (src, dst) pair of each pair-match config relation fed in as an extra
+/// refinement edge (per-address fingerprints cannot carry pairwise join
+/// structure - deny(P1->Q1);deny(P2->Q2) must separate the slice pairing
+/// x with P1's peer from the one pairing it with P2's - so the key
+/// recovers it here). Isomorphic
 /// (invariant, slice) pairs - one transformable into the other by a
 /// policy-class-preserving relabeling of nodes - always get equal keys, but
 /// the converse is heuristic: 1-WL color multisets can coincide on
@@ -92,9 +98,9 @@ struct SymmetryGroups {
 /// colors the fingerprint was derived from.
 ///
 /// Unlike canonical_slice_key, the shape key ignores invariant roles,
-/// policy classes and middlebox configuration payloads (policy fingerprints
-/// mention raw peer prefixes, which would split exactly the
-/// corresponding-but-renamed slices shape matching exists to pair): hosts
+/// policy classes and middlebox configuration payloads (configuration is
+/// deliberately left out of the coarse key; exactness is established
+/// afterwards by shape_bijection's structural descriptor comparison): hosts
 /// are colored "host", middleboxes by structural fingerprint, and the
 /// 1-WL refinement over the scenario-tagged routing relation does the rest.
 /// Equal keys are therefore only a *candidate* signal - two slices whose
@@ -162,6 +168,18 @@ struct ProblemKey {
     const encode::Invariant& invariant, int max_failures = 0,
     dataplane::TransferCache* transfers = nullptr);
 
+/// Why shape_bijection refused a candidate merge. `reason` is the one-line
+/// diagnostic `vmn verify --dedup-report` prints; when a middlebox
+/// configuration blocked the merge, it names the exact differing relation
+/// and cell from the boxes' ConfigRelations descriptors (e.g.
+/// "firewall.acl row 3: dst prefix /24 vs /16") and `box_type` carries the
+/// blocking box's type for per-box aggregation (empty for structural
+/// refusals - color multisets, address maps, scenario relations).
+struct MergeRefusal {
+  std::string reason;
+  std::string box_type;
+};
+
 /// Attempts to build - and exactly verify - a bijection from `from.members`
 /// onto `to.members` under which the two base encodings are isomorphic:
 /// the returned image (aligned with `from.members`) maps nodes such that
@@ -181,14 +199,15 @@ struct ProblemKey {
 /// with solving the original on `from`'s - the 1-WL candidate pairing is
 /// never trusted on its own. Returns nullopt when any check fails (the
 /// caller falls back to encoding `from` cold, which is always sound);
-/// `why`, when non-null, receives a one-line reason naming the failed
-/// check - and, for configuration-projection mismatches, the box type
-/// whose projection blocked the merge (the raw-bits default projection
-/// being the classic blocker `vmn verify --dedup-report` surfaces).
+/// `why`, when non-null, receives the refusal diagnostic - for
+/// configuration-projection mismatches, the boxes' ConfigRelations
+/// descriptors are diffed structurally so the reason names the exact
+/// relation, row and cell that blocked the merge (what
+/// `vmn verify --dedup-report` surfaces).
 [[nodiscard]] std::optional<std::vector<NodeId>> shape_bijection(
     const encode::NetworkModel& model, const ShapeKey& from,
     const ShapeKey& to, int max_failures = 0,
     dataplane::TransferCache* transfers = nullptr,
-    std::string* why = nullptr);
+    MergeRefusal* why = nullptr);
 
 }  // namespace vmn::slice

@@ -33,6 +33,17 @@ struct ShapeRep {
   std::vector<std::string> colors;
 };
 
+/// One aggregated merge-refusal line: how many candidate merges one
+/// distinct slice::MergeRefusal diagnostic blocked this batch. `box_type`
+/// is the blocking middlebox type for configuration refusals (empty for
+/// structural ones), so reports and benches can break blockers down
+/// per box.
+struct MergeBlocker {
+  std::string reason;
+  std::string box_type;
+  std::size_t count = 0;
+};
+
 /// Shared state for one plan_jobs pass. The planner is the serial Amdahl
 /// term in front of the parallel fan-out, and its dominant cost used to be
 /// rebuilding an identical dataplane::TransferFunction per (invariant,
@@ -191,11 +202,12 @@ struct JobPlan {
   /// list shrinks by exactly this many entries while planned_jobs() - and
   /// the counters derived from it - keep counting them.
   std::size_t iso_verdict_merged = 0;
-  /// Why candidate merges were refused, reason -> count (the
-  /// shape_bijection `why` diagnostics; "configuration projection
-  /// mismatch (<type>)" names a box type blocking merges). Feeds
-  /// `vmn verify --dedup-report`.
-  std::vector<std::pair<std::string, std::size_t>> merge_blockers;
+  /// Why candidate merges were refused (the shape_bijection MergeRefusal
+  /// diagnostics, aggregated): configuration refusals name the exact
+  /// differing relation/row/cell from the boxes' ConfigRelations
+  /// descriptors and carry the blocking box type for per-box breakdowns.
+  /// Feeds `vmn verify --dedup-report` and the fig8 bench counters.
+  std::vector<MergeBlocker> merge_blockers;
 
   /// Planned invariant-jobs: solver calls plus merged verdict bindings
   /// (the historical "jobs" count before equivalence-class merging).

@@ -499,7 +499,7 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
   // the datacenter's per-group jobs being the canonical case. Disabled
   // with warm solving off: --no-warm is the cold baseline and must keep
   // the historical encode-everything behavior.
-  std::map<std::string, std::size_t> blockers;
+  std::map<std::pair<std::string, std::string>, std::size_t> blockers;
   if (options.warm_solving) {
     // One shape decision per distinct member set this pass.
     std::map<std::vector<NodeId>, std::pair<std::vector<NodeId>,
@@ -533,7 +533,7 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
             break;
           }
           slice::ShapeKey rep_shape{shape.key, rep.members, rep.colors};
-          std::string why;
+          slice::MergeRefusal why;
           if (std::optional<std::vector<NodeId>> image = slice::shape_bijection(
                   model, shape, rep_shape, options.max_failures,
                   &ctx.transfers, &why)) {
@@ -541,7 +541,7 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
             decision.second = rep.members;
             break;
           }
-          ++blockers[why];
+          ++blockers[{why.box_type, why.reason}];
         }
         if (!is_rep && decision.first.empty() && reps.size() < kMaxShapeReps) {
           reps.push_back(ShapeRep{shape.members, shape.colors});
@@ -636,8 +636,8 @@ JobPlan plan_jobs(const encode::NetworkModel& model,
     }
     plan.jobs = std::move(merged);
   }
-  for (auto& [reason, count] : blockers) {
-    plan.merge_blockers.emplace_back(reason, count);
+  for (auto& [key, count] : blockers) {
+    plan.merge_blockers.push_back(MergeBlocker{key.second, key.first, count});
   }
   // Shape-adjacency ordering: jobs binding identical base encodings become
   // neighbors - identical member sets as before, plus member sets rebound

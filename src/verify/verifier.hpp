@@ -144,9 +144,10 @@ struct PoolStats {
   /// the number of planned invariant-jobs the class's single solve
   /// answers (1 = unmerged). Sum == jobs_executed.
   std::vector<std::size_t> iso_class_sizes;
-  /// Refused candidate merges, reason -> count (JobPlan::merge_blockers);
-  /// `vmn verify --dedup-report` prints both.
-  std::vector<std::pair<std::string, std::size_t>> merge_blockers;
+  /// Refused candidate merges (JobPlan::merge_blockers): per distinct
+  /// refusal diagnostic, the blocking box type (when configuration was the
+  /// blocker) and the count; `vmn verify --dedup-report` prints them.
+  std::vector<MergeBlocker> merge_blockers;
 };
 
 /// The one batch-verification result both engines return (the historical

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "cli/options.hpp"
+#include "io/spec.hpp"
+#include "verify/engine.hpp"
 
 namespace vmn::cli {
 namespace {
@@ -215,6 +217,30 @@ TEST(OptionSet, PositionalsCollectedOnlyWhenRequested) {
   EXPECT_EQ(set.parse(b.argc(), b.argv()), OptionSet::Result::error);
   EXPECT_NE(testing::internal::GetCapturedStderr().find("spec.vmn"),
             std::string::npos);
+}
+
+// -- dedup report diagnostics ------------------------------------------------
+
+TEST(DedupReport, Fig8MultitenantNamesTheFirewallAclCell) {
+  // The `vmn verify --dedup-report` blocker list must name the exact
+  // descriptor cell that refused a merge, not just "projection mismatch".
+  // In the Fig 8 multitenant datacenter the vswitch firewalls' ACLs differ
+  // in which /32 host entries cover the slice's VMs, so the blocker must
+  // point into firewall.acl with a row and cell detail.
+  io::Spec spec = io::load_spec(std::string(VMN_SOURCE_DIR) +
+                                "/examples/specs/multitenant.vmn");
+  verify::Engine engine(spec.model);
+  verify::BatchResult batch = engine.run_batch(spec.invariants);
+  std::string seen;
+  bool found = false;
+  for (const verify::MergeBlocker& b : batch.pool.merge_blockers) {
+    seen += b.box_type + ": " + b.reason + "\n";
+    if (b.box_type == "firewall" &&
+        b.reason.rfind("firewall.acl row", 0) == 0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "blockers seen:\n" << seen;
 }
 
 }  // namespace

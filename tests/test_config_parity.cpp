@@ -1,0 +1,243 @@
+// Golden-parity migration tests for the config_relations() descriptor.
+//
+// The pre-descriptor middlebox zoo rendered its encoding projections and
+// policy fingerprints in ten hand-written per-box overrides. ResultCache
+// (v6) keys hash the projection strings, so the descriptor-derived
+// renderings must reproduce them byte-for-byte or every warm cache in the
+// field silently goes cold. This suite copies the legacy formulas verbatim
+// (from the per-box overrides the descriptor replaced) and pins the new
+// renderings against them across the scenarios/random.cpp fuzz zoo at
+// fixed seeds - every box type, randomized configurations.
+//
+// Fingerprints are pinned more selectively: the address-free types (idps,
+// app-firewall) must stay byte-identical, while the address-carrying types
+// intentionally moved from raw address bits to rename-blind occurrence ids
+// (that migration is the point of the descriptor); those get canonical
+// pins of the NEW format instead, so any future drift is a conscious
+// decision.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "encode/model.hpp"
+#include "mbox/app_firewall.hpp"
+#include "mbox/content_cache.hpp"
+#include "mbox/firewall.hpp"
+#include "mbox/idps.hpp"
+#include "mbox/load_balancer.hpp"
+#include "mbox/nat.hpp"
+#include "mbox/proxy.hpp"
+#include "scenarios/random.hpp"
+
+namespace vmn {
+namespace {
+
+using Token = std::function<std::string(Address)>;
+
+// -- legacy renderers (copied from the replaced overrides) -------------------
+
+std::string legacy_projection(const mbox::Middlebox& box,
+                              const std::vector<Address>& relevant,
+                              const Token& token) {
+  if (const auto* fw = dynamic_cast<const mbox::LearningFirewall*>(&box)) {
+    std::string out = "fw[";
+    for (Address src : relevant) {
+      for (Address dst : relevant) {
+        if (fw->allows(src, dst)) out += token(src) + ">" + token(dst) + ";";
+      }
+    }
+    return out + "]";
+  }
+  if (const auto* cc = dynamic_cast<const mbox::ContentCache*>(&box)) {
+    std::string out = "cache[";
+    for (Address client : relevant) {
+      for (Address origin : relevant) {
+        if (cc->allows(client, origin)) {
+          out += token(client) + "<" + token(origin) + ";";
+        }
+      }
+    }
+    return out + "]";
+  }
+  if (const auto* nat = dynamic_cast<const mbox::Nat*>(&box)) {
+    std::string out = "nat[ext:" + token(nat->external_address()) + ";";
+    for (Address a : relevant) {
+      if (nat->internal_prefix().contains(a)) out += "int:" + token(a) + ";";
+    }
+    return out + "]";
+  }
+  if (const auto* lb = dynamic_cast<const mbox::LoadBalancer*>(&box)) {
+    std::string out = "lb[vip:" + token(lb->vip()) + ";";
+    for (Address b : lb->backends()) out += "b:" + token(b) + ";";
+    return out + "]";
+  }
+  if (const auto* px = dynamic_cast<const mbox::Proxy*>(&box)) {
+    return "proxy[" + token(px->proxy_address()) + "]";
+  }
+  if (const auto* id = dynamic_cast<const mbox::Idps*>(&box)) {
+    return id->drops_malicious() ? "drop-malicious" : "monitor";
+  }
+  if (const auto* af = dynamic_cast<const mbox::AppFirewall*>(&box)) {
+    std::vector<std::uint16_t> classes(af->blocked_classes());
+    std::sort(classes.begin(), classes.end());
+    std::string fp = af->exclusive_classes() ? "x:" : "o:";
+    for (std::uint16_t c : classes) fp += std::to_string(c) + ",";
+    return fp;
+  }
+  // gateway / scrubber / wan-optimizer: no configuration, empty projection.
+  return {};
+}
+
+// The address-free types' fingerprints, which must not move at all (they
+// equalled their projections before the migration and still must).
+std::string legacy_address_free_fingerprint(const mbox::Middlebox& box) {
+  if (const auto* id = dynamic_cast<const mbox::Idps*>(&box)) {
+    return id->drops_malicious() ? "drop-malicious" : "monitor";
+  }
+  return legacy_projection(box, {}, {});  // app-firewall: same formula
+}
+
+// -- the fuzz zoo ------------------------------------------------------------
+
+std::vector<std::uint64_t> parity_seeds() {
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 1; s <= 25; ++s) seeds.push_back(s);
+  return seeds;
+}
+
+scenarios::RandomSpec spec_for(std::uint64_t seed) {
+  scenarios::RandomSpecParams params;
+  params.seed = seed;
+  params.max_middleboxes = 6;  // denser zoo coverage per seed
+  return scenarios::make_random_spec(params);
+}
+
+// Relevant set a slice would hand the projection: every host address plus
+// every middlebox implicit address, in model order.
+std::vector<Address> relevant_addresses(const encode::NetworkModel& model) {
+  std::vector<Address> out;
+  for (NodeId h : model.network().hosts()) {
+    out.push_back(model.network().node(h).address);
+  }
+  for (const auto& box : model.middleboxes()) {
+    for (Address a : box->implicit_addresses()) out.push_back(a);
+  }
+  return out;
+}
+
+Token token_over(const std::vector<Address>& relevant) {
+  return Token([relevant](Address a) {
+    for (std::size_t i = 0; i < relevant.size(); ++i) {
+      if (relevant[i] == a) return "t" + std::to_string(i);
+    }
+    // Both renderers share this token function, so the fallback only has
+    // to be deterministic, not slice-plausible.
+    return "u" + std::to_string(a.bits());
+  });
+}
+
+TEST(ConfigParity, ProjectionsByteEqualLegacyAcrossFuzzZoo) {
+  std::set<std::string> types_seen;
+  for (std::uint64_t seed : parity_seeds()) {
+    const scenarios::RandomSpec rs = spec_for(seed);
+    const std::vector<Address> relevant =
+        relevant_addresses(rs.spec.model);
+    const Token token = token_over(relevant);
+    for (const auto& box : rs.spec.model.middleboxes()) {
+      types_seen.insert(box->type());
+      EXPECT_EQ(box->encoding_projection(relevant, token),
+                legacy_projection(*box, relevant, token))
+          << "seed " << seed << " box " << box->name() << " ("
+          << box->type() << ")";
+    }
+  }
+  // The pin only means something if the zoo actually walked the whole zoo.
+  const std::set<std::string> all_types = {
+      "firewall",  "cache",        "nat",      "load-balancer",
+      "proxy",     "idps",          "scrubber", "gateway",
+      "app-firewall", "wan-optimizer"};
+  EXPECT_EQ(types_seen, all_types);
+}
+
+TEST(ConfigParity, AddressFreeFingerprintsByteEqualLegacy) {
+  const Address probe = Address::of(10, 0, 0, 1);
+  for (std::uint64_t seed : parity_seeds()) {
+    const scenarios::RandomSpec rs = spec_for(seed);
+    for (const auto& box : rs.spec.model.middleboxes()) {
+      if (box->type() != "idps" && box->type() != "app-firewall") continue;
+      EXPECT_EQ(box->policy_fingerprint(probe),
+                legacy_address_free_fingerprint(*box))
+          << "seed " << seed << " box " << box->name();
+    }
+  }
+}
+
+TEST(ConfigParity, FingerprintsAreTotalOverTheZoo) {
+  // Every box whose axioms compile any configuration must fingerprint
+  // non-empty for at least the addresses its configuration names; the
+  // unconfigured types must fingerprint empty for everything. Guards
+  // against a descriptor dropping a knob during future zoo growth.
+  const std::set<std::string> unconfigured = {"gateway", "scrubber",
+                                              "wan-optimizer"};
+  for (std::uint64_t seed : parity_seeds()) {
+    const scenarios::RandomSpec rs = spec_for(seed);
+    const std::vector<Address> relevant =
+        relevant_addresses(rs.spec.model);
+    for (const auto& box : rs.spec.model.middleboxes()) {
+      if (unconfigured.count(box->type()) != 0u) {
+        EXPECT_TRUE(box->config_relations().relations.empty());
+        for (Address a : relevant) {
+          EXPECT_EQ(box->policy_fingerprint(a), "") << box->name();
+        }
+      } else {
+        EXPECT_FALSE(box->config_relations().relations.empty())
+            << box->name() << " (" << box->type() << ")";
+      }
+    }
+  }
+}
+
+// -- canonical pins for the NEW fingerprint format ---------------------------
+//
+// The address-carrying fingerprints moved off raw bits deliberately; these
+// pins freeze the new canonical renderings so future edits to the
+// renderers are caught as the cache/merge-compatibility decisions they
+// are (render_fingerprint feeds canonical_slice_key digests).
+
+TEST(ConfigParity, CanonicalFingerprintPins) {
+  const Prefix p1(Address::of(10, 1, 0, 0), 24);
+  const Prefix q1(Address::of(10, 2, 0, 0), 24);
+  const Address in_p1 = Address::of(10, 1, 0, 7);
+  const Address in_q1 = Address::of(10, 2, 0, 7);
+  const Address ext = Address::of(8, 8, 8, 8);
+
+  mbox::LearningFirewall fw(
+      "fw", {{p1, q1, mbox::AclAction::deny}}, mbox::AclAction::allow);
+  EXPECT_EQ(fw.policy_fingerprint(in_p1),
+            "acl.src/24#0@dst/24#1'allow-;acl.*+");
+  EXPECT_EQ(fw.policy_fingerprint(in_q1),
+            "acl.src/24#0'dst/24#1@allow-;acl.*+");
+  EXPECT_EQ(fw.policy_fingerprint(ext), "acl.*+");
+
+  mbox::Nat nat("nat", ext, p1);
+  EXPECT_EQ(nat.policy_fingerprint(ext), "nat.0:ext#0@;");
+  EXPECT_EQ(nat.policy_fingerprint(in_p1), "nat.1:int/24#0@;");
+  EXPECT_EQ(nat.policy_fingerprint(in_q1), "");
+
+  mbox::LoadBalancer lb("lb", ext, {in_p1, in_q1});
+  EXPECT_EQ(lb.policy_fingerprint(ext), "lb.0:vip#0@;");
+  EXPECT_EQ(lb.policy_fingerprint(in_p1), "lb.1:b#0@;");
+  EXPECT_EQ(lb.policy_fingerprint(in_q1), "lb.2:b#0@;");
+
+  mbox::Proxy px("px", ext);
+  EXPECT_EQ(px.policy_fingerprint(ext), "proxy.0:#0@;");
+  EXPECT_EQ(px.policy_fingerprint(in_p1), "");
+}
+
+}  // namespace
+}  // namespace vmn

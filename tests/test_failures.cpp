@@ -50,6 +50,9 @@ TEST(Failures, FailOpenBoxLeaksWhenDown) {
     [[nodiscard]] mbox::FailureMode failure_mode() const override {
       return mbox::FailureMode::fail_open;
     }
+    [[nodiscard]] mbox::ConfigRelations config_relations() const override {
+      return {};  // deny-all is the type's whole behavior, not configuration
+    }
     void emit_axioms(mbox::AxiomContext& ctx) const override {
       emit_send_axiom(ctx, [&](const logic::TermPtr&) {
         return logic::ltl::pred(ctx.factory().bool_val(false));  // deny all

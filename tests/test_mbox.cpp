@@ -2,6 +2,9 @@
 // every model, configuration predicates, annotations and axiom emission.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+
 #include "core/error.hpp"
 
 #include "logic/printer.hpp"
@@ -95,9 +98,73 @@ TEST(Firewall, PolicyFingerprintDistinguishesTreatment) {
                               AclAction::allow}});
   EXPECT_NE(fw.policy_fingerprint(kA), fw.policy_fingerprint(kB));
   // An unmatched host's fingerprint only records the default action.
-  EXPECT_EQ(fw.policy_fingerprint(kC), "*-");
+  EXPECT_EQ(fw.policy_fingerprint(kC), "acl.*-");
   EXPECT_EQ(fw.state_scope(), StateScope::flow_parallel);
   EXPECT_EQ(fw.failure_mode(), FailureMode::fail_closed);
+}
+
+TEST(Firewall, PolicyFingerprintIsRenameBlind) {
+  // Same shape, renamed prefixes: corresponding addresses must fingerprint
+  // byte-identically (the legacy rendering leaked the peer prefix's raw
+  // bits, splitting exactly the renamed-isomorphic slices shape matching
+  // exists to merge).
+  LearningFirewall fw1("fw1",
+                       {{Prefix(Address::of(10, 1, 0, 0), 24),
+                         Prefix(Address::of(10, 2, 0, 0), 24),
+                         AclAction::deny}},
+                       AclAction::allow);
+  LearningFirewall fw2("fw2",
+                       {{Prefix(Address::of(10, 7, 0, 0), 24),
+                         Prefix(Address::of(10, 8, 0, 0), 24),
+                         AclAction::deny}},
+                       AclAction::allow);
+  EXPECT_EQ(fw1.policy_fingerprint(Address::of(10, 1, 0, 5)),
+            fw2.policy_fingerprint(Address::of(10, 7, 0, 5)));
+  EXPECT_EQ(fw1.policy_fingerprint(Address::of(10, 2, 0, 5)),
+            fw2.policy_fingerprint(Address::of(10, 8, 0, 5)));
+  // ...while source-side and destination-side treatment stay distinct.
+  EXPECT_NE(fw1.policy_fingerprint(Address::of(10, 1, 0, 5)),
+            fw1.policy_fingerprint(Address::of(10, 2, 0, 5)));
+}
+
+TEST(Firewall, PolicyFingerprintIsRoleLocal) {
+  // Two deny rows joining different groups: straight (P1->Q1, P2->Q2) vs
+  // crossed (P1->Q2, P2->Q1). Viewed from any one denied-destination
+  // address the two configurations are indistinguishable - "denied from
+  // one /24 source group" - and the fingerprints deliberately collapse
+  // them (occurrence ids are relative to the address's matched rows). The
+  // join structure BETWEEN two slice addresses (is x's deny row the one
+  // naming y's group?) is pairwise information; the canonical slice key
+  // carries it through wl_refine's config-pair edges, guarded by
+  // CanonicalKey.SplitsStraightFromCrossedAclJoins in test_slice.cpp.
+  const Prefix p1(Address::of(10, 1, 0, 0), 24);
+  const Prefix p2(Address::of(10, 2, 0, 0), 24);
+  const Prefix q1(Address::of(10, 3, 0, 0), 24);
+  const Prefix q2(Address::of(10, 4, 0, 0), 24);
+  LearningFirewall straight(
+      "s", {{p1, q1, AclAction::deny}, {p2, q2, AclAction::deny}},
+      AclAction::allow);
+  LearningFirewall crossed(
+      "c", {{p1, q2, AclAction::deny}, {p2, q1, AclAction::deny}},
+      AclAction::allow);
+  EXPECT_EQ(straight.policy_fingerprint(Address::of(10, 3, 0, 1)),
+            crossed.policy_fingerprint(Address::of(10, 3, 0, 1)));
+  // But an address whose two matched rows name the SAME peer group is a
+  // different role from one whose matched rows name two different groups -
+  // that join structure is local to the address and the occurrence ids
+  // keep it in the fingerprint (same matched-row count on both sides, so
+  // only the ids can tell them apart).
+  LearningFirewall shared(
+      "sh", {{q1, p1, AclAction::deny}, {p1, q1, AclAction::deny}},
+      AclAction::allow);
+  LearningFirewall split(
+      "sp", {{q1, p1, AclAction::deny}, {p1, q2, AclAction::deny}},
+      AclAction::allow);
+  const Address in_p1 = Address::of(10, 1, 0, 1);
+  // in_p1 matches both rows of both configs; in `shared` the peer of both
+  // rows is q1, in `split` the second row's peer is q2.
+  EXPECT_NE(shared.policy_fingerprint(in_p1),
+            split.policy_fingerprint(in_p1));
 }
 
 // -- NAT ---------------------------------------------------------------------
@@ -422,6 +489,145 @@ TEST_F(AxiomEmission, AppFirewallNonExclusiveUsesBoolOracles) {
   ASSERT_EQ(axioms.size(), 1u);
   EXPECT_NE(axioms[0].find("class-7?"), std::string::npos);
   EXPECT_NE(axioms[0].find("class-9?"), std::string::npos);
+}
+
+// -- config-relations contract (all box types) --------------------------------
+//
+// Registry-driven: every middlebox type is instantiated twice, the second
+// time with every address pushed through a bijection (second octet +100),
+// and the token-rendered encoding projection must be invariant - one suite
+// that catches any future raw-bits leak for any box type, instead of
+// per-box tests. The per-address policy fingerprints must correspond under
+// the same bijection.
+
+Address shift(Address a) {
+  const std::uint32_t bits = a.bits();
+  return Address(bits + (100u << 16));  // second octet +100
+}
+
+Prefix shift(Prefix p) { return Prefix(shift(p.base()), p.length()); }
+
+struct RenamedPair {
+  const char* label;
+  std::unique_ptr<Middlebox> original;
+  std::unique_ptr<Middlebox> renamed;
+};
+
+std::vector<RenamedPair> contract_registry() {
+  const Prefix net1(Address::of(10, 1, 0, 0), 24);
+  const Prefix net2(Address::of(10, 2, 0, 0), 24);
+  const Address h1 = Address::of(10, 1, 0, 1);
+  const Address h2 = Address::of(10, 2, 0, 1);
+  const Address h3 = Address::of(10, 2, 0, 2);
+  std::vector<RenamedPair> out;
+  out.push_back({"firewall",
+                 std::make_unique<LearningFirewall>(
+                     "fw", std::vector<AclEntry>{{net1, net2, AclAction::deny}},
+                     AclAction::allow),
+                 std::make_unique<LearningFirewall>(
+                     "fw'",
+                     std::vector<AclEntry>{{shift(net1), shift(net2),
+                                            AclAction::deny}},
+                     AclAction::allow)});
+  out.push_back({"cache",
+                 std::make_unique<ContentCache>(
+                     "c", std::vector<CacheAclEntry>{{net1, h2, true}}),
+                 std::make_unique<ContentCache>(
+                     "c'",
+                     std::vector<CacheAclEntry>{{shift(net1), shift(h2),
+                                                 true}})});
+  out.push_back({"nat", std::make_unique<Nat>("n", h2, net1),
+                 std::make_unique<Nat>("n'", shift(h2), shift(net1))});
+  out.push_back({"load-balancer",
+                 std::make_unique<LoadBalancer>(
+                     "lb", h1, std::vector<Address>{h2, h3}),
+                 std::make_unique<LoadBalancer>(
+                     "lb'", shift(h1),
+                     std::vector<Address>{shift(h2), shift(h3)})});
+  out.push_back({"proxy", std::make_unique<Proxy>("p", h1),
+                 std::make_unique<Proxy>("p'", shift(h1))});
+  out.push_back({"idps", std::make_unique<Idps>("i", true),
+                 std::make_unique<Idps>("i'", true)});
+  out.push_back({"app-firewall",
+                 std::make_unique<AppFirewall>(
+                     "a", std::vector<std::uint16_t>{9, 7}),
+                 std::make_unique<AppFirewall>(
+                     "a'", std::vector<std::uint16_t>{7, 9})});
+  out.push_back({"gateway",
+                 std::make_unique<Gateway>("g", FailureMode::fail_open),
+                 std::make_unique<Gateway>("g'", FailureMode::fail_open)});
+  out.push_back({"scrubber", std::make_unique<Scrubber>("s"),
+                 std::make_unique<Scrubber>("s'")});
+  out.push_back({"wan-optimizer", std::make_unique<WanOptimizer>("w"),
+                 std::make_unique<WanOptimizer>("w'")});
+  return out;
+}
+
+TEST(ConfigRelations, ProjectionInvariantUnderReaddressing) {
+  const std::vector<Address> relevant = {
+      Address::of(10, 1, 0, 1), Address::of(10, 1, 0, 2),
+      Address::of(10, 2, 0, 1), Address::of(10, 2, 0, 2)};
+  std::vector<Address> renamed_relevant;
+  for (Address a : relevant) renamed_relevant.push_back(shift(a));
+  auto token_for = [](const std::vector<Address>& rel) {
+    return std::function<std::string(Address)>([rel](Address a) {
+      for (std::size_t i = 0; i < rel.size(); ++i) {
+        if (rel[i] == a) return "#" + std::to_string(i);
+      }
+      return "!" + std::to_string(a.bits());
+    });
+  };
+  const auto tok_a = token_for(relevant);
+  const auto tok_b = token_for(renamed_relevant);
+  for (const RenamedPair& pair : contract_registry()) {
+    SCOPED_TRACE(pair.label);
+    const std::string proj_a =
+        pair.original->encoding_projection(relevant, tok_a);
+    const std::string proj_b =
+        pair.renamed->encoding_projection(renamed_relevant, tok_b);
+    // Invariance: corresponding addresses render through corresponding
+    // tokens, so the projections must be byte-identical.
+    EXPECT_EQ(proj_a, proj_b);
+    // No raw-bits leak: no address reaches the projection except through
+    // the token function (the "!"-prefixed fallback included).
+    EXPECT_EQ(proj_a.find('!'), std::string::npos);
+    for (Address a : relevant) {
+      EXPECT_EQ(proj_a.find(std::to_string(a.bits())), std::string::npos)
+          << "projection leaks raw bits of " << a.to_string();
+      EXPECT_EQ(proj_a.find(a.to_string()), std::string::npos);
+    }
+    // Fingerprints correspond under the bijection, for configured and
+    // unconfigured addresses alike.
+    for (Address a : relevant) {
+      EXPECT_EQ(pair.original->policy_fingerprint(a),
+                pair.renamed->policy_fingerprint(shift(a)))
+          << "fingerprint not rename-blind at " << a.to_string();
+    }
+  }
+}
+
+TEST(ConfigRelations, DiffNamesTheExactCell) {
+  // The fig8 blocker shape: two firewalls whose ACLs differ in one entry's
+  // dst prefix length. diff_config must name the relation, row and cell.
+  const Prefix net1(Address::of(10, 1, 0, 0), 24);
+  LearningFirewall a("a",
+                     {{net1, Prefix(Address::of(10, 2, 0, 0), 24),
+                       AclAction::deny}},
+                     AclAction::allow);
+  LearningFirewall b("b",
+                     {{net1, Prefix(Address::of(10, 2, 0, 0), 16),
+                       AclAction::deny}},
+                     AclAction::allow);
+  auto ident = std::function<std::string(Address)>(
+      [](Address x) { return std::to_string(x.bits()); });
+  const std::string diff =
+      diff_config(a.type(), a.config_relations(), b.config_relations(), {},
+                  ident, {}, ident);
+  EXPECT_EQ(diff, "firewall.acl row 0: dst prefix /24 vs /16");
+  // Structurally equal descriptors diff empty.
+  EXPECT_EQ(diff_config(a.type(), a.config_relations(), a.config_relations(),
+                        {}, ident, {}, ident),
+            "");
 }
 
 }  // namespace

@@ -333,6 +333,70 @@ TEST(CanonicalKey, CollidesForIsomorphicSlicesWithinAModel) {
   EXPECT_NE(key_for(iso0), key_for(iso_quar));
 }
 
+TEST(CanonicalKey, SplitsStraightFromCrossedAclJoins) {
+  // One firewall, two deny rows joining different groups: deny(P1->Q1),
+  // deny(P2->Q2). From any single address's viewpoint the role-local
+  // policy fingerprints cannot tell whether the slice's OTHER host sits in
+  // the group its own deny row names (x1->y1: denied) or in the other one
+  // (x1->y2: admitted) - that pairwise join structure enters the key
+  // through wl_refine's config-pair edges. Without them these two slices
+  // would share a key and inherit each other's verdicts unsoundly.
+  const Prefix p1(Address::of(10, 1, 0, 0), 24);
+  const Prefix p2(Address::of(10, 2, 0, 0), 24);
+  const Prefix q1(Address::of(10, 3, 0, 0), 24);
+  const Prefix q2(Address::of(10, 4, 0, 0), 24);
+  auto build = [&](std::vector<mbox::AclEntry> acl) {
+    struct Net {
+      encode::NetworkModel model;
+      NodeId x1, y1, y2;
+    };
+    Net n;
+    net::Network& net = n.model.network();
+    n.x1 = net.add_host("x1", Address::of(10, 1, 0, 1));
+    n.y1 = net.add_host("y1", Address::of(10, 3, 0, 1));
+    n.y2 = net.add_host("y2", Address::of(10, 4, 0, 1));
+    auto& fw = n.model.add_middlebox(std::make_unique<mbox::LearningFirewall>(
+        "fw", std::move(acl), mbox::AclAction::allow));
+    NodeId sw = net.add_switch("sw");
+    for (NodeId h : {n.x1, n.y1, n.y2}) net.add_link(h, sw);
+    net.add_link(fw.node(), sw);
+    // Every host-to-host path chains through the firewall, symmetrically.
+    for (NodeId dst : {n.x1, n.y1, n.y2}) {
+      const Prefix pd = Prefix::host(net.node(dst).address);
+      net.table(sw).add_from(fw.node(), pd, dst);
+      for (NodeId src : {n.x1, n.y1, n.y2}) {
+        if (src != dst) net.table(sw).add_from(src, pd, fw.node());
+      }
+    }
+    return n;
+  };
+  auto straight = build({{p1, q1, mbox::AclAction::deny},
+                         {p2, q2, mbox::AclAction::deny}});
+  PolicyClasses classes = infer_policy_classes(straight.model);
+  auto key_for = [&](NodeId to, NodeId from) {
+    const Invariant inv = Invariant::node_isolation(to, from);
+    Slice s = compute_slice(straight.model, inv, classes);
+    return canonical_slice_key(straight.model, s.members, inv, classes);
+  };
+  // x1->y1 is denied (isolation holds), x1->y2 is admitted (violated):
+  // different problems, different keys.
+  EXPECT_NE(key_for(straight.y1, straight.x1),
+            key_for(straight.y2, straight.x1));
+
+  // Control: when both groups are denied from P1, y1 and y2 really are
+  // exchangeable and the keys must still collide (the pair edges refine,
+  // they don't just split everything).
+  auto both = build({{p1, q1, mbox::AclAction::deny},
+                     {p1, q2, mbox::AclAction::deny}});
+  PolicyClasses bclasses = infer_policy_classes(both.model);
+  auto bkey_for = [&](NodeId to, NodeId from) {
+    const Invariant inv = Invariant::node_isolation(to, from);
+    Slice s = compute_slice(both.model, inv, bclasses);
+    return canonical_slice_key(both.model, s.members, inv, bclasses);
+  };
+  EXPECT_EQ(bkey_for(both.y1, both.x1), bkey_for(both.y2, both.x1));
+}
+
 TEST(CanonicalKey, CollidesAcrossIsomorphicModelsAndNotOtherwise) {
   using test::OneBoxNet;
   // Two structurally identical one-box networks; node names differ only in

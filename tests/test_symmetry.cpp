@@ -192,8 +192,10 @@ TEST(ShapeKeys, RenamedIsomorphicSegmentsShareAKeyAndVerifyABijection) {
                                /*with_failures=*/false);
   const ShapeKey k1 = canonical_shape_key(n.model, n.seg1());
   const ShapeKey k2 = canonical_shape_key(n.model, n.seg2());
-  // Raw firewall fingerprints mention peer prefixes, so the *slice* keys of
-  // these segments would split - the shape key must not.
+  // Firewall fingerprints are rename-blind (config.hpp occurrence ids), so
+  // the slice keys of these segments collide too (see
+  // PolicyClasses.RenamedIsomorphicFirewalledSegmentsShareClasses); the
+  // shape key must collide regardless of configuration.
   EXPECT_EQ(k1.key, k2.key);
 
   std::optional<std::vector<NodeId>> image =
@@ -208,6 +210,28 @@ TEST(ShapeKeys, RenamedIsomorphicSegmentsShareAKeyAndVerifyABijection) {
   EXPECT_EQ(at(n.a1), n.a2);
   EXPECT_EQ(at(n.b1), n.b2);
   EXPECT_EQ(at(n.m1), n.m2);
+}
+
+TEST(PolicyClasses, RenamedIsomorphicFirewalledSegmentsShareClasses) {
+  // The pre-descriptor LearningFirewall fingerprint spelled the matching
+  // entry's peer prefix with raw to_string() bits, so two segments whose
+  // firewalls were configured identically up to renaming (host a allowed
+  // to host b, default deny - different addresses per segment) put their
+  // hosts in different policy classes and their slices under different
+  // canonical keys, defeating dedup for no semantic reason. The descriptor
+  // renders address content by occurrence id, never bits: corresponding
+  // hosts must now share a class and the slices a key.
+  TwoSegments n = two_segments(mbox::AclAction::deny, mbox::AclAction::deny,
+                               /*with_failures=*/false);
+  PolicyClasses classes = infer_policy_classes(n.model);
+  EXPECT_EQ(classes.class_of(n.a1), classes.class_of(n.a2));
+  EXPECT_EQ(classes.class_of(n.b1), classes.class_of(n.b2));
+  EXPECT_NE(classes.class_of(n.a1), classes.class_of(n.b1));
+
+  const encode::Invariant r1 = encode::Invariant::reachable(n.b1, n.a1);
+  const encode::Invariant r2 = encode::Invariant::reachable(n.b2, n.a2);
+  EXPECT_EQ(canonical_slice_key(n.model, n.seg1(), r1, classes),
+            canonical_slice_key(n.model, n.seg2(), r2, classes));
 }
 
 TEST(ShapeKeys, ConfigurationMismatchRefusesTheBijection) {

@@ -30,6 +30,19 @@ build="${1:-$repo/build}"
 spec="$repo/examples/specs/enterprise.vmn"
 segmented="$repo/examples/specs/segmented.vmn"
 
+echo "--- lint: middlebox renderers are final (descriptor-only config) ---"
+# policy_fingerprint and encoding_projection are final methods rendered
+# from the config_relations() descriptor; a per-box override would reopen
+# the raw-address-bits leaks the descriptor exists to prevent. Declaring
+# one would not compile (the base methods are non-virtual), but the lint
+# catches shadowing attempts and keeps the contract greppable.
+if grep -En "(policy_fingerprint|encoding_projection)[^;]*\)[^;]*(const)?[^;]*override" \
+    "$repo"/src/mbox/*.hpp "$repo"/src/mbox/*.cpp; then
+  echo "ci: a middlebox overrides policy_fingerprint/encoding_projection;" \
+       "implement config_relations() instead (src/mbox/config.hpp)" >&2
+  exit 1
+fi
+
 cmake_args=(-DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}"
             -DVMN_SANITIZE="${VMN_SANITIZE:-OFF}")
 if command -v ccache > /dev/null; then
@@ -285,6 +298,18 @@ fi
 echo "--- smoke: cross-isomorphic counters surface in the batch summary ---"
 if ! echo "$thread_out" | grep -q "cross-isomorphic"; then
   echo "ci: batch summary lost the cross-isomorphic counter" >&2
+  exit 1
+fi
+
+echo "--- smoke: dedup report names the exact blocking descriptor cell ---"
+# Fig 8 multitenant: the vswitch firewalls polices different VM mixes, so
+# some shape-isomorphic slices refuse to merge - and the report must say
+# exactly which ACL cell differed, not just "projection mismatch".
+multitenant="$repo/examples/specs/multitenant.vmn"
+dedup_out="$("$build/vmn" verify "$multitenant" --dedup-report)"
+echo "$dedup_out"
+if ! echo "$dedup_out" | grep -q "firewall.acl row"; then
+  echo "ci: multitenant dedup report does not name the firewall ACL cell" >&2
   exit 1
 fi
 

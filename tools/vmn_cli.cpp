@@ -368,8 +368,9 @@ int cmd_verify(const char* argv0, int argc, char** argv) {
   if (dedup_report) {
     // Equivalence-class fan-out: how many planned invariant jobs each
     // solver call answered, as a "count x size" histogram, plus the
-    // shape_bijection refusal reasons naming which middlebox types kept
-    // candidate classes apart.
+    // shape_bijection refusal diagnostics - configuration blockers name
+    // the exact relation/row/cell of the descriptor that differed (e.g.
+    // "firewall.acl row 3: dst prefix /24 vs /16").
     std::map<std::size_t, std::size_t> by_size;
     for (std::size_t s : batch.pool.iso_class_sizes) ++by_size[s];
     std::printf("dedup report: %zu solver classes over %zu planned jobs\n",
@@ -383,8 +384,8 @@ int cmd_verify(const char* argv0, int argc, char** argv) {
       std::printf("  merge blockers: none\n");
     } else {
       std::printf("  merge blockers:\n");
-      for (const auto& [reason, count] : batch.pool.merge_blockers) {
-        std::printf("    - %s: %zu\n", reason.c_str(), count);
+      for (const verify::MergeBlocker& b : batch.pool.merge_blockers) {
+        std::printf("    - %s: %zu\n", b.reason.c_str(), b.count);
       }
     }
   }
